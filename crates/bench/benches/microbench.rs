@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! URL parsing, local-DB longest-prefix matching, the phase-1 block-page
+//! classifier, vote tallying, the Fig. 4 detector, and the TCP transfer
+//! model. These are the operations a deployed C-Saw proxy runs on every
+//! request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csaw::global::{Uuid, VoteLedger};
+use csaw::local::{LocalDb, Status};
+use csaw::measure::{measure_direct, DetectConfig};
+use csaw_blockpage::{phase1_html, Phase1Config};
+use csaw_censor::blocking::BlockingType;
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::tcp::{transfer_time, TcpConfig};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_webproto::url::Url;
+
+fn bench_url_parse(c: &mut Criterion) {
+    c.bench_function("url_parse", |b| {
+        b.iter(|| {
+            Url::parse(black_box(
+                "https://video.cdn.example.com:8443/watch/v/abc123?t=42&list=x",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+fn bench_local_db_lpm(c: &mut Criterion) {
+    let mut db = LocalDb::new(SimDuration::from_secs(3600));
+    for i in 0..500 {
+        let url = Url::parse(&format!("http://site{}.example/sec{}/page{}", i % 50, i % 7, i))
+            .unwrap();
+        let status = if i % 3 == 0 {
+            Status::Blocked
+        } else {
+            Status::NotBlocked
+        };
+        let stages = if status == Status::Blocked {
+            vec![BlockingType::HttpDrop]
+        } else {
+            vec![]
+        };
+        db.record_measurement(&url, Asn(1), SimTime::ZERO, status, stages);
+    }
+    let probe = Url::parse("http://site7.example/sec3/page17/deeper/path").unwrap();
+    c.bench_function("local_db_lookup_lpm", |b| {
+        b.iter(|| db.lookup(black_box(&probe), SimTime::ZERO))
+    });
+}
+
+fn bench_phase1(c: &mut Criterion) {
+    let cfg = Phase1Config::default();
+    let block_page = &csaw_blockpage::corpus_47()[0].html;
+    let real_page = csaw_webproto::synth_html("News", 95_000);
+    c.bench_function("phase1_block_page", |b| {
+        b.iter(|| phase1_html(black_box(block_page), &cfg))
+    });
+    c.bench_function("phase1_real_95kb", |b| {
+        b.iter(|| phase1_html(black_box(&real_page), &cfg))
+    });
+}
+
+fn bench_vote_tally(c: &mut Criterion) {
+    let mut ledger = VoteLedger::new();
+    for client in 0..200u64 {
+        let urls: Vec<(String, Asn)> = (0..20)
+            .map(|i| (format!("http://blocked{}.example/", (client + i) % 300), Asn(1)))
+            .collect();
+        ledger.set_client_report(Uuid::from_raw(client), urls);
+    }
+    c.bench_function("vote_tally", |b| {
+        b.iter(|| ledger.tally(black_box("http://blocked42.example/"), Asn(1)))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let world = csaw_bench::worlds::single_isp_world(
+        csaw_censor::ISP_A_ASN,
+        "ISP-A",
+        csaw_censor::isp_a(),
+    );
+    let provider = world.access.providers()[0].clone();
+    let url = Url::parse("http://www.youtube.com/").unwrap();
+    c.bench_function("detector_blocked_page", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            measure_direct(
+                black_box(&world),
+                &provider,
+                &url,
+                Some(360_000),
+                &DetectConfig::default(),
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_transfer_model(c: &mut Criterion) {
+    let cfg = TcpConfig::default();
+    c.bench_function("transfer_time_360kb", |b| {
+        b.iter(|| {
+            transfer_time(
+                black_box(360_000),
+                SimDuration::from_millis(186),
+                20_000_000,
+                &cfg,
+            )
+        })
+    });
+}
+
+fn bench_local_db_insert(c: &mut Criterion) {
+    c.bench_function("local_db_record_aggregated", |b| {
+        let mut db = LocalDb::new(SimDuration::from_secs(3600));
+        let urls: Vec<Url> = (0..64)
+            .map(|i| Url::parse(&format!("http://s{}.example/p/{i}", i % 8)).unwrap())
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &urls[i % urls.len()];
+            i += 1;
+            let blocked = i % 3 == 0;
+            let (status, stages) = if blocked {
+                (Status::Blocked, vec![BlockingType::HttpDrop])
+            } else {
+                (Status::NotBlocked, vec![])
+            };
+            db.record_measurement(black_box(u), Asn(1), SimTime::ZERO, status, stages);
+        })
+    });
+}
+
+fn bench_redundancy_parallel(c: &mut Criterion) {
+    use csaw::config::RedundancyMode;
+    use csaw::measure::fetch_with_redundancy;
+    use csaw_circumvent::transports::FetchCtx;
+    let world = csaw_bench::worlds::single_isp_world(
+        csaw_censor::ISP_A_ASN,
+        "ISP-A",
+        csaw_censor::isp_a(),
+    );
+    let provider = world.access.providers()[0].clone();
+    let url = Url::parse("http://www.youtube.com/").unwrap();
+    c.bench_function("redundant_fetch_parallel", |b| {
+        let mut rng = DetRng::new(2);
+        let mut tor = csaw_circumvent::tor::TorClient::new();
+        let ctx = FetchCtx {
+            now: SimTime::ZERO,
+            provider: provider.clone(),
+        };
+        b.iter(|| {
+            fetch_with_redundancy(
+                black_box(&world),
+                &ctx,
+                &url,
+                RedundancyMode::Parallel,
+                &mut tor,
+                &DetectConfig::default(),
+                &csaw_simnet::load::LoadModel::default(),
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_url_parse,
+    bench_local_db_lpm,
+    bench_phase1,
+    bench_vote_tally,
+    bench_detector,
+    bench_transfer_model,
+    bench_local_db_insert,
+    bench_redundancy_parallel
+);
+criterion_main!(benches);

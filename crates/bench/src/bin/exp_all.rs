@@ -1,0 +1,33 @@
+//! Run every experiment and print the full paper-vs-measured report.
+//! `cargo run --release -p csaw-bench --bin exp_all` regenerates the
+//! numbers recorded in EXPERIMENTS.md.
+use csaw_bench::experiments as e;
+
+fn main() {
+    let seed = 1;
+    println!("=== C-Saw reproduction: full experiment sweep (seed {seed}) ===\n");
+    println!("{}", e::table1::run(seed).render());
+    println!("{}", e::fig1::run_1a(seed).render());
+    println!("{}", e::fig1::run_1b(seed).render());
+    println!("{}", e::fig1::run_1c(seed).render());
+    println!("{}", e::table2::run(seed).render());
+    println!("{}", e::fig2::run(seed).render());
+    println!("{}", e::table5::run(seed).render());
+    println!("{}", e::fig5::run_5a(seed).render());
+    println!("{}", e::fig5::run_5b(seed).render());
+    println!("{}", e::fig5::run_5c(seed).render());
+    println!("{}", e::fig6::run_6a(seed).render());
+    println!("{}", e::fig6::run_6b(seed).render());
+    println!("{}", e::table6::run(seed).render());
+    println!("{}", e::fig7::run_7a(seed).render());
+    println!("{}", e::fig7::run_7b(seed).render());
+    println!("{}", e::fig7::run_7c(seed).render());
+    println!("{}", e::table7::run(seed, 123).render());
+    println!("{}", e::wild::run(seed).render());
+    println!("--- extensions (§8 future-work questions) ---\n");
+    println!("{}", e::datausage::run(seed).render());
+    println!("{}", e::ablation_explore::run(seed).render());
+    println!("{}", e::fingerprint::run(seed).render());
+    println!("{}", e::nonweb::run(seed).render());
+    println!("{}", e::propagation::run(seed).render());
+}

@@ -1,0 +1,13 @@
+//! Run the extension experiments (the paper's §8 future-work questions):
+//! fingerprintability, data usage, and the exploration ablation.
+use csaw_bench::experiments as e;
+
+fn main() {
+    let seed = 1;
+    println!("=== C-Saw reproduction: extension experiments (seed {seed}) ===\n");
+    println!("{}", e::datausage::run(seed).render());
+    println!("{}", e::ablation_explore::run(seed).render());
+    println!("{}", e::fingerprint::run(seed).render());
+    println!("{}", e::nonweb::run(seed).render());
+    println!("{}", e::propagation::run(seed).render());
+}

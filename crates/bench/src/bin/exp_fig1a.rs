@@ -1,0 +1,4 @@
+//! Regenerate Figure 1a (HTTPS/DF vs static proxies).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig1::run_1a(1).render());
+}

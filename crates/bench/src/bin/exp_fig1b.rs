@@ -1,0 +1,4 @@
+//! Regenerate Figure 1b (HTTPS vs Tor by exit location).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig1::run_1b(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 1c (Lantern vs IP-as-hostname).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig1::run_1c(1).render());
+}

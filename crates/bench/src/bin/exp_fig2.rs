@@ -1,0 +1,4 @@
+//! Regenerate Figure 2 (ONI blocking-type mixtures across 8 ASes).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig2::run(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 5a (serial vs parallel redundancy, blocked pages).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig5::run_5a(1).render());
+}

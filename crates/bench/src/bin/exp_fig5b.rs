@@ -1,0 +1,4 @@
+//! Regenerate Figure 5b (redundancy on a small unblocked page).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig5::run_5b(1).render());
+}

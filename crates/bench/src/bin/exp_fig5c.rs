@@ -1,0 +1,4 @@
+//! Regenerate Figure 5c (redundancy on a larger unblocked page).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig5::run_5c(1).render());
+}

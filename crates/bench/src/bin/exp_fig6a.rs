@@ -1,0 +1,4 @@
+//! Regenerate Figure 6a (how many redundant requests are enough).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig6::run_6a(1).render());
+}

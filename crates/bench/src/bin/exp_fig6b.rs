@@ -1,0 +1,4 @@
+//! Regenerate Figure 6b (URL aggregation record savings).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig6::run_6b(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 7a (C-Saw vs Lantern vs Tor, DNS-blocked page).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig7::run_7a(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 7b (C-Saw vs Lantern vs Tor, unblocked page).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig7::run_7b(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 7c (C-Saw w/ Lantern vs C-Saw w/ Tor).
+fn main() {
+    println!("{}", csaw_bench::experiments::fig7::run_7c(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (ISP-A vs ISP-B filtering mechanisms).
+fn main() {
+    println!("{}", csaw_bench::experiments::table1::run(1).render());
+}

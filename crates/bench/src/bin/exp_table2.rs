@@ -1,0 +1,4 @@
+//! Regenerate Table 2 (static proxy ping latencies).
+fn main() {
+    println!("{}", csaw_bench::experiments::table2::run(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 5 (blocking detection times).
+fn main() {
+    println!("{}", csaw_bench::experiments::table5::run(1).render());
+}

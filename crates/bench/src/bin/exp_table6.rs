@@ -1,0 +1,4 @@
+//! Regenerate Table 6 (revalidation probability p vs median PLT).
+fn main() {
+    println!("{}", csaw_bench::experiments::table6::run(1).render());
+}

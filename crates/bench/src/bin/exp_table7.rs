@@ -1,0 +1,4 @@
+//! Regenerate Table 7 (the 123-user pilot deployment study).
+fn main() {
+    println!("{}", csaw_bench::experiments::table7::run(1, 123).render());
+}

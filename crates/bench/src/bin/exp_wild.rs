@@ -1,0 +1,4 @@
+//! Regenerate the §7.5 "C-Saw in the Wild" event timeline.
+fn main() {
+    println!("{}", csaw_bench::experiments::wild::run(1).render());
+}

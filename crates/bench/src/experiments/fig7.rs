@@ -1,0 +1,214 @@
+//! Figure 7: C-Saw vs Lantern vs Tor (§7.3).
+//!
+//! - **(a)** a DNS-blocked page: C-Saw detects the mechanism and applies
+//!   the public-DNS local fix; Lantern and Tor pay relay costs on every
+//!   fetch;
+//! - **(b)** an unblocked page: C-Saw simply goes direct;
+//! - **(c)** multi-stage (IP + DNS) blocking, where no local fix works:
+//!   "C-Saw (w/ Lantern)" vs "C-Saw (w/ Tor)" isolates the relay choice —
+//!   Lantern's single hop beats Tor's three.
+
+use crate::stats::Cdf;
+use crate::worlds::{single_isp_world, YOUTUBE};
+use csaw::client::CsawClient;
+use csaw::config::CsawConfig;
+use csaw_censor::blocking::{DnsTamper, HttpAction, IpAction, TlsAction};
+use csaw_circumvent::lantern::LanternClient;
+use csaw_circumvent::tor::TorClient;
+use csaw_circumvent::transports::{FetchCtx, Transport};
+use csaw_circumvent::world::World;
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_webproto::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// Accesses per series.
+pub const RUNS: usize = 200;
+
+/// A Fig. 7 panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// PLT CDFs.
+    pub series: Vec<Cdf>,
+}
+
+impl Panel {
+    /// A series by label.
+    pub fn series(&self, label: &str) -> &Cdf {
+        self.series
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("series {label} missing"))
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.title, Cdf::render_table(&self.series))
+    }
+}
+
+/// PLTs for a raw transport (Lantern/Tor baselines).
+fn transport_plts(
+    world: &World,
+    transport: &mut dyn Transport,
+    url: &Url,
+    rng: &mut DetRng,
+) -> Vec<SimDuration> {
+    let provider = world.access.providers()[0].clone();
+    let mut out = Vec::new();
+    for i in 0..RUNS {
+        let ctx = FetchCtx {
+            now: SimTime::from_secs(i as u64 * 20),
+            provider: provider.clone(),
+        };
+        let r = transport.fetch(world, &ctx, url, rng);
+        if let Some(plt) = r.fetch().genuine_plt() {
+            out.push(plt);
+        }
+    }
+    out
+}
+
+/// PLTs through a full C-Saw client (its first access measures; steady
+/// state uses whatever strategy it learned).
+fn csaw_plts(world: &World, client: &mut CsawClient, url: &Url) -> Vec<SimDuration> {
+    let mut out = Vec::new();
+    for i in 0..RUNS {
+        let now = SimTime::from_secs(i as u64 * 20);
+        let r = client.request(world, url, now);
+        if let Some(plt) = r.plt {
+            out.push(plt);
+        }
+    }
+    out
+}
+
+/// Fig. 7a: DNS-blocked page.
+pub fn run_7a(seed: u64) -> Panel {
+    let policy = csaw_censor::single_mechanism(
+        "F7A",
+        YOUTUBE,
+        DnsTamper::Nxdomain,
+        IpAction::None,
+        HttpAction::None,
+        TlsAction::None,
+    );
+    let world = single_isp_world(Asn(5500), "F7A-ISP", policy);
+    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
+    let mut rng = DetRng::new(seed);
+    let mut client = CsawClient::new(CsawConfig::default(), None, seed);
+    let series = vec![
+        Cdf::of("C-Saw", &csaw_plts(&world, &mut client, &url)),
+        Cdf::of(
+            "Lantern",
+            &transport_plts(&world, &mut LanternClient::new(), &url, &mut rng),
+        ),
+        Cdf::of(
+            "Tor",
+            &transport_plts(&world, &mut TorClient::new(), &url, &mut rng),
+        ),
+    ];
+    Panel {
+        title: "Figure 7a: blocked page (DNS blocking)".into(),
+        series,
+    }
+}
+
+/// Fig. 7b: unblocked page.
+pub fn run_7b(seed: u64) -> Panel {
+    let world = crate::worlds::clean_world();
+    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
+    let mut rng = DetRng::new(seed);
+    let mut client = CsawClient::new(CsawConfig::default(), None, seed);
+    let series = vec![
+        Cdf::of("C-Saw", &csaw_plts(&world, &mut client, &url)),
+        Cdf::of(
+            "Lantern",
+            &transport_plts(&world, &mut LanternClient::new(), &url, &mut rng),
+        ),
+        Cdf::of(
+            "Tor",
+            &transport_plts(&world, &mut TorClient::new(), &url, &mut rng),
+        ),
+    ];
+    Panel {
+        title: "Figure 7b: unblocked page".into(),
+        series,
+    }
+}
+
+/// Fig. 7c: multi-stage blocking; C-Saw's relay restricted to Lantern vs
+/// to Tor.
+pub fn run_7c(seed: u64) -> Panel {
+    let policy = csaw_censor::single_mechanism(
+        "F7C",
+        YOUTUBE,
+        DnsTamper::HijackTo("10.66.66.66".parse().expect("static")),
+        IpAction::Drop,
+        HttpAction::None,
+        TlsAction::None,
+    );
+    let world = single_isp_world(Asn(5600), "F7C-ISP", policy);
+    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
+    let with_relay = |relay: Box<dyn Transport + Send>, seed: u64| -> CsawClient {
+        CsawClient::new(CsawConfig::default(), None, seed).with_transports(vec![
+            Box::new(csaw_circumvent::transports::PublicDns),
+            Box::new(csaw_circumvent::transports::HttpsUpgrade { public_dns: true }),
+            relay,
+        ])
+    };
+    let mut c_lantern = with_relay(Box::new(LanternClient::new()), seed ^ 1);
+    let mut c_tor = with_relay(Box::new(TorClient::new()), seed ^ 2);
+    let series = vec![
+        Cdf::of(
+            "C-Saw (w/ Lantern)",
+            &csaw_plts(&world, &mut c_lantern, &url),
+        ),
+        Cdf::of("C-Saw (w/ Tor)", &csaw_plts(&world, &mut c_tor, &url)),
+    ];
+    Panel {
+        title: "Figure 7c: multi-stage blocking (IP + DNS), relay choice".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_csaw_beats_lantern_beats_tor() {
+        let p = run_7a(71);
+        let csaw = p.series("C-Saw").median();
+        let lantern = p.series("Lantern").median();
+        let tor = p.series("Tor").median();
+        assert!(csaw < lantern, "csaw {csaw:.2} vs lantern {lantern:.2}");
+        assert!(lantern < tor, "lantern {lantern:.2} vs tor {tor:.2}");
+        // Headline: C-Saw improves average PLT by up to 48% over Lantern
+        // and 63% over Tor — check we're in that ballpark or better.
+        let vs_lantern = crate::stats::reduction_pct(lantern, csaw);
+        let vs_tor = crate::stats::reduction_pct(tor, csaw);
+        assert!(vs_lantern >= 30.0, "vs lantern {vs_lantern:.1}%");
+        assert!(vs_tor >= 40.0, "vs tor {vs_tor:.1}%");
+    }
+
+    #[test]
+    fn fig7b_direct_wins_unblocked() {
+        let p = run_7b(72);
+        let csaw = p.series("C-Saw").median();
+        let lantern = p.series("Lantern").median();
+        let tor = p.series("Tor").median();
+        assert!(csaw < lantern && csaw < tor);
+    }
+
+    #[test]
+    fn fig7c_lantern_relay_beats_tor_relay() {
+        let p = run_7c(73);
+        let l = p.series("C-Saw (w/ Lantern)").median();
+        let t = p.series("C-Saw (w/ Tor)").median();
+        assert!(l < t, "lantern-relay {l:.2} vs tor-relay {t:.2}");
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — ISP-A vs ISP-B mechanisms |
+//! | [`fig1`] | Figure 1a/1b/1c — case-study PLT comparisons |
+//! | [`table2`] | Table 2 — static-proxy ping latencies |
+//! | [`fig2`] | Figure 2 — ONI blocking-type mixtures |
+//! | [`table5`] | Table 5 — detection times |
+//! | [`fig5`] | Figure 5a/5b/5c — redundancy impact |
+//! | [`fig6`] | Figure 6a/6b — redundancy count, aggregation |
+//! | [`table6`] | Table 6 — revalidation probability p |
+//! | [`fig7`] | Figure 7a/7b/7c — C-Saw vs Lantern vs Tor |
+//! | [`table7`] | Table 7 — pilot deployment study |
+//! | [`wild`] | §7.5 — the Nov 2017 event |
+//!
+//! Extensions beyond the paper's evaluation (its §8 future-work items):
+//!
+//! | module | question |
+//! |---|---|
+//! | [`fingerprint`] | can a censor fingerprint C-Saw users from paired flows? |
+//! | [`datausage`] | what do redundancy and `p` cost in bytes? |
+//! | [`ablation_explore`] | what does n-th-access exploration buy? |
+//! | [`nonweb`] | non-web (UDP/messaging) filtering detection |
+//! | [`propagation`] | how fast one discovery benefits the crowd |
+
+pub mod ablation_explore;
+pub mod datausage;
+pub mod fig1;
+pub mod fingerprint;
+pub mod nonweb;
+pub mod propagation;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod wild;

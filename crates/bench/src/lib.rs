@@ -1,0 +1,20 @@
+//! # csaw-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation against
+//! the simulated substrate. Each experiment is a pure function of a seed
+//! (bit-reproducible) returning a typed result with a `render()` method
+//! that prints the same rows/series the paper reports.
+//!
+//! Binaries: one `exp_*` per artifact plus `exp_all` (which writes the
+//! full report consumed by `EXPERIMENTS.md`). Criterion micro-benchmarks
+//! for the hot paths live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod stats;
+pub mod workload;
+pub mod worlds;
+
+pub use stats::{percentile, reduction_pct, Cdf, Summary};

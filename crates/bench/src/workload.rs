@@ -1,0 +1,211 @@
+//! Workload generation: browsing sessions, URL universes, Zipf sampling.
+
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_webproto::url::Url;
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `s` (s≈0.8–1.2 for
+    /// web popularity).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cumulative: weights }
+    }
+
+    /// Sample a rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Open-loop request arrivals with uniform inter-arrival times — the
+/// paper's §7.1 workload ("100 web requests whose inter-arrival times are
+/// uniformly distributed between 1s and 5s").
+pub fn uniform_arrivals(
+    n: usize,
+    lo: SimDuration,
+    hi: SimDuration,
+    rng: &mut DetRng,
+) -> Vec<SimTime> {
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let gap = rng.range_u64(lo.as_micros(), hi.as_micros() + 1);
+        t += SimDuration::from_micros(gap);
+        out.push(t);
+    }
+    out
+}
+
+/// A universe of censored and clean sites for the pilot study: `blocked`
+/// domains (each with several distinct URLs) plus `clean` domains.
+#[derive(Debug, Clone)]
+pub struct PilotUniverse {
+    /// Blocked-domain hostnames.
+    pub blocked_domains: Vec<String>,
+    /// Distinct blocked URLs (≥1 per blocked domain).
+    pub blocked_urls: Vec<Url>,
+    /// Clean-domain hostnames.
+    pub clean_domains: Vec<String>,
+    /// URLs on clean domains.
+    pub clean_urls: Vec<Url>,
+}
+
+/// Build the pilot universe: `n_blocked_domains` censored domains carrying
+/// `n_blocked_urls` distinct URLs between them, plus `n_clean` clean
+/// domains with a few pages each.
+pub fn pilot_universe(
+    n_blocked_domains: usize,
+    n_blocked_urls: usize,
+    n_clean: usize,
+) -> PilotUniverse {
+    assert!(n_blocked_urls >= n_blocked_domains);
+    let blocked_domains: Vec<String> = (0..n_blocked_domains)
+        .map(|i| format!("blocked-{i:03}.example"))
+        .collect();
+    let mut blocked_urls = Vec::with_capacity(n_blocked_urls);
+    for (i, d) in blocked_domains.iter().enumerate() {
+        blocked_urls.push(Url::parse(&format!("http://{d}/")).expect("static url"));
+        let _ = i;
+    }
+    // Spread the remaining URLs over the domains round-robin as distinct
+    // paths.
+    let mut k = 0usize;
+    while blocked_urls.len() < n_blocked_urls {
+        let d = &blocked_domains[k % blocked_domains.len()];
+        blocked_urls.push(
+            Url::parse(&format!("http://{d}/page/{}", k / blocked_domains.len()))
+                .expect("static url"),
+        );
+        k += 1;
+    }
+    let clean_domains: Vec<String> = (0..n_clean)
+        .map(|i| format!("clean-{i:03}.example"))
+        .collect();
+    let mut clean_urls = Vec::new();
+    for d in &clean_domains {
+        for p in 0..3 {
+            clean_urls.push(Url::parse(&format!("http://{d}/p{p}")).expect("static url"));
+        }
+    }
+    PilotUniverse {
+        blocked_domains,
+        blocked_urls,
+        clean_domains,
+        clean_urls,
+    }
+}
+
+/// An Alexa-top-15-style browse session (Fig. 6b): per site, a set of
+/// derived URLs the user visits.
+pub fn alexa15_session(urls_per_site: usize) -> Vec<(String, Vec<Url>)> {
+    let sites = [
+        "google.com.pk",
+        "youtube.com",
+        "facebook.com",
+        "google.com",
+        "yahoo.com",
+        "daraz.pk",
+        "wikipedia.org",
+        "twitter.com",
+        "hamariweb.com",
+        "olx.com.pk",
+        "urdupoint.com",
+        "dawn.com",
+        "espncricinfo.com",
+        "live.com",
+        "instagram.com",
+    ];
+    sites
+        .iter()
+        .map(|s| {
+            let urls = (0..urls_per_site)
+                .map(|i| {
+                    Url::parse(&format!("http://{s}/section{}/page{}", i % 4, i))
+                        .expect("static url")
+                })
+                .collect();
+            (s.to_string(), urls)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = DetRng::new(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..12]);
+        // Rough Zipf sanity: rank 0 ≈ 2x rank 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.5..=2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn arrivals_monotone_and_bounded() {
+        let mut rng = DetRng::new(2);
+        let ts = uniform_arrivals(
+            100,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(5),
+            &mut rng,
+        );
+        assert_eq!(ts.len(), 100);
+        for w in ts.windows(2) {
+            let gap = w[1].duration_since(w[0]);
+            assert!(gap >= SimDuration::from_secs(1) && gap <= SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn pilot_universe_shape_matches_table7_inputs() {
+        // The paper's Table 7: 420 blocked domains, 997 unique blocked
+        // URLs accessed.
+        let u = pilot_universe(420, 997, 100);
+        assert_eq!(u.blocked_domains.len(), 420);
+        assert_eq!(u.blocked_urls.len(), 997);
+        // URLs are unique.
+        let set: std::collections::HashSet<String> =
+            u.blocked_urls.iter().map(|u| u.to_string()).collect();
+        assert_eq!(set.len(), 997);
+        // Every blocked URL is on a blocked domain.
+        for url in &u.blocked_urls {
+            let host = url.host().to_string();
+            assert!(u.blocked_domains.contains(&host));
+        }
+    }
+
+    #[test]
+    fn alexa_session_has_15_sites() {
+        let s = alexa15_session(20);
+        assert_eq!(s.len(), 15);
+        assert!(s.iter().all(|(_, urls)| urls.len() == 20));
+    }
+}

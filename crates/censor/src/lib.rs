@@ -1,0 +1,49 @@
+//! # csaw-censor — censor middlebox models
+//!
+//! The paper evaluates C-Saw against live censoring ISPs; this crate is the
+//! synthetic stand-in. A [`CensorPolicy`] exposes the same four
+//! interception points a real filtering deployment has — DNS queries, TCP
+//! connects, TLS ClientHellos, plaintext HTTP requests — and each decision
+//! sees only the fields genuinely visible at that layer. That constraint is
+//! what makes circumvention mechanics honest: domain fronting works here
+//! because the HTTP stage never sees inside TLS, "IP as hostname" works
+//! because the keyword matcher has no name to match, and so on.
+//!
+//! - [`blocking`]: per-layer actions and the [`BlockingType`] taxonomy;
+//! - [`policy`]: rules, matchers, engage probabilities, and the compiled
+//!   IP blacklist;
+//! - [`profiles`]: Table 1's ISP-A/ISP-B, keyword filters, the §7.5
+//!   Nov 2017 event matrix, and single-mechanism policies for Table 5;
+//! - [`oni`]: Figure 2's per-AS blocking-type mixtures.
+
+//!
+//! ```
+//! use csaw_censor::{isp_a, Category, HttpAction};
+//! use csaw_simnet::DetRng;
+//!
+//! let policy = isp_a(); // Table 1's ISP-A: HTTP-level block pages
+//! let mut rng = DetRng::new(1);
+//! let url = "http://www.youtube.com/watch".parse().unwrap();
+//! assert_eq!(
+//!     policy.on_http_request(&url, Some(Category::Video), &mut rng),
+//!     HttpAction::BlockPageRedirect
+//! );
+//! // ...but its DNS stage is clean, so HTTPS is a working local fix.
+//! assert!(!policy.on_dns_query("www.youtube.com", Some(Category::Video), &mut rng).is_active());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocking;
+pub mod oni;
+pub mod policy;
+pub mod profiles;
+
+pub use blocking::{BlockingType, Category, DnsTamper, HttpAction, IpAction, Stage, TlsAction, UdpAction};
+pub use oni::{figure2_mixtures, policy_from_mixture, AsMixture, OniCategory};
+pub use policy::{CensorPolicy, CensorRule, TargetMatcher};
+pub use profiles::{
+    clean, event_blocking_2017, event_matrix_2017, isp_a, isp_b, keyword_filter,
+    single_mechanism, EventBlocking, ISP_A_ASN, ISP_B_ASN,
+};

@@ -1,0 +1,504 @@
+//! Censor policies: who gets blocked, how, at which stage.
+//!
+//! A [`CensorPolicy`] models the filtering configuration of one censoring
+//! ISP. It is a list of [`CensorRule`]s, each pairing a [`TargetMatcher`]
+//! (which traffic) with per-stage actions (what happens to it). The
+//! decision functions mirror the interception points of a real middlebox:
+//! DNS queries, TCP connects, TLS ClientHellos, and plaintext HTTP
+//! requests — each sees only the fields genuinely visible at that layer.
+//!
+//! Multi-stage blocking (Table 1's ISP-B: DNS hijack *and* HTTP/HTTPS
+//! drop) is expressed by a rule activating several stages; per-stage
+//! engage probabilities model the load-balanced filtering the paper
+//! describes ("usually carried out to load balance traffic across
+//! filtering devices").
+
+use crate::blocking::{Category, DnsTamper, HttpAction, IpAction, TlsAction, UdpAction};
+use csaw_simnet::DetRng;
+use csaw_webproto::url::Url;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Which traffic a rule applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetMatcher {
+    /// Host equals the domain or is a subdomain of it
+    /// (`youtube.com` matches `www.youtube.com`).
+    DomainSuffix(String),
+    /// URL is the given URL or derived from it (segment-wise path prefix).
+    /// Only effective at the HTTP stage, where paths are visible.
+    UrlPrefix(Url),
+    /// Substring match over the visible name (host/SNI/qname) or, at the
+    /// HTTP stage, the path — classic keyword filtering. "IP as hostname"
+    /// defeats this because the IP form contains no keyword.
+    Keyword(String),
+    /// All sites the deployment tags with this category.
+    Category(Category),
+}
+
+impl TargetMatcher {
+    fn matches_name(&self, name: &str, category: Option<Category>) -> bool {
+        match self {
+            TargetMatcher::DomainSuffix(d) => {
+                let name = name.to_ascii_lowercase();
+                name == *d || name.ends_with(&format!(".{d}"))
+            }
+            TargetMatcher::Keyword(k) => name.to_ascii_lowercase().contains(k.as_str()),
+            TargetMatcher::Category(c) => category == Some(*c),
+            // URL prefixes need a path; a bare name can only match if the
+            // prefix is a base URL on the same host.
+            TargetMatcher::UrlPrefix(u) => {
+                u.is_base() && u.host().to_string() == name.to_ascii_lowercase()
+            }
+        }
+    }
+
+    fn matches_url(&self, url: &Url, category: Option<Category>) -> bool {
+        match self {
+            TargetMatcher::UrlPrefix(prefix) => url.is_derived_from(prefix),
+            TargetMatcher::Keyword(k) => {
+                url.host().to_string().contains(k.as_str())
+                    || url.path().to_ascii_lowercase().contains(k.as_str())
+            }
+            TargetMatcher::DomainSuffix(_) | TargetMatcher::Category(_) => {
+                self.matches_name(&url.host().to_string(), category)
+            }
+        }
+    }
+}
+
+/// One filtering rule: a target plus the action taken at each stage.
+/// `*_p` fields are per-flow engage probabilities (1.0 = always); they
+/// model load-balanced multi-stage deployments where only a fraction of
+/// flows traverse a given filtering device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensorRule {
+    /// Which traffic this rule covers.
+    pub target: TargetMatcher,
+    /// DNS-stage action.
+    pub dns: DnsTamper,
+    /// Probability the DNS stage engages for a given flow.
+    pub dns_p: f64,
+    /// IP-stage action (requires the destination IP to be blacklisted —
+    /// see [`CensorPolicy::materialize_ips`]).
+    pub ip: IpAction,
+    /// Probability the IP stage engages.
+    pub ip_p: f64,
+    /// HTTP-stage action.
+    pub http: HttpAction,
+    /// Probability the HTTP stage engages.
+    pub http_p: f64,
+    /// TLS-stage action.
+    pub tls: TlsAction,
+    /// Probability the TLS stage engages.
+    pub tls_p: f64,
+    /// UDP-stage action (non-web services).
+    pub udp: UdpAction,
+    /// Probability the UDP stage engages.
+    pub udp_p: f64,
+}
+
+impl CensorRule {
+    /// A rule with no actions (builder seed).
+    pub fn target(target: TargetMatcher) -> CensorRule {
+        CensorRule {
+            target,
+            dns: DnsTamper::None,
+            dns_p: 1.0,
+            ip: IpAction::None,
+            ip_p: 1.0,
+            http: HttpAction::None,
+            http_p: 1.0,
+            tls: TlsAction::None,
+            tls_p: 1.0,
+            udp: UdpAction::None,
+            udp_p: 1.0,
+        }
+    }
+
+    /// Builder: set the DNS action.
+    pub fn dns(mut self, t: DnsTamper) -> CensorRule {
+        self.dns = t;
+        self
+    }
+
+    /// Builder: set the DNS engage probability.
+    pub fn dns_p(mut self, p: f64) -> CensorRule {
+        self.dns_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the IP action.
+    pub fn ip(mut self, a: IpAction) -> CensorRule {
+        self.ip = a;
+        self
+    }
+
+    /// Builder: set the IP engage probability.
+    pub fn ip_p(mut self, p: f64) -> CensorRule {
+        self.ip_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the HTTP action.
+    pub fn http(mut self, a: HttpAction) -> CensorRule {
+        self.http = a;
+        self
+    }
+
+    /// Builder: set the HTTP engage probability.
+    pub fn http_p(mut self, p: f64) -> CensorRule {
+        self.http_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the TLS action.
+    pub fn tls(mut self, a: TlsAction) -> CensorRule {
+        self.tls = a;
+        self
+    }
+
+    /// Builder: set the TLS engage probability.
+    pub fn tls_p(mut self, p: f64) -> CensorRule {
+        self.tls_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the UDP action.
+    pub fn udp(mut self, a: UdpAction) -> CensorRule {
+        self.udp = a;
+        self
+    }
+
+    /// Builder: set the UDP engage probability.
+    pub fn udp_p(mut self, p: f64) -> CensorRule {
+        self.udp_p = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// The filtering configuration of one censoring ISP.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CensorPolicy {
+    /// Display name (e.g. "ISP-A").
+    pub name: String,
+    rules: Vec<CensorRule>,
+    /// Destination addresses subject to IP-stage actions. Populated by
+    /// [`CensorPolicy::materialize_ips`] from the deployment's host→IP
+    /// map, the way real censors compile hostname blacklists into router
+    /// ACLs.
+    ip_blacklist: HashSet<Ipv4Addr>,
+    /// Where HTTP-stage redirects send the client.
+    pub block_page_location: String,
+}
+
+impl CensorPolicy {
+    /// An empty (non-censoring) policy.
+    pub fn new(name: impl Into<String>) -> CensorPolicy {
+        CensorPolicy {
+            name: name.into(),
+            rules: Vec::new(),
+            ip_blacklist: HashSet::new(),
+            block_page_location: "http://block.invalid/".to_string(),
+        }
+    }
+
+    /// Add a rule.
+    pub fn with_rule(mut self, rule: CensorRule) -> CensorPolicy {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules installed.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Iterate over rules (read-only).
+    pub fn rules(&self) -> &[CensorRule] {
+        &self.rules
+    }
+
+    /// Whether any rule targets traffic that could involve `name`.
+    pub fn censors_name(&self, name: &str, category: Option<Category>) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.target.matches_name(name, category))
+    }
+
+    /// Compile host-level rules into an IP blacklist using the
+    /// deployment's resolver. Call once after the world's addresses are
+    /// assigned. `resolve` maps a hostname to its true address(es).
+    pub fn materialize_ips<F>(&mut self, hosts: &[(String, Option<Category>)], resolve: F)
+    where
+        F: Fn(&str) -> Option<Ipv4Addr>,
+    {
+        for (host, category) in hosts {
+            let targeted = self.rules.iter().any(|r| {
+                r.ip.is_active() && r.target.matches_name(host, *category)
+            });
+            if targeted {
+                if let Some(ip) = resolve(host) {
+                    self.ip_blacklist.insert(ip);
+                }
+            }
+        }
+    }
+
+    /// Manually blacklist an address at the IP stage.
+    pub fn blacklist_ip(&mut self, ip: Ipv4Addr) {
+        self.ip_blacklist.insert(ip);
+    }
+
+    /// Is the address on the compiled IP blacklist?
+    pub fn ip_blacklisted(&self, ip: Ipv4Addr) -> bool {
+        self.ip_blacklist.contains(&ip)
+    }
+
+    // --- middlebox decision points -------------------------------------
+
+    /// DNS interception: what happens to a query for `qname`?
+    pub fn on_dns_query(
+        &self,
+        qname: &str,
+        category: Option<Category>,
+        rng: &mut DetRng,
+    ) -> DnsTamper {
+        for r in &self.rules {
+            if r.dns.is_active() && r.target.matches_name(qname, category) && rng.chance(r.dns_p)
+            {
+                return r.dns;
+            }
+        }
+        DnsTamper::None
+    }
+
+    /// TCP interception: what happens to a connect to `dst`?
+    ///
+    /// Real IP blocking doesn't know hostnames — only the compiled
+    /// blacklist. The first rule with an active IP action supplies the
+    /// action/probability once the address matches.
+    pub fn on_tcp_connect(&self, dst: Ipv4Addr, rng: &mut DetRng) -> IpAction {
+        if !self.ip_blacklist.contains(&dst) {
+            return IpAction::None;
+        }
+        for r in &self.rules {
+            if r.ip.is_active() && rng.chance(r.ip_p) {
+                return r.ip;
+            }
+        }
+        IpAction::None
+    }
+
+    /// TLS interception: what happens to a ClientHello bearing `sni`?
+    pub fn on_tls_hello(
+        &self,
+        sni: Option<&str>,
+        category: Option<Category>,
+        rng: &mut DetRng,
+    ) -> TlsAction {
+        let Some(sni) = sni else {
+            return TlsAction::None; // nothing visible to match on
+        };
+        for r in &self.rules {
+            if r.tls.is_active() && r.target.matches_name(sni, category) && rng.chance(r.tls_p) {
+                return r.tls;
+            }
+        }
+        TlsAction::None
+    }
+
+    /// UDP interception: what happens to datagrams toward the service at
+    /// `service_host`? Deep packet inspection classifies non-web apps by
+    /// endpoint (we model that as the service's hostname + category; the
+    /// wire reality is IP/port signatures compiled from the same intent).
+    pub fn on_udp_flow(
+        &self,
+        service_host: &str,
+        category: Option<Category>,
+        rng: &mut DetRng,
+    ) -> UdpAction {
+        for r in &self.rules {
+            if r.udp.is_active() && r.target.matches_name(service_host, category) && rng.chance(r.udp_p)
+            {
+                return r.udp;
+            }
+        }
+        UdpAction::None
+    }
+
+    /// HTTP interception: what happens to a plaintext request for `url`?
+    pub fn on_http_request(
+        &self,
+        url: &Url,
+        category: Option<Category>,
+        rng: &mut DetRng,
+    ) -> HttpAction {
+        for r in &self.rules {
+            if r.http.is_active() && r.target.matches_url(url, category) && rng.chance(r.http_p)
+            {
+                return r.http;
+            }
+        }
+        HttpAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn rng() -> DetRng {
+        DetRng::new(7)
+    }
+
+    #[test]
+    fn domain_suffix_matches_subdomains() {
+        let m = TargetMatcher::DomainSuffix("youtube.com".into());
+        assert!(m.matches_name("youtube.com", None));
+        assert!(m.matches_name("www.youtube.com", None));
+        assert!(m.matches_name("WWW.YOUTUBE.COM", None));
+        assert!(!m.matches_name("notyoutube.com", None));
+        assert!(!m.matches_name("youtube.com.evil.net", None));
+    }
+
+    #[test]
+    fn keyword_matches_host_and_path() {
+        let m = TargetMatcher::Keyword("xvid".into());
+        assert!(m.matches_url(&url("http://xvideos.example/"), None));
+        assert!(m.matches_url(&url("http://mirror.example/xvid/page"), None));
+        assert!(!m.matches_url(&url("http://10.1.2.3/page"), None));
+    }
+
+    #[test]
+    fn url_prefix_http_only_semantics() {
+        let m = TargetMatcher::UrlPrefix(url("http://foo.com/banned"));
+        assert!(m.matches_url(&url("http://foo.com/banned/page.html"), None));
+        assert!(!m.matches_url(&url("http://foo.com/other"), None));
+        // At name-only stages a non-base prefix cannot match.
+        assert!(!m.matches_name("foo.com", None));
+        let base = TargetMatcher::UrlPrefix(url("http://foo.com/"));
+        assert!(base.matches_name("foo.com", None));
+    }
+
+    #[test]
+    fn dns_decision_respects_rules() {
+        let hijack: Ipv4Addr = "10.10.34.34".parse().unwrap();
+        let pol = CensorPolicy::new("isp")
+            .with_rule(
+                CensorRule::target(TargetMatcher::DomainSuffix("youtube.com".into()))
+                    .dns(DnsTamper::HijackTo(hijack)),
+            );
+        let mut r = rng();
+        assert_eq!(
+            pol.on_dns_query("www.youtube.com", None, &mut r),
+            DnsTamper::HijackTo(hijack)
+        );
+        assert_eq!(pol.on_dns_query("example.com", None, &mut r), DnsTamper::None);
+    }
+
+    #[test]
+    fn ip_stage_requires_materialized_blacklist() {
+        let mut pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::DomainSuffix("blocked.com".into()))
+                .ip(IpAction::Drop),
+        );
+        let addr: Ipv4Addr = "93.184.216.34".parse().unwrap();
+        let mut r = rng();
+        // Before compilation: no IP knowledge, no action.
+        assert_eq!(pol.on_tcp_connect(addr, &mut r), IpAction::None);
+        pol.materialize_ips(&[("blocked.com".to_string(), None)], |h| {
+            (h == "blocked.com").then_some(addr)
+        });
+        assert!(pol.ip_blacklisted(addr));
+        assert_eq!(pol.on_tcp_connect(addr, &mut r), IpAction::Drop);
+    }
+
+    #[test]
+    fn tls_matches_sni_only() {
+        let pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::DomainSuffix("youtube.com".into()))
+                .tls(TlsAction::Drop),
+        );
+        let mut r = rng();
+        assert_eq!(
+            pol.on_tls_hello(Some("www.youtube.com"), None, &mut r),
+            TlsAction::Drop
+        );
+        // Fronted SNI sails through.
+        assert_eq!(
+            pol.on_tls_hello(Some("google.com"), None, &mut r),
+            TlsAction::None
+        );
+        // No SNI, nothing to match.
+        assert_eq!(pol.on_tls_hello(None, None, &mut r), TlsAction::None);
+    }
+
+    #[test]
+    fn http_block_page() {
+        let pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::Category(Category::Porn))
+                .http(HttpAction::BlockPageRedirect),
+        );
+        let mut r = rng();
+        assert_eq!(
+            pol.on_http_request(&url("http://adult.example/x"), Some(Category::Porn), &mut r),
+            HttpAction::BlockPageRedirect
+        );
+        assert_eq!(
+            pol.on_http_request(&url("http://adult.example/x"), Some(Category::News), &mut r),
+            HttpAction::None
+        );
+    }
+
+    #[test]
+    fn engage_probability_splits_flows() {
+        let pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::DomainSuffix("yt.com".into()))
+                .dns(DnsTamper::Nxdomain)
+                .dns_p(0.5),
+        );
+        let mut r = rng();
+        let mut hits = 0;
+        for _ in 0..2_000 {
+            if pol.on_dns_query("yt.com", None, &mut r).is_active() {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let pol = CensorPolicy::new("isp")
+            .with_rule(
+                CensorRule::target(TargetMatcher::DomainSuffix("a.com".into()))
+                    .http(HttpAction::Rst),
+            )
+            .with_rule(
+                CensorRule::target(TargetMatcher::Keyword("a.com".into()))
+                    .http(HttpAction::Drop),
+            );
+        let mut r = rng();
+        assert_eq!(
+            pol.on_http_request(&url("http://a.com/"), None, &mut r),
+            HttpAction::Rst
+        );
+    }
+
+    #[test]
+    fn censors_name_probe() {
+        let pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::DomainSuffix("bad.org".into()))
+                .http(HttpAction::Drop),
+        );
+        assert!(pol.censors_name("www.bad.org", None));
+        assert!(!pol.censors_name("good.org", None));
+    }
+}

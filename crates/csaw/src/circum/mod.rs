@@ -1,0 +1,8 @@
+//! The circumvention module (§4.3.2): transport registry, PLT tracking,
+//! and the local-fix-first selection policy.
+
+pub mod plt_tracker;
+pub mod selector;
+
+pub use plt_tracker::PltTracker;
+pub use selector::Selector;

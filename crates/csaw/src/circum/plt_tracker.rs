@@ -1,0 +1,108 @@
+//! Per-(transport, URL) PLT tracking (§4.3.2).
+//!
+//! "If multiple relay-based approaches can be used for circumvention, we
+//! normally choose the one that yields the smallest PLT, by way of
+//! maintaining a moving average of PLTs for each circumvention approach
+//! and URL."
+
+use csaw_simnet::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Exponentially-weighted moving averages of PLT, keyed by
+/// (transport name, URL key).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PltTracker {
+    alpha: f64,
+    ewma: HashMap<(String, String), f64>,
+    /// Per-transport overall average (fallback for URLs never fetched via
+    /// a given transport).
+    transport_avg: HashMap<String, (f64, u64)>,
+}
+
+impl PltTracker {
+    /// A tracker with EWMA weight `alpha` (weight of the newest sample).
+    pub fn new(alpha: f64) -> PltTracker {
+        PltTracker {
+            alpha: alpha.clamp(0.01, 1.0),
+            ewma: HashMap::new(),
+            transport_avg: HashMap::new(),
+        }
+    }
+
+    /// Record an observed PLT.
+    pub fn observe(&mut self, transport: &str, url_key: &str, plt: SimDuration) {
+        let secs = plt.as_secs_f64();
+        let key = (transport.to_string(), url_key.to_string());
+        match self.ewma.get_mut(&key) {
+            Some(v) => *v = (1.0 - self.alpha) * *v + self.alpha * secs,
+            None => {
+                self.ewma.insert(key, secs);
+            }
+        }
+        let (sum, n) = self.transport_avg.entry(transport.to_string()).or_insert((0.0, 0));
+        *sum += secs;
+        *n += 1;
+    }
+
+    /// Estimated PLT for a (transport, URL), falling back to the
+    /// transport-wide average, then `None` for never-used transports.
+    pub fn estimate(&self, transport: &str, url_key: &str) -> Option<f64> {
+        if let Some(v) = self
+            .ewma
+            .get(&(transport.to_string(), url_key.to_string()))
+        {
+            return Some(*v);
+        }
+        self.transport_avg
+            .get(transport)
+            .map(|(sum, n)| sum / *n as f64)
+    }
+
+    /// Number of (transport, URL) pairs tracked.
+    pub fn len(&self) -> usize {
+        self.ewma.len()
+    }
+
+    /// True if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ewma.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_new_values() {
+        let mut t = PltTracker::new(0.5);
+        t.observe("tor", "http://x.com/", SimDuration::from_secs(10));
+        t.observe("tor", "http://x.com/", SimDuration::from_secs(2));
+        let e = t.estimate("tor", "http://x.com/").unwrap();
+        assert!((e - 6.0).abs() < 1e-9, "{e}");
+        t.observe("tor", "http://x.com/", SimDuration::from_secs(2));
+        let e = t.estimate("tor", "http://x.com/").unwrap();
+        assert!(e < 6.0);
+    }
+
+    #[test]
+    fn fallback_to_transport_average() {
+        let mut t = PltTracker::new(0.3);
+        t.observe("lantern", "http://a.com/", SimDuration::from_secs(4));
+        t.observe("lantern", "http://b.com/", SimDuration::from_secs(6));
+        let e = t.estimate("lantern", "http://never-seen.com/").unwrap();
+        assert!((e - 5.0).abs() < 1e-9);
+        assert_eq!(t.estimate("tor", "http://a.com/"), None);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut t = PltTracker::new(0.3);
+        t.observe("tor", "http://a.com/", SimDuration::from_secs(10));
+        t.observe("lantern", "http://a.com/", SimDuration::from_secs(3));
+        assert!(t.estimate("tor", "http://a.com/").unwrap() > 9.0);
+        assert!(t.estimate("lantern", "http://a.com/").unwrap() < 4.0);
+        assert_eq!(t.len(), 2);
+    }
+}

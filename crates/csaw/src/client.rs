@@ -1,0 +1,854 @@
+//! The C-Saw client: Algorithm 1 plus the periodic workflow (§3, §4).
+//!
+//! Every user request flows through [`CsawClient::request`]:
+//!
+//! - **not-measured** URLs get redundant requests (direct + circumvention)
+//!   and in-line detection; the result lands in the local DB and, if
+//!   blocked, in the pending-report queue;
+//! - **blocked** URLs are served through the selector's best transport,
+//!   with probability-`p` direct-path revalidation (for relay transports —
+//!   local fixes measure the direct path for free) and every-`n`-th-access
+//!   exploration;
+//! - **not-blocked** URLs go direct with in-line detection — which is how
+//!   fresh censorship (churn Scenario B) is caught immediately.
+//!
+//! [`CsawClient::tick`] runs the background workflow: periodic global-DB
+//! sync (per-AS blocked list download), report posting (over Tor; only
+//! blocked URLs, no PII), record expiry (churn Scenario A), and
+//! egress-ASN probing (multihoming detection).
+
+use crate::circum::Selector;
+use crate::config::{CsawConfig, UserPreference};
+use crate::global::{ConfidenceFilter, Report, ServerDb, Uuid};
+use crate::local::{LocalDb, Status};
+use crate::measure::{
+    fetch_with_redundancy, measure_direct, DetectConfig, MeasuredStatus, ServedFrom,
+};
+use crate::multihoming::{MultihomingManager, PerProviderBlocking};
+use csaw_censor::blocking::BlockingType;
+use csaw_circumvent::transports::{FetchCtx, Transport, TransportKind};
+use csaw_circumvent::world::World;
+use csaw_simnet::load::LoadModel;
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_webproto::url::{Scheme, Url};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters a deployment study reads off a client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Total user requests.
+    pub requests: u64,
+    /// Served straight from the direct path.
+    pub served_direct: u64,
+    /// Served through a circumvention transport.
+    pub served_circumvention: u64,
+    /// Requests that failed entirely.
+    pub failed: u64,
+    /// Fresh measurements performed (redundant-request rounds).
+    pub measurements: u64,
+    /// Probability-p direct-path revalidations.
+    pub revalidations: u64,
+    /// Reports posted to the global DB.
+    pub reports_posted: u64,
+    /// Blocked verdicts recorded locally.
+    pub blocked_recorded: u64,
+}
+
+/// What one user request produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// User-perceived PLT (None if nothing usable arrived).
+    pub plt: Option<SimDuration>,
+    /// Transport that served the content ("direct" for the direct path).
+    pub transport: String,
+    /// The URL's status in the local DB after this request.
+    pub status_after: Status,
+    /// Whether this request triggered a fresh measurement.
+    pub measured: bool,
+}
+
+/// A C-Saw client instance.
+pub struct CsawClient {
+    /// Configuration.
+    pub cfg: CsawConfig,
+    /// The local measurement database.
+    pub local_db: LocalDb,
+    /// Per-provider blocking observations (multihoming strategy input).
+    pub per_provider: PerProviderBlocking,
+    /// Multihoming detector.
+    pub multihoming: MultihomingManager,
+    /// Counters.
+    pub stats: ClientStats,
+    selector: Selector,
+    redundant: Box<dyn Transport + Send>,
+    detect_cfg: DetectConfig,
+    load: LoadModel,
+    rng: DetRng,
+    uuid: Option<Uuid>,
+    global_view: HashMap<String, Vec<BlockingType>>,
+    confidence: ConfidenceFilter,
+    last_sync: Option<SimTime>,
+    last_report: Option<SimTime>,
+    /// Reports queued for the next post, keyed on the *accessed* URL
+    /// (the deployment study counts accessed URLs, not aggregated
+    /// records — aggregation is a memory optimization, not a reporting
+    /// one).
+    report_queue: Vec<Report>,
+    reported: HashMap<(String, u32), Vec<BlockingType>>,
+}
+
+impl std::fmt::Debug for CsawClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsawClient")
+            .field("uuid", &self.uuid)
+            .field("stats", &self.stats)
+            .field("records", &self.local_db.record_count())
+            .finish()
+    }
+}
+
+impl CsawClient {
+    /// A client with the standard transport registry. `front` is the
+    /// domain-fronting front domain available in the deployment, if any.
+    pub fn new(cfg: CsawConfig, front: Option<&str>, seed: u64) -> CsawClient {
+        let rng = DetRng::new(seed);
+        let selector = Selector::standard(front, cfg.explore_every, cfg.plt_ewma_alpha, cfg.preference);
+        // Tor carries the redundant copy for unmeasured URLs (and the
+        // measurement reports) — except for anonymity-only users, where
+        // it is also the only serving transport.
+        let redundant: Box<dyn Transport + Send> =
+            Box::new(csaw_circumvent::tor::TorClient::new());
+        CsawClient {
+            local_db: LocalDb::new(cfg.record_ttl),
+            per_provider: PerProviderBlocking::new(),
+            multihoming: MultihomingManager::new(cfg.asn_probe_interval * 3),
+            stats: ClientStats::default(),
+            selector,
+            redundant,
+            detect_cfg: DetectConfig::default(),
+            load: LoadModel::default(),
+            rng,
+            uuid: None,
+            global_view: HashMap::new(),
+            confidence: ConfidenceFilter::default(),
+            last_sync: None,
+            last_report: None,
+            report_queue: Vec::new(),
+            reported: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Use a custom transport for the redundant copy (experiments swap in
+    /// Lantern here for Fig. 7c).
+    pub fn with_redundant_transport(mut self, t: Box<dyn Transport + Send>) -> CsawClient {
+        self.redundant = t;
+        self
+    }
+
+    /// Replace the whole transport registry (e.g. "C-Saw with Lantern"
+    /// vs. "C-Saw with Tor" in Fig. 7c).
+    pub fn with_transports(mut self, transports: Vec<Box<dyn Transport + Send>>) -> CsawClient {
+        self.selector = Selector::new(
+            transports,
+            self.cfg.explore_every,
+            self.cfg.plt_ewma_alpha,
+            self.cfg.preference,
+        );
+        self
+    }
+
+    /// Use a stricter confidence filter when consuming the global DB.
+    pub fn with_confidence(mut self, f: ConfidenceFilter) -> CsawClient {
+        self.confidence = f;
+        self
+    }
+
+    /// This client's UUID, if registered.
+    pub fn uuid(&self) -> Option<Uuid> {
+        self.uuid
+    }
+
+    /// Register with the server (initialization; the paper gates this
+    /// with "No CAPTCHA reCAPTCHA" — `risk_score` is that engine's
+    /// output) and download the blocked list for `asn`.
+    pub fn register(
+        &mut self,
+        server: &mut ServerDb,
+        asn: Asn,
+        now: SimTime,
+        risk_score: f64,
+    ) -> Result<Uuid, crate::global::RegistrationError> {
+        let uuid = server.register(now, risk_score)?;
+        self.uuid = Some(uuid);
+        self.sync_global(server, &[asn], now);
+        Ok(uuid)
+    }
+
+    /// Normalized global-view key for a URL: base, http scheme.
+    fn global_key(url: &Url) -> String {
+        url.base().with_scheme(Scheme::Http).to_string()
+    }
+
+    /// Blocking stages the global view reports for a URL, if any.
+    pub fn global_lookup(&self, url: &Url) -> Option<&Vec<BlockingType>> {
+        self.global_view.get(&Self::global_key(url))
+    }
+
+    /// Pull the per-AS blocked lists from the server.
+    pub fn sync_global(&mut self, server: &ServerDb, asns: &[Asn], now: SimTime) {
+        self.global_view.clear();
+        for asn in asns {
+            for rec in server.blocked_for_as(*asn, &self.confidence) {
+                if let Ok(u) = Url::parse(&rec.url) {
+                    let entry = self
+                        .global_view
+                        .entry(Self::global_key(&u))
+                        .or_default();
+                    for s in &rec.stages {
+                        if !entry.contains(s) {
+                            entry.push(*s);
+                        }
+                    }
+                }
+            }
+        }
+        self.last_sync = Some(now);
+    }
+
+    /// Handle one user request (Algorithm 1). GETs may be duplicated
+    /// across paths; see [`CsawClient::request_method`] for POSTs.
+    pub fn request(&mut self, world: &World, url: &Url, now: SimTime) -> RequestOutcome {
+        self.request_method(world, url, csaw_webproto::Method::Get, now)
+    }
+
+    /// Handle one user request with an explicit method. Non-idempotent
+    /// requests (POST) are **never duplicated** (§4.3.1's footnote: "To
+    /// avoid multiple writes, HTTP POST requests are not duplicated"):
+    /// an unmeasured URL is fetched on a single path with in-line
+    /// detection instead of the redundant-request round.
+    pub fn request_method(
+        &mut self,
+        world: &World,
+        url: &Url,
+        method: csaw_webproto::Method,
+        now: SimTime,
+    ) -> RequestOutcome {
+        if !method.safe_to_duplicate() {
+            return self.request_unduplicated(world, url, now);
+        }
+        self.request_inner(world, url, now)
+    }
+
+    /// Single-path handling for non-duplicable methods.
+    fn request_unduplicated(&mut self, world: &World, url: &Url, now: SimTime) -> RequestOutcome {
+        self.stats.requests += 1;
+        let provider = world.access.pick_provider(&mut self.rng).clone();
+        self.multihoming.probe(now, provider.asn);
+        let ctx = FetchCtx { now, provider };
+        let lookup = self.local_db.lookup(url, now);
+        if lookup.status == Status::Blocked {
+            // Known blocked: the write goes through circumvention — one
+            // path, no duplication.
+            let stages = lookup.record.map(|r| r.stages).unwrap_or_default();
+            return self.serve_blocked(world, &ctx, url, stages, now, false);
+        }
+        // Unknown or reachable: single direct attempt with in-line
+        // detection, but no redundant copy (the copy is what §4.3.1
+        // forbids for writes).
+        let m = measure_direct(world, &ctx.provider, url, None, &self.detect_cfg, &mut self.rng);
+        match m.status {
+            MeasuredStatus::NotBlocked => {
+                self.local_db.record_measurement(
+                    url,
+                    ctx.provider.asn,
+                    now,
+                    Status::NotBlocked,
+                    vec![],
+                );
+                self.stats.served_direct += 1;
+                RequestOutcome {
+                    plt: Some(m.elapsed),
+                    transport: "direct".into(),
+                    status_after: Status::NotBlocked,
+                    measured: lookup.status == Status::NotMeasured,
+                }
+            }
+            MeasuredStatus::Blocked => {
+                self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
+                let fetched =
+                    self.selector
+                        .fetch_blocked(world, &ctx, url, &m.stages, &mut self.rng);
+                let (report, name) = (fetched.report, fetched.transport);
+                let plt = report
+                    .outcome
+                    .is_genuine_page()
+                    .then(|| m.detection_time + report.elapsed);
+                if plt.is_some() {
+                    self.stats.served_circumvention += 1;
+                } else {
+                    self.stats.failed += 1;
+                }
+                RequestOutcome {
+                    plt,
+                    transport: name,
+                    status_after: Status::Blocked,
+                    measured: true,
+                }
+            }
+            MeasuredStatus::Inconclusive => {
+                self.stats.failed += 1;
+                RequestOutcome {
+                    plt: None,
+                    transport: "direct".into(),
+                    status_after: lookup.status,
+                    measured: false,
+                }
+            }
+        }
+    }
+
+    fn request_inner(&mut self, world: &World, url: &Url, now: SimTime) -> RequestOutcome {
+        self.stats.requests += 1;
+        let provider = world.access.pick_provider(&mut self.rng).clone();
+        self.multihoming.probe(now, provider.asn);
+        let ctx = FetchCtx {
+            now,
+            provider,
+        };
+        let lookup = self.local_db.lookup(url, now);
+        match lookup.status {
+            Status::NotMeasured => {
+                // Consult the local copy of the global DB first.
+                if let Some(stages) = self.global_lookup(url).cloned() {
+                    return self.serve_blocked(world, &ctx, url, stages, now, true);
+                }
+                self.measure_and_serve(world, &ctx, url, now)
+            }
+            Status::Blocked => {
+                let key = url.base().to_string();
+                let stages = if self.multihoming.multihomed {
+                    let union = self.per_provider.strict_union(&key);
+                    if union.is_empty() {
+                        lookup.record.map(|r| r.stages).unwrap_or_default()
+                    } else {
+                        union
+                    }
+                } else {
+                    lookup.record.map(|r| r.stages).unwrap_or_default()
+                };
+                self.serve_blocked(world, &ctx, url, stages, now, false)
+            }
+            Status::NotBlocked => {
+                // Direct path with in-line detection (Scenario B safety
+                // net: "the proxy always measures the direct path").
+                let m = measure_direct(world, &ctx.provider, url, None, &self.detect_cfg, &mut self.rng);
+                match m.status {
+                    MeasuredStatus::NotBlocked => {
+                        self.local_db.record_measurement(
+                            url,
+                            ctx.provider.asn,
+                            now,
+                            Status::NotBlocked,
+                            vec![],
+                        );
+                        self.stats.served_direct += 1;
+                        RequestOutcome {
+                            plt: Some(m.elapsed),
+                            transport: "direct".into(),
+                            status_after: Status::NotBlocked,
+                            measured: false,
+                        }
+                    }
+                    MeasuredStatus::Blocked => {
+                        // Fresh censorship discovered mid-browsing.
+                        self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
+                        let fetched =
+                            self.selector
+                                .fetch_blocked(world, &ctx, url, &m.stages, &mut self.rng);
+                        let (report, name) = (fetched.report, fetched.transport);
+                        let plt = report
+                            .outcome
+                            .is_genuine_page()
+                            .then(|| m.detection_time + report.elapsed);
+                        if plt.is_some() {
+                            self.stats.served_circumvention += 1;
+                        } else {
+                            self.stats.failed += 1;
+                        }
+                        RequestOutcome {
+                            plt,
+                            transport: name,
+                            status_after: Status::Blocked,
+                            measured: true,
+                        }
+                    }
+                    MeasuredStatus::Inconclusive => {
+                        self.stats.failed += 1;
+                        RequestOutcome {
+                            plt: None,
+                            transport: "direct".into(),
+                            status_after: Status::NotBlocked,
+                            measured: false,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serve a URL known (locally or globally) to be blocked.
+    fn serve_blocked(
+        &mut self,
+        world: &World,
+        ctx: &FetchCtx,
+        url: &Url,
+        stages: Vec<BlockingType>,
+        now: SimTime,
+        from_global: bool,
+    ) -> RequestOutcome {
+        let fetched = self
+            .selector
+            .fetch_blocked(world, ctx, url, &stages, &mut self.rng);
+        let (report, name, transport_kind) = (fetched.report, fetched.transport, fetched.kind);
+        // Failed local fixes evidenced additional blocking stages
+        // (multi-stage discovery): fold them into what we record and
+        // report, so the next visit — here or at any synced peer —
+        // skips the dead ends.
+        let mut stages = stages;
+        for bt in fetched.observed_stages {
+            if !stages.contains(&bt) {
+                stages.push(bt);
+            }
+        }
+        let genuine = report.outcome.is_genuine_page();
+        let mut plt = genuine.then_some(report.elapsed);
+
+        // Probability-p direct-path revalidation. Local fixes already
+        // exercise the direct path ("measured by default without
+        // generating any extra traffic" — §7.1); relays need a probe,
+        // which costs client load and can bump the PLT (Table 6).
+        let mut measured = false;
+        if transport_kind == TransportKind::Relay && self.rng.chance(self.cfg.revalidate_p) {
+            measured = true;
+            self.stats.revalidations += 1;
+            let circ_bytes = report.outcome.page().map(|p| p.bytes);
+            let m = measure_direct(world, &ctx.provider, url, circ_bytes, &self.detect_cfg, &mut self.rng);
+            // The concurrent probe taxes the user fetch.
+            if let Some(p) = plt {
+                plt = Some(self.load.inflate(p, 2, &mut self.rng));
+            }
+            match m.status {
+                MeasuredStatus::Blocked => {
+                    self.record_blocked(url, ctx.provider.asn, now, m.stages);
+                }
+                MeasuredStatus::NotBlocked => {
+                    // Whitelisted (or the global report was false): flip.
+                    self.local_db.record_measurement(
+                        url,
+                        ctx.provider.asn,
+                        now,
+                        Status::NotBlocked,
+                        vec![],
+                    );
+                }
+                MeasuredStatus::Inconclusive => {}
+            }
+        } else if !from_global {
+            // Keep the local record fresh on the served mechanisms.
+            self.record_blocked(url, ctx.provider.asn, now, stages.clone());
+        } else {
+            // First sight of a global-DB entry through this client: seed
+            // the local DB so subsequent lookups hit locally.
+            self.record_blocked(url, ctx.provider.asn, now, stages.clone());
+        }
+
+        if genuine {
+            self.stats.served_circumvention += 1;
+        } else {
+            self.stats.failed += 1;
+        }
+        RequestOutcome {
+            plt,
+            transport: name,
+            status_after: self.local_db.lookup(url, now).status,
+            measured,
+        }
+    }
+
+    /// First-contact measurement with redundant requests (Algorithm 1
+    /// lines 3–5).
+    fn measure_and_serve(
+        &mut self,
+        world: &World,
+        ctx: &FetchCtx,
+        url: &Url,
+        now: SimTime,
+    ) -> RequestOutcome {
+        self.stats.measurements += 1;
+        let out = fetch_with_redundancy(
+            world,
+            ctx,
+            url,
+            self.cfg.redundancy,
+            self.redundant.as_mut(),
+            &self.detect_cfg,
+            &self.load,
+            &mut self.rng,
+        );
+        let status_after = match out.measurement.status {
+            MeasuredStatus::Blocked => {
+                self.record_blocked(url, ctx.provider.asn, now, out.measurement.stages.clone());
+                Status::Blocked
+            }
+            MeasuredStatus::NotBlocked => {
+                self.local_db.record_measurement(
+                    url,
+                    ctx.provider.asn,
+                    now,
+                    Status::NotBlocked,
+                    vec![],
+                );
+                Status::NotBlocked
+            }
+            MeasuredStatus::Inconclusive => Status::NotMeasured,
+        };
+        let transport = match out.served_from {
+            ServedFrom::Direct => "direct".to_string(),
+            ServedFrom::Circumvention | ServedFrom::CircumventionAfterRefresh => {
+                self.redundant.name().to_string()
+            }
+            ServedFrom::Nothing => "none".to_string(),
+        };
+        match out.served_from {
+            ServedFrom::Direct => self.stats.served_direct += 1,
+            ServedFrom::Circumvention | ServedFrom::CircumventionAfterRefresh => {
+                self.stats.served_circumvention += 1
+            }
+            ServedFrom::Nothing => self.stats.failed += 1,
+        }
+        RequestOutcome {
+            plt: out.user_plt,
+            transport,
+            status_after,
+            measured: true,
+        }
+    }
+
+    fn record_blocked(&mut self, url: &Url, asn: Asn, now: SimTime, stages: Vec<BlockingType>) {
+        if stages.is_empty() {
+            return;
+        }
+        self.per_provider
+            .record(&url.base().to_string(), asn, &stages);
+        // Queue a report for the accessed URL (re-queued whenever the
+        // observed mechanism set changes — multi-stage discovery flows
+        // to the crowd).
+        let mut sorted = stages.clone();
+        sorted.sort();
+        sorted.dedup();
+        let key = (url.to_string(), asn.0);
+        if self.reported.get(&key) != Some(&sorted) {
+            self.reported.insert(key, sorted.clone());
+            self.report_queue.push(Report {
+                url: url.to_string(),
+                asn: asn.0,
+                measured_at_us: now.as_micros(),
+                stages: sorted,
+            });
+        }
+        self.local_db
+            .record_measurement(url, asn, now, Status::Blocked, stages);
+        self.stats.blocked_recorded += 1;
+    }
+
+    /// Periodic background work: global sync, report posting, expiry.
+    /// Call on whatever cadence the host loop uses; internal intervals
+    /// gate the actual work.
+    pub fn tick(&mut self, world: &World, server: &mut ServerDb, now: SimTime) {
+        let due = |last: Option<SimTime>, every: SimDuration| match last {
+            None => true,
+            Some(t) => now.duration_since(t) >= every,
+        };
+        if due(self.last_sync, self.cfg.sync_interval) {
+            let asns: Vec<Asn> = world.access.providers().iter().map(|p| p.asn).collect();
+            self.sync_global(server, &asns, now);
+        }
+        if due(self.last_report, self.cfg.report_interval) {
+            self.post_reports(server, now);
+            self.last_report = Some(now);
+        }
+        self.local_db.purge_expired(now);
+    }
+
+    /// Push pending blocked-URL reports to the server (carried over Tor
+    /// in the paper; content is identical either way — no PII on the
+    /// wire by construction).
+    pub fn post_reports(&mut self, server: &mut ServerDb, now: SimTime) -> usize {
+        let Some(uuid) = self.uuid else { return 0 };
+        if self.report_queue.is_empty() {
+            return 0;
+        }
+        // Wire round trip: encode, (Tor carries it), server decodes.
+        let wire = Report::encode_batch(&self.report_queue);
+        match server.post_update_wire(uuid, &wire, now) {
+            Ok(n) => {
+                for r in self.report_queue.drain(..) {
+                    if let Ok(u) = Url::parse(&r.url) {
+                        self.local_db.mark_posted(&u);
+                    }
+                }
+                self.stats.reports_posted += n as u64;
+                n
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Post pending reports through the distributed collector tier (§5's
+    /// OONI-style hidden-service collectors) instead of a direct server
+    /// connection. On total collector blockage the batch stays queued for
+    /// the next attempt.
+    pub fn post_reports_via(
+        &mut self,
+        collectors: &crate::global::CollectorSet,
+        server: &mut ServerDb,
+        now: SimTime,
+    ) -> Result<crate::global::SubmitReceipt, crate::global::SubmitError> {
+        let Some(uuid) = self.uuid else {
+            return Err(crate::global::SubmitError::Rejected(
+                crate::global::PostError::UnknownClient,
+            ));
+        };
+        if self.report_queue.is_empty() {
+            return Ok(crate::global::SubmitReceipt {
+                via: "-".into(),
+                accepted: 0,
+                elapsed: SimDuration::ZERO,
+            });
+        }
+        let receipt = collectors.submit(server, uuid, &self.report_queue, now, &mut self.rng)?;
+        for r in self.report_queue.drain(..) {
+            if let Ok(u) = Url::parse(&r.url) {
+                self.local_db.mark_posted(&u);
+            }
+        }
+        self.stats.reports_posted += receipt.accepted as u64;
+        Ok(receipt)
+    }
+
+    /// Anonymity-preferring clients must never leak through non-anonymous
+    /// transports — surfaced for tests/audits.
+    pub fn preference(&self) -> UserPreference {
+        self.cfg.preference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::profiles;
+    use csaw_circumvent::world::SiteSpec;
+    use csaw_simnet::topology::{AccessNetwork, Provider, Region, Site};
+
+    fn build_world(policy: csaw_censor::CensorPolicy, asn: Asn) -> World {
+        let provider = Provider::new(asn, "isp");
+        let access = AccessNetwork::single(provider);
+        World::builder(access)
+            .site(
+                SiteSpec::new("www.youtube.com", Site::at_vantage_rtt(Region::UsEast, 186))
+                    .category(csaw_censor::Category::Video)
+                    .frontable(true)
+                    .serves_by_ip(true)
+                    .default_page(360_000, 20),
+            )
+            .site(SiteSpec::new(
+                "cdn-front.example",
+                Site::in_region(Region::Singapore),
+            ))
+            .site(SiteSpec::new("news.example", Site::in_region(Region::UsEast)).default_page(95_000, 6))
+            .censor(asn, policy)
+            .build()
+    }
+
+    fn client(seed: u64) -> CsawClient {
+        CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), seed)
+    }
+
+    #[test]
+    fn unblocked_urls_served_direct_and_recorded() {
+        let w = build_world(profiles::clean(), Asn(1));
+        let mut c = client(1);
+        let url = Url::parse("http://news.example/").unwrap();
+        let r1 = c.request(&w, &url, SimTime::from_secs(1));
+        assert!(r1.measured, "first contact measures");
+        assert_eq!(r1.status_after, Status::NotBlocked);
+        assert!(r1.plt.is_some());
+        // Second request: straight direct path, no fresh measurement round.
+        let r2 = c.request(&w, &url, SimTime::from_secs(2));
+        assert!(!r2.measured);
+        assert_eq!(r2.transport, "direct");
+        assert_eq!(c.stats.measurements, 1);
+    }
+
+    #[test]
+    fn blocked_url_measured_then_local_fixed() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let mut c = client(2);
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        let r1 = c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(r1.status_after, Status::Blocked);
+        assert!(r1.plt.is_some(), "redundant copy served the user");
+        // Subsequent requests ride the HTTPS local fix and get fast PLTs.
+        let r2 = c.request(&w, &url, SimTime::from_secs(10));
+        assert_eq!(r2.transport, "https");
+        assert!(r2.plt.unwrap() < r1.plt.unwrap(), "{:?} vs {:?}", r2.plt, r1.plt);
+        assert!(c.stats.blocked_recorded >= 1);
+    }
+
+    #[test]
+    fn global_db_roundtrip_seeds_other_clients() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let mut server = ServerDb::new(99);
+        // Client 1 discovers the blocking and reports it.
+        let mut c1 = client(3);
+        c1.register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c1.request(&w, &url, SimTime::from_secs(1));
+        let posted = c1.post_reports(&mut server, SimTime::from_secs(2));
+        assert!(posted >= 1, "posted {posted}");
+        // Client 2 syncs and skips the expensive first-measurement round.
+        let mut c2 = client(4);
+        c2.register(&mut server, profiles::ISP_A_ASN, SimTime::from_secs(3), 0.0)
+            .unwrap();
+        assert!(c2.global_lookup(&url).is_some(), "global view has the URL");
+        let r = c2.request(&w, &url, SimTime::from_secs(4));
+        assert_eq!(r.transport, "https", "straight to the local fix");
+        assert_eq!(c2.stats.measurements, 0, "no redundant round needed");
+        assert!(r.plt.is_some());
+    }
+
+    #[test]
+    fn scenario_b_fresh_censorship_caught_inline() {
+        let mut w = build_world(profiles::clean(), Asn(42));
+        let mut c = client(5);
+        let url = Url::parse("http://news.example/").unwrap();
+        let r = c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(r.status_after, Status::NotBlocked);
+        // The censor switches on mid-run (the §7.5 situation).
+        w.install_censor(
+            Asn(42),
+            profiles::single_mechanism(
+                "event",
+                "news.example",
+                csaw_censor::DnsTamper::None,
+                csaw_censor::IpAction::None,
+                csaw_censor::HttpAction::BlockPageInline,
+                csaw_censor::TlsAction::None,
+            ),
+        );
+        let r = c.request(&w, &url, SimTime::from_secs(10));
+        assert_eq!(r.status_after, Status::Blocked, "in-line detection caught it");
+        assert!(r.plt.is_some(), "user still served via circumvention");
+        assert_ne!(r.transport, "direct");
+    }
+
+    #[test]
+    fn anonymity_preference_only_uses_tor() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let cfg = CsawConfig::default().with_preference(UserPreference::Anonymity);
+        let mut c = CsawClient::new(cfg, Some("cdn-front.example"), 6);
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        for t in 2..8 {
+            let r = c.request(&w, &url, SimTime::from_secs(t));
+            assert_eq!(r.transport, "tor", "anonymous transport only");
+        }
+    }
+
+    #[test]
+    fn revalidation_discovers_whitelisting() {
+        // Start blocked (IP drop -> relay needed so revalidation fires),
+        // then unblock; with p=1 revalidation flips the record quickly.
+        let mut w = build_world(
+            profiles::single_mechanism(
+                "ipblock",
+                "www.youtube.com",
+                csaw_censor::DnsTamper::None,
+                csaw_censor::IpAction::Drop,
+                csaw_censor::HttpAction::None,
+                csaw_censor::TlsAction::None,
+            ),
+            Asn(9),
+        );
+        let cfg = CsawConfig::default().with_revalidate_p(1.0);
+        // No fronting available => relays carry the blocked URL.
+        let mut c = CsawClient::new(cfg, None, 7);
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        let r = c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(r.status_after, Status::Blocked);
+        // Unblock and request again: the p=1 probe sees the clean path.
+        w.remove_censor(Asn(9));
+        let r = c.request(&w, &url, SimTime::from_secs(100));
+        assert_eq!(r.status_after, Status::NotBlocked, "revalidation flipped it");
+        assert!(c.stats.revalidations >= 1);
+        // Next request goes direct.
+        let r = c.request(&w, &url, SimTime::from_secs(200));
+        assert_eq!(r.transport, "direct");
+    }
+
+    #[test]
+    fn expiry_retriggers_measurement() {
+        let w = build_world(profiles::clean(), Asn(1));
+        let cfg = CsawConfig::default().with_record_ttl(SimDuration::from_secs(100));
+        let mut c = CsawClient::new(cfg, None, 8);
+        let url = Url::parse("http://news.example/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(c.stats.measurements, 1);
+        c.request(&w, &url, SimTime::from_secs(50));
+        assert_eq!(c.stats.measurements, 1, "fresh record, no remeasure");
+        c.request(&w, &url, SimTime::from_secs(200));
+        assert_eq!(c.stats.measurements, 2, "expired record remeasured");
+    }
+
+    #[test]
+    fn posts_are_never_duplicated() {
+        let w = build_world(profiles::clean(), Asn(1));
+        let mut c = client(31);
+        let url = Url::parse("http://news.example/submit").unwrap();
+        // A POST to an unmeasured URL: served directly, no redundant
+        // round (stats.measurements stays zero).
+        let r = c.request_method(&w, &url, csaw_webproto::Method::Post, SimTime::from_secs(1));
+        assert_eq!(r.transport, "direct");
+        assert!(r.plt.is_some());
+        assert_eq!(c.stats.measurements, 0, "no redundant copy for writes");
+        // A POST to a known-blocked URL still goes through circumvention
+        // (one path).
+        let w2 = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let mut c2 = client(32);
+        let yt = Url::parse("http://www.youtube.com/comment").unwrap();
+        c2.request(&w2, &yt, SimTime::from_secs(1)); // GET measures
+        let r = c2.request_method(&w2, &yt, csaw_webproto::Method::Post, SimTime::from_secs(10));
+        assert_ne!(r.transport, "direct");
+        assert!(r.plt.is_some());
+    }
+
+    #[test]
+    fn tick_syncs_and_reports() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let mut server = ServerDb::new(11);
+        let mut c = client(9);
+        c.register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        assert!(server.stats().unique_blocked_urls == 0);
+        c.tick(&w, &mut server, SimTime::from_secs(1_000));
+        assert!(server.stats().unique_blocked_urls >= 1, "tick posted reports");
+        assert!(c.stats.reports_posted >= 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Client configuration (§4.4 "Modular design with user customization").
+
+use csaw_simnet::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What the user optimizes for. If a user prefers performance, the proxy
+/// always picks local fixes when available; if anonymity, only
+/// anonymity-providing transports (e.g. Tor) are ever used (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserPreference {
+    /// Smallest PLT wins; anonymity not required.
+    Performance,
+    /// Only anonymous transports may carry user traffic.
+    Anonymity,
+}
+
+/// How redundant requests are issued for unmeasured URLs (§7.1 evaluates
+/// all three shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundancyMode {
+    /// Direct first; only after blocking is detected, go to circumvention
+    /// (the paper's "serial" baseline).
+    Serial,
+    /// Both copies at once; first usable response wins ("parallel").
+    Parallel,
+    /// Direct at once; the redundant copy only if no direct response
+    /// within the delay ("2 copies (with delay)").
+    Staggered(SimDuration),
+}
+
+/// C-Saw client configuration. Defaults follow the paper's
+/// recommendations (p ≤ 0.25, n = 5 exploration, parallel redundancy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsawConfig {
+    /// Probability of re-measuring the direct path for a URL that the
+    /// global DB reports blocked (§4.3.1 "Low overhead vs. resilience to
+    /// false reports"; Table 6 sweeps this).
+    pub revalidate_p: f64,
+    /// Local record lifetime; expiry flips status to not-measured
+    /// (churn Scenario A, §4.4).
+    pub record_ttl: SimDuration,
+    /// Every n-th access to a blocked URL uses a randomly chosen
+    /// transport instead of the incumbent (§4.3.2).
+    pub explore_every: u32,
+    /// Redundancy shape for unmeasured URLs.
+    pub redundancy: RedundancyMode,
+    /// Performance vs. anonymity.
+    pub preference: UserPreference,
+    /// How often the client pulls the per-AS blocked list from the
+    /// global DB.
+    pub sync_interval: SimDuration,
+    /// How often the client pushes its pending reports.
+    pub report_interval: SimDuration,
+    /// How often the client probes its egress ASN (multihoming
+    /// detection, §4.4).
+    pub asn_probe_interval: SimDuration,
+    /// EWMA weight for per-(transport, URL) PLT tracking.
+    pub plt_ewma_alpha: f64,
+}
+
+impl Default for CsawConfig {
+    fn default() -> Self {
+        CsawConfig {
+            revalidate_p: 0.25,
+            record_ttl: SimDuration::from_secs(24 * 3600),
+            explore_every: 5,
+            redundancy: RedundancyMode::Parallel,
+            preference: UserPreference::Performance,
+            sync_interval: SimDuration::from_secs(15 * 60),
+            report_interval: SimDuration::from_secs(5 * 60),
+            asn_probe_interval: SimDuration::from_secs(60),
+            plt_ewma_alpha: 0.3,
+        }
+    }
+}
+
+impl CsawConfig {
+    /// Builder: revalidation probability (clamped to `[0, 1]`).
+    pub fn with_revalidate_p(mut self, p: f64) -> Self {
+        self.revalidate_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: redundancy mode.
+    pub fn with_redundancy(mut self, mode: RedundancyMode) -> Self {
+        self.redundancy = mode;
+        self
+    }
+
+    /// Builder: user preference.
+    pub fn with_preference(mut self, pref: UserPreference) -> Self {
+        self.preference = pref;
+        self
+    }
+
+    /// Builder: record TTL.
+    pub fn with_record_ttl(mut self, ttl: SimDuration) -> Self {
+        self.record_ttl = ttl;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let c = CsawConfig::default();
+        assert!(c.revalidate_p <= 0.25);
+        assert_eq!(c.explore_every, 5);
+        assert_eq!(c.redundancy, RedundancyMode::Parallel);
+        assert_eq!(c.preference, UserPreference::Performance);
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let c = CsawConfig::default().with_revalidate_p(7.0);
+        assert_eq!(c.revalidate_p, 1.0);
+        let c = c.with_revalidate_p(-1.0);
+        assert_eq!(c.revalidate_p, 0.0);
+    }
+}

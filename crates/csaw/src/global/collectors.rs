@@ -1,0 +1,237 @@
+//! Distributed report collection (§5 "Blocking access to the global_DB").
+//!
+//! A global DB behind one well-known name is a single choke point: a
+//! censor that blocks it (or that hosts the Tor exit carrying the report)
+//! silences all measurement. The paper's answer, borrowed from OONI's
+//! collector design, is a *set* of collectors, each exposed as a Tor
+//! hidden service, any of which can relay a report to the global DB.
+//!
+//! This module models that collection tier: a [`CollectorSet`] with
+//! per-collector reachability that censors can flip, and a submission
+//! routine that fails over deterministically and reports which collector
+//! carried the batch.
+
+use crate::global::record::{Report, Uuid};
+use crate::global::server::{PostError, ServerDb};
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One collector endpoint (a Tor hidden service in the paper's design).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Collector {
+    /// Onion-style identifier.
+    pub id: String,
+    /// Can clients currently reach it?
+    pub reachable: bool,
+    /// Submission latency through this collector.
+    pub latency: SimDuration,
+}
+
+/// Submission failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Every collector was unreachable.
+    AllCollectorsBlocked,
+    /// The server rejected the batch.
+    Rejected(PostError),
+}
+
+/// Outcome of a successful submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReceipt {
+    /// Which collector carried the batch.
+    pub via: String,
+    /// Reports accepted by the server.
+    pub accepted: usize,
+    /// Time spent, including failed attempts against blocked collectors.
+    pub elapsed: SimDuration,
+}
+
+/// The collection tier.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorSet {
+    collectors: Vec<Collector>,
+}
+
+impl CollectorSet {
+    /// An OONI-style default: three hidden-service collectors.
+    pub fn default_set() -> CollectorSet {
+        CollectorSet {
+            collectors: vec![
+                Collector {
+                    id: "collector-a.onion".into(),
+                    reachable: true,
+                    latency: SimDuration::from_millis(1_800),
+                },
+                Collector {
+                    id: "collector-b.onion".into(),
+                    reachable: true,
+                    latency: SimDuration::from_millis(2_400),
+                },
+                Collector {
+                    id: "collector-c.onion".into(),
+                    reachable: true,
+                    latency: SimDuration::from_millis(3_100),
+                },
+            ],
+        }
+    }
+
+    /// Build from explicit collectors.
+    pub fn new(collectors: Vec<Collector>) -> CollectorSet {
+        CollectorSet { collectors }
+    }
+
+    /// Flip a collector's reachability (a censor blocking or unblocking
+    /// it).
+    pub fn set_reachable(&mut self, id: &str, reachable: bool) {
+        if let Some(c) = self.collectors.iter_mut().find(|c| c.id == id) {
+            c.reachable = reachable;
+        }
+    }
+
+    /// How many collectors are currently reachable?
+    pub fn reachable_count(&self) -> usize {
+        self.collectors.iter().filter(|c| c.reachable).count()
+    }
+
+    /// Submit a batch: collectors are tried in a random order (clients
+    /// spreading load, and not all hammering the same first entry), with
+    /// failover past blocked ones. A blocked attempt costs a timeout
+    /// before the client moves on.
+    pub fn submit(
+        &self,
+        server: &mut ServerDb,
+        client: Uuid,
+        reports: &[Report],
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> Result<SubmitReceipt, SubmitError> {
+        let mut order: Vec<usize> = (0..self.collectors.len()).collect();
+        rng.shuffle(&mut order);
+        let mut elapsed = SimDuration::ZERO;
+        for idx in order {
+            let c = &self.collectors[idx];
+            if !c.reachable {
+                // Hidden-service connection attempt that never completes.
+                elapsed += SimDuration::from_secs(10);
+                continue;
+            }
+            elapsed += c.latency;
+            let wire = Report::encode_batch(reports);
+            return match server.post_update_wire(client, &wire, now + elapsed) {
+                Ok(n) => Ok(SubmitReceipt {
+                    via: c.id.clone(),
+                    accepted: n,
+                    elapsed,
+                }),
+                Err(e) => Err(SubmitError::Rejected(e)),
+            };
+        }
+        Err(SubmitError::AllCollectorsBlocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::BlockingType;
+
+    fn report(url: &str) -> Report {
+        Report {
+            url: url.into(),
+            asn: 17557,
+            measured_at_us: 1,
+            stages: vec![BlockingType::HttpDrop],
+        }
+    }
+
+    fn setup() -> (ServerDb, Uuid) {
+        let mut s = ServerDb::new(3);
+        let c = s.register(SimTime::from_secs(1), 0.0).unwrap();
+        (s, c)
+    }
+
+    #[test]
+    fn submits_through_any_reachable_collector() {
+        let (mut server, client) = setup();
+        let set = CollectorSet::default_set();
+        let mut rng = DetRng::new(1);
+        let r = set
+            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .unwrap();
+        assert_eq!(r.accepted, 1);
+        assert!(r.via.ends_with(".onion"));
+        assert_eq!(server.stats().unique_blocked_urls, 1);
+    }
+
+    #[test]
+    fn fails_over_past_blocked_collectors() {
+        let (mut server, client) = setup();
+        let mut set = CollectorSet::default_set();
+        set.set_reachable("collector-a.onion", false);
+        set.set_reachable("collector-b.onion", false);
+        assert_eq!(set.reachable_count(), 1);
+        let mut rng = DetRng::new(2);
+        let r = set
+            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .unwrap();
+        assert_eq!(r.via, "collector-c.onion");
+        // Failed attempts cost time before the success.
+        assert!(r.elapsed >= SimDuration::from_secs(3), "{:?}", r.elapsed);
+    }
+
+    #[test]
+    fn all_blocked_is_reported_not_lost() {
+        let (mut server, client) = setup();
+        let mut set = CollectorSet::default_set();
+        for id in ["collector-a.onion", "collector-b.onion", "collector-c.onion"] {
+            set.set_reachable(id, false);
+        }
+        let mut rng = DetRng::new(3);
+        let err = set
+            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::AllCollectorsBlocked);
+        assert_eq!(server.stats().unique_blocked_urls, 0);
+    }
+
+    #[test]
+    fn server_rejections_propagate() {
+        let (mut server, _) = setup();
+        let set = CollectorSet::default_set();
+        let mut rng = DetRng::new(4);
+        let err = set
+            .submit(
+                &mut server,
+                Uuid::from_raw(0xdead),
+                &[report("http://x.example/")],
+                SimTime::from_secs(5),
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Rejected(PostError::UnknownClient));
+    }
+
+    #[test]
+    fn load_spreads_across_collectors() {
+        let (mut server, client) = setup();
+        let set = CollectorSet::default_set();
+        let mut rng = DetRng::new(5);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..30 {
+            let r = set
+                .submit(
+                    &mut server,
+                    client,
+                    &[report(&format!("http://x{i}.example/"))],
+                    SimTime::from_secs(10 + i),
+                    &mut rng,
+                )
+                .unwrap();
+            used.insert(r.via);
+        }
+        assert_eq!(used.len(), 3, "all collectors should carry some load");
+    }
+}

@@ -1,0 +1,13 @@
+//! The global database and measurement server (§4.2, §5).
+
+pub mod collectors;
+pub mod record;
+pub mod reputation;
+pub mod server;
+pub mod voting;
+
+pub use collectors::{Collector, CollectorSet, SubmitError, SubmitReceipt};
+pub use record::{GlobalRecord, Report, Uuid};
+pub use reputation::{audit, Flag, ReputationConfig};
+pub use server::{DeploymentStats, PostError, RegistrarConfig, RegistrationError, ServerDb};
+pub use voting::{ConfidenceFilter, Tally, VoteLedger};

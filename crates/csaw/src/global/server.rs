@@ -1,0 +1,468 @@
+//! The server_DB: registration, update ingestion, per-AS downloads,
+//! voting, and deployment-study analytics (§4.2, §5, Table 7).
+
+use crate::global::record::{GlobalRecord, Report, Uuid};
+use crate::global::voting::{ConfidenceFilter, Tally, VoteLedger};
+use csaw_censor::blocking::{BlockingType, Stage};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_webproto::url::Url;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Registration failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistrationError {
+    /// The risk-analysis engine flagged the attempt ("No CAPTCHA
+    /// reCAPTCHA"'s adaptive gate, §5).
+    RiskRejected,
+    /// Too many registrations in the current window (automated
+    /// fake-identity farming).
+    RateLimited,
+}
+
+/// Update-posting failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// Unknown or revoked UUID.
+    UnknownClient,
+    /// The batch could not be parsed.
+    Malformed,
+}
+
+/// Registration gate configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RegistrarConfig {
+    /// Risk scores above this are rejected (0 = reject everyone,
+    /// 1 = accept everyone).
+    pub max_risk: f64,
+    /// Maximum registrations per window.
+    pub max_per_window: usize,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl Default for RegistrarConfig {
+    fn default() -> Self {
+        RegistrarConfig {
+            max_risk: 0.7,
+            max_per_window: 20,
+            window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// The global measurement server (server_DB + global_DB).
+#[derive(Debug, Clone)]
+pub struct ServerDb {
+    salt: u64,
+    uuid_counter: u64,
+    clients: HashSet<Uuid>,
+    records: HashMap<(String, Asn), GlobalRecord>,
+    ledger: VoteLedger,
+    registrar: RegistrarConfig,
+    window_start: SimTime,
+    window_count: usize,
+    /// Total updates accepted (Table 7's "No. of unique updates").
+    pub updates_accepted: u64,
+}
+
+impl ServerDb {
+    /// A server with the given salt (determinism) and default gate.
+    pub fn new(salt: u64) -> ServerDb {
+        ServerDb {
+            salt,
+            uuid_counter: 0,
+            clients: HashSet::new(),
+            records: HashMap::new(),
+            ledger: VoteLedger::new(),
+            registrar: RegistrarConfig::default(),
+            window_start: SimTime::ZERO,
+            window_count: 0,
+            updates_accepted: 0,
+        }
+    }
+
+    /// Override the registration gate.
+    pub fn with_registrar(mut self, cfg: RegistrarConfig) -> ServerDb {
+        self.registrar = cfg;
+        self
+    }
+
+    /// Register a new client. `risk_score` comes from the CAPTCHA/risk
+    /// engine (0 = certainly human, 1 = certainly bot).
+    pub fn register(&mut self, now: SimTime, risk_score: f64) -> Result<Uuid, RegistrationError> {
+        if now.duration_since(self.window_start) >= self.registrar.window {
+            self.window_start = now;
+            self.window_count = 0;
+        }
+        if risk_score > self.registrar.max_risk {
+            return Err(RegistrationError::RiskRejected);
+        }
+        if self.window_count >= self.registrar.max_per_window {
+            return Err(RegistrationError::RateLimited);
+        }
+        self.window_count += 1;
+        self.uuid_counter += 1;
+        let uuid = Uuid::derive(now, self.uuid_counter, self.salt);
+        self.clients.insert(uuid);
+        Ok(uuid)
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Ingest a JSON batch from the wire.
+    pub fn post_update_wire(
+        &mut self,
+        client: Uuid,
+        wire: &str,
+        now: SimTime,
+    ) -> Result<usize, PostError> {
+        let reports = Report::decode_batch(wire).map_err(|_| PostError::Malformed)?;
+        self.post_update(client, &reports, now)
+    }
+
+    /// Ingest parsed reports: store/update global records and re-spread
+    /// the client's votes. Only blocked URLs travel in reports by
+    /// protocol construction.
+    pub fn post_update(
+        &mut self,
+        client: Uuid,
+        reports: &[Report],
+        now: SimTime,
+    ) -> Result<usize, PostError> {
+        if !self.clients.contains(&client) {
+            return Err(PostError::UnknownClient);
+        }
+        let mut accepted = 0;
+        for r in reports {
+            // Sanitize: the URL must parse; garbage is dropped, not stored.
+            if Url::parse(&r.url).is_err() || r.stages.is_empty() {
+                continue;
+            }
+            let key = (r.url.clone(), Asn(r.asn));
+            self.records.insert(
+                key,
+                GlobalRecord {
+                    url: r.url.clone(),
+                    asn: Asn(r.asn),
+                    measured_at: SimTime::from_micros(r.measured_at_us),
+                    stages: r.stages.clone(),
+                    posted_at: now,
+                    reporter: client,
+                },
+            );
+            accepted += 1;
+        }
+        self.ledger.add_client_urls(
+            client,
+            reports
+                .iter()
+                .filter(|r| Url::parse(&r.url).is_ok() && !r.stages.is_empty())
+                .map(|r| (r.url.clone(), Asn(r.asn))),
+        );
+        self.updates_accepted += accepted as u64;
+        Ok(accepted as usize)
+    }
+
+    /// The blocked-URL list for an AS, filtered by vote confidence —
+    /// what clients download at initialization and on every sync.
+    pub fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+        let mut out: Vec<GlobalRecord> = self
+            .records
+            .values()
+            .filter(|r| r.asn == asn)
+            .filter(|r| filter.passes(&self.ledger.tally(&r.url, r.asn)))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.url.cmp(&b.url));
+        out
+    }
+
+    /// Vote tally for a (URL, AS) — exposed for analytics.
+    pub fn tally(&self, url: &str, asn: Asn) -> Tally {
+        self.ledger.tally(url, asn)
+    }
+
+    /// Evict a client and its votes (reputation enforcement, §5).
+    pub fn revoke(&mut self, client: Uuid) {
+        self.clients.remove(&client);
+        self.ledger.revoke(client);
+    }
+
+    /// Read access to the vote ledger (analytics, auditing).
+    pub fn ledger(&self) -> &VoteLedger {
+        &self.ledger
+    }
+
+    /// Run a behavioral reputation audit and revoke every flagged client
+    /// along with its records (§5's "revoke UUIDs of malicious users").
+    pub fn audit_and_revoke(
+        &mut self,
+        cfg: &crate::global::reputation::ReputationConfig,
+    ) -> Vec<crate::global::reputation::Flag> {
+        let flags = crate::global::reputation::audit(&self.ledger, cfg);
+        for f in &flags {
+            self.revoke(f.client);
+            self.records.retain(|_, r| r.reporter != f.client);
+        }
+        flags
+    }
+
+    /// Drop global records older than `max_age` (the global DB tracks
+    /// *current* censorship; §4.4 churn).
+    pub fn expire_records(&mut self, now: SimTime, max_age: SimDuration) -> usize {
+        let before = self.records.len();
+        self.records
+            .retain(|_, r| now.duration_since(r.posted_at) < max_age);
+        before - self.records.len()
+    }
+
+    /// Deployment-study analytics (Table 7).
+    pub fn stats(&self) -> DeploymentStats {
+        let mut domains = HashSet::new();
+        let mut ases = HashSet::new();
+        let mut types = HashSet::new();
+        let mut dns_urls = HashSet::new();
+        let mut tcp_urls = HashSet::new();
+        let mut blockpage_urls = HashSet::new();
+        let mut urls = HashSet::new();
+        for r in self.records.values() {
+            urls.insert(&r.url);
+            ases.insert(r.asn);
+            if let Ok(u) = Url::parse(&r.url) {
+                domains.insert(u.host().registrable_domain());
+            }
+            for s in &r.stages {
+                types.insert(*s);
+                match s {
+                    BlockingType::HttpBlockPageRedirect | BlockingType::HttpBlockPageInline => {
+                        blockpage_urls.insert(&r.url);
+                    }
+                    BlockingType::IpDrop => {
+                        tcp_urls.insert(&r.url);
+                    }
+                    _ if s.stage() == Stage::Dns => {
+                        dns_urls.insert(&r.url);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        DeploymentStats {
+            clients: self.client_count(),
+            unique_blocked_urls: urls.len(),
+            unique_blocked_domains: domains.len(),
+            unique_ases: ases.len(),
+            distinct_blocking_types: types.len(),
+            urls_dns_blocked: dns_urls.len(),
+            urls_tcp_timeout: tcp_urls.len(),
+            urls_block_page: blockpage_urls.len(),
+            unique_updates: self.updates_accepted,
+        }
+    }
+}
+
+/// The Table 7 aggregate view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentStats {
+    /// Registered clients ("No. of users").
+    pub clients: usize,
+    /// Unique blocked URLs accessed.
+    pub unique_blocked_urls: usize,
+    /// Unique blocked domains accessed.
+    pub unique_blocked_domains: usize,
+    /// Unique ASes reporting.
+    pub unique_ases: usize,
+    /// Distinct blocking mechanisms observed.
+    pub distinct_blocking_types: usize,
+    /// URLs experiencing DNS blocking.
+    pub urls_dns_blocked: usize,
+    /// URLs experiencing TCP connection timeouts.
+    pub urls_tcp_timeout: usize,
+    /// URLs for which a block page was returned.
+    pub urls_block_page: usize,
+    /// Unique updates accepted.
+    pub unique_updates: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(url: &str, asn: u32, stage: BlockingType) -> Report {
+        Report {
+            url: url.into(),
+            asn,
+            measured_at_us: 123,
+            stages: vec![stage],
+        }
+    }
+
+    #[test]
+    fn register_and_post_flow() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::from_secs(1), 0.1).unwrap();
+        let n = s
+            .post_update(
+                c,
+                &[report("http://x.com/", 17557, BlockingType::DnsHijack)],
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let list = s.blocked_for_as(Asn(17557), &ConfidenceFilter::default());
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].url, "http://x.com/");
+        assert_eq!(list[0].posted_at, SimTime::from_secs(2));
+        assert_eq!(list[0].reporter, c);
+        // Other ASes see nothing.
+        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let mut s = ServerDb::new(7);
+        let err = s.post_update(Uuid::from_raw(99), &[], SimTime::ZERO);
+        assert_eq!(err, Err(PostError::UnknownClient));
+    }
+
+    #[test]
+    fn malformed_wire_rejected_and_garbage_urls_dropped() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        assert_eq!(
+            s.post_update_wire(c, "garbage", SimTime::ZERO),
+            Err(PostError::Malformed)
+        );
+        let n = s
+            .post_update(
+                c,
+                &[
+                    report("not a url", 1, BlockingType::HttpDrop),
+                    report("http://ok.com/", 1, BlockingType::HttpDrop),
+                ],
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn risk_gate_and_rate_limit() {
+        let mut s = ServerDb::new(7).with_registrar(RegistrarConfig {
+            max_risk: 0.5,
+            max_per_window: 2,
+            window: SimDuration::from_secs(60),
+        });
+        assert_eq!(
+            s.register(SimTime::ZERO, 0.9),
+            Err(RegistrationError::RiskRejected)
+        );
+        s.register(SimTime::ZERO, 0.1).unwrap();
+        s.register(SimTime::ZERO, 0.1).unwrap();
+        assert_eq!(
+            s.register(SimTime::from_secs(1), 0.1),
+            Err(RegistrationError::RateLimited)
+        );
+        // New window resets the budget.
+        assert!(s.register(SimTime::from_secs(61), 0.1).is_ok());
+        assert_eq!(s.client_count(), 3);
+    }
+
+    #[test]
+    fn confidence_filter_hides_lone_spam() {
+        let mut s = ServerDb::new(7);
+        let honest1 = s.register(SimTime::ZERO, 0.0).unwrap();
+        let honest2 = s.register(SimTime::ZERO, 0.0).unwrap();
+        let spammer = s.register(SimTime::ZERO, 0.0).unwrap();
+        for c in [honest1, honest2] {
+            s.post_update(c, &[report("http://real.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
+                .unwrap();
+        }
+        let fakes: Vec<Report> = (0..200)
+            .map(|i| report(&format!("http://fake{i}.com/"), 1, BlockingType::HttpDrop))
+            .collect();
+        s.post_update(spammer, &fakes, SimTime::ZERO).unwrap();
+        let strict = ConfidenceFilter::strict(2, 0.1);
+        let visible = s.blocked_for_as(Asn(1), &strict);
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].url, "http://real.com/");
+        // Unfiltered view contains everything (for analytics).
+        assert_eq!(
+            s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).len(),
+            201
+        );
+    }
+
+    #[test]
+    fn revocation_hides_reports() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        s.post_update(c, &[report("http://x.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
+            .unwrap();
+        s.revoke(c);
+        let strict = ConfidenceFilter::strict(1, 0.01);
+        assert!(s.blocked_for_as(Asn(1), &strict).is_empty());
+        // And the client can no longer post.
+        assert_eq!(
+            s.post_update(c, &[], SimTime::ZERO),
+            Err(PostError::UnknownClient)
+        );
+    }
+
+    #[test]
+    fn stats_cover_table7_dimensions() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        s.post_update(
+            c,
+            &[
+                report("http://a.foo.com/x", 1, BlockingType::DnsHijack),
+                report("http://b.foo.com/", 1, BlockingType::IpDrop),
+                report("http://bar.com/", 2, BlockingType::HttpBlockPageInline),
+            ],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let st = s.stats();
+        assert_eq!(st.clients, 1);
+        assert_eq!(st.unique_blocked_urls, 3);
+        assert_eq!(st.unique_blocked_domains, 2); // foo.com, bar.com
+        assert_eq!(st.unique_ases, 2);
+        assert_eq!(st.distinct_blocking_types, 3);
+        assert_eq!(st.urls_dns_blocked, 1);
+        assert_eq!(st.urls_tcp_timeout, 1);
+        assert_eq!(st.urls_block_page, 1);
+        assert_eq!(st.unique_updates, 3);
+    }
+
+    #[test]
+    fn repost_after_expiry_restores_visibility() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        let r = report("http://x.com/", 1, BlockingType::HttpDrop);
+        s.post_update(c, std::slice::from_ref(&r), SimTime::ZERO).unwrap();
+        s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
+        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+        // Fresh censorship re-reported after expiry shows up again.
+        s.post_update(c, &[r], SimTime::from_secs(101)).unwrap();
+        let list = s.blocked_for_as(Asn(1), &ConfidenceFilter::default());
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].posted_at, SimTime::from_secs(101));
+    }
+
+    #[test]
+    fn record_expiry() {
+        let mut s = ServerDb::new(7);
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        s.post_update(c, &[report("http://x.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
+            .unwrap();
+        let removed = s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
+        assert_eq!(removed, 1);
+        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The client-side local database (Table 3, §4.1, §4.4).
+
+pub mod db;
+pub mod record;
+pub mod trie;
+
+pub use db::{LocalDb, Lookup};
+pub use record::{LocalRecord, Status};
+pub use trie::PathTrie;

@@ -1,0 +1,181 @@
+//! Non-web (UDP application) censorship measurement — the §8 extension.
+//!
+//! Messaging, voice and video apps don't speak HTTP; their blocking
+//! signatures are datagram silence or throttling. This module probes a
+//! UDP service on the direct path, classifies the outcome, and — in the
+//! C-Saw spirit — pairs the probe with a tunneled probe so network
+//! problems can be told apart from filtering, exactly like the web-side
+//! redundant requests.
+
+use crate::measure::detect::MeasuredStatus;
+use csaw_censor::blocking::BlockingType;
+use csaw_circumvent::world::{UdpStep, World};
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::SimDuration;
+use csaw_simnet::topology::{Provider, Site};
+use serde::{Deserialize, Serialize};
+
+/// Throttling threshold: a session whose RTT exceeds this many times the
+/// tunneled RTT is classified as throttled even if datagrams flow.
+pub const THROTTLE_FACTOR: f64 = 4.0;
+
+/// The result of measuring a UDP service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdpMeasurement {
+    /// Blocked / not blocked / inconclusive.
+    pub status: MeasuredStatus,
+    /// Mechanisms observed (UdpDrop / UdpThrottle).
+    pub stages: Vec<BlockingType>,
+    /// Time to the verdict.
+    pub detection_time: SimDuration,
+    /// Direct-path application RTT, when the service answered.
+    pub direct_rtt: Option<SimDuration>,
+    /// Tunneled application RTT (the redundant probe).
+    pub tunnel_rtt: Option<SimDuration>,
+}
+
+/// Probe `service_host` on the direct path and through a relay tunnel,
+/// and classify.
+pub fn measure_udp_service(
+    world: &World,
+    provider: &Provider,
+    relay: Site,
+    service_host: &str,
+    rng: &mut DetRng,
+) -> UdpMeasurement {
+    let (direct, t_direct) = world.udp_exchange(provider, service_host, rng);
+    let (tunnel, t_tunnel) = world.udp_exchange_via(provider, relay, service_host, rng);
+    let tunnel_rtt = match tunnel {
+        UdpStep::Reply { rtt } => Some(rtt),
+        _ => None,
+    };
+    let detection_time = t_direct.max(t_tunnel);
+    match direct {
+        UdpStep::NoService => UdpMeasurement {
+            status: MeasuredStatus::Inconclusive,
+            stages: vec![],
+            detection_time,
+            direct_rtt: None,
+            tunnel_rtt,
+        },
+        UdpStep::Timeout => {
+            // Silence on the direct path: filtering if the tunnel works,
+            // a network problem otherwise.
+            if tunnel_rtt.is_some() {
+                UdpMeasurement {
+                    status: MeasuredStatus::Blocked,
+                    stages: vec![BlockingType::UdpDrop],
+                    detection_time,
+                    direct_rtt: None,
+                    tunnel_rtt,
+                }
+            } else {
+                UdpMeasurement {
+                    status: MeasuredStatus::Inconclusive,
+                    stages: vec![],
+                    detection_time,
+                    direct_rtt: None,
+                    tunnel_rtt,
+                }
+            }
+        }
+        UdpStep::Throttled { rtt } | UdpStep::Reply { rtt } => {
+            // Datagrams flow; compare against the tunnel to spot
+            // throttling (the tunnel's RTT includes relay detour, so a
+            // direct path that is still several times slower is being
+            // shaped).
+            let throttled = match tunnel_rtt {
+                Some(t) => rtt.as_secs_f64() > t.as_secs_f64() * THROTTLE_FACTOR,
+                None => matches!(direct, UdpStep::Throttled { .. }),
+            };
+            if throttled {
+                UdpMeasurement {
+                    status: MeasuredStatus::Blocked,
+                    stages: vec![BlockingType::UdpThrottle],
+                    detection_time,
+                    direct_rtt: Some(rtt),
+                    tunnel_rtt,
+                }
+            } else {
+                UdpMeasurement {
+                    status: MeasuredStatus::NotBlocked,
+                    stages: vec![],
+                    detection_time,
+                    direct_rtt: Some(rtt),
+                    tunnel_rtt,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::blocking::UdpAction;
+    use csaw_censor::policy::{CensorPolicy, CensorRule, TargetMatcher};
+    use csaw_circumvent::world::SiteSpec;
+    use csaw_simnet::topology::{AccessNetwork, Asn, Region};
+
+    fn world_with_udp(action: UdpAction) -> (World, Provider) {
+        let provider = Provider::new(Asn(31), "isp");
+        let access = AccessNetwork::single(provider.clone());
+        let mut policy = CensorPolicy::new("udp-censor");
+        if action.is_active() {
+            policy = policy.with_rule(
+                CensorRule::target(TargetMatcher::DomainSuffix("chat.example".into()))
+                    .udp(action),
+            );
+        }
+        let w = World::builder(access)
+            .site(
+                SiteSpec::new("chat.example", Site::in_region(Region::UsEast))
+                    .udp_service(3478),
+            )
+            .censor(Asn(31), policy)
+            .build();
+        (w, provider)
+    }
+
+    fn relay() -> Site {
+        Site::in_region(Region::Germany)
+    }
+
+    #[test]
+    fn clean_service_not_blocked() {
+        let (w, p) = world_with_udp(UdpAction::None);
+        let mut rng = DetRng::new(1);
+        let m = measure_udp_service(&w, &p, relay(), "chat.example", &mut rng);
+        assert_eq!(m.status, MeasuredStatus::NotBlocked);
+        assert!(m.direct_rtt.unwrap() < m.tunnel_rtt.unwrap(), "direct beats tunnel");
+    }
+
+    #[test]
+    fn udp_drop_detected_via_tunnel_corroboration() {
+        let (w, p) = world_with_udp(UdpAction::Drop);
+        let mut rng = DetRng::new(2);
+        let m = measure_udp_service(&w, &p, relay(), "chat.example", &mut rng);
+        assert_eq!(m.status, MeasuredStatus::Blocked);
+        assert_eq!(m.stages, vec![BlockingType::UdpDrop]);
+        assert!(m.direct_rtt.is_none());
+        assert!(m.tunnel_rtt.is_some(), "circumvention works");
+    }
+
+    #[test]
+    fn throttling_detected_by_comparison() {
+        let (w, p) = world_with_udp(UdpAction::Throttle);
+        let mut rng = DetRng::new(3);
+        let m = measure_udp_service(&w, &p, relay(), "chat.example", &mut rng);
+        assert_eq!(m.status, MeasuredStatus::Blocked);
+        assert_eq!(m.stages, vec![BlockingType::UdpThrottle]);
+        assert!(m.direct_rtt.unwrap() > m.tunnel_rtt.unwrap());
+    }
+
+    #[test]
+    fn non_udp_host_is_inconclusive() {
+        let (w, p) = world_with_udp(UdpAction::None);
+        let mut rng = DetRng::new(4);
+        let m = measure_udp_service(&w, &p, relay(), "nonexistent.example", &mut rng);
+        assert_eq!(m.status, MeasuredStatus::Inconclusive);
+    }
+}

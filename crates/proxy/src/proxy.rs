@@ -1,0 +1,367 @@
+//! The local C-Saw proxy over real sockets.
+//!
+//! This is the paper's client-side proxy (§4.3, §6) reduced to its
+//! network essentials and run against the localhost testbed: browsers
+//! connect to it, every URL's first visit triggers **redundant requests**
+//! (direct path through the censoring middlebox, circumvention path
+//! straight to the origin), responses pass through the 2-phase
+//! block-page detector, the user is served the best copy, and every
+//! verdict lands in a measurement log exportable as global-DB reports.
+
+use crate::codec::{read_request, read_response, write_request, write_response};
+use crate::testbed::resolver::TestResolver;
+use bytes::BytesMut;
+use csaw::global::Report;
+use csaw_blockpage::{phase1_html, phase2, Phase1Config, Phase1Verdict, Phase2Config};
+use csaw_webproto::http::{Request, Response};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::task::JoinHandle;
+
+/// How a host's blocking manifested on the direct path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProxySignature {
+    /// A block page was served.
+    BlockPage,
+    /// The GET never got a response.
+    GetTimeout,
+    /// The connection was reset mid-exchange.
+    ConnectionReset,
+    /// The direct path would not even connect.
+    ConnectFailed,
+}
+
+impl ProxySignature {
+    /// The blocking-type this signature evidences, for global-DB reports.
+    pub fn blocking_type(self) -> csaw_censor::BlockingType {
+        match self {
+            ProxySignature::BlockPage => csaw_censor::BlockingType::HttpBlockPageInline,
+            ProxySignature::GetTimeout => csaw_censor::BlockingType::HttpDrop,
+            ProxySignature::ConnectionReset => csaw_censor::BlockingType::HttpRst,
+            ProxySignature::ConnectFailed => csaw_censor::BlockingType::IpRst,
+        }
+    }
+}
+
+/// One measurement the proxy made.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyMeasurement {
+    /// The affected host.
+    pub host: String,
+    /// What was observed.
+    pub signature: ProxySignature,
+    /// Milliseconds since the proxy started.
+    pub at_ms: u64,
+}
+
+/// Blocking status the proxy tracks per host (its in-memory local DB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostStatus {
+    /// Never measured.
+    NotMeasured,
+    /// Direct path blocked.
+    Blocked(ProxySignature),
+    /// Direct path clean.
+    NotBlocked,
+}
+
+/// Proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// GET timeout on the direct path (short in tests; the paper's
+    /// deployments use browser-scale timeouts).
+    pub get_timeout: Duration,
+    /// Phase-1 classifier thresholds.
+    pub phase1: Phase1Config,
+    /// Phase-2 size-comparison threshold.
+    pub phase2: Phase2Config,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            get_timeout: Duration::from_millis(500),
+            phase1: Phase1Config::default(),
+            phase2: Phase2Config::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProxyState {
+    resolver: Arc<TestResolver>,
+    cfg: ProxyConfig,
+    status: RwLock<HashMap<String, HostStatus>>,
+    measurements: Mutex<Vec<ProxyMeasurement>>,
+    started: std::time::Instant,
+}
+
+/// A running local proxy.
+#[derive(Debug)]
+pub struct CsawProxy {
+    /// The address browsers point at.
+    pub addr: SocketAddr,
+    state: Arc<ProxyState>,
+    handle: JoinHandle<()>,
+}
+
+impl Drop for CsawProxy {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+impl CsawProxy {
+    /// Current status of a host.
+    pub fn host_status(&self, host: &str) -> HostStatus {
+        self.state
+            .status
+            .read()
+            .get(&host.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(HostStatus::NotMeasured)
+    }
+
+    /// Snapshot of the measurement log.
+    pub fn measurements(&self) -> Vec<ProxyMeasurement> {
+        self.state.measurements.lock().clone()
+    }
+
+    /// Export the log as global-DB reports (host-level URLs).
+    pub fn to_reports(&self, asn: u32) -> Vec<Report> {
+        self.measurements()
+            .into_iter()
+            .map(|m| Report {
+                url: format!("http://{}/", m.host),
+                asn,
+                measured_at_us: m.at_ms * 1_000,
+                stages: vec![m.signature.blocking_type()],
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one single-path fetch attempt.
+enum PathFetch {
+    Ok(Response),
+    Timeout,
+    Reset,
+    ConnectFailed,
+}
+
+async fn fetch_one(addr: SocketAddr, req: &Request, timeout: Duration) -> PathFetch {
+    let mut stream = match tokio::time::timeout(timeout, TcpStream::connect(addr)).await {
+        Err(_) => return PathFetch::ConnectFailed,     // connect timed out
+        Ok(Err(_)) => return PathFetch::ConnectFailed, // refused/unreachable
+        Ok(Ok(s)) => s,
+    };
+    if write_request(&mut stream, req).await.is_err() {
+        return PathFetch::Reset;
+    }
+    let mut buf = BytesMut::new();
+    match tokio::time::timeout(timeout, read_response(&mut stream, &mut buf)).await {
+        Err(_) => PathFetch::Timeout,
+        Ok(Err(_)) => PathFetch::Reset,
+        Ok(Ok(resp)) => PathFetch::Ok(resp),
+    }
+}
+
+/// Spawn the proxy on an ephemeral 127.0.0.1 port.
+pub async fn spawn_proxy(
+    resolver: Arc<TestResolver>,
+    cfg: ProxyConfig,
+) -> std::io::Result<CsawProxy> {
+    let listener = TcpListener::bind("127.0.0.1:0").await?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ProxyState {
+        resolver,
+        cfg,
+        status: RwLock::new(HashMap::new()),
+        measurements: Mutex::new(Vec::new()),
+        started: std::time::Instant::now(),
+    });
+    let state2 = Arc::clone(&state);
+    let handle = tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else {
+                break;
+            };
+            tokio::spawn(handle_browser(stream, Arc::clone(&state2)));
+        }
+    });
+    Ok(CsawProxy {
+        addr,
+        state,
+        handle,
+    })
+}
+
+async fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
+    let mut buf = BytesMut::new();
+    while let Ok(Some(req)) = read_request(&mut browser, &mut buf).await {
+        let Some(host) = req.host() else {
+            let _ = write_response(&mut browser, &Response::error(400, "Bad Request")).await;
+            continue;
+        };
+        // Rewrite absolute-form targets to origin-form for upstreams.
+        let mut upstream_req = req.clone();
+        if let Some(rest) = upstream_req.target.strip_prefix("http://") {
+            if let Some(i) = rest.find('/') {
+                upstream_req.target = rest[i..].to_string();
+            } else {
+                upstream_req.target = "/".to_string();
+            }
+        }
+        let resp = serve_url(&state, &host, &upstream_req).await;
+        if write_response(&mut browser, &resp).await.is_err() {
+            return;
+        }
+    }
+}
+
+fn record(state: &ProxyState, host: &str, sig: ProxySignature) {
+    // Check-and-set under the write lock: concurrent first visits race
+    // their measurements, but only the first one gets to log (the rest
+    // observed the same event).
+    {
+        let mut status = state.status.write();
+        if matches!(status.get(host), Some(HostStatus::Blocked(_))) {
+            return;
+        }
+        status.insert(host.to_string(), HostStatus::Blocked(sig));
+    }
+    state.measurements.lock().push(ProxyMeasurement {
+        host: host.to_string(),
+        signature: sig,
+        at_ms: state.started.elapsed().as_millis() as u64,
+    });
+}
+
+async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
+    let Some(res) = state.resolver.resolve(host) else {
+        return Response::error(502, "Unresolvable");
+    };
+    let status = state
+        .status
+        .read()
+        .get(host)
+        .copied()
+        .unwrap_or(HostStatus::NotMeasured);
+    let timeout = state.cfg.get_timeout;
+    match status {
+        HostStatus::Blocked(_) => {
+            // Known blocked: circumvention path only.
+            match fetch_one(res.clean, req, timeout * 4).await {
+                PathFetch::Ok(r) => r,
+                _ => Response::error(504, "Circumvention Failed"),
+            }
+        }
+        HostStatus::NotBlocked => {
+            // Selective redundancy: direct only, but measured in-line.
+            match fetch_one(res.direct, req, timeout).await {
+                PathFetch::Ok(r) => {
+                    let html = String::from_utf8_lossy(&r.body);
+                    if phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage {
+                        // Fresh censorship (Scenario B): re-fetch clean.
+                        record(state, host, ProxySignature::BlockPage);
+                        match fetch_one(res.clean, req, timeout * 4).await {
+                            PathFetch::Ok(clean) => clean,
+                            _ => r,
+                        }
+                    } else {
+                        r
+                    }
+                }
+                PathFetch::Timeout => {
+                    record(state, host, ProxySignature::GetTimeout);
+                    match fetch_one(res.clean, req, timeout * 4).await {
+                        PathFetch::Ok(r) => r,
+                        _ => Response::error(504, "Gateway Timeout"),
+                    }
+                }
+                PathFetch::Reset | PathFetch::ConnectFailed => {
+                    record(state, host, ProxySignature::ConnectionReset);
+                    match fetch_one(res.clean, req, timeout * 4).await {
+                        PathFetch::Ok(r) => r,
+                        _ => Response::error(502, "Bad Gateway"),
+                    }
+                }
+            }
+        }
+        HostStatus::NotMeasured => {
+            // Redundant requests: both paths race (parallel mode).
+            let (direct, clean) = tokio::join!(
+                fetch_one(res.direct, req, timeout),
+                fetch_one(res.clean, req, timeout * 4),
+            );
+            let clean_resp = match clean {
+                PathFetch::Ok(r) => Some(r),
+                _ => None,
+            };
+            match direct {
+                PathFetch::Ok(direct_resp) => {
+                    let html = String::from_utf8_lossy(&direct_resp.body);
+                    let flagged =
+                        phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage;
+                    let confirmed = match (&flagged, &clean_resp) {
+                        (true, Some(c)) => phase2(
+                            direct_resp.body.len() as u64,
+                            c.body.len() as u64,
+                            &state.cfg.phase2,
+                        ),
+                        (true, None) => true,
+                        (false, Some(c)) => {
+                            // Phase-2 catches portal-style evaders.
+                            phase2(
+                                direct_resp.body.len() as u64,
+                                c.body.len() as u64,
+                                &state.cfg.phase2,
+                            )
+                        }
+                        (false, None) => false,
+                    };
+                    if confirmed {
+                        record(state, host, ProxySignature::BlockPage);
+                        clean_resp.unwrap_or(direct_resp)
+                    } else {
+                        state
+                            .status
+                            .write()
+                            .insert(host.to_string(), HostStatus::NotBlocked);
+                        direct_resp
+                    }
+                }
+                PathFetch::Timeout => {
+                    if let Some(c) = clean_resp {
+                        record(state, host, ProxySignature::GetTimeout);
+                        c
+                    } else {
+                        // Both paths dead: network problem; stay unmeasured.
+                        Response::error(504, "Gateway Timeout")
+                    }
+                }
+                PathFetch::Reset => {
+                    if let Some(c) = clean_resp {
+                        record(state, host, ProxySignature::ConnectionReset);
+                        c
+                    } else {
+                        Response::error(502, "Bad Gateway")
+                    }
+                }
+                PathFetch::ConnectFailed => {
+                    if let Some(c) = clean_resp {
+                        record(state, host, ProxySignature::ConnectFailed);
+                        c
+                    } else {
+                        Response::error(502, "Bad Gateway")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! The localhost testbed: origin servers, a censoring middlebox, and a
+//! resolver mapping each host to its direct (censored) and clean
+//! (circumvention) paths.
+
+pub mod middlebox;
+pub mod origin;
+pub mod resolver;
+
+pub use middlebox::{spawn_middlebox, MbAction, MbPolicy, Middlebox};
+pub use origin::{spawn_origin, Origin, OriginConfig};
+pub use resolver::{Resolution, TestResolver};

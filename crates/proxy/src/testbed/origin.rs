@@ -1,0 +1,122 @@
+//! An async HTTP/1.1 origin server for the localhost testbed.
+//!
+//! Serves configurable pages with `Content-Length`, keep-alive style,
+//! binding an ephemeral 127.0.0.1 port. Stands in for the censored
+//! destination sites; the "circumvention path" in the testbed is a
+//! direct connection here, the "direct path" goes through the
+//! censoring middlebox.
+
+use crate::codec::{read_request, write_response};
+use bytes::BytesMut;
+use csaw_webproto::http::Response;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::TcpListener;
+use tokio::task::JoinHandle;
+
+/// A running origin server.
+#[derive(Debug)]
+pub struct Origin {
+    /// The hostname this origin serves.
+    pub host: String,
+    /// Bound address.
+    pub addr: SocketAddr,
+    handle: JoinHandle<()>,
+}
+
+impl Drop for Origin {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+/// Configuration for an origin.
+#[derive(Debug, Clone)]
+pub struct OriginConfig {
+    /// Hostname (used to synthesize default pages).
+    pub host: String,
+    /// Explicit pages by path.
+    pub pages: HashMap<String, String>,
+    /// Size of synthesized pages for unlisted paths.
+    pub default_page_bytes: usize,
+}
+
+impl OriginConfig {
+    /// An origin serving synthesized pages of the given size.
+    pub fn new(host: &str, default_page_bytes: usize) -> OriginConfig {
+        OriginConfig {
+            host: host.to_string(),
+            pages: HashMap::new(),
+            default_page_bytes,
+        }
+    }
+
+    /// Add an explicit page.
+    pub fn page(mut self, path: &str, html: &str) -> OriginConfig {
+        self.pages.insert(path.to_string(), html.to_string());
+        self
+    }
+}
+
+/// Spawn an origin server on an ephemeral port.
+pub async fn spawn_origin(cfg: OriginConfig) -> std::io::Result<Origin> {
+    let listener = TcpListener::bind("127.0.0.1:0").await?;
+    let addr = listener.local_addr()?;
+    let host = cfg.host.clone();
+    let cfg = Arc::new(cfg);
+    let handle = tokio::spawn(async move {
+        loop {
+            let Ok((mut stream, _)) = listener.accept().await else {
+                break;
+            };
+            let cfg = Arc::clone(&cfg);
+            tokio::spawn(async move {
+                let mut buf = BytesMut::new();
+                // Keep-alive loop: serve requests until the peer closes.
+                while let Ok(Some(req)) = read_request(&mut stream, &mut buf).await {
+                    let path = req.target.split('?').next().unwrap_or("/").to_string();
+                    let html = cfg.pages.get(&path).cloned().unwrap_or_else(|| {
+                        csaw_webproto::synth_html(&cfg.host, cfg.default_page_bytes)
+                    });
+                    let resp = Response::ok_html(html);
+                    if write_response(&mut stream, &resp).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    Ok(Origin { host, addr, handle })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_response, write_request};
+    use csaw_webproto::http::Request;
+    use csaw_webproto::url::Url;
+    use tokio::net::TcpStream;
+
+    #[tokio::test]
+    async fn serves_default_and_explicit_pages() {
+        let origin = spawn_origin(
+            OriginConfig::new("site.test", 20_000).page("/hello", "<html><body>explicit</body></html>"),
+        )
+        .await
+        .unwrap();
+        let mut s = TcpStream::connect(origin.addr).await.unwrap();
+        let mut buf = BytesMut::new();
+
+        let url = Url::parse("http://site.test/hello").unwrap();
+        write_request(&mut s, &Request::get(&url)).await.unwrap();
+        let r = read_response(&mut s, &mut buf).await.unwrap();
+        assert!(std::str::from_utf8(&r.body).unwrap().contains("explicit"));
+
+        // Keep-alive: second request on the same connection.
+        let url = Url::parse("http://site.test/other").unwrap();
+        write_request(&mut s, &Request::get(&url)).await.unwrap();
+        let r = read_response(&mut s, &mut buf).await.unwrap();
+        assert!(r.body.len() >= 18_000, "{}", r.body.len());
+    }
+}

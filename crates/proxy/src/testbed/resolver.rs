@@ -1,0 +1,70 @@
+//! The testbed resolver: maps hostnames to the two paths a C-Saw client
+//! can take — the **direct** address (through the censoring middlebox)
+//! and the **clean** address (straight to the origin, standing in for a
+//! circumvention tunnel's exit).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// Both paths for one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The censored path (via the middlebox).
+    pub direct: SocketAddr,
+    /// The circumvention path (tunnel exit → origin).
+    pub clean: SocketAddr,
+}
+
+/// A shared, runtime-mutable host table.
+#[derive(Debug, Default)]
+pub struct TestResolver {
+    table: RwLock<HashMap<String, Resolution>>,
+}
+
+impl TestResolver {
+    /// An empty resolver.
+    pub fn new() -> TestResolver {
+        TestResolver::default()
+    }
+
+    /// Register a host.
+    pub fn insert(&self, host: &str, direct: SocketAddr, clean: SocketAddr) {
+        self.table
+            .write()
+            .insert(host.to_ascii_lowercase(), Resolution { direct, clean });
+    }
+
+    /// Resolve a host.
+    pub fn resolve(&self, host: &str) -> Option<Resolution> {
+        self.table.read().get(&host.to_ascii_lowercase()).copied()
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_resolve_case_insensitive() {
+        let r = TestResolver::new();
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:2000".parse().unwrap();
+        r.insert("Example.COM", a, b);
+        let res = r.resolve("example.com").unwrap();
+        assert_eq!(res.direct, a);
+        assert_eq!(res.clean, b);
+        assert!(r.resolve("other.com").is_none());
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! A small discrete-event scheduler.
+//!
+//! The simulator mostly computes network operations *analytically* (see
+//! [`crate::tcp`]), but several parts of the reproduction are genuinely
+//! event-driven: user browse sessions in the pilot study, periodic
+//! global-DB synchronization, local-DB record expiry, Tor circuit rotation,
+//! and mid-experiment censorship policy changes (§7.5 "C-Saw in the wild").
+//! Those are driven by this queue.
+//!
+//! Events are an application-defined payload type `E`; ties in firing time
+//! break on insertion order (a monotone sequence number), which keeps runs
+//! deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled to fire at a given virtual time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue with a virtual clock.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at t = 0.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the firing time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — the event fires next.
+    /// This matches how a real runtime treats an already-expired timer and
+    /// keeps the clock monotone.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    ///
+    /// Deliberately named like `Iterator::next` — a scheduler *is* a
+    /// stream of timed events — but not implemented as the trait because
+    /// advancing the clock is a semantic side effect callers must opt
+    /// into explicitly.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        self.processed += 1;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Peek at the firing time of the next event without dispatching it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Run events until the queue is empty or the horizon passes, calling
+    /// `f(now, event, scheduler)` for each. `f` may schedule further events.
+    ///
+    /// Returns the number of events dispatched. Events scheduled at exactly
+    /// the horizon still fire; later ones remain queued.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut f: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<E>),
+    {
+        let mut dispatched = 0;
+        while let Some(at) = self.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (t, ev) = self.next().expect("peeked event must exist");
+            // Hand the scheduler itself to the handler so it can schedule
+            // follow-up events; split-borrow via a temporary take.
+            f(t, ev, self);
+            dispatched += 1;
+        }
+        // Clock lands on the horizon even if no event fired exactly there,
+        // so repeated run_until calls tile time correctly.
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule(SimTime::from_millis(30), "c");
+        s.schedule(SimTime::from_millis(10), "a");
+        s.schedule(SimTime::from_millis(20), "b");
+        let mut order = Vec::new();
+        while let Some((_, e)) = s.next() {
+            order.push(e);
+        }
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimTime::from_millis(5), i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule(SimTime::from_millis(100), "late");
+        s.next();
+        assert_eq!(s.now(), SimTime::from_millis(100));
+        s.schedule(SimTime::from_millis(1), "past");
+        let (t, e) = s.next().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime::from_millis(100), "clamped to now");
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_reentry() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_millis(10), 1);
+        s.schedule(SimTime::from_millis(50), 2);
+        let mut seen = Vec::new();
+        let n = s.run_until(SimTime::from_millis(20), |t, e, sched| {
+            seen.push((t.as_millis(), e));
+            if e == 1 {
+                // Handlers can schedule follow-ups.
+                sched.schedule(t + SimDuration::from_millis(5), 3);
+            }
+        });
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![(10, 1), (15, 3)]);
+        assert_eq!(s.now(), SimTime::from_millis(20), "clock tiles to horizon");
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn horizon_inclusive() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule(SimTime::from_millis(10), "on-horizon");
+        let n = s.run_until(SimTime::from_millis(10), |_, _, _| {});
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_millis(1), 0);
+        s.schedule(SimTime::from_millis(2), 1);
+        assert_eq!(s.pending(), 2);
+        s.next();
+        assert_eq!(s.processed(), 1);
+        assert_eq!(s.pending(), 1);
+    }
+}

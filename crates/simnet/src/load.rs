@@ -1,0 +1,176 @@
+//! Client-side load model.
+//!
+//! Section 4.3.1 of the paper observes that redundant requests "may degrade
+//! performance at high loads" (citing the tail-at-scale literature), which
+//! is why C-Saw staggers the redundant copy and caps redundancy at two.
+//! Figures 5b, 5c and 6a all hinge on this effect, so the reproduction
+//! models it explicitly: concurrent in-flight transfers at one client share
+//! the access bottleneck and compete for CPU, inflating each other's
+//! completion times.
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How concurrent work at the client inflates an individual transfer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadModel {
+    /// Fractional PLT inflation contributed by each additional concurrent
+    /// copy (bandwidth sharing + parse/render CPU contention).
+    pub per_copy_inflation: f64,
+    /// Random extra inflation (uniform in `[0, tail_inflation]` per extra
+    /// copy) modelling scheduling jitter — this is what fattens the tail
+    /// when redundancy is too aggressive (Figure 6a's +17% p95 at three
+    /// copies).
+    pub tail_inflation: f64,
+}
+
+impl Default for LoadModel {
+    fn default() -> Self {
+        LoadModel {
+            per_copy_inflation: 0.18,
+            tail_inflation: 0.35,
+        }
+    }
+}
+
+impl LoadModel {
+    /// Inflate a base completion time given `concurrent` total in-flight
+    /// transfers at the client (1 = just this one: no inflation).
+    pub fn inflate(
+        &self,
+        base: SimDuration,
+        concurrent: usize,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        if concurrent <= 1 {
+            return base;
+        }
+        self.inflate_weighted(base, (concurrent - 1) as f64, rng)
+    }
+
+    /// Inflate by a *fractional* amount of extra concurrent work.
+    ///
+    /// The load another transfer imposes is proportional to the data it
+    /// moves relative to this one: a redundant direct copy that dies in a
+    /// SYN black hole moves nothing and costs ~nothing; a tiny block page
+    /// racing a 360 KB fetch costs a sliver; a full duplicate costs a
+    /// whole unit. Callers express that as `extra_units` ∈ [0, n].
+    pub fn inflate_weighted(
+        &self,
+        base: SimDuration,
+        extra_units: f64,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        if extra_units <= 0.0 {
+            return base;
+        }
+        let deterministic = self.per_copy_inflation * extra_units;
+        let jitter = rng.range_f64(0.0, self.tail_inflation) * extra_units;
+        base.mul_f64(1.0 + deterministic + jitter)
+    }
+}
+
+/// Tracks overlapping transfer intervals so open-loop workloads (e.g. the
+/// paper's 100 requests with U(1 s, 5 s) inter-arrivals) can ask "how many
+/// transfers were in flight when this one started?".
+#[derive(Debug, Default, Clone)]
+pub struct InFlightTracker {
+    /// (start, end) of every admitted transfer, in virtual time µs.
+    intervals: Vec<(u64, u64)>,
+}
+
+impl InFlightTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count transfers overlapping instant `t` (µs).
+    pub fn in_flight_at(&self, t: u64) -> usize {
+        self.intervals
+            .iter()
+            .filter(|(s, e)| *s <= t && t < *e)
+            .count()
+    }
+
+    /// Record a transfer occupying `[start, end)`.
+    pub fn record(&mut self, start: u64, end: u64) {
+        debug_assert!(start <= end);
+        self.intervals.push((start, end));
+    }
+
+    /// Number of recorded transfers.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_not_inflated() {
+        let mut rng = DetRng::new(1);
+        let m = LoadModel::default();
+        let base = SimDuration::from_millis(1000);
+        assert_eq!(m.inflate(base, 1, &mut rng), base);
+        assert_eq!(m.inflate(base, 0, &mut rng), base);
+    }
+
+    #[test]
+    fn inflation_grows_with_concurrency() {
+        let mut rng = DetRng::new(2);
+        let m = LoadModel::default();
+        let base = SimDuration::from_millis(1000);
+        let n = 200;
+        let avg = |copies: usize, rng: &mut DetRng| -> u64 {
+            (0..n)
+                .map(|_| m.inflate(base, copies, rng).as_micros())
+                .sum::<u64>()
+                / n
+        };
+        let one = avg(1, &mut rng);
+        let two = avg(2, &mut rng);
+        let three = avg(3, &mut rng);
+        assert!(two > one, "{two} <= {one}");
+        assert!(three > two, "{three} <= {two}");
+    }
+
+    #[test]
+    fn inflation_bounded() {
+        let mut rng = DetRng::new(3);
+        let m = LoadModel {
+            per_copy_inflation: 0.2,
+            tail_inflation: 0.3,
+        };
+        let base = SimDuration::from_millis(1000);
+        for _ in 0..100 {
+            let t = m.inflate(base, 2, &mut rng);
+            assert!(t >= base.mul_f64(1.2));
+            assert!(t <= base.mul_f64(1.5));
+        }
+    }
+
+    #[test]
+    fn tracker_counts_overlaps() {
+        let mut tr = InFlightTracker::new();
+        assert!(tr.is_empty());
+        tr.record(0, 100);
+        tr.record(50, 150);
+        tr.record(200, 300);
+        assert_eq!(tr.in_flight_at(75), 2);
+        assert_eq!(tr.in_flight_at(160), 0);
+        assert_eq!(tr.in_flight_at(250), 1);
+        // Boundary semantics: start inclusive, end exclusive.
+        assert_eq!(tr.in_flight_at(100), 1);
+        assert_eq!(tr.in_flight_at(0), 1);
+        assert_eq!(tr.len(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic, forkable randomness.
+//!
+//! Every stochastic component of the simulation draws from a [`DetRng`]
+//! seeded from a single experiment seed. Components fork *labelled* child
+//! generators so that adding a new consumer of randomness never perturbs
+//! the draws seen by existing ones — a property the experiment harness
+//! relies on for stable baselines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator with labelled forking.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Create a generator from an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fork a child generator whose stream depends only on the parent seed
+    /// and the label — not on how many draws the parent has made.
+    ///
+    /// Forking hashes the label into the parent's *seed lineage* rather than
+    /// drawing from the parent stream, so `fork("a")` and `fork("b")` are
+    /// independent and insertion-order-insensitive.
+    pub fn fork(&self, label: &str) -> DetRng {
+        // FNV-1a over the label, mixed with a fixed salt. We deliberately
+        // avoid `RandomState`/`DefaultHasher`, which are randomly keyed per
+        // process and would break determinism.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Derive the child from a clone of the parent's current state XORed
+        // with the label hash: children of the same parent with different
+        // labels diverge, same labels coincide.
+        let mut base = self.inner.clone();
+        let s = base.next_u64() ^ h;
+        DetRng {
+            inner: StdRng::seed_from_u64(s),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Sample an exponential with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Sample a standard normal via Box–Muller (single draw, second value
+    /// discarded — simple and adequate for jitter modelling).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Sample a log-normal: exp(N(mu, sigma)).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pick an index according to (unnormalized, non-negative) weights.
+    /// Panics if weights are empty or all zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Direct access to the underlying `rand::Rng` for call sites that need
+    /// the full trait surface.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn forks_are_label_dependent() {
+        let root = DetRng::new(7);
+        let mut a1 = root.fork("alpha");
+        let mut a2 = root.fork("alpha");
+        let mut b = root.fork("beta");
+        let xs: Vec<u64> = (0..10).map(|_| a1.range_u64(0, 1 << 40)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| a2.range_u64(0, 1 << 40)).collect();
+        let zs: Vec<u64> = (0..10).map(|_| b.range_u64(0, 1 << 40)).collect();
+        assert_eq!(xs, ys, "same label => same stream");
+        assert_ne!(xs, zs, "different label => different stream");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = DetRng::new(3);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.25, "estimated mean {est}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = DetRng::new(9);
+        let w = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(r.weighted_index(&w), 1);
+        }
+        // Roughly proportional for mixed weights.
+        let w = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,245 @@
+//! The web page model.
+//!
+//! A page is a base HTML document plus embedded resources (scripts,
+//! stylesheets, images), possibly served from other hosts (CDNs — whose
+//! blocking the paper's pilot study uncovered, §7.4). Page load time is
+//! defined as the time from the navigation request until the last byte of
+//! the last resource, with the browser fetching resources over a limited
+//! number of parallel connections; the fetch logic itself lives in
+//! `csaw-circumvent`, this module only describes structure and sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::url::Url;
+
+/// One embedded resource of a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Where the resource lives (may be a different host, e.g. a CDN).
+    pub url: Url,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// A web page: base document plus embedded resources.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebPage {
+    /// The page URL.
+    pub url: Url,
+    /// Size of the base HTML document in bytes.
+    pub html_bytes: u64,
+    /// Embedded resources in document order.
+    pub resources: Vec<Resource>,
+}
+
+impl WebPage {
+    /// A single-document page with no embedded resources.
+    pub fn simple(url: Url, bytes: u64) -> WebPage {
+        WebPage {
+            url,
+            html_bytes: bytes,
+            resources: Vec::new(),
+        }
+    }
+
+    /// A synthetic page of roughly `total_bytes`, split into a base
+    /// document and `n_resources` same-host resources. The split is
+    /// deterministic: the base document takes ~20% (at least 2 KB), the
+    /// rest is spread evenly with a deterministic ±25% zig-zag so resource
+    /// sizes aren't all identical.
+    pub fn synthetic(url: Url, total_bytes: u64, n_resources: usize) -> WebPage {
+        if n_resources == 0 {
+            return WebPage::simple(url, total_bytes);
+        }
+        let html_bytes = (total_bytes / 5).max(2_048).min(total_bytes);
+        let remaining = total_bytes - html_bytes;
+        let each = remaining / n_resources as u64;
+        let mut resources = Vec::with_capacity(n_resources);
+        let base = url.clone();
+        for i in 0..n_resources {
+            let wobble = (each / 4).min(each);
+            let bytes = if i % 2 == 0 {
+                each + wobble * (i as u64 % 3) / 2
+            } else {
+                each.saturating_sub(wobble * (i as u64 % 3) / 2)
+            }
+            .max(256);
+            let res_url = Url::from_parts(
+                base.scheme(),
+                base.host().clone(),
+                None,
+                &format!("{}assets/r{i}.bin", ensure_dir(base.path())),
+                None,
+            );
+            resources.push(Resource {
+                url: res_url,
+                bytes,
+            });
+        }
+        WebPage {
+            url,
+            html_bytes,
+            resources,
+        }
+    }
+
+    /// Attach CDN-hosted resources (used to reproduce the pilot study's
+    /// CDN-blocking discovery): moves the last `n` resources to the given
+    /// CDN host URL base.
+    pub fn with_cdn_resources(mut self, cdn_base: &Url, n: usize) -> WebPage {
+        let len = self.resources.len();
+        let start = len.saturating_sub(n);
+        for (i, r) in self.resources[start..].iter_mut().enumerate() {
+            r.url = Url::from_parts(
+                cdn_base.scheme(),
+                cdn_base.host().clone(),
+                None,
+                &format!("/static/r{i}.bin"),
+                None,
+            );
+        }
+        self
+    }
+
+    /// Total bytes across the document and all resources.
+    pub fn total_bytes(&self) -> u64 {
+        self.html_bytes + self.resources.iter().map(|r| r.bytes).sum::<u64>()
+    }
+
+    /// Number of embedded resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Hosts referenced by this page (base + resources, deduplicated,
+    /// in first-appearance order).
+    pub fn referenced_hosts(&self) -> Vec<String> {
+        let mut hosts = vec![self.url.host().to_string()];
+        for r in &self.resources {
+            let h = r.url.host().to_string();
+            if !hosts.contains(&h) {
+                hosts.push(h);
+            }
+        }
+        hosts
+    }
+}
+
+fn ensure_dir(path: &str) -> String {
+    if path.ends_with('/') {
+        path.to_string()
+    } else {
+        match path.rfind('/') {
+            Some(i) => path[..=i].to_string(),
+            None => "/".to_string(),
+        }
+    }
+}
+
+/// Generate plausible HTML markup of approximately `approx_bytes` for a
+/// page titled `title`. Used as the "real page" sample that the phase-1
+/// block-page classifier must *not* flag (its false-positive rate is a
+/// headline claim of §4.3.1).
+pub fn synth_html(title: &str, approx_bytes: usize) -> String {
+    let mut out = String::with_capacity(approx_bytes + 512);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
+    out.push_str(&format!("<title>{title}</title>\n"));
+    out.push_str("<meta charset=\"utf-8\">\n");
+    out.push_str("<link rel=\"stylesheet\" href=\"/assets/site.css\">\n");
+    out.push_str("<script src=\"/assets/app.js\" defer></script>\n");
+    out.push_str("</head>\n<body>\n<header><nav><ul>");
+    for item in ["Home", "News", "Videos", "About", "Contact"] {
+        out.push_str(&format!("<li><a href=\"/{}\">{}</a></li>", item.to_lowercase(), item));
+    }
+    out.push_str("</ul></nav></header>\n<main>\n");
+    let para = "<article><h2>Section heading</h2><p>Lorem ipsum dolor sit amet, consectetur \
+                adipiscing elit, sed do eiusmod tempor incididunt ut labore et dolore magna \
+                aliqua. Ut enim ad minim veniam, quis nostrud exercitation ullamco laboris \
+                nisi ut aliquip ex ea commodo consequat.</p><img src=\"/assets/photo.jpg\" \
+                alt=\"photo\"><ul><li>point one</li><li>point two</li></ul></article>\n";
+    while out.len() + para.len() + 64 < approx_bytes {
+        out.push_str(para);
+    }
+    out.push_str("</main>\n<footer><p>&copy; 2018 Example Site</p></footer>\n</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_page() {
+        let p = WebPage::simple(url("http://foo.com/"), 50_000);
+        assert_eq!(p.total_bytes(), 50_000);
+        assert_eq!(p.resource_count(), 0);
+        assert_eq!(p.referenced_hosts(), vec!["foo.com"]);
+    }
+
+    #[test]
+    fn synthetic_page_size_approx() {
+        let p = WebPage::synthetic(url("http://yt.example/"), 360_000, 20);
+        let total = p.total_bytes();
+        // Within 20% of the target (deterministic wobble means not exact).
+        assert!(
+            (total as i64 - 360_000i64).abs() < 72_000,
+            "total {total}"
+        );
+        assert_eq!(p.resource_count(), 20);
+        // All resources on the same host as the page.
+        assert_eq!(p.referenced_hosts().len(), 1);
+    }
+
+    #[test]
+    fn synthetic_zero_resources() {
+        let p = WebPage::synthetic(url("http://x.com/a"), 10_000, 0);
+        assert_eq!(p.total_bytes(), 10_000);
+        assert!(p.resources.is_empty());
+    }
+
+    #[test]
+    fn cdn_resources_change_hosts() {
+        let p = WebPage::synthetic(url("http://news.pk/"), 200_000, 10)
+            .with_cdn_resources(&url("http://cdn.example.net/"), 4);
+        let hosts = p.referenced_hosts();
+        assert_eq!(hosts, vec!["news.pk".to_string(), "cdn.example.net".to_string()]);
+        let cdn_count = p
+            .resources
+            .iter()
+            .filter(|r| r.url.host().to_string() == "cdn.example.net")
+            .count();
+        assert_eq!(cdn_count, 4);
+    }
+
+    #[test]
+    fn synth_html_size_and_shape() {
+        let html = synth_html("Example Site", 95_000);
+        assert!(html.len() >= 90_000 && html.len() <= 100_000, "{}", html.len());
+        assert!(html.contains("<title>Example Site</title>"));
+        assert!(html.contains("</html>"));
+        // Rich markup: far more than a block page's handful of tags.
+        let tags = html.matches('<').count();
+        assert!(tags > 100, "tags {tags}");
+    }
+
+    #[test]
+    fn resource_sizes_vary_but_positive() {
+        let p = WebPage::synthetic(url("http://x.com/"), 300_000, 12);
+        assert!(p.resources.iter().all(|r| r.bytes >= 256));
+        let distinct: std::collections::HashSet<u64> =
+            p.resources.iter().map(|r| r.bytes).collect();
+        assert!(distinct.len() > 1, "sizes should not be uniform");
+    }
+
+    #[test]
+    fn resource_paths_under_page_dir() {
+        let p = WebPage::synthetic(url("http://x.com/videos/watch"), 100_000, 3);
+        for r in &p.resources {
+            assert!(r.url.path().starts_with("/videos/assets/"), "{}", r.url);
+        }
+    }
+}

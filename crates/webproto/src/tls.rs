@@ -1,0 +1,98 @@
+//! TLS handshake model — just enough surface for SNI-based censorship.
+//!
+//! Censors that block HTTPS do so on the plaintext fields of the
+//! ClientHello, almost always the Server Name Indication extension
+//! (§2.1 of the paper, citing RFC 6066). Domain fronting (§2.2) works
+//! precisely because the SNI names an innocuous *front* while the real
+//! destination rides in the encrypted Host header. This module models the
+//! visible part of the handshake; payload encryption is represented by
+//! construction (the censor models never look at the inner request).
+
+use serde::{Deserialize, Serialize};
+
+/// The plaintext-visible part of a TLS ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClientHello {
+    /// The SNI server name, lowercase. `None` models SNI-less clients
+    /// (rare, and often dropped outright by strict censors).
+    pub sni: Option<String>,
+}
+
+impl ClientHello {
+    /// A hello bearing the given SNI.
+    pub fn with_sni(name: &str) -> ClientHello {
+        ClientHello {
+            sni: Some(name.to_ascii_lowercase()),
+        }
+    }
+
+    /// A hello with no SNI extension.
+    pub fn no_sni() -> ClientHello {
+        ClientHello { sni: None }
+    }
+
+    /// A domain-fronted hello: the censor sees only the front's name.
+    /// Semantically identical to `with_sni(front)` — the constructor
+    /// exists to make call sites self-describing.
+    pub fn fronted(front: &str) -> ClientHello {
+        ClientHello::with_sni(front)
+    }
+}
+
+/// What the censor can see of an HTTPS connection attempt: the destination
+/// IP/port (from the TCP layer) plus the ClientHello fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsObservables {
+    /// The ClientHello as observed on the wire.
+    pub hello: ClientHello,
+}
+
+impl TlsObservables {
+    /// Observables for a normal connection to `host`.
+    pub fn direct(host: &str) -> TlsObservables {
+        TlsObservables {
+            hello: ClientHello::with_sni(host),
+        }
+    }
+
+    /// Observables for a fronted connection through `front`.
+    pub fn fronted(front: &str) -> TlsObservables {
+        TlsObservables {
+            hello: ClientHello::fronted(front),
+        }
+    }
+
+    /// The name a censor would match against its SNI blacklist.
+    pub fn visible_name(&self) -> Option<&str> {
+        self.hello.sni.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sni_lowercased() {
+        assert_eq!(
+            ClientHello::with_sni("YouTube.COM").sni.as_deref(),
+            Some("youtube.com")
+        );
+    }
+
+    #[test]
+    fn fronting_hides_backend() {
+        let obs = TlsObservables::fronted("google.com");
+        assert_eq!(obs.visible_name(), Some("google.com"));
+        // Nothing in the observables mentions the blocked backend —
+        // that's the whole point of fronting.
+    }
+
+    #[test]
+    fn no_sni_visible_name() {
+        let obs = TlsObservables {
+            hello: ClientHello::no_sni(),
+        };
+        assert_eq!(obs.visible_name(), None);
+    }
+}

@@ -1,0 +1,532 @@
+//! A from-scratch URL type tailored to C-Saw's needs.
+//!
+//! C-Saw's local database is keyed by URL and relies on structural
+//! relationships between URLs (§4.4 "Managing the database size"):
+//!
+//! - the **base URL** `http://www.foo.com/` versus **derived URLs** such as
+//!   `http://www.foo.com/a.html`;
+//! - **longest-prefix matching** over path segments to find the most
+//!   specific blocking record for a derived URL;
+//! - **hostname-level aggregation** for DNS/IP/SNI blocking, where the
+//!   censor cannot see paths at all;
+//! - the **"IP as hostname"** circumvention trick (Figure 1c), which
+//!   requires hosts to be either names or literal IPv4 addresses.
+//!
+//! Only `http` and `https` schemes exist in this model — the paper is
+//! about web censorship.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// URL scheme. The model covers web traffic only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plaintext HTTP — the censor sees the full request line and headers.
+    Http,
+    /// HTTPS — the censor sees only the TLS SNI (and the IP).
+    Https,
+}
+
+impl Scheme {
+    /// Default port for the scheme.
+    pub fn default_port(self) -> u16 {
+        match self {
+            Scheme::Http => 80,
+            Scheme::Https => 443,
+        }
+    }
+
+    /// Scheme keyword as it appears in a URL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A host: either a DNS name or a literal IPv4 address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Host {
+    /// A DNS hostname, stored lowercase.
+    Name(String),
+    /// A literal IPv4 address (the "IP as hostname" form).
+    Ip(Ipv4Addr),
+}
+
+impl Host {
+    /// Parse a host component; a well-formed dotted quad becomes an IP.
+    pub fn parse(s: &str) -> Result<Host, UrlParseError> {
+        if s.is_empty() {
+            return Err(UrlParseError::EmptyHost);
+        }
+        if let Ok(ip) = s.parse::<Ipv4Addr>() {
+            return Ok(Host::Ip(ip));
+        }
+        let lower = s.to_ascii_lowercase();
+        if !lower
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.' || c == '_')
+        {
+            return Err(UrlParseError::BadHost(s.to_string()));
+        }
+        if lower.starts_with('.') || lower.ends_with('.') || lower.contains("..") {
+            return Err(UrlParseError::BadHost(s.to_string()));
+        }
+        Ok(Host::Name(lower))
+    }
+
+    /// Is this a literal IP host?
+    pub fn is_ip(&self) -> bool {
+        matches!(self, Host::Ip(_))
+    }
+
+    /// The DNS name if this is a named host.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Host::Name(n) => Some(n),
+            Host::Ip(_) => None,
+        }
+    }
+
+    /// Registrable-domain heuristic: the last two labels, or the last
+    /// three when the penultimate label is a well-known second-level
+    /// registry label (`co`, `com`, `net`, `org`, `gov`, `edu`, `ac`).
+    /// IPs return their dotted form.
+    ///
+    /// Example: `video.cdn.foo.com` → `foo.com`; `www.bbc.co.uk` →
+    /// `bbc.co.uk`.
+    pub fn registrable_domain(&self) -> String {
+        match self {
+            Host::Ip(ip) => ip.to_string(),
+            Host::Name(n) => {
+                let labels: Vec<&str> = n.split('.').collect();
+                if labels.len() <= 2 {
+                    return n.clone();
+                }
+                let second_level = matches!(
+                    labels[labels.len() - 2],
+                    "co" | "com" | "net" | "org" | "gov" | "edu" | "ac"
+                );
+                let keep = if second_level && labels.len() >= 3 {
+                    3
+                } else {
+                    2
+                };
+                labels[labels.len() - keep..].join(".")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Host::Name(n) => f.write_str(n),
+            Host::Ip(ip) => write!(f, "{ip}"),
+        }
+    }
+}
+
+/// Errors from URL parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlParseError {
+    /// Missing or unrecognized scheme prefix.
+    BadScheme,
+    /// Host component was empty.
+    EmptyHost,
+    /// Host contained invalid characters or structure.
+    BadHost(String),
+    /// Port was present but not a valid u16.
+    BadPort(String),
+}
+
+impl fmt::Display for UrlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlParseError::BadScheme => write!(f, "expected http:// or https:// scheme"),
+            UrlParseError::EmptyHost => write!(f, "empty host"),
+            UrlParseError::BadHost(h) => write!(f, "invalid host: {h:?}"),
+            UrlParseError::BadPort(p) => write!(f, "invalid port: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UrlParseError {}
+
+/// A parsed, normalized web URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Url {
+    scheme: Scheme,
+    host: Host,
+    /// Explicit port, if different from the scheme default.
+    port: Option<u16>,
+    /// Always begins with `/`. Normalized: no empty inner segments.
+    path: String,
+    /// Query string without the leading `?`, if any.
+    query: Option<String>,
+}
+
+impl Url {
+    /// Parse a URL string. Accepts `http://` and `https://` URLs with an
+    /// optional port, path and query. Fragments are stripped (a censor
+    /// never sees them — they stay in the browser).
+    pub fn parse(s: &str) -> Result<Url, UrlParseError> {
+        let s = s.trim();
+        let (scheme, rest) = if let Some(r) = s.strip_prefix("https://") {
+            (Scheme::Https, r)
+        } else if let Some(r) = s.strip_prefix("http://") {
+            (Scheme::Http, r)
+        } else {
+            return Err(UrlParseError::BadScheme);
+        };
+        // Split off fragment first, then query, then path.
+        let rest = rest.split('#').next().unwrap_or(rest);
+        let (authority_path, query) = match rest.split_once('?') {
+            Some((ap, q)) => (ap, Some(q.to_string())),
+            None => (rest, None),
+        };
+        let (authority, path) = match authority_path.find('/') {
+            Some(i) => (&authority_path[..i], &authority_path[i..]),
+            None => (authority_path, "/"),
+        };
+        let (host_s, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| UrlParseError::BadPort(p.to_string()))?;
+                (h, Some(port))
+            }
+            Some((_, p)) if p.bytes().any(|b| !b.is_ascii_digit()) && !p.is_empty() => {
+                return Err(UrlParseError::BadPort(p.to_string()));
+            }
+            _ => (authority, None),
+        };
+        let host = Host::parse(host_s)?;
+        // Drop an explicit default port during normalization.
+        let port = port.filter(|p| *p != scheme.default_port());
+        Ok(Url {
+            scheme,
+            host,
+            port,
+            path: normalize_path(path),
+            query: query.filter(|q| !q.is_empty()),
+        })
+    }
+
+    /// Construct from parts (used by generators and tests).
+    pub fn from_parts(
+        scheme: Scheme,
+        host: Host,
+        port: Option<u16>,
+        path: &str,
+        query: Option<&str>,
+    ) -> Url {
+        Url {
+            scheme,
+            host,
+            port: port.filter(|p| *p != scheme.default_port()),
+            path: normalize_path(path),
+            query: query.map(str::to_string).filter(|q| !q.is_empty()),
+        }
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The host.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The effective port (explicit, or the scheme default).
+    pub fn port(&self) -> u16 {
+        self.port.unwrap_or_else(|| self.scheme.default_port())
+    }
+
+    /// The normalized path (always starts with `/`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query string without `?`, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Path split into segments; the base path `/` has no segments.
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path
+            .split('/')
+            .filter(|seg| !seg.is_empty())
+            .collect()
+    }
+
+    /// Is this a **base URL** in the paper's sense: the root of a host,
+    /// e.g. `http://www.foo.com/` (no path beyond `/`, no query)?
+    pub fn is_base(&self) -> bool {
+        self.path == "/" && self.query.is_none()
+    }
+
+    /// The base URL of this URL: same scheme/host/port, path `/`.
+    pub fn base(&self) -> Url {
+        Url {
+            scheme: self.scheme,
+            host: self.host.clone(),
+            port: self.port,
+            path: "/".to_string(),
+            query: None,
+        }
+    }
+
+    /// Is `self` derived from `other` — same scheme/host/port, and
+    /// `other`'s path segments are a (proper or equal) prefix of ours?
+    /// Every URL is derived from its own base.
+    pub fn is_derived_from(&self, other: &Url) -> bool {
+        if self.scheme != other.scheme || self.host != other.host || self.port != other.port {
+            return false;
+        }
+        let mine = self.path_segments();
+        let theirs = other.path_segments();
+        if theirs.len() > mine.len() {
+            return false;
+        }
+        mine.iter().zip(theirs.iter()).all(|(a, b)| a == b)
+    }
+
+    /// Same URL under a different scheme (used when an HTTPS local-fix
+    /// upgrades an HTTP URL: the resource identity is unchanged).
+    ///
+    /// A URL on its scheme's default port moves to the *new* scheme's
+    /// default port — upgrading `http://h/` yields `https://h/` (port 443),
+    /// which is what a real protocol upgrade does. An explicit non-default
+    /// port is preserved.
+    pub fn with_scheme(&self, scheme: Scheme) -> Url {
+        let mut u = self.clone();
+        u.scheme = scheme;
+        u.port = u.port.filter(|p| *p != scheme.default_port());
+        u
+    }
+
+    /// The same resource addressed by literal IP instead of hostname —
+    /// the Figure 1c "IP as hostname" circumvention.
+    pub fn with_ip_host(&self, ip: Ipv4Addr) -> Url {
+        let mut u = self.clone();
+        u.host = Host::Ip(ip);
+        u
+    }
+
+    /// Hostname for DNS resolution (None when the host is a literal IP —
+    /// no lookup needed, which is exactly why IP-as-hostname defeats DNS
+    /// and keyword filters).
+    pub fn dns_name(&self) -> Option<&str> {
+        self.host.name()
+    }
+
+    /// The aggregation key for non-HTTP blocking (DNS/IP/SNI all act on
+    /// the host, not the path): scheme + host + port with path `/`.
+    pub fn host_key(&self) -> Url {
+        self.base()
+    }
+}
+
+/// Normalize a path: ensure leading `/`, collapse duplicate slashes,
+/// resolve `.` segments (but keep `..` literally — we model, not a
+/// browser; censors match textually).
+fn normalize_path(p: &str) -> String {
+    let mut out = String::from("/");
+    for seg in p.split('/') {
+        if seg.is_empty() || seg == "." {
+            continue;
+        }
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        out.push_str(seg);
+    }
+    out
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if let Some(p) = self.port {
+            write!(f, ":{p}")?;
+        }
+        f.write_str(&self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Url {
+    type Err = UrlParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple() {
+        let u = Url::parse("http://www.foo.com/a.html").unwrap();
+        assert_eq!(u.scheme(), Scheme::Http);
+        assert_eq!(u.host().to_string(), "www.foo.com");
+        assert_eq!(u.port(), 80);
+        assert_eq!(u.path(), "/a.html");
+        assert_eq!(u.query(), None);
+    }
+
+    #[test]
+    fn parses_everything() {
+        let u = Url::parse("https://Example.COM:8443/a/b/c?x=1&y=2#frag").unwrap();
+        assert_eq!(u.scheme(), Scheme::Https);
+        assert_eq!(u.host().name(), Some("example.com"));
+        assert_eq!(u.port(), 8443);
+        assert_eq!(u.path(), "/a/b/c");
+        assert_eq!(u.query(), Some("x=1&y=2"));
+        assert_eq!(u.to_string(), "https://example.com:8443/a/b/c?x=1&y=2");
+    }
+
+    #[test]
+    fn default_port_normalized_away() {
+        let u = Url::parse("http://foo.com:80/x").unwrap();
+        assert_eq!(u.to_string(), "http://foo.com/x");
+        let u = Url::parse("https://foo.com:443/").unwrap();
+        assert_eq!(u.to_string(), "https://foo.com/");
+        // Non-default port survives.
+        let u = Url::parse("http://foo.com:8080/").unwrap();
+        assert_eq!(u.to_string(), "http://foo.com:8080/");
+    }
+
+    #[test]
+    fn no_path_means_root() {
+        let u = Url::parse("http://foo.com").unwrap();
+        assert_eq!(u.path(), "/");
+        assert!(u.is_base());
+    }
+
+    #[test]
+    fn ip_hosts() {
+        let u = Url::parse("http://93.184.216.34/page").unwrap();
+        assert!(u.host().is_ip());
+        assert_eq!(u.dns_name(), None);
+        let named = Url::parse("http://foo.com/page").unwrap();
+        let as_ip = named.with_ip_host("10.0.0.1".parse().unwrap());
+        assert_eq!(as_ip.to_string(), "http://10.0.0.1/page");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Url::parse("ftp://x/"), Err(UrlParseError::BadScheme));
+        assert_eq!(Url::parse("http://"), Err(UrlParseError::EmptyHost));
+        assert!(matches!(
+            Url::parse("http://bad host/"),
+            Err(UrlParseError::BadHost(_))
+        ));
+        assert!(matches!(
+            Url::parse("http://foo.com:notaport/"),
+            Err(UrlParseError::BadPort(_))
+        ));
+        assert!(matches!(
+            Url::parse("http://..foo.com/"),
+            Err(UrlParseError::BadHost(_))
+        ));
+    }
+
+    #[test]
+    fn base_and_derived() {
+        let base = Url::parse("http://www.foo.com/").unwrap();
+        let derived = Url::parse("http://www.foo.com/a/b.html").unwrap();
+        let other_host = Url::parse("http://bar.com/a/b.html").unwrap();
+        assert!(base.is_base());
+        assert!(!derived.is_base());
+        assert_eq!(derived.base(), base);
+        assert!(derived.is_derived_from(&base));
+        assert!(derived.is_derived_from(&derived));
+        assert!(!base.is_derived_from(&derived));
+        assert!(!other_host.is_derived_from(&base));
+    }
+
+    #[test]
+    fn prefix_semantics_are_segment_wise() {
+        let a = Url::parse("http://x.com/ab").unwrap();
+        let b = Url::parse("http://x.com/abc").unwrap();
+        // "/ab" is a *string* prefix of "/abc" but not a segment prefix.
+        assert!(!b.is_derived_from(&a));
+        let c = Url::parse("http://x.com/ab/c").unwrap();
+        assert!(c.is_derived_from(&a));
+    }
+
+    #[test]
+    fn path_normalization() {
+        let u = Url::parse("http://x.com//a///b/./c").unwrap();
+        assert_eq!(u.path(), "/a/b/c");
+        assert_eq!(u.path_segments(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn scheme_swap_keeps_identity() {
+        let u = Url::parse("http://foo.com/a?q=1").unwrap();
+        let s = u.with_scheme(Scheme::Https);
+        assert_eq!(s.to_string(), "https://foo.com/a?q=1");
+        assert_eq!(s.with_scheme(Scheme::Http), u);
+        // Port normalization across schemes: http://h:443/ -> https keeps
+        // the default-for-https port implicit.
+        let odd = Url::parse("http://foo.com:443/").unwrap();
+        assert_eq!(odd.with_scheme(Scheme::Https).to_string(), "https://foo.com/");
+    }
+
+    #[test]
+    fn registrable_domain_heuristic() {
+        let h = |s: &str| Host::parse(s).unwrap().registrable_domain();
+        assert_eq!(h("www.foo.com"), "foo.com");
+        assert_eq!(h("video.cdn.foo.com"), "foo.com");
+        assert_eq!(h("foo.com"), "foo.com");
+        assert_eq!(h("www.bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(h("localhost"), "localhost");
+        assert_eq!(
+            Host::Ip("1.2.3.4".parse().unwrap()).registrable_domain(),
+            "1.2.3.4"
+        );
+    }
+
+    #[test]
+    fn almost_ip_hosts_stay_names() {
+        // Dotted quads that aren't valid IPv4 parse as hostnames.
+        for h in ["999.1.1.1", "1.2.3.4.5", "1.2.3", "01a.2.3.4"] {
+            let host = Host::parse(h).unwrap();
+            assert!(!host.is_ip(), "{h} misparsed as IP");
+        }
+        assert!(Host::parse("255.255.255.255").unwrap().is_ip());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in [
+            "http://foo.com/",
+            "https://a.b.c.d.com/x/y/z?q=2",
+            "http://10.1.2.3:8080/p",
+            "https://foo.com/a%20b",
+        ] {
+            let u = Url::parse(s).unwrap();
+            let r = Url::parse(&u.to_string()).unwrap();
+            assert_eq!(u, r, "roundtrip of {s}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the URL type — the data structure underneath
+//! C-Saw's local database keys and aggregation.
+
+use csaw_webproto::url::{Host, Scheme, Url};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+}
+
+fn arb_hostname() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_label(), 1..4).prop_map(|ls| ls.join("."))
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9_.-]{1,10}", 0..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn arb_url() -> impl Strategy<Value = Url> {
+    (
+        prop::bool::ANY,
+        arb_hostname(),
+        prop::option::of(1024u16..60000),
+        arb_path(),
+        prop::option::of("[a-z]=[0-9]{1,4}"),
+    )
+        .prop_map(|(https, host, port, path, query)| {
+            let scheme = if https { Scheme::Https } else { Scheme::Http };
+            Url::from_parts(
+                scheme,
+                Host::parse(&host).unwrap(),
+                port,
+                &path,
+                query.as_deref(),
+            )
+        })
+}
+
+proptest! {
+    /// Display → parse is the identity on normalized URLs.
+    #[test]
+    fn display_parse_roundtrip(u in arb_url()) {
+        let s = u.to_string();
+        let parsed = Url::parse(&s).expect("displayed URL must reparse");
+        prop_assert_eq!(parsed, u);
+    }
+
+    /// Every URL is derived from its own base, and `base()` is idempotent.
+    #[test]
+    fn base_is_ancestor_and_idempotent(u in arb_url()) {
+        let b = u.base();
+        prop_assert!(b.is_base());
+        prop_assert!(u.is_derived_from(&b));
+        prop_assert_eq!(b.base(), b.clone());
+        // The base preserves identity components.
+        prop_assert_eq!(b.scheme(), u.scheme());
+        prop_assert_eq!(b.host(), u.host());
+        prop_assert_eq!(b.port(), u.port());
+    }
+
+    /// Derivation is reflexive and transitive along path prefixes.
+    #[test]
+    fn derivation_prefix_chain(u in arb_url()) {
+        prop_assert!(u.is_derived_from(&u));
+        // Build each ancestor by truncating path segments; all must be
+        // ancestors of u, and each deeper one derived from each shallower.
+        let segs = u.path_segments().into_iter().map(str::to_string).collect::<Vec<_>>();
+        let mut ancestors = vec![u.base()];
+        for k in 1..=segs.len() {
+            let path = format!("/{}", segs[..k].join("/"));
+            ancestors.push(Url::from_parts(u.scheme(), u.host().clone(), Some(u.port()), &path, None));
+        }
+        for (i, a) in ancestors.iter().enumerate() {
+            prop_assert!(u.is_derived_from(a), "u not derived from ancestor {i}");
+            for b in &ancestors[..=i] {
+                prop_assert!(a.is_derived_from(b));
+            }
+        }
+    }
+
+    /// Scheme swapping: default ports map to the new scheme's default,
+    /// explicit non-default ports are preserved; host/path untouched.
+    #[test]
+    fn scheme_swap_port_semantics(u in arb_url()) {
+        let swapped = u.with_scheme(Scheme::Https);
+        if u.port() == u.scheme().default_port() || u.port() == Scheme::Https.default_port() {
+            prop_assert_eq!(swapped.port(), Scheme::Https.default_port());
+        } else {
+            prop_assert_eq!(swapped.port(), u.port());
+        }
+        prop_assert_eq!(swapped.host(), u.host());
+        prop_assert_eq!(swapped.path(), u.path());
+    }
+
+    /// Parsing is total over displayed forms with odd-but-legal inputs:
+    /// extra slashes collapse, dot segments vanish.
+    #[test]
+    fn normalization_stable(host in arb_hostname(), segs in prop::collection::vec("[a-z0-9]{1,6}", 0..4)) {
+        let messy = format!("http://{}//{}/.", host, segs.join("//"));
+        let u = Url::parse(&messy).unwrap();
+        let clean = Url::parse(&u.to_string()).unwrap();
+        prop_assert_eq!(u, clean);
+    }
+}

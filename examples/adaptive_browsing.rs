@@ -1,0 +1,81 @@
+//! Crowdsourcing in action: one user's measurements make the next
+//! user's first visit fast.
+//!
+//! Two C-Saw clients sit behind ISP-B (multi-stage DNS + HTTP/HTTPS
+//! blocking of YouTube, per Table 1). Client A browses first, pays the
+//! detection cost, and reports to the global DB. Client B syncs the
+//! per-AS blocked list at registration and goes straight to domain
+//! fronting on its *first* visit.
+//!
+//! ```sh
+//! cargo run --example adaptive_browsing
+//! ```
+
+use csaw::prelude::*;
+use csaw_censor::profiles;
+use csaw_circumvent::world::{SiteSpec, World};
+use csaw_simnet::prelude::*;
+
+fn main() {
+    let provider = Provider::new(profiles::ISP_B_ASN, "ISP-B");
+    let world = World::builder(AccessNetwork::single(provider))
+        .site(
+            SiteSpec::new("www.youtube.com", Site::at_vantage_rtt(Region::UsEast, 186))
+                .category(csaw_censor::Category::Video)
+                .frontable(true)
+                .default_page(360_000, 20),
+        )
+        .site(SiteSpec::new(
+            "cdn-front.example",
+            Site::in_region(Region::Singapore),
+        ))
+        .censor(profiles::ISP_B_ASN, profiles::isp_b())
+        .build();
+
+    let mut server = ServerDb::new(7);
+    let url: csaw_webproto::Url = "http://www.youtube.com/".parse().expect("static URL");
+
+    println!("== Crowdsourced measurements make circumvention fast ==\n");
+
+    // --- Client A: the pioneer -----------------------------------------
+    let mut alice = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 1);
+    alice
+        .register(&mut server, profiles::ISP_B_ASN, SimTime::from_secs(0), 0.05)
+        .expect("alice registers");
+    let r1 = alice.request(&world, &url, SimTime::from_secs(10));
+    println!(
+        "Alice, first visit : PLT {:>6.2}s via {:<16} (paid the measurement cost)",
+        r1.plt.map(|p| p.as_secs_f64()).unwrap_or(f64::NAN),
+        r1.transport
+    );
+    let r2 = alice.request(&world, &url, SimTime::from_secs(60));
+    println!(
+        "Alice, second visit: PLT {:>6.2}s via {:<16} (adapted)",
+        r2.plt.map(|p| p.as_secs_f64()).unwrap_or(f64::NAN),
+        r2.transport
+    );
+    let posted = alice.post_reports(&mut server, SimTime::from_secs(70));
+    println!("Alice posts {posted} report(s) to the global DB (over Tor, no PII)\n");
+
+    // --- Client B: the beneficiary --------------------------------------
+    let mut bob = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 2);
+    bob.register(&mut server, profiles::ISP_B_ASN, SimTime::from_secs(100), 0.05)
+        .expect("bob registers");
+    println!(
+        "Bob syncs the blocked list for {}: {} entr{} about youtube",
+        profiles::ISP_B_ASN,
+        bob.global_lookup(&url).map(|s| s.len()).unwrap_or(0),
+        if bob.global_lookup(&url).map(|s| s.len()).unwrap_or(0) == 1 { "y" } else { "ies" },
+    );
+    let r3 = bob.request(&world, &url, SimTime::from_secs(110));
+    println!(
+        "Bob, FIRST visit   : PLT {:>6.2}s via {:<16} (no measurement round needed)",
+        r3.plt.map(|p| p.as_secs_f64()).unwrap_or(f64::NAN),
+        r3.transport
+    );
+    println!(
+        "\nServer now tracks {} blocked URL(s); vote tally for youtube: {:?}",
+        server.stats().unique_blocked_urls,
+        server.tally("http://www.youtube.com/", profiles::ISP_B_ASN)
+    );
+}

@@ -1,0 +1,90 @@
+//! Hold-On vs an injecting, GFW-style censor (§2.2 + §8).
+//!
+//! This censor poisons DNS answers *on path* — switching to a public
+//! resolver doesn't help, because the forged answer races back before
+//! the honest one. Hold-On (Duan et al.) keeps listening past the first
+//! answer and keeps the one that arrives at the resolver's true RTT.
+//!
+//! ```sh
+//! cargo run --example dns_injection
+//! ```
+
+use csaw::prelude::*;
+use csaw_censor::profiles;
+use csaw_circumvent::transports::{FetchCtx, HoldOnDns, PublicDns, Transport};
+use csaw_circumvent::world::{SiteSpec, World};
+use csaw_simnet::prelude::*;
+
+fn main() {
+    let provider = Provider::new(Asn(4134), "ISP-GFW");
+    let mut world = World::builder(AccessNetwork::single(provider.clone()))
+        .site(
+            SiteSpec::new("news-site.example", Site::in_region(Region::UsEast))
+                .serves_by_ip(true)
+                .default_page(200_000, 10),
+        )
+        .censor(Asn(4134), profiles::resourceful(&["news-site.example"]))
+        .build();
+    world.set_public_dns_intercepted(true); // on-path injection reaches 8.8.8.8 too
+
+    let ctx = FetchCtx {
+        now: SimTime::ZERO,
+        provider,
+    };
+    let url: csaw_webproto::Url = "http://news-site.example/".parse().expect("static URL");
+    let mut rng = DetRng::new(7);
+
+    println!("== On-path DNS injection vs Hold-On ==\n");
+    for i in 0..3 {
+        let r = PublicDns.fetch(&world, &ctx, &url, &mut rng);
+        println!(
+            "public DNS, try {}: {:<28} after {:.2}s",
+            i + 1,
+            match r.outcome.failure() {
+                Some(k) => format!("{k}"),
+                None if r.outcome.is_genuine_page() => "genuine page".into(),
+                None => "block page".into(),
+            },
+            r.elapsed.as_secs_f64()
+        );
+    }
+    println!();
+    for i in 0..3 {
+        let r = HoldOnDns.fetch(&world, &ctx, &url, &mut rng);
+        println!(
+            "Hold-On,    try {}: {:<28} after {:.2}s",
+            i + 1,
+            if r.outcome.is_genuine_page() {
+                "genuine page".to_string()
+            } else {
+                format!("{:?}", r.outcome.failure())
+            },
+            r.elapsed.as_secs_f64()
+        );
+    }
+    println!("\nHold-On recovers the real records — but this censor also resets");
+    println!("plaintext HTTP, so fixing DNS alone is not enough. A full C-Saw");
+    println!("client keeps adapting until something works:\n");
+
+    let mut client = CsawClient::new(CsawConfig::default(), None, 11);
+    for i in 0..4u64 {
+        let r = client.request(&world, &url, SimTime::from_secs(60 * (i + 1)));
+        println!(
+            "C-Saw visit {}: {:?} via {:<16} PLT {}",
+            i + 1,
+            r.status_after,
+            r.transport,
+            r.plt
+                .map(|p| format!("{:.2}s", p.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let rec = client
+        .local_db
+        .lookup(&url, SimTime::from_secs(600))
+        .record
+        .expect("recorded");
+    println!("\nLearned multi-stage record: {:?}", rec.stages);
+    println!("(IP-as-hostname wins: an IP-addressed plain-HTTP fetch matches neither");
+    println!("the DNS blacklist, the SNI filter, nor the Host-based HTTP rules.)");
+}

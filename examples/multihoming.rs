@@ -1,0 +1,51 @@
+//! Multihoming (§4.4): the paper's University vantage connects through
+//! both ISP-A and ISP-B, which block YouTube *differently*. Without the
+//! multihoming manager a client oscillates between "blocked" and
+//! "not-blocked" verdicts as flows land on different providers; with it,
+//! C-Saw detects the multihoming from egress-ASN probes and adopts the
+//! strict-union strategy that works on either path.
+//!
+//! ```sh
+//! cargo run --example multihoming
+//! ```
+
+use csaw::prelude::*;
+use csaw_simnet::prelude::*;
+
+fn main() {
+    let world = csaw_bench::worlds::multihomed_university_world();
+    let mut client = CsawClient::new(
+        CsawConfig::default(),
+        Some(csaw_bench::worlds::FRONT),
+        9,
+    );
+    let url: csaw_webproto::Url = "http://www.youtube.com/".parse().expect("static URL");
+
+    println!("== Browsing YouTube from a multihomed campus (ISP-A + ISP-B) ==\n");
+    for i in 0..10u64 {
+        let t = SimTime::from_secs(30 * (i + 1));
+        let r = client.request(&world, &url, t);
+        println!(
+            "visit {:>2}: via {:<16} PLT {:>6}   multihomed detected: {}",
+            i + 1,
+            r.transport,
+            r.plt
+                .map(|p| format!("{:.2}s", p.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            client.multihoming.multihomed,
+        );
+    }
+    let key = url.base().to_string();
+    println!(
+        "\nStrict-union mechanisms for {}: {:?}",
+        key,
+        client.per_provider.strict_union(&key)
+    );
+    println!(
+        "Providers observed: {:?}",
+        client.multihoming.asns_in_window()
+    );
+    println!("\nOnce multihoming is detected, blocked-URL strategy comes from the strict");
+    println!("union of per-provider observations, so the chosen transport keeps working");
+    println!("no matter which ISP happens to carry a given flow.");
+}

@@ -1,0 +1,190 @@
+//! `csaw-sim` — drive the C-Saw reproduction from the command line.
+//!
+//! ```text
+//! csaw-sim scenarios                          list the built-in worlds
+//! csaw-sim browse --scenario isp-b [-n 20] [--seed 7] [--anonymity]
+//!                                             run a client and print each request
+//! csaw-sim experiments                        list every table/figure runner
+//! csaw-sim experiment table5 [--seed 1]       regenerate one artifact
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled — the workspace's only
+//! dependencies are the ones DESIGN.md justifies.
+
+use csaw::prelude::*;
+use csaw_bench::experiments as exp;
+use csaw_circumvent::world::World;
+use csaw_simnet::prelude::*;
+
+const SCENARIOS: &[(&str, &str)] = &[
+    ("clean", "no censorship (control)"),
+    ("isp-a", "Table 1 ISP-A: HTTP blocking with block-page redirects"),
+    ("isp-b", "Table 1 ISP-B: DNS hijack + HTTP/HTTPS drop for YouTube"),
+    ("multihomed", "the §2.3 University: ISP-A and ISP-B together"),
+    ("keyword", "keyword filter (defeated by IP-as-hostname)"),
+];
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table5", "table6", "table7", "fig1a", "fig1b", "fig1c", "fig2",
+    "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "wild",
+    "datausage", "fingerprint", "ablation-explore", "nonweb", "propagation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("scenarios") => {
+            println!("scenarios:");
+            for (name, desc) in SCENARIOS {
+                println!("  {name:<12} {desc}");
+            }
+        }
+        Some("experiments") => {
+            println!("experiments (cargo run --bin csaw-sim -- experiment <id>):");
+            for e in EXPERIMENTS {
+                println!("  {e}");
+            }
+        }
+        Some("experiment") => run_experiment(&args[1..]),
+        Some("browse") => browse(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: csaw-sim <scenarios|browse|experiments|experiment> [options]\n\
+                 \n  csaw-sim browse --scenario isp-b [-n 20] [--seed 7] [--anonymity]\n  csaw-sim experiment table5 [--seed 1]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse a numeric flag strictly: present-but-garbage is an error, not a
+/// silent fallback to the default.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {name}: {v:?} (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn scenario_world(name: &str) -> Option<World> {
+    use csaw_bench::worlds;
+    match name {
+        "clean" => Some(worlds::clean_world()),
+        "isp-a" => Some(worlds::single_isp_world(
+            csaw_censor::ISP_A_ASN,
+            "ISP-A",
+            csaw_censor::isp_a(),
+        )),
+        "isp-b" => Some(worlds::single_isp_world(
+            csaw_censor::ISP_B_ASN,
+            "ISP-B",
+            csaw_censor::isp_b(),
+        )),
+        "multihomed" => Some(worlds::multihomed_university_world()),
+        "keyword" => Some(worlds::single_isp_world(
+            Asn(64001),
+            "ISP-KW",
+            csaw_censor::keyword_filter(&["adult", "proxy"]),
+        )),
+        _ => None,
+    }
+}
+
+fn browse(args: &[String]) {
+    let scenario = flag_value(args, "--scenario").unwrap_or("isp-a");
+    let n: usize = if flag_value(args, "-n").is_some() {
+        numeric_flag(args, "-n", 12)
+    } else {
+        numeric_flag(args, "--requests", 12)
+    };
+    let seed: u64 = numeric_flag(args, "--seed", 42);
+    let anonymity = args.iter().any(|a| a == "--anonymity");
+    let Some(world) = scenario_world(scenario) else {
+        eprintln!("unknown scenario {scenario:?}; see `csaw-sim scenarios`");
+        std::process::exit(2);
+    };
+    let mut cfg = CsawConfig::default();
+    if anonymity {
+        cfg = cfg.with_preference(UserPreference::Anonymity);
+    }
+    let mut client = CsawClient::new(cfg, Some(csaw_bench::worlds::FRONT), seed);
+
+    // A revisit-heavy browse mix over the standard sites.
+    let pool = [
+        format!("http://{}/", csaw_bench::worlds::YOUTUBE),
+        format!("http://{}/", csaw_bench::worlds::SMALL_PAGE),
+        format!("http://{}/", csaw_bench::worlds::PORN_PAGE),
+        "http://twitter.com/".to_string(),
+        format!("http://{}/watch/trending", csaw_bench::worlds::YOUTUBE),
+    ];
+    println!("browsing {n} requests in scenario {scenario:?} (seed {seed}):\n");
+    let mut rng = DetRng::new(seed ^ 0xb10);
+    for i in 0..n {
+        let url: csaw_webproto::Url = pool[rng.index(pool.len())].parse().expect("static URL");
+        let t = SimTime::from_secs(30 * (i as u64 + 1));
+        let r = client.request(&world, &url, t);
+        println!(
+            "  t={:>5}s  {:<44} {:<11} via {:<16} PLT {}",
+            t.as_millis() / 1000,
+            url.to_string(),
+            format!("{:?}", r.status_after),
+            r.transport,
+            r.plt
+                .map(|p| format!("{:>6.2}s", p.as_secs_f64()))
+                .unwrap_or_else(|| "     -".into()),
+        );
+    }
+    let s = client.stats;
+    println!(
+        "\nsummary: {} requests | {} direct | {} circumvented | {} failed | {} measurements | {} blocked records",
+        s.requests, s.served_direct, s.served_circumvention, s.failed, s.measurements, s.blocked_recorded
+    );
+}
+
+fn run_experiment(args: &[String]) {
+    let Some(id) = args.first() else {
+        eprintln!("usage: csaw-sim experiment <id> [--seed S]; see `csaw-sim experiments`");
+        std::process::exit(2);
+    };
+    let seed: u64 = numeric_flag(args, "--seed", 1);
+    let out = match id.as_str() {
+        "table1" => exp::table1::run(seed).render(),
+        "table2" => exp::table2::run(seed).render(),
+        "table5" => exp::table5::run(seed).render(),
+        "table6" => exp::table6::run(seed).render(),
+        "table7" => exp::table7::run(seed, 123).render(),
+        "fig1a" => exp::fig1::run_1a(seed).render(),
+        "fig1b" => exp::fig1::run_1b(seed).render(),
+        "fig1c" => exp::fig1::run_1c(seed).render(),
+        "fig2" => exp::fig2::run(seed).render(),
+        "fig5a" => exp::fig5::run_5a(seed).render(),
+        "fig5b" => exp::fig5::run_5b(seed).render(),
+        "fig5c" => exp::fig5::run_5c(seed).render(),
+        "fig6a" => exp::fig6::run_6a(seed).render(),
+        "fig6b" => exp::fig6::run_6b(seed).render(),
+        "fig7a" => exp::fig7::run_7a(seed).render(),
+        "fig7b" => exp::fig7::run_7b(seed).render(),
+        "fig7c" => exp::fig7::run_7c(seed).render(),
+        "wild" => exp::wild::run(seed).render(),
+        "datausage" => exp::datausage::run(seed).render(),
+        "fingerprint" => exp::fingerprint::run(seed).render(),
+        "ablation-explore" => exp::ablation_explore::run(seed).render(),
+        "nonweb" => exp::nonweb::run(seed).render(),
+        "propagation" => exp::propagation::run(seed).render(),
+        other => {
+            eprintln!("unknown experiment {other:?}; see `csaw-sim experiments`");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

@@ -1,0 +1,1 @@
+//! Root crate: hosts examples and integration tests for the C-Saw reproduction.

@@ -1,0 +1,225 @@
+//! Cross-crate property-based tests on the system's core invariants.
+
+use csaw::global::{Uuid, VoteLedger};
+use csaw::local::{LocalDb, Status};
+use csaw_censor::blocking::BlockingType;
+use csaw_simnet::tcp::{transfer_time, TcpConfig};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_simnet::DetRng;
+use csaw_webproto::url::{Host, Scheme, Url};
+use proptest::prelude::*;
+
+fn arb_url() -> impl Strategy<Value = Url> {
+    (
+        prop::bool::ANY,
+        prop::collection::vec("[a-z]{2,8}", 1..3),
+        prop::collection::vec("[a-z0-9]{1,8}", 0..4),
+    )
+        .prop_map(|(https, host_labels, segs)| {
+            let scheme = if https { Scheme::Https } else { Scheme::Http };
+            let host = format!("{}.example", host_labels.join("."));
+            let path = format!("/{}", segs.join("/"));
+            Url::from_parts(scheme, Host::parse(&host).unwrap(), None, &path, None)
+        })
+}
+
+fn arb_blocking() -> impl Strategy<Value = BlockingType> {
+    prop::sample::select(BlockingType::ALL.to_vec())
+}
+
+proptest! {
+    /// Aggregation invariant: after recording any sequence of
+    /// measurements, looking up a URL that was *directly measured as
+    /// blocked* must never read NotBlocked before its record expires
+    /// (censorship evidence is only discarded by fresher contradicting
+    /// evidence, which this sequence doesn't produce for distinct URLs).
+    #[test]
+    fn blocked_verdicts_never_silently_vanish(
+        urls in prop::collection::vec((arb_url(), arb_blocking()), 1..20)
+    ) {
+        let mut db = LocalDb::new(SimDuration::from_secs(3600));
+        let now = SimTime::from_secs(1);
+        // Record each URL as blocked, in order.
+        for (u, bt) in &urls {
+            db.record_measurement(u, Asn(1), now, Status::Blocked, vec![*bt]);
+        }
+        // Every recorded URL still reads Blocked.
+        for (u, _) in &urls {
+            let got = db.lookup(u, now).status;
+            prop_assert_eq!(got, Status::Blocked, "lost verdict for {}", u);
+        }
+    }
+
+    /// Aggregation never stores more records than the non-aggregating
+    /// baseline, and lookups agree wherever the baseline has an answer
+    /// for blocked URLs.
+    #[test]
+    fn aggregation_is_a_compression(
+        items in prop::collection::vec((arb_url(), prop::bool::ANY), 1..30)
+    ) {
+        let mut agg = LocalDb::new(SimDuration::from_secs(3600));
+        let mut raw = LocalDb::without_aggregation(SimDuration::from_secs(3600));
+        let now = SimTime::from_secs(1);
+        for (u, blocked) in &items {
+            let (status, stages) = if *blocked {
+                (Status::Blocked, vec![BlockingType::HttpDrop])
+            } else {
+                (Status::NotBlocked, vec![])
+            };
+            agg.record_measurement(u, Asn(1), now, status, stages.clone());
+            raw.record_measurement(u, Asn(1), now, status, stages);
+        }
+        prop_assert!(agg.record_count() <= raw.record_count(),
+            "aggregated {} > raw {}", agg.record_count(), raw.record_count());
+    }
+
+    /// Vote conservation: a client spends exactly one unit of vote no
+    /// matter how many URLs it reports.
+    #[test]
+    fn vote_mass_is_conserved(
+        n_urls in 1usize..200,
+        client in 0u64..50
+    ) {
+        let mut ledger = VoteLedger::new();
+        let urls: Vec<(String, Asn)> = (0..n_urls)
+            .map(|i| (format!("http://u{i}.example/"), Asn(1)))
+            .collect();
+        ledger.set_client_report(Uuid::from_raw(client), urls.clone());
+        let total: f64 = urls
+            .iter()
+            .map(|(u, a)| ledger.tally(u, *a).s)
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total vote {total}");
+    }
+
+    /// Transfer-time monotonicity: more bytes or more RTT never loads
+    /// faster.
+    #[test]
+    fn transfer_time_monotone(
+        size_a in 1u64..5_000_000,
+        size_b in 1u64..5_000_000,
+        rtt_ms in 5u64..500,
+        bw_mbps in 1u64..200
+    ) {
+        let cfg = TcpConfig::default();
+        let rtt = SimDuration::from_millis(rtt_ms);
+        let bw = bw_mbps * 1_000_000;
+        let (lo, hi) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(transfer_time(lo, rtt, bw, &cfg) <= transfer_time(hi, rtt, bw, &cfg));
+        // RTT monotonicity at fixed size, up to the documented one-round
+        // discretization slack (a larger RTT enlarges the BDP cap and can
+        // save one slow-start round).
+        let rtt2 = rtt + SimDuration::from_millis(50);
+        let t1 = transfer_time(size_a, rtt, bw, &cfg);
+        let t2 = transfer_time(size_a, rtt2, bw, &cfg);
+        prop_assert!(t2 + rtt2 >= t1, "t1={t1}, t2={t2}, rtt2={rtt2}");
+    }
+
+    /// The phase-1 classifier never flags large, link-rich real pages
+    /// regardless of the words they contain.
+    #[test]
+    fn phase1_structure_gate_holds(size_kb in 20usize..200, word in "[a-z]{4,10}") {
+        let mut html = csaw_webproto::synth_html("Any Site", size_kb * 1024);
+        // Adversarial: inject blocking vocabulary into the body.
+        html.push_str(&format!(
+            "<p>the {word} site was blocked and access denied by court order</p></html>"
+        ));
+        let v = csaw_blockpage::phase1_html(&html, &csaw_blockpage::Phase1Config::default());
+        prop_assert_eq!(v, csaw_blockpage::Phase1Verdict::Normal);
+    }
+
+    /// Expiry is total: after the TTL passes, every lookup reads
+    /// NotMeasured and purging removes every record.
+    #[test]
+    fn expiry_is_total(
+        urls in prop::collection::vec(arb_url(), 1..15),
+        ttl_s in 10u64..1000
+    ) {
+        let mut db = LocalDb::new(SimDuration::from_secs(ttl_s));
+        let t0 = SimTime::from_secs(5);
+        for u in &urls {
+            db.record_measurement(u, Asn(1), t0, Status::Blocked, vec![BlockingType::HttpDrop]);
+        }
+        let later = t0 + SimDuration::from_secs(ttl_s) + SimDuration::from_secs(1);
+        for u in &urls {
+            prop_assert_eq!(db.lookup(u, later).status, Status::NotMeasured);
+        }
+        db.purge_expired(later);
+        prop_assert_eq!(db.record_count(), 0);
+    }
+}
+
+/// Longest-prefix matching agrees with a naive scan over all records.
+#[test]
+fn lpm_matches_naive_scan() {
+    use proptest::test_runner::{Config, TestRunner};
+    let mut runner = TestRunner::new(Config::with_cases(200));
+    runner
+        .run(
+            &(
+                proptest::collection::vec(
+                    (proptest::collection::vec("[ab]{1,2}", 0..4), proptest::bool::ANY),
+                    1..12,
+                ),
+                proptest::collection::vec("[ab]{1,2}", 0..5),
+            ),
+            |(records, query)| {
+                use csaw::local::{LocalRecord, PathTrie, Status};
+                let mk_url = |segs: &[String]| {
+                    Url::parse(&format!("http://h.example/{}", segs.join("/"))).unwrap()
+                };
+                let mut trie = PathTrie::new();
+                let mut naive: Vec<(Vec<String>, Status)> = Vec::new();
+                for (segs, blocked) in &records {
+                    let status = if *blocked { Status::Blocked } else { Status::NotBlocked };
+                    let rec = match status {
+                        Status::Blocked => LocalRecord::blocked(
+                            mk_url(segs),
+                            Asn(1),
+                            SimTime::ZERO,
+                            vec![BlockingType::HttpDrop],
+                        ),
+                        _ => LocalRecord::not_blocked(mk_url(segs), Asn(1), SimTime::ZERO),
+                    };
+                    trie.insert(segs, rec);
+                    // Later inserts at the same path replace earlier ones,
+                    // mirroring the trie's semantics.
+                    naive.retain(|(s, _)| s != segs);
+                    naive.push((segs.clone(), status));
+                }
+                // Naive LPM: the record with the longest path that is a
+                // segment-prefix of the query.
+                let expected = naive
+                    .iter()
+                    .filter(|(s, _)| s.len() <= query.len() && query[..s.len()] == s[..])
+                    .max_by_key(|(s, _)| s.len())
+                    .map(|(_, st)| *st);
+                let got = trie.lpm(&query).map(|r| r.status);
+                prop_assert_eq!(got, expected);
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+/// Censor policies survive a serde round trip (deployments ship rule
+/// sets as data).
+#[test]
+fn censor_policy_serde_roundtrip() {
+    let policy = csaw_censor::isp_b();
+    let json = serde_json::to_string(&policy).expect("serializable");
+    let back: csaw_censor::CensorPolicy = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(back.rule_count(), policy.rule_count());
+    assert_eq!(back.name, policy.name);
+    // Behavioural equivalence on a few decisions.
+    let mut r1 = DetRng::new(5);
+    let mut r2 = DetRng::new(5);
+    for host in ["www.youtube.com", "example.com", "adult.example"] {
+        assert_eq!(
+            policy.on_dns_query(host, None, &mut r1),
+            back.on_dns_query(host, None, &mut r2),
+            "{host}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests of the real-socket proxy over 127.0.0.1: browser →
+//! C-Saw proxy → censoring middlebox → origin, all actual TCP.
+
+use bytes::BytesMut;
+use csaw_proxy::codec::{read_response, write_request};
+use csaw_proxy::testbed::{
+    spawn_middlebox, spawn_origin, MbAction, MbPolicy, OriginConfig, TestResolver,
+};
+use csaw_proxy::{spawn_proxy, CsawProxy, HostStatus, ProxyConfig, ProxySignature};
+use csaw_webproto::http::{Request, Response};
+use csaw_webproto::url::Url;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::TcpStream;
+
+struct Testbed {
+    proxy: CsawProxy,
+    middlebox: csaw_proxy::Middlebox,
+    _origins: Vec<csaw_proxy::Origin>,
+}
+
+async fn testbed() -> Testbed {
+    let blocked = spawn_origin(
+        OriginConfig::new("blocked.test", 50_000).page("/small", "<html><body>tiny real page with plenty of words in it</body></html>"),
+    )
+    .await
+    .unwrap();
+    let clean = spawn_origin(OriginConfig::new("clean.test", 30_000)).await.unwrap();
+    let mut policy = MbPolicy {
+        block_page_html:
+            "<html><head><title>Blocked</title></head><body><h1>Access Denied</h1>\
+             <p>restricted by court order</p></body></html>"
+                .into(),
+        ..Default::default()
+    };
+    policy.routes.insert("blocked.test".into(), blocked.addr);
+    policy.routes.insert("clean.test".into(), clean.addr);
+    let middlebox = spawn_middlebox(policy).await.unwrap();
+    let resolver = Arc::new(TestResolver::new());
+    resolver.insert("blocked.test", middlebox.addr, blocked.addr);
+    resolver.insert("clean.test", middlebox.addr, clean.addr);
+    let proxy = spawn_proxy(
+        Arc::clone(&resolver),
+        ProxyConfig {
+            get_timeout: Duration::from_millis(400),
+            ..ProxyConfig::default()
+        },
+    )
+    .await
+    .unwrap();
+    Testbed {
+        proxy,
+        middlebox,
+        _origins: vec![blocked, clean],
+    }
+}
+
+async fn browse(proxy: &CsawProxy, host: &str) -> Response {
+    let mut s = TcpStream::connect(proxy.addr).await.unwrap();
+    let url = Url::parse(&format!("http://{host}/")).unwrap();
+    write_request(&mut s, &Request::get(&url)).await.unwrap();
+    let mut buf = BytesMut::new();
+    read_response(&mut s, &mut buf).await.unwrap()
+}
+
+#[tokio::test]
+async fn clean_host_served_direct() {
+    let tb = testbed().await;
+    let r = browse(&tb.proxy, "clean.test").await;
+    assert_eq!(r.status, 200);
+    assert!(r.body.len() > 25_000);
+    assert_eq!(tb.proxy.host_status("clean.test"), HostStatus::NotBlocked);
+    assert!(tb.proxy.measurements().is_empty());
+}
+
+#[tokio::test]
+async fn block_page_detected_and_circumvented() {
+    let tb = testbed().await;
+    tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
+    let r = browse(&tb.proxy, "blocked.test").await;
+    let body = String::from_utf8_lossy(&r.body);
+    assert!(
+        !body.contains("Access Denied"),
+        "user must get the genuine page, got block page"
+    );
+    assert!(r.body.len() > 25_000, "genuine page is large");
+    match tb.proxy.host_status("blocked.test") {
+        HostStatus::Blocked(sig) => assert_eq!(sig, ProxySignature::BlockPage),
+        other => panic!("status {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn dropped_get_detected_and_circumvented() {
+    let tb = testbed().await;
+    tb.middlebox.set_action("blocked.test", MbAction::DropRequest);
+    let r = browse(&tb.proxy, "blocked.test").await;
+    assert_eq!(r.status, 200);
+    assert!(r.body.len() > 25_000);
+    match tb.proxy.host_status("blocked.test") {
+        HostStatus::Blocked(sig) => assert_eq!(sig, ProxySignature::GetTimeout),
+        other => panic!("status {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn reset_detected_and_circumvented() {
+    let tb = testbed().await;
+    tb.middlebox.set_action("blocked.test", MbAction::Reset);
+    let r = browse(&tb.proxy, "blocked.test").await;
+    assert_eq!(r.status, 200);
+    match tb.proxy.host_status("blocked.test") {
+        HostStatus::Blocked(sig) => assert_eq!(sig, ProxySignature::ConnectionReset),
+        other => panic!("status {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn mid_run_blocking_event_caught_by_inline_measurement() {
+    let tb = testbed().await;
+    // Phase 1: clean. Establishes NotBlocked status.
+    let r = browse(&tb.proxy, "blocked.test").await;
+    assert!(r.body.len() > 25_000);
+    assert_eq!(tb.proxy.host_status("blocked.test"), HostStatus::NotBlocked);
+    // Phase 2: the censor switches on (the §7.5 event).
+    tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
+    let r = browse(&tb.proxy, "blocked.test").await;
+    let body = String::from_utf8_lossy(&r.body);
+    assert!(!body.contains("Access Denied"), "served genuine content after refresh");
+    assert!(matches!(
+        tb.proxy.host_status("blocked.test"),
+        HostStatus::Blocked(ProxySignature::BlockPage)
+    ));
+    // Phase 3: subsequent requests go straight to circumvention.
+    let r = browse(&tb.proxy, "blocked.test").await;
+    assert!(r.body.len() > 25_000);
+}
+
+#[tokio::test]
+async fn measurement_log_exports_reports() {
+    let tb = testbed().await;
+    tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
+    browse(&tb.proxy, "blocked.test").await;
+    let reports = tb.proxy.to_reports(17557);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].url, "http://blocked.test/");
+    assert_eq!(reports[0].asn, 17557);
+    // The wire format round-trips into the (simulated) server.
+    let wire = csaw::global::Report::encode_batch(&reports);
+    let mut server = csaw::global::ServerDb::new(5);
+    let uuid = server
+        .register(csaw_simnet::SimTime::from_secs(1), 0.0)
+        .unwrap();
+    let n = server
+        .post_update_wire(uuid, &wire, csaw_simnet::SimTime::from_secs(2))
+        .unwrap();
+    assert_eq!(n, 1);
+    assert_eq!(server.stats().unique_blocked_urls, 1);
+}
+
+#[tokio::test]
+async fn concurrent_browsers_share_measurements() {
+    let tb = testbed().await;
+    tb.middlebox.set_action("blocked.test", MbAction::DropRequest);
+    // Ten concurrent browsers hit the blocked host at once.
+    let mut handles = Vec::new();
+    for _ in 0..10 {
+        let addr = tb.proxy.addr;
+        handles.push(tokio::spawn(async move {
+            let mut s = TcpStream::connect(addr).await.unwrap();
+            let url = Url::parse("http://blocked.test/").unwrap();
+            write_request(&mut s, &Request::get(&url)).await.unwrap();
+            let mut buf = BytesMut::new();
+            read_response(&mut s, &mut buf).await.unwrap()
+        }));
+    }
+    for h in handles {
+        let r = h.await.unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.len() > 25_000);
+    }
+    // The status converged to Blocked regardless of interleaving.
+    assert!(matches!(
+        tb.proxy.host_status("blocked.test"),
+        HostStatus::Blocked(_)
+    ));
+}
+
+#[tokio::test]
+async fn absolute_form_targets_are_rewritten() {
+    // Browsers talking to a forward proxy send absolute-form targets
+    // ("GET http://host/path HTTP/1.1"); upstreams expect origin-form.
+    let tb = testbed().await;
+    let mut s = TcpStream::connect(tb.proxy.addr).await.unwrap();
+    let mut req = Request::get(&Url::parse("http://clean.test/some/page").unwrap());
+    req.target = "http://clean.test/some/page".to_string();
+    csaw_proxy::codec::write_request(&mut s, &req).await.unwrap();
+    let mut buf = BytesMut::new();
+    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).await.unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.len() > 25_000, "origin served the page");
+}
+
+#[tokio::test]
+async fn garbage_input_does_not_wedge_the_proxy() {
+    use tokio::io::AsyncWriteExt;
+    let tb = testbed().await;
+    // A client that speaks nonsense gets dropped...
+    let mut bad = TcpStream::connect(tb.proxy.addr).await.unwrap();
+    bad.write_all(b"\x16\x03\x01\x02\x00garbage not http at all\r\n\r\n")
+        .await
+        .unwrap();
+    bad.flush().await.unwrap();
+    drop(bad);
+    // ...and the proxy keeps serving everyone else.
+    let r = browse(&tb.proxy, "clean.test").await;
+    assert_eq!(r.status, 200);
+}
+
+#[tokio::test]
+async fn missing_host_header_is_a_client_error() {
+    let tb = testbed().await;
+    let mut s = TcpStream::connect(tb.proxy.addr).await.unwrap();
+    let mut req = Request::get(&Url::parse("http://clean.test/").unwrap());
+    req.headers.remove("Host");
+    csaw_proxy::codec::write_request(&mut s, &req).await.unwrap();
+    let mut buf = BytesMut::new();
+    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).await.unwrap();
+    assert_eq!(resp.status, 400);
+}
+
+#[tokio::test]
+async fn unresolvable_host_is_bad_gateway() {
+    let tb = testbed().await;
+    let r = browse(&tb.proxy, "not-in-resolver.test").await;
+    assert_eq!(r.status, 502);
+}
