@@ -2,32 +2,48 @@
 //! `cargo run --release -p csaw-bench --bin exp_all` regenerates the
 //! numbers recorded in EXPERIMENTS.md.
 use csaw_bench::experiments as e;
+use csaw_obs::event::progress;
 
 fn main() {
-    let seed = 1;
+    let cli = csaw_bench::cli::ExpCli::parse();
+    let seed = cli.seed;
+    type Exp = (&'static str, fn(u64) -> String);
+    let experiments: &[Exp] = &[
+        ("table1", |s| e::table1::run(s).render()),
+        ("fig1a", |s| e::fig1::run_1a(s).render()),
+        ("fig1b", |s| e::fig1::run_1b(s).render()),
+        ("fig1c", |s| e::fig1::run_1c(s).render()),
+        ("table2", |s| e::table2::run(s).render()),
+        ("fig2", |s| e::fig2::run(s).render()),
+        ("table5", |s| e::table5::run(s).render()),
+        ("fig5a", |s| e::fig5::run_5a(s).render()),
+        ("fig5b", |s| e::fig5::run_5b(s).render()),
+        ("fig5c", |s| e::fig5::run_5c(s).render()),
+        ("fig6a", |s| e::fig6::run_6a(s).render()),
+        ("fig6b", |s| e::fig6::run_6b(s).render()),
+        ("table6", |s| e::table6::run(s).render()),
+        ("fig7a", |s| e::fig7::run_7a(s).render()),
+        ("fig7b", |s| e::fig7::run_7b(s).render()),
+        ("fig7c", |s| e::fig7::run_7c(s).render()),
+        ("table7", |s| e::table7::run(s, 123).render()),
+        ("wild", |s| e::wild::run(s).render()),
+    ];
+    let extensions: &[Exp] = &[
+        ("datausage", |s| e::datausage::run(s).render()),
+        ("ablation_explore", |s| e::ablation_explore::run(s).render()),
+        ("fingerprint", |s| e::fingerprint::run(s).render()),
+        ("nonweb", |s| e::nonweb::run(s).render()),
+        ("propagation", |s| e::propagation::run(s).render()),
+    ];
     println!("=== C-Saw reproduction: full experiment sweep (seed {seed}) ===\n");
-    println!("{}", e::table1::run(seed).render());
-    println!("{}", e::fig1::run_1a(seed).render());
-    println!("{}", e::fig1::run_1b(seed).render());
-    println!("{}", e::fig1::run_1c(seed).render());
-    println!("{}", e::table2::run(seed).render());
-    println!("{}", e::fig2::run(seed).render());
-    println!("{}", e::table5::run(seed).render());
-    println!("{}", e::fig5::run_5a(seed).render());
-    println!("{}", e::fig5::run_5b(seed).render());
-    println!("{}", e::fig5::run_5c(seed).render());
-    println!("{}", e::fig6::run_6a(seed).render());
-    println!("{}", e::fig6::run_6b(seed).render());
-    println!("{}", e::table6::run(seed).render());
-    println!("{}", e::fig7::run_7a(seed).render());
-    println!("{}", e::fig7::run_7b(seed).render());
-    println!("{}", e::fig7::run_7c(seed).render());
-    println!("{}", e::table7::run(seed, 123).render());
-    println!("{}", e::wild::run(seed).render());
+    for (name, run) in experiments {
+        progress(&format!("running {name}"));
+        println!("{}", run(seed));
+    }
     println!("--- extensions (§8 future-work questions) ---\n");
-    println!("{}", e::datausage::run(seed).render());
-    println!("{}", e::ablation_explore::run(seed).render());
-    println!("{}", e::fingerprint::run(seed).render());
-    println!("{}", e::nonweb::run(seed).render());
-    println!("{}", e::propagation::run(seed).render());
+    for (name, run) in extensions {
+        progress(&format!("running {name}"));
+        println!("{}", run(seed));
+    }
+    cli.finish();
 }

@@ -1,13 +1,23 @@
 //! Run the extension experiments (the paper's §8 future-work questions):
 //! fingerprintability, data usage, and the exploration ablation.
 use csaw_bench::experiments as e;
+use csaw_obs::event::progress;
 
 fn main() {
-    let seed = 1;
+    let cli = csaw_bench::cli::ExpCli::parse();
+    let seed = cli.seed;
+    type Exp = (&'static str, fn(u64) -> String);
+    let extensions: &[Exp] = &[
+        ("datausage", |s| e::datausage::run(s).render()),
+        ("ablation_explore", |s| e::ablation_explore::run(s).render()),
+        ("fingerprint", |s| e::fingerprint::run(s).render()),
+        ("nonweb", |s| e::nonweb::run(s).render()),
+        ("propagation", |s| e::propagation::run(s).render()),
+    ];
     println!("=== C-Saw reproduction: extension experiments (seed {seed}) ===\n");
-    println!("{}", e::datausage::run(seed).render());
-    println!("{}", e::ablation_explore::run(seed).render());
-    println!("{}", e::fingerprint::run(seed).render());
-    println!("{}", e::nonweb::run(seed).render());
-    println!("{}", e::propagation::run(seed).render());
+    for (name, run) in extensions {
+        progress(&format!("running {name}"));
+        println!("{}", run(seed));
+    }
+    cli.finish();
 }

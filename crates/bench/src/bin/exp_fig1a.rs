@@ -1,4 +1,9 @@
 //! Regenerate Figure 1a (HTTPS/DF vs static proxies).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig1::run_1a(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig1::run_1a(cli.seed).render()
+    );
+    cli.finish();
 }

@@ -1,4 +1,9 @@
 //! Regenerate Figure 1b (HTTPS vs Tor by exit location).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig1::run_1b(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig1::run_1b(cli.seed).render()
+    );
+    cli.finish();
 }

@@ -1,4 +1,9 @@
 //! Regenerate Figure 1c (Lantern vs IP-as-hostname).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig1::run_1c(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig1::run_1c(cli.seed).render()
+    );
+    cli.finish();
 }

@@ -1,4 +1,6 @@
 //! Regenerate Figure 2 (ONI blocking-type mixtures across 8 ASes).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig2::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!("{}", csaw_bench::experiments::fig2::run(cli.seed).render());
+    cli.finish();
 }

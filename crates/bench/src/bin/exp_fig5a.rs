@@ -1,4 +1,9 @@
 //! Regenerate Figure 5a (serial vs parallel redundancy, blocked pages).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig5::run_5a(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig5::run_5a(cli.seed).render()
+    );
+    cli.finish();
 }

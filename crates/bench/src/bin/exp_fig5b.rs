@@ -1,4 +1,9 @@
 //! Regenerate Figure 5b (redundancy on a small unblocked page).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig5::run_5b(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig5::run_5b(cli.seed).render()
+    );
+    cli.finish();
 }

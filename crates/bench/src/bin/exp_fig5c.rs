@@ -1,4 +1,9 @@
 //! Regenerate Figure 5c (redundancy on a larger unblocked page).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig5::run_5c(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig5::run_5c(cli.seed).render()
+    );
+    cli.finish();
 }

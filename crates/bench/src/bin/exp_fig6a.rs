@@ -1,4 +1,9 @@
 //! Regenerate Figure 6a (how many redundant requests are enough).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig6::run_6a(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig6::run_6a(cli.seed).render()
+    );
+    cli.finish();
 }

@@ -1,4 +1,9 @@
 //! Regenerate Figure 6b (URL aggregation record savings).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig6::run_6b(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig6::run_6b(cli.seed).render()
+    );
+    cli.finish();
 }

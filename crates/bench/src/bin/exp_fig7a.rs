@@ -1,4 +1,9 @@
 //! Regenerate Figure 7a (C-Saw vs Lantern vs Tor, DNS-blocked page).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig7::run_7a(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig7::run_7a(cli.seed).render()
+    );
+    cli.finish();
 }

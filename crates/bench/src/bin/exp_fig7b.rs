@@ -1,4 +1,9 @@
 //! Regenerate Figure 7b (C-Saw vs Lantern vs Tor, unblocked page).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig7::run_7b(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig7::run_7b(cli.seed).render()
+    );
+    cli.finish();
 }

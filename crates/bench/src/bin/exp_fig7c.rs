@@ -1,4 +1,9 @@
 //! Regenerate Figure 7c (C-Saw w/ Lantern vs C-Saw w/ Tor).
 fn main() {
-    println!("{}", csaw_bench::experiments::fig7::run_7c(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::fig7::run_7c(cli.seed).render()
+    );
+    cli.finish();
 }

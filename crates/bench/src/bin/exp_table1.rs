@@ -1,4 +1,9 @@
 //! Regenerate Table 1 (ISP-A vs ISP-B filtering mechanisms).
 fn main() {
-    println!("{}", csaw_bench::experiments::table1::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::table1::run(cli.seed).render()
+    );
+    cli.finish();
 }

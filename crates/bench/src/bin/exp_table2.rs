@@ -1,4 +1,9 @@
 //! Regenerate Table 2 (static proxy ping latencies).
 fn main() {
-    println!("{}", csaw_bench::experiments::table2::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::table2::run(cli.seed).render()
+    );
+    cli.finish();
 }

@@ -1,4 +1,9 @@
 //! Regenerate Table 5 (blocking detection times).
 fn main() {
-    println!("{}", csaw_bench::experiments::table5::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::table5::run(cli.seed).render()
+    );
+    cli.finish();
 }

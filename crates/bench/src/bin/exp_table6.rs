@@ -1,4 +1,9 @@
 //! Regenerate Table 6 (revalidation probability p vs median PLT).
 fn main() {
-    println!("{}", csaw_bench::experiments::table6::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::table6::run(cli.seed).render()
+    );
+    cli.finish();
 }

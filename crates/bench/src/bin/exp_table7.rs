@@ -1,4 +1,9 @@
 //! Regenerate Table 7 (the 123-user pilot deployment study).
 fn main() {
-    println!("{}", csaw_bench::experiments::table7::run(1, 123).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!(
+        "{}",
+        csaw_bench::experiments::table7::run(cli.seed, 123).render()
+    );
+    cli.finish();
 }

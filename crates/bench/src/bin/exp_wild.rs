@@ -1,4 +1,6 @@
 //! Regenerate the §7.5 "C-Saw in the Wild" event timeline.
 fn main() {
-    println!("{}", csaw_bench::experiments::wild::run(1).render());
+    let cli = csaw_bench::cli::ExpCli::parse();
+    println!("{}", csaw_bench::experiments::wild::run(cli.seed).render());
+    cli.finish();
 }

@@ -1,0 +1,183 @@
+//! Shared command-line plumbing for the `exp_*` binaries.
+//!
+//! Every experiment binary accepts the same telemetry flags:
+//!
+//! ```text
+//! --seed N            experiment seed (default 1, the EXPERIMENTS.md seed)
+//! --metrics-out PATH  write a JSON metrics snapshot on exit
+//! --trace-out PATH    stream structured events as JSONL to PATH
+//! -v, --verbose       progress events to stderr (stdout stays parseable)
+//! ```
+//!
+//! [`ExpCli::parse`] installs a process-wide [`csaw_obs`] context — a
+//! fresh registry, a [`ManualClock`] driven by the simnet virtual clock,
+//! and a sink chosen by the flags (null by default, so the hot paths pay
+//! nothing). [`ExpCli::finish`] dumps the snapshot. The snapshot is a
+//! pure function of the seed: two runs with the same seed write
+//! byte-identical JSON.
+
+use csaw_obs::clock::ManualClock;
+use csaw_obs::scope::{self, ObsCtx, ScopeGuard};
+use csaw_obs::sink::{JsonlSink, NullSink, Sink, StderrSink};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Parsed telemetry flags plus the installed observability scope.
+pub struct ExpCli {
+    /// The experiment seed (`--seed`, default 1).
+    pub seed: u64,
+    metrics_out: Option<PathBuf>,
+    ctx: Arc<ObsCtx>,
+    // Keeps the thread-local scope alive for the binary's lifetime.
+    _guard: ScopeGuard,
+}
+
+fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--seed N] [--metrics-out PATH] [--trace-out PATH] [-v]\n\
+         \n\
+         --seed N            experiment seed (default 1)\n\
+         --metrics-out PATH  write a JSON metrics snapshot on exit\n\
+         --trace-out PATH    stream structured events as JSONL to PATH\n\
+         -v, --verbose       progress messages on stderr"
+    )
+}
+
+impl ExpCli {
+    /// Parse `std::env::args`, install the observability scope, and
+    /// return the handle. Exits the process on `--help` or bad flags.
+    pub fn parse() -> ExpCli {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
+    /// Testable parser over an explicit argv (`args[0]` is the binary).
+    pub fn from_args(args: &[String]) -> ExpCli {
+        let bin = args
+            .first()
+            .map(|s| s.rsplit('/').next().unwrap_or(s).to_string())
+            .unwrap_or_else(|| "exp".into());
+        let mut seed = 1u64;
+        let mut metrics_out = None;
+        let mut trace_out: Option<PathBuf> = None;
+        let mut verbosity = 0u8;
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().map(String::to_string).unwrap_or_else(|| {
+                    eprintln!("{bin}: {flag} needs a value\n{}", usage(&bin));
+                    std::process::exit(2);
+                })
+            };
+            match a.as_str() {
+                "--seed" => {
+                    let v = value("--seed");
+                    seed = v.parse().unwrap_or_else(|_| {
+                        eprintln!("{bin}: bad --seed {v:?}\n{}", usage(&bin));
+                        std::process::exit(2);
+                    });
+                }
+                "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+                "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
+                "-v" | "--verbose" => verbosity += 1,
+                "-h" | "--help" => {
+                    println!("{}", usage(&bin));
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("{bin}: unknown flag {other:?}\n{}", usage(&bin));
+                    std::process::exit(2);
+                }
+            }
+        }
+        let sink: Arc<dyn Sink> = match &trace_out {
+            Some(path) => Arc::new(JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("{bin}: cannot open {}: {e}", path.display());
+                std::process::exit(2);
+            })),
+            None if verbosity >= 2 => Arc::new(StderrSink),
+            None => Arc::new(NullSink),
+        };
+        let ctx = Arc::new(
+            ObsCtx::new()
+                .with_clock(Arc::new(ManualClock::new()))
+                .with_sink(sink)
+                .with_verbosity(verbosity),
+        );
+        // Thread-local for this (main) thread, global fallback for any
+        // worker threads the experiment spawns.
+        scope::set_global(ctx.clone());
+        let guard = scope::install(ctx.clone());
+        ExpCli {
+            seed,
+            metrics_out,
+            ctx,
+            _guard: guard,
+        }
+    }
+
+    /// The installed observability context.
+    pub fn ctx(&self) -> &Arc<ObsCtx> {
+        &self.ctx
+    }
+
+    /// Deterministic JSON snapshot of the metrics registry.
+    pub fn snapshot_json(&self) -> String {
+        let mut snap = self.ctx.registry.snapshot();
+        snap.set("seed", self.seed);
+        snap.to_string_pretty()
+    }
+
+    /// Write the metrics snapshot if `--metrics-out` was given. Call
+    /// last, after the experiment has rendered its output.
+    pub fn finish(self) {
+        if let Some(path) = &self.metrics_out {
+            let json = self.snapshot_json();
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            csaw_obs::event::progress(&format!("metrics snapshot -> {}", path.display()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(rest: &[&str]) -> Vec<String> {
+        std::iter::once("exp_test")
+            .chain(rest.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = ExpCli::from_args(&argv(&[]));
+        assert_eq!(cli.seed, 1);
+        assert!(cli.metrics_out.is_none());
+        assert!(!cli.ctx.sink.enabled(), "default sink is null");
+    }
+
+    #[test]
+    fn seed_and_paths_parse() {
+        let cli = ExpCli::from_args(&argv(&["--seed", "42", "--metrics-out", "/tmp/m.json"]));
+        assert_eq!(cli.seed, 42);
+        assert_eq!(
+            cli.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.json"))
+        );
+    }
+
+    #[test]
+    fn snapshot_includes_seed_and_metrics() {
+        let cli = ExpCli::from_args(&argv(&["--seed", "7"]));
+        cli.ctx.registry.counter("x").inc();
+        let json = cli.snapshot_json();
+        let v = csaw_obs::json::JsonValue::parse(&json).unwrap();
+        assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(7));
+        assert!(json.contains("\"x\""));
+    }
+}

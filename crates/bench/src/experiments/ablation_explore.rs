@@ -20,7 +20,6 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// A relay that comes up mid-run: unreachable before `improves_at`,
 /// fast afterwards — the "circumvention approach may improve in PLTs"
@@ -38,13 +37,7 @@ impl Transport for ImprovingRelay {
     fn kind(&self) -> TransportKind {
         TransportKind::Relay
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         if ctx.now < self.improves_at {
             return FetchReport {
                 outcome: csaw_circumvent::outcome::FetchOutcome::Failed(
@@ -67,7 +60,7 @@ impl Transport for ImprovingRelay {
 }
 
 /// The ablation's outcome for one policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyOutcome {
     /// Exploration period (u32::MAX = never).
     pub explore_every: u32,
@@ -78,7 +71,7 @@ pub struct PolicyOutcome {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExploreAblation {
     /// With exploration (n = 5).
     pub with: PolicyOutcome,
@@ -96,11 +89,8 @@ fn run_policy(explore_every: u32, seed: u64) -> PolicyOutcome {
         csaw_censor::HttpAction::None,
         csaw_censor::TlsAction::None,
     );
-    let world = crate::worlds::single_isp_world(
-        csaw_simnet::topology::Asn(5700),
-        "ABL-ISP",
-        policy,
-    );
+    let world =
+        crate::worlds::single_isp_world(csaw_simnet::topology::Asn(5700), "ABL-ISP", policy);
     let url = Url::parse(&format!("http://{}/", crate::worlds::YOUTUBE)).expect("static URL");
     let improves_at = SimTime::from_secs(2_000);
 
@@ -131,7 +121,11 @@ fn run_policy(explore_every: u32, seed: u64) -> PolicyOutcome {
             now,
             provider: provider.clone(),
         };
-        let BlockedFetch { report, transport: name, .. } = selector.fetch_blocked(&world, &ctx, &url, &stages, &mut rng);
+        let BlockedFetch {
+            report,
+            transport: name,
+            ..
+        } = selector.fetch_blocked(&world, &ctx, &url, &stages, &mut rng);
         if now >= improves_at + SimDuration::from_secs(1_200) {
             // Steady-state window, well past the improvement.
             if let Some(plt) = report.fetch().genuine_plt() {

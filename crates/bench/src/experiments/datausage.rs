@@ -18,10 +18,9 @@ use csaw_simnet::load::LoadModel;
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimTime;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One configuration's byte accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UsageRow {
     /// Configuration label.
     pub label: String,
@@ -43,7 +42,7 @@ impl UsageRow {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataUsage {
     /// One row per configuration.
     pub rows: Vec<UsageRow>,
@@ -55,12 +54,7 @@ pub struct DataUsage {
 /// Paired design: the URL sequence and the per-visit probe coin flips are
 /// drawn from their own seeds, shared across every configuration, so the
 /// rows differ only in what the configuration itself costs.
-fn session_bytes(
-    world: &World,
-    mode: RedundancyMode,
-    revalidate_p: f64,
-    seed: u64,
-) -> (u64, u64) {
+fn session_bytes(world: &World, mode: RedundancyMode, revalidate_p: f64, seed: u64) -> (u64, u64) {
     let provider = world.access.providers()[0].clone();
     let mut url_rng = DetRng::new(seed ^ 0x0a11);
     let hosts = [
@@ -207,11 +201,7 @@ mod tests {
         // first contacts, so even parallel mode with p=0.25 stays well
         // under a blanket-duplication 100%.
         let r = d.row("parallel, p=0.25");
-        assert!(
-            r.overhead_pct() < 60.0,
-            "overhead {:.1}%",
-            r.overhead_pct()
-        );
+        assert!(r.overhead_pct() < 60.0, "overhead {:.1}%", r.overhead_pct());
         assert!(r.overhead_pct() > 3.0, "overhead suspiciously low");
     }
 

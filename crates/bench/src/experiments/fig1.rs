@@ -20,14 +20,13 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{Asn, Region};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Number of back-to-back runs per series (the paper uses 200).
 pub const RUNS: usize = 200;
 
 /// One panel's series set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Panel label.
     pub title: String,
@@ -184,7 +183,10 @@ mod tests {
         }
         // Flaky proxies show wide spread: p95 ≫ median for Germany-1.
         let g1 = p.series("Germany-1");
-        assert!(g1.pct(95.0) > g1.median() * 1.6, "Germany-1 spread too tight");
+        assert!(
+            g1.pct(95.0) > g1.median() * 1.6,
+            "Germany-1 spread too tight"
+        );
     }
 
     #[test]
@@ -196,7 +198,11 @@ mod tests {
             .iter()
             .filter(|s| s.label.starts_with("Tor exit"))
             .collect();
-        assert!(tor_series.len() >= 3, "want several exit groups, got {}", tor_series.len());
+        assert!(
+            tor_series.len() >= 3,
+            "want several exit groups, got {}",
+            tor_series.len()
+        );
         for s in tor_series {
             assert!(
                 https < s.median() * 0.8,

@@ -12,10 +12,9 @@ use csaw_circumvent::world::{SiteSpec, World};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::topology::{AccessNetwork, Provider, Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Recovered fractions for one AS.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsBar {
     /// Country label.
     pub country: String,
@@ -28,7 +27,7 @@ pub struct AsBar {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2 {
     /// One bar per AS, in the figure's order.
     pub bars: Vec<AsBar>,
@@ -72,9 +71,8 @@ fn world_for(mix: &AsMixture, domains: &[String]) -> World {
     let provider = Provider::new(mix.asn, format!("{}-{}", mix.country, mix.asn));
     let mut builder = World::builder(AccessNetwork::single(provider));
     for d in domains {
-        builder = builder.site(
-            SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(120_000, 8),
-        );
+        builder = builder
+            .site(SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(120_000, 8));
     }
     builder
         .censor(mix.asn, policy_from_mixture(mix, domains))
@@ -205,7 +203,10 @@ mod tests {
             Some(OniCategory::BlockPageWoRedir)
         );
         // DNS takes precedence in multi-stage observations.
-        assert_eq!(classify_oni(&[DnsServfail, IpDrop]), Some(OniCategory::NoDns));
+        assert_eq!(
+            classify_oni(&[DnsServfail, IpDrop]),
+            Some(OniCategory::NoDns)
+        );
         assert_eq!(classify_oni(&[]), None);
     }
 }

@@ -22,10 +22,9 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{AccessNetwork, Asn, Provider, Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Fig. 6a result: PLT CDFs for 1, 2 and 3 redundant requests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6a {
     /// "1 RReq.", "2 RReqs.", "3 RReqs.".
     pub series: Vec<Cdf>,
@@ -100,7 +99,7 @@ impl Fig6a {
 }
 
 /// Fig. 6b result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fig6b {
     /// Records without aggregation.
     pub without: usize,
@@ -145,9 +144,8 @@ pub fn run_6b(seed: u64) -> Fig6b {
     let provider = Provider::new(Asn(5300), "F6B-ISP");
     let mut builder = World::builder(AccessNetwork::single(provider));
     for (host, _) in &session {
-        builder = builder.site(
-            SiteSpec::new(host, Site::in_region(Region::UsEast)).default_page(150_000, 8),
-        );
+        builder = builder
+            .site(SiteSpec::new(host, Site::in_region(Region::UsEast)).default_page(150_000, 8));
     }
     let world = builder.censor(Asn(5300), policy).build();
     let provider = world.access.providers()[0].clone();

@@ -21,13 +21,12 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Accesses per series.
 pub const RUNS: usize = 200;
 
 /// A Fig. 7 panel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Panel title.
     pub title: String,

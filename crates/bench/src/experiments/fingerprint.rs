@@ -24,12 +24,11 @@ use csaw_simnet::load::LoadModel;
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimTime;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// The feature a censor extracts per client: the fraction of its direct
 /// requests that are *paired* with an unknown-destination flow in the
 /// same instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientTrace {
     /// Ground truth (never used by the "censor").
     pub is_csaw: bool,
@@ -38,7 +37,7 @@ pub struct ClientTrace {
 }
 
 /// Detection quality at one threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roc {
     /// Classifier threshold on the paired-flow fraction.
     pub threshold: f64,
@@ -49,7 +48,7 @@ pub struct Roc {
 }
 
 /// One redundancy mode's fingerprintability summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeResult {
     /// Mode label.
     pub mode: String,
@@ -62,7 +61,7 @@ pub struct ModeResult {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fingerprint {
     /// One row per redundancy mode.
     pub modes: Vec<ModeResult>,
@@ -175,16 +174,37 @@ pub fn run(seed: u64) -> Fingerprint {
         let mut traces = Vec::new();
         for c in 0..40u64 {
             traces.push(simulate_client(&world, None, &urls, seed ^ (c << 3)));
-            traces.push(simulate_client(&world, Some(mode), &urls, seed ^ (c << 3) ^ 0xF00));
+            traces.push(simulate_client(
+                &world,
+                Some(mode),
+                &urls,
+                seed ^ (c << 3) ^ 0xF00,
+            ));
         }
-        let csaw_mean = mean(traces.iter().filter(|t| t.is_csaw).map(|t| t.paired_fraction));
-        let plain_mean = mean(traces.iter().filter(|t| !t.is_csaw).map(|t| t.paired_fraction));
+        let csaw_mean = mean(
+            traces
+                .iter()
+                .filter(|t| t.is_csaw)
+                .map(|t| t.paired_fraction),
+        );
+        let plain_mean = mean(
+            traces
+                .iter()
+                .filter(|t| !t.is_csaw)
+                .map(|t| t.paired_fraction),
+        );
         let roc = (0..=10)
             .map(|k| {
                 let threshold = k as f64 * 0.05;
                 let flagged = |t: &&ClientTrace| t.paired_fraction > threshold;
-                let tpr = rate(traces.iter().filter(|t| t.is_csaw).filter(flagged).count(), 40);
-                let fpr = rate(traces.iter().filter(|t| !t.is_csaw).filter(flagged).count(), 40);
+                let tpr = rate(
+                    traces.iter().filter(|t| t.is_csaw).filter(flagged).count(),
+                    40,
+                );
+                let fpr = rate(
+                    traces.iter().filter(|t| !t.is_csaw).filter(flagged).count(),
+                    40,
+                );
                 Roc {
                     threshold,
                     tpr,
@@ -226,9 +246,8 @@ impl Fingerprint {
 
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fingerprintability (extension of §8): censor-side paired-flow feature\n",
-        );
+        let mut out =
+            String::from("Fingerprintability (extension of §8): censor-side paired-flow feature\n");
         out.push_str(&format!(
             "  {:<14}{:>12}{:>12}{:>26}\n",
             "mode", "csaw mean", "plain mean", "TPR@FPR=0 (threshold)"

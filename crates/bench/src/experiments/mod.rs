@@ -27,13 +27,13 @@
 pub mod ablation_explore;
 pub mod datausage;
 pub mod fig1;
-pub mod fingerprint;
-pub mod nonweb;
-pub mod propagation;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fingerprint;
+pub mod nonweb;
+pub mod propagation;
 pub mod table1;
 pub mod table2;
 pub mod table5;

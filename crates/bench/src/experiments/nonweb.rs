@@ -9,10 +9,9 @@ use csaw_censor::policy::{CensorPolicy, CensorRule, TargetMatcher};
 use csaw_circumvent::world::{SiteSpec, World};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::topology::{AccessNetwork, Asn, Provider, Region, Site};
-use serde::{Deserialize, Serialize};
 
 /// One AS's measured row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NonwebRow {
     /// AS label.
     pub asn: u32,
@@ -27,7 +26,7 @@ pub struct NonwebRow {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Nonweb {
     /// One row per AS.
     pub rows: Vec<NonwebRow>,
@@ -39,9 +38,8 @@ fn world_for(asn: Asn, action: UdpAction) -> World {
     let provider = Provider::new(asn, format!("nonweb-{asn}"));
     let mut policy = CensorPolicy::new(format!("udp-{asn}"));
     if action.is_active() {
-        policy = policy.with_rule(
-            CensorRule::target(TargetMatcher::DomainSuffix(SERVICE.into())).udp(action),
-        );
+        policy = policy
+            .with_rule(CensorRule::target(TargetMatcher::DomainSuffix(SERVICE.into())).udp(action));
     }
     World::builder(AccessNetwork::single(provider))
         .site(
@@ -121,8 +119,16 @@ mod tests {
         let n = run(91);
         assert_eq!(n.rows.len(), 3);
         let by_asn = |a: u32| n.rows.iter().find(|r| r.asn == a).unwrap();
-        assert!(by_asn(9001).verdict.contains("UDP (drop)"), "{:?}", by_asn(9001));
-        assert!(by_asn(9002).verdict.contains("UDP (throttle)"), "{:?}", by_asn(9002));
+        assert!(
+            by_asn(9001).verdict.contains("UDP (drop)"),
+            "{:?}",
+            by_asn(9001)
+        );
+        assert!(
+            by_asn(9002).verdict.contains("UDP (throttle)"),
+            "{:?}",
+            by_asn(9002)
+        );
         assert_eq!(by_asn(9003).verdict, "not blocked");
         // Circumvention always delivers a usable tunnel RTT.
         for r in &n.rows {

@@ -18,10 +18,9 @@ use csaw::config::CsawConfig;
 use csaw::global::ServerDb;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One cohort's first-visit experience.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cohort {
     /// When the cohort's clients make their first visit (s after start).
     pub first_visit_s: u64,
@@ -36,7 +35,7 @@ pub struct Cohort {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Propagation {
     /// Cohorts in arrival order.
     pub cohorts: Vec<Cohort>,
@@ -102,8 +101,7 @@ pub fn run(seed: u64) -> Propagation {
     for at in arrivals {
         let members: Vec<&(u64, CsawClient, bool, Option<SimDuration>, bool)> =
             clients.iter().filter(|(a, ..)| *a == at).collect();
-        let plts: Vec<SimDuration> =
-            members.iter().filter_map(|(_, _, _, p, _)| *p).collect();
+        let plts: Vec<SimDuration> = members.iter().filter_map(|(_, _, _, p, _)| *p).collect();
         let measured = members.iter().filter(|(.., m)| *m).count();
         let pre_warned = members
             .iter()
@@ -123,9 +121,8 @@ pub fn run(seed: u64) -> Propagation {
 impl Propagation {
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Crowd propagation: first-visit cost vs arrival time (ISP-B, YouTube)\n",
-        );
+        let mut out =
+            String::from("Crowd propagation: first-visit cost vs arrival time (ISP-B, YouTube)\n");
         out.push_str(&format!(
             "  {:>12}{:>8}{:>12}{:>14}{:>14}\n",
             "arrival(s)", "size", "measured", "mean PLT(s)", "median PLT(s)"

@@ -8,10 +8,9 @@ use csaw_censor::blocking::{BlockingType, Stage};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One measured cell of the table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// ISP label.
     pub isp: String,
@@ -22,7 +21,7 @@ pub struct Cell {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// All four cells.
     pub cells: Vec<Cell>,
@@ -39,7 +38,10 @@ pub fn run(seed: u64) -> Table1 {
     ];
     let targets = [
         ("YouTube", format!("http://{YOUTUBE}/")),
-        ("Rest (Social, Porn, Political, ..)", format!("http://{PORN_PAGE}/")),
+        (
+            "Rest (Social, Porn, Political, ..)",
+            format!("http://{PORN_PAGE}/"),
+        ),
     ];
     for (isp, asn, policy) in configs {
         let world = single_isp_world(asn, isp, policy.clone());
@@ -109,9 +111,8 @@ impl Table1 {
 
     /// Text rendering in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 1: measured filtering mechanisms (client-side recovery)\n",
-        );
+        let mut out =
+            String::from("Table 1: measured filtering mechanisms (client-side recovery)\n");
         for c in &self.cells {
             let mechs: Vec<String> = c.mechanisms.iter().map(|m| m.to_string()).collect();
             out.push_str(&format!(
@@ -138,20 +139,34 @@ mod tests {
         let t = run(1);
         // ISP-A, YouTube: HTTP blocking -> block page, no DNS/TLS stages.
         let c = t.cell("ISP-A", "YouTube");
-        assert!(c
-            .mechanisms
-            .contains(&BlockingType::HttpBlockPageRedirect));
+        assert!(c.mechanisms.contains(&BlockingType::HttpBlockPageRedirect));
         assert!(c.mechanisms.iter().all(|m| m.stage() == Stage::Http));
         // ISP-B, YouTube: multi-stage — DNS hijack + HTTP drop + SNI drop.
         let c = t.cell("ISP-B", "YouTube");
-        assert!(c.mechanisms.contains(&BlockingType::DnsHijack), "{:?}", c.mechanisms);
-        assert!(c.mechanisms.contains(&BlockingType::HttpDrop), "{:?}", c.mechanisms);
-        assert!(c.mechanisms.contains(&BlockingType::SniDrop), "{:?}", c.mechanisms);
+        assert!(
+            c.mechanisms.contains(&BlockingType::DnsHijack),
+            "{:?}",
+            c.mechanisms
+        );
+        assert!(
+            c.mechanisms.contains(&BlockingType::HttpDrop),
+            "{:?}",
+            c.mechanisms
+        );
+        assert!(
+            c.mechanisms.contains(&BlockingType::SniDrop),
+            "{:?}",
+            c.mechanisms
+        );
         // ISP-A rest: block page via redirect; ISP-B rest: inline page.
         let c = t.cell("ISP-A", "Rest");
         assert_eq!(c.mechanisms, vec![BlockingType::HttpBlockPageRedirect]);
         let c = t.cell("ISP-B", "Rest");
-        assert!(c.mechanisms.contains(&BlockingType::HttpBlockPageInline), "{:?}", c.mechanisms);
+        assert!(
+            c.mechanisms.contains(&BlockingType::HttpBlockPageInline),
+            "{:?}",
+            c.mechanisms
+        );
         assert!(!c.mechanisms.iter().any(|m| m.stage() == Stage::Dns));
     }
 

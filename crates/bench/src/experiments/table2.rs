@@ -6,10 +6,9 @@
 use crate::worlds::{clean_world, static_proxies};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// One measured row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PingRow {
     /// Proxy label.
     pub label: String,
@@ -20,7 +19,7 @@ pub struct PingRow {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2 {
     /// All rows, including the YouTube baseline.
     pub rows: Vec<PingRow>,
@@ -53,13 +52,11 @@ pub fn run(seed: u64) -> Table2 {
     for proxy in static_proxies() {
         let path = world.path_to_site(&provider, proxy.site);
         let n = 50;
-        let total_us: u64 = (0..n)
-            .map(|_| path.sample_rtt(&mut rng).as_micros())
-            .sum();
+        let total_us: u64 = (0..n).map(|_| path.sample_rtt(&mut rng).as_micros()).sum();
         // Remove the access hop (2 × 8 ms) the paper's ping excludes by
         // being measured from the campus border.
-        let avg = SimDuration::from_micros(total_us / n)
-            .saturating_sub(SimDuration::from_millis(16));
+        let avg =
+            SimDuration::from_micros(total_us / n).saturating_sub(SimDuration::from_millis(16));
         rows.push(PingRow {
             label: proxy.label.clone(),
             paper_ms: paper_value(&proxy.label).unwrap_or(0),
@@ -71,8 +68,7 @@ pub fn run(seed: u64) -> Table2 {
     let path = world.path_to_site(&provider, yt.location);
     let n = 50;
     let total_us: u64 = (0..n).map(|_| path.sample_rtt(&mut rng).as_micros()).sum();
-    let avg =
-        SimDuration::from_micros(total_us / n).saturating_sub(SimDuration::from_millis(16));
+    let avg = SimDuration::from_micros(total_us / n).saturating_sub(SimDuration::from_millis(16));
     rows.push(PingRow {
         label: "YouTube".into(),
         paper_ms: 186,
@@ -84,8 +80,7 @@ pub fn run(seed: u64) -> Table2 {
 impl Table2 {
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Table 2: avg ping RTT to static proxies (paper vs measured)\n");
+        let mut out = String::from("Table 2: avg ping RTT to static proxies (paper vs measured)\n");
         out.push_str(&format!(
             "  {:<14}{:>10}{:>12}\n",
             "proxy", "paper(ms)", "measured(ms)"
@@ -132,7 +127,10 @@ mod tests {
     #[test]
     fn includes_youtube_baseline() {
         let t = run(8);
-        assert!(t.rows.iter().any(|r| r.label == "YouTube" && r.paper_ms == 186));
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r.label == "YouTube" && r.paper_ms == 186));
         assert_eq!(t.rows.len(), 11);
     }
 }

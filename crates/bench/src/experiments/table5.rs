@@ -17,10 +17,9 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One mechanism's detection-time row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectRow {
     /// Mechanism label (paper's wording).
     pub label: String,
@@ -33,7 +32,7 @@ pub struct DetectRow {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table5 {
     /// All five rows.
     pub rows: Vec<DetectRow>,
@@ -42,7 +41,13 @@ pub struct Table5 {
 /// Run 50 detection trials per mechanism.
 pub fn run(seed: u64) -> Table5 {
     let cases: Vec<(&str, f64, DnsTamper, IpAction, HttpAction)> = vec![
-        ("TCP/IP", 21.0, DnsTamper::None, IpAction::Drop, HttpAction::None),
+        (
+            "TCP/IP",
+            21.0,
+            DnsTamper::None,
+            IpAction::Drop,
+            HttpAction::None,
+        ),
         (
             "DNS (Response: \"Server Failure\")",
             10.6,
@@ -75,8 +80,7 @@ pub fn run(seed: u64) -> Table5 {
     let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
     let mut rows = Vec::new();
     for (label, paper_s, dns, ip, http) in cases {
-        let policy =
-            csaw_censor::single_mechanism(label, YOUTUBE, dns, ip, http, TlsAction::None);
+        let policy = csaw_censor::single_mechanism(label, YOUTUBE, dns, ip, http, TlsAction::None);
         let world = crate::worlds::single_isp_world(Asn(5000), "T5-ISP", policy);
         let provider = world.access.providers()[0].clone();
         let mut rng = DetRng::new(seed ^ paper_s.to_bits());

@@ -17,10 +17,9 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimTime;
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One sweep row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PRow {
     /// Revalidation probability.
     pub p: f64,
@@ -29,7 +28,7 @@ pub struct PRow {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table6 {
     /// Rows for p ∈ {0, 0.25, 0.5, 0.75}.
     pub rows: Vec<PRow>,
@@ -72,8 +71,15 @@ pub fn run(seed: u64) -> Table6 {
     // (plus DNS); measure it once.
     let probe_time = {
         let mut rng = DetRng::new(seed ^ 0xbeef);
-        measure_direct(&world, &provider, &url, Some(360_000), &DetectConfig::default(), &mut rng)
-            .detection_time
+        measure_direct(
+            &world,
+            &provider,
+            &url,
+            Some(360_000),
+            &DetectConfig::default(),
+            &mut rng,
+        )
+        .detection_time
     };
 
     let mut rows = Vec::new();

@@ -33,10 +33,9 @@ use csaw_circumvent::world::{SiteSpec, World};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{AccessNetwork, Asn, Provider, Region, Site};
-use serde::{Deserialize, Serialize};
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table7 {
     /// Server-side aggregates after the study.
     pub stats: DeploymentStats,
@@ -58,7 +57,11 @@ fn mechanism_for(domain_idx: usize, n_domains: usize) -> (DnsTamper, IpAction, H
         (DnsTamper::None, IpAction::Drop, HttpAction::None)
     } else if u < 0.377 + 0.114 + 0.477 {
         if domain_idx.is_multiple_of(2) {
-            (DnsTamper::None, IpAction::None, HttpAction::BlockPageRedirect)
+            (
+                DnsTamper::None,
+                IpAction::None,
+                HttpAction::BlockPageRedirect,
+            )
         } else {
             (DnsTamper::None, IpAction::None, HttpAction::BlockPageInline)
         }
@@ -75,12 +78,12 @@ fn pilot_world(asn: Asn, universe: &crate::workload::PilotUniverse) -> World {
     let provider = Provider::new(asn, format!("pilot-{asn}"));
     let mut builder = World::builder(AccessNetwork::single(provider));
     for d in &universe.blocked_domains {
-        builder = builder
-            .site(SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(90_000, 5));
+        builder =
+            builder.site(SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(90_000, 5));
     }
     for d in &universe.clean_domains {
-        builder = builder
-            .site(SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(70_000, 4));
+        builder =
+            builder.site(SiteSpec::new(d, Site::in_region(Region::UsEast)).default_page(70_000, 4));
     }
     let mut policy = CensorPolicy::new(format!("censor-{asn}"));
     for (i, d) in universe.blocked_domains.iter().enumerate() {
@@ -190,7 +193,11 @@ impl Table7 {
                 s.urls_block_page.to_string(),
                 "475",
             ),
-            ("No. of unique updates", s.unique_updates.to_string(), "1787"),
+            (
+                "No. of unique updates",
+                s.unique_updates.to_string(),
+                "1787",
+            ),
         ];
         let mut out = String::from("Table 7: deployment study (measured vs paper)\n");
         for (label, got, paper) in rows {

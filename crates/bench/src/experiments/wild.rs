@@ -17,10 +17,9 @@ use csaw_circumvent::world::{SiteSpec, World};
 use csaw_simnet::time::SimTime;
 use csaw_simnet::topology::{AccessNetwork, Asn, Provider, Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One detection event in the log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     /// Which AS observed it.
     pub asn: u32,
@@ -35,7 +34,7 @@ pub struct Detection {
 }
 
 /// The experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Wild {
     /// When the censors switched on (s).
     pub event_at_s: u64,
@@ -44,10 +43,12 @@ pub struct Wild {
 }
 
 fn response_label(stages: &[BlockingType]) -> String {
-    if stages
-        .iter()
-        .any(|s| matches!(s, BlockingType::HttpBlockPageInline | BlockingType::HttpBlockPageRedirect))
-    {
+    if stages.iter().any(|s| {
+        matches!(
+            s,
+            BlockingType::HttpBlockPageInline | BlockingType::HttpBlockPageRedirect
+        )
+    }) {
         "HTTP_GET_BLOCKPAGE".into()
     } else if stages.contains(&BlockingType::HttpDrop) {
         "HTTP_GET_TIMEOUT".into()

@@ -1,10 +1,9 @@
 //! Distribution summaries and CDFs for experiment reporting.
 
 use csaw_simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a sample of durations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample count.
     pub n: usize,
@@ -77,7 +76,7 @@ pub fn percentile(samples: &[SimDuration], p: f64) -> SimDuration {
 }
 
 /// An empirical CDF: sorted values with cumulative probabilities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     /// Series label (legend entry).
     pub label: String,

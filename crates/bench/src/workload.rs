@@ -22,7 +22,9 @@ impl Zipf {
             acc += *w / total;
             *w = acc;
         }
-        Zipf { cumulative: weights }
+        Zipf {
+            cumulative: weights,
+        }
     }
 
     /// Sample a rank.
@@ -162,7 +164,11 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..12]);
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[50],
+            "{:?}",
+            &counts[..12]
+        );
         // Rough Zipf sanity: rank 0 ≈ 2x rank 1.
         let ratio = counts[0] as f64 / counts[1] as f64;
         assert!((1.5..=2.6).contains(&ratio), "ratio {ratio}");

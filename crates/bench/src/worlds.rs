@@ -29,7 +29,9 @@ pub const SMALL_PAGE: &str = "small.example";
 pub const LARGE_PAGE: &str = "large.example";
 
 /// Base sites present in every standard world.
-fn standard_sites(builder: csaw_circumvent::world::WorldBuilder) -> csaw_circumvent::world::WorldBuilder {
+fn standard_sites(
+    builder: csaw_circumvent::world::WorldBuilder,
+) -> csaw_circumvent::world::WorldBuilder {
     builder
         .site(
             // Table 2: ping to YouTube from the vantage was 186 ms.
@@ -107,8 +109,14 @@ pub fn static_proxies() -> Vec<StaticProxy> {
             "UK",
             Site::at_vantage_rtt(Region::UnitedKingdom, 228),
         )),
-        StaticProxy::at("Netherlands", Site::at_vantage_rtt(Region::Netherlands, 172)),
-        flaky(StaticProxy::at("Japan", Site::at_vantage_rtt(Region::Japan, 387))),
+        StaticProxy::at(
+            "Netherlands",
+            Site::at_vantage_rtt(Region::Netherlands, 172),
+        ),
+        flaky(StaticProxy::at(
+            "Japan",
+            Site::at_vantage_rtt(Region::Japan, 387),
+        )),
         StaticProxy::at("US-1", Site::at_vantage_rtt(Region::UsCentral, 329)),
         StaticProxy::at("US-2", Site::at_vantage_rtt(Region::UsWest, 429)),
         StaticProxy::at("US-3", Site::at_vantage_rtt(Region::UsEast, 160)),

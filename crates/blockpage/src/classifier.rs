@@ -15,10 +15,9 @@
 //! the paper still reports none).
 
 use crate::features::{extract, HtmlFeatures};
-use serde::{Deserialize, Serialize};
 
 /// Phase-1 verdict on a single document.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase1Verdict {
     /// Structurally and lexically a block page.
     BlockPage,
@@ -30,7 +29,7 @@ pub enum Phase1Verdict {
 /// between the block-page corpus and real pages — block pages in the
 /// citizenlab/ooni collections are orders of magnitude smaller and
 /// sparser than real content.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Phase1Config {
     /// Maximum markup length (bytes) for block-page structure.
     pub max_length: usize,
@@ -64,8 +63,7 @@ pub fn phase1(features: &HtmlFeatures, cfg: &Phase1Config) -> Phase1Verdict {
     if !sparse {
         return Phase1Verdict::Normal;
     }
-    let evidence =
-        features.keyword_hits >= 1 || features.has_iframe || features.has_meta_refresh;
+    let evidence = features.keyword_hits >= 1 || features.has_iframe || features.has_meta_refresh;
     if evidence {
         Phase1Verdict::BlockPage
     } else {
@@ -79,7 +77,7 @@ pub fn phase1_html(html: &str, cfg: &Phase1Config) -> Phase1Verdict {
 }
 
 /// Phase-2 configuration: the size-comparison test.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Phase2Config {
     /// Relative size difference above which the two responses are deemed
     /// different documents: `|direct - circ| / max(direct, circ)`.
@@ -111,7 +109,7 @@ pub fn phase2(direct_bytes: u64, circumvention_bytes: u64, cfg: &Phase2Config) -
 }
 
 /// The combined 2-phase detector state machine outcome for one URL fetch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Detection {
     /// Phase 1 cleared the page: serve immediately, no phase 2 needed.
     ServedImmediately,

@@ -9,10 +9,8 @@
 //! real content (they are long, tag-rich, and avoid tell-tale wording) —
 //! those are the ones phase 2's size comparison must catch.
 
-use serde::{Deserialize, Serialize};
-
 /// Stylistic family of a block page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Terse legal notice ("this site has been blocked by court order").
     LegalNotice,
@@ -29,7 +27,7 @@ pub enum Family {
 }
 
 /// One corpus entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockPageSample {
     /// Which synthetic ISP served it.
     pub isp: String,
@@ -111,7 +109,9 @@ fn portal_style(isp: usize) -> String {
          <link rel=\"stylesheet\" href=\"/portal.css\">\
          <script src=\"/portal.js\"></script></head><body><header><nav><ul>"
     ));
-    for item in ["Home", "Search", "Mail", "News", "Weather", "Sports", "Deals"] {
+    for item in [
+        "Home", "Search", "Mail", "News", "Weather", "Sports", "Deals",
+    ] {
         s.push_str(&format!(
             "<li><a href=\"/{}\">{}</a></li>",
             item.to_lowercase(),
@@ -224,14 +224,10 @@ mod tests {
         assert_eq!(c.len(), 47);
         let catchable = c.iter().filter(|s| s.phase1_catchable()).count();
         assert_eq!(catchable, 38);
-        let portal = c
-            .iter()
-            .filter(|s| s.family == Family::PortalStyle)
-            .count();
+        let portal = c.iter().filter(|s| s.family == Family::PortalStyle).count();
         assert_eq!(portal, 9);
         // ISP names unique.
-        let names: std::collections::HashSet<&str> =
-            c.iter().map(|s| s.isp.as_str()).collect();
+        let names: std::collections::HashSet<&str> = c.iter().map(|s| s.isp.as_str()).collect();
         assert_eq!(names.len(), 47);
     }
 

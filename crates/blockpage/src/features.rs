@@ -7,10 +7,8 @@
 //! tag-dense. These features are cheap to extract from the first response
 //! — no second fetch needed — which is what makes phase 1 fast.
 
-use serde::{Deserialize, Serialize};
-
 /// Structural and lexical features of an HTML document.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HtmlFeatures {
     /// Total byte length of the markup.
     pub length: usize,
@@ -60,10 +58,7 @@ pub fn extract(html: &str) -> HtmlFeatures {
     let resource_count = lower.matches("<img").count()
         + lower.matches("<script").count()
         + lower.matches("<link").count();
-    let keyword_hits = BLOCK_KEYWORDS
-        .iter()
-        .filter(|k| lower.contains(*k))
-        .count();
+    let keyword_hits = BLOCK_KEYWORDS.iter().filter(|k| lower.contains(*k)).count();
     HtmlFeatures {
         length: html.len(),
         tag_count,
@@ -118,7 +113,8 @@ mod tests {
     fn iframe_and_meta_refresh_flags() {
         let f = extract(r#"<html><body><iframe src="http://block.isp/"></iframe></body></html>"#);
         assert!(f.has_iframe);
-        let g = extract(r#"<html><head><meta http-equiv="refresh" content="0;url=x"></head></html>"#);
+        let g =
+            extract(r#"<html><head><meta http-equiv="refresh" content="0;url=x"></head></html>"#);
         assert!(g.has_meta_refresh);
         let h = extract("<html><body>plain</body></html>");
         assert!(!h.has_iframe && !h.has_meta_refresh);

@@ -6,12 +6,11 @@
 //! the per-layer *actions* a censor model can take, and the summary
 //! [`BlockingType`] recorded in C-Saw's databases.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// What a censor does to a DNS query/response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DnsTamper {
     /// Leave it alone.
     None,
@@ -38,7 +37,7 @@ impl DnsTamper {
 }
 
 /// What a censor does at the TCP/IP layer, keyed on destination address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IpAction {
     /// Leave the flow alone.
     None,
@@ -57,7 +56,7 @@ impl IpAction {
 }
 
 /// What a censor does to a plaintext HTTP request it can parse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HttpAction {
     /// Leave it alone.
     None,
@@ -90,7 +89,7 @@ impl HttpAction {
 }
 
 /// What a censor does to a TLS flow, keyed on the plaintext SNI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlsAction {
     /// Leave it alone.
     None,
@@ -109,7 +108,7 @@ impl TlsAction {
 
 /// What a censor does to UDP application flows (messaging/voice/video —
 /// the paper's §8 non-web filtering).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UdpAction {
     /// Leave the flow alone.
     None,
@@ -130,7 +129,7 @@ impl UdpAction {
 /// The summarized blocking mechanism, as recorded in C-Saw's local and
 /// global databases ("Stage-k Blocking" fields of Table 3) and counted in
 /// the deployment study (Table 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BlockingType {
     /// DNS query/response dropped — no resolution at all.
     DnsNoResponse,
@@ -185,6 +184,34 @@ impl BlockingType {
         }
     }
 
+    /// The stable wire/metric name of this mechanism — used as the JSON
+    /// encoding in reports and DB snapshots, and as the histogram key
+    /// suffix for per-type detection-time metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockingType::DnsNoResponse => "DnsNoResponse",
+            BlockingType::DnsHijack => "DnsHijack",
+            BlockingType::DnsNxdomain => "DnsNxdomain",
+            BlockingType::DnsServfail => "DnsServfail",
+            BlockingType::DnsRefused => "DnsRefused",
+            BlockingType::IpDrop => "IpDrop",
+            BlockingType::IpRst => "IpRst",
+            BlockingType::HttpDrop => "HttpDrop",
+            BlockingType::HttpRst => "HttpRst",
+            BlockingType::HttpBlockPageRedirect => "HttpBlockPageRedirect",
+            BlockingType::HttpBlockPageInline => "HttpBlockPageInline",
+            BlockingType::SniDrop => "SniDrop",
+            BlockingType::SniRst => "SniRst",
+            BlockingType::UdpDrop => "UdpDrop",
+            BlockingType::UdpThrottle => "UdpThrottle",
+        }
+    }
+
+    /// Inverse of [`BlockingType::name`].
+    pub fn from_name(s: &str) -> Option<BlockingType> {
+        BlockingType::ALL.iter().copied().find(|t| t.name() == s)
+    }
+
     /// All variants, for exhaustive sweeps in tests and benches.
     pub const ALL: [BlockingType; 15] = [
         BlockingType::DnsNoResponse,
@@ -229,7 +256,7 @@ impl fmt::Display for BlockingType {
 }
 
 /// The protocol stage at which a mechanism intervenes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Name resolution.
     Dns,
@@ -246,7 +273,7 @@ pub enum Stage {
 /// Content categories used by censor policies. The case study (§2.3)
 /// groups censored content as YouTube vs. "Rest (Social, Porn,
 /// Political, ...)".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Video platforms (the paper's YouTube focus).
     Video,
@@ -308,5 +335,13 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(BlockingType::IpDrop.to_string(), "TCP/IP (drop)");
         assert_eq!(BlockingType::DnsServfail.to_string(), "DNS (SERVFAIL)");
+    }
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for t in BlockingType::ALL {
+            assert_eq!(BlockingType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(BlockingType::from_name("NotAMechanism"), None);
     }
 }

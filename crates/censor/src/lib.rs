@@ -40,10 +40,12 @@ pub mod oni;
 pub mod policy;
 pub mod profiles;
 
-pub use blocking::{BlockingType, Category, DnsTamper, HttpAction, IpAction, Stage, TlsAction, UdpAction};
+pub use blocking::{
+    BlockingType, Category, DnsTamper, HttpAction, IpAction, Stage, TlsAction, UdpAction,
+};
 pub use oni::{figure2_mixtures, policy_from_mixture, AsMixture, OniCategory};
 pub use policy::{CensorPolicy, CensorRule, TargetMatcher};
 pub use profiles::{
-    clean, event_blocking_2017, event_matrix_2017, isp_a, isp_b, keyword_filter,
-    single_mechanism, EventBlocking, ISP_A_ASN, ISP_B_ASN,
+    clean, event_blocking_2017, event_matrix_2017, isp_a, isp_b, keyword_filter, single_mechanism,
+    EventBlocking, ISP_A_ASN, ISP_B_ASN,
 };

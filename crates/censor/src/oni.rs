@@ -17,10 +17,9 @@
 use crate::blocking::{DnsTamper, HttpAction, IpAction, TlsAction};
 use crate::policy::{CensorPolicy, CensorRule, TargetMatcher};
 use csaw_simnet::topology::Asn;
-use serde::{Deserialize, Serialize};
 
 /// The five blocking signatures of Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OniCategory {
     /// No DNS response received for a censored page.
     NoDns,
@@ -57,7 +56,7 @@ impl OniCategory {
 }
 
 /// One AS's blocking-type mixture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsMixture {
     /// The AS this mixture describes.
     pub asn: Asn,
@@ -182,8 +181,7 @@ mod tests {
     fn eight_ases_four_countries() {
         let ms = figure2_mixtures();
         assert_eq!(ms.len(), 8);
-        let countries: std::collections::HashSet<&str> =
-            ms.iter().map(|m| m.country).collect();
+        let countries: std::collections::HashSet<&str> = ms.iter().map(|m| m.country).collect();
         assert_eq!(countries.len(), 4);
     }
 
@@ -218,7 +216,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_legend() {
-        assert_eq!(OniCategory::BlockPageWoRedir.label(), "Block Page w/o Redir");
+        assert_eq!(
+            OniCategory::BlockPageWoRedir.label(),
+            "Block Page w/o Redir"
+        );
         assert_eq!(OniCategory::NoDns.label(), "No DNS");
     }
 }

@@ -16,12 +16,11 @@
 use crate::blocking::{Category, DnsTamper, HttpAction, IpAction, TlsAction, UdpAction};
 use csaw_simnet::DetRng;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 /// Which traffic a rule applies to.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TargetMatcher {
     /// Host equals the domain or is a subdomain of it
     /// (`youtube.com` matches `www.youtube.com`).
@@ -72,7 +71,7 @@ impl TargetMatcher {
 /// `*_p` fields are per-flow engage probabilities (1.0 = always); they
 /// model load-balanced multi-stage deployments where only a fraction of
 /// flows traverse a given filtering device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensorRule {
     /// Which traffic this rule covers.
     pub target: TargetMatcher,
@@ -179,7 +178,7 @@ impl CensorRule {
 }
 
 /// The filtering configuration of one censoring ISP.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CensorPolicy {
     /// Display name (e.g. "ISP-A").
     pub name: String,
@@ -235,9 +234,10 @@ impl CensorPolicy {
         F: Fn(&str) -> Option<Ipv4Addr>,
     {
         for (host, category) in hosts {
-            let targeted = self.rules.iter().any(|r| {
-                r.ip.is_active() && r.target.matches_name(host, *category)
-            });
+            let targeted = self
+                .rules
+                .iter()
+                .any(|r| r.ip.is_active() && r.target.matches_name(host, *category));
             if targeted {
                 if let Some(ip) = resolve(host) {
                     self.ip_blacklist.insert(ip);
@@ -266,8 +266,7 @@ impl CensorPolicy {
         rng: &mut DetRng,
     ) -> DnsTamper {
         for r in &self.rules {
-            if r.dns.is_active() && r.target.matches_name(qname, category) && rng.chance(r.dns_p)
-            {
+            if r.dns.is_active() && r.target.matches_name(qname, category) && rng.chance(r.dns_p) {
                 return r.dns;
             }
         }
@@ -320,7 +319,9 @@ impl CensorPolicy {
         rng: &mut DetRng,
     ) -> UdpAction {
         for r in &self.rules {
-            if r.udp.is_active() && r.target.matches_name(service_host, category) && rng.chance(r.udp_p)
+            if r.udp.is_active()
+                && r.target.matches_name(service_host, category)
+                && rng.chance(r.udp_p)
             {
                 return r.udp;
             }
@@ -336,8 +337,7 @@ impl CensorPolicy {
         rng: &mut DetRng,
     ) -> HttpAction {
         for r in &self.rules {
-            if r.http.is_active() && r.target.matches_url(url, category) && rng.chance(r.http_p)
-            {
+            if r.http.is_active() && r.target.matches_url(url, category) && rng.chance(r.http_p) {
                 return r.http;
             }
         }
@@ -389,17 +389,19 @@ mod tests {
     #[test]
     fn dns_decision_respects_rules() {
         let hijack: Ipv4Addr = "10.10.34.34".parse().unwrap();
-        let pol = CensorPolicy::new("isp")
-            .with_rule(
-                CensorRule::target(TargetMatcher::DomainSuffix("youtube.com".into()))
-                    .dns(DnsTamper::HijackTo(hijack)),
-            );
+        let pol = CensorPolicy::new("isp").with_rule(
+            CensorRule::target(TargetMatcher::DomainSuffix("youtube.com".into()))
+                .dns(DnsTamper::HijackTo(hijack)),
+        );
         let mut r = rng();
         assert_eq!(
             pol.on_dns_query("www.youtube.com", None, &mut r),
             DnsTamper::HijackTo(hijack)
         );
-        assert_eq!(pol.on_dns_query("example.com", None, &mut r), DnsTamper::None);
+        assert_eq!(
+            pol.on_dns_query("example.com", None, &mut r),
+            DnsTamper::None
+        );
     }
 
     #[test]
@@ -482,8 +484,7 @@ mod tests {
                     .http(HttpAction::Rst),
             )
             .with_rule(
-                CensorRule::target(TargetMatcher::Keyword("a.com".into()))
-                    .http(HttpAction::Drop),
+                CensorRule::target(TargetMatcher::Keyword("a.com".into())).http(HttpAction::Drop),
             );
         let mut r = rng();
         assert_eq!(

@@ -124,9 +124,7 @@ pub fn resourceful(domains: &[&str]) -> CensorPolicy {
     for d in domains {
         p = p.with_rule(
             CensorRule::target(TargetMatcher::DomainSuffix(d.to_string()))
-                .dns(DnsTamper::HijackTo(
-                    "10.99.99.99".parse().expect("static"),
-                ))
+                .dns(DnsTamper::HijackTo("10.99.99.99".parse().expect("static")))
                 .http(HttpAction::Rst)
                 .tls(TlsAction::Rst),
         );
@@ -267,7 +265,10 @@ mod tests {
             .on_http_request(&named, None, &mut rng)
             .serves_block_page());
         let by_ip = named.with_ip_host("93.184.216.34".parse().unwrap());
-        assert_eq!(pol.on_http_request(&by_ip, None, &mut rng), HttpAction::None);
+        assert_eq!(
+            pol.on_http_request(&by_ip, None, &mut rng),
+            HttpAction::None
+        );
     }
 
     #[test]
@@ -276,14 +277,19 @@ mod tests {
         let mut rng = DetRng::new(4);
         let u = Url::parse("http://anything.example/").unwrap();
         assert_eq!(pol.on_http_request(&u, None, &mut rng), HttpAction::None);
-        assert_eq!(pol.on_dns_query("anything.example", None, &mut rng), DnsTamper::None);
+        assert_eq!(
+            pol.on_dns_query("anything.example", None, &mut rng),
+            DnsTamper::None
+        );
     }
 
     #[test]
     fn resourceful_profile_hits_every_plaintext_stage() {
         let pol = resourceful(&["blocked.example"]);
         let mut rng = DetRng::new(9);
-        assert!(pol.on_dns_query("www.blocked.example", None, &mut rng).is_active());
+        assert!(pol
+            .on_dns_query("www.blocked.example", None, &mut rng)
+            .is_active());
         assert_eq!(
             pol.on_tls_hello(Some("blocked.example"), None, &mut rng),
             TlsAction::Rst

@@ -25,7 +25,6 @@ use csaw_simnet::topology::{Provider, Site};
 use csaw_webproto::dns::{is_private_or_reserved, DnsObservation};
 use csaw_webproto::page::WebPage;
 use csaw_webproto::url::{Scheme, Url};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// Parallel persistent connections a browser opens per host.
@@ -33,7 +32,7 @@ pub const BROWSER_LANES: usize = 6;
 
 /// One protocol step observed during a fetch. C-Saw's detector classifies
 /// a failed direct fetch from this trace (Fig. 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Step {
     /// A DNS lookup.
     Dns {
@@ -75,7 +74,7 @@ pub enum Step {
 }
 
 /// A completed fetch plus everything the measurement layer wants to know.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FetchReport {
     /// Overall outcome (page with *total* bytes, or first-failure kind).
     pub outcome: FetchOutcome,
@@ -108,7 +107,7 @@ impl FetchReport {
 }
 
 /// What name the TLS SNI carries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SniMode {
     /// The destination hostname (normal HTTPS).
     HostName,
@@ -119,7 +118,7 @@ pub enum SniMode {
 }
 
 /// Options shaping a direct-style fetch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DirectOpts {
     /// Which resolver to use for named hosts.
     pub dns: DnsServer,
@@ -179,9 +178,7 @@ pub fn direct_like_fetch(
         });
         match obs.resolved_addr() {
             Some(a) => a,
-            None => {
-                return FetchReport::failed(FailureKind::TransportUnavailable, elapsed, trace)
-            }
+            None => return FetchReport::failed(FailureKind::TransportUnavailable, elapsed, trace),
         }
     } else {
         match url.host() {
@@ -207,8 +204,7 @@ pub fn direct_like_fetch(
                         a
                     }
                     None => {
-                        let kind =
-                            dns_failure(&obs).unwrap_or(FailureKind::DnsNoResponse);
+                        let kind = dns_failure(&obs).unwrap_or(FailureKind::DnsNoResponse);
                         return FetchReport::failed(kind, elapsed, trace);
                     }
                 }
@@ -244,9 +240,7 @@ pub fn direct_like_fetch(
             TlsStep::Timeout => {
                 return FetchReport::failed(FailureKind::TlsTimeout, elapsed, trace)
             }
-            TlsStep::Reset => {
-                return FetchReport::failed(FailureKind::TlsReset, elapsed, trace)
-            }
+            TlsStep::Reset => return FetchReport::failed(FailureKind::TlsReset, elapsed, trace),
         }
     }
 
@@ -312,16 +306,8 @@ pub fn direct_like_fetch(
     let mut total_bytes = base_bytes;
     let mut resource_failures = Vec::new();
     if let Some(page) = page {
-        let (res_time, res_bytes, failures) = fetch_resources_direct(
-            world,
-            provider,
-            &page,
-            &url,
-            https,
-            opts,
-            connect_ip,
-            rng,
-        );
+        let (res_time, res_bytes, failures) =
+            fetch_resources_direct(world, provider, &page, &url, https, opts, connect_ip, rng);
         elapsed += res_time;
         total_bytes += res_bytes;
         resource_failures = failures;
@@ -357,10 +343,7 @@ fn fetch_resources_direct(
     use std::collections::HashMap;
     let mut by_host: HashMap<String, Vec<&csaw_webproto::page::Resource>> = HashMap::new();
     for r in &page.resources {
-        by_host
-            .entry(r.url.host().to_string())
-            .or_default()
-            .push(r);
+        by_host.entry(r.url.host().to_string()).or_default().push(r);
     }
     let mut failures = Vec::new();
     let mut total_bytes = 0u64;
@@ -486,15 +469,15 @@ pub fn relay_fetch(
     let mut prev = legs[0];
     for leg in &legs[1..] {
         let ms = prev.region.one_way_ms_to(leg.region);
-        path = path.join(&csaw_simnet::link::Path::single(csaw_simnet::link::Link::wan(
-            SimDuration::from_millis(ms) + leg.extra_one_way,
-        )));
+        path = path.join(&csaw_simnet::link::Path::single(
+            csaw_simnet::link::Link::wan(SimDuration::from_millis(ms) + leg.extra_one_way),
+        ));
         prev = *leg;
     }
     let ms = prev.region.one_way_ms_to(origin.location.region);
-    path = path.join(&csaw_simnet::link::Path::single(csaw_simnet::link::Link::wan(
-        SimDuration::from_millis(ms) + origin.location.extra_one_way,
-    )));
+    path = path.join(&csaw_simnet::link::Path::single(
+        csaw_simnet::link::Link::wan(SimDuration::from_millis(ms) + origin.location.extra_one_way),
+    ));
 
     let mut elapsed = per_hop_overhead * legs.len() as u64;
     let mut trace = Vec::new();
@@ -595,7 +578,10 @@ mod tests {
                 SiteSpec::new("cdn-front.example", Site::in_region(Region::Singapore))
                     .frontable(true),
             )
-            .site(SiteSpec::new("example.com", Site::in_region(Region::UsEast)).default_page(95_000, 6))
+            .site(
+                SiteSpec::new("example.com", Site::in_region(Region::UsEast))
+                    .default_page(95_000, 6),
+            )
             .censor(asn, policy)
             .build();
         (w, provider)
@@ -670,7 +656,10 @@ mod tests {
                 saw_long = true;
             }
         }
-        assert!(saw_long, "hijack should cause long stalls for naive fetches");
+        assert!(
+            saw_long,
+            "hijack should cause long stalls for naive fetches"
+        );
         // Detector shortcut: reject private resolutions instantly.
         let smart = DirectOpts {
             reject_private_resolution: true,

@@ -16,10 +16,9 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
 use csaw_simnet::topology::{Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// A proxy reachable through the trust graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LanternProxy {
     /// Who runs it, for reporting.
     pub label: String,
@@ -138,13 +137,7 @@ impl Transport for LanternClient {
     fn anonymous(&self) -> bool {
         false // the paper is explicit: Lantern trades anonymity for speed
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let overhead = self.per_fetch_overhead;
         let Some(site) = self.select_proxy(rng).map(|p| p.site) else {
             return FetchReport {
@@ -201,7 +194,10 @@ mod tests {
         // friend-canada sorts before friend-us-west at distance 1; with
         // 90% availability it should win most rounds even though the
         // Netherlands proxy is geographically closest to the vantage.
-        let canada = first_choice_counts.get("friend-canada").copied().unwrap_or(0);
+        let canada = first_choice_counts
+            .get("friend-canada")
+            .copied()
+            .unwrap_or(0);
         let nl = first_choice_counts
             .get("distant-netherlands")
             .copied()

@@ -49,7 +49,10 @@ pub mod tor;
 pub mod transports;
 pub mod world;
 
-pub use fetch::{direct_like_fetch, lanes_time, relay_fetch, DirectOpts, FetchReport, SniMode, Step, BROWSER_LANES};
+pub use fetch::{
+    direct_like_fetch, lanes_time, relay_fetch, DirectOpts, FetchReport, SniMode, Step,
+    BROWSER_LANES,
+};
 pub use lantern::{default_trust_network, LanternClient, LanternProxy};
 pub use outcome::{FailureKind, Fetch, FetchOutcome, PageResult};
 pub use tor::{default_directory, Circuit, Relay, TorClient, TorConfig};
@@ -57,4 +60,6 @@ pub use transports::{
     Direct, DomainFronting, FetchCtx, HoldOnDns, HttpsUpgrade, IpAsHostname, PublicDns,
     StaticProxy, Transport, TransportKind, Vpn,
 };
-pub use world::{DnsServer, DnsTiming, HttpStep, SiteEntry, SiteSpec, TlsStep, UdpStep, World, WorldBuilder};
+pub use world::{
+    DnsServer, DnsTiming, HttpStep, SiteEntry, SiteSpec, TlsStep, UdpStep, World, WorldBuilder,
+};

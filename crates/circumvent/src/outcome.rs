@@ -5,12 +5,11 @@
 //! (Fig. 4 of the paper) and PLT accounting need.
 
 use csaw_simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A failure signature as observed by the client. Each variant maps onto
 /// a row of the paper's detection flowchart (Fig. 4) / Table 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// No DNS response at all (query or response dropped).
     DnsNoResponse,
@@ -62,7 +61,7 @@ impl fmt::Display for FailureKind {
 
 /// A successfully received document (which may still be a block page —
 /// the client can't know without the detector).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageResult {
     /// Total bytes received (document + resources).
     pub bytes: u64,
@@ -77,7 +76,7 @@ pub struct PageResult {
 }
 
 /// What the fetch produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FetchOutcome {
     /// A document was delivered.
     Page(PageResult),
@@ -115,7 +114,7 @@ impl FetchOutcome {
 }
 
 /// A completed fetch: outcome plus elapsed virtual time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fetch {
     /// What happened.
     pub outcome: FetchOutcome,

@@ -14,10 +14,9 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{Region, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// One relay in the directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relay {
     /// Nickname, for reporting.
     pub nickname: String,
@@ -30,7 +29,7 @@ pub struct Relay {
 }
 
 /// A three-hop circuit (indices into the directory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Circuit {
     /// Entry (guard) relay index.
     pub entry: usize,
@@ -71,7 +70,7 @@ pub fn default_directory() -> Vec<Relay> {
 }
 
 /// Tor client configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TorConfig {
     /// Circuit lifetime before rotation (the paper: "usually every
     /// 10mins unless the circuit fails").
@@ -188,8 +187,7 @@ impl TorClient {
                 + self.directory[middle].bandwidth_weight
                 + self.directory[exit].bandwidth_weight)
                 .max(1.0);
-        self.circuit_quality =
-            (rng.log_normal(0.0, 0.55) * (1.0 + weight_penalty)).clamp(0.9, 5.0);
+        self.circuit_quality = (rng.log_normal(0.0, 0.55) * (1.0 + weight_penalty)).clamp(0.9, 5.0);
         self.circuit = Some(c);
         self.circuits_built += 1;
         (c, self.cfg.circuit_build_cost)
@@ -223,13 +221,7 @@ impl Transport for TorClient {
     fn anonymous(&self) -> bool {
         true
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let (circuit, build_cost) = self.circuit_for(ctx.now, rng);
         let legs = [
             self.directory[circuit.entry].site,
@@ -325,12 +317,21 @@ mod tests {
         let url = Url::parse("http://www.youtube.com/").unwrap();
         let direct = Direct.fetch(&w, &ctx, &url, &mut rng);
         let mut tor = TorClient::new();
-        let t = tor.fetch(&w, &ctx, &url, &mut rng);
-        assert!(t.outcome.is_genuine_page());
+        // Average over several circuits: a single draw can land on an
+        // unusually fast 3-hop path.
+        let mut total = SimDuration::ZERO;
+        let rounds = 5u32;
+        for _ in 0..rounds {
+            tor.drop_circuit();
+            let t = tor.fetch(&w, &ctx, &url, &mut rng);
+            assert!(t.outcome.is_genuine_page());
+            total += t.elapsed;
+        }
+        let mean = total.mul_f64(1.0 / rounds as f64);
         assert!(
-            t.elapsed > direct.elapsed.mul_f64(1.5),
-            "tor {} vs direct {}",
-            t.elapsed,
+            mean > direct.elapsed.mul_f64(1.5),
+            "tor mean {} vs direct {}",
+            mean,
             direct.elapsed
         );
     }

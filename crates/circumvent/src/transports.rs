@@ -25,11 +25,10 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::{Provider, Site};
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Coarse transport class, used by C-Saw's selection policy
 /// (local fixes are always preferred over relays, §4.3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransportKind {
     /// The unmodified direct path.
     Direct,
@@ -61,13 +60,7 @@ pub trait Transport {
         false
     }
     /// Fetch the page.
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport;
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport;
 }
 
 /// The unmodified direct path.
@@ -81,13 +74,7 @@ impl Transport for Direct {
     fn kind(&self) -> TransportKind {
         TransportKind::Direct
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         direct_like_fetch(world, &ctx.provider, url, &DirectOpts::default(), rng)
     }
 }
@@ -103,13 +90,7 @@ impl Transport for PublicDns {
     fn kind(&self) -> TransportKind {
         TransportKind::LocalFix
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let opts = DirectOpts {
             dns: DnsServer::Public,
             // A C-Saw-operated fix recognizes forged private-space
@@ -134,13 +115,7 @@ impl Transport for HoldOnDns {
     fn kind(&self) -> TransportKind {
         TransportKind::LocalFix
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let opts = DirectOpts {
             dns: DnsServer::PublicHoldOn,
             reject_private_resolution: true,
@@ -165,13 +140,7 @@ impl Transport for HttpsUpgrade {
     fn kind(&self) -> TransportKind {
         TransportKind::LocalFix
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         // HTTPS requires origin support.
         if let Some(name) = url.dns_name() {
             if let Some(site) = world.site(name) {
@@ -225,13 +194,7 @@ impl Transport for DomainFronting {
     fn kind(&self) -> TransportKind {
         TransportKind::LocalFix
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         // Fronting requires the destination to be served via a
         // fronting-capable CDN.
         let frontable = url
@@ -241,9 +204,7 @@ impl Transport for DomainFronting {
             .unwrap_or(false);
         if !frontable {
             return FetchReport {
-                outcome: crate::outcome::FetchOutcome::Failed(
-                    FailureKind::TransportUnavailable,
-                ),
+                outcome: crate::outcome::FetchOutcome::Failed(FailureKind::TransportUnavailable),
                 elapsed: SimDuration::ZERO,
                 trace: Vec::new(),
                 resource_failures: Vec::new(),
@@ -278,13 +239,7 @@ impl Transport for IpAsHostname {
     fn kind(&self) -> TransportKind {
         TransportKind::LocalFix
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let Some(name) = url.dns_name() else {
             // Already an IP URL: just go direct.
             return direct_like_fetch(world, &ctx.provider, url, &DirectOpts::default(), rng);
@@ -299,9 +254,7 @@ impl Transport for IpAsHostname {
         };
         if !site.serves_by_ip {
             return FetchReport {
-                outcome: crate::outcome::FetchOutcome::Failed(
-                    FailureKind::TransportUnavailable,
-                ),
+                outcome: crate::outcome::FetchOutcome::Failed(FailureKind::TransportUnavailable),
                 elapsed: SimDuration::ZERO,
                 trace: Vec::new(),
                 resource_failures: Vec::new(),
@@ -311,8 +264,7 @@ impl Transport for IpAsHostname {
         let ip = match self.cache.get(name) {
             Some(ip) => *ip,
             None => {
-                let (obs, t) =
-                    world.dns_lookup(&ctx.provider, name, DnsServer::PublicHoldOn, rng);
+                let (obs, t) = world.dns_lookup(&ctx.provider, name, DnsServer::PublicHoldOn, rng);
                 lookup_cost = t;
                 match obs.resolved_addr() {
                     // Never cache (or use) a resolution pointing into
@@ -383,13 +335,7 @@ impl Transport for StaticProxy {
     fn kind(&self) -> TransportKind {
         TransportKind::Relay
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         let mut report = crate::fetch::relay_fetch(
             world,
             &ctx.provider,
@@ -429,13 +375,7 @@ impl Transport for Vpn {
     fn kind(&self) -> TransportKind {
         TransportKind::Relay
     }
-    fn fetch(
-        &mut self,
-        world: &World,
-        ctx: &FetchCtx,
-        url: &Url,
-        rng: &mut DetRng,
-    ) -> FetchReport {
+    fn fetch(&mut self, world: &World, ctx: &FetchCtx, url: &Url, rng: &mut DetRng) -> FetchReport {
         crate::fetch::relay_fetch(
             world,
             &ctx.provider,
@@ -490,7 +430,11 @@ mod tests {
         let mut rng = DetRng::new(1);
         let url = Url::parse("http://www.youtube.com/").unwrap();
         let direct = Direct.fetch(&w, &ctx, &url, &mut rng);
-        assert!(direct.outcome.page().map(|p| p.truth_block_page).unwrap_or(false));
+        assert!(direct
+            .outcome
+            .page()
+            .map(|p| p.truth_block_page)
+            .unwrap_or(false));
         let https = HttpsUpgrade::default().fetch(&w, &ctx, &url, &mut rng);
         assert!(https.outcome.is_genuine_page());
     }
@@ -522,7 +466,11 @@ mod tests {
         let url = Url::parse("http://porn-site.example/").unwrap();
         // Direct: block page (keyword in hostname).
         let direct = Direct.fetch(&w, &ctx, &url, &mut rng);
-        assert!(direct.outcome.page().map(|p| p.truth_block_page).unwrap_or(false));
+        assert!(direct
+            .outcome
+            .page()
+            .map(|p| p.truth_block_page)
+            .unwrap_or(false));
         // IP-as-hostname sails through.
         let mut iph = IpAsHostname::default();
         let first = iph.fetch(&w, &ctx, &url, &mut rng);
@@ -560,7 +508,10 @@ mod tests {
         let (w, ctx) = setup(profiles::isp_b(), profiles::ISP_B_ASN);
         let mut rng = DetRng::new(6);
         let url = Url::parse("http://www.youtube.com/").unwrap();
-        let mut proxy = StaticProxy::at("Netherlands", Site::at_vantage_rtt(Region::Netherlands, 172));
+        let mut proxy = StaticProxy::at(
+            "Netherlands",
+            Site::at_vantage_rtt(Region::Netherlands, 172),
+        );
         let p = proxy.fetch(&w, &ctx, &url, &mut rng);
         assert!(p.outcome.is_genuine_page());
         let mut vpn = Vpn::exit_at(Site::in_region(Region::Germany));
@@ -580,11 +531,12 @@ mod tests {
         let site = Site::at_vantage_rtt(Region::Germany, 309);
         let sample = |proxy: &mut StaticProxy, seed: u64| -> Vec<SimDuration> {
             let mut rng = DetRng::new(seed);
-            (0..60).map(|_| proxy.fetch(&w, &ctx, &url, &mut rng).elapsed).collect()
+            (0..60)
+                .map(|_| proxy.fetch(&w, &ctx, &url, &mut rng).elapsed)
+                .collect()
         };
         let mut calm = StaticProxy::at("calm", site);
-        let mut flaky = StaticProxy::at("flaky", site)
-            .congested(0.5, SimDuration::from_secs(5));
+        let mut flaky = StaticProxy::at("flaky", site).congested(0.5, SimDuration::from_secs(5));
         let mut a = sample(&mut calm, 42);
         let mut b = sample(&mut flaky, 42);
         a.sort();
@@ -662,15 +614,15 @@ mod tests {
         assert_eq!(Direct.kind(), TransportKind::Direct);
         assert_eq!(PublicDns.kind(), TransportKind::LocalFix);
         assert_eq!(HttpsUpgrade::default().kind(), TransportKind::LocalFix);
-        assert_eq!(
-            DomainFronting::via("x").kind(),
-            TransportKind::LocalFix
-        );
+        assert_eq!(DomainFronting::via("x").kind(), TransportKind::LocalFix);
         assert_eq!(IpAsHostname::default().kind(), TransportKind::LocalFix);
         assert_eq!(
             StaticProxy::at("x", Site::in_region(Region::Japan)).kind(),
             TransportKind::Relay
         );
-        assert_eq!(Vpn::exit_at(Site::in_region(Region::Japan)).kind(), TransportKind::Relay);
+        assert_eq!(
+            Vpn::exit_at(Site::in_region(Region::Japan)).kind(),
+            TransportKind::Relay
+        );
     }
 }

@@ -22,7 +22,6 @@ use csaw_simnet::topology::{AccessNetwork, Asn, Provider, Region, Site};
 use csaw_webproto::dns::{DnsObservation, DnsResponse, Rcode};
 use csaw_webproto::page::WebPage;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -30,7 +29,7 @@ use std::net::Ipv4Addr;
 /// REFUSED surfaces in one resolver RTT (25 ms), SERVFAIL only after the
 /// resolver's upstream retry ladder (10.6 s), and a black-holed query
 /// stalls the stub for its full retry budget.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DnsTiming {
     /// Round trip to the ISP's local resolver.
     pub local_rtt: SimDuration,
@@ -54,7 +53,7 @@ impl Default for DnsTiming {
 }
 
 /// Which resolver a lookup goes through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DnsServer {
     /// The ISP's resolver — subject to the censor's DNS stage.
     IspLocal,
@@ -74,7 +73,7 @@ pub enum DnsServer {
 }
 
 /// An origin server in the world.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteEntry {
     /// Hostname (lowercase).
     pub host: String,
@@ -114,7 +113,7 @@ impl SiteEntry {
 }
 
 /// The result of a TLS handshake attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlsStep {
     /// Handshake completed.
     Established,
@@ -127,7 +126,7 @@ pub enum TlsStep {
 /// The result of probing a UDP application service (§8 non-web
 /// filtering): a round-trip reply, a throttled (unusably slow) reply, or
 /// silence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UdpStep {
     /// The service answered normally.
     Reply {
@@ -147,7 +146,7 @@ pub enum UdpStep {
 
 /// The result of a single HTTP request/response on an established
 /// connection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HttpStep {
     /// A document came back.
     Response {
@@ -264,7 +263,9 @@ impl World {
         policy.materialize_ips(&hosts, resolve);
         self.block_pages.entry(asn).or_insert_with(|| {
             // Always a phase-1-catchable family.
-            csaw_blockpage::corpus_47()[(asn.0 as usize) % 38].html.clone()
+            csaw_blockpage::corpus_47()[(asn.0 as usize) % 38]
+                .html
+                .clone()
         });
         self.censors.insert(asn, policy);
     }
@@ -518,7 +519,10 @@ impl World {
             // Front relays to the backend origin over the CDN backbone.
             if let Some(b) = self.site(backend) {
                 let extra = Link::wan(SimDuration::from_millis(
-                    site.location.region.one_way_ms_to(b.location.region).min(30),
+                    site.location
+                        .region
+                        .one_way_ms_to(b.location.region)
+                        .min(30),
                 ));
                 path = path.join(&Path::single(extra));
             }
@@ -621,9 +625,11 @@ impl World {
         if via_redirect {
             // Follow the redirect: resolve + connect + fetch from the
             // in-ISP block-page server, which adds its think time.
-            let bp_path = self
-                .access
-                .path_to(provider, self.client_region, Site::in_region(self.client_region));
+            let bp_path = self.access.path_to(
+                provider,
+                self.client_region,
+                Site::in_region(self.client_region),
+            );
             elapsed += self.dns.local_rtt;
             elapsed += bp_path.sample_rtt(rng); // connect
             elapsed += self.block_page_server_delay;
@@ -898,7 +904,7 @@ mod tests {
             }
         }
         assert!(hijacks > 120, "hijacks {hijacks}"); // dns_p = 0.8
-        // Public DNS bypasses resolver tampering.
+                                                     // Public DNS bypasses resolver tampering.
         let (obs, _) = w.dns_lookup(&p, "www.youtube.com", DnsServer::Public, &mut rng);
         assert_eq!(obs.resolved_addr(), w.resolve_true("www.youtube.com"));
     }
@@ -978,7 +984,13 @@ mod tests {
         let url = Url::parse("https://www.youtube.com/").unwrap();
         // via_tls = true: the censor's HTTP stage can't see it.
         let (step, _) = w.http_exchange(&p, ip, &url, true, None, None, &mut rng);
-        assert!(matches!(step, HttpStep::Response { truth_block_page: false, .. }));
+        assert!(matches!(
+            step,
+            HttpStep::Response {
+                truth_block_page: false,
+                ..
+            }
+        ));
         // Plaintext gets the block page.
         let url_http = Url::parse("http://www.youtube.com/").unwrap();
         let (step, t) = w.http_exchange(&p, ip, &url_http, false, None, None, &mut rng);
@@ -990,7 +1002,10 @@ mod tests {
         }
         // Redirect bounce + server think time makes this slower than a
         // plain small fetch but far faster than a timeout.
-        assert!(t > SimDuration::from_millis(800) && t < SimDuration::from_secs(5), "{t}");
+        assert!(
+            t > SimDuration::from_millis(800) && t < SimDuration::from_secs(5),
+            "{t}"
+        );
     }
 
     #[test]
@@ -1036,7 +1051,10 @@ mod tests {
         let access = AccessNetwork::single(Provider::new(Asn(9), "isp"));
         let w = World::builder(access)
             .site(SiteSpec::new("byip.example", Site::in_region(Region::UsEast)).serves_by_ip(true))
-            .site(SiteSpec::new("noip.example", Site::in_region(Region::UsEast)))
+            .site(SiteSpec::new(
+                "noip.example",
+                Site::in_region(Region::UsEast),
+            ))
             .build();
         let p = w.access.providers()[0].clone();
         let mut rng = DetRng::new(11);
@@ -1045,7 +1063,9 @@ mod tests {
         let u_yes = Url::parse(&format!("http://{ip_yes}/")).unwrap();
         let u_no = Url::parse(&format!("http://{ip_no}/")).unwrap();
         let (s, _) = w.http_exchange(&p, ip_yes, &u_yes, false, None, None, &mut rng);
-        assert!(matches!(s, HttpStep::Response { truth_block_page: false, bytes, .. } if bytes > 1000));
+        assert!(
+            matches!(s, HttpStep::Response { truth_block_page: false, bytes, .. } if bytes > 1000)
+        );
         let (s, _) = w.http_exchange(&p, ip_no, &u_no, false, None, None, &mut rng);
         assert!(
             matches!(s, HttpStep::Response { bytes, .. } if bytes == 512),

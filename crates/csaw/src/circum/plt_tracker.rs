@@ -6,12 +6,11 @@
 //! and URL."
 
 use csaw_simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Exponentially-weighted moving averages of PLT, keyed by
 /// (transport name, URL key).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PltTracker {
     alpha: f64,
     ewma: HashMap<(String, String), f64>,
@@ -33,6 +32,13 @@ impl PltTracker {
     /// Record an observed PLT.
     pub fn observe(&mut self, transport: &str, url_key: &str, plt: SimDuration) {
         let secs = plt.as_secs_f64();
+        // Telemetry: per-transport PLT distributions (the data behind the
+        // selector's EWMA ordering) land in the metrics registry too.
+        csaw_obs::observe_secs("plt.transport_s", secs);
+        csaw_obs::scope::current()
+            .registry
+            .histogram(&format!("plt.transport_s.{transport}"))
+            .observe_secs(secs);
         let key = (transport.to_string(), url_key.to_string());
         match self.ewma.get_mut(&key) {
             Some(v) => *v = (1.0 - self.alpha) * *v + self.alpha * secs,
@@ -40,7 +46,10 @@ impl PltTracker {
                 self.ewma.insert(key, secs);
             }
         }
-        let (sum, n) = self.transport_avg.entry(transport.to_string()).or_insert((0.0, 0));
+        let (sum, n) = self
+            .transport_avg
+            .entry(transport.to_string())
+            .or_insert((0.0, 0));
         *sum += secs;
         *n += 1;
     }
@@ -48,10 +57,7 @@ impl PltTracker {
     /// Estimated PLT for a (transport, URL), falling back to the
     /// transport-wide average, then `None` for never-used transports.
     pub fn estimate(&self, transport: &str, url_key: &str) -> Option<f64> {
-        if let Some(v) = self
-            .ewma
-            .get(&(transport.to_string(), url_key.to_string()))
-        {
+        if let Some(v) = self.ewma.get(&(transport.to_string(), url_key.to_string())) {
             return Some(*v);
         }
         self.transport_avg

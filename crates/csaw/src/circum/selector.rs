@@ -81,7 +81,12 @@ impl Selector {
 
     /// The standard registry the paper's implementation ships: all local
     /// fixes (fronting through `front` if given) plus Lantern and Tor.
-    pub fn standard(front: Option<&str>, explore_every: u32, alpha: f64, preference: UserPreference) -> Selector {
+    pub fn standard(
+        front: Option<&str>,
+        explore_every: u32,
+        alpha: f64,
+        preference: UserPreference,
+    ) -> Selector {
         let mut t: Vec<Box<dyn Transport + Send>> = vec![
             Box::new(csaw_circumvent::transports::PublicDns),
             Box::new(csaw_circumvent::transports::HoldOnDns),
@@ -89,7 +94,9 @@ impl Selector {
             Box::new(csaw_circumvent::transports::IpAsHostname::default()),
         ];
         if let Some(front) = front {
-            t.push(Box::new(csaw_circumvent::transports::DomainFronting::via(front)));
+            t.push(Box::new(csaw_circumvent::transports::DomainFronting::via(
+                front,
+            )));
         }
         t.push(Box::new(csaw_circumvent::lantern::LanternClient::new()));
         t.push(Box::new(csaw_circumvent::tor::TorClient::new()));
@@ -98,7 +105,10 @@ impl Selector {
 
     /// Registered transport names, in registry order.
     pub fn transport_names(&self) -> Vec<String> {
-        self.transports.iter().map(|t| t.name().to_string()).collect()
+        self.transports
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect()
     }
 
     /// The PLT tracker (read access for experiments).
@@ -145,11 +155,7 @@ impl Selector {
 
     /// Ordered candidate indices for a URL with the given recorded
     /// blocking stages.
-    pub fn candidate_order(
-        &self,
-        url_key: &str,
-        stages: &[BlockingType],
-    ) -> Vec<usize> {
+    pub fn candidate_order(&self, url_key: &str, stages: &[BlockingType]) -> Vec<usize> {
         let mut order: Vec<usize> = Vec::new();
         let anonymity_only = self.preference == UserPreference::Anonymity;
         if !anonymity_only {
@@ -206,6 +212,7 @@ impl Selector {
         let explore = (*count).is_multiple_of(self.explore_every);
         let mut order = self.candidate_order(&url_key, stages);
         if order.is_empty() {
+            csaw_obs::inc("circum.fetch.failed");
             return BlockedFetch {
                 report: FetchReport {
                     outcome: csaw_circumvent::outcome::FetchOutcome::Failed(
@@ -226,6 +233,7 @@ impl Selector {
             let pick = rng.index(order.len());
             let chosen = order.remove(pick);
             order.insert(0, chosen);
+            csaw_obs::inc("circum.explorations");
         }
         // Time spent on transports that didn't deliver is user-visible
         // waiting: it accumulates into the final PLT. But every failed
@@ -245,6 +253,15 @@ impl Selector {
                 // the user's PLT additionally pays for the dead ends.
                 self.plt.observe(&name, &url_key, report.elapsed);
                 report.elapsed += wasted;
+                let ctx = csaw_obs::scope::current();
+                ctx.registry.counter("circum.fetch.success").inc();
+                ctx.registry
+                    .counter(&format!("circum.selected.{name}"))
+                    .inc();
+                // User-visible PLT: transport time plus the dead ends.
+                ctx.registry
+                    .histogram("plt.user_s")
+                    .observe_secs(report.elapsed.as_secs_f64());
                 return BlockedFetch {
                     report,
                     transport: name,
@@ -270,6 +287,7 @@ impl Selector {
                 observed_stages: observed_stages.clone(),
             });
         }
+        csaw_obs::inc("circum.fetch.failed");
         last.expect("order was non-empty")
     }
 }
@@ -322,7 +340,12 @@ mod tests {
         use BlockingType::*;
         assert_eq!(
             Selector::local_fix_order(&[DnsHijack]),
-            vec!["public-dns", "hold-on-dns", "ip-as-hostname", "domain-fronting"]
+            vec![
+                "public-dns",
+                "hold-on-dns",
+                "ip-as-hostname",
+                "domain-fronting"
+            ]
         );
         assert_eq!(
             Selector::local_fix_order(&[HttpBlockPageRedirect]),
@@ -337,7 +360,10 @@ mod tests {
             vec!["ip-as-hostname", "domain-fronting"],
             "SNI blocking never sees a plain-HTTP IP-addressed fetch"
         );
-        assert_eq!(Selector::local_fix_order(&[IpDrop]), vec!["domain-fronting"]);
+        assert_eq!(
+            Selector::local_fix_order(&[IpDrop]),
+            vec!["domain-fronting"]
+        );
         assert_eq!(
             Selector::local_fix_order(&[DnsHijack, HttpDrop]),
             vec!["https", "ip-as-hostname", "domain-fronting"]
@@ -350,7 +376,11 @@ mod tests {
         let mut s = selector();
         let mut rng = DetRng::new(1);
         let url = Url::parse("http://www.youtube.com/").unwrap();
-        let BlockedFetch { report, transport: name, .. } = s.fetch_blocked(
+        let BlockedFetch {
+            report,
+            transport: name,
+            ..
+        } = s.fetch_blocked(
             &w,
             &ctx,
             &url,
@@ -372,8 +402,11 @@ mod tests {
             BlockingType::HttpDrop,
             BlockingType::SniDrop,
         ];
-        let BlockedFetch { report, transport: name, .. } =
-            s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
+        let BlockedFetch {
+            report,
+            transport: name,
+            ..
+        } = s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
         assert!(report.outcome.is_genuine_page(), "{:?}", report.outcome);
         // This origin serves by IP, so the cheaper IP-as-hostname fix
         // wins; fronting is the fallback.
@@ -415,8 +448,11 @@ mod tests {
             BlockingType::HttpDrop,
             BlockingType::SniDrop,
         ];
-        let BlockedFetch { report, transport: name, .. } =
-            s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
+        let BlockedFetch {
+            report,
+            transport: name,
+            ..
+        } = s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
         assert!(report.outcome.is_genuine_page(), "{:?}", report.outcome);
         assert_eq!(name, "domain-fronting");
     }
@@ -437,7 +473,12 @@ mod tests {
         // Compare to Tor directly.
         let mut tor = csaw_circumvent::tor::TorClient::new();
         let t = tor.fetch(&w, &ctx, &url, &mut rng);
-        assert!(fix.elapsed < t.elapsed, "fix {} vs tor {}", fix.elapsed, t.elapsed);
+        assert!(
+            fix.elapsed < t.elapsed,
+            "fix {} vs tor {}",
+            fix.elapsed,
+            t.elapsed
+        );
     }
 
     #[test]
@@ -464,15 +505,15 @@ mod tests {
     #[test]
     fn anonymity_preference_restricts_to_tor() {
         let (w, ctx) = setup(profiles::isp_a(), profiles::ISP_A_ASN);
-        let mut s = Selector::standard(
-            Some("cdn-front.example"),
-            5,
-            0.3,
-            UserPreference::Anonymity,
-        );
+        let mut s =
+            Selector::standard(Some("cdn-front.example"), 5, 0.3, UserPreference::Anonymity);
         let mut rng = DetRng::new(4);
         let url = Url::parse("http://www.youtube.com/").unwrap();
-        let BlockedFetch { report, transport: name, .. } = s.fetch_blocked(
+        let BlockedFetch {
+            report,
+            transport: name,
+            ..
+        } = s.fetch_blocked(
             &w,
             &ctx,
             &url,
@@ -495,7 +536,12 @@ mod tests {
         );
         let mut rng = DetRng::new(99);
         let url = Url::parse("http://www.youtube.com/").unwrap();
-        let BlockedFetch { report, transport: name, kind, .. } = s.fetch_blocked(
+        let BlockedFetch {
+            report,
+            transport: name,
+            kind,
+            ..
+        } = s.fetch_blocked(
             &w,
             &ctx,
             &url,
@@ -519,7 +565,9 @@ mod tests {
         let stages = [BlockingType::HttpBlockPageRedirect];
         let mut names = Vec::new();
         for _ in 0..25 {
-            let BlockedFetch { transport: name, .. } = s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
+            let BlockedFetch {
+                transport: name, ..
+            } = s.fetch_blocked(&w, &ctx, &url, &stages, &mut rng);
             names.push(name);
         }
         // The incumbent is "https"; exploration must have tried something

@@ -33,11 +33,10 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::{Scheme, Url};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters a deployment study reads off a client.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// Total user requests.
     pub requests: u64,
@@ -58,7 +57,7 @@ pub struct ClientStats {
 }
 
 /// What one user request produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
     /// User-perceived PLT (None if nothing usable arrived).
     pub plt: Option<SimDuration>,
@@ -115,12 +114,12 @@ impl CsawClient {
     /// domain-fronting front domain available in the deployment, if any.
     pub fn new(cfg: CsawConfig, front: Option<&str>, seed: u64) -> CsawClient {
         let rng = DetRng::new(seed);
-        let selector = Selector::standard(front, cfg.explore_every, cfg.plt_ewma_alpha, cfg.preference);
+        let selector =
+            Selector::standard(front, cfg.explore_every, cfg.plt_ewma_alpha, cfg.preference);
         // Tor carries the redundant copy for unmeasured URLs (and the
         // measurement reports) — except for anonymity-only users, where
         // it is also the only serving transport.
-        let redundant: Box<dyn Transport + Send> =
-            Box::new(csaw_circumvent::tor::TorClient::new());
+        let redundant: Box<dyn Transport + Send> = Box::new(csaw_circumvent::tor::TorClient::new());
         CsawClient {
             local_db: LocalDb::new(cfg.record_ttl),
             per_provider: PerProviderBlocking::new(),
@@ -204,10 +203,7 @@ impl CsawClient {
         for asn in asns {
             for rec in server.blocked_for_as(*asn, &self.confidence) {
                 if let Ok(u) = Url::parse(&rec.url) {
-                    let entry = self
-                        .global_view
-                        .entry(Self::global_key(&u))
-                        .or_default();
+                    let entry = self.global_view.entry(Self::global_key(&u)).or_default();
                     for s in &rec.stages {
                         if !entry.contains(s) {
                             entry.push(*s);
@@ -259,7 +255,14 @@ impl CsawClient {
         // Unknown or reachable: single direct attempt with in-line
         // detection, but no redundant copy (the copy is what §4.3.1
         // forbids for writes).
-        let m = measure_direct(world, &ctx.provider, url, None, &self.detect_cfg, &mut self.rng);
+        let m = measure_direct(
+            world,
+            &ctx.provider,
+            url,
+            None,
+            &self.detect_cfg,
+            &mut self.rng,
+        );
         match m.status {
             MeasuredStatus::NotBlocked => {
                 self.local_db.record_measurement(
@@ -315,10 +318,7 @@ impl CsawClient {
         self.stats.requests += 1;
         let provider = world.access.pick_provider(&mut self.rng).clone();
         self.multihoming.probe(now, provider.asn);
-        let ctx = FetchCtx {
-            now,
-            provider,
-        };
+        let ctx = FetchCtx { now, provider };
         let lookup = self.local_db.lookup(url, now);
         match lookup.status {
             Status::NotMeasured => {
@@ -345,7 +345,14 @@ impl CsawClient {
             Status::NotBlocked => {
                 // Direct path with in-line detection (Scenario B safety
                 // net: "the proxy always measures the direct path").
-                let m = measure_direct(world, &ctx.provider, url, None, &self.detect_cfg, &mut self.rng);
+                let m = measure_direct(
+                    world,
+                    &ctx.provider,
+                    url,
+                    None,
+                    &self.detect_cfg,
+                    &mut self.rng,
+                );
                 match m.status {
                     MeasuredStatus::NotBlocked => {
                         self.local_db.record_measurement(
@@ -436,7 +443,14 @@ impl CsawClient {
             measured = true;
             self.stats.revalidations += 1;
             let circ_bytes = report.outcome.page().map(|p| p.bytes);
-            let m = measure_direct(world, &ctx.provider, url, circ_bytes, &self.detect_cfg, &mut self.rng);
+            let m = measure_direct(
+                world,
+                &ctx.provider,
+                url,
+                circ_bytes,
+                &self.detect_cfg,
+                &mut self.rng,
+            );
             // The concurrent probe taxes the user fetch.
             if let Some(p) = plt {
                 plt = Some(self.load.inflate(p, 2, &mut self.rng));
@@ -669,7 +683,10 @@ mod tests {
                 "cdn-front.example",
                 Site::in_region(Region::Singapore),
             ))
-            .site(SiteSpec::new("news.example", Site::in_region(Region::UsEast)).default_page(95_000, 6))
+            .site(
+                SiteSpec::new("news.example", Site::in_region(Region::UsEast))
+                    .default_page(95_000, 6),
+            )
             .censor(asn, policy)
             .build()
     }
@@ -705,7 +722,12 @@ mod tests {
         // Subsequent requests ride the HTTPS local fix and get fast PLTs.
         let r2 = c.request(&w, &url, SimTime::from_secs(10));
         assert_eq!(r2.transport, "https");
-        assert!(r2.plt.unwrap() < r1.plt.unwrap(), "{:?} vs {:?}", r2.plt, r1.plt);
+        assert!(
+            r2.plt.unwrap() < r1.plt.unwrap(),
+            "{:?} vs {:?}",
+            r2.plt,
+            r1.plt
+        );
         assert!(c.stats.blocked_recorded >= 1);
     }
 
@@ -752,7 +774,11 @@ mod tests {
             ),
         );
         let r = c.request(&w, &url, SimTime::from_secs(10));
-        assert_eq!(r.status_after, Status::Blocked, "in-line detection caught it");
+        assert_eq!(
+            r.status_after,
+            Status::Blocked,
+            "in-line detection caught it"
+        );
         assert!(r.plt.is_some(), "user still served via circumvention");
         assert_ne!(r.transport, "direct");
     }
@@ -794,7 +820,11 @@ mod tests {
         // Unblock and request again: the p=1 probe sees the clean path.
         w.remove_censor(Asn(9));
         let r = c.request(&w, &url, SimTime::from_secs(100));
-        assert_eq!(r.status_after, Status::NotBlocked, "revalidation flipped it");
+        assert_eq!(
+            r.status_after,
+            Status::NotBlocked,
+            "revalidation flipped it"
+        );
         assert!(c.stats.revalidations >= 1);
         // Next request goes direct.
         let r = c.request(&w, &url, SimTime::from_secs(200));
@@ -832,7 +862,12 @@ mod tests {
         let mut c2 = client(32);
         let yt = Url::parse("http://www.youtube.com/comment").unwrap();
         c2.request(&w2, &yt, SimTime::from_secs(1)); // GET measures
-        let r = c2.request_method(&w2, &yt, csaw_webproto::Method::Post, SimTime::from_secs(10));
+        let r = c2.request_method(
+            &w2,
+            &yt,
+            csaw_webproto::Method::Post,
+            SimTime::from_secs(10),
+        );
         assert_ne!(r.transport, "direct");
         assert!(r.plt.is_some());
     }
@@ -848,7 +883,10 @@ mod tests {
         c.request(&w, &url, SimTime::from_secs(1));
         assert!(server.stats().unique_blocked_urls == 0);
         c.tick(&w, &mut server, SimTime::from_secs(1_000));
-        assert!(server.stats().unique_blocked_urls >= 1, "tick posted reports");
+        assert!(
+            server.stats().unique_blocked_urls >= 1,
+            "tick posted reports"
+        );
         assert!(c.stats.reports_posted >= 1);
     }
 }

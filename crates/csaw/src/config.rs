@@ -1,12 +1,11 @@
 //! Client configuration (§4.4 "Modular design with user customization").
 
 use csaw_simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// What the user optimizes for. If a user prefers performance, the proxy
 /// always picks local fixes when available; if anonymity, only
 /// anonymity-providing transports (e.g. Tor) are ever used (§4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UserPreference {
     /// Smallest PLT wins; anonymity not required.
     Performance,
@@ -16,7 +15,7 @@ pub enum UserPreference {
 
 /// How redundant requests are issued for unmeasured URLs (§7.1 evaluates
 /// all three shapes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RedundancyMode {
     /// Direct first; only after blocking is detected, go to circumvention
     /// (the paper's "serial" baseline).
@@ -30,7 +29,7 @@ pub enum RedundancyMode {
 
 /// C-Saw client configuration. Defaults follow the paper's
 /// recommendations (p ≤ 0.25, n = 5 exploration, parallel redundancy).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CsawConfig {
     /// Probability of re-measuring the direct path for a URL that the
     /// global DB reports blocked (§4.3.1 "Low overhead vs. resilience to

@@ -15,10 +15,9 @@ use crate::global::record::{Report, Uuid};
 use crate::global::server::{PostError, ServerDb};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One collector endpoint (a Tor hidden service in the paper's design).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Collector {
     /// Onion-style identifier.
     pub id: String,
@@ -159,7 +158,13 @@ mod tests {
         let set = CollectorSet::default_set();
         let mut rng = DetRng::new(1);
         let r = set
-            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .submit(
+                &mut server,
+                client,
+                &[report("http://x.example/")],
+                SimTime::from_secs(5),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(r.accepted, 1);
         assert!(r.via.ends_with(".onion"));
@@ -175,7 +180,13 @@ mod tests {
         assert_eq!(set.reachable_count(), 1);
         let mut rng = DetRng::new(2);
         let r = set
-            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .submit(
+                &mut server,
+                client,
+                &[report("http://x.example/")],
+                SimTime::from_secs(5),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(r.via, "collector-c.onion");
         // Failed attempts cost time before the success.
@@ -186,12 +197,22 @@ mod tests {
     fn all_blocked_is_reported_not_lost() {
         let (mut server, client) = setup();
         let mut set = CollectorSet::default_set();
-        for id in ["collector-a.onion", "collector-b.onion", "collector-c.onion"] {
+        for id in [
+            "collector-a.onion",
+            "collector-b.onion",
+            "collector-c.onion",
+        ] {
             set.set_reachable(id, false);
         }
         let mut rng = DetRng::new(3);
         let err = set
-            .submit(&mut server, client, &[report("http://x.example/")], SimTime::from_secs(5), &mut rng)
+            .submit(
+                &mut server,
+                client,
+                &[report("http://x.example/")],
+                SimTime::from_secs(5),
+                &mut rng,
+            )
             .unwrap_err();
         assert_eq!(err, SubmitError::AllCollectorsBlocked);
         assert_eq!(server.stats().unique_blocked_urls, 0);

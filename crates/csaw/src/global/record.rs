@@ -7,15 +7,15 @@
 //! structurally rather than by policy.
 
 use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::{JsonError, JsonValue};
 use csaw_simnet::time::SimTime;
 use csaw_simnet::topology::Asn;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A server-assigned universal unique identifier. The paper derives it
 /// from a cryptographic hash of the server's current time; we reproduce
 /// that as a 64-bit avalanche hash over (time, counter, salt).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Uuid(u64);
 
 impl Uuid {
@@ -53,7 +53,7 @@ impl fmt::Display for Uuid {
 /// One measurement report as carried on the wire (client → server, JSON).
 /// Only **blocked** URLs are ever reported (§3 "These updates include
 /// information about only blocked URLs"); reports travel over Tor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// The blocked URL.
     pub url: String,
@@ -65,21 +65,93 @@ pub struct Report {
     pub stages: Vec<BlockingType>,
 }
 
+/// A malformed report batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input was not valid JSON.
+    Json(JsonError),
+    /// The JSON did not have the report-batch shape.
+    Shape(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "report batch: {e}"),
+            WireError::Shape(m) => write!(f, "report batch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 impl Report {
+    fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj();
+        v.set("url", self.url.as_str());
+        v.set("asn", self.asn);
+        v.set("measured_at_us", self.measured_at_us);
+        v.set(
+            "stages",
+            self.stages
+                .iter()
+                .map(|s| JsonValue::from(s.name()))
+                .collect::<Vec<_>>(),
+        );
+        v
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Report, WireError> {
+        let shape = WireError::Shape;
+        let url = v
+            .get("url")
+            .and_then(JsonValue::as_str)
+            .ok_or(shape("url must be a string"))?
+            .to_string();
+        let asn = v
+            .get("asn")
+            .and_then(JsonValue::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or(shape("asn must be a u32"))?;
+        let measured_at_us = v
+            .get("measured_at_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or(shape("measured_at_us must be a u64"))?;
+        let stages = v
+            .get("stages")
+            .and_then(JsonValue::as_arr)
+            .ok_or(shape("stages must be an array"))?
+            .iter()
+            .map(|s| s.as_str().and_then(BlockingType::from_name))
+            .collect::<Option<Vec<_>>>()
+            .ok_or(shape("unknown blocking type"))?;
+        Ok(Report {
+            url,
+            asn,
+            measured_at_us,
+            stages,
+        })
+    }
+
     /// Serialize a batch of reports to the JSON wire format.
     pub fn encode_batch(reports: &[Report]) -> String {
-        serde_json::to_string(reports).expect("reports are serializable")
+        JsonValue::Arr(reports.iter().map(Report::to_json).collect()).to_string_compact()
     }
 
     /// Parse a batch from the wire. Malformed input is an error (the
     /// server rejects, not panics).
-    pub fn decode_batch(s: &str) -> Result<Vec<Report>, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn decode_batch(s: &str) -> Result<Vec<Report>, WireError> {
+        let v = JsonValue::parse(s).map_err(WireError::Json)?;
+        v.as_arr()
+            .ok_or(WireError::Shape("batch must be an array"))?
+            .iter()
+            .map(Report::from_json)
+            .collect()
     }
 }
 
 /// A record in the global database (Table 3 fields ⊕ Table 4 fields).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalRecord {
     /// The blocked URL.
     pub url: String,
@@ -157,7 +229,9 @@ mod tests {
         let wire = Report::encode_batch(&[r]);
         for forbidden in ["ip", "address", "user", "name", "email"] {
             assert!(
-                !wire.to_ascii_lowercase().contains(&format!("\"{forbidden}\"")),
+                !wire
+                    .to_ascii_lowercase()
+                    .contains(&format!("\"{forbidden}\"")),
                 "wire format leaks {forbidden}: {wire}"
             );
         }

@@ -21,10 +21,9 @@
 
 use crate::global::record::Uuid;
 use crate::global::voting::VoteLedger;
-use serde::{Deserialize, Serialize};
 
 /// Reputation thresholds.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReputationConfig {
     /// A client is volume-anomalous if it reports more than
     /// `volume_ratio` × the population median URL count.
@@ -47,7 +46,7 @@ impl Default for ReputationConfig {
 }
 
 /// A flagged client with the evidence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flag {
     /// The client.
     pub client: Uuid,

@@ -7,7 +7,6 @@ use csaw_censor::blocking::{BlockingType, Stage};
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Registration failures.
@@ -31,7 +30,7 @@ pub enum PostError {
 }
 
 /// Registration gate configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RegistrarConfig {
     /// Risk scores above this are rejected (0 = reject everyone,
     /// 1 = accept everyone).
@@ -97,15 +96,19 @@ impl ServerDb {
             self.window_count = 0;
         }
         if risk_score > self.registrar.max_risk {
+            csaw_obs::inc("global.register.risk_rejected");
             return Err(RegistrationError::RiskRejected);
         }
         if self.window_count >= self.registrar.max_per_window {
+            csaw_obs::inc("global.register.rate_limited");
             return Err(RegistrationError::RateLimited);
         }
         self.window_count += 1;
         self.uuid_counter += 1;
         let uuid = Uuid::derive(now, self.uuid_counter, self.salt);
         self.clients.insert(uuid);
+        csaw_obs::inc("global.register.accepted");
+        csaw_obs::gauge_set("global.clients", self.clients.len() as i64);
         Ok(uuid)
     }
 
@@ -135,6 +138,7 @@ impl ServerDb {
         now: SimTime,
     ) -> Result<usize, PostError> {
         if !self.clients.contains(&client) {
+            csaw_obs::inc("global.post.unknown_client");
             return Err(PostError::UnknownClient);
         }
         let mut accepted = 0;
@@ -165,6 +169,17 @@ impl ServerDb {
                 .map(|r| (r.url.clone(), Asn(r.asn))),
         );
         self.updates_accepted += accepted as u64;
+        let ctx = csaw_obs::scope::current();
+        ctx.registry.counter("global.post.batches").inc();
+        ctx.registry
+            .counter("global.post.reports_accepted")
+            .add(accepted as u64);
+        ctx.registry
+            .counter("global.post.reports_dropped")
+            .add(reports.len() as u64 - accepted as u64);
+        ctx.registry
+            .gauge("global.records")
+            .set(self.records.len() as i64);
         Ok(accepted as usize)
     }
 
@@ -179,6 +194,11 @@ impl ServerDb {
             .cloned()
             .collect();
         out.sort_by(|a, b| a.url.cmp(&b.url));
+        let ctx = csaw_obs::scope::current();
+        ctx.registry.counter("global.downloads").inc();
+        ctx.registry
+            .counter("global.downloads.records_served")
+            .add(out.len() as u64);
         out
     }
 
@@ -189,7 +209,10 @@ impl ServerDb {
 
     /// Evict a client and its votes (reputation enforcement, §5).
     pub fn revoke(&mut self, client: Uuid) {
-        self.clients.remove(&client);
+        if self.clients.remove(&client) {
+            csaw_obs::inc("global.revocations");
+            csaw_obs::gauge_set("global.clients", self.clients.len() as i64);
+        }
         self.ledger.revoke(client);
     }
 
@@ -267,7 +290,7 @@ impl ServerDb {
 }
 
 /// The Table 7 aggregate view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeploymentStats {
     /// Registered clients ("No. of users").
     pub clients: usize,
@@ -320,7 +343,9 @@ mod tests {
         assert_eq!(list[0].posted_at, SimTime::from_secs(2));
         assert_eq!(list[0].reporter, c);
         // Other ASes see nothing.
-        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+        assert!(s
+            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            .is_empty());
     }
 
     #[test]
@@ -380,8 +405,12 @@ mod tests {
         let honest2 = s.register(SimTime::ZERO, 0.0).unwrap();
         let spammer = s.register(SimTime::ZERO, 0.0).unwrap();
         for c in [honest1, honest2] {
-            s.post_update(c, &[report("http://real.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
-                .unwrap();
+            s.post_update(
+                c,
+                &[report("http://real.com/", 1, BlockingType::HttpDrop)],
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let fakes: Vec<Report> = (0..200)
             .map(|i| report(&format!("http://fake{i}.com/"), 1, BlockingType::HttpDrop))
@@ -402,8 +431,12 @@ mod tests {
     fn revocation_hides_reports() {
         let mut s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        s.post_update(c, &[report("http://x.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
-            .unwrap();
+        s.post_update(
+            c,
+            &[report("http://x.com/", 1, BlockingType::HttpDrop)],
+            SimTime::ZERO,
+        )
+        .unwrap();
         s.revoke(c);
         let strict = ConfidenceFilter::strict(1, 0.01);
         assert!(s.blocked_for_as(Asn(1), &strict).is_empty());
@@ -445,9 +478,12 @@ mod tests {
         let mut s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         let r = report("http://x.com/", 1, BlockingType::HttpDrop);
-        s.post_update(c, std::slice::from_ref(&r), SimTime::ZERO).unwrap();
+        s.post_update(c, std::slice::from_ref(&r), SimTime::ZERO)
+            .unwrap();
         s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
-        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+        assert!(s
+            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            .is_empty());
         // Fresh censorship re-reported after expiry shows up again.
         s.post_update(c, &[r], SimTime::from_secs(101)).unwrap();
         let list = s.blocked_for_as(Asn(1), &ConfidenceFilter::default());
@@ -459,10 +495,16 @@ mod tests {
     fn record_expiry() {
         let mut s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        s.post_update(c, &[report("http://x.com/", 1, BlockingType::HttpDrop)], SimTime::ZERO)
-            .unwrap();
+        s.post_update(
+            c,
+            &[report("http://x.com/", 1, BlockingType::HttpDrop)],
+            SimTime::ZERO,
+        )
+        .unwrap();
         let removed = s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
         assert_eq!(removed, 1);
-        assert!(s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).is_empty());
+        assert!(s
+            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            .is_empty());
     }
 }

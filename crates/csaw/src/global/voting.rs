@@ -14,11 +14,10 @@
 
 use crate::global::record::Uuid;
 use csaw_simnet::topology::Asn;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Aggregated vote state for one (URL, AS).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Tally {
     /// Sum of votes, `s_{j,k}`.
     pub s: f64,
@@ -38,7 +37,7 @@ impl Tally {
 }
 
 /// Confidence thresholds for consuming crowdsourced measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceFilter {
     /// Minimum distinct voters.
     pub min_clients: usize,
@@ -72,7 +71,7 @@ impl ConfidenceFilter {
 }
 
 /// The server-side vote ledger.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VoteLedger {
     /// Each client's current vote targets ((URL, AS) pairs).
     client_votes: HashMap<Uuid, HashSet<(String, Asn)>>,
@@ -86,7 +85,11 @@ impl VoteLedger {
 
     /// Replace a client's reported blocked set. The client's single unit
     /// of vote is re-spread over the new set.
-    pub fn set_client_report(&mut self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
+    pub fn set_client_report(
+        &mut self,
+        client: Uuid,
+        urls: impl IntoIterator<Item = (String, Asn)>,
+    ) {
         let set: HashSet<(String, Asn)> = urls.into_iter().collect();
         if set.is_empty() {
             self.client_votes.remove(&client);
@@ -97,11 +100,7 @@ impl VoteLedger {
 
     /// Add URLs to a client's reported set (incremental reporting),
     /// re-spreading its vote.
-    pub fn add_client_urls(
-        &mut self,
-        client: Uuid,
-        urls: impl IntoIterator<Item = (String, Asn)>,
-    ) {
+    pub fn add_client_urls(&mut self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
         let entry = self.client_votes.entry(client).or_default();
         entry.extend(urls);
     }
@@ -210,8 +209,9 @@ mod tests {
             );
         }
         // One spammer reports 1000 fake URLs.
-        let fakes: Vec<(String, Asn)> =
-            (0..1000).map(|i| (format!("http://fake{i}.com/"), Asn(1))).collect();
+        let fakes: Vec<(String, Asn)> = (0..1000)
+            .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
+            .collect();
         l.set_client_report(uuid(99), fakes);
 
         let honest = l.tally("http://blocked-1.com/", Asn(1));
@@ -232,8 +232,9 @@ mod tests {
         // average vote.
         let mut l = VoteLedger::new();
         for c in 0..20 {
-            let urls: Vec<(String, Asn)> =
-                (0..500).map(|i| (format!("http://fake{i}.com/"), Asn(1))).collect();
+            let urls: Vec<(String, Asn)> = (0..500)
+                .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
+                .collect();
             l.set_client_report(uuid(c), urls);
         }
         let t = l.tally("http://fake0.com/", Asn(1));

@@ -21,17 +21,17 @@
 use crate::local::record::{LocalRecord, Status};
 use crate::local::trie::PathTrie;
 use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::JsonValue;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Host-level key: hostname (or IP literal) plus port. The two web
 /// default ports (80/443) collapse to `None` so that the same resource
 /// fetched over HTTP and HTTPS shares one identity — scheme is a
 /// *transport* question, recorded in `stages`, not an identity question.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct HostKey {
     host: String,
     port: Option<u16>,
@@ -52,9 +52,8 @@ impl HostKey {
 /// Serializes to a portable form (the host map as a pair list, since
 /// JSON map keys must be strings) so a client can persist its
 /// measurements across restarts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LocalDb {
-    #[serde(with = "host_map_serde")]
     hosts: HashMap<HostKey, PathTrie>,
     /// Aggregation on (the paper's design) or off (the Fig. 6b baseline).
     pub aggregate: bool,
@@ -69,30 +68,6 @@ pub struct Lookup {
     pub status: Status,
     /// The matched record (most specific live ancestor), if any.
     pub record: Option<LocalRecord>,
-}
-
-/// Serialize the host map as a `Vec<(HostKey, PathTrie)>` — JSON-safe.
-mod host_map_serde {
-    use super::{HostKey, PathTrie};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<HostKey, PathTrie>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        // Deterministic order for stable snapshots.
-        let mut pairs: Vec<(&HostKey, &PathTrie)> = map.iter().collect();
-        pairs.sort_by(|a, b| (&a.0.host, a.0.port).cmp(&(&b.0.host, b.0.port)));
-        pairs.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<HostKey, PathTrie>, D::Error> {
-        let pairs: Vec<(HostKey, PathTrie)> = Vec::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl LocalDb {
@@ -120,12 +95,20 @@ impl LocalDb {
     }
 
     /// Look up the blocking status of a URL at time `now`.
+    ///
+    /// Telemetry: `local_db.hits` counts lookups answered by a live
+    /// record, `local_db.misses` the rest — the hit rate is the fraction
+    /// of page loads that skip the measurement machinery entirely.
     pub fn lookup(&self, url: &Url, now: SimTime) -> Lookup {
-        let Some(trie) = self.hosts.get(&HostKey::of(url)) else {
-            return Lookup {
+        let miss = || {
+            csaw_obs::inc("local_db.misses");
+            Lookup {
                 status: Status::NotMeasured,
                 record: None,
-            };
+            }
+        };
+        let Some(trie) = self.hosts.get(&HostKey::of(url)) else {
+            return miss();
         };
         let segs = Self::segs(url);
         let record = if self.aggregate {
@@ -134,14 +117,14 @@ impl LocalDb {
             trie.get(&segs)
         };
         match record {
-            Some(r) if r.is_live(now, self.ttl) => Lookup {
-                status: r.status,
-                record: Some(r.clone()),
-            },
-            _ => Lookup {
-                status: Status::NotMeasured,
-                record: None,
-            },
+            Some(r) if r.is_live(now, self.ttl) => {
+                csaw_obs::inc("local_db.hits");
+                Lookup {
+                    status: r.status,
+                    record: Some(r.clone()),
+                }
+            }
+            _ => miss(),
         }
     }
 
@@ -154,7 +137,10 @@ impl LocalDb {
         status: Status,
         stages: Vec<BlockingType>,
     ) {
-        debug_assert!(status != Status::NotMeasured, "store real measurements only");
+        debug_assert!(
+            status != Status::NotMeasured,
+            "store real measurements only"
+        );
         let key = HostKey::of(url);
         let trie = self.hosts.entry(key).or_default();
         let segs = Self::segs(url);
@@ -206,17 +192,11 @@ impl LocalDb {
                             .map(|r| r.status == Status::Blocked)
                             .unwrap_or(false);
                         if still_blocked {
-                            trie.insert(
-                                &segs,
-                                LocalRecord::not_blocked(url.clone(), asn, now),
-                            );
+                            trie.insert(&segs, LocalRecord::not_blocked(url.clone(), asn, now));
                         } else {
                             trie.retain(|r| r.status == Status::Blocked);
                             if trie.get(&[]).is_none() {
-                                trie.insert(
-                                    &[],
-                                    LocalRecord::not_blocked(url.base(), asn, now),
-                                );
+                                trie.insert(&[], LocalRecord::not_blocked(url.base(), asn, now));
                             }
                         }
                     }
@@ -289,6 +269,66 @@ impl LocalDb {
         out.sort_by(|a, b| a.url.cmp(&b.url));
         out
     }
+
+    /// Encode the database for persistence across client restarts. The
+    /// host map serializes as a pair list sorted by (host, port) — JSON
+    /// map keys must be strings, and sorting keeps snapshots
+    /// deterministic.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs: Vec<(&HostKey, &PathTrie)> = self.hosts.iter().collect();
+        pairs.sort_by(|a, b| (&a.0.host, a.0.port).cmp(&(&b.0.host, b.0.port)));
+        let hosts = pairs
+            .into_iter()
+            .map(|(k, trie)| {
+                let mut key = JsonValue::obj();
+                key.set("host", k.host.as_str());
+                match k.port {
+                    Some(p) => key.set("port", u64::from(p)),
+                    None => key.set("port", JsonValue::Null),
+                }
+                JsonValue::Arr(vec![key, trie.to_json()])
+            })
+            .collect::<Vec<_>>();
+        let mut v = JsonValue::obj();
+        v.set("aggregate", self.aggregate);
+        v.set("ttl_us", self.ttl.as_micros());
+        v.set("hosts", hosts);
+        v
+    }
+
+    /// [`LocalDb::to_json`] as a string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Decode a persisted database.
+    pub fn from_json(v: &JsonValue) -> Option<LocalDb> {
+        let aggregate = v.get("aggregate")?.as_bool()?;
+        let ttl = SimDuration::from_micros(v.get("ttl_us")?.as_u64()?);
+        let mut hosts = HashMap::new();
+        for pair in v.get("hosts")?.as_arr()? {
+            let [key, trie] = pair.as_arr()? else {
+                return None;
+            };
+            let host = key.get("host")?.as_str()?.to_string();
+            let port = match key.get("port")? {
+                JsonValue::Null => None,
+                p => Some(u16::try_from(p.as_u64()?).ok()?),
+            };
+            hosts.insert(HostKey { host, port }, PathTrie::from_json(trie)?);
+        }
+        Some(LocalDb {
+            hosts,
+            aggregate,
+            ttl,
+        })
+    }
+
+    /// Parse and decode a persisted database from JSON text.
+    pub fn from_json_str(s: &str) -> Result<LocalDb, String> {
+        let v = JsonValue::parse(s).map_err(|e| e.to_string())?;
+        LocalDb::from_json(&v).ok_or_else(|| "malformed local DB snapshot".to_string())
+    }
 }
 
 #[cfg(test)]
@@ -354,7 +394,10 @@ mod tests {
             Status::Blocked
         );
         // ...but the base and siblings are unknown.
-        assert_eq!(d.lookup(&url("http://foo.com/"), T0).status, Status::NotMeasured);
+        assert_eq!(
+            d.lookup(&url("http://foo.com/"), T0).status,
+            Status::NotMeasured
+        );
         assert_eq!(
             d.lookup(&url("http://foo.com/other"), T0).status,
             Status::NotMeasured
@@ -383,7 +426,10 @@ mod tests {
         }
         // One base record + one blocked derived record.
         assert_eq!(d.record_count(), 2);
-        assert_eq!(d.lookup(&url("http://foo.com/a"), T0).status, Status::NotBlocked);
+        assert_eq!(
+            d.lookup(&url("http://foo.com/a"), T0).status,
+            Status::NotBlocked
+        );
         assert_eq!(
             d.lookup(&url("http://foo.com/banned"), T0).status,
             Status::Blocked,
@@ -450,7 +496,10 @@ mod tests {
             vec![BlockingType::HttpDrop],
         );
         let later = SimTime::from_secs(101);
-        assert_eq!(d.lookup(&url("http://foo.com/"), later).status, Status::NotMeasured);
+        assert_eq!(
+            d.lookup(&url("http://foo.com/"), later).status,
+            Status::NotMeasured
+        );
         assert_eq!(d.record_count(), 1, "record still stored");
         let purged = d.purge_expired(later);
         assert_eq!(purged, 1);
@@ -467,7 +516,13 @@ mod tests {
             Status::Blocked,
             vec![BlockingType::HttpDrop],
         );
-        d.record_measurement(&url("http://b.com/"), Asn(1), T0, Status::NotBlocked, vec![]);
+        d.record_measurement(
+            &url("http://b.com/"),
+            Asn(1),
+            T0,
+            Status::NotBlocked,
+            vec![],
+        );
         let pending = d.pending_reports();
         assert_eq!(pending.len(), 1);
         assert_eq!(pending[0].url, url("http://a.com/"));
@@ -522,10 +577,23 @@ mod tests {
             vec![BlockingType::DnsNxdomain],
         );
         // ...then the censor whitelists; after expiry remeasurement says fine.
-        d.record_measurement(&url("http://x.com/p"), Asn(2), SimTime::from_secs(10), Status::NotBlocked, vec![]);
-        assert_eq!(d.lookup(&url("http://x.com/q"), SimTime::from_secs(10)).status, Status::NotBlocked);
+        d.record_measurement(
+            &url("http://x.com/p"),
+            Asn(2),
+            SimTime::from_secs(10),
+            Status::NotBlocked,
+            vec![],
+        );
+        assert_eq!(
+            d.lookup(&url("http://x.com/q"), SimTime::from_secs(10))
+                .status,
+            Status::NotBlocked
+        );
         assert_eq!(d.record_count(), 1);
-        let rec = d.lookup(&url("http://x.com/q"), SimTime::from_secs(10)).record.unwrap();
+        let rec = d
+            .lookup(&url("http://x.com/q"), SimTime::from_secs(10))
+            .record
+            .unwrap();
         assert_eq!(rec.asn, Asn(2));
     }
 }

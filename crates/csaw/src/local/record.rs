@@ -1,15 +1,15 @@
 //! Local database records — Table 3 of the paper.
 
 use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::JsonValue;
 use csaw_simnet::time::SimTime;
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Blocking status of a URL (Table 3's `Status` field). `NotMeasured` is
 /// never stored — it is what a lookup reports when no (live) record
 /// exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Measured and found blocked.
     Blocked,
@@ -19,12 +19,33 @@ pub enum Status {
     NotMeasured,
 }
 
+impl Status {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Blocked => "Blocked",
+            Status::NotBlocked => "NotBlocked",
+            Status::NotMeasured => "NotMeasured",
+        }
+    }
+
+    /// Inverse of [`Status::name`].
+    pub fn from_name(s: &str) -> Option<Status> {
+        match s {
+            "Blocked" => Some(Status::Blocked),
+            "NotBlocked" => Some(Status::NotBlocked),
+            "NotMeasured" => Some(Status::NotMeasured),
+            _ => None,
+        }
+    }
+}
+
 /// One record of the local database (Table 3): the URL (the index), the
 /// AS the measurement was made from, the measurement time `T_m`, the
 /// status, the blocking mechanism observed at each stage (multi-stage
 /// blocking keeps several), and whether this record has been posted to
 /// the global DB.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalRecord {
     /// The measured URL.
     pub url: Url,
@@ -81,6 +102,47 @@ impl LocalRecord {
         self.stages
             .iter()
             .any(|s| matches!(s.stage(), Stage::Dns | Stage::Ip | Stage::Tls))
+    }
+
+    /// Encode for persistence (the local DB's restart snapshot).
+    pub fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj();
+        v.set("url", self.url.to_string());
+        v.set("asn", self.asn.0);
+        v.set("measured_at_us", self.measured_at.as_micros());
+        v.set("status", self.status.name());
+        v.set(
+            "stages",
+            self.stages
+                .iter()
+                .map(|s| JsonValue::from(s.name()))
+                .collect::<Vec<_>>(),
+        );
+        v.set("global_posted", self.global_posted);
+        v
+    }
+
+    /// Decode a persisted record; `None` on any malformed field.
+    pub fn from_json(v: &JsonValue) -> Option<LocalRecord> {
+        let url = Url::parse(v.get("url")?.as_str()?).ok()?;
+        let asn = Asn(v.get("asn")?.as_u64()? as u32);
+        let measured_at = SimTime::from_micros(v.get("measured_at_us")?.as_u64()?);
+        let status = Status::from_name(v.get("status")?.as_str()?)?;
+        let stages = v
+            .get("stages")?
+            .as_arr()?
+            .iter()
+            .map(|s| s.as_str().and_then(BlockingType::from_name))
+            .collect::<Option<Vec<_>>>()?;
+        let global_posted = v.get("global_posted")?.as_bool()?;
+        Some(LocalRecord {
+            url,
+            asn,
+            measured_at,
+            status,
+            stages,
+            global_posted,
+        })
     }
 }
 

@@ -6,12 +6,12 @@
 //! returns the most specific record on the query's path.
 
 use crate::local::record::LocalRecord;
-use serde::{Deserialize, Serialize};
+use csaw_obs::json::JsonValue;
 use std::collections::HashMap;
 
 /// One trie node: an optional record at this path plus children by
 /// segment.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PathTrie {
     record: Option<LocalRecord>,
     children: HashMap<String, PathTrie>,
@@ -159,6 +159,36 @@ impl PathTrie {
             child.for_each_mut(f);
         }
     }
+
+    /// Encode for persistence: `{"record": ..., "children": {seg: trie}}`.
+    /// Children serialize in sorted-segment order, so output is
+    /// deterministic regardless of insertion order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj();
+        match &self.record {
+            Some(r) => v.set("record", r.to_json()),
+            None => v.set("record", JsonValue::Null),
+        }
+        let mut children = JsonValue::obj();
+        for (seg, child) in &self.children {
+            children.set(seg, child.to_json());
+        }
+        v.set("children", children);
+        v
+    }
+
+    /// Decode a persisted trie; `None` on any malformed node.
+    pub fn from_json(v: &JsonValue) -> Option<PathTrie> {
+        let record = match v.get("record")? {
+            JsonValue::Null => None,
+            r => Some(LocalRecord::from_json(r)?),
+        };
+        let mut children = HashMap::new();
+        for (seg, child) in v.get("children")?.as_obj()? {
+            children.insert(seg.clone(), PathTrie::from_json(child)?);
+        }
+        Some(PathTrie { record, children })
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +213,10 @@ mod tests {
     }
 
     fn segs(path: &str) -> Vec<String> {
-        path.split('/').filter(|s| !s.is_empty()).map(String::from).collect()
+        path.split('/')
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
     }
 
     #[test]
@@ -196,8 +229,14 @@ mod tests {
         assert_eq!(t.get(&segs("/")).unwrap().status, Status::NotBlocked);
         assert!(t.get(&segs("/other")).is_none());
         // LPM: deeper paths inherit the most specific ancestor.
-        assert_eq!(t.lpm(&segs("/banned/page.html")).unwrap().status, Status::Blocked);
-        assert_eq!(t.lpm(&segs("/other/page.html")).unwrap().status, Status::NotBlocked);
+        assert_eq!(
+            t.lpm(&segs("/banned/page.html")).unwrap().status,
+            Status::Blocked
+        );
+        assert_eq!(
+            t.lpm(&segs("/other/page.html")).unwrap().status,
+            Status::NotBlocked
+        );
     }
 
     #[test]

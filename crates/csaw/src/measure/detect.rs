@@ -29,7 +29,6 @@ use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
 use csaw_simnet::topology::Provider;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Detector configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,7 +40,7 @@ pub struct DetectConfig {
 }
 
 /// The measured status of the direct path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeasuredStatus {
     /// Censorship observed; mechanisms in `stages`.
     Blocked,
@@ -54,7 +53,7 @@ pub enum MeasuredStatus {
 }
 
 /// The result of measuring the direct path for one URL.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DirectMeasurement {
     /// Classification.
     pub status: MeasuredStatus,
@@ -121,7 +120,36 @@ pub fn measure_direct(
         ..DirectOpts::default()
     };
     let first = direct_like_fetch(world, provider, url, &opts, rng);
-    classify_attempt(world, provider, url, first, circ_bytes, cfg, rng)
+    let m = classify_attempt(world, provider, url, first, circ_bytes, cfg, rng);
+    observe_measurement(&m);
+    m
+}
+
+/// Record the Table-5 telemetry for one finished measurement: a verdict
+/// counter plus detection-time histograms — one overall, one keyed by
+/// the stage signature (stage names joined with `+`, so the paper's
+/// 32.7 s `DnsServfail+IpDrop` ladder is separable from the 10.6 s
+/// DNS-only one).
+fn observe_measurement(m: &DirectMeasurement) {
+    let ctx = csaw_obs::scope::current();
+    match m.status {
+        MeasuredStatus::Blocked => {
+            ctx.registry.counter("detect.blocked").inc();
+            let us = m.detection_time.as_micros();
+            ctx.registry.histogram("detect.time_s").observe_us(us);
+            let sig = m
+                .stages
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            ctx.registry
+                .histogram(&format!("detect.time_s.{sig}"))
+                .observe_us(us);
+        }
+        MeasuredStatus::NotBlocked => ctx.registry.counter("detect.not_blocked").inc(),
+        MeasuredStatus::Inconclusive => ctx.registry.counter("detect.inconclusive").inc(),
+    }
 }
 
 fn classify_attempt(
@@ -156,6 +184,24 @@ fn classify_attempt(
             };
             let second = direct_like_fetch(world, provider, url, &gdns_opts, rng);
             let total = first.elapsed + second.elapsed;
+            // Stage spans make the detection ladders visible in traces:
+            // the local-DNS anomaly, then the Fig.-4 GDNS fallback.
+            let ctx = csaw_obs::scope::current();
+            if ctx.sink.enabled() {
+                csaw_obs::event::span_completed(
+                    "detect.stage.ldns",
+                    first.elapsed.as_micros(),
+                    &[(
+                        "failure",
+                        csaw_obs::json::JsonValue::from(format!("{kind:?}")),
+                    )],
+                );
+                csaw_obs::event::span_completed(
+                    "detect.stage.gdns",
+                    second.elapsed.as_micros(),
+                    &[],
+                );
+            }
             match second.outcome {
                 FetchOutcome::Page(page) => {
                     // GDNS produced a document: the local DNS anomaly is
@@ -220,6 +266,17 @@ fn classify_attempt(
             }
         }
         FetchOutcome::Failed(kind) => {
+            let ctx = csaw_obs::scope::current();
+            if ctx.sink.enabled() {
+                csaw_obs::event::span_completed(
+                    "detect.stage.direct",
+                    first.elapsed.as_micros(),
+                    &[(
+                        "failure",
+                        csaw_obs::json::JsonValue::from(format!("{kind:?}")),
+                    )],
+                );
+            }
             let stages: Vec<BlockingType> = failure_to_blocking(kind).into_iter().collect();
             let status = if stages.is_empty() {
                 MeasuredStatus::Inconclusive
@@ -338,7 +395,12 @@ mod tests {
         (w, provider)
     }
 
-    fn single(dns: DnsTamper, ip: IpAction, http: HttpAction, tls: TlsAction) -> csaw_censor::CensorPolicy {
+    fn single(
+        dns: DnsTamper,
+        ip: IpAction,
+        http: HttpAction,
+        tls: TlsAction,
+    ) -> csaw_censor::CensorPolicy {
         profiles::single_mechanism("t", "victim.example", dns, ip, http, tls)
     }
 
@@ -366,7 +428,12 @@ mod tests {
     #[test]
     fn tcp_ip_blocking_detected_at_21s() {
         let m = measure(
-            single(DnsTamper::None, IpAction::Drop, HttpAction::None, TlsAction::None),
+            single(
+                DnsTamper::None,
+                IpAction::Drop,
+                HttpAction::None,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             2,
         );
@@ -384,7 +451,12 @@ mod tests {
     #[test]
     fn servfail_detected_around_10_6s_and_page_served_via_gdns() {
         let m = measure(
-            single(DnsTamper::Servfail, IpAction::None, HttpAction::None, TlsAction::None),
+            single(
+                DnsTamper::Servfail,
+                IpAction::None,
+                HttpAction::None,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             3,
         );
@@ -403,24 +475,41 @@ mod tests {
     #[test]
     fn refused_detected_in_milliseconds() {
         let m = measure(
-            single(DnsTamper::Refused, IpAction::None, HttpAction::None, TlsAction::None),
+            single(
+                DnsTamper::Refused,
+                IpAction::None,
+                HttpAction::None,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             4,
         );
         assert_eq!(m.status, MeasuredStatus::Blocked);
         assert_eq!(m.stages, vec![BlockingType::DnsRefused]);
-        assert!(m.detection_time < SimDuration::from_millis(80), "{}", m.detection_time);
+        assert!(
+            m.detection_time < SimDuration::from_millis(80),
+            "{}",
+            m.detection_time
+        );
     }
 
     #[test]
     fn multi_stage_dns_plus_ip_around_32s() {
         let m = measure(
-            single(DnsTamper::Servfail, IpAction::Drop, HttpAction::None, TlsAction::None),
+            single(
+                DnsTamper::Servfail,
+                IpAction::Drop,
+                HttpAction::None,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             5,
         );
         assert_eq!(m.status, MeasuredStatus::Blocked);
-        assert_eq!(m.stages, vec![BlockingType::DnsServfail, BlockingType::IpDrop]);
+        assert_eq!(
+            m.stages,
+            vec![BlockingType::DnsServfail, BlockingType::IpDrop]
+        );
         assert!(
             m.detection_time >= SimDuration::from_millis(31_000)
                 && m.detection_time <= SimDuration::from_millis(33_500),
@@ -432,7 +521,12 @@ mod tests {
     #[test]
     fn block_page_detected_fast() {
         let m = measure(
-            single(DnsTamper::None, IpAction::None, HttpAction::BlockPageRedirect, TlsAction::None),
+            single(
+                DnsTamper::None,
+                IpAction::None,
+                HttpAction::BlockPageRedirect,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             6,
         );
@@ -468,7 +562,12 @@ mod tests {
     #[test]
     fn http_drop_burns_get_timeout() {
         let m = measure(
-            single(DnsTamper::None, IpAction::None, HttpAction::Drop, TlsAction::None),
+            single(
+                DnsTamper::None,
+                IpAction::None,
+                HttpAction::Drop,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             8,
         );
@@ -480,7 +579,12 @@ mod tests {
     #[test]
     fn sni_blocking_on_https() {
         let m = measure(
-            single(DnsTamper::None, IpAction::None, HttpAction::None, TlsAction::Drop),
+            single(
+                DnsTamper::None,
+                IpAction::None,
+                HttpAction::None,
+                TlsAction::Drop,
+            ),
             "https://victim.example/",
             9,
         );
@@ -517,7 +621,12 @@ mod tests {
     #[test]
     fn forged_nxdomain_detected_via_gdns_disagreement() {
         let m = measure(
-            single(DnsTamper::Nxdomain, IpAction::None, HttpAction::None, TlsAction::None),
+            single(
+                DnsTamper::Nxdomain,
+                IpAction::None,
+                HttpAction::None,
+                TlsAction::None,
+            ),
             "http://victim.example/",
             11,
         );

@@ -13,14 +13,13 @@ use csaw_circumvent::world::{UdpStep, World};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
 use csaw_simnet::topology::{Provider, Site};
-use serde::{Deserialize, Serialize};
 
 /// Throttling threshold: a session whose RTT exceeds this many times the
 /// tunneled RTT is classified as throttled even if datagrams flow.
 pub const THROTTLE_FACTOR: f64 = 4.0;
 
 /// The result of measuring a UDP service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UdpMeasurement {
     /// Blocked / not blocked / inconclusive.
     pub status: MeasuredStatus,
@@ -123,15 +122,11 @@ mod tests {
         let mut policy = CensorPolicy::new("udp-censor");
         if action.is_active() {
             policy = policy.with_rule(
-                CensorRule::target(TargetMatcher::DomainSuffix("chat.example".into()))
-                    .udp(action),
+                CensorRule::target(TargetMatcher::DomainSuffix("chat.example".into())).udp(action),
             );
         }
         let w = World::builder(access)
-            .site(
-                SiteSpec::new("chat.example", Site::in_region(Region::UsEast))
-                    .udp_service(3478),
-            )
+            .site(SiteSpec::new("chat.example", Site::in_region(Region::UsEast)).udp_service(3478))
             .censor(Asn(31), policy)
             .build();
         (w, provider)
@@ -147,7 +142,10 @@ mod tests {
         let mut rng = DetRng::new(1);
         let m = measure_udp_service(&w, &p, relay(), "chat.example", &mut rng);
         assert_eq!(m.status, MeasuredStatus::NotBlocked);
-        assert!(m.direct_rtt.unwrap() < m.tunnel_rtt.unwrap(), "direct beats tunnel");
+        assert!(
+            m.direct_rtt.unwrap() < m.tunnel_rtt.unwrap(),
+            "direct beats tunnel"
+        );
     }
 
     #[test]

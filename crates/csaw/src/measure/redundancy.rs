@@ -28,10 +28,9 @@ use csaw_simnet::load::LoadModel;
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
 use csaw_webproto::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Where the user-visible response came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServedFrom {
     /// The direct path delivered the genuine page.
     Direct,
@@ -45,7 +44,7 @@ pub enum ServedFrom {
 }
 
 /// The outcome of a redundant fetch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RedundantOutcome {
     /// When the user had usable content (the PLT that counts).
     pub user_plt: Option<SimDuration>,
@@ -111,8 +110,7 @@ pub fn fetch_with_redundancy(
             // page; a genuine duplicate is a full extra unit.
             let mut c = circ.fetch(world, ctx, url, rng);
             let circ_bytes = c.outcome.page().map(|p| p.bytes);
-            let mut m =
-                measure_direct(world, &ctx.provider, url, circ_bytes, detect_cfg, rng);
+            let mut m = measure_direct(world, &ctx.provider, url, circ_bytes, detect_cfg, rng);
             let direct_bytes = m.page_bytes.unwrap_or(0);
             let cb = circ_bytes.unwrap_or(0);
             let weight_on_circ = if cb > 0 {
@@ -148,8 +146,8 @@ pub fn fetch_with_redundancy(
             let mut c = circ.fetch(world, ctx, url, rng);
             let direct_bytes = m.page_bytes.unwrap_or(0);
             let cb = c.outcome.page().map(|p| p.bytes).unwrap_or(0);
-            let overlap = 1.0
-                - (delay.as_secs_f64() / m.elapsed.as_secs_f64().max(f64::EPSILON)).min(1.0);
+            let overlap =
+                1.0 - (delay.as_secs_f64() / m.elapsed.as_secs_f64().max(f64::EPSILON)).min(1.0);
             let weight_on_circ = if cb > 0 {
                 (direct_bytes as f64 / cb as f64).min(1.0)
             } else {
@@ -175,11 +173,7 @@ pub fn fetch_with_redundancy(
 /// Merge a direct measurement and a circumvention copy under parallel
 /// semantics: first usable response wins; the copy starts `offset` after
 /// the direct request.
-fn combine_parallel(
-    m: DirectMeasurement,
-    c: FetchReport,
-    offset: SimDuration,
-) -> RedundantOutcome {
+fn combine_parallel(m: DirectMeasurement, c: FetchReport, offset: SimDuration) -> RedundantOutcome {
     let circ_done = offset + c.elapsed;
     let circ_ok = c.outcome.is_genuine_page();
     match m.status {
@@ -259,9 +253,7 @@ fn combine_parallel(
 /// Downgrade a provisional blocked verdict when the circumvention copy
 /// also failed (serial mode's corroboration step).
 fn corroborate(mut m: DirectMeasurement, c: &FetchReport) -> DirectMeasurement {
-    if m.status == MeasuredStatus::Blocked
-        && !c.outcome.is_genuine_page()
-        && m.page_bytes.is_none()
+    if m.status == MeasuredStatus::Blocked && !c.outcome.is_genuine_page() && m.page_bytes.is_none()
     {
         m.status = MeasuredStatus::Inconclusive;
         m.stages.clear();
@@ -309,11 +301,7 @@ mod tests {
         )
     }
 
-    fn run(
-        policy: csaw_censor::CensorPolicy,
-        mode: RedundancyMode,
-        seed: u64,
-    ) -> RedundantOutcome {
+    fn run(policy: csaw_censor::CensorPolicy, mode: RedundancyMode, seed: u64) -> RedundantOutcome {
         let (w, ctx) = setup(policy);
         let mut tor = TorClient::new();
         let mut rng = DetRng::new(seed);
@@ -342,7 +330,11 @@ mod tests {
         // The headline Fig. 5a effect: with HTTP-drop blocking (30 s
         // detection), the parallel copy arrives in seconds.
         let serial = run(blocked_policy(HttpAction::Drop), RedundancyMode::Serial, 2);
-        let parallel = run(blocked_policy(HttpAction::Drop), RedundancyMode::Parallel, 2);
+        let parallel = run(
+            blocked_policy(HttpAction::Drop),
+            RedundancyMode::Parallel,
+            2,
+        );
         let s = serial.user_plt.expect("serial should be served eventually");
         let p = parallel.user_plt.expect("parallel served");
         assert!(
@@ -355,7 +347,11 @@ mod tests {
 
     #[test]
     fn staggered_avoids_copy_on_fast_direct() {
-        let o = run(profiles::clean(), RedundancyMode::Staggered(SimDuration::from_secs(2)), 3);
+        let o = run(
+            profiles::clean(),
+            RedundancyMode::Staggered(SimDuration::from_secs(2)),
+            3,
+        );
         // 360 KB at these RTTs typically finishes under 2 s; when it does,
         // no copy must have been sent.
         if o.measurement.elapsed <= SimDuration::from_secs(2) {

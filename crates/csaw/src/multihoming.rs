@@ -12,11 +12,10 @@
 use csaw_censor::blocking::BlockingType;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// Multihoming detector state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultihomingManager {
     window: SimDuration,
     observations: Vec<(SimTime, Asn)>,
@@ -56,7 +55,7 @@ impl MultihomingManager {
 
 /// Per-(URL, ASN) blocking observations; resolves the effective strategy
 /// for multihomed networks.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PerProviderBlocking {
     stages: HashMap<(String, Asn), Vec<BlockingType>>,
 }
@@ -69,10 +68,7 @@ impl PerProviderBlocking {
 
     /// Record the mechanisms observed for a URL through a provider.
     pub fn record(&mut self, url_key: &str, asn: Asn, stages: &[BlockingType]) {
-        let entry = self
-            .stages
-            .entry((url_key.to_string(), asn))
-            .or_default();
+        let entry = self.stages.entry((url_key.to_string(), asn)).or_default();
         for s in stages {
             if !entry.contains(s) {
                 entry.push(*s);
@@ -136,7 +132,10 @@ mod tests {
         m.probe(SimTime::from_secs(0), Asn(1));
         // Far outside the window — the old observation is gone.
         m.probe(SimTime::from_secs(100), Asn(2));
-        assert!(!m.multihomed, "a clean provider change (mobility) is not multihoming");
+        assert!(
+            !m.multihomed,
+            "a clean provider change (mobility) is not multihoming"
+        );
         m.probe(SimTime::from_secs(105), Asn(1));
         assert!(m.multihomed);
     }
@@ -171,7 +170,11 @@ mod tests {
     fn union_across_different_mechanisms() {
         let mut p = PerProviderBlocking::new();
         p.record("http://y.com/", Asn(1), &[BlockingType::DnsHijack]);
-        p.record("http://y.com/", Asn(2), &[BlockingType::HttpDrop, BlockingType::SniDrop]);
+        p.record(
+            "http://y.com/",
+            Asn(2),
+            &[BlockingType::HttpDrop, BlockingType::SniDrop],
+        );
         let u = p.strict_union("http://y.com/");
         assert_eq!(u.len(), 3);
         assert!(u.contains(&BlockingType::DnsHijack));

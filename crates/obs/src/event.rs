@@ -1,0 +1,214 @@
+//! Structured events and spans.
+//!
+//! An [`Event`] is a named point (or, with a duration, a completed
+//! span) plus a small bag of typed fields. Events flow to whatever
+//! [`Sink`](crate::sink::Sink) the current context has installed; with
+//! the default null sink the emit path is a single virtual call that
+//! immediately returns.
+
+use crate::json::JsonValue;
+use crate::scope;
+
+/// A structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Timestamp in µs from the context clock (virtual time in the
+    /// simulation, wall time in the real proxy).
+    pub ts_us: u64,
+    /// Event name, dot-separated by convention (`simnet.run_until`).
+    pub name: String,
+    /// For span-end events: how long the region took, µs.
+    pub dur_us: Option<u64>,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, JsonValue)>,
+}
+
+impl Event {
+    /// Serialize as a single JSON object (one JSONL line).
+    pub fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj();
+        v.set("ts_us", self.ts_us);
+        v.set("event", self.name.as_str());
+        if let Some(d) = self.dur_us {
+            v.set("dur_us", d);
+        }
+        if !self.fields.is_empty() {
+            let mut f = JsonValue::obj();
+            for (k, val) in &self.fields {
+                f.set(k, val.clone());
+            }
+            v.set("fields", f);
+        }
+        v
+    }
+}
+
+/// Emit a point event with fields through the current context.
+pub fn event(name: &str, fields: &[(&'static str, JsonValue)]) {
+    let ctx = scope::current();
+    if !ctx.sink.enabled() {
+        return;
+    }
+    ctx.sink.record(&Event {
+        ts_us: ctx.clock.now_us(),
+        name: name.to_string(),
+        dur_us: None,
+        fields: fields.to_vec(),
+    });
+}
+
+/// Emit a completed span whose duration was measured externally — the
+/// simulation path, where elapsed time is virtual and computed by the
+/// caller rather than observed on a clock.
+pub fn span_completed(name: &str, dur_us: u64, fields: &[(&'static str, JsonValue)]) {
+    let ctx = scope::current();
+    if !ctx.sink.enabled() {
+        return;
+    }
+    ctx.sink.record(&Event {
+        ts_us: ctx.clock.now_us(),
+        name: name.to_string(),
+        dur_us: Some(dur_us),
+        fields: fields.to_vec(),
+    });
+}
+
+/// Open a span measured on the context clock; the guard emits a
+/// span-end event when dropped. Suits the real proxy (wall clock) and
+/// any region whose clock advances while it runs.
+pub fn span(name: &str) -> SpanGuard {
+    let ctx = scope::current();
+    let active = ctx.sink.enabled();
+    SpanGuard {
+        name: name.to_string(),
+        start_us: if active { ctx.clock.now_us() } else { 0 },
+        active,
+        fields: Vec::new(),
+    }
+}
+
+/// An open span; emits on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    start_us: u64,
+    active: bool,
+    fields: Vec<(&'static str, JsonValue)>,
+}
+
+impl SpanGuard {
+    /// Attach a field to the span-end event.
+    pub fn field(&mut self, key: &'static str, v: impl Into<JsonValue>) {
+        if self.active {
+            self.fields.push((key, v.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let ctx = scope::current();
+        let now = ctx.clock.now_us();
+        ctx.sink.record(&Event {
+            ts_us: self.start_us,
+            name: std::mem::take(&mut self.name),
+            dur_us: Some(now.saturating_sub(self.start_us)),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// Emit a human-facing progress line. Suppressed entirely below
+/// verbosity 1, so experiment stdout stays machine-parseable; at
+/// verbosity ≥ 1 it goes to stderr *and* to the sink as a structured
+/// `progress` event.
+pub fn progress(msg: &str) {
+    let ctx = scope::current();
+    if ctx.verbosity >= 1 {
+        eprintln!("[csaw] {msg}");
+    }
+    if ctx.sink.enabled() {
+        ctx.sink.record(&Event {
+            ts_us: ctx.clock.now_us(),
+            name: "progress".to_string(),
+            dur_us: None,
+            fields: vec![("msg", JsonValue::from(msg))],
+        });
+    }
+}
+
+/// Emit a point event: `event!("name", key = value, ...)`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event::event($name, &[$((stringify!($k), $crate::json::JsonValue::from($v))),*])
+    };
+}
+
+/// Emit an externally-timed span: `span_us!("name", dur_us, key = value, ...)`.
+#[macro_export]
+macro_rules! span_us {
+    ($name:expr, $dur:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event::span_completed(
+            $name,
+            $dur,
+            &[$((stringify!($k), $crate::json::JsonValue::from($v))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::{install, ObsCtx};
+    use crate::sink::RingSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_carry_clock_time_and_fields() {
+        let ring = Arc::new(RingSink::new(16));
+        let ctx = Arc::new(ObsCtx::new().with_sink(ring.clone()));
+        let _g = install(ctx.clone());
+        ctx.manual_clock().unwrap().set_us(42);
+        crate::event!("test.hello", n = 3u64, who = "world");
+        let evs = ring.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].ts_us, 42);
+        assert_eq!(evs[0].name, "test.hello");
+        assert_eq!(evs[0].fields[0], ("n", JsonValue::Num(3.0)));
+        assert_eq!(evs[0].fields[1].1.as_str(), Some("world"));
+    }
+
+    #[test]
+    fn span_guard_measures_on_the_context_clock() {
+        let ring = Arc::new(RingSink::new(16));
+        let ctx = Arc::new(ObsCtx::new().with_sink(ring.clone()));
+        let _g = install(ctx.clone());
+        ctx.manual_clock().unwrap().set_us(100);
+        {
+            let mut s = span("region");
+            s.field("k", 1u64);
+            ctx.manual_clock().unwrap().set_us(350);
+        }
+        let evs = ring.drain();
+        assert_eq!(evs[0].dur_us, Some(250));
+        assert_eq!(evs[0].ts_us, 100);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let e = Event {
+            ts_us: 7,
+            name: "x".into(),
+            dur_us: Some(3),
+            fields: vec![("a", JsonValue::from(1u64))],
+        };
+        assert_eq!(
+            e.to_json().to_string_compact(),
+            r#"{"dur_us":3,"event":"x","fields":{"a":1},"ts_us":7}"#
+        );
+    }
+}

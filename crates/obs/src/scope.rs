@@ -1,0 +1,170 @@
+//! Context plumbing: which registry/sink/clock/verbosity instrumented
+//! code should use.
+//!
+//! Contexts resolve in three steps: the innermost thread-local scope
+//! (installed with [`install`]), then the process-global context (set
+//! with [`set_global`]), then a lazily-created default (null sink,
+//! manual clock at zero, fresh registry).
+//!
+//! Thread-local scoping is what makes the determinism tests sound:
+//! `cargo test` runs tests on many threads, and two same-seed
+//! experiment runs must not bleed metrics into each other's
+//! registries.
+
+use crate::clock::{Clock, ManualClock};
+use crate::metrics::Registry;
+use crate::sink::{NullSink, Sink};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+/// A bundle of observability state: metrics registry, event sink,
+/// clock, and verbosity level.
+#[derive(Debug)]
+pub struct ObsCtx {
+    /// Metrics land here.
+    pub registry: Arc<Registry>,
+    /// Events land here.
+    pub sink: Arc<dyn Sink>,
+    /// Timestamps come from here.
+    pub clock: Arc<dyn Clock>,
+    /// 0 = silent (default), ≥ 1 = progress lines on stderr.
+    pub verbosity: u8,
+}
+
+impl Default for ObsCtx {
+    fn default() -> Self {
+        ObsCtx {
+            registry: Arc::new(Registry::new()),
+            sink: Arc::new(NullSink),
+            clock: Arc::new(ManualClock::new()),
+            verbosity: 0,
+        }
+    }
+}
+
+impl ObsCtx {
+    /// A fresh context: new registry, null sink, manual clock at zero.
+    pub fn new() -> ObsCtx {
+        ObsCtx::default()
+    }
+
+    /// Replace the sink.
+    pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> ObsCtx {
+        self.sink = sink;
+        self
+    }
+
+    /// Replace the clock.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ObsCtx {
+        self.clock = clock;
+        self
+    }
+
+    /// Set the verbosity level.
+    pub fn with_verbosity(mut self, v: u8) -> ObsCtx {
+        self.verbosity = v;
+        self
+    }
+
+    /// The clock, downcast to [`ManualClock`] if that is what it is —
+    /// simulation drivers use this to advance virtual time.
+    pub fn manual_clock(&self) -> Option<&ManualClock> {
+        self.clock.as_any().downcast_ref::<ManualClock>()
+    }
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<Arc<ObsCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Arc<ObsCtx>> = OnceLock::new();
+
+fn fallback() -> &'static Arc<ObsCtx> {
+    static DEFAULT: OnceLock<Arc<ObsCtx>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(ObsCtx::new()))
+}
+
+/// The innermost active context: thread-local scope, else global, else
+/// the shared default.
+pub fn current() -> Arc<ObsCtx> {
+    SCOPES.with(|s| {
+        if let Some(top) = s.borrow().last() {
+            return top.clone();
+        }
+        GLOBAL.get().unwrap_or_else(fallback).clone()
+    })
+}
+
+/// Install `ctx` for this thread until the returned guard drops.
+#[must_use = "the scope ends when the guard drops"]
+pub fn install(ctx: Arc<ObsCtx>) -> ScopeGuard {
+    SCOPES.with(|s| s.borrow_mut().push(ctx));
+    ScopeGuard { _priv: () }
+}
+
+/// Set the process-global context (used by multithreaded consumers like
+/// the real proxy whose worker threads can't see a thread-local scope).
+/// First caller wins; returns `false` if already set.
+pub fn set_global(ctx: Arc<ObsCtx>) -> bool {
+    GLOBAL.set(ctx).is_ok()
+}
+
+/// Pops the thread-local scope on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Arc::new(ObsCtx::new());
+        let inner = Arc::new(ObsCtx::new());
+        let g1 = install(outer.clone());
+        assert!(Arc::ptr_eq(&current(), &outer));
+        {
+            let _g2 = install(inner.clone());
+            assert!(Arc::ptr_eq(&current(), &inner));
+        }
+        assert!(Arc::ptr_eq(&current(), &outer));
+        drop(g1);
+        // Back to global/default — not one of ours.
+        assert!(!Arc::ptr_eq(&current(), &outer));
+        assert!(!Arc::ptr_eq(&current(), &inner));
+    }
+
+    #[test]
+    fn scoped_registries_are_isolated() {
+        let a = Arc::new(ObsCtx::new());
+        let b = Arc::new(ObsCtx::new());
+        {
+            let _g = install(a.clone());
+            current().registry.counter("x").add(5);
+        }
+        {
+            let _g = install(b.clone());
+            current().registry.counter("x").add(7);
+        }
+        assert_eq!(a.registry.counter("x").get(), 5);
+        assert_eq!(b.registry.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn manual_clock_downcast() {
+        let ctx = ObsCtx::new();
+        assert!(ctx.manual_clock().is_some());
+        let wall = ObsCtx::new().with_clock(Arc::new(crate::clock::WallClock::new()));
+        assert!(wall.manual_clock().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Pluggable event sinks: null (default), bounded ring buffer, JSONL
+//! writer, and human-readable stderr.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Where events go.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Record one event.
+    fn record(&self, event: &Event);
+    /// Cheap gate: `false` lets emit sites skip building the event at
+    /// all. The null sink returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Flush buffered output (JSONL).
+    fn flush(&self) {}
+}
+
+/// Discards everything. The default sink; emit sites short-circuit on
+/// [`Sink::enabled`], so instrumentation overhead is one virtual call.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Keeps the last `cap` events in memory — the flight recorder tests
+/// and in-process consumers use.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (oldest evicted first).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Take every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut b = self.buf.lock().unwrap();
+        if b.len() == self.cap {
+            b.pop_front();
+        }
+        b.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line to any writer (usually a file
+/// opened by the `--trace-out` flag).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing JSONL to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A sink writing JSONL to a freshly-created file.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut g = self.out.lock().unwrap();
+        let _ = writeln!(g, "{}", event.to_json().to_string_compact());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+/// Human-readable lines on stderr — the `-v` debugging sink. Stdout is
+/// never touched, so experiment output stays machine-parseable.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        let mut line = format!("[{:>12}us] {}", event.ts_us, event.name);
+        if let Some(d) = event.dur_us {
+            line.push_str(&format!(" ({d}us)"));
+        }
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={}", v.to_string_compact()));
+        }
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn ev(name: &str, ts: u64) -> Event {
+        Event {
+            ts_us: ts,
+            name: name.to_string(),
+            dur_us: None,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let r = RingSink::new(2);
+        r.record(&ev("a", 1));
+        r.record(&ev("b", 2));
+        r.record(&ev("c", 3));
+        let got: Vec<String> = r.drain().into_iter().map(|e| e.name).collect();
+        assert_eq!(got, vec!["b", "c"]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        // A tiny adapter so the test can read back what the sink wrote.
+        struct Tee(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let s = JsonlSink::new(Box::new(Tee(shared.clone())));
+        s.record(&Event {
+            ts_us: 5,
+            name: "x".into(),
+            dur_us: None,
+            fields: vec![("k", JsonValue::from("v"))],
+        });
+        s.record(&ev("y", 6));
+        s.flush();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            JsonValue::parse(l).expect("each line is standalone JSON");
+        }
+    }
+}

@@ -1,22 +1,28 @@
-//! Async HTTP/1.1 framing over tokio streams, built on the incremental
-//! parsers from `csaw-webproto`.
+//! Blocking HTTP/1.1 framing over `std::net` streams, built on the
+//! incremental parsers from `csaw-webproto`.
 //!
-//! The framing rules follow the Tokio tutorial's pattern: accumulate into
-//! a `BytesMut`, attempt a parse after every read, and distinguish "need
-//! more bytes" from a genuinely malformed or closed stream.
+//! The framing rules: accumulate into a `BytesMut`, attempt a parse
+//! after every read, and distinguish "need more bytes" from a genuinely
+//! malformed or closed stream.
 
-use bytes::BytesMut;
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::{Request, Response};
-use std::io;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::TcpStream;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
 
 /// Maximum message size we will buffer (sanity cap against abuse).
 pub const MAX_MESSAGE_BYTES: usize = 8 * 1024 * 1024;
 
+fn read_some(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<usize> {
+    let mut chunk = [0u8; 16 * 1024];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n)
+}
+
 /// Read one HTTP request from the stream. `Ok(None)` means the peer
 /// closed cleanly before sending a full request.
-pub async fn read_request(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Option<Request>> {
+pub fn read_request(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Option<Request>> {
     loop {
         match Request::parse(buf) {
             Ok(Some((req, used))) => {
@@ -32,9 +38,12 @@ pub async fn read_request(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Res
             }
         }
         if buf.len() > MAX_MESSAGE_BYTES {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "request too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request too large",
+            ));
         }
-        let n = stream.read_buf(buf).await?;
+        let n = read_some(stream, buf)?;
         if n == 0 {
             return if buf.is_empty() {
                 Ok(None)
@@ -49,7 +58,7 @@ pub async fn read_request(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Res
 }
 
 /// Read one HTTP response from a whole stream.
-pub async fn read_response(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Response> {
+pub fn read_response(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Response> {
     loop {
         match Response::parse(buf) {
             Ok(Some((resp, used))) => {
@@ -65,9 +74,12 @@ pub async fn read_response(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Re
             }
         }
         if buf.len() > MAX_MESSAGE_BYTES {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "response too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response too large",
+            ));
         }
-        let n = stream.read_buf(buf).await?;
+        let n = read_some(stream, buf)?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -78,91 +90,89 @@ pub async fn read_response(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Re
 }
 
 /// Write a request.
-pub async fn write_request(stream: &mut TcpStream, req: &Request) -> io::Result<()> {
-    stream.write_all(&req.encode()).await?;
-    stream.flush().await
+pub fn write_request(stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+    stream.write_all(&req.encode())?;
+    stream.flush()
 }
 
 /// Write a response.
-pub async fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    stream.write_all(&resp.encode()).await?;
-    stream.flush().await
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    stream.write_all(&resp.encode())?;
+    stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use csaw_webproto::url::Url;
-    use tokio::net::TcpListener;
+    use std::net::TcpListener;
 
-    #[tokio::test]
-    async fn request_roundtrip_over_socket() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn request_roundtrip_over_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut s, _) = listener.accept().await.unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
             let mut buf = BytesMut::new();
-            let req = read_request(&mut s, &mut buf).await.unwrap().unwrap();
+            let req = read_request(&mut s, &mut buf).unwrap().unwrap();
             assert_eq!(req.host().as_deref(), Some("example.com"));
-            write_response(&mut s, &Response::ok_html("<html>hi</html>"))
-                .await
-                .unwrap();
+            write_response(&mut s, &Response::ok_html("<html>hi</html>")).unwrap();
         });
-        let mut client = TcpStream::connect(addr).await.unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
         let url = Url::parse("http://example.com/page").unwrap();
-        write_request(&mut client, &Request::get(&url)).await.unwrap();
+        write_request(&mut client, &Request::get(&url)).unwrap();
         let mut buf = BytesMut::new();
-        let resp = read_response(&mut client, &mut buf).await.unwrap();
+        let resp = read_response(&mut client, &mut buf).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(&resp.body[..], b"<html>hi</html>");
-        server.await.unwrap();
+        server.join().unwrap();
     }
 
-    #[tokio::test]
-    async fn clean_close_before_request_is_none() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn clean_close_before_request_is_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut s, _) = listener.accept().await.unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
             let mut buf = BytesMut::new();
-            let r = read_request(&mut s, &mut buf).await.unwrap();
+            let r = read_request(&mut s, &mut buf).unwrap();
             assert!(r.is_none());
         });
-        let client = TcpStream::connect(addr).await.unwrap();
+        let client = TcpStream::connect(addr).unwrap();
         drop(client);
-        server.await.unwrap();
+        server.join().unwrap();
     }
 
-    #[tokio::test]
-    async fn mid_message_close_is_error() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn mid_message_close_is_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut s, _) = listener.accept().await.unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
             let mut buf = BytesMut::new();
-            let err = read_request(&mut s, &mut buf).await.unwrap_err();
+            let err = read_request(&mut s, &mut buf).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         });
-        let mut client = TcpStream::connect(addr).await.unwrap();
-        client.write_all(b"GET /partial HTTP/1.1\r\nHos").await.unwrap();
-        client.flush().await.unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"GET /partial HTTP/1.1\r\nHos").unwrap();
+        client.flush().unwrap();
         drop(client);
-        server.await.unwrap();
+        server.join().unwrap();
     }
 
-    #[tokio::test]
-    async fn garbage_is_invalid_data() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn garbage_is_invalid_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut s, _) = listener.accept().await.unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
             let mut buf = BytesMut::new();
-            let err = read_request(&mut s, &mut buf).await.unwrap_err();
+            let err = read_request(&mut s, &mut buf).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         });
-        let mut client = TcpStream::connect(addr).await.unwrap();
-        client.write_all(b"BREW /pot HTCPCP/1.0\r\n\r\n").await.unwrap();
-        client.flush().await.unwrap();
-        server.await.unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"BREW /pot HTCPCP/1.0\r\n\r\n").unwrap();
+        client.flush().unwrap();
+        server.join().unwrap();
     }
 }

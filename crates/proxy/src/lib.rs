@@ -3,7 +3,7 @@
 //! Everything else in this repository runs in deterministic virtual time;
 //! this crate proves the design on an actual network stack. It provides:
 //!
-//! - [`codec`]: async HTTP/1.1 framing over tokio streams;
+//! - [`codec`]: blocking HTTP/1.1 framing over `std::net` streams;
 //! - [`testbed`]: origin servers, a censoring middlebox (pass / drop /
 //!   reset / block-page, runtime-switchable), and a resolver that maps
 //!   each host to its direct (censored) and clean (circumvention) paths;
@@ -26,6 +26,6 @@ pub use proxy::{
     spawn_proxy, CsawProxy, HostStatus, ProxyConfig, ProxyMeasurement, ProxySignature,
 };
 pub use testbed::{
-    spawn_middlebox, spawn_origin, MbAction, MbPolicy, Middlebox, Origin, OriginConfig,
-    Resolution, TestResolver,
+    spawn_middlebox, spawn_origin, MbAction, MbPolicy, Middlebox, Origin, OriginConfig, Resolution,
+    TestResolver,
 };

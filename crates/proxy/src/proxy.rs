@@ -10,21 +10,21 @@
 
 use crate::codec::{read_request, read_response, write_request, write_response};
 use crate::testbed::resolver::TestResolver;
-use bytes::BytesMut;
 use csaw::global::Report;
 use csaw_blockpage::{phase1_html, phase2, Phase1Config, Phase1Verdict, Phase2Config};
+use csaw_obs::metrics::Registry;
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::{Request, Response};
-use parking_lot::{Mutex, RwLock};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
 use std::time::Duration;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::task::JoinHandle;
 
 /// How a host's blocking manifested on the direct path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProxySignature {
     /// A block page was served.
     BlockPage,
@@ -46,10 +46,20 @@ impl ProxySignature {
             ProxySignature::ConnectFailed => csaw_censor::BlockingType::IpRst,
         }
     }
+
+    /// Metrics label for this signature.
+    fn metric_name(self) -> &'static str {
+        match self {
+            ProxySignature::BlockPage => "block_page",
+            ProxySignature::GetTimeout => "get_timeout",
+            ProxySignature::ConnectionReset => "connection_reset",
+            ProxySignature::ConnectFailed => "connect_failed",
+        }
+    }
 }
 
 /// One measurement the proxy made.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyMeasurement {
     /// The affected host.
     pub host: String,
@@ -99,6 +109,10 @@ struct ProxyState {
     status: RwLock<HashMap<String, HostStatus>>,
     measurements: Mutex<Vec<ProxyMeasurement>>,
     started: std::time::Instant,
+    // Captured at spawn time so handler threads (which don't inherit the
+    // spawner's thread-local observability scope) report into the same
+    // registry the embedding experiment installed.
+    obs: Arc<Registry>,
 }
 
 /// A running local proxy.
@@ -107,12 +121,18 @@ pub struct CsawProxy {
     /// The address browsers point at.
     pub addr: SocketAddr,
     state: Arc<ProxyState>,
-    handle: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl Drop for CsawProxy {
     fn drop(&mut self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -122,6 +142,7 @@ impl CsawProxy {
         self.state
             .status
             .read()
+            .unwrap()
             .get(&host.to_ascii_lowercase())
             .copied()
             .unwrap_or(HostStatus::NotMeasured)
@@ -129,7 +150,7 @@ impl CsawProxy {
 
     /// Snapshot of the measurement log.
     pub fn measurements(&self) -> Vec<ProxyMeasurement> {
-        self.state.measurements.lock().clone()
+        self.state.measurements.lock().unwrap().clone()
     }
 
     /// Export the log as global-DB reports (host-level URLs).
@@ -154,29 +175,34 @@ enum PathFetch {
     ConnectFailed,
 }
 
-async fn fetch_one(addr: SocketAddr, req: &Request, timeout: Duration) -> PathFetch {
-    let mut stream = match tokio::time::timeout(timeout, TcpStream::connect(addr)).await {
-        Err(_) => return PathFetch::ConnectFailed,     // connect timed out
-        Ok(Err(_)) => return PathFetch::ConnectFailed, // refused/unreachable
-        Ok(Ok(s)) => s,
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn fetch_one(addr: SocketAddr, req: &Request, timeout: Duration) -> PathFetch {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return PathFetch::ConnectFailed; // refused/unreachable/timed out
     };
-    if write_request(&mut stream, req).await.is_err() {
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return PathFetch::Reset;
+    }
+    if write_request(&mut stream, req).is_err() {
         return PathFetch::Reset;
     }
     let mut buf = BytesMut::new();
-    match tokio::time::timeout(timeout, read_response(&mut stream, &mut buf)).await {
-        Err(_) => PathFetch::Timeout,
-        Ok(Err(_)) => PathFetch::Reset,
-        Ok(Ok(resp)) => PathFetch::Ok(resp),
+    match read_response(&mut stream, &mut buf) {
+        Ok(resp) => PathFetch::Ok(resp),
+        Err(e) if is_timeout(&e) => PathFetch::Timeout,
+        Err(_) => PathFetch::Reset,
     }
 }
 
 /// Spawn the proxy on an ephemeral 127.0.0.1 port.
-pub async fn spawn_proxy(
-    resolver: Arc<TestResolver>,
-    cfg: ProxyConfig,
-) -> std::io::Result<CsawProxy> {
-    let listener = TcpListener::bind("127.0.0.1:0").await?;
+pub fn spawn_proxy(resolver: Arc<TestResolver>, cfg: ProxyConfig) -> std::io::Result<CsawProxy> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ProxyState {
         resolver,
@@ -184,28 +210,35 @@ pub async fn spawn_proxy(
         status: RwLock::new(HashMap::new()),
         measurements: Mutex::new(Vec::new()),
         started: std::time::Instant::now(),
+        obs: csaw_obs::scope::current().registry.clone(),
     });
     let state2 = Arc::clone(&state);
-    let handle = tokio::spawn(async move {
-        loop {
-            let Ok((stream, _)) = listener.accept().await else {
-                break;
-            };
-            tokio::spawn(handle_browser(stream, Arc::clone(&state2)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if stop2.load(Ordering::SeqCst) {
+            break;
         }
+        let state = Arc::clone(&state2);
+        std::thread::spawn(move || handle_browser(stream, state));
     });
     Ok(CsawProxy {
         addr,
         state,
-        handle,
+        stop,
+        handle: Some(handle),
     })
 }
 
-async fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
+fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
     let mut buf = BytesMut::new();
-    while let Ok(Some(req)) = read_request(&mut browser, &mut buf).await {
+    while let Ok(Some(req)) = read_request(&mut browser, &mut buf) {
+        state.obs.counter("proxy.requests").inc();
         let Some(host) = req.host() else {
-            let _ = write_response(&mut browser, &Response::error(400, "Bad Request")).await;
+            let _ = write_response(&mut browser, &Response::error(400, "Bad Request"));
             continue;
         };
         // Rewrite absolute-form targets to origin-form for upstreams.
@@ -217,8 +250,8 @@ async fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
                 upstream_req.target = "/".to_string();
             }
         }
-        let resp = serve_url(&state, &host, &upstream_req).await;
-        if write_response(&mut browser, &resp).await.is_err() {
+        let resp = serve_url(&state, &host, &upstream_req);
+        if write_response(&mut browser, &resp).is_err() {
             return;
         }
     }
@@ -229,26 +262,31 @@ fn record(state: &ProxyState, host: &str, sig: ProxySignature) {
     // their measurements, but only the first one gets to log (the rest
     // observed the same event).
     {
-        let mut status = state.status.write();
+        let mut status = state.status.write().unwrap();
         if matches!(status.get(host), Some(HostStatus::Blocked(_))) {
             return;
         }
         status.insert(host.to_string(), HostStatus::Blocked(sig));
     }
-    state.measurements.lock().push(ProxyMeasurement {
+    state
+        .obs
+        .counter(&format!("proxy.blocked.{}", sig.metric_name()))
+        .inc();
+    state.measurements.lock().unwrap().push(ProxyMeasurement {
         host: host.to_string(),
         signature: sig,
         at_ms: state.started.elapsed().as_millis() as u64,
     });
 }
 
-async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
+fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
     let Some(res) = state.resolver.resolve(host) else {
         return Response::error(502, "Unresolvable");
     };
     let status = state
         .status
         .read()
+        .unwrap()
         .get(host)
         .copied()
         .unwrap_or(HostStatus::NotMeasured);
@@ -256,20 +294,21 @@ async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
     match status {
         HostStatus::Blocked(_) => {
             // Known blocked: circumvention path only.
-            match fetch_one(res.clean, req, timeout * 4).await {
+            state.obs.counter("proxy.circumvention_only").inc();
+            match fetch_one(res.clean, req, timeout * 4) {
                 PathFetch::Ok(r) => r,
                 _ => Response::error(504, "Circumvention Failed"),
             }
         }
         HostStatus::NotBlocked => {
             // Selective redundancy: direct only, but measured in-line.
-            match fetch_one(res.direct, req, timeout).await {
+            match fetch_one(res.direct, req, timeout) {
                 PathFetch::Ok(r) => {
                     let html = String::from_utf8_lossy(&r.body);
                     if phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage {
                         // Fresh censorship (Scenario B): re-fetch clean.
                         record(state, host, ProxySignature::BlockPage);
-                        match fetch_one(res.clean, req, timeout * 4).await {
+                        match fetch_one(res.clean, req, timeout * 4) {
                             PathFetch::Ok(clean) => clean,
                             _ => r,
                         }
@@ -279,14 +318,14 @@ async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                 }
                 PathFetch::Timeout => {
                     record(state, host, ProxySignature::GetTimeout);
-                    match fetch_one(res.clean, req, timeout * 4).await {
+                    match fetch_one(res.clean, req, timeout * 4) {
                         PathFetch::Ok(r) => r,
                         _ => Response::error(504, "Gateway Timeout"),
                     }
                 }
                 PathFetch::Reset | PathFetch::ConnectFailed => {
                     record(state, host, ProxySignature::ConnectionReset);
-                    match fetch_one(res.clean, req, timeout * 4).await {
+                    match fetch_one(res.clean, req, timeout * 4) {
                         PathFetch::Ok(r) => r,
                         _ => Response::error(502, "Bad Gateway"),
                     }
@@ -295,10 +334,13 @@ async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
         }
         HostStatus::NotMeasured => {
             // Redundant requests: both paths race (parallel mode).
-            let (direct, clean) = tokio::join!(
-                fetch_one(res.direct, req, timeout),
-                fetch_one(res.clean, req, timeout * 4),
-            );
+            state.obs.counter("proxy.redundant_requests").inc();
+            let direct_req = req.clone();
+            let direct_addr = res.direct;
+            let direct_handle =
+                std::thread::spawn(move || fetch_one(direct_addr, &direct_req, timeout));
+            let clean = fetch_one(res.clean, req, timeout * 4);
+            let direct = direct_handle.join().unwrap_or(PathFetch::ConnectFailed);
             let clean_resp = match clean {
                 PathFetch::Ok(r) => Some(r),
                 _ => None,
@@ -306,8 +348,7 @@ async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
             match direct {
                 PathFetch::Ok(direct_resp) => {
                     let html = String::from_utf8_lossy(&direct_resp.body);
-                    let flagged =
-                        phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage;
+                    let flagged = phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage;
                     let confirmed = match (&flagged, &clean_resp) {
                         (true, Some(c)) => phase2(
                             direct_resp.body.len() as u64,
@@ -332,6 +373,7 @@ async fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                         state
                             .status
                             .write()
+                            .unwrap()
                             .insert(host.to_string(), HostStatus::NotBlocked);
                         direct_resp
                     }

@@ -8,14 +8,14 @@
 //! blocking on mid-run (the §7.5 "in the wild" situation).
 
 use crate::codec::{read_request, write_response};
-use bytes::BytesMut;
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::Response;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::task::JoinHandle;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
 
 /// What the middlebox does to requests for a host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,12 +47,18 @@ pub struct Middlebox {
     /// The address clients' "direct path" connects to.
     pub addr: SocketAddr,
     policy: Arc<RwLock<MbPolicy>>,
-    handle: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl Drop for Middlebox {
     fn drop(&mut self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -61,6 +67,7 @@ impl Middlebox {
     pub fn set_action(&self, host: &str, action: MbAction) {
         self.policy
             .write()
+            .unwrap()
             .actions
             .insert(host.to_ascii_lowercase(), action);
     }
@@ -69,39 +76,45 @@ impl Middlebox {
     pub fn set_route(&self, host: &str, upstream: SocketAddr) {
         self.policy
             .write()
+            .unwrap()
             .routes
             .insert(host.to_ascii_lowercase(), upstream);
     }
 }
 
 /// Spawn a middlebox with an initial policy.
-pub async fn spawn_middlebox(initial: MbPolicy) -> std::io::Result<Middlebox> {
-    let listener = TcpListener::bind("127.0.0.1:0").await?;
+pub fn spawn_middlebox(initial: MbPolicy) -> std::io::Result<Middlebox> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let policy = Arc::new(RwLock::new(initial));
     let policy2 = Arc::clone(&policy);
-    let handle = tokio::spawn(async move {
-        loop {
-            let Ok((stream, _)) = listener.accept().await else {
-                break;
-            };
-            let policy = Arc::clone(&policy2);
-            tokio::spawn(handle_conn(stream, policy));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if stop2.load(Ordering::SeqCst) {
+            break;
         }
+        let policy = Arc::clone(&policy2);
+        std::thread::spawn(move || handle_conn(stream, policy));
     });
     Ok(Middlebox {
         addr,
         policy,
-        handle,
+        stop,
+        handle: Some(handle),
     })
 }
 
-async fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
+fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
     let mut buf = BytesMut::new();
-    while let Ok(Some(req)) = read_request(&mut client, &mut buf).await {
+    while let Ok(Some(req)) = read_request(&mut client, &mut buf) {
+        csaw_obs::inc("middlebox.requests");
         let host = req.host().unwrap_or_default();
         let (action, upstream, block_html) = {
-            let p = policy.read();
+            let p = policy.read().unwrap();
             (
                 p.actions.get(&host).cloned().unwrap_or(MbAction::Pass),
                 p.routes.get(&host).copied(),
@@ -111,22 +124,21 @@ async fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
         match action {
             MbAction::Pass => {
                 let Some(upstream) = upstream else {
-                    let _ = write_response(&mut client, &Response::error(502, "Bad Gateway")).await;
+                    let _ = write_response(&mut client, &Response::error(502, "Bad Gateway"));
                     continue;
                 };
                 // Forward request, relay one response.
-                match TcpStream::connect(upstream).await {
+                match TcpStream::connect(upstream) {
                     Ok(mut up) => {
-                        if crate::codec::write_request(&mut up, &req).await.is_err() {
+                        if crate::codec::write_request(&mut up, &req).is_err() {
                             let _ =
-                                write_response(&mut client, &Response::error(502, "Bad Gateway"))
-                                    .await;
+                                write_response(&mut client, &Response::error(502, "Bad Gateway"));
                             continue;
                         }
                         let mut ubuf = BytesMut::new();
-                        match crate::codec::read_response(&mut up, &mut ubuf).await {
+                        match crate::codec::read_response(&mut up, &mut ubuf) {
                             Ok(resp) => {
-                                if write_response(&mut client, &resp).await.is_err() {
+                                if write_response(&mut client, &resp).is_err() {
                                     return;
                                 }
                             }
@@ -134,14 +146,12 @@ async fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
                                 let _ = write_response(
                                     &mut client,
                                     &Response::error(502, "Bad Gateway"),
-                                )
-                                .await;
+                                );
                             }
                         }
                     }
                     Err(_) => {
-                        let _ = write_response(&mut client, &Response::error(502, "Bad Gateway"))
-                            .await;
+                        let _ = write_response(&mut client, &Response::error(502, "Bad Gateway"));
                     }
                 }
             }
@@ -149,9 +159,9 @@ async fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
                 // Swallow: never answer, keep the socket open so the
                 // client times out exactly like against a silent censor.
                 // Park until the client gives up and closes.
+                csaw_obs::inc("middlebox.dropped");
                 let mut sink = [0u8; 1024];
-                use tokio::io::AsyncReadExt;
-                while let Ok(n) = client.read(&mut sink).await {
+                while let Ok(n) = client.read(&mut sink) {
                     if n == 0 {
                         break;
                     }
@@ -163,11 +173,13 @@ async fn handle_conn(mut client: TcpStream, policy: Arc<RwLock<MbPolicy>>) {
                 // observes the stream dying mid-exchange; whether the
                 // kernel emits FIN or RST, the client-visible signature is
                 // the same "connection reset by censor" failure.
+                csaw_obs::inc("middlebox.reset");
                 return;
             }
             MbAction::BlockPage => {
+                csaw_obs::inc("middlebox.block_pages");
                 let resp = Response::ok_html(block_html);
-                if write_response(&mut client, &resp).await.is_err() {
+                if write_response(&mut client, &resp).is_err() {
                     return;
                 }
             }
@@ -184,74 +196,69 @@ mod tests {
     use csaw_webproto::url::Url;
     use std::time::Duration;
 
-    async fn fetch_via(
-        mb: SocketAddr,
-        url: &str,
-        timeout: Duration,
-    ) -> Result<Response, &'static str> {
-        let mut s = TcpStream::connect(mb).await.map_err(|_| "connect")?;
+    fn fetch_via(mb: SocketAddr, url: &str, timeout: Duration) -> Result<Response, &'static str> {
+        let mut s = TcpStream::connect(mb).map_err(|_| "connect")?;
+        s.set_read_timeout(Some(timeout)).unwrap();
         let url = Url::parse(url).unwrap();
-        write_request(&mut s, &Request::get(&url))
-            .await
-            .map_err(|_| "write")?;
+        write_request(&mut s, &Request::get(&url)).map_err(|_| "write")?;
         let mut buf = BytesMut::new();
-        match tokio::time::timeout(timeout, read_response(&mut s, &mut buf)).await {
-            Err(_) => Err("timeout"),
-            Ok(Err(_)) => Err("reset"),
-            Ok(Ok(r)) => Ok(r),
+        match read_response(&mut s, &mut buf) {
+            Ok(r) => Ok(r),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err("timeout")
+            }
+            Err(_) => Err("reset"),
         }
     }
 
-    #[tokio::test]
-    async fn pass_drop_reset_blockpage() {
-        let origin = spawn_origin(OriginConfig::new("ok.test", 5_000)).await.unwrap();
-        let blocked_origin = spawn_origin(OriginConfig::new("bad.test", 5_000)).await.unwrap();
+    #[test]
+    fn pass_drop_reset_blockpage() {
+        let origin = spawn_origin(OriginConfig::new("ok.test", 5_000)).unwrap();
+        let blocked_origin = spawn_origin(OriginConfig::new("bad.test", 5_000)).unwrap();
         let mut policy = MbPolicy {
-            block_page_html: "<html><body><h1>Access Denied</h1><p>blocked by order</p></body></html>".into(),
+            block_page_html:
+                "<html><body><h1>Access Denied</h1><p>blocked by order</p></body></html>".into(),
             ..Default::default()
         };
         policy.routes.insert("ok.test".into(), origin.addr);
         policy.routes.insert("bad.test".into(), blocked_origin.addr);
-        let mb = spawn_middlebox(policy).await.unwrap();
+        let mb = spawn_middlebox(policy).unwrap();
 
         // Pass.
-        let r = fetch_via(mb.addr, "http://ok.test/", Duration::from_secs(2))
-            .await
-            .unwrap();
+        let r = fetch_via(mb.addr, "http://ok.test/", Duration::from_secs(2)).unwrap();
         assert_eq!(r.status, 200);
         assert!(r.body.len() > 4_000);
 
         // Block page.
         mb.set_action("bad.test", MbAction::BlockPage);
-        let r = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2))
-            .await
-            .unwrap();
-        assert!(std::str::from_utf8(&r.body).unwrap().contains("Access Denied"));
+        let r = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2)).unwrap();
+        assert!(std::str::from_utf8(&r.body)
+            .unwrap()
+            .contains("Access Denied"));
 
         // Drop: times out.
         mb.set_action("bad.test", MbAction::DropRequest);
-        let e = fetch_via(mb.addr, "http://bad.test/", Duration::from_millis(300)).await;
+        let e = fetch_via(mb.addr, "http://bad.test/", Duration::from_millis(300));
         assert_eq!(e.unwrap_err(), "timeout");
 
         // Reset: connection dies.
         mb.set_action("bad.test", MbAction::Reset);
-        let e = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2)).await;
+        let e = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2));
         assert_eq!(e.unwrap_err(), "reset");
 
         // Flip back to pass mid-run (the §7.5 unblocking event).
         mb.set_action("bad.test", MbAction::Pass);
-        let r = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2))
-            .await
-            .unwrap();
+        let r = fetch_via(mb.addr, "http://bad.test/", Duration::from_secs(2)).unwrap();
         assert_eq!(r.status, 200);
     }
 
-    #[tokio::test]
-    async fn unrouted_host_is_bad_gateway() {
-        let mb = spawn_middlebox(MbPolicy::default()).await.unwrap();
-        let r = fetch_via(mb.addr, "http://nowhere.test/", Duration::from_secs(2))
-            .await
-            .unwrap();
+    #[test]
+    fn unrouted_host_is_bad_gateway() {
+        let mb = spawn_middlebox(MbPolicy::default()).unwrap();
+        let r = fetch_via(mb.addr, "http://nowhere.test/", Duration::from_secs(2)).unwrap();
         assert_eq!(r.status, 502);
     }
 }

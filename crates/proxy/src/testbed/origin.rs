@@ -1,4 +1,4 @@
-//! An async HTTP/1.1 origin server for the localhost testbed.
+//! A threaded HTTP/1.1 origin server for the localhost testbed.
 //!
 //! Serves configurable pages with `Content-Length`, keep-alive style,
 //! binding an ephemeral 127.0.0.1 port. Stands in for the censored
@@ -7,13 +7,13 @@
 //! censoring middlebox.
 
 use crate::codec::{read_request, write_response};
-use bytes::BytesMut;
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::Response;
 use std::collections::HashMap;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tokio::net::TcpListener;
-use tokio::task::JoinHandle;
+use std::thread::JoinHandle;
 
 /// A running origin server.
 #[derive(Debug)]
@@ -22,12 +22,18 @@ pub struct Origin {
     pub host: String,
     /// Bound address.
     pub addr: SocketAddr,
-    handle: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl Drop for Origin {
     fn drop(&mut self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -60,34 +66,44 @@ impl OriginConfig {
 }
 
 /// Spawn an origin server on an ephemeral port.
-pub async fn spawn_origin(cfg: OriginConfig) -> std::io::Result<Origin> {
-    let listener = TcpListener::bind("127.0.0.1:0").await?;
+pub fn spawn_origin(cfg: OriginConfig) -> std::io::Result<Origin> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let host = cfg.host.clone();
     let cfg = Arc::new(cfg);
-    let handle = tokio::spawn(async move {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
         loop {
-            let Ok((mut stream, _)) = listener.accept().await else {
+            let Ok((mut stream, _)) = listener.accept() else {
                 break;
             };
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
             let cfg = Arc::clone(&cfg);
-            tokio::spawn(async move {
+            std::thread::spawn(move || {
                 let mut buf = BytesMut::new();
                 // Keep-alive loop: serve requests until the peer closes.
-                while let Ok(Some(req)) = read_request(&mut stream, &mut buf).await {
+                while let Ok(Some(req)) = read_request(&mut stream, &mut buf) {
                     let path = req.target.split('?').next().unwrap_or("/").to_string();
                     let html = cfg.pages.get(&path).cloned().unwrap_or_else(|| {
                         csaw_webproto::synth_html(&cfg.host, cfg.default_page_bytes)
                     });
                     let resp = Response::ok_html(html);
-                    if write_response(&mut stream, &resp).await.is_err() {
+                    if write_response(&mut stream, &resp).is_err() {
                         break;
                     }
                 }
             });
         }
     });
-    Ok(Origin { host, addr, handle })
+    Ok(Origin {
+        host,
+        addr,
+        stop,
+        handle: Some(handle),
+    })
 }
 
 #[cfg(test)]
@@ -96,27 +112,26 @@ mod tests {
     use crate::codec::{read_response, write_request};
     use csaw_webproto::http::Request;
     use csaw_webproto::url::Url;
-    use tokio::net::TcpStream;
 
-    #[tokio::test]
-    async fn serves_default_and_explicit_pages() {
+    #[test]
+    fn serves_default_and_explicit_pages() {
         let origin = spawn_origin(
-            OriginConfig::new("site.test", 20_000).page("/hello", "<html><body>explicit</body></html>"),
+            OriginConfig::new("site.test", 20_000)
+                .page("/hello", "<html><body>explicit</body></html>"),
         )
-        .await
         .unwrap();
-        let mut s = TcpStream::connect(origin.addr).await.unwrap();
+        let mut s = TcpStream::connect(origin.addr).unwrap();
         let mut buf = BytesMut::new();
 
         let url = Url::parse("http://site.test/hello").unwrap();
-        write_request(&mut s, &Request::get(&url)).await.unwrap();
-        let r = read_response(&mut s, &mut buf).await.unwrap();
+        write_request(&mut s, &Request::get(&url)).unwrap();
+        let r = read_response(&mut s, &mut buf).unwrap();
         assert!(std::str::from_utf8(&r.body).unwrap().contains("explicit"));
 
         // Keep-alive: second request on the same connection.
         let url = Url::parse("http://site.test/other").unwrap();
-        write_request(&mut s, &Request::get(&url)).await.unwrap();
-        let r = read_response(&mut s, &mut buf).await.unwrap();
+        write_request(&mut s, &Request::get(&url)).unwrap();
+        let r = read_response(&mut s, &mut buf).unwrap();
         assert!(r.body.len() >= 18_000, "{}", r.body.len());
     }
 }

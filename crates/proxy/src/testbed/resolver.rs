@@ -3,9 +3,9 @@
 //! and the **clean** address (straight to the origin, standing in for a
 //! circumvention tunnel's exit).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::RwLock;
 
 /// Both paths for one host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,22 +32,27 @@ impl TestResolver {
     pub fn insert(&self, host: &str, direct: SocketAddr, clean: SocketAddr) {
         self.table
             .write()
+            .unwrap()
             .insert(host.to_ascii_lowercase(), Resolution { direct, clean });
     }
 
     /// Resolve a host.
     pub fn resolve(&self, host: &str) -> Option<Resolution> {
-        self.table.read().get(&host.to_ascii_lowercase()).copied()
+        self.table
+            .read()
+            .unwrap()
+            .get(&host.to_ascii_lowercase())
+            .copied()
     }
 
     /// Number of registered hosts.
     pub fn len(&self) -> usize {
-        self.table.read().len()
+        self.table.read().unwrap().len()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.table.read().is_empty()
+        self.table.read().unwrap().is_empty()
     }
 }
 

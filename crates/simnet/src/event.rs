@@ -127,6 +127,7 @@ impl<E> Scheduler<E> {
     where
         F: FnMut(SimTime, E, &mut Scheduler<E>),
     {
+        let start_us = self.now.as_micros();
         let mut dispatched = 0;
         while let Some(at) = self.peek_time() {
             if at > horizon {
@@ -142,6 +143,28 @@ impl<E> Scheduler<E> {
         // so repeated run_until calls tile time correctly.
         if self.now < horizon {
             self.now = horizon;
+        }
+        // Observability at the run boundary only — never per event, so the
+        // event loop's hot path stays within its overhead budget.
+        let ctx = csaw_obs::scope::current();
+        if let Some(clock) = ctx.manual_clock() {
+            clock.set_us(self.now.as_micros());
+        }
+        ctx.registry
+            .counter("simnet.events_processed")
+            .add(dispatched);
+        ctx.registry
+            .gauge("simnet.queue_depth")
+            .set(self.heap.len() as i64);
+        if ctx.sink.enabled() {
+            csaw_obs::event::span_completed(
+                "simnet.run_until",
+                horizon.as_micros().saturating_sub(start_us),
+                &[
+                    ("dispatched", csaw_obs::json::JsonValue::from(dispatched)),
+                    ("pending", csaw_obs::json::JsonValue::from(self.heap.len())),
+                ],
+            );
         }
         dispatched
     }

@@ -12,10 +12,9 @@
 
 use crate::rng::DetRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// One directed network segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One-way propagation delay.
     pub latency: SimDuration,
@@ -92,7 +91,7 @@ impl Link {
 }
 
 /// An end-to-end path composed of directed links.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Path {
     links: Vec<Link>,
     /// Extra delay injected by on-path congestion (fault injection knob):
@@ -215,10 +214,7 @@ mod tests {
 
     #[test]
     fn loss_composes_multiplicatively() {
-        let p = Path::new(vec![
-            Link::lan().with_loss(0.1),
-            Link::lan().with_loss(0.1),
-        ]);
+        let p = Path::new(vec![Link::lan().with_loss(0.1), Link::lan().with_loss(0.1)]);
         assert!((p.loss() - 0.19).abs() < 1e-9);
     }
 

@@ -10,10 +10,9 @@
 
 use crate::rng::DetRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How concurrent work at the client inflates an individual transfer.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LoadModel {
     /// Fractional PLT inflation contributed by each additional concurrent
     /// copy (bandwidth sharing + parse/render CPU contention).
@@ -37,12 +36,7 @@ impl Default for LoadModel {
 impl LoadModel {
     /// Inflate a base completion time given `concurrent` total in-flight
     /// transfers at the client (1 = just this one: no inflation).
-    pub fn inflate(
-        &self,
-        base: SimDuration,
-        concurrent: usize,
-        rng: &mut DetRng,
-    ) -> SimDuration {
+    pub fn inflate(&self, base: SimDuration, concurrent: usize, rng: &mut DetRng) -> SimDuration {
         if concurrent <= 1 {
             return base;
         }

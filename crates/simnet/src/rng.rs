@@ -5,22 +5,55 @@
 //! generators so that adding a new consumer of randomness never perturbs
 //! the draws seen by existing ones — a property the experiment harness
 //! relies on for stable baselines.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a from-scratch xoshiro256++ (Blackman & Vigna), with
+//! SplitMix64 state expansion from the 64-bit seed. It is implemented
+//! in-tree so the workspace stays hermetic, and its output is part of
+//! the bit-reproducibility contract: the stream for a given seed never
+//! changes without a deliberate recalibration of the experiment
+//! baselines.
 
 /// A deterministic random number generator with labelled forking.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: the standard seed expander for xoshiro-family
+/// generators (also used here to derive fork seeds).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        DetRng { state }
+    }
+
+    /// One xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fork a child generator whose stream depends only on the parent seed
@@ -41,16 +74,14 @@ impl DetRng {
         // Derive the child from a clone of the parent's current state XORed
         // with the label hash: children of the same parent with different
         // labels diverge, same labels coincide.
-        let mut base = self.inner.clone();
+        let mut base = self.clone();
         let s = base.next_u64() ^ h;
-        DetRng {
-            inner: StdRng::seed_from_u64(s),
-        }
+        DetRng::new(s)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)`: the top 53 bits scaled by 2⁻⁵³.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -60,40 +91,57 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.f64() < p
         }
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    /// Debiased via rejection sampling (Lemire-style threshold).
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        if span.is_power_of_two() {
+            return lo + (self.next_u64() & (span - 1));
+        }
+        // Rejection zone: discard draws that would bias the modulus.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Uniform usize in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty index range");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform float in `[EPSILON, 1)` — a log-safe draw.
+    fn f64_nonzero(&mut self) -> f64 {
+        f64::EPSILON + (1.0 - f64::EPSILON) * self.f64()
     }
 
     /// Sample an exponential with the given mean (inverse-CDF method).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.f64_nonzero();
         -mean * u.ln()
     }
 
     /// Sample a standard normal via Box–Muller (single draw, second value
     /// discarded — simple and adequate for jitter modelling).
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.f64_nonzero();
+        let u2 = self.f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
         mean + std_dev * z
     }
@@ -108,7 +156,7 @@ impl DetRng {
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.f64() * total;
         for (i, w) in weights.iter().enumerate() {
             if x < *w {
                 return i;
@@ -121,15 +169,9 @@ impl DetRng {
     /// Shuffle a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             xs.swap(i, j);
         }
-    }
-
-    /// Direct access to the underlying `rand::Rng` for call sites that need
-    /// the full trait surface.
-    pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -166,6 +208,33 @@ mod tests {
         assert!(r.chance(1.0));
         assert!(!r.chance(-0.5));
         assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = DetRng::new(17);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_u64_is_unbiased_over_small_modulus() {
+        let mut r = DetRng::new(23);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.range_u64(0, 3) as usize] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
     }
 
     #[test]

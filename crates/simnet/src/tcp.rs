@@ -23,11 +23,10 @@
 use crate::link::Path;
 use crate::rng::DetRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Tunables for the TCP model. Defaults are calibrated against Table 5 of
 /// the paper and ordinary web-transfer behaviour.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
     /// Initial retransmission timeout for SYNs (classic 3 s).
     pub initial_rto: SimDuration,
@@ -73,7 +72,7 @@ impl TcpConfig {
 }
 
 /// Outcome of a connection attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnectOutcome {
     /// Handshake completed after `elapsed`.
     Established {
@@ -187,7 +186,7 @@ pub fn transfer_time(
 
 /// Outcome of a full request/response exchange on an established
 /// connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExchangeOutcome {
     /// Response fully received after `elapsed` (measured from request send).
     Done {
@@ -363,12 +362,7 @@ mod tests {
         let cfg = TcpConfig::default();
         let mut prev = SimDuration::ZERO;
         for rtt_ms in [10u64, 50, 100, 200, 400] {
-            let t = transfer_time(
-                360_000,
-                SimDuration::from_millis(rtt_ms),
-                20_000_000,
-                &cfg,
-            );
+            let t = transfer_time(360_000, SimDuration::from_millis(rtt_ms), 20_000_000, &cfg);
             assert!(t >= prev, "rtt {rtt_ms}: {t} < {prev}");
             prev = t;
         }

@@ -10,11 +10,10 @@
 use crate::link::{Link, Path};
 use crate::rng::DetRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An autonomous system number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Asn(pub u32);
 
 impl fmt::Display for Asn {
@@ -24,7 +23,7 @@ impl fmt::Display for Asn {
 }
 
 /// Coarse geographic regions used to derive wide-area latencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // country/region variants are self-documenting
 pub enum Region {
     /// The censored measurement region (the paper's vantage point).
@@ -69,17 +68,17 @@ impl Region {
     pub fn one_way_ms_from_vantage(self) -> u64 {
         match self {
             Region::Pakistan => 10,
-            Region::UnitedKingdom => 114,  // 228 / 2
-            Region::Netherlands => 86,     // 172 / 2
-            Region::Germany => 87,         // 174 / 2 (Germany-2)
+            Region::UnitedKingdom => 114, // 228 / 2
+            Region::Netherlands => 86,    // 172 / 2
+            Region::Germany => 87,        // 174 / 2 (Germany-2)
             Region::France => 95,
             Region::Switzerland => 90,
             Region::CzechRepublic => 92,
-            Region::UsEast => 80,          // 160 / 2 (US-3)
-            Region::UsCentral => 165,      // 329 / 2 (US-1, rounded)
-            Region::UsWest => 215,         // 429 / 2 (US-2, rounded)
+            Region::UsEast => 80,     // 160 / 2 (US-3)
+            Region::UsCentral => 165, // 329 / 2 (US-1, rounded)
+            Region::UsWest => 215,    // 429 / 2 (US-2, rounded)
             Region::Canada => 150,
-            Region::Japan => 194,          // 387 / 2 (rounded)
+            Region::Japan => 194, // 387 / 2 (rounded)
             Region::Singapore => 45,
         }
     }
@@ -121,7 +120,7 @@ impl Region {
 
 /// Where a server/endpoint lives, and any extra latency specific to it
 /// (e.g. an overloaded static proxy adds queueing delay).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Site {
     /// Region the endpoint lives in.
     pub region: Region,
@@ -160,7 +159,7 @@ impl Site {
 
 /// Per-ISP access-network character; two ISPs covering the same city can
 /// have noticeably different loss/latency profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessProfile {
     /// One-way latency from the client to the ISP edge.
     pub last_mile: SimDuration,
@@ -195,7 +194,7 @@ impl AccessProfile {
 }
 
 /// An upstream provider (ISP) of the client's network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Provider {
     /// The provider's autonomous system number.
     pub asn: Asn,
@@ -225,7 +224,7 @@ impl Provider {
 /// The client's attachment to the Internet: one or more providers.
 /// Multihomed networks map each new flow to one provider at random
 /// (per the paper's §4.4 challenge scenario).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessNetwork {
     providers: Vec<Provider>,
     /// Relative share of flows mapped to each provider.
@@ -300,8 +299,7 @@ mod tests {
         ];
         for (region, rtt) in cases {
             let site = Site::at_vantage_rtt(region, rtt);
-            let one_way =
-                region.one_way_ms_from_vantage() + site.extra_one_way.as_millis();
+            let one_way = region.one_way_ms_from_vantage() + site.extra_one_way.as_millis();
             let got = one_way * 2;
             // Rounding in the halved table entries costs at most 2 ms.
             assert!(

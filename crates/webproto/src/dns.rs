@@ -6,12 +6,11 @@
 //! pointing at a local host or block-page server, NXDOMAIN, SERVFAIL,
 //! REFUSED — the taxonomy of §2.1 and Figure 2 of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// DNS response codes relevant to the blocking taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rcode {
     /// Successful resolution.
     NoError,
@@ -38,7 +37,7 @@ impl fmt::Display for Rcode {
 }
 
 /// A query for the A records of a name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DnsQuery {
     /// Queried name, lowercase.
     pub qname: String,
@@ -54,7 +53,7 @@ impl DnsQuery {
 }
 
 /// An A record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ARecord {
     /// The resolved address.
     pub addr: Ipv4Addr,
@@ -64,7 +63,7 @@ pub struct ARecord {
 }
 
 /// A DNS response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnsResponse {
     /// Response code.
     pub rcode: Rcode,
@@ -103,7 +102,7 @@ impl DnsResponse {
 
 /// What the client *observes* from a DNS lookup attempt, including the
 /// cases where nothing comes back. This is the detector's raw input.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DnsObservation {
     /// A response arrived (possibly forged; the observer can't tell yet).
     Response(DnsResponse),
@@ -163,7 +162,15 @@ mod tests {
 
     #[test]
     fn private_reserved_detection() {
-        let yes = ["10.0.0.1", "192.168.1.1", "127.0.0.1", "0.0.0.0", "169.254.1.1", "100.64.0.1", "172.16.5.5"];
+        let yes = [
+            "10.0.0.1",
+            "192.168.1.1",
+            "127.0.0.1",
+            "0.0.0.0",
+            "169.254.1.1",
+            "100.64.0.1",
+            "172.16.5.5",
+        ];
         for ip in yes {
             assert!(is_private_or_reserved(ip.parse().unwrap()), "{ip}");
         }

@@ -8,14 +8,13 @@
 //! lines. Chunked transfer encoding is deliberately out of scope (origin
 //! servers in the testbed always send `Content-Length`).
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use crate::bytes::Bytes;
 use std::fmt;
 
 use crate::url::{Scheme, Url};
 
 /// HTTP request methods the model supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Idempotent fetch — safe to duplicate across paths.
     Get,
@@ -62,7 +61,7 @@ impl fmt::Display for Method {
 }
 
 /// A case-insensitive multimap of headers preserving insertion order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers {
     entries: Vec<(String, String)>,
 }
@@ -115,7 +114,7 @@ impl Headers {
 }
 
 /// An HTTP request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method.
     pub method: Method,
@@ -204,8 +203,7 @@ impl Request {
         let mut lines = head.split("\r\n");
         let request_line = lines.next().ok_or(HttpParseError::BadStartLine)?;
         let mut parts = request_line.split(' ');
-        let method = Method::parse(parts.next().unwrap_or(""))
-            .ok_or(HttpParseError::BadMethod)?;
+        let method = Method::parse(parts.next().unwrap_or("")).ok_or(HttpParseError::BadMethod)?;
         let target = parts
             .next()
             .filter(|t| !t.is_empty())
@@ -235,7 +233,7 @@ impl Request {
 }
 
 /// An HTTP response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code, e.g. 200.
     pub status: u16,
@@ -278,7 +276,9 @@ impl Response {
 
     /// A plain error response.
     pub fn error(status: u16, reason: &str) -> Response {
-        let body = Bytes::from(format!("<html><body><h1>{status} {reason}</h1></body></html>"));
+        let body = Bytes::from(format!(
+            "<html><body><h1>{status} {reason}</h1></body></html>"
+        ));
         let mut headers = Headers::new();
         headers.insert("Content-Type", "text/html");
         headers.insert("Content-Length", &body.len().to_string());
@@ -298,9 +298,7 @@ impl Response {
     /// Serialize to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128 + self.body.len());
-        out.extend_from_slice(
-            format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes(),
-        );
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
         let mut wrote_cl = false;
         for (n, v) in self.headers.iter() {
             if n.eq_ignore_ascii_case("content-length") {
@@ -389,9 +387,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_headers<'a>(
-    lines: impl Iterator<Item = &'a str>,
-) -> Result<Headers, HttpParseError> {
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, HttpParseError> {
     let mut headers = Headers::new();
     for line in lines {
         if line.is_empty() {
@@ -409,7 +405,10 @@ fn parse_headers<'a>(
 fn content_length(headers: &Headers) -> Result<usize, HttpParseError> {
     match headers.get("Content-Length") {
         None => Ok(0),
-        Some(v) => v.trim().parse().map_err(|_| HttpParseError::BadContentLength),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| HttpParseError::BadContentLength),
     }
 }
 

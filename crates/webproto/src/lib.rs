@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bytes;
 pub mod dns;
 pub mod http;
 pub mod page;
 pub mod tls;
 pub mod url;
 
+pub use bytes::{Bytes, BytesMut};
 pub use dns::{ARecord, DnsObservation, DnsQuery, DnsResponse, Rcode};
 pub use http::{Headers, HttpParseError, Method, Request, Response};
 pub use page::{synth_html, Resource, WebPage};

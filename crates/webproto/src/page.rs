@@ -8,12 +8,10 @@
 //! number of parallel connections; the fetch logic itself lives in
 //! `csaw-circumvent`, this module only describes structure and sizes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::url::Url;
 
 /// One embedded resource of a page.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Resource {
     /// Where the resource lives (may be a different host, e.g. a CDN).
     pub url: Url,
@@ -22,7 +20,7 @@ pub struct Resource {
 }
 
 /// A web page: base document plus embedded resources.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WebPage {
     /// The page URL.
     pub url: Url,
@@ -149,7 +147,11 @@ pub fn synth_html(title: &str, approx_bytes: usize) -> String {
     out.push_str("<script src=\"/assets/app.js\" defer></script>\n");
     out.push_str("</head>\n<body>\n<header><nav><ul>");
     for item in ["Home", "News", "Videos", "About", "Contact"] {
-        out.push_str(&format!("<li><a href=\"/{}\">{}</a></li>", item.to_lowercase(), item));
+        out.push_str(&format!(
+            "<li><a href=\"/{}\">{}</a></li>",
+            item.to_lowercase(),
+            item
+        ));
     }
     out.push_str("</ul></nav></header>\n<main>\n");
     let para = "<article><h2>Section heading</h2><p>Lorem ipsum dolor sit amet, consectetur \
@@ -185,10 +187,7 @@ mod tests {
         let p = WebPage::synthetic(url("http://yt.example/"), 360_000, 20);
         let total = p.total_bytes();
         // Within 20% of the target (deterministic wobble means not exact).
-        assert!(
-            (total as i64 - 360_000i64).abs() < 72_000,
-            "total {total}"
-        );
+        assert!((total as i64 - 360_000i64).abs() < 72_000, "total {total}");
         assert_eq!(p.resource_count(), 20);
         // All resources on the same host as the page.
         assert_eq!(p.referenced_hosts().len(), 1);
@@ -206,7 +205,10 @@ mod tests {
         let p = WebPage::synthetic(url("http://news.pk/"), 200_000, 10)
             .with_cdn_resources(&url("http://cdn.example.net/"), 4);
         let hosts = p.referenced_hosts();
-        assert_eq!(hosts, vec!["news.pk".to_string(), "cdn.example.net".to_string()]);
+        assert_eq!(
+            hosts,
+            vec!["news.pk".to_string(), "cdn.example.net".to_string()]
+        );
         let cdn_count = p
             .resources
             .iter()
@@ -218,7 +220,11 @@ mod tests {
     #[test]
     fn synth_html_size_and_shape() {
         let html = synth_html("Example Site", 95_000);
-        assert!(html.len() >= 90_000 && html.len() <= 100_000, "{}", html.len());
+        assert!(
+            html.len() >= 90_000 && html.len() <= 100_000,
+            "{}",
+            html.len()
+        );
         assert!(html.contains("<title>Example Site</title>"));
         assert!(html.contains("</html>"));
         // Rich markup: far more than a block page's handful of tags.

@@ -8,10 +8,8 @@
 //! visible part of the handshake; payload encryption is represented by
 //! construction (the censor models never look at the inner request).
 
-use serde::{Deserialize, Serialize};
-
 /// The plaintext-visible part of a TLS ClientHello.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClientHello {
     /// The SNI server name, lowercase. `None` models SNI-less clients
     /// (rare, and often dropped outright by strict censors).
@@ -41,7 +39,7 @@ impl ClientHello {
 
 /// What the censor can see of an HTTPS connection attempt: the destination
 /// IP/port (from the TCP layer) plus the ClientHello fields.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TlsObservables {
     /// The ClientHello as observed on the wire.
     pub hello: ClientHello,

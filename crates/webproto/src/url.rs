@@ -15,13 +15,12 @@
 //! Only `http` and `https` schemes exist in this model — the paper is
 //! about web censorship.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
 
 /// URL scheme. The model covers web traffic only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scheme {
     /// Plaintext HTTP — the censor sees the full request line and headers.
     Http,
@@ -54,7 +53,7 @@ impl fmt::Display for Scheme {
 }
 
 /// A host: either a DNS name or a literal IPv4 address.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Host {
     /// A DNS hostname, stored lowercase.
     Name(String),
@@ -163,7 +162,7 @@ impl fmt::Display for UrlParseError {
 impl std::error::Error for UrlParseError {}
 
 /// A parsed, normalized web URL.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Url {
     scheme: Scheme,
     host: Host,
@@ -266,10 +265,7 @@ impl Url {
 
     /// Path split into segments; the base path `/` has no segments.
     pub fn path_segments(&self) -> Vec<&str> {
-        self.path
-            .split('/')
-            .filter(|seg| !seg.is_empty())
-            .collect()
+        self.path.split('/').filter(|seg| !seg.is_empty()).collect()
     }
 
     /// Is this a **base URL** in the paper's sense: the root of a host,
@@ -489,7 +485,10 @@ mod tests {
         // Port normalization across schemes: http://h:443/ -> https keeps
         // the default-for-https port implicit.
         let odd = Url::parse("http://foo.com:443/").unwrap();
-        assert_eq!(odd.with_scheme(Scheme::Https).to_string(), "https://foo.com/");
+        assert_eq!(
+            odd.with_scheme(Scheme::Https).to_string(),
+            "https://foo.com/"
+        );
     }
 
     #[test]

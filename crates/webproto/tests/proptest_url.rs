@@ -1,105 +1,205 @@
-//! Property-based tests for the URL type — the data structure underneath
+//! Randomized tests for the URL type — the data structure underneath
 //! C-Saw's local database keys and aggregation.
+//!
+//! Originally property-based; now driven by a small local xorshift so
+//! the crate stays dependency-free. Every case derives from a fixed
+//! seed, so failures reproduce exactly.
 
 use csaw_webproto::url::{Host, Scheme, Url};
-use proptest::prelude::*;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+const CASES: usize = 300;
+
+/// Minimal deterministic generator (xorshift64*), local to this test so
+/// `csaw-webproto` keeps zero dependencies (`csaw-simnet` depends on us,
+/// so borrowing its `DetRng` would be a cycle).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn string(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
+        let n = self.index(max - min + 1) + min;
+        (0..n)
+            .map(|_| alphabet[self.index(alphabet.len())] as char)
+            .collect()
+    }
 }
 
-fn arb_hostname() -> impl Strategy<Value = String> {
-    prop::collection::vec(arb_label(), 1..4).prop_map(|ls| ls.join("."))
+fn rand_label(rng: &mut TestRng) -> String {
+    // [a-z][a-z0-9-]{0,8}[a-z0-9]
+    let first = rng.string(b"abcdefghijklmnopqrstuvwxyz", 1, 1);
+    let mid = rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789-", 0, 8);
+    let last = rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789", 1, 1);
+    format!("{first}{mid}{last}")
 }
 
-fn arb_path() -> impl Strategy<Value = String> {
-    prop::collection::vec("[a-zA-Z0-9_.-]{1,10}", 0..5)
-        .prop_map(|segs| format!("/{}", segs.join("/")))
+fn rand_hostname(rng: &mut TestRng) -> String {
+    let n = rng.index(3) + 1;
+    (0..n)
+        .map(|_| rand_label(rng))
+        .collect::<Vec<_>>()
+        .join(".")
 }
 
-fn arb_url() -> impl Strategy<Value = Url> {
-    (
-        prop::bool::ANY,
-        arb_hostname(),
-        prop::option::of(1024u16..60000),
-        arb_path(),
-        prop::option::of("[a-z]=[0-9]{1,4}"),
+fn rand_path(rng: &mut TestRng) -> String {
+    let n = rng.index(5);
+    format!(
+        "/{}",
+        (0..n)
+            .map(|_| rng.string(
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-",
+                1,
+                10
+            ))
+            .collect::<Vec<_>>()
+            .join("/")
     )
-        .prop_map(|(https, host, port, path, query)| {
-            let scheme = if https { Scheme::Https } else { Scheme::Http };
-            Url::from_parts(
-                scheme,
-                Host::parse(&host).unwrap(),
-                port,
-                &path,
-                query.as_deref(),
-            )
-        })
 }
 
-proptest! {
-    /// Display → parse is the identity on normalized URLs.
-    #[test]
-    fn display_parse_roundtrip(u in arb_url()) {
+fn rand_url(rng: &mut TestRng) -> Url {
+    let scheme = if rng.chance() {
+        Scheme::Https
+    } else {
+        Scheme::Http
+    };
+    let host = rand_hostname(rng);
+    let port = if rng.chance() {
+        Some((rng.index(60000 - 1024) + 1024) as u16)
+    } else {
+        None
+    };
+    let path = rand_path(rng);
+    let query = if rng.chance() {
+        Some(format!(
+            "{}={}",
+            rng.string(b"abcdefghijklmnopqrstuvwxyz", 1, 1),
+            rng.string(b"0123456789", 1, 4)
+        ))
+    } else {
+        None
+    };
+    Url::from_parts(
+        scheme,
+        Host::parse(&host).unwrap(),
+        port,
+        &path,
+        query.as_deref(),
+    )
+}
+
+/// Display → parse is the identity on normalized URLs.
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = TestRng(0x5eed_0001);
+    for case in 0..CASES {
+        let u = rand_url(&mut rng);
         let s = u.to_string();
         let parsed = Url::parse(&s).expect("displayed URL must reparse");
-        prop_assert_eq!(parsed, u);
+        assert_eq!(parsed, u, "case {case}: {s}");
     }
+}
 
-    /// Every URL is derived from its own base, and `base()` is idempotent.
-    #[test]
-    fn base_is_ancestor_and_idempotent(u in arb_url()) {
+/// Every URL is derived from its own base, and `base()` is idempotent.
+#[test]
+fn base_is_ancestor_and_idempotent() {
+    let mut rng = TestRng(0x5eed_0002);
+    for case in 0..CASES {
+        let u = rand_url(&mut rng);
         let b = u.base();
-        prop_assert!(b.is_base());
-        prop_assert!(u.is_derived_from(&b));
-        prop_assert_eq!(b.base(), b.clone());
+        assert!(b.is_base(), "case {case}");
+        assert!(u.is_derived_from(&b), "case {case}");
+        assert_eq!(b.base(), b.clone(), "case {case}");
         // The base preserves identity components.
-        prop_assert_eq!(b.scheme(), u.scheme());
-        prop_assert_eq!(b.host(), u.host());
-        prop_assert_eq!(b.port(), u.port());
+        assert_eq!(b.scheme(), u.scheme(), "case {case}");
+        assert_eq!(b.host(), u.host(), "case {case}");
+        assert_eq!(b.port(), u.port(), "case {case}");
     }
+}
 
-    /// Derivation is reflexive and transitive along path prefixes.
-    #[test]
-    fn derivation_prefix_chain(u in arb_url()) {
-        prop_assert!(u.is_derived_from(&u));
+/// Derivation is reflexive and transitive along path prefixes.
+#[test]
+fn derivation_prefix_chain() {
+    let mut rng = TestRng(0x5eed_0003);
+    for case in 0..CASES {
+        let u = rand_url(&mut rng);
+        assert!(u.is_derived_from(&u), "case {case}");
         // Build each ancestor by truncating path segments; all must be
         // ancestors of u, and each deeper one derived from each shallower.
-        let segs = u.path_segments().into_iter().map(str::to_string).collect::<Vec<_>>();
+        let segs = u
+            .path_segments()
+            .into_iter()
+            .map(str::to_string)
+            .collect::<Vec<_>>();
         let mut ancestors = vec![u.base()];
         for k in 1..=segs.len() {
             let path = format!("/{}", segs[..k].join("/"));
-            ancestors.push(Url::from_parts(u.scheme(), u.host().clone(), Some(u.port()), &path, None));
+            ancestors.push(Url::from_parts(
+                u.scheme(),
+                u.host().clone(),
+                Some(u.port()),
+                &path,
+                None,
+            ));
         }
         for (i, a) in ancestors.iter().enumerate() {
-            prop_assert!(u.is_derived_from(a), "u not derived from ancestor {i}");
+            assert!(
+                u.is_derived_from(a),
+                "case {case}: u not derived from ancestor {i}"
+            );
             for b in &ancestors[..=i] {
-                prop_assert!(a.is_derived_from(b));
+                assert!(a.is_derived_from(b), "case {case}");
             }
         }
     }
+}
 
-    /// Scheme swapping: default ports map to the new scheme's default,
-    /// explicit non-default ports are preserved; host/path untouched.
-    #[test]
-    fn scheme_swap_port_semantics(u in arb_url()) {
+/// Scheme swapping: default ports map to the new scheme's default,
+/// explicit non-default ports are preserved; host/path untouched.
+#[test]
+fn scheme_swap_port_semantics() {
+    let mut rng = TestRng(0x5eed_0004);
+    for case in 0..CASES {
+        let u = rand_url(&mut rng);
         let swapped = u.with_scheme(Scheme::Https);
         if u.port() == u.scheme().default_port() || u.port() == Scheme::Https.default_port() {
-            prop_assert_eq!(swapped.port(), Scheme::Https.default_port());
+            assert_eq!(swapped.port(), Scheme::Https.default_port(), "case {case}");
         } else {
-            prop_assert_eq!(swapped.port(), u.port());
+            assert_eq!(swapped.port(), u.port(), "case {case}");
         }
-        prop_assert_eq!(swapped.host(), u.host());
-        prop_assert_eq!(swapped.path(), u.path());
+        assert_eq!(swapped.host(), u.host(), "case {case}");
+        assert_eq!(swapped.path(), u.path(), "case {case}");
     }
+}
 
-    /// Parsing is total over displayed forms with odd-but-legal inputs:
-    /// extra slashes collapse, dot segments vanish.
-    #[test]
-    fn normalization_stable(host in arb_hostname(), segs in prop::collection::vec("[a-z0-9]{1,6}", 0..4)) {
+/// Parsing is total over displayed forms with odd-but-legal inputs:
+/// extra slashes collapse, dot segments vanish.
+#[test]
+fn normalization_stable() {
+    let mut rng = TestRng(0x5eed_0005);
+    for case in 0..CASES {
+        let host = rand_hostname(&mut rng);
+        let n = rng.index(4);
+        let segs: Vec<String> = (0..n)
+            .map(|_| rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789", 1, 6))
+            .collect();
         let messy = format!("http://{}//{}/.", host, segs.join("//"));
         let u = Url::parse(&messy).unwrap();
         let clean = Url::parse(&u.to_string()).unwrap();
-        prop_assert_eq!(u, clean);
+        assert_eq!(u, clean, "case {case}: {messy}");
     }
 }

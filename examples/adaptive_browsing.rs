@@ -40,7 +40,12 @@ fn main() {
     // --- Client A: the pioneer -----------------------------------------
     let mut alice = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 1);
     alice
-        .register(&mut server, profiles::ISP_B_ASN, SimTime::from_secs(0), 0.05)
+        .register(
+            &mut server,
+            profiles::ISP_B_ASN,
+            SimTime::from_secs(0),
+            0.05,
+        )
         .expect("alice registers");
     let r1 = alice.request(&world, &url, SimTime::from_secs(10));
     println!(
@@ -59,13 +64,22 @@ fn main() {
 
     // --- Client B: the beneficiary --------------------------------------
     let mut bob = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 2);
-    bob.register(&mut server, profiles::ISP_B_ASN, SimTime::from_secs(100), 0.05)
-        .expect("bob registers");
+    bob.register(
+        &mut server,
+        profiles::ISP_B_ASN,
+        SimTime::from_secs(100),
+        0.05,
+    )
+    .expect("bob registers");
     println!(
         "Bob syncs the blocked list for {}: {} entr{} about youtube",
         profiles::ISP_B_ASN,
         bob.global_lookup(&url).map(|s| s.len()).unwrap_or(0),
-        if bob.global_lookup(&url).map(|s| s.len()).unwrap_or(0) == 1 { "y" } else { "ies" },
+        if bob.global_lookup(&url).map(|s| s.len()).unwrap_or(0) == 1 {
+            "y"
+        } else {
+            "ies"
+        },
     );
     let r3 = bob.request(&world, &url, SimTime::from_secs(110));
     println!(

@@ -14,11 +14,7 @@ use csaw_simnet::prelude::*;
 
 fn main() {
     let world = csaw_bench::worlds::multihomed_university_world();
-    let mut client = CsawClient::new(
-        CsawConfig::default(),
-        Some(csaw_bench::worlds::FRONT),
-        9,
-    );
+    let mut client = CsawClient::new(CsawConfig::default(), Some(csaw_bench::worlds::FRONT), 9);
     let url: csaw_webproto::Url = "http://www.youtube.com/".parse().expect("static URL");
 
     println!("== Browsing YouTube from a multihomed campus (ISP-A + ISP-B) ==\n");

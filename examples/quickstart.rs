@@ -21,7 +21,9 @@ fn main() {
                 .category(csaw_censor::Category::Video)
                 .default_page(360_000, 20),
         )
-        .site(SiteSpec::new("news.example", Site::in_region(Region::UsEast)).default_page(95_000, 6))
+        .site(
+            SiteSpec::new("news.example", Site::in_region(Region::UsEast)).default_page(95_000, 6),
+        )
         .censor(profiles::ISP_A_ASN, profiles::isp_a())
         .build();
 
@@ -29,11 +31,11 @@ fn main() {
 
     println!("== C-Saw quickstart: browsing behind ISP-A ==\n");
     let urls = [
-        "http://news.example/",      // unblocked
-        "http://www.youtube.com/",   // HTTP-blocked
-        "http://www.youtube.com/",   // second visit: adapted
-        "http://www.youtube.com/",   // steady state
-        "http://news.example/",      // unblocked again
+        "http://news.example/",    // unblocked
+        "http://www.youtube.com/", // HTTP-blocked
+        "http://www.youtube.com/", // second visit: adapted
+        "http://www.youtube.com/", // steady state
+        "http://news.example/",    // unblocked again
     ];
     for (i, u) in urls.iter().enumerate() {
         let url = u.parse().expect("static URL");
@@ -50,7 +52,10 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
         );
     }
-    println!("\nLocal DB now holds {} record(s):", client.local_db.record_count());
+    println!(
+        "\nLocal DB now holds {} record(s):",
+        client.local_db.record_count()
+    );
     for rec in client.local_db.blocked_records(SimTime::from_secs(60)) {
         println!(
             "  {} blocked via {:?} (measured from {})",

@@ -1,5 +1,5 @@
 //! The real-socket demo: a C-Saw proxy on 127.0.0.1, a censoring
-//! middlebox, and origin servers — all actual tokio TCP, no simulation.
+//! middlebox, and origin servers — all actual TCP, no simulation.
 //!
 //! A raw "browser" sends requests through the proxy. The first visit to
 //! the blocked site races redundant requests over the censored and clean
@@ -10,33 +10,39 @@
 //! cargo run --example real_proxy
 //! ```
 
-use bytes::BytesMut;
 use csaw_proxy::codec::{read_response, write_request};
-use csaw_proxy::testbed::{spawn_middlebox, spawn_origin, MbAction, MbPolicy, OriginConfig, TestResolver};
+use csaw_proxy::testbed::{
+    spawn_middlebox, spawn_origin, MbAction, MbPolicy, OriginConfig, TestResolver,
+};
 use csaw_proxy::{spawn_proxy, ProxyConfig};
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::Request;
 use csaw_webproto::url::Url;
+use std::net::TcpStream;
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
     // Origins: one censored site, one clean site.
-    let blocked_origin = spawn_origin(OriginConfig::new("video-site.test", 60_000)).await?;
-    let clean_origin = spawn_origin(OriginConfig::new("news-site.test", 40_000)).await?;
+    let blocked_origin = spawn_origin(OriginConfig::new("video-site.test", 60_000))?;
+    let clean_origin = spawn_origin(OriginConfig::new("news-site.test", 40_000))?;
 
     // The censoring middlebox: block-pages the video site, passes news.
     let mut policy = MbPolicy {
-        block_page_html:
-            "<html><head><title>Blocked</title></head><body><h1>Access Denied</h1>\
+        block_page_html: "<html><head><title>Blocked</title></head><body><h1>Access Denied</h1>\
              <p>This website is restricted by order of the regulator.</p></body></html>"
-                .into(),
+            .into(),
         ..Default::default()
     };
-    policy.routes.insert("video-site.test".into(), blocked_origin.addr);
-    policy.routes.insert("news-site.test".into(), clean_origin.addr);
-    policy.actions.insert("video-site.test".into(), MbAction::BlockPage);
-    let middlebox = spawn_middlebox(policy).await?;
+    policy
+        .routes
+        .insert("video-site.test".into(), blocked_origin.addr);
+    policy
+        .routes
+        .insert("news-site.test".into(), clean_origin.addr);
+    policy
+        .actions
+        .insert("video-site.test".into(), MbAction::BlockPage);
+    let middlebox = spawn_middlebox(policy)?;
 
     // The resolver: direct path via the middlebox, clean path straight
     // to the origin (standing in for a circumvention tunnel's exit).
@@ -45,21 +51,16 @@ async fn main() -> std::io::Result<()> {
     resolver.insert("news-site.test", middlebox.addr, clean_origin.addr);
 
     // The C-Saw proxy.
-    let proxy = spawn_proxy(Arc::clone(&resolver), ProxyConfig::default()).await?;
+    let proxy = spawn_proxy(Arc::clone(&resolver), ProxyConfig::default())?;
     println!("C-Saw proxy listening on {}\n", proxy.addr);
 
     // A raw browser.
-    let fetch = |host: &str| {
-        let addr = proxy.addr;
-        let host = host.to_string();
-        async move {
-            let mut s = TcpStream::connect(addr).await?;
-            let url = Url::parse(&format!("http://{host}/")).expect("static URL");
-            write_request(&mut s, &Request::get(&url)).await?;
-            let mut buf = BytesMut::new();
-            let resp = read_response(&mut s, &mut buf).await?;
-            Ok::<_, std::io::Error>(resp)
-        }
+    let fetch = |host: &str| -> std::io::Result<_> {
+        let mut s = TcpStream::connect(proxy.addr)?;
+        let url = Url::parse(&format!("http://{host}/")).expect("static URL");
+        write_request(&mut s, &Request::get(&url))?;
+        let mut buf = BytesMut::new();
+        read_response(&mut s, &mut buf)
     };
 
     for (label, host) in [
@@ -67,7 +68,7 @@ async fn main() -> std::io::Result<()> {
         ("censored site, visit 1", "video-site.test"),
         ("censored site, visit 2", "video-site.test"),
     ] {
-        let resp = fetch(host).await?;
+        let resp = fetch(host)?;
         let body = String::from_utf8_lossy(&resp.body);
         let verdict = if body.contains("Access Denied") {
             "BLOCK PAGE (!)"

@@ -18,16 +18,45 @@ use csaw_simnet::prelude::*;
 
 const SCENARIOS: &[(&str, &str)] = &[
     ("clean", "no censorship (control)"),
-    ("isp-a", "Table 1 ISP-A: HTTP blocking with block-page redirects"),
-    ("isp-b", "Table 1 ISP-B: DNS hijack + HTTP/HTTPS drop for YouTube"),
-    ("multihomed", "the §2.3 University: ISP-A and ISP-B together"),
+    (
+        "isp-a",
+        "Table 1 ISP-A: HTTP blocking with block-page redirects",
+    ),
+    (
+        "isp-b",
+        "Table 1 ISP-B: DNS hijack + HTTP/HTTPS drop for YouTube",
+    ),
+    (
+        "multihomed",
+        "the §2.3 University: ISP-A and ISP-B together",
+    ),
     ("keyword", "keyword filter (defeated by IP-as-hostname)"),
 ];
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table5", "table6", "table7", "fig1a", "fig1b", "fig1c", "fig2",
-    "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "wild",
-    "datausage", "fingerprint", "ablation-explore", "nonweb", "propagation",
+    "table1",
+    "table2",
+    "table5",
+    "table6",
+    "table7",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "wild",
+    "datausage",
+    "fingerprint",
+    "ablation-explore",
+    "nonweb",
+    "propagation",
 ];
 
 fn main() {

@@ -41,8 +41,13 @@ fn crowdsourcing_with_spam_resistance() {
     // Three honest pioneers measure and report.
     for seed in 0..3 {
         let mut c = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), seed);
-        c.register(&mut server, profiles::ISP_A_ASN, SimTime::from_secs(seed), 0.05)
-            .unwrap();
+        c.register(
+            &mut server,
+            profiles::ISP_A_ASN,
+            SimTime::from_secs(seed),
+            0.05,
+        )
+        .unwrap();
         c.request(&world, &yt, SimTime::from_secs(10 + seed));
         assert!(c.post_reports(&mut server, SimTime::from_secs(20 + seed)) >= 1);
     }
@@ -57,18 +62,27 @@ fn crowdsourcing_with_spam_resistance() {
             stages: vec![csaw_censor::BlockingType::HttpDrop],
         })
         .collect();
-    server.post_update(spammer, &fakes, SimTime::from_secs(51)).unwrap();
+    server
+        .post_update(spammer, &fakes, SimTime::from_secs(51))
+        .unwrap();
 
     // A newcomer with a strict confidence filter sees only the real entry.
     let strict = ConfidenceFilter::strict(2, 0.2);
     let mut newbie = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 99)
         .with_confidence(strict);
     newbie
-        .register(&mut server, profiles::ISP_A_ASN, SimTime::from_secs(60), 0.05)
+        .register(
+            &mut server,
+            profiles::ISP_A_ASN,
+            SimTime::from_secs(60),
+            0.05,
+        )
         .unwrap();
     assert!(newbie.global_lookup(&yt).is_some(), "real entry visible");
     assert!(
-        newbie.global_lookup(&url("http://innocent-7.example/")).is_none(),
+        newbie
+            .global_lookup(&url("http://innocent-7.example/"))
+            .is_none(),
         "spam filtered by vote confidence"
     );
     // And the first visit skips the measurement round entirely.
@@ -127,7 +141,11 @@ fn churn_unblocked_to_blocked_inline() {
         ),
     );
     let r = c.request(&world, &yt, SimTime::from_secs(50));
-    assert_eq!(r.status_after, Status::Blocked, "caught on the very next visit");
+    assert_eq!(
+        r.status_after,
+        Status::Blocked,
+        "caught on the very next visit"
+    );
     assert!(r.plt.is_some(), "user still served");
 }
 
@@ -206,7 +224,12 @@ fn cdn_blocking_surfaces_in_resource_failures() {
     // The page itself loads...
     assert!(report.outcome.is_genuine_page());
     // ...but the CDN resources failed with a DNS signature.
-    assert_eq!(report.resource_failures.len(), 4, "{:?}", report.resource_failures);
+    assert_eq!(
+        report.resource_failures.len(),
+        4,
+        "{:?}",
+        report.resource_failures
+    );
     for (u, kind) in &report.resource_failures {
         assert_eq!(u.host().to_string(), "cdn.blocked.example");
         assert_eq!(*kind, csaw_circumvent::FailureKind::DnsNxdomain);
@@ -289,20 +312,32 @@ fn mobility_between_ases() {
     scout_home
         .register(&mut server, home_asn, SimTime::from_secs(1), 0.0)
         .unwrap();
-    scout_home.request(&home, &url("http://www.youtube.com/"), SimTime::from_secs(5));
+    scout_home.request(
+        &home,
+        &url("http://www.youtube.com/"),
+        SimTime::from_secs(5),
+    );
     scout_home.post_reports(&mut server, SimTime::from_secs(6));
     let mut scout_travel = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 22);
     scout_travel
         .register(&mut server, travel_asn, SimTime::from_secs(2), 0.0)
         .unwrap();
-    scout_travel.request(&travel, &url("http://www.youtube.com/"), SimTime::from_secs(7));
+    scout_travel.request(
+        &travel,
+        &url("http://www.youtube.com/"),
+        SimTime::from_secs(7),
+    );
     scout_travel.post_reports(&mut server, SimTime::from_secs(8));
 
     // The mobile user starts at home...
     let mut user = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 23);
     user.register(&mut server, home_asn, SimTime::from_secs(100), 0.0)
         .unwrap();
-    let r = user.request(&home, &url("http://www.youtube.com/"), SimTime::from_secs(110));
+    let r = user.request(
+        &home,
+        &url("http://www.youtube.com/"),
+        SimTime::from_secs(110),
+    );
     assert_eq!(r.transport, "https", "home fix for HTTP blocking");
     assert_eq!(user.stats.measurements, 0);
 
@@ -315,7 +350,11 @@ fn mobility_between_ases() {
     // state read by expiring home records.
     user.local_db.ttl = SimDuration::from_secs(1);
     user.local_db.purge_expired(SimTime::from_secs(2_000));
-    let r = user.request(&travel, &url("http://www.youtube.com/"), SimTime::from_secs(2_010));
+    let r = user.request(
+        &travel,
+        &url("http://www.youtube.com/"),
+        SimTime::from_secs(2_010),
+    );
     assert!(
         r.plt.is_some(),
         "served in the travel AS without a fresh measurement round"
@@ -339,7 +378,9 @@ fn reputation_audit_cleans_the_global_db() {
                 stages: vec![csaw_censor::BlockingType::DnsNxdomain],
             })
             .collect();
-        server.post_update(c, &reports, SimTime::from_secs(i + 10)).unwrap();
+        server
+            .post_update(c, &reports, SimTime::from_secs(i + 10))
+            .unwrap();
     }
     // The spammer floods 400 fakes.
     let spammer = server.register(SimTime::from_secs(30), 0.3).unwrap();
@@ -351,7 +392,9 @@ fn reputation_audit_cleans_the_global_db() {
             stages: vec![csaw_censor::BlockingType::HttpDrop],
         })
         .collect();
-    server.post_update(spammer, &fakes, SimTime::from_secs(31)).unwrap();
+    server
+        .post_update(spammer, &fakes, SimTime::from_secs(31))
+        .unwrap();
     assert_eq!(server.stats().unique_blocked_urls, 405);
 
     let flags = server.audit_and_revoke(&csaw::global::ReputationConfig::default());
@@ -362,7 +405,9 @@ fn reputation_audit_cleans_the_global_db() {
     assert_eq!(visible.len(), 5, "{:?}", visible.len());
     assert!(visible.iter().all(|r| r.url.starts_with("http://blocked-")));
     // And the spammer can't come back under the same UUID.
-    assert!(server.post_update(spammer, &[], SimTime::from_secs(40)).is_err());
+    assert!(server
+        .post_update(spammer, &[], SimTime::from_secs(40))
+        .is_err());
 }
 
 /// Collector failover end to end: a client behind a censor that blocked
@@ -383,7 +428,13 @@ fn collector_failover_delivers_reports() {
         stages: vec![csaw_censor::BlockingType::SniDrop],
     }];
     let receipt = set
-        .submit(&mut server, client, &reports, SimTime::from_secs(10), &mut rng)
+        .submit(
+            &mut server,
+            client,
+            &reports,
+            SimTime::from_secs(10),
+            &mut rng,
+        )
         .expect("one collector still reachable");
     assert_eq!(receipt.via, "collector-b.onion");
     assert_eq!(server.stats().unique_blocked_urls, 1);
@@ -391,7 +442,13 @@ fn collector_failover_delivers_reports() {
     // client keeps the batch queued for later).
     set.set_reachable("collector-b.onion", false);
     let err = set
-        .submit(&mut server, client, &reports, SimTime::from_secs(20), &mut rng)
+        .submit(
+            &mut server,
+            client,
+            &reports,
+            SimTime::from_secs(20),
+            &mut rng,
+        )
         .unwrap_err();
     assert_eq!(err, SubmitError::AllCollectorsBlocked);
 }
@@ -416,7 +473,10 @@ fn event_driven_session_via_scheduler() {
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for i in 0..20u64 {
-        sched.schedule(SimTime::from_secs(30 + i * 45), Ev::Browse("http://www.youtube.com/"));
+        sched.schedule(
+            SimTime::from_secs(30 + i * 45),
+            Ev::Browse("http://www.youtube.com/"),
+        );
     }
     sched.schedule(SimTime::from_secs(400), Ev::Tick);
     sched.schedule(SimTime::from_secs(800), Ev::Tick);
@@ -449,10 +509,18 @@ fn client_posts_reports_via_collectors() {
     client
         .register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
         .unwrap();
-    client.request(&world, &url("http://www.youtube.com/"), SimTime::from_secs(5));
+    client.request(
+        &world,
+        &url("http://www.youtube.com/"),
+        SimTime::from_secs(5),
+    );
 
     let mut set = CollectorSet::default_set();
-    for id in ["collector-a.onion", "collector-b.onion", "collector-c.onion"] {
+    for id in [
+        "collector-a.onion",
+        "collector-b.onion",
+        "collector-c.onion",
+    ] {
         set.set_reachable(id, false);
     }
     // Total blockage: the batch stays queued.
@@ -550,27 +618,34 @@ fn failed_fixes_teach_missing_stages() {
     );
 }
 
-/// Client restart: the local DB persists through serde (the paper's
-/// client survives restarts with its measurements intact) and the
-/// revived DB serves lookups identically.
+/// Client restart: the local DB persists through its JSON snapshot
+/// format (the paper's client survives restarts with its measurements
+/// intact) and the revived DB serves lookups identically.
 #[test]
 fn local_db_survives_restart_via_serde() {
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
     let mut c = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 51);
     let yt = url("http://www.youtube.com/");
     c.request(&world, &yt, SimTime::from_secs(10));
-    assert_eq!(c.local_db.lookup(&yt, SimTime::from_secs(20)).status, Status::Blocked);
+    assert_eq!(
+        c.local_db.lookup(&yt, SimTime::from_secs(20)).status,
+        Status::Blocked
+    );
 
     // "Shut down": serialize the DB; "restart": deserialize into a
     // fresh one.
-    let saved = serde_json::to_string(&c.local_db).expect("local_db serializes");
-    let revived: LocalDb = serde_json::from_str(&saved).expect("local_db deserializes");
+    let saved = c.local_db.to_json_string();
+    let revived: LocalDb = LocalDb::from_json_str(&saved).expect("local_db deserializes");
     assert_eq!(revived.record_count(), c.local_db.record_count());
     let l = revived.lookup(&yt, SimTime::from_secs(20));
     assert_eq!(l.status, Status::Blocked);
     assert_eq!(
         l.record.unwrap().stages,
-        c.local_db.lookup(&yt, SimTime::from_secs(20)).record.unwrap().stages
+        c.local_db
+            .lookup(&yt, SimTime::from_secs(20))
+            .record
+            .unwrap()
+            .stages
     );
     // Expiry semantics survive the round trip too.
     let after_ttl = SimTime::from_secs(20) + revived.ttl + SimDuration::from_secs(1);
@@ -594,7 +669,7 @@ fn scheduler_stress_100k_events() {
         last = t;
         count += 1;
         // Handlers occasionally schedule follow-ups (bounded).
-        if spawned < 5_000 && count % 40 == 0 {
+        if spawned < 5_000 && count.is_multiple_of(40) {
             spawned += 1;
             s.schedule(t + SimDuration::from_micros(17), 1_000_000 + spawned);
         }

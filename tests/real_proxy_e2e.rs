@@ -1,17 +1,17 @@
 //! End-to-end tests of the real-socket proxy over 127.0.0.1: browser →
 //! C-Saw proxy → censoring middlebox → origin, all actual TCP.
 
-use bytes::BytesMut;
 use csaw_proxy::codec::{read_response, write_request};
 use csaw_proxy::testbed::{
     spawn_middlebox, spawn_origin, MbAction, MbPolicy, OriginConfig, TestResolver,
 };
 use csaw_proxy::{spawn_proxy, CsawProxy, HostStatus, ProxyConfig, ProxySignature};
+use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::{Request, Response};
 use csaw_webproto::url::Url;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
-use tokio::net::TcpStream;
 
 struct Testbed {
     proxy: CsawProxy,
@@ -19,23 +19,22 @@ struct Testbed {
     _origins: Vec<csaw_proxy::Origin>,
 }
 
-async fn testbed() -> Testbed {
-    let blocked = spawn_origin(
-        OriginConfig::new("blocked.test", 50_000).page("/small", "<html><body>tiny real page with plenty of words in it</body></html>"),
-    )
-    .await
+fn testbed() -> Testbed {
+    let blocked = spawn_origin(OriginConfig::new("blocked.test", 50_000).page(
+        "/small",
+        "<html><body>tiny real page with plenty of words in it</body></html>",
+    ))
     .unwrap();
-    let clean = spawn_origin(OriginConfig::new("clean.test", 30_000)).await.unwrap();
+    let clean = spawn_origin(OriginConfig::new("clean.test", 30_000)).unwrap();
     let mut policy = MbPolicy {
-        block_page_html:
-            "<html><head><title>Blocked</title></head><body><h1>Access Denied</h1>\
+        block_page_html: "<html><head><title>Blocked</title></head><body><h1>Access Denied</h1>\
              <p>restricted by court order</p></body></html>"
-                .into(),
+            .into(),
         ..Default::default()
     };
     policy.routes.insert("blocked.test".into(), blocked.addr);
     policy.routes.insert("clean.test".into(), clean.addr);
-    let middlebox = spawn_middlebox(policy).await.unwrap();
+    let middlebox = spawn_middlebox(policy).unwrap();
     let resolver = Arc::new(TestResolver::new());
     resolver.insert("blocked.test", middlebox.addr, blocked.addr);
     resolver.insert("clean.test", middlebox.addr, clean.addr);
@@ -46,7 +45,6 @@ async fn testbed() -> Testbed {
             ..ProxyConfig::default()
         },
     )
-    .await
     .unwrap();
     Testbed {
         proxy,
@@ -55,29 +53,29 @@ async fn testbed() -> Testbed {
     }
 }
 
-async fn browse(proxy: &CsawProxy, host: &str) -> Response {
-    let mut s = TcpStream::connect(proxy.addr).await.unwrap();
+fn browse(proxy: &CsawProxy, host: &str) -> Response {
+    let mut s = TcpStream::connect(proxy.addr).unwrap();
     let url = Url::parse(&format!("http://{host}/")).unwrap();
-    write_request(&mut s, &Request::get(&url)).await.unwrap();
+    write_request(&mut s, &Request::get(&url)).unwrap();
     let mut buf = BytesMut::new();
-    read_response(&mut s, &mut buf).await.unwrap()
+    read_response(&mut s, &mut buf).unwrap()
 }
 
-#[tokio::test]
-async fn clean_host_served_direct() {
-    let tb = testbed().await;
-    let r = browse(&tb.proxy, "clean.test").await;
+#[test]
+fn clean_host_served_direct() {
+    let tb = testbed();
+    let r = browse(&tb.proxy, "clean.test");
     assert_eq!(r.status, 200);
     assert!(r.body.len() > 25_000);
     assert_eq!(tb.proxy.host_status("clean.test"), HostStatus::NotBlocked);
     assert!(tb.proxy.measurements().is_empty());
 }
 
-#[tokio::test]
-async fn block_page_detected_and_circumvented() {
-    let tb = testbed().await;
+#[test]
+fn block_page_detected_and_circumvented() {
+    let tb = testbed();
     tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
-    let r = browse(&tb.proxy, "blocked.test").await;
+    let r = browse(&tb.proxy, "blocked.test");
     let body = String::from_utf8_lossy(&r.body);
     assert!(
         !body.contains("Access Denied"),
@@ -90,11 +88,12 @@ async fn block_page_detected_and_circumvented() {
     }
 }
 
-#[tokio::test]
-async fn dropped_get_detected_and_circumvented() {
-    let tb = testbed().await;
-    tb.middlebox.set_action("blocked.test", MbAction::DropRequest);
-    let r = browse(&tb.proxy, "blocked.test").await;
+#[test]
+fn dropped_get_detected_and_circumvented() {
+    let tb = testbed();
+    tb.middlebox
+        .set_action("blocked.test", MbAction::DropRequest);
+    let r = browse(&tb.proxy, "blocked.test");
     assert_eq!(r.status, 200);
     assert!(r.body.len() > 25_000);
     match tb.proxy.host_status("blocked.test") {
@@ -103,11 +102,11 @@ async fn dropped_get_detected_and_circumvented() {
     }
 }
 
-#[tokio::test]
-async fn reset_detected_and_circumvented() {
-    let tb = testbed().await;
+#[test]
+fn reset_detected_and_circumvented() {
+    let tb = testbed();
     tb.middlebox.set_action("blocked.test", MbAction::Reset);
-    let r = browse(&tb.proxy, "blocked.test").await;
+    let r = browse(&tb.proxy, "blocked.test");
     assert_eq!(r.status, 200);
     match tb.proxy.host_status("blocked.test") {
         HostStatus::Blocked(sig) => assert_eq!(sig, ProxySignature::ConnectionReset),
@@ -115,32 +114,35 @@ async fn reset_detected_and_circumvented() {
     }
 }
 
-#[tokio::test]
-async fn mid_run_blocking_event_caught_by_inline_measurement() {
-    let tb = testbed().await;
+#[test]
+fn mid_run_blocking_event_caught_by_inline_measurement() {
+    let tb = testbed();
     // Phase 1: clean. Establishes NotBlocked status.
-    let r = browse(&tb.proxy, "blocked.test").await;
+    let r = browse(&tb.proxy, "blocked.test");
     assert!(r.body.len() > 25_000);
     assert_eq!(tb.proxy.host_status("blocked.test"), HostStatus::NotBlocked);
     // Phase 2: the censor switches on (the §7.5 event).
     tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
-    let r = browse(&tb.proxy, "blocked.test").await;
+    let r = browse(&tb.proxy, "blocked.test");
     let body = String::from_utf8_lossy(&r.body);
-    assert!(!body.contains("Access Denied"), "served genuine content after refresh");
+    assert!(
+        !body.contains("Access Denied"),
+        "served genuine content after refresh"
+    );
     assert!(matches!(
         tb.proxy.host_status("blocked.test"),
         HostStatus::Blocked(ProxySignature::BlockPage)
     ));
     // Phase 3: subsequent requests go straight to circumvention.
-    let r = browse(&tb.proxy, "blocked.test").await;
+    let r = browse(&tb.proxy, "blocked.test");
     assert!(r.body.len() > 25_000);
 }
 
-#[tokio::test]
-async fn measurement_log_exports_reports() {
-    let tb = testbed().await;
+#[test]
+fn measurement_log_exports_reports() {
+    let tb = testbed();
     tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
-    browse(&tb.proxy, "blocked.test").await;
+    browse(&tb.proxy, "blocked.test");
     let reports = tb.proxy.to_reports(17557);
     assert_eq!(reports.len(), 1);
     assert_eq!(reports[0].url, "http://blocked.test/");
@@ -158,24 +160,25 @@ async fn measurement_log_exports_reports() {
     assert_eq!(server.stats().unique_blocked_urls, 1);
 }
 
-#[tokio::test]
-async fn concurrent_browsers_share_measurements() {
-    let tb = testbed().await;
-    tb.middlebox.set_action("blocked.test", MbAction::DropRequest);
+#[test]
+fn concurrent_browsers_share_measurements() {
+    let tb = testbed();
+    tb.middlebox
+        .set_action("blocked.test", MbAction::DropRequest);
     // Ten concurrent browsers hit the blocked host at once.
     let mut handles = Vec::new();
     for _ in 0..10 {
         let addr = tb.proxy.addr;
-        handles.push(tokio::spawn(async move {
-            let mut s = TcpStream::connect(addr).await.unwrap();
+        handles.push(std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
             let url = Url::parse("http://blocked.test/").unwrap();
-            write_request(&mut s, &Request::get(&url)).await.unwrap();
+            write_request(&mut s, &Request::get(&url)).unwrap();
             let mut buf = BytesMut::new();
-            read_response(&mut s, &mut buf).await.unwrap()
+            read_response(&mut s, &mut buf).unwrap()
         }));
     }
     for h in handles {
-        let r = h.await.unwrap();
+        let r = h.join().unwrap();
         assert_eq!(r.status, 200);
         assert!(r.body.len() > 25_000);
     }
@@ -186,52 +189,51 @@ async fn concurrent_browsers_share_measurements() {
     ));
 }
 
-#[tokio::test]
-async fn absolute_form_targets_are_rewritten() {
+#[test]
+fn absolute_form_targets_are_rewritten() {
     // Browsers talking to a forward proxy send absolute-form targets
     // ("GET http://host/path HTTP/1.1"); upstreams expect origin-form.
-    let tb = testbed().await;
-    let mut s = TcpStream::connect(tb.proxy.addr).await.unwrap();
+    let tb = testbed();
+    let mut s = TcpStream::connect(tb.proxy.addr).unwrap();
     let mut req = Request::get(&Url::parse("http://clean.test/some/page").unwrap());
     req.target = "http://clean.test/some/page".to_string();
-    csaw_proxy::codec::write_request(&mut s, &req).await.unwrap();
+    csaw_proxy::codec::write_request(&mut s, &req).unwrap();
     let mut buf = BytesMut::new();
-    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).await.unwrap();
+    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).unwrap();
     assert_eq!(resp.status, 200);
     assert!(resp.body.len() > 25_000, "origin served the page");
 }
 
-#[tokio::test]
-async fn garbage_input_does_not_wedge_the_proxy() {
-    use tokio::io::AsyncWriteExt;
-    let tb = testbed().await;
+#[test]
+fn garbage_input_does_not_wedge_the_proxy() {
+    use std::io::Write;
+    let tb = testbed();
     // A client that speaks nonsense gets dropped...
-    let mut bad = TcpStream::connect(tb.proxy.addr).await.unwrap();
+    let mut bad = TcpStream::connect(tb.proxy.addr).unwrap();
     bad.write_all(b"\x16\x03\x01\x02\x00garbage not http at all\r\n\r\n")
-        .await
         .unwrap();
-    bad.flush().await.unwrap();
+    bad.flush().unwrap();
     drop(bad);
     // ...and the proxy keeps serving everyone else.
-    let r = browse(&tb.proxy, "clean.test").await;
+    let r = browse(&tb.proxy, "clean.test");
     assert_eq!(r.status, 200);
 }
 
-#[tokio::test]
-async fn missing_host_header_is_a_client_error() {
-    let tb = testbed().await;
-    let mut s = TcpStream::connect(tb.proxy.addr).await.unwrap();
+#[test]
+fn missing_host_header_is_a_client_error() {
+    let tb = testbed();
+    let mut s = TcpStream::connect(tb.proxy.addr).unwrap();
     let mut req = Request::get(&Url::parse("http://clean.test/").unwrap());
     req.headers.remove("Host");
-    csaw_proxy::codec::write_request(&mut s, &req).await.unwrap();
+    csaw_proxy::codec::write_request(&mut s, &req).unwrap();
     let mut buf = BytesMut::new();
-    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).await.unwrap();
+    let resp = csaw_proxy::codec::read_response(&mut s, &mut buf).unwrap();
     assert_eq!(resp.status, 400);
 }
 
-#[tokio::test]
-async fn unresolvable_host_is_bad_gateway() {
-    let tb = testbed().await;
-    let r = browse(&tb.proxy, "not-in-resolver.test").await;
+#[test]
+fn unresolvable_host_is_bad_gateway() {
+    let tb = testbed();
+    let r = browse(&tb.proxy, "not-in-resolver.test");
     assert_eq!(r.status, 502);
 }
