@@ -112,7 +112,7 @@ fn bench_phase1(filter: Option<&str>) {
 }
 
 fn bench_vote_tally(filter: Option<&str>) {
-    let mut ledger = VoteLedger::new();
+    let ledger = VoteLedger::new();
     for client in 0..200u64 {
         let urls: Vec<(String, Asn)> = (0..20)
             .map(|i| {

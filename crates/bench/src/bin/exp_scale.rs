@@ -1,0 +1,55 @@
+//! Million-client ingestion harness for the sharded global store.
+//!
+//! ```text
+//! exp_scale [--clients N] [--threads 1,2,4,8] [--shards N] [--lookups N]
+//! ```
+//!
+//! Defaults to one million clients; CI smoke runs use `--clients 10000`.
+
+use csaw_bench::experiments::scale::{self, ScaleConfig};
+
+fn numeric<T: std::str::FromStr>(
+    extras: &std::collections::HashMap<String, String>,
+    flag: &str,
+    default: T,
+) -> T {
+    match extras.get(flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("exp_scale: bad value for {flag}: {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[
+        "--clients",
+        "--threads",
+        "--shards",
+        "--lookups",
+    ]);
+    let mut cfg = ScaleConfig {
+        clients: numeric(&extras, "--clients", 1_000_000),
+        shards: numeric(&extras, "--shards", 16),
+        lookups: numeric(&extras, "--lookups", 10_000),
+        ..ScaleConfig::default()
+    };
+    if let Some(list) = extras.get("--threads") {
+        cfg.threads = list
+            .split(',')
+            .map(|t| {
+                t.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("exp_scale: bad --threads entry {t:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if cfg.threads.is_empty() {
+            eprintln!("exp_scale: --threads needs at least one count");
+            std::process::exit(2);
+        }
+    }
+    println!("{}", scale::run_with(cli.seed, cfg).render());
+    cli.finish();
+}

@@ -19,6 +19,7 @@
 use csaw_obs::clock::ManualClock;
 use csaw_obs::scope::{self, ObsCtx, ScopeGuard};
 use csaw_obs::sink::{JsonlSink, NullSink, Sink, StderrSink};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -32,15 +33,19 @@ pub struct ExpCli {
     _guard: ScopeGuard,
 }
 
-fn usage(bin: &str) -> String {
-    format!(
+fn usage(bin: &str, extra_flags: &[&str]) -> String {
+    let mut u = format!(
         "usage: {bin} [--seed N] [--metrics-out PATH] [--trace-out PATH] [-v]\n\
          \n\
          --seed N            experiment seed (default 1)\n\
          --metrics-out PATH  write a JSON metrics snapshot on exit\n\
          --trace-out PATH    stream structured events as JSONL to PATH\n\
          -v, --verbose       progress messages on stderr"
-    )
+    );
+    for f in extra_flags {
+        u.push_str(&format!("\n{f} VALUE"));
+    }
+    u
 }
 
 impl ExpCli {
@@ -51,8 +56,25 @@ impl ExpCli {
         Self::from_args(&args)
     }
 
+    /// Like [`ExpCli::parse`], but also accepts the experiment-specific
+    /// value flags listed in `extra_flags` (e.g. `&["--clients"]`). The
+    /// collected values come back keyed by flag name; a flag given
+    /// twice keeps the last value.
+    pub fn parse_with_extras(extra_flags: &[&str]) -> (ExpCli, HashMap<String, String>) {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args_with_extras(&args, extra_flags)
+    }
+
     /// Testable parser over an explicit argv (`args[0]` is the binary).
     pub fn from_args(args: &[String]) -> ExpCli {
+        Self::from_args_with_extras(args, &[]).0
+    }
+
+    /// Testable variant of [`ExpCli::parse_with_extras`].
+    pub fn from_args_with_extras(
+        args: &[String],
+        extra_flags: &[&str],
+    ) -> (ExpCli, HashMap<String, String>) {
         let bin = args
             .first()
             .map(|s| s.rsplit('/').next().unwrap_or(s).to_string())
@@ -61,11 +83,12 @@ impl ExpCli {
         let mut metrics_out = None;
         let mut trace_out: Option<PathBuf> = None;
         let mut verbosity = 0u8;
+        let mut extras = HashMap::new();
         let mut it = args.iter().skip(1);
         while let Some(a) = it.next() {
             let mut value = |flag: &str| {
                 it.next().map(String::to_string).unwrap_or_else(|| {
-                    eprintln!("{bin}: {flag} needs a value\n{}", usage(&bin));
+                    eprintln!("{bin}: {flag} needs a value\n{}", usage(&bin, extra_flags));
                     std::process::exit(2);
                 })
             };
@@ -73,7 +96,7 @@ impl ExpCli {
                 "--seed" => {
                     let v = value("--seed");
                     seed = v.parse().unwrap_or_else(|_| {
-                        eprintln!("{bin}: bad --seed {v:?}\n{}", usage(&bin));
+                        eprintln!("{bin}: bad --seed {v:?}\n{}", usage(&bin, extra_flags));
                         std::process::exit(2);
                     });
                 }
@@ -81,11 +104,18 @@ impl ExpCli {
                 "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
                 "-v" | "--verbose" => verbosity += 1,
                 "-h" | "--help" => {
-                    println!("{}", usage(&bin));
+                    println!("{}", usage(&bin, extra_flags));
                     std::process::exit(0);
                 }
+                other if extra_flags.contains(&other) => {
+                    let v = value(other);
+                    extras.insert(other.to_string(), v);
+                }
                 other => {
-                    eprintln!("{bin}: unknown flag {other:?}\n{}", usage(&bin));
+                    eprintln!(
+                        "{bin}: unknown flag {other:?}\n{}",
+                        usage(&bin, extra_flags)
+                    );
                     std::process::exit(2);
                 }
             }
@@ -108,12 +138,13 @@ impl ExpCli {
         // worker threads the experiment spawns.
         scope::set_global(ctx.clone());
         let guard = scope::install(ctx.clone());
-        ExpCli {
+        let cli = ExpCli {
             seed,
             metrics_out,
             ctx,
             _guard: guard,
-        }
+        };
+        (cli, extras)
     }
 
     /// The installed observability context.
@@ -169,6 +200,17 @@ mod tests {
             cli.metrics_out.as_deref(),
             Some(std::path::Path::new("/tmp/m.json"))
         );
+    }
+
+    #[test]
+    fn extras_collected_alongside_common_flags() {
+        let (cli, extras) = ExpCli::from_args_with_extras(
+            &argv(&["--clients", "500", "--seed", "3", "--threads", "1,2"]),
+            &["--clients", "--threads"],
+        );
+        assert_eq!(cli.seed, 3);
+        assert_eq!(extras.get("--clients").map(String::as_str), Some("500"));
+        assert_eq!(extras.get("--threads").map(String::as_str), Some("1,2"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`ablation_explore`] | what does n-th-access exploration buy? |
 //! | [`nonweb`] | non-web (UDP/messaging) filtering detection |
 //! | [`propagation`] | how fast one discovery benefits the crowd |
+//! | [`scale`] | sharded-store ingest throughput at a million clients |
 
 pub mod ablation_explore;
 pub mod datausage;
@@ -34,6 +35,7 @@ pub mod fig7;
 pub mod fingerprint;
 pub mod nonweb;
 pub mod propagation;
+pub mod scale;
 pub mod table1;
 pub mod table2;
 pub mod table5;

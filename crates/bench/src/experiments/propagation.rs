@@ -47,7 +47,9 @@ pub struct Propagation {
 pub fn run(seed: u64) -> Propagation {
     let world = single_isp_world(csaw_censor::ISP_B_ASN, "ISP-B", csaw_censor::isp_b());
     let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let mut server = ServerDb::new(seed);
+    let server = ServerDb::builder(seed)
+        .build()
+        .expect("default store config is valid");
     let arrivals: [u64; 5] = [0, 120, 600, 1_800, 3_600];
     let cohort_size = 12usize;
     let tick_every = 300u64;
@@ -79,7 +81,7 @@ pub fn run(seed: u64) -> Propagation {
         for (arrive_at, client, visited, plt, measured) in clients.iter_mut() {
             if !*visited && t >= *arrive_at {
                 client
-                    .register(&mut server, csaw_censor::ISP_B_ASN, now, 0.05)
+                    .register(&server, csaw_censor::ISP_B_ASN, now, 0.05)
                     .expect("registration passes");
                 let r = client.request(&world, &url, now);
                 *visited = true;
@@ -91,7 +93,7 @@ pub fn run(seed: u64) -> Propagation {
         // Background workflow for everyone already arrived.
         for (arrive_at, client, ..) in clients.iter_mut() {
             if t >= *arrive_at && t.is_multiple_of(tick_every) {
-                client.tick(&world, &mut server, now);
+                client.tick(&world, &server, now);
             }
         }
         t += 60;

@@ -1,0 +1,352 @@
+//! `exp_scale` — the million-client ingestion harness for the sharded
+//! global store.
+//!
+//! The paper's server must absorb crowdsourced updates from an open
+//! population (§5); this extension measures how the lock-striped
+//! [`ShardedStore`](csaw::global::StorageBackend) behaves when that
+//! population is driven hard: `--clients` synthetic clients (default
+//! one million) each post one report batch, from 1..=8 concurrent
+//! writer threads, against a fresh store per thread count.
+//!
+//! What is measured, per thread count:
+//!
+//! - sustained ingest throughput (reports/s, wall clock) while all
+//!   threads hammer `ServerDb::ingest` concurrently;
+//! - post-ingest `blocked_for_as` lookup latency (p50/p99 over
+//!   `--lookups` calls), exercising the per-shard snapshot cache;
+//! - parallel efficiency relative to the single-thread run.
+//!
+//! The workload is a *pure function of (seed, client index)*: every
+//! client's batch is derived from its own forked RNG, so the final
+//! store state is identical no matter how clients are partitioned
+//! across threads — the concurrency tests in `crates/store` assert
+//! exactly this, and [`run`] re-checks it via `record_count` across
+//! thread counts. Every 16th client salts one garbage-URL report into
+//! its batch to keep the sanitization/reject path on the hot loop.
+//!
+//! Throughput numbers are wall-clock and therefore machine-dependent;
+//! EXPERIMENTS.md records the reference environment alongside the
+//! numbers. Everything else (accepted/rejected counts, record counts,
+//! lookup result sizes) is deterministic in the seed.
+
+use csaw::global::{Batch, ConfidenceFilter, RegistrarConfig, Report, ServerDb, Uuid};
+use csaw_censor::blocking::BlockingType;
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use std::time::Instant;
+
+/// Reports per client batch (the paper's clients post small batches).
+const REPORTS_PER_CLIENT: usize = 4;
+
+/// Every n-th client includes one garbage report (rejected path).
+const GARBAGE_EVERY: usize = 16;
+
+/// Harness knobs (all settable from the `exp_scale` command line).
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Synthetic client population; each posts one batch.
+    pub clients: usize,
+    /// Writer-thread counts to sweep (a fresh store per entry).
+    pub threads: Vec<usize>,
+    /// Shard count for the store under test.
+    pub shards: usize,
+    /// URL pool size (keys collide across clients, as in deployment).
+    pub urls: usize,
+    /// Number of distinct ASes the population reports from.
+    pub asns: u32,
+    /// `blocked_for_as` calls in the lookup-latency phase.
+    pub lookups: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> ScaleConfig {
+        ScaleConfig {
+            clients: 1_000_000,
+            threads: vec![1, 2, 4, 8],
+            shards: 16,
+            urls: 10_000,
+            asns: 64,
+            lookups: 10_000,
+        }
+    }
+}
+
+/// One row of the sweep: a thread count and what it achieved.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Writer threads used for the ingest phase.
+    pub threads: usize,
+    /// Wall-clock ingest time in seconds.
+    pub ingest_secs: f64,
+    /// Sustained ingest throughput, reports per second.
+    pub reports_per_sec: f64,
+    /// Reports accepted by the store (deterministic in the seed).
+    pub accepted: u64,
+    /// Reports rejected by sanitization (deterministic in the seed).
+    pub rejected: u64,
+    /// Records in the store after ingest (thread-count independent).
+    pub records: usize,
+    /// Median `blocked_for_as` latency, µs.
+    pub lookup_p50_us: u64,
+    /// 99th-percentile `blocked_for_as` latency, µs.
+    pub lookup_p99_us: u64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// The configuration that was run.
+    pub cfg: ScaleConfig,
+    /// One row per thread count, in sweep order.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// The batch client `idx` posts — a pure function of `(seed, idx)`, so
+/// the aggregate workload is independent of thread partitioning.
+fn batch_for(seed: u64, idx: usize, uuid: Uuid, cfg: &ScaleConfig) -> Batch {
+    let mut rng = DetRng::new(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let stages = [
+        BlockingType::DnsNxdomain,
+        BlockingType::IpDrop,
+        BlockingType::HttpDrop,
+        BlockingType::HttpBlockPageRedirect,
+    ];
+    let mut reports = Vec::with_capacity(REPORTS_PER_CLIENT);
+    let asn = rng.range_u64(0, cfg.asns as u64) as u32;
+    for r in 0..REPORTS_PER_CLIENT {
+        let garbage = idx.is_multiple_of(GARBAGE_EVERY) && r == 0;
+        let url = if garbage {
+            // Fails `Url::parse` in the store's sanitizer.
+            "not a url at all".to_string()
+        } else {
+            format!("http://blocked{}.example.net/", rng.index(cfg.urls))
+        };
+        reports.push(Report {
+            url,
+            asn,
+            measured_at_us: (idx as u64) * 1_000 + r as u64,
+            stages: vec![stages[rng.index(stages.len())]],
+        });
+    }
+    Batch::new(uuid, reports, SimTime::from_secs(1_000 + idx as u64))
+}
+
+/// Run the sweep. `seed` fixes the workload; `cfg` sizes it.
+pub fn run_with(seed: u64, cfg: ScaleConfig) -> Scale {
+    let mut rows = Vec::with_capacity(cfg.threads.len());
+    for &threads in &cfg.threads {
+        csaw_obs::event::progress(&format!(
+            "exp_scale: ingesting {} clients on {} thread(s)",
+            cfg.clients, threads
+        ));
+        rows.push(run_one(seed, &cfg, threads));
+    }
+    // The store's final state must not depend on how the writers were
+    // scheduled: same seed, same records, whatever the thread count.
+    if let Some(first) = rows.first() {
+        for r in &rows {
+            assert_eq!(
+                r.records, first.records,
+                "store state diverged across thread counts"
+            );
+            assert_eq!(r.accepted, first.accepted);
+            assert_eq!(r.rejected, first.rejected);
+        }
+    }
+    Scale { cfg, rows }
+}
+
+/// One sweep point: a fresh store, `threads` concurrent writers.
+fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
+    let server = ServerDb::builder(seed)
+        .shards(cfg.shards)
+        .registrar(RegistrarConfig {
+            max_risk: 1.0,
+            max_per_window: usize::MAX,
+            window: SimDuration::from_secs(60),
+        })
+        .build()
+        .expect("scale harness store config is valid");
+
+    // Registration is untimed setup: the harness measures ingest.
+    let uuids: Vec<Uuid> = (0..cfg.clients)
+        .map(|i| {
+            server
+                .register(SimTime::from_secs(i as u64), 0.0)
+                .expect("open registrar accepts the population")
+        })
+        .collect();
+
+    let chunk = cfg.clients.div_ceil(threads.max(1));
+    let started = Instant::now();
+    let (accepted, rejected) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let server = &server;
+                let uuids = &uuids;
+                s.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(cfg.clients);
+                    let (mut acc, mut rej) = (0u64, 0u64);
+                    for (idx, &uuid) in uuids.iter().enumerate().take(hi).skip(lo) {
+                        let batch = batch_for(seed, idx, uuid, cfg);
+                        let receipt = server.ingest(batch).expect("registered client");
+                        acc += receipt.accepted as u64;
+                        rej += receipt.rejected as u64;
+                    }
+                    (acc, rej)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer thread panicked"))
+            .fold((0u64, 0u64), |(a, r), (da, dr)| (a + da, r + dr))
+    });
+    let ingest_secs = started.elapsed().as_secs_f64();
+    let total_reports = (cfg.clients * REPORTS_PER_CLIENT) as f64;
+    csaw_obs::observe_secs("exp.scale.ingest", ingest_secs);
+
+    // Lookup phase: hammer the per-AS snapshot path. Alternate between
+    // repeat lookups (cache hits) and a rotating confidence filter
+    // (forcing recomputes) so both ends of the cache show up in p50/p99.
+    let filter = ConfidenceFilter::default();
+    let strict = ConfidenceFilter::strict(2, 0.0);
+    let mut lat: Vec<u64> = Vec::with_capacity(cfg.lookups);
+    let mut served = 0usize;
+    for i in 0..cfg.lookups {
+        let asn = Asn((i as u32) % cfg.asns);
+        let f = if i % 8 == 0 { &strict } else { &filter };
+        let t0 = Instant::now();
+        let records = server.blocked_for_as(asn, f);
+        let us = t0.elapsed().as_micros() as u64;
+        lat.push(us);
+        csaw_obs::observe_us("exp.scale.lookup", us);
+        served += records.len();
+    }
+    assert!(served > 0, "lookup phase must return records");
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let i = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[i]
+    };
+
+    ScaleRow {
+        threads,
+        ingest_secs,
+        reports_per_sec: total_reports / ingest_secs.max(1e-9),
+        accepted,
+        rejected,
+        records: server.store().record_count(),
+        lookup_p50_us: pct(0.50),
+        lookup_p99_us: pct(0.99),
+    }
+}
+
+/// Run with defaults sized down only by the caller's flags.
+pub fn run(seed: u64) -> Scale {
+    run_with(seed, ScaleConfig::default())
+}
+
+impl Scale {
+    /// Text rendering: one row per thread count plus efficiency.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "exp_scale: {} clients x {} reports, {} shards, {} URLs, {} ASes\n\
+             {:>7}  {:>10}  {:>12}  {:>10}  {:>9}  {:>9}  {:>8}  {:>8}\n",
+            self.cfg.clients,
+            REPORTS_PER_CLIENT,
+            self.cfg.shards,
+            self.cfg.urls,
+            self.cfg.asns,
+            "threads",
+            "ingest_s",
+            "reports/s",
+            "accepted",
+            "rejected",
+            "records",
+            "p50_us",
+            "p99_us",
+        );
+        let base = self.rows.first().map(|r| r.reports_per_sec);
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7}  {:>10.3}  {:>12.0}  {:>10}  {:>9}  {:>9}  {:>8}  {:>8}\n",
+                r.threads,
+                r.ingest_secs,
+                r.reports_per_sec,
+                r.accepted,
+                r.rejected,
+                r.records,
+                r.lookup_p50_us,
+                r.lookup_p99_us,
+            ));
+        }
+        if let Some(base) = base {
+            let eff: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}T={:.2}",
+                        r.threads,
+                        r.reports_per_sec / (base * r.threads as f64)
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "parallel efficiency vs 1 thread: {}\n",
+                eff.join("  ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            clients: 400,
+            threads: vec![1, 2],
+            shards: 4,
+            urls: 64,
+            asns: 8,
+            lookups: 40,
+        }
+    }
+
+    #[test]
+    fn deterministic_counts_and_thread_invariance() {
+        let s = run_with(9, tiny());
+        assert_eq!(s.rows.len(), 2);
+        let total = (400 * REPORTS_PER_CLIENT) as u64;
+        for r in &s.rows {
+            assert_eq!(r.accepted + r.rejected, total);
+            // Every 16th client contributes exactly one garbage report.
+            assert_eq!(r.rejected, 400 / GARBAGE_EVERY as u64);
+            assert!(r.records > 0);
+            assert!(r.reports_per_sec > 0.0);
+        }
+        // run_with itself asserts cross-thread-count equality; re-run
+        // with the same seed and check run-to-run determinism too.
+        let s2 = run_with(9, tiny());
+        assert_eq!(s.rows[0].accepted, s2.rows[0].accepted);
+        assert_eq!(s.rows[0].records, s2.rows[0].records);
+    }
+
+    #[test]
+    fn render_has_a_row_per_thread_count() {
+        let s = run_with(5, tiny());
+        let text = s.render();
+        assert!(text.contains("reports/s"));
+        assert!(text.contains("parallel efficiency"));
+        assert_eq!(text.lines().count(), 2 + s.rows.len() + 1);
+    }
+}

@@ -103,11 +103,14 @@ fn pilot_world(asn: Asn, universe: &crate::workload::PilotUniverse) -> World {
 pub fn run(seed: u64, users: usize) -> Table7 {
     let universe = pilot_universe(420, 997, 60);
     let asns = pilot_asns();
-    let mut server = ServerDb::new(seed).with_registrar(csaw::global::RegistrarConfig {
-        max_risk: 0.7,
-        max_per_window: usize::MAX,
-        window: SimDuration::from_secs(60),
-    });
+    let server = ServerDb::builder(seed)
+        .registrar(csaw::global::RegistrarConfig {
+            max_risk: 0.7,
+            max_per_window: usize::MAX,
+            window: SimDuration::from_secs(60),
+        })
+        .build()
+        .expect("default store config is valid");
     // One world per AS (clients in the same AS share it).
     let worlds: Vec<World> = asns.iter().map(|a| pilot_world(*a, &universe)).collect();
     let zipf_blocked = Zipf::new(universe.blocked_urls.len(), 0.9);
@@ -128,7 +131,7 @@ pub fn run(seed: u64, users: usize) -> Table7 {
         let world = &worlds[u % asns.len()];
         let mut client = CsawClient::new(cfg, None, seed ^ (u as u64) << 4);
         client
-            .register(&mut server, asn, SimTime::from_secs(u as u64), 0.1)
+            .register(&server, asn, SimTime::from_secs(u as u64), 0.1)
             .expect("registration passes the gate");
         let mut now = SimTime::from_secs(1_000 + u as u64 * 10);
         // Deterministic slice: guarantees full coverage of the 997 URLs
@@ -149,7 +152,7 @@ pub fn run(seed: u64, users: usize) -> Table7 {
             };
             client.request(world, url, now);
         }
-        client.post_reports(&mut server, now);
+        client.post_reports(&server, now);
     }
     Table7 {
         stats: server.stats(),

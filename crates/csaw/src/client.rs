@@ -176,7 +176,7 @@ impl CsawClient {
     /// output) and download the blocked list for `asn`.
     pub fn register(
         &mut self,
-        server: &mut ServerDb,
+        server: &ServerDb,
         asn: Asn,
         now: SimTime,
         risk_score: f64,
@@ -582,7 +582,7 @@ impl CsawClient {
     /// Periodic background work: global sync, report posting, expiry.
     /// Call on whatever cadence the host loop uses; internal intervals
     /// gate the actual work.
-    pub fn tick(&mut self, world: &World, server: &mut ServerDb, now: SimTime) {
+    pub fn tick(&mut self, world: &World, server: &ServerDb, now: SimTime) {
         let due = |last: Option<SimTime>, every: SimDuration| match last {
             None => true,
             Some(t) => now.duration_since(t) >= every,
@@ -601,22 +601,26 @@ impl CsawClient {
     /// Push pending blocked-URL reports to the server (carried over Tor
     /// in the paper; content is identical either way — no PII on the
     /// wire by construction).
-    pub fn post_reports(&mut self, server: &mut ServerDb, now: SimTime) -> usize {
+    pub fn post_reports(&mut self, server: &ServerDb, now: SimTime) -> usize {
         let Some(uuid) = self.uuid else { return 0 };
         if self.report_queue.is_empty() {
             return 0;
         }
-        // Wire round trip: encode, (Tor carries it), server decodes.
+        // Wire round trip: encode, (Tor carries it), the batch owns the
+        // server-side decode.
         let wire = Report::encode_batch(&self.report_queue);
-        match server.post_update_wire(uuid, &wire, now) {
-            Ok(n) => {
+        let Ok(batch) = crate::global::Batch::from_wire(uuid, &wire, now) else {
+            return 0;
+        };
+        match server.ingest(batch) {
+            Ok(receipt) => {
                 for r in self.report_queue.drain(..) {
                     if let Ok(u) = Url::parse(&r.url) {
                         self.local_db.mark_posted(&u);
                     }
                 }
-                self.stats.reports_posted += n as u64;
-                n
+                self.stats.reports_posted += receipt.accepted as u64;
+                receipt.accepted
             }
             Err(_) => 0,
         }
@@ -629,7 +633,7 @@ impl CsawClient {
     pub fn post_reports_via(
         &mut self,
         collectors: &crate::global::CollectorSet,
-        server: &mut ServerDb,
+        server: &ServerDb,
         now: SimTime,
     ) -> Result<crate::global::SubmitReceipt, crate::global::SubmitError> {
         let Some(uuid) = self.uuid else {
@@ -734,18 +738,18 @@ mod tests {
     #[test]
     fn global_db_roundtrip_seeds_other_clients() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let mut server = ServerDb::new(99);
+        let server = ServerDb::new(99);
         // Client 1 discovers the blocking and reports it.
         let mut c1 = client(3);
-        c1.register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+        c1.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
             .unwrap();
         let url = Url::parse("http://www.youtube.com/").unwrap();
         c1.request(&w, &url, SimTime::from_secs(1));
-        let posted = c1.post_reports(&mut server, SimTime::from_secs(2));
+        let posted = c1.post_reports(&server, SimTime::from_secs(2));
         assert!(posted >= 1, "posted {posted}");
         // Client 2 syncs and skips the expensive first-measurement round.
         let mut c2 = client(4);
-        c2.register(&mut server, profiles::ISP_A_ASN, SimTime::from_secs(3), 0.0)
+        c2.register(&server, profiles::ISP_A_ASN, SimTime::from_secs(3), 0.0)
             .unwrap();
         assert!(c2.global_lookup(&url).is_some(), "global view has the URL");
         let r = c2.request(&w, &url, SimTime::from_secs(4));
@@ -875,14 +879,14 @@ mod tests {
     #[test]
     fn tick_syncs_and_reports() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let mut server = ServerDb::new(11);
+        let server = ServerDb::new(11);
         let mut c = client(9);
-        c.register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
             .unwrap();
         let url = Url::parse("http://www.youtube.com/").unwrap();
         c.request(&w, &url, SimTime::from_secs(1));
         assert!(server.stats().unique_blocked_urls == 0);
-        c.tick(&w, &mut server, SimTime::from_secs(1_000));
+        c.tick(&w, &server, SimTime::from_secs(1_000));
         assert!(
             server.stats().unique_blocked_urls >= 1,
             "tick posted reports"

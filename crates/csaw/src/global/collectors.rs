@@ -101,7 +101,7 @@ impl CollectorSet {
     /// before the client moves on.
     pub fn submit(
         &self,
-        server: &mut ServerDb,
+        server: &ServerDb,
         client: Uuid,
         reports: &[Report],
         now: SimTime,
@@ -147,19 +147,19 @@ mod tests {
     }
 
     fn setup() -> (ServerDb, Uuid) {
-        let mut s = ServerDb::new(3);
+        let s = ServerDb::new(3);
         let c = s.register(SimTime::from_secs(1), 0.0).unwrap();
         (s, c)
     }
 
     #[test]
     fn submits_through_any_reachable_collector() {
-        let (mut server, client) = setup();
+        let (server, client) = setup();
         let set = CollectorSet::default_set();
         let mut rng = DetRng::new(1);
         let r = set
             .submit(
-                &mut server,
+                &server,
                 client,
                 &[report("http://x.example/")],
                 SimTime::from_secs(5),
@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn fails_over_past_blocked_collectors() {
-        let (mut server, client) = setup();
+        let (server, client) = setup();
         let mut set = CollectorSet::default_set();
         set.set_reachable("collector-a.onion", false);
         set.set_reachable("collector-b.onion", false);
@@ -181,7 +181,7 @@ mod tests {
         let mut rng = DetRng::new(2);
         let r = set
             .submit(
-                &mut server,
+                &server,
                 client,
                 &[report("http://x.example/")],
                 SimTime::from_secs(5),
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn all_blocked_is_reported_not_lost() {
-        let (mut server, client) = setup();
+        let (server, client) = setup();
         let mut set = CollectorSet::default_set();
         for id in [
             "collector-a.onion",
@@ -207,7 +207,7 @@ mod tests {
         let mut rng = DetRng::new(3);
         let err = set
             .submit(
-                &mut server,
+                &server,
                 client,
                 &[report("http://x.example/")],
                 SimTime::from_secs(5),
@@ -220,12 +220,12 @@ mod tests {
 
     #[test]
     fn server_rejections_propagate() {
-        let (mut server, _) = setup();
+        let (server, _) = setup();
         let set = CollectorSet::default_set();
         let mut rng = DetRng::new(4);
         let err = set
             .submit(
-                &mut server,
+                &server,
                 Uuid::from_raw(0xdead),
                 &[report("http://x.example/")],
                 SimTime::from_secs(5),
@@ -237,14 +237,14 @@ mod tests {
 
     #[test]
     fn load_spreads_across_collectors() {
-        let (mut server, client) = setup();
+        let (server, client) = setup();
         let set = CollectorSet::default_set();
         let mut rng = DetRng::new(5);
         let mut used = std::collections::HashSet::new();
         for i in 0..30 {
             let r = set
                 .submit(
-                    &mut server,
+                    &server,
                     client,
                     &[report(&format!("http://x{i}.example/"))],
                     SimTime::from_secs(10 + i),

@@ -1,4 +1,9 @@
 //! The global database and measurement server (§4.2, §5).
+//!
+//! Storage (records, voting, sharding, persistence) lives in
+//! [`csaw_store`]; this module hosts the server front-end plus the
+//! collection tier and reputation auditing, and re-exports the store
+//! types under their historical paths.
 
 pub mod collectors;
 pub mod record;
@@ -7,7 +12,11 @@ pub mod server;
 pub mod voting;
 
 pub use collectors::{Collector, CollectorSet, SubmitError, SubmitReceipt};
-pub use record::{GlobalRecord, Report, Uuid};
+pub use csaw_store::{Batch, IngestReceipt, JsonlStore, ShardedStore, StorageBackend, StoreError};
+pub use record::{GlobalRecord, Report, Uuid, WireError};
 pub use reputation::{audit, Flag, ReputationConfig};
-pub use server::{DeploymentStats, PostError, RegistrarConfig, RegistrationError, ServerDb};
+pub use server::{
+    BackendChoice, DeploymentStats, PostError, RegistrarConfig, RegistrationError, ServerDb,
+    ServerDbBuilder,
+};
 pub use voting::{ConfidenceFilter, Tally, VoteLedger};

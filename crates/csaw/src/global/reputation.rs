@@ -109,7 +109,7 @@ mod tests {
         Uuid::from_raw(n)
     }
 
-    fn honest_population(ledger: &mut VoteLedger, n_clients: u64, shared_urls: usize) {
+    fn honest_population(ledger: &VoteLedger, n_clients: u64, shared_urls: usize) {
         for c in 0..n_clients {
             let urls: Vec<(String, Asn)> = (0..shared_urls)
                 .map(|i| (format!("http://popular-{i}.example/"), Asn(1)))
@@ -120,15 +120,15 @@ mod tests {
 
     #[test]
     fn honest_population_unflagged() {
-        let mut l = VoteLedger::new();
-        honest_population(&mut l, 20, 10);
+        let l = VoteLedger::new();
+        honest_population(&l, 20, 10);
         assert!(audit(&l, &ReputationConfig::default()).is_empty());
     }
 
     #[test]
     fn spammer_flagged_and_evidence_recorded() {
-        let mut l = VoteLedger::new();
-        honest_population(&mut l, 20, 10);
+        let l = VoteLedger::new();
+        honest_population(&l, 20, 10);
         let fakes: Vec<(String, Asn)> = (0..500)
             .map(|i| (format!("http://fake-{i}.example/"), Asn(1)))
             .collect();
@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn eager_but_corroborated_reporter_safe() {
-        let mut l = VoteLedger::new();
-        honest_population(&mut l, 20, 10);
+        let l = VoteLedger::new();
+        honest_population(&l, 20, 10);
         // A power user reports 80 URLs — but they're all popular censored
         // URLs that at least one other client also reports.
         let mut urls: Vec<(String, Asn)> = (0..80)
@@ -165,8 +165,8 @@ mod tests {
 
     #[test]
     fn colluding_clique_caught_member_by_member() {
-        let mut l = VoteLedger::new();
-        honest_population(&mut l, 30, 8);
+        let l = VoteLedger::new();
+        honest_population(&l, 30, 8);
         // Five colluders each spray the same 400 fakes: they corroborate
         // each other (n = 5 per fake), but every member is volume-
         // anomalous AND... corroborated. The volume test alone flags
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn tiny_population_is_never_audited() {
-        let mut l = VoteLedger::new();
+        let l = VoteLedger::new();
         l.set_client_report(uuid(1), [("http://x.example/".to_string(), Asn(1))]);
         let fakes: Vec<(String, Asn)> = (0..900)
             .map(|i| (format!("http://f{i}.example/"), Asn(1)))

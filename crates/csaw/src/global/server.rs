@@ -1,13 +1,31 @@
-//! The server_DB: registration, update ingestion, per-AS downloads,
-//! voting, and deployment-study analytics (§4.2, §5, Table 7).
+//! The server_DB front-end: registration, update ingestion, per-AS
+//! downloads, voting, and deployment-study analytics (§4.2, §5,
+//! Table 7).
+//!
+//! Storage lives in [`csaw_store`]: a sharded, internally-synchronized
+//! [`StorageBackend`] (in-memory by default, JSONL write-ahead log when
+//! the deployment needs restarts, or anything custom). This type is the
+//! thin front-end over it — registration gating, the client set, and
+//! the legacy `global.*` telemetry — and every method takes `&self`, so
+//! one `ServerDb` can be shared across ingestion threads.
+//!
+//! Construction goes through [`ServerDbBuilder`] (salt, registrar
+//! config, backend choice, shard count). [`ServerDb::new`] and
+//! [`ServerDb::with_registrar`] remain as shims for existing
+//! experiments.
 
 use crate::global::record::{GlobalRecord, Report, Uuid};
 use crate::global::voting::{ConfidenceFilter, Tally, VoteLedger};
 use csaw_censor::blocking::{BlockingType, Stage};
+use csaw_obs::metrics::{Counter, Gauge};
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
+use csaw_store::{Batch, IngestReceipt, JsonlStore, ShardedStore, StorageBackend, StoreError};
 use csaw_webproto::url::Url;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Registration failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,13 +39,11 @@ pub enum RegistrationError {
 }
 
 /// Update-posting failures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PostError {
-    /// Unknown or revoked UUID.
-    UnknownClient,
-    /// The batch could not be parsed.
-    Malformed,
-}
+///
+/// Posting now fails with the store's unified [`StoreError`]; this
+/// alias keeps the historical name working. What used to be
+/// `PostError::Malformed` is [`StoreError::Wire`].
+pub type PostError = StoreError;
 
 /// Registration gate configuration.
 #[derive(Debug, Clone, Copy)]
@@ -51,197 +67,367 @@ impl Default for RegistrarConfig {
     }
 }
 
-/// The global measurement server (server_DB + global_DB).
-#[derive(Debug, Clone)]
-pub struct ServerDb {
-    salt: u64,
-    uuid_counter: u64,
-    clients: HashSet<Uuid>,
-    records: HashMap<(String, Asn), GlobalRecord>,
-    ledger: VoteLedger,
-    registrar: RegistrarConfig,
-    window_start: SimTime,
-    window_count: usize,
-    /// Total updates accepted (Table 7's "No. of unique updates").
-    pub updates_accepted: u64,
+/// Which storage backend a [`ServerDbBuilder`] should construct.
+#[derive(Debug, Clone, Default)]
+pub enum BackendChoice {
+    /// The in-memory sharded store (default).
+    #[default]
+    Memory,
+    /// The in-memory store behind an append-only JSONL write-ahead log
+    /// at this path, replayed on build.
+    JsonlLog(PathBuf),
+    /// A caller-provided backend (shard count and latency options are
+    /// the backend's own business).
+    Custom(Arc<dyn StorageBackend>),
 }
 
-impl ServerDb {
-    /// A server with the given salt (determinism) and default gate.
-    pub fn new(salt: u64) -> ServerDb {
-        ServerDb {
+/// Builder for [`ServerDb`]: salt, registration gate, shard count, and
+/// backend choice in one place.
+///
+/// ```
+/// use csaw::global::{ServerDb, RegistrarConfig};
+///
+/// let server = ServerDb::builder(7)
+///     .shards(8)
+///     .registrar(RegistrarConfig::default())
+///     .build()
+///     .unwrap();
+/// assert_eq!(server.store().shard_count(), 8);
+/// ```
+#[derive(Debug)]
+pub struct ServerDbBuilder {
+    salt: u64,
+    registrar: RegistrarConfig,
+    shards: usize,
+    backend: BackendChoice,
+    measure_ingest_latency: bool,
+}
+
+impl ServerDbBuilder {
+    /// A builder with the default gate, 16 shards, and the in-memory
+    /// backend.
+    pub fn new(salt: u64) -> ServerDbBuilder {
+        ServerDbBuilder {
             salt,
-            uuid_counter: 0,
-            clients: HashSet::new(),
-            records: HashMap::new(),
-            ledger: VoteLedger::new(),
             registrar: RegistrarConfig::default(),
-            window_start: SimTime::ZERO,
-            window_count: 0,
-            updates_accepted: 0,
+            shards: 16,
+            backend: BackendChoice::Memory,
+            measure_ingest_latency: false,
         }
     }
 
     /// Override the registration gate.
+    pub fn registrar(mut self, cfg: RegistrarConfig) -> ServerDbBuilder {
+        self.registrar = cfg;
+        self
+    }
+
+    /// Stripe the store `n` ways (ignored for a custom backend).
+    pub fn shards(mut self, n: usize) -> ServerDbBuilder {
+        self.shards = n;
+        self
+    }
+
+    /// Persist every mutation to a JSONL write-ahead log at `path`,
+    /// replaying any existing log on build.
+    pub fn jsonl_log(mut self, path: impl Into<PathBuf>) -> ServerDbBuilder {
+        self.backend = BackendChoice::JsonlLog(path.into());
+        self
+    }
+
+    /// Use a caller-provided backend.
+    pub fn backend(mut self, backend: Arc<dyn StorageBackend>) -> ServerDbBuilder {
+        self.backend = BackendChoice::Custom(backend);
+        self
+    }
+
+    /// Record wall-clock per-batch ingest latency (off by default; wall
+    /// clock breaks byte-identical metric snapshots, so only the scale
+    /// harness turns this on).
+    pub fn measure_ingest_latency(mut self, on: bool) -> ServerDbBuilder {
+        self.measure_ingest_latency = on;
+        self
+    }
+
+    /// Build the server. Zero shards or an unreadable/corrupt log are
+    /// errors, not panics.
+    pub fn build(self) -> Result<ServerDb, StoreError> {
+        let backend: Arc<dyn StorageBackend> = match self.backend {
+            BackendChoice::Memory => Arc::new(
+                ShardedStore::new(self.shards)?.with_ingest_latency(self.measure_ingest_latency),
+            ),
+            BackendChoice::JsonlLog(path) => Arc::new(
+                JsonlStore::open(&path, self.shards)?
+                    .with_ingest_latency(self.measure_ingest_latency),
+            ),
+            BackendChoice::Custom(b) => b,
+        };
+        Ok(ServerDb::from_parts(self.salt, self.registrar, backend))
+    }
+}
+
+/// Registration state (UUID counter + rate-limit window), serialized
+/// behind one small mutex — registration is the cold path.
+#[derive(Debug)]
+struct RegState {
+    uuid_counter: u64,
+    window_start: SimTime,
+    window_count: usize,
+}
+
+/// Pre-resolved legacy `global.*` metric handles (hot paths must not
+/// take the registry mutex per batch).
+#[derive(Debug)]
+struct ServerMetrics {
+    register_accepted: Arc<Counter>,
+    register_risk_rejected: Arc<Counter>,
+    register_rate_limited: Arc<Counter>,
+    clients: Arc<Gauge>,
+    post_batches: Arc<Counter>,
+    post_accepted: Arc<Counter>,
+    post_dropped: Arc<Counter>,
+    post_unknown: Arc<Counter>,
+    records: Arc<Gauge>,
+    downloads: Arc<Counter>,
+    downloads_served: Arc<Counter>,
+    revocations: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn resolve() -> ServerMetrics {
+        let reg = &csaw_obs::current().registry;
+        ServerMetrics {
+            register_accepted: reg.counter("global.register.accepted"),
+            register_risk_rejected: reg.counter("global.register.risk_rejected"),
+            register_rate_limited: reg.counter("global.register.rate_limited"),
+            clients: reg.gauge("global.clients"),
+            post_batches: reg.counter("global.post.batches"),
+            post_accepted: reg.counter("global.post.reports_accepted"),
+            post_dropped: reg.counter("global.post.reports_dropped"),
+            post_unknown: reg.counter("global.post.unknown_client"),
+            records: reg.gauge("global.records"),
+            downloads: reg.counter("global.downloads"),
+            downloads_served: reg.counter("global.downloads.records_served"),
+            revocations: reg.counter("global.revocations"),
+        }
+    }
+}
+
+/// The global measurement server (server_DB front-end + global_DB).
+///
+/// Shareable across threads: registration is mutex-serialized, the
+/// client set is behind an `RwLock`, and everything else is the
+/// backend's lock-striped state.
+#[derive(Debug)]
+pub struct ServerDb {
+    salt: u64,
+    registrar: RegistrarConfig,
+    backend: Arc<dyn StorageBackend>,
+    reg: Mutex<RegState>,
+    clients: RwLock<HashSet<Uuid>>,
+    updates_accepted: AtomicU64,
+    m: ServerMetrics,
+}
+
+impl ServerDb {
+    /// Start building a server with the given salt (determinism).
+    pub fn builder(salt: u64) -> ServerDbBuilder {
+        ServerDbBuilder::new(salt)
+    }
+
+    /// A server with the given salt, default gate, and the default
+    /// in-memory backend.
+    ///
+    /// Deprecation note: prefer [`ServerDb::builder`], which also
+    /// selects shard count and backend; this shim remains for the
+    /// existing experiments.
+    pub fn new(salt: u64) -> ServerDb {
+        ServerDb::from_parts(
+            salt,
+            RegistrarConfig::default(),
+            Arc::new(ShardedStore::new(16).expect("default shard count is valid")),
+        )
+    }
+
+    /// Override the registration gate.
+    ///
+    /// Deprecation note: prefer
+    /// [`ServerDbBuilder::registrar`]; this shim remains for the
+    /// existing experiments.
     pub fn with_registrar(mut self, cfg: RegistrarConfig) -> ServerDb {
         self.registrar = cfg;
         self
     }
 
+    fn from_parts(
+        salt: u64,
+        registrar: RegistrarConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> ServerDb {
+        ServerDb {
+            salt,
+            registrar,
+            backend,
+            reg: Mutex::new(RegState {
+                uuid_counter: 0,
+                window_start: SimTime::ZERO,
+                window_count: 0,
+            }),
+            clients: RwLock::new(HashSet::new()),
+            updates_accepted: AtomicU64::new(0),
+            m: ServerMetrics::resolve(),
+        }
+    }
+
+    /// The storage backend (shard counts, direct scans, flushing).
+    pub fn store(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
+    }
+
     /// Register a new client. `risk_score` comes from the CAPTCHA/risk
     /// engine (0 = certainly human, 1 = certainly bot).
-    pub fn register(&mut self, now: SimTime, risk_score: f64) -> Result<Uuid, RegistrationError> {
-        if now.duration_since(self.window_start) >= self.registrar.window {
-            self.window_start = now;
-            self.window_count = 0;
-        }
-        if risk_score > self.registrar.max_risk {
-            csaw_obs::inc("global.register.risk_rejected");
-            return Err(RegistrationError::RiskRejected);
-        }
-        if self.window_count >= self.registrar.max_per_window {
-            csaw_obs::inc("global.register.rate_limited");
-            return Err(RegistrationError::RateLimited);
-        }
-        self.window_count += 1;
-        self.uuid_counter += 1;
-        let uuid = Uuid::derive(now, self.uuid_counter, self.salt);
-        self.clients.insert(uuid);
-        csaw_obs::inc("global.register.accepted");
-        csaw_obs::gauge_set("global.clients", self.clients.len() as i64);
+    pub fn register(&self, now: SimTime, risk_score: f64) -> Result<Uuid, RegistrationError> {
+        let uuid = {
+            let mut reg = self.reg.lock().unwrap();
+            if now.duration_since(reg.window_start) >= self.registrar.window {
+                reg.window_start = now;
+                reg.window_count = 0;
+            }
+            if risk_score > self.registrar.max_risk {
+                self.m.register_risk_rejected.inc();
+                return Err(RegistrationError::RiskRejected);
+            }
+            if reg.window_count >= self.registrar.max_per_window {
+                self.m.register_rate_limited.inc();
+                return Err(RegistrationError::RateLimited);
+            }
+            reg.window_count += 1;
+            reg.uuid_counter += 1;
+            Uuid::derive(now, reg.uuid_counter, self.salt)
+        };
+        let mut clients = self.clients.write().unwrap();
+        clients.insert(uuid);
+        self.m.register_accepted.inc();
+        self.m.clients.set(clients.len() as i64);
         Ok(uuid)
     }
 
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
-        self.clients.len()
+        self.clients.read().unwrap().len()
+    }
+
+    /// Total updates accepted (Table 7's "No. of unique updates").
+    pub fn updates_accepted(&self) -> u64 {
+        self.updates_accepted.load(Ordering::Relaxed)
+    }
+
+    /// The single ingestion entry point: validate the client, hand the
+    /// batch to the backend, account the receipt. Never panics on
+    /// garbage — unknown clients and undecodable wire are error values,
+    /// unsalvageable reports are counted in the receipt's `rejected`.
+    pub fn ingest(&self, batch: Batch) -> Result<IngestReceipt, StoreError> {
+        if !self.clients.read().unwrap().contains(&batch.client) {
+            self.m.post_unknown.inc();
+            return Err(StoreError::UnknownClient);
+        }
+        let receipt = self.backend.ingest(&batch)?;
+        self.updates_accepted
+            .fetch_add(receipt.accepted as u64, Ordering::Relaxed);
+        self.m.post_batches.inc();
+        self.m.post_accepted.add(receipt.accepted as u64);
+        self.m.post_dropped.add(receipt.rejected as u64);
+        self.m.records.set(self.backend.record_count() as i64);
+        Ok(receipt)
     }
 
     /// Ingest a JSON batch from the wire.
+    ///
+    /// Deprecation note: thin shim over [`ServerDb::ingest`] —
+    /// `Batch::from_wire` + `ingest` is the first-class path.
     pub fn post_update_wire(
-        &mut self,
+        &self,
         client: Uuid,
         wire: &str,
         now: SimTime,
-    ) -> Result<usize, PostError> {
-        let reports = Report::decode_batch(wire).map_err(|_| PostError::Malformed)?;
-        self.post_update(client, &reports, now)
+    ) -> Result<usize, StoreError> {
+        let batch = Batch::from_wire(client, wire, now)?;
+        Ok(self.ingest(batch)?.accepted)
     }
 
-    /// Ingest parsed reports: store/update global records and re-spread
-    /// the client's votes. Only blocked URLs travel in reports by
-    /// protocol construction.
+    /// Ingest parsed reports.
+    ///
+    /// Deprecation note: thin shim over [`ServerDb::ingest`]. Only
+    /// blocked URLs travel in reports by protocol construction.
     pub fn post_update(
-        &mut self,
+        &self,
         client: Uuid,
         reports: &[Report],
         now: SimTime,
-    ) -> Result<usize, PostError> {
-        if !self.clients.contains(&client) {
-            csaw_obs::inc("global.post.unknown_client");
-            return Err(PostError::UnknownClient);
-        }
-        let mut accepted = 0;
-        for r in reports {
-            // Sanitize: the URL must parse; garbage is dropped, not stored.
-            if Url::parse(&r.url).is_err() || r.stages.is_empty() {
-                continue;
-            }
-            let key = (r.url.clone(), Asn(r.asn));
-            self.records.insert(
-                key,
-                GlobalRecord {
-                    url: r.url.clone(),
-                    asn: Asn(r.asn),
-                    measured_at: SimTime::from_micros(r.measured_at_us),
-                    stages: r.stages.clone(),
-                    posted_at: now,
-                    reporter: client,
-                },
-            );
-            accepted += 1;
-        }
-        self.ledger.add_client_urls(
-            client,
-            reports
-                .iter()
-                .filter(|r| Url::parse(&r.url).is_ok() && !r.stages.is_empty())
-                .map(|r| (r.url.clone(), Asn(r.asn))),
-        );
-        self.updates_accepted += accepted as u64;
-        let ctx = csaw_obs::scope::current();
-        ctx.registry.counter("global.post.batches").inc();
-        ctx.registry
-            .counter("global.post.reports_accepted")
-            .add(accepted as u64);
-        ctx.registry
-            .counter("global.post.reports_dropped")
-            .add(reports.len() as u64 - accepted as u64);
-        ctx.registry
-            .gauge("global.records")
-            .set(self.records.len() as i64);
-        Ok(accepted as usize)
+    ) -> Result<usize, StoreError> {
+        Ok(self
+            .ingest(Batch::new(client, reports.to_vec(), now))?
+            .accepted)
     }
 
     /// The blocked-URL list for an AS, filtered by vote confidence —
     /// what clients download at initialization and on every sync.
+    /// Served from the backend's per-shard snapshot caches.
     pub fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
-        let mut out: Vec<GlobalRecord> = self
-            .records
-            .values()
-            .filter(|r| r.asn == asn)
-            .filter(|r| filter.passes(&self.ledger.tally(&r.url, r.asn)))
-            .cloned()
-            .collect();
-        out.sort_by(|a, b| a.url.cmp(&b.url));
-        let ctx = csaw_obs::scope::current();
-        ctx.registry.counter("global.downloads").inc();
-        ctx.registry
-            .counter("global.downloads.records_served")
-            .add(out.len() as u64);
+        let out = self.backend.blocked_for_as(asn, filter);
+        self.m.downloads.inc();
+        self.m.downloads_served.add(out.len() as u64);
         out
     }
 
     /// Vote tally for a (URL, AS) — exposed for analytics.
     pub fn tally(&self, url: &str, asn: Asn) -> Tally {
-        self.ledger.tally(url, asn)
+        self.backend.tally(url, asn)
     }
 
     /// Evict a client and its votes (reputation enforcement, §5).
-    pub fn revoke(&mut self, client: Uuid) {
-        if self.clients.remove(&client) {
-            csaw_obs::inc("global.revocations");
-            csaw_obs::gauge_set("global.clients", self.clients.len() as i64);
+    pub fn revoke(&self, client: Uuid) {
+        {
+            let mut clients = self.clients.write().unwrap();
+            if clients.remove(&client) {
+                self.m.revocations.inc();
+                self.m.clients.set(clients.len() as i64);
+            }
         }
-        self.ledger.revoke(client);
+        self.backend.revoke(client);
     }
 
     /// Read access to the vote ledger (analytics, auditing).
     pub fn ledger(&self) -> &VoteLedger {
-        &self.ledger
+        self.backend.ledger()
     }
 
     /// Run a behavioral reputation audit and revoke every flagged client
     /// along with its records (§5's "revoke UUIDs of malicious users").
+    /// The audit walks the ledger stripe by stripe — no global lock.
     pub fn audit_and_revoke(
-        &mut self,
+        &self,
         cfg: &crate::global::reputation::ReputationConfig,
     ) -> Vec<crate::global::reputation::Flag> {
-        let flags = crate::global::reputation::audit(&self.ledger, cfg);
+        let flags = crate::global::reputation::audit(self.backend.ledger(), cfg);
         for f in &flags {
             self.revoke(f.client);
-            self.records.retain(|_, r| r.reporter != f.client);
+            self.backend.remove_reporter_records(f.client);
+        }
+        if !flags.is_empty() {
+            self.m.records.set(self.backend.record_count() as i64);
         }
         flags
     }
 
     /// Drop global records older than `max_age` (the global DB tracks
     /// *current* censorship; §4.4 churn).
-    pub fn expire_records(&mut self, now: SimTime, max_age: SimDuration) -> usize {
-        let before = self.records.len();
-        self.records
-            .retain(|_, r| now.duration_since(r.posted_at) < max_age);
-        before - self.records.len()
+    pub fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize {
+        let removed = self.backend.expire_records(now, max_age);
+        if removed > 0 {
+            self.m.records.set(self.backend.record_count() as i64);
+        }
+        removed
     }
 
     /// Deployment-study analytics (Table 7).
@@ -253,8 +439,8 @@ impl ServerDb {
         let mut tcp_urls = HashSet::new();
         let mut blockpage_urls = HashSet::new();
         let mut urls = HashSet::new();
-        for r in self.records.values() {
-            urls.insert(&r.url);
+        self.backend.for_each_record(&mut |r| {
+            urls.insert(r.url.clone());
             ases.insert(r.asn);
             if let Ok(u) = Url::parse(&r.url) {
                 domains.insert(u.host().registrable_domain());
@@ -263,18 +449,18 @@ impl ServerDb {
                 types.insert(*s);
                 match s {
                     BlockingType::HttpBlockPageRedirect | BlockingType::HttpBlockPageInline => {
-                        blockpage_urls.insert(&r.url);
+                        blockpage_urls.insert(r.url.clone());
                     }
                     BlockingType::IpDrop => {
-                        tcp_urls.insert(&r.url);
+                        tcp_urls.insert(r.url.clone());
                     }
                     _ if s.stage() == Stage::Dns => {
-                        dns_urls.insert(&r.url);
+                        dns_urls.insert(r.url.clone());
                     }
                     _ => {}
                 }
             }
-        }
+        });
         DeploymentStats {
             clients: self.client_count(),
             unique_blocked_urls: urls.len(),
@@ -284,7 +470,7 @@ impl ServerDb {
             urls_dns_blocked: dns_urls.len(),
             urls_tcp_timeout: tcp_urls.len(),
             urls_block_page: blockpage_urls.len(),
-            unique_updates: self.updates_accepted,
+            unique_updates: self.updates_accepted(),
         }
     }
 }
@@ -327,7 +513,7 @@ mod tests {
 
     #[test]
     fn register_and_post_flow() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::from_secs(1), 0.1).unwrap();
         let n = s
             .post_update(
@@ -350,19 +536,19 @@ mod tests {
 
     #[test]
     fn unknown_client_rejected() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let err = s.post_update(Uuid::from_raw(99), &[], SimTime::ZERO);
-        assert_eq!(err, Err(PostError::UnknownClient));
+        assert_eq!(err, Err(StoreError::UnknownClient));
     }
 
     #[test]
     fn malformed_wire_rejected_and_garbage_urls_dropped() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        assert_eq!(
+        assert!(matches!(
             s.post_update_wire(c, "garbage", SimTime::ZERO),
-            Err(PostError::Malformed)
-        );
+            Err(StoreError::Wire(_))
+        ));
         let n = s
             .post_update(
                 c,
@@ -377,8 +563,32 @@ mod tests {
     }
 
     #[test]
+    fn ingest_receipt_reports_both_sides() {
+        let s = ServerDb::builder(7).shards(4).build().unwrap();
+        let c = s.register(SimTime::ZERO, 0.0).unwrap();
+        let receipt = s
+            .ingest(Batch::new(
+                c,
+                vec![
+                    report("http://ok.com/", 1, BlockingType::HttpDrop),
+                    report("garbage", 1, BlockingType::HttpDrop),
+                ],
+                SimTime::ZERO,
+            ))
+            .unwrap();
+        assert_eq!(
+            receipt,
+            IngestReceipt {
+                accepted: 1,
+                rejected: 1
+            }
+        );
+        assert_eq!(s.updates_accepted(), 1);
+    }
+
+    #[test]
     fn risk_gate_and_rate_limit() {
-        let mut s = ServerDb::new(7).with_registrar(RegistrarConfig {
+        let s = ServerDb::new(7).with_registrar(RegistrarConfig {
             max_risk: 0.5,
             max_per_window: 2,
             window: SimDuration::from_secs(60),
@@ -400,7 +610,7 @@ mod tests {
 
     #[test]
     fn confidence_filter_hides_lone_spam() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let honest1 = s.register(SimTime::ZERO, 0.0).unwrap();
         let honest2 = s.register(SimTime::ZERO, 0.0).unwrap();
         let spammer = s.register(SimTime::ZERO, 0.0).unwrap();
@@ -429,7 +639,7 @@ mod tests {
 
     #[test]
     fn revocation_hides_reports() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         s.post_update(
             c,
@@ -443,13 +653,13 @@ mod tests {
         // And the client can no longer post.
         assert_eq!(
             s.post_update(c, &[], SimTime::ZERO),
-            Err(PostError::UnknownClient)
+            Err(StoreError::UnknownClient)
         );
     }
 
     #[test]
     fn stats_cover_table7_dimensions() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         s.post_update(
             c,
@@ -475,7 +685,7 @@ mod tests {
 
     #[test]
     fn repost_after_expiry_restores_visibility() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         let r = report("http://x.com/", 1, BlockingType::HttpDrop);
         s.post_update(c, std::slice::from_ref(&r), SimTime::ZERO)
@@ -493,7 +703,7 @@ mod tests {
 
     #[test]
     fn record_expiry() {
-        let mut s = ServerDb::new(7);
+        let s = ServerDb::new(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         s.post_update(
             c,
@@ -506,5 +716,64 @@ mod tests {
         assert!(s
             .blocked_for_as(Asn(1), &ConfidenceFilter::default())
             .is_empty());
+    }
+
+    #[test]
+    fn builder_jsonl_backend_survives_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("csaw-server-wal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let c;
+        {
+            let s = ServerDb::builder(7).jsonl_log(&path).build().unwrap();
+            c = s.register(SimTime::ZERO, 0.0).unwrap();
+            s.post_update(
+                c,
+                &[report("http://x.com/", 1, BlockingType::HttpDrop)],
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+            s.store().flush().unwrap();
+        }
+        // Reopening replays the log: records and votes are back. (The
+        // client set is front-end state; re-registration is separate.)
+        let s = ServerDb::builder(7).jsonl_log(&path).build().unwrap();
+        assert_eq!(s.store().record_count(), 1);
+        assert_eq!(s.tally("http://x.com/", Asn(1)).n, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_across_threads_with_plain_refs() {
+        let s = ServerDb::builder(7).shards(4).build().unwrap();
+        let mut uuids = Vec::new();
+        for i in 0..4u64 {
+            uuids.push(s.register(SimTime::from_secs(i), 0.0).unwrap());
+        }
+        std::thread::scope(|scope| {
+            for (t, &c) in uuids.iter().enumerate() {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        s.post_update(
+                            c,
+                            &[report(
+                                &format!("http://t{t}-{i}.com/"),
+                                1,
+                                BlockingType::HttpDrop,
+                            )],
+                            SimTime::from_secs(i),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.updates_accepted(), 200);
+        assert_eq!(s.store().record_count(), 200);
+        assert_eq!(
+            s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).len(),
+            200
+        );
     }
 }

@@ -1,272 +1,12 @@
 //! The voting mechanism (§5 "Interfering with C-Saw measurements").
 //!
-//! Each client holds **one unit of vote**, spread evenly over the `d`
-//! blocked URLs it currently reports: `v_{i,j,k} = 1/d` for blocked URL
-//! `j` from client AS `k`. The server keeps, per (URL, AS):
-//!
-//! - `s_{j,k}`: the sum of votes, and
-//! - `n_{j,k}`: the number of distinct clients voting,
-//!
-//! as robustness estimates. Consumers distrust entries with large `n`
-//! but small `s` (vote mass diluted over huge report sets — the signature
-//! of spamming clients) and entries with small `n` (too few independent
-//! witnesses). Inspired by PageRank, per the paper.
+//! The implementation now lives in [`csaw_store`]: the ledger is
+//! lock-striped for concurrent ingestion (clients and keys sharded
+//! separately, an inverted voter index for `O(voters)` tallies, and a
+//! vote epoch that snapshot caches key on). This module re-exports the
+//! types under their historical paths; the semantics are unchanged —
+//! each client holds one unit of vote spread evenly over the `d`
+//! blocked URLs it currently reports, and per (URL, AS) the server
+//! keeps the vote sum `s` and distinct-voter count `n`.
 
-use crate::global::record::Uuid;
-use csaw_simnet::topology::Asn;
-use std::collections::{HashMap, HashSet};
-
-/// Aggregated vote state for one (URL, AS).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Tally {
-    /// Sum of votes, `s_{j,k}`.
-    pub s: f64,
-    /// Distinct voting clients, `n_{j,k}`.
-    pub n: usize,
-}
-
-impl Tally {
-    /// Average vote mass per voter (`s/n`), 0 when nobody voted.
-    pub fn avg_vote(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            self.s / self.n as f64
-        }
-    }
-}
-
-/// Confidence thresholds for consuming crowdsourced measurements.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ConfidenceFilter {
-    /// Minimum distinct voters.
-    pub min_clients: usize,
-    /// Minimum average vote per voter — guards against vote dilution by
-    /// clients spraying thousands of URLs.
-    pub min_avg_vote: f64,
-}
-
-impl Default for ConfidenceFilter {
-    fn default() -> Self {
-        ConfidenceFilter {
-            min_clients: 1,
-            min_avg_vote: 0.0,
-        }
-    }
-}
-
-impl ConfidenceFilter {
-    /// A stricter filter for adversarial settings.
-    pub fn strict(min_clients: usize, min_avg_vote: f64) -> ConfidenceFilter {
-        ConfidenceFilter {
-            min_clients,
-            min_avg_vote,
-        }
-    }
-
-    /// Does a tally pass this filter?
-    pub fn passes(&self, t: &Tally) -> bool {
-        t.n >= self.min_clients && (self.min_avg_vote <= 0.0 || t.avg_vote() >= self.min_avg_vote)
-    }
-}
-
-/// The server-side vote ledger.
-#[derive(Debug, Clone, Default)]
-pub struct VoteLedger {
-    /// Each client's current vote targets ((URL, AS) pairs).
-    client_votes: HashMap<Uuid, HashSet<(String, Asn)>>,
-}
-
-impl VoteLedger {
-    /// An empty ledger.
-    pub fn new() -> VoteLedger {
-        VoteLedger::default()
-    }
-
-    /// Replace a client's reported blocked set. The client's single unit
-    /// of vote is re-spread over the new set.
-    pub fn set_client_report(
-        &mut self,
-        client: Uuid,
-        urls: impl IntoIterator<Item = (String, Asn)>,
-    ) {
-        let set: HashSet<(String, Asn)> = urls.into_iter().collect();
-        if set.is_empty() {
-            self.client_votes.remove(&client);
-        } else {
-            self.client_votes.insert(client, set);
-        }
-    }
-
-    /// Add URLs to a client's reported set (incremental reporting),
-    /// re-spreading its vote.
-    pub fn add_client_urls(&mut self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
-        let entry = self.client_votes.entry(client).or_default();
-        entry.extend(urls);
-    }
-
-    /// Revoke a client entirely (malicious-user eviction, §5).
-    pub fn revoke(&mut self, client: Uuid) {
-        self.client_votes.remove(&client);
-    }
-
-    /// Current tally for a (URL, AS).
-    pub fn tally(&self, url: &str, asn: Asn) -> Tally {
-        let key = (url.to_string(), asn);
-        let mut t = Tally::default();
-        for votes in self.client_votes.values() {
-            if votes.contains(&key) {
-                t.n += 1;
-                t.s += 1.0 / votes.len() as f64;
-            }
-        }
-        t
-    }
-
-    /// Total vote mass a client currently spends (1.0 if it reports
-    /// anything, 0.0 otherwise) — the conservation invariant.
-    pub fn client_vote_mass(&self, client: Uuid) -> f64 {
-        match self.client_votes.get(&client) {
-            None => 0.0,
-            Some(set) => set.len() as f64 * (1.0 / set.len() as f64),
-        }
-    }
-
-    /// Number of clients currently voting.
-    pub fn voter_count(&self) -> usize {
-        self.client_votes.len()
-    }
-
-    /// Per-client report-set sizes (reputation auditing input).
-    pub fn client_report_sizes(&self) -> Vec<(Uuid, usize)> {
-        let mut out: Vec<(Uuid, usize)> = self
-            .client_votes
-            .iter()
-            .map(|(c, set)| (*c, set.len()))
-            .collect();
-        out.sort_by_key(|(c, _)| *c);
-        out
-    }
-
-    /// The (URL, AS) pairs a client currently reports.
-    pub fn client_urls(&self, client: Uuid) -> Vec<(String, Asn)> {
-        let mut out: Vec<(String, Asn)> = self
-            .client_votes
-            .get(&client)
-            .map(|set| set.iter().cloned().collect())
-            .unwrap_or_default();
-        out.sort();
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn uuid(n: u64) -> Uuid {
-        Uuid::from_raw(n)
-    }
-
-    #[test]
-    fn vote_spreads_evenly() {
-        let mut l = VoteLedger::new();
-        l.set_client_report(
-            uuid(1),
-            [
-                ("http://a.com/".to_string(), Asn(10)),
-                ("http://b.com/".to_string(), Asn(10)),
-            ],
-        );
-        let ta = l.tally("http://a.com/", Asn(10));
-        assert_eq!(ta.n, 1);
-        assert!((ta.s - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn vote_mass_conserved() {
-        let mut l = VoteLedger::new();
-        for d in [1usize, 3, 10, 100] {
-            let urls: Vec<(String, Asn)> = (0..d)
-                .map(|i| (format!("http://site{i}.com/"), Asn(1)))
-                .collect();
-            l.set_client_report(uuid(7), urls);
-            assert!((l.client_vote_mass(uuid(7)) - 1.0).abs() < 1e-9, "d={d}");
-        }
-    }
-
-    #[test]
-    fn many_honest_clients_beat_one_spammer() {
-        let mut l = VoteLedger::new();
-        // 10 honest clients each report the same 2 genuinely blocked URLs.
-        for c in 0..10 {
-            l.set_client_report(
-                uuid(c),
-                [
-                    ("http://blocked-1.com/".to_string(), Asn(1)),
-                    ("http://blocked-2.com/".to_string(), Asn(1)),
-                ],
-            );
-        }
-        // One spammer reports 1000 fake URLs.
-        let fakes: Vec<(String, Asn)> = (0..1000)
-            .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
-            .collect();
-        l.set_client_report(uuid(99), fakes);
-
-        let honest = l.tally("http://blocked-1.com/", Asn(1));
-        let fake = l.tally("http://fake1.com/", Asn(1));
-        assert_eq!(honest.n, 10);
-        assert!((honest.s - 5.0).abs() < 1e-9);
-        assert_eq!(fake.n, 1);
-        assert!(fake.s < 0.01);
-        // The paper's consumption rule separates them cleanly.
-        let filter = ConfidenceFilter::strict(2, 0.1);
-        assert!(filter.passes(&honest));
-        assert!(!filter.passes(&fake));
-    }
-
-    #[test]
-    fn vote_dilution_signature() {
-        // Colluding clients each spraying many URLs have large n but tiny
-        // average vote.
-        let mut l = VoteLedger::new();
-        for c in 0..20 {
-            let urls: Vec<(String, Asn)> = (0..500)
-                .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
-                .collect();
-            l.set_client_report(uuid(c), urls);
-        }
-        let t = l.tally("http://fake0.com/", Asn(1));
-        assert_eq!(t.n, 20);
-        assert!(t.avg_vote() < 0.01);
-        assert!(!ConfidenceFilter::strict(2, 0.1).passes(&t));
-    }
-
-    #[test]
-    fn revocation_removes_influence() {
-        let mut l = VoteLedger::new();
-        l.set_client_report(uuid(1), [("http://x.com/".to_string(), Asn(1))]);
-        assert_eq!(l.tally("http://x.com/", Asn(1)).n, 1);
-        l.revoke(uuid(1));
-        assert_eq!(l.tally("http://x.com/", Asn(1)).n, 0);
-        assert_eq!(l.voter_count(), 0);
-    }
-
-    #[test]
-    fn incremental_reports_respread() {
-        let mut l = VoteLedger::new();
-        l.add_client_urls(uuid(1), [("http://a.com/".to_string(), Asn(1))]);
-        assert!((l.tally("http://a.com/", Asn(1)).s - 1.0).abs() < 1e-9);
-        l.add_client_urls(uuid(1), [("http://b.com/".to_string(), Asn(1))]);
-        assert!((l.tally("http://a.com/", Asn(1)).s - 0.5).abs() < 1e-9);
-        assert!((l.tally("http://b.com/", Asn(1)).s - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn per_as_tallies_are_separate() {
-        let mut l = VoteLedger::new();
-        l.set_client_report(uuid(1), [("http://x.com/".to_string(), Asn(1))]);
-        assert_eq!(l.tally("http://x.com/", Asn(2)).n, 0);
-    }
-}
+pub use csaw_store::{ConfidenceFilter, Tally, VoteLedger};

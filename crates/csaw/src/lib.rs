@@ -65,7 +65,8 @@ pub use circum::{PltTracker, Selector};
 pub use client::{ClientStats, CsawClient, RequestOutcome};
 pub use config::{CsawConfig, RedundancyMode, UserPreference};
 pub use global::{
-    ConfidenceFilter, DeploymentStats, GlobalRecord, Report, ServerDb, Uuid, VoteLedger,
+    Batch, ConfidenceFilter, DeploymentStats, GlobalRecord, IngestReceipt, Report, ServerDb,
+    ServerDbBuilder, StorageBackend, StoreError, Uuid, VoteLedger,
 };
 pub use local::{LocalDb, LocalRecord, Status};
 pub use measure::{

@@ -24,6 +24,7 @@ use csaw_censor::blocking::BlockingType;
 use csaw_obs::json::JsonValue;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
+use csaw_store::StoreError;
 use csaw_webproto::url::Url;
 use std::collections::HashMap;
 
@@ -324,10 +325,13 @@ impl LocalDb {
         })
     }
 
-    /// Parse and decode a persisted database from JSON text.
-    pub fn from_json_str(s: &str) -> Result<LocalDb, String> {
-        let v = JsonValue::parse(s).map_err(|e| e.to_string())?;
-        LocalDb::from_json(&v).ok_or_else(|| "malformed local DB snapshot".to_string())
+    /// Parse and decode a persisted database from JSON text. Garbage is
+    /// the store's unified [`StoreError::Corrupt`], never a panic.
+    pub fn from_json_str(s: &str) -> Result<LocalDb, StoreError> {
+        let v = JsonValue::parse(s)
+            .map_err(|e| StoreError::Corrupt(format!("local DB snapshot: {e}")))?;
+        LocalDb::from_json(&v)
+            .ok_or_else(|| StoreError::Corrupt("malformed local DB snapshot".to_string()))
     }
 }
 

@@ -1,0 +1,411 @@
+//! The storage backend abstraction and the append-only JSONL backend.
+//!
+//! [`StorageBackend`] is the seam the server front-end programs against:
+//! the in-memory [`ShardedStore`](crate::shard::ShardedStore) for
+//! simulation runs, [`JsonlStore`] when the deployment needs the global
+//! DB to survive a restart, or anything custom injected through the
+//! builder.
+//!
+//! The JSONL backend is a write-ahead log in the literal sense: every
+//! mutating operation is appended as one JSON line *before* it is
+//! applied to the wrapped in-memory store, and `open` rebuilds the
+//! store by replaying the log through the exact same code paths. Client
+//! UUIDs are logged as 16-digit hex strings — the in-tree JSON value is
+//! f64-backed, and raw 64-bit IDs do not survive the f64 round-trip.
+
+use crate::batch::{Batch, IngestReceipt};
+use crate::error::StoreError;
+use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
+use crate::record::{GlobalRecord, Report, Uuid};
+use crate::shard::ShardedStore;
+use csaw_obs::json::JsonValue;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// What a global measurement store must provide. Object-safe so the
+/// server can hold `Arc<dyn StorageBackend>` and backends can be
+/// swapped without touching the front-end.
+///
+/// Every method takes `&self`: backends are internally synchronized and
+/// shared across ingestion threads.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Ingest one client's report batch. Never panics on garbage input;
+    /// unsalvageable reports are counted in the receipt's `rejected`.
+    fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError>;
+
+    /// Confidence-filtered snapshot of blocked URLs for one AS, sorted
+    /// by URL.
+    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord>;
+
+    /// Vote tally for one (URL, AS) key.
+    fn tally(&self, url: &str, asn: Asn) -> Tally;
+
+    /// Retract every vote a client has cast (reputation revocation).
+    fn revoke(&self, client: Uuid);
+
+    /// Drop every record a client reported; returns how many.
+    fn remove_reporter_records(&self, client: Uuid) -> usize;
+
+    /// Drop records older than `max_age` at time `now`; returns how many.
+    fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize;
+
+    /// Number of live records.
+    fn record_count(&self) -> usize;
+
+    /// Visit every live record (shard by shard; no global lock).
+    fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord));
+
+    /// The vote ledger backing this store.
+    fn ledger(&self) -> &VoteLedger;
+
+    /// How many shards the keyspace is striped over.
+    fn shard_count(&self) -> usize;
+
+    /// Flush any buffered durable state. No-op for memory backends.
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+fn uuid_to_json(u: Uuid) -> JsonValue {
+    JsonValue::from(u.to_string())
+}
+
+fn uuid_from_json(v: &JsonValue) -> Result<Uuid, StoreError> {
+    v.as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(Uuid::from_raw)
+        .ok_or_else(|| StoreError::Corrupt("client must be a 16-hex-digit string".into()))
+}
+
+/// An append-only JSONL write-ahead log wrapped around the in-memory
+/// sharded store. One line per mutating operation; [`JsonlStore::open`]
+/// replays the log through the normal ingest/revoke/expire paths, so a
+/// reopened store is state-identical to the one that wrote the log
+/// (stable FNV shard placement makes replay land every key on the same
+/// shard).
+pub struct JsonlStore {
+    inner: ShardedStore,
+    path: PathBuf,
+    log: Mutex<BufWriter<File>>,
+}
+
+impl fmt::Debug for JsonlStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlStore")
+            .field("path", &self.path)
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlStore {
+    /// Open (or create) a log at `path` over a fresh `shards`-way store,
+    /// replaying any existing operations. A truncated or hand-edited
+    /// line is [`StoreError::Corrupt`] with its line number.
+    pub fn open(path: &Path, shards: usize) -> Result<JsonlStore, StoreError> {
+        let inner = ShardedStore::new(shards)?;
+        if path.exists() {
+            let f = File::open(path).map_err(|e| StoreError::io(path, e))?;
+            for (no, line) in BufReader::new(f).lines().enumerate() {
+                let line = line.map_err(|e| StoreError::io(path, e))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                Self::replay_line(&inner, &line)
+                    .map_err(|e| StoreError::Corrupt(format!("line {}: {e}", no + 1)))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        Ok(JsonlStore {
+            inner,
+            path: path.to_path_buf(),
+            log: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The log file this store appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Record wall-clock per-batch ingest latency in the wrapped
+    /// in-memory store (see
+    /// [`ShardedStore::with_ingest_latency`]).
+    pub fn with_ingest_latency(mut self, on: bool) -> JsonlStore {
+        self.inner = self.inner.with_ingest_latency(on);
+        self
+    }
+
+    fn replay_line(inner: &ShardedStore, line: &str) -> Result<(), StoreError> {
+        let v =
+            JsonValue::parse(line).map_err(|e| StoreError::Corrupt(format!("not JSON: {e}")))?;
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| StoreError::Corrupt("missing op".into()))?;
+        match op {
+            "ingest" => {
+                let client = uuid_from_json(
+                    v.get("client")
+                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
+                )?;
+                let posted_at = v
+                    .get("posted_at_us")
+                    .and_then(JsonValue::as_u64)
+                    .map(SimTime::from_micros)
+                    .ok_or_else(|| StoreError::Corrupt("missing posted_at_us".into()))?;
+                let reports = v
+                    .get("reports")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| StoreError::Corrupt("missing reports".into()))?
+                    .iter()
+                    .map(Report::from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(StoreError::Wire)?;
+                inner.ingest(&Batch::new(client, reports, posted_at))?;
+            }
+            "revoke" => {
+                inner.revoke(uuid_from_json(
+                    v.get("client")
+                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
+                )?);
+            }
+            "remove_reporter" => {
+                inner.remove_reporter_records(uuid_from_json(
+                    v.get("client")
+                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
+                )?);
+            }
+            "expire" => {
+                let now = v
+                    .get("now_us")
+                    .and_then(JsonValue::as_u64)
+                    .map(SimTime::from_micros)
+                    .ok_or_else(|| StoreError::Corrupt("missing now_us".into()))?;
+                let max_age = v
+                    .get("max_age_us")
+                    .and_then(JsonValue::as_u64)
+                    .map(SimDuration::from_micros)
+                    .ok_or_else(|| StoreError::Corrupt("missing max_age_us".into()))?;
+                inner.expire_records(now, max_age);
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown op {other:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&self, v: &JsonValue) -> Result<(), StoreError> {
+        let mut line = v.to_string_compact();
+        line.push('\n');
+        let mut log = self.log.lock().unwrap();
+        log.write_all(line.as_bytes())
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        csaw_obs::inc("store.wal.appends");
+        csaw_obs::add("store.wal.bytes", line.len() as u64);
+        Ok(())
+    }
+}
+
+impl StorageBackend for JsonlStore {
+    fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError> {
+        let mut v = JsonValue::obj();
+        v.set("op", "ingest");
+        v.set("client", uuid_to_json(batch.client));
+        v.set("posted_at_us", batch.posted_at.as_micros());
+        v.set(
+            "reports",
+            batch
+                .reports()
+                .iter()
+                .map(Report::to_json)
+                .collect::<Vec<_>>(),
+        );
+        self.append(&v)?;
+        self.inner.ingest(batch)
+    }
+
+    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+        self.inner.blocked_for_as(asn, filter)
+    }
+
+    fn tally(&self, url: &str, asn: Asn) -> Tally {
+        self.inner.tally(url, asn)
+    }
+
+    fn revoke(&self, client: Uuid) {
+        let mut v = JsonValue::obj();
+        v.set("op", "revoke");
+        v.set("client", uuid_to_json(client));
+        // Best-effort on the revocation path: the in-memory retraction
+        // must happen even if the log write fails.
+        let _ = self.append(&v);
+        self.inner.revoke(client);
+    }
+
+    fn remove_reporter_records(&self, client: Uuid) -> usize {
+        let mut v = JsonValue::obj();
+        v.set("op", "remove_reporter");
+        v.set("client", uuid_to_json(client));
+        let _ = self.append(&v);
+        self.inner.remove_reporter_records(client)
+    }
+
+    fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize {
+        let mut v = JsonValue::obj();
+        v.set("op", "expire");
+        v.set("now_us", now.as_micros());
+        v.set("max_age_us", max_age.as_micros());
+        let _ = self.append(&v);
+        self.inner.expire_records(now, max_age)
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord)) {
+        self.inner.for_each_record(f)
+    }
+
+    fn ledger(&self) -> &VoteLedger {
+        self.inner.ledger()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        let mut log = self.log.lock().unwrap();
+        log.flush().map_err(|e| StoreError::io(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::blocking::BlockingType;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "csaw-store-test-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn batch(client: u64, url: &str, asn: u32, t: u64) -> Batch {
+        Batch::new(
+            Uuid::from_raw(client),
+            vec![Report {
+                url: url.into(),
+                asn,
+                measured_at_us: t,
+                stages: vec![BlockingType::HttpDrop],
+            }],
+            SimTime::from_micros(t),
+        )
+    }
+
+    #[test]
+    fn replay_restores_records_and_votes() {
+        let path = tmp("replay");
+        {
+            let s = JsonlStore::open(&path, 4).unwrap();
+            s.ingest(&batch(0xdead_beef_dead_beef, "http://a.com/", 7, 10))
+                .unwrap();
+            s.ingest(&batch(2, "http://a.com/", 7, 20)).unwrap();
+            s.ingest(&batch(3, "http://b.com/", 7, 30)).unwrap();
+            s.revoke(Uuid::from_raw(3));
+            s.flush().unwrap();
+        }
+        let s = JsonlStore::open(&path, 4).unwrap();
+        assert_eq!(s.record_count(), 2);
+        let t = s.tally("http://a.com/", Asn(7));
+        assert_eq!(t.n, 2);
+        assert_eq!(
+            s.tally("http://b.com/", Asn(7)).n,
+            0,
+            "revoked vote replayed"
+        );
+        // Full-range UUID survives the hex round-trip.
+        assert_eq!(
+            s.ledger()
+                .client_urls(Uuid::from_raw(0xdead_beef_dead_beef))
+                .len(),
+            1
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_is_shard_count_independent_in_content() {
+        let path = tmp("shards");
+        {
+            let s = JsonlStore::open(&path, 16).unwrap();
+            for c in 0..20u64 {
+                s.ingest(&batch(c, &format!("http://s{}.com/", c % 5), 1, c))
+                    .unwrap();
+            }
+            s.flush().unwrap();
+        }
+        // Reopen with a different stripe width: same logical state.
+        let s = JsonlStore::open(&path, 3).unwrap();
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!(s.record_count(), 5);
+        let v = s.blocked_for_as(Asn(1), &ConfidenceFilter::strict(2, 0.0));
+        assert_eq!(v.len(), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_line_is_an_error_with_line_number() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{\"op\":\"ingest\"}\n").unwrap();
+        let err = JsonlStore::open(&path, 2).unwrap_err();
+        match err {
+            StoreError::Corrupt(msg) => assert!(msg.contains("line 1"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(JsonlStore::open(&path, 2).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn expire_survives_replay() {
+        let path = tmp("expire");
+        {
+            let s = JsonlStore::open(&path, 2).unwrap();
+            s.ingest(&batch(1, "http://old.com/", 1, 1_000_000))
+                .unwrap();
+            s.ingest(&batch(2, "http://new.com/", 1, 60_000_000))
+                .unwrap();
+            assert_eq!(
+                s.expire_records(SimTime::from_secs(61), SimDuration::from_secs(30)),
+                1
+            );
+            s.flush().unwrap();
+        }
+        let s = JsonlStore::open(&path, 2).unwrap();
+        assert_eq!(s.record_count(), 1);
+        let mut urls = Vec::new();
+        s.for_each_record(&mut |r| urls.push(r.url.clone()));
+        assert_eq!(urls, ["http://new.com/"]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

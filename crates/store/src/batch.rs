@@ -1,0 +1,114 @@
+//! The single ingestion entry point's input and output types.
+//!
+//! [`Batch`] owns the wire decode: a server front-end builds one either
+//! from already-parsed [`Report`]s or straight from the JSON wire bytes,
+//! and hands it to `ingest`. [`IngestReceipt`] carries the
+//! accepted/rejected split so callers (and the obs counters) see exactly
+//! what the store kept.
+
+use crate::error::StoreError;
+use crate::record::{Report, Uuid};
+use csaw_simnet::time::SimTime;
+use csaw_webproto::url::Url;
+
+/// One client's report batch, ready for ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The posting client.
+    pub client: Uuid,
+    /// Server receive time (`T_p` for every record in the batch).
+    pub posted_at: SimTime,
+    reports: Vec<Report>,
+}
+
+impl Batch {
+    /// A batch from already-parsed reports.
+    pub fn new(client: Uuid, reports: Vec<Report>, posted_at: SimTime) -> Batch {
+        Batch {
+            client,
+            posted_at,
+            reports,
+        }
+    }
+
+    /// Decode a batch from the JSON wire format. Malformed input is a
+    /// [`StoreError::Wire`], never a panic.
+    pub fn from_wire(client: Uuid, wire: &str, posted_at: SimTime) -> Result<Batch, StoreError> {
+        let reports = Report::decode_batch(wire)?;
+        Ok(Batch::new(client, reports, posted_at))
+    }
+
+    /// The carried reports.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Number of reports in the batch.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Is a report storable? The URL must parse and at least one
+    /// blocking stage must be present; garbage is counted as rejected,
+    /// not stored.
+    pub(crate) fn storable(r: &Report) -> bool {
+        !r.stages.is_empty() && Url::parse(&r.url).is_ok()
+    }
+}
+
+/// What the store did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReceipt {
+    /// Reports stored (URL parsed, stages present).
+    pub accepted: usize,
+    /// Reports dropped by sanitization.
+    pub rejected: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::blocking::BlockingType;
+
+    #[test]
+    fn from_wire_roundtrips_and_rejects_garbage() {
+        let reports = vec![Report {
+            url: "http://x.example/".into(),
+            asn: 7,
+            measured_at_us: 5,
+            stages: vec![BlockingType::HttpDrop],
+        }];
+        let wire = Report::encode_batch(&reports);
+        let b = Batch::from_wire(Uuid::from_raw(1), &wire, SimTime::from_secs(9)).unwrap();
+        assert_eq!(b.reports(), &reports[..]);
+        assert_eq!(b.posted_at, SimTime::from_secs(9));
+        let err = Batch::from_wire(Uuid::from_raw(1), "garbage", SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, StoreError::Wire(_)));
+    }
+
+    #[test]
+    fn storable_requires_url_and_stages() {
+        let ok = Report {
+            url: "http://x.example/".into(),
+            asn: 1,
+            measured_at_us: 0,
+            stages: vec![BlockingType::HttpDrop],
+        };
+        let bad_url = Report {
+            url: "not a url".into(),
+            ..ok.clone()
+        };
+        let no_stages = Report {
+            stages: vec![],
+            ..ok.clone()
+        };
+        assert!(Batch::storable(&ok));
+        assert!(!Batch::storable(&bad_url));
+        assert!(!Batch::storable(&no_stages));
+    }
+}

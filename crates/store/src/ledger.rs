@@ -1,0 +1,483 @@
+//! The voting mechanism (§5 "Interfering with C-Saw measurements"),
+//! sharded for concurrent ingestion.
+//!
+//! Each client holds **one unit of vote**, spread evenly over the `d`
+//! blocked URLs it currently reports: `v_{i,j,k} = 1/d` for blocked URL
+//! `j` from client AS `k`. The server keeps, per (URL, AS):
+//!
+//! - `s_{j,k}`: the sum of votes, and
+//! - `n_{j,k}`: the number of distinct clients voting,
+//!
+//! as robustness estimates. Consumers distrust entries with large `n`
+//! but small `s` (vote mass diluted over huge report sets — the
+//! signature of spamming clients) and entries with small `n` (too few
+//! independent witnesses). Inspired by PageRank, per the paper.
+//!
+//! ## Concurrency
+//!
+//! The ledger is striped two ways: client → report-set maps are sharded
+//! by UUID, and the inverted (URL, AS) → voters index is sharded by the
+//! stable FNV key hash. No operation ever holds locks from both families
+//! at once (writers update the client side, release, then the key side),
+//! so writers on different clients and readers tallying different keys
+//! proceed in parallel and no lock-order deadlock exists. Between the
+//! two phases of a write a tally may observe the voter on one side only;
+//! the store is eventually consistent mid-batch and exact at quiescence,
+//! which is what the determinism tests pin down.
+//!
+//! A global *vote epoch* increments whenever any client's vote spread
+//! changes (its `1/d` weights moved). Snapshot caches key on it: a
+//! cached confidence-filtered view is valid only while both its shard
+//! generation and the vote epoch are unchanged.
+
+use crate::hash::key_shard;
+use crate::record::Uuid;
+use csaw_simnet::topology::Asn;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Aggregated vote state for one (URL, AS).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Tally {
+    /// Sum of votes, `s_{j,k}`.
+    pub s: f64,
+    /// Distinct voting clients, `n_{j,k}`.
+    pub n: usize,
+}
+
+impl Tally {
+    /// Average vote mass per voter (`s/n`), 0 when nobody voted.
+    pub fn avg_vote(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.s / self.n as f64
+        }
+    }
+}
+
+/// Confidence thresholds for consuming crowdsourced measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceFilter {
+    /// Minimum distinct voters.
+    pub min_clients: usize,
+    /// Minimum average vote per voter — guards against vote dilution by
+    /// clients spraying thousands of URLs.
+    pub min_avg_vote: f64,
+}
+
+impl Default for ConfidenceFilter {
+    fn default() -> Self {
+        ConfidenceFilter {
+            min_clients: 1,
+            min_avg_vote: 0.0,
+        }
+    }
+}
+
+impl ConfidenceFilter {
+    /// A stricter filter for adversarial settings.
+    pub fn strict(min_clients: usize, min_avg_vote: f64) -> ConfidenceFilter {
+        ConfidenceFilter {
+            min_clients,
+            min_avg_vote,
+        }
+    }
+
+    /// Does a tally pass this filter?
+    pub fn passes(&self, t: &Tally) -> bool {
+        t.n >= self.min_clients && (self.min_avg_vote <= 0.0 || t.avg_vote() >= self.min_avg_vote)
+    }
+
+    /// A stable cache key for snapshot caches (`f64` has no `Hash`; the
+    /// bit pattern does).
+    pub(crate) fn cache_key(&self) -> (usize, u64) {
+        (self.min_clients, self.min_avg_vote.to_bits())
+    }
+}
+
+type KeySet = HashSet<(String, Asn)>;
+type ClientShard = RwLock<HashMap<Uuid, KeySet>>;
+type KeyIndexShard = RwLock<HashMap<(String, Asn), HashSet<Uuid>>>;
+
+/// The server-side vote ledger, lock-striped for concurrent writers.
+#[derive(Debug)]
+pub struct VoteLedger {
+    /// client → its current (URL, AS) report set, sharded by UUID.
+    client_shards: Box<[ClientShard]>,
+    /// (URL, AS) → distinct voting clients, sharded by the key hash.
+    key_shards: Box<[KeyIndexShard]>,
+    /// Bumped whenever any client's vote spread changes.
+    epoch: AtomicU64,
+}
+
+impl Default for VoteLedger {
+    fn default() -> Self {
+        VoteLedger::with_shards(16)
+    }
+}
+
+impl VoteLedger {
+    /// An empty ledger with the default stripe count.
+    pub fn new() -> VoteLedger {
+        VoteLedger::default()
+    }
+
+    /// An empty ledger striped `n` ways (`n` is clamped to ≥ 1).
+    pub fn with_shards(n: usize) -> VoteLedger {
+        let n = n.max(1);
+        VoteLedger {
+            client_shards: (0..n).map(|_| RwLock::default()).collect(),
+            key_shards: (0..n).map(|_| RwLock::default()).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn client_shard(&self, c: Uuid) -> &ClientShard {
+        &self.client_shards[(c.raw() % self.client_shards.len() as u64) as usize]
+    }
+
+    fn key_shard_of(&self, url: &str, asn: Asn) -> &KeyIndexShard {
+        &self.key_shards[key_shard(url, asn, self.key_shards.len())]
+    }
+
+    /// The current vote epoch (see the module docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Add `client` to the voter index of every key in `added`, remove
+    /// it from every key in `removed`. Called with no client lock held.
+    fn update_key_index(&self, client: Uuid, added: &KeySet, removed: &KeySet) {
+        for (url, asn) in added {
+            let mut shard = self.key_shard_of(url, *asn).write().unwrap();
+            shard.entry((url.clone(), *asn)).or_default().insert(client);
+        }
+        for (url, asn) in removed {
+            let mut shard = self.key_shard_of(url, *asn).write().unwrap();
+            if let Some(voters) = shard.get_mut(&(url.clone(), *asn)) {
+                voters.remove(&client);
+                if voters.is_empty() {
+                    shard.remove(&(url.clone(), *asn));
+                }
+            }
+        }
+    }
+
+    /// Replace a client's reported blocked set. The client's single unit
+    /// of vote is re-spread over the new set.
+    pub fn set_client_report(&self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
+        let new: KeySet = urls.into_iter().collect();
+        let (added, removed) = {
+            let mut shard = self.client_shard(client).write().unwrap();
+            let old = if new.is_empty() {
+                shard.remove(&client).unwrap_or_default()
+            } else {
+                shard.insert(client, new.clone()).unwrap_or_default()
+            };
+            let added: KeySet = new.difference(&old).cloned().collect();
+            let removed: KeySet = old.difference(&new).cloned().collect();
+            (added, removed)
+        };
+        if added.is_empty() && removed.is_empty() {
+            return;
+        }
+        self.update_key_index(client, &added, &removed);
+        self.bump_epoch();
+    }
+
+    /// Add URLs to a client's reported set (incremental reporting),
+    /// re-spreading its vote.
+    pub fn add_client_urls(&self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
+        let added = {
+            let mut shard = self.client_shard(client).write().unwrap();
+            let set = shard.entry(client).or_default();
+            let mut added = KeySet::new();
+            for key in urls {
+                if set.insert(key.clone()) {
+                    added.insert(key);
+                }
+            }
+            added
+        };
+        if added.is_empty() {
+            return;
+        }
+        self.update_key_index(client, &added, &KeySet::new());
+        self.bump_epoch();
+    }
+
+    /// Revoke a client entirely (malicious-user eviction, §5).
+    pub fn revoke(&self, client: Uuid) {
+        let removed = {
+            let mut shard = self.client_shard(client).write().unwrap();
+            shard.remove(&client)
+        };
+        let Some(removed) = removed else { return };
+        if removed.is_empty() {
+            return;
+        }
+        self.update_key_index(client, &KeySet::new(), &removed);
+        self.bump_epoch();
+    }
+
+    /// A client's current report-set size `d` (0 when absent).
+    pub fn report_count(&self, client: Uuid) -> usize {
+        self.client_shard(client)
+            .read()
+            .unwrap()
+            .get(&client)
+            .map(HashSet::len)
+            .unwrap_or(0)
+    }
+
+    /// Current tally for a (URL, AS).
+    ///
+    /// `O(voters of that key)`, not `O(all clients)`: the inverted index
+    /// names the voters, and each contributes `1/d` from its shard.
+    /// Voters are visited in sorted UUID order so the float sum is
+    /// independent of hash-map iteration order.
+    pub fn tally(&self, url: &str, asn: Asn) -> Tally {
+        let mut voters: Vec<Uuid> = {
+            let shard = self.key_shard_of(url, asn).read().unwrap();
+            match shard.get(&(url.to_string(), asn)) {
+                Some(v) => v.iter().copied().collect(),
+                None => return Tally::default(),
+            }
+        };
+        voters.sort_unstable();
+        let mut t = Tally::default();
+        for c in voters {
+            let d = self.report_count(c);
+            if d > 0 {
+                t.n += 1;
+                t.s += 1.0 / d as f64;
+            }
+        }
+        t
+    }
+
+    /// Total vote mass a client currently spends (1.0 if it reports
+    /// anything, 0.0 otherwise) — the conservation invariant.
+    pub fn client_vote_mass(&self, client: Uuid) -> f64 {
+        match self.report_count(client) {
+            0 => 0.0,
+            d => d as f64 * (1.0 / d as f64),
+        }
+    }
+
+    /// Number of clients currently voting.
+    pub fn voter_count(&self) -> usize {
+        self.client_shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum()
+    }
+
+    /// Per-client report-set sizes (reputation auditing input). Walks
+    /// the stripes one read lock at a time — no global lock.
+    pub fn client_report_sizes(&self) -> Vec<(Uuid, usize)> {
+        let mut out = Vec::new();
+        for shard in self.client_shards.iter() {
+            let g = shard.read().unwrap();
+            out.extend(g.iter().map(|(c, set)| (*c, set.len())));
+        }
+        out.sort_by_key(|(c, _)| *c);
+        out
+    }
+
+    /// The (URL, AS) pairs a client currently reports.
+    pub fn client_urls(&self, client: Uuid) -> Vec<(String, Asn)> {
+        let mut out: Vec<(String, Asn)> = self
+            .client_shard(client)
+            .read()
+            .unwrap()
+            .get(&client)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uuid(n: u64) -> Uuid {
+        Uuid::from_raw(n)
+    }
+
+    #[test]
+    fn vote_spreads_evenly() {
+        let l = VoteLedger::new();
+        l.set_client_report(
+            uuid(1),
+            [
+                ("http://a.com/".to_string(), Asn(10)),
+                ("http://b.com/".to_string(), Asn(10)),
+            ],
+        );
+        let ta = l.tally("http://a.com/", Asn(10));
+        assert_eq!(ta.n, 1);
+        assert!((ta.s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vote_mass_conserved() {
+        let l = VoteLedger::new();
+        for d in [1usize, 3, 10, 100] {
+            let urls: Vec<(String, Asn)> = (0..d)
+                .map(|i| (format!("http://site{i}.com/"), Asn(1)))
+                .collect();
+            l.set_client_report(uuid(7), urls);
+            assert!((l.client_vote_mass(uuid(7)) - 1.0).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn replacement_retracts_old_votes() {
+        let l = VoteLedger::new();
+        l.set_client_report(uuid(1), [("http://a.com/".to_string(), Asn(1))]);
+        l.set_client_report(uuid(1), [("http://b.com/".to_string(), Asn(1))]);
+        assert_eq!(l.tally("http://a.com/", Asn(1)).n, 0);
+        assert_eq!(l.tally("http://b.com/", Asn(1)).n, 1);
+        // Empty replacement removes the voter entirely.
+        l.set_client_report(uuid(1), std::iter::empty());
+        assert_eq!(l.voter_count(), 0);
+        assert_eq!(l.tally("http://b.com/", Asn(1)).n, 0);
+    }
+
+    #[test]
+    fn many_honest_clients_beat_one_spammer() {
+        let l = VoteLedger::new();
+        // 10 honest clients each report the same 2 genuinely blocked URLs.
+        for c in 0..10 {
+            l.set_client_report(
+                uuid(c),
+                [
+                    ("http://blocked-1.com/".to_string(), Asn(1)),
+                    ("http://blocked-2.com/".to_string(), Asn(1)),
+                ],
+            );
+        }
+        // One spammer reports 1000 fake URLs.
+        let fakes: Vec<(String, Asn)> = (0..1000)
+            .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
+            .collect();
+        l.set_client_report(uuid(99), fakes);
+
+        let honest = l.tally("http://blocked-1.com/", Asn(1));
+        let fake = l.tally("http://fake1.com/", Asn(1));
+        assert_eq!(honest.n, 10);
+        assert!((honest.s - 5.0).abs() < 1e-9);
+        assert_eq!(fake.n, 1);
+        assert!(fake.s < 0.01);
+        // The paper's consumption rule separates them cleanly.
+        let filter = ConfidenceFilter::strict(2, 0.1);
+        assert!(filter.passes(&honest));
+        assert!(!filter.passes(&fake));
+    }
+
+    #[test]
+    fn vote_dilution_signature() {
+        // Colluding clients each spraying many URLs have large n but tiny
+        // average vote.
+        let l = VoteLedger::new();
+        for c in 0..20 {
+            let urls: Vec<(String, Asn)> = (0..500)
+                .map(|i| (format!("http://fake{i}.com/"), Asn(1)))
+                .collect();
+            l.set_client_report(uuid(c), urls);
+        }
+        let t = l.tally("http://fake0.com/", Asn(1));
+        assert_eq!(t.n, 20);
+        assert!(t.avg_vote() < 0.01);
+        assert!(!ConfidenceFilter::strict(2, 0.1).passes(&t));
+    }
+
+    #[test]
+    fn revocation_removes_influence() {
+        let l = VoteLedger::new();
+        l.set_client_report(uuid(1), [("http://x.com/".to_string(), Asn(1))]);
+        assert_eq!(l.tally("http://x.com/", Asn(1)).n, 1);
+        l.revoke(uuid(1));
+        assert_eq!(l.tally("http://x.com/", Asn(1)).n, 0);
+        assert_eq!(l.voter_count(), 0);
+    }
+
+    #[test]
+    fn incremental_reports_respread() {
+        let l = VoteLedger::new();
+        l.add_client_urls(uuid(1), [("http://a.com/".to_string(), Asn(1))]);
+        assert!((l.tally("http://a.com/", Asn(1)).s - 1.0).abs() < 1e-9);
+        l.add_client_urls(uuid(1), [("http://b.com/".to_string(), Asn(1))]);
+        assert!((l.tally("http://a.com/", Asn(1)).s - 0.5).abs() < 1e-9);
+        assert!((l.tally("http://b.com/", Asn(1)).s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_as_tallies_are_separate() {
+        let l = VoteLedger::new();
+        l.set_client_report(uuid(1), [("http://x.com/".to_string(), Asn(1))]);
+        assert_eq!(l.tally("http://x.com/", Asn(2)).n, 0);
+    }
+
+    #[test]
+    fn epoch_moves_only_on_spread_changes() {
+        let l = VoteLedger::new();
+        let e0 = l.epoch();
+        l.add_client_urls(uuid(1), [("http://a.com/".to_string(), Asn(1))]);
+        let e1 = l.epoch();
+        assert!(e1 > e0);
+        // Re-adding the same URL is a no-op: 1/d unchanged, caches stay valid.
+        l.add_client_urls(uuid(1), [("http://a.com/".to_string(), Asn(1))]);
+        assert_eq!(l.epoch(), e1);
+        l.revoke(uuid(1));
+        assert!(l.epoch() > e1);
+        // Revoking an absent client is a no-op.
+        let e2 = l.epoch();
+        l.revoke(uuid(42));
+        assert_eq!(l.epoch(), e2);
+    }
+
+    #[test]
+    fn single_stripe_ledger_matches_striped() {
+        // Same event sequence, shard counts 1 and 16: identical tallies.
+        let a = VoteLedger::with_shards(1);
+        let b = VoteLedger::with_shards(16);
+        for l in [&a, &b] {
+            for c in 0..50u64 {
+                let urls: Vec<(String, Asn)> = (0..(c % 7 + 1))
+                    .map(|i| {
+                        (
+                            format!("http://s{}.com/", (c + i) % 23),
+                            Asn((c % 3) as u32),
+                        )
+                    })
+                    .collect();
+                l.set_client_report(uuid(c), urls);
+            }
+            for c in (0..50u64).step_by(5) {
+                l.revoke(uuid(c));
+            }
+        }
+        assert_eq!(a.voter_count(), b.voter_count());
+        assert_eq!(a.client_report_sizes(), b.client_report_sizes());
+        for i in 0..23 {
+            for asn in 0..3u32 {
+                let (ta, tb) = (
+                    a.tally(&format!("http://s{i}.com/"), Asn(asn)),
+                    b.tally(&format!("http://s{i}.com/"), Asn(asn)),
+                );
+                assert_eq!(ta.n, tb.n, "s{i} asn{asn}");
+                assert!((ta.s - tb.s).abs() < 1e-12, "s{i} asn{asn}");
+            }
+        }
+    }
+}

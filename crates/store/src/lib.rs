@@ -1,0 +1,51 @@
+//! # csaw-store — the sharded, concurrent global measurement store
+//!
+//! The C-Saw server's global DB at deployment scale (§4 "the aggregate
+//! information is stored in a global database"): millions of clients
+//! posting report batches concurrently while other clients pull
+//! confidence-filtered blocked-URL snapshots for their AS.
+//!
+//! Design:
+//!
+//! - **Lock striping** ([`shard`]): the URL×ASN keyspace is split over
+//!   N shards by a stable FNV-1a hash ([`hash`]); each shard has its
+//!   own `RwLock`, so there is no global lock on ingest or lookup.
+//! - **Batched ingest** ([`batch`]): a client's reports are sanitized
+//!   and coalesced per destination shard *before* any lock is taken —
+//!   each touched shard locks once per batch, not once per report.
+//! - **Snapshot caching**: `blocked_for_as` is served from per-shard
+//!   caches validated against (shard generation, vote epoch), so a
+//!   write to one shard invalidates only that shard's snapshots.
+//! - **Sharded voting** ([`ledger`]): the 1/d vote-spreading ledger is
+//!   itself lock-striped (clients and keys separately) with a
+//!   deterministic tally — voters sort before the float sum, so the
+//!   result is independent of arrival order, thread count, and shard
+//!   count.
+//! - **Pluggable persistence** ([`backend`]): the [`StorageBackend`]
+//!   trait with two implementations — the in-memory [`ShardedStore`]
+//!   and the append-only [`JsonlStore`] write-ahead log that replays on
+//!   open.
+//! - **One error type** ([`error`]): every fallible path returns
+//!   [`StoreError`]; nothing on the ingest path panics.
+//!
+//! Telemetry flows through `csaw-obs` (`store.ingest.*`,
+//! `store.cache.*`, `store.records`, per-shard gauges); hot paths use
+//! handles pre-resolved at construction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod batch;
+pub mod error;
+pub mod hash;
+pub mod ledger;
+pub mod record;
+pub mod shard;
+
+pub use backend::{JsonlStore, StorageBackend};
+pub use batch::{Batch, IngestReceipt};
+pub use error::StoreError;
+pub use ledger::{ConfidenceFilter, Tally, VoteLedger};
+pub use record::{GlobalRecord, Report, Uuid, WireError};
+pub use shard::ShardedStore;

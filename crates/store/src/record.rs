@@ -1,0 +1,239 @@
+//! Global database records and the report wire format (Tables 3 & 4).
+//!
+//! The global DB stores every local-DB field plus the post time `T_p` and
+//! a server-assigned UUID. By design **no personally identifiable
+//! information is stored** — there is no IP/identity field anywhere in
+//! these types, which is the paper's §5 privacy property enforced
+//! structurally rather than by policy.
+
+use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::{JsonError, JsonValue};
+use csaw_simnet::time::SimTime;
+use csaw_simnet::topology::Asn;
+use std::fmt;
+
+/// A server-assigned universal unique identifier. The paper derives it
+/// from a cryptographic hash of the server's current time; we reproduce
+/// that as a 64-bit avalanche hash over (time, counter, salt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(u64);
+
+impl Uuid {
+    /// Derive a UUID from the server clock, a monotone counter and the
+    /// server salt (SplitMix64 finalizer — avalanche-complete, so
+    /// sequential inputs yield unlinkable-looking IDs).
+    pub fn derive(now: SimTime, counter: u64, salt: u64) -> Uuid {
+        let mut z = now
+            .as_micros()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(counter)
+            .wrapping_add(salt.rotate_left(17));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Uuid(z ^ (z >> 31))
+    }
+
+    /// Construct from a raw value (tests).
+    pub fn from_raw(v: u64) -> Uuid {
+        Uuid(v)
+    }
+
+    /// Raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One measurement report as carried on the wire (client → server, JSON).
+/// Only **blocked** URLs are ever reported (§3 "These updates include
+/// information about only blocked URLs"); reports travel over Tor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The blocked URL.
+    pub url: String,
+    /// AS the measurement was made from.
+    pub asn: u32,
+    /// Measurement time (`T_m`), µs since epoch.
+    pub measured_at_us: u64,
+    /// Stage-1..k blocking mechanisms.
+    pub stages: Vec<BlockingType>,
+}
+
+/// A malformed report batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input was not valid JSON.
+    Json(JsonError),
+    /// The JSON did not have the report-batch shape.
+    Shape(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "report batch: {e}"),
+            WireError::Shape(m) => write!(f, "report batch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Report {
+    pub(crate) fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj();
+        v.set("url", self.url.as_str());
+        v.set("asn", self.asn);
+        v.set("measured_at_us", self.measured_at_us);
+        v.set(
+            "stages",
+            self.stages
+                .iter()
+                .map(|s| JsonValue::from(s.name()))
+                .collect::<Vec<_>>(),
+        );
+        v
+    }
+
+    pub(crate) fn from_json(v: &JsonValue) -> Result<Report, WireError> {
+        let shape = WireError::Shape;
+        let url = v
+            .get("url")
+            .and_then(JsonValue::as_str)
+            .ok_or(shape("url must be a string"))?
+            .to_string();
+        let asn = v
+            .get("asn")
+            .and_then(JsonValue::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or(shape("asn must be a u32"))?;
+        let measured_at_us = v
+            .get("measured_at_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or(shape("measured_at_us must be a u64"))?;
+        let stages = v
+            .get("stages")
+            .and_then(JsonValue::as_arr)
+            .ok_or(shape("stages must be an array"))?
+            .iter()
+            .map(|s| s.as_str().and_then(BlockingType::from_name))
+            .collect::<Option<Vec<_>>>()
+            .ok_or(shape("unknown blocking type"))?;
+        Ok(Report {
+            url,
+            asn,
+            measured_at_us,
+            stages,
+        })
+    }
+
+    /// Serialize a batch of reports to the JSON wire format.
+    pub fn encode_batch(reports: &[Report]) -> String {
+        JsonValue::Arr(reports.iter().map(Report::to_json).collect()).to_string_compact()
+    }
+
+    /// Parse a batch from the wire. Malformed input is an error (the
+    /// server rejects, not panics).
+    pub fn decode_batch(s: &str) -> Result<Vec<Report>, WireError> {
+        let v = JsonValue::parse(s).map_err(WireError::Json)?;
+        v.as_arr()
+            .ok_or(WireError::Shape("batch must be an array"))?
+            .iter()
+            .map(Report::from_json)
+            .collect()
+    }
+}
+
+/// A record in the global database (Table 3 fields ⊕ Table 4 fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalRecord {
+    /// The blocked URL.
+    pub url: String,
+    /// AS it was measured from.
+    pub asn: Asn,
+    /// Measurement time (`T_m`).
+    pub measured_at: SimTime,
+    /// Blocking mechanisms (stage-1..k).
+    pub stages: Vec<BlockingType>,
+    /// When the update was posted (`T_p`).
+    pub posted_at: SimTime,
+    /// Reporting client's UUID (pseudonymous; allows user-centric
+    /// analytics without identity).
+    pub reporter: Uuid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uuid_deterministic_and_distinct() {
+        let a = Uuid::derive(SimTime::from_secs(10), 0, 42);
+        let b = Uuid::derive(SimTime::from_secs(10), 0, 42);
+        let c = Uuid::derive(SimTime::from_secs(10), 1, 42);
+        let d = Uuid::derive(SimTime::from_secs(11), 0, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn uuid_display_is_hex() {
+        let u = Uuid::from_raw(0xdead_beef);
+        assert_eq!(u.to_string(), "00000000deadbeef");
+    }
+
+    #[test]
+    fn report_wire_roundtrip() {
+        let reports = vec![
+            Report {
+                url: "http://blocked.example/".into(),
+                asn: 17557,
+                measured_at_us: 1_000_000,
+                stages: vec![BlockingType::DnsHijack, BlockingType::HttpDrop],
+            },
+            Report {
+                url: "http://other.example/page".into(),
+                asn: 38193,
+                measured_at_us: 2_000_000,
+                stages: vec![BlockingType::HttpBlockPageRedirect],
+            },
+        ];
+        let wire = Report::encode_batch(&reports);
+        let back = Report::decode_batch(&wire).unwrap();
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Report::decode_batch("not json").is_err());
+        assert!(Report::decode_batch("{\"url\": 1}").is_err());
+    }
+
+    #[test]
+    fn no_pii_fields_on_the_wire() {
+        // Structural privacy check: serialize and assert no address-like
+        // keys exist in the wire format.
+        let r = Report {
+            url: "http://x.example/".into(),
+            asn: 1,
+            measured_at_us: 0,
+            stages: vec![],
+        };
+        let wire = Report::encode_batch(&[r]);
+        for forbidden in ["ip", "address", "user", "name", "email"] {
+            assert!(
+                !wire
+                    .to_ascii_lowercase()
+                    .contains(&format!("\"{forbidden}\"")),
+                "wire format leaks {forbidden}: {wire}"
+            );
+        }
+    }
+}

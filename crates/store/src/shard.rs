@@ -1,0 +1,467 @@
+//! The in-memory sharded store: lock-striped record shards with
+//! per-shard confidence-filtered snapshot caches.
+//!
+//! The URL×ASN keyspace is split across N shards by the stable FNV key
+//! hash ([`crate::hash`]). Each shard holds its slice of the record map
+//! behind its own `RwLock`, so writers on different shards — and all
+//! readers — proceed in parallel; there is **no global lock anywhere**
+//! on the ingest or lookup path.
+//!
+//! Ingestion is batched per client: a batch's reports are sanitized and
+//! grouped by destination shard first, then each touched shard's write
+//! lock is taken exactly once. The vote ledger update happens after all
+//! record locks are released (see [`crate::ledger`] for the lock-order
+//! discipline).
+//!
+//! Reads are served from a per-shard snapshot cache keyed on
+//! (AS, confidence filter). A cache entry is valid while both the
+//! shard's write generation and the ledger's vote epoch are unchanged;
+//! any write to a shard invalidates that shard's entries only.
+
+use crate::backend::StorageBackend;
+use crate::batch::{Batch, IngestReceipt};
+use crate::error::StoreError;
+use crate::hash::key_shard;
+use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
+use crate::record::{GlobalRecord, Report, Uuid};
+use csaw_obs::metrics::{Counter, Gauge, Histogram};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Cache entries per shard before the whole shard cache is reset — the
+/// deployed system sees a handful of distinct confidence filters, so
+/// this bound only guards against pathological filter churn.
+const CACHE_FILTER_CAP: usize = 64;
+
+type Key = (String, Asn);
+/// Cache lookup key: (AS, confidence-filter cache key).
+type CacheKey = (Asn, (usize, u64));
+
+#[derive(Debug)]
+struct CacheEntry {
+    generation: u64,
+    epoch: u64,
+    records: Arc<Vec<GlobalRecord>>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    records: RwLock<HashMap<Key, GlobalRecord>>,
+    cache: Mutex<HashMap<CacheKey, CacheEntry>>,
+    /// Bumped after every mutation of `records`.
+    generation: AtomicU64,
+}
+
+/// Pre-resolved metric handles: the ingest path must not take the
+/// registry mutex per batch. Resolved once from the observability scope
+/// that is current when the store is built.
+#[derive(Debug)]
+struct StoreMetrics {
+    batches: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    records: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    ingest_latency: Arc<Histogram>,
+    shard_records: Vec<Arc<Gauge>>,
+}
+
+impl StoreMetrics {
+    fn resolve(shards: usize) -> StoreMetrics {
+        let reg = &csaw_obs::current().registry;
+        StoreMetrics {
+            batches: reg.counter("store.ingest.batches"),
+            accepted: reg.counter("store.ingest.accepted"),
+            rejected: reg.counter("store.ingest.rejected"),
+            cache_hits: reg.counter("store.cache.hits"),
+            cache_misses: reg.counter("store.cache.misses"),
+            records: reg.gauge("store.records"),
+            batch_size: reg.histogram("store.ingest.batch_size"),
+            ingest_latency: reg.histogram("store.ingest.latency_us"),
+            shard_records: (0..shards)
+                .map(|i| reg.gauge(&format!("store.shard.{i:02}.records")))
+                .collect(),
+        }
+    }
+}
+
+/// The in-memory sharded measurement store.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Box<[Shard]>,
+    ledger: VoteLedger,
+    metrics: StoreMetrics,
+    measure_latency: bool,
+}
+
+impl ShardedStore {
+    /// A store striped `shards` ways. Errors on zero shards rather than
+    /// panicking later on the ingest path.
+    pub fn new(shards: usize) -> Result<ShardedStore, StoreError> {
+        if shards == 0 {
+            return Err(StoreError::InvalidConfig("shard count must be >= 1"));
+        }
+        Ok(ShardedStore {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            ledger: VoteLedger::with_shards(shards),
+            metrics: StoreMetrics::resolve(shards),
+            measure_latency: false,
+        })
+    }
+
+    /// Record wall-clock per-batch ingest latency into the
+    /// `store.ingest.latency_us` histogram. Off by default: wall-clock
+    /// samples would break the byte-identical-snapshot determinism
+    /// contract of the virtual-time experiments, so only the scale
+    /// harness turns this on.
+    pub fn with_ingest_latency(mut self, on: bool) -> ShardedStore {
+        self.measure_latency = on;
+        self
+    }
+
+    fn record(r: &Report, client: Uuid, posted_at: SimTime) -> GlobalRecord {
+        GlobalRecord {
+            url: r.url.clone(),
+            asn: Asn(r.asn),
+            measured_at: SimTime::from_micros(r.measured_at_us),
+            stages: r.stages.clone(),
+            posted_at,
+            reporter: client,
+        }
+    }
+}
+
+impl StorageBackend for ShardedStore {
+    fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError> {
+        let t0 = self.measure_latency.then(std::time::Instant::now);
+        let n = self.shards.len();
+        // Coalesce: sanitize and group by destination shard before any
+        // lock is taken, so each touched shard locks exactly once.
+        let mut groups: Vec<Vec<&Report>> = vec![Vec::new(); n];
+        let mut accepted = 0usize;
+        for r in batch.reports() {
+            if Batch::storable(r) {
+                groups[key_shard(&r.url, Asn(r.asn), n)].push(r);
+                accepted += 1;
+            }
+        }
+        let mut keys: Vec<Key> = Vec::with_capacity(accepted);
+        for (i, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[i];
+            let mut delta = 0i64;
+            {
+                let mut recs = shard.records.write().unwrap();
+                for r in group {
+                    let key = (r.url.clone(), Asn(r.asn));
+                    keys.push(key.clone());
+                    if recs
+                        .insert(key, Self::record(r, batch.client, batch.posted_at))
+                        .is_none()
+                    {
+                        delta += 1;
+                    }
+                }
+            }
+            shard.generation.fetch_add(1, Ordering::AcqRel);
+            if delta != 0 {
+                self.metrics.shard_records[i].add(delta);
+                self.metrics.records.add(delta);
+            }
+        }
+        self.ledger.add_client_urls(batch.client, keys);
+        self.metrics.batches.inc();
+        self.metrics.accepted.add(accepted as u64);
+        self.metrics.rejected.add((batch.len() - accepted) as u64);
+        self.metrics.batch_size.observe_us(batch.len() as u64);
+        if let Some(t0) = t0 {
+            self.metrics
+                .ingest_latency
+                .observe_us(t0.elapsed().as_micros() as u64);
+        }
+        Ok(IngestReceipt {
+            accepted,
+            rejected: batch.len() - accepted,
+        })
+    }
+
+    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+        let ck = (asn, filter.cache_key());
+        let epoch = self.ledger.epoch();
+        let mut out: Vec<GlobalRecord> = Vec::new();
+        for shard in self.shards.iter() {
+            // Read validity markers *before* computing: a write landing
+            // mid-compute leaves the entry marked stale, so the worst
+            // case is an extra recompute, never a stale serve.
+            let generation = shard.generation.load(Ordering::Acquire);
+            let hit = {
+                let cache = shard.cache.lock().unwrap();
+                cache
+                    .get(&ck)
+                    .filter(|e| e.generation == generation && e.epoch == epoch)
+                    .map(|e| Arc::clone(&e.records))
+            };
+            let snapshot = match hit {
+                Some(s) => {
+                    self.metrics.cache_hits.inc();
+                    s
+                }
+                None => {
+                    self.metrics.cache_misses.inc();
+                    let computed: Vec<GlobalRecord> = {
+                        let recs = shard.records.read().unwrap();
+                        recs.values()
+                            .filter(|r| r.asn == asn)
+                            .filter(|r| filter.passes(&self.ledger.tally(&r.url, r.asn)))
+                            .cloned()
+                            .collect()
+                    };
+                    let snapshot = Arc::new(computed);
+                    let mut cache = shard.cache.lock().unwrap();
+                    if cache.len() >= CACHE_FILTER_CAP {
+                        cache.clear();
+                    }
+                    cache.insert(
+                        ck,
+                        CacheEntry {
+                            generation,
+                            epoch,
+                            records: Arc::clone(&snapshot),
+                        },
+                    );
+                    snapshot
+                }
+            };
+            out.extend(snapshot.iter().cloned());
+        }
+        out.sort_by(|a, b| a.url.cmp(&b.url));
+        out
+    }
+
+    fn tally(&self, url: &str, asn: Asn) -> Tally {
+        self.ledger.tally(url, asn)
+    }
+
+    fn revoke(&self, client: Uuid) {
+        self.ledger.revoke(client);
+    }
+
+    fn remove_reporter_records(&self, client: Uuid) -> usize {
+        let mut removed = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let before;
+            let after;
+            {
+                let mut recs = shard.records.write().unwrap();
+                before = recs.len();
+                recs.retain(|_, r| r.reporter != client);
+                after = recs.len();
+            }
+            if before != after {
+                shard.generation.fetch_add(1, Ordering::AcqRel);
+                let delta = (before - after) as i64;
+                self.metrics.shard_records[i].add(-delta);
+                self.metrics.records.add(-delta);
+                removed += before - after;
+            }
+        }
+        removed
+    }
+
+    fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize {
+        let mut removed = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let before;
+            let after;
+            {
+                let mut recs = shard.records.write().unwrap();
+                before = recs.len();
+                recs.retain(|_, r| now.duration_since(r.posted_at) < max_age);
+                after = recs.len();
+            }
+            if before != after {
+                shard.generation.fetch_add(1, Ordering::AcqRel);
+                let delta = (before - after) as i64;
+                self.metrics.shard_records[i].add(-delta);
+                self.metrics.records.add(-delta);
+                removed += before - after;
+            }
+        }
+        removed
+    }
+
+    fn record_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.records.read().unwrap().len())
+            .sum()
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord)) {
+        for shard in self.shards.iter() {
+            let recs = shard.records.read().unwrap();
+            for r in recs.values() {
+                f(r);
+            }
+        }
+    }
+
+    fn ledger(&self) -> &VoteLedger {
+        &self.ledger
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_censor::blocking::BlockingType;
+    use csaw_obs::scope::{self, ObsCtx};
+
+    fn report(url: &str, asn: u32) -> Report {
+        Report {
+            url: url.into(),
+            asn,
+            measured_at_us: 1,
+            stages: vec![BlockingType::HttpDrop],
+        }
+    }
+
+    fn batch(client: u64, urls: &[&str], asn: u32, t: u64) -> Batch {
+        Batch::new(
+            Uuid::from_raw(client),
+            urls.iter().map(|u| report(u, asn)).collect(),
+            SimTime::from_secs(t),
+        )
+    }
+
+    #[test]
+    fn ingest_sanitizes_and_counts() {
+        let s = ShardedStore::new(4).unwrap();
+        let mut b = batch(1, &["http://a.com/", "http://b.com/"], 1, 5);
+        b = Batch::new(
+            b.client,
+            b.reports()
+                .iter()
+                .cloned()
+                .chain([report("not a url", 1)])
+                .collect(),
+            b.posted_at,
+        );
+        let r = s.ingest(&b).unwrap();
+        assert_eq!(
+            r,
+            IngestReceipt {
+                accepted: 2,
+                rejected: 1
+            }
+        );
+        assert_eq!(s.record_count(), 2);
+        assert_eq!(s.tally("http://a.com/", Asn(1)).n, 1);
+    }
+
+    #[test]
+    fn zero_shards_is_a_config_error_not_a_panic() {
+        assert_eq!(
+            ShardedStore::new(0).unwrap_err(),
+            StoreError::InvalidConfig("shard count must be >= 1")
+        );
+    }
+
+    #[test]
+    fn blocked_view_is_sorted_and_filtered() {
+        let s = ShardedStore::new(16).unwrap();
+        for (c, url) in [
+            (1, "http://z.com/"),
+            (2, "http://a.com/"),
+            (3, "http://m.com/"),
+        ] {
+            s.ingest(&batch(c, &[url], 9, 1)).unwrap();
+        }
+        let v = s.blocked_for_as(Asn(9), &ConfidenceFilter::default());
+        let urls: Vec<&str> = v.iter().map(|r| r.url.as_str()).collect();
+        assert_eq!(urls, ["http://a.com/", "http://m.com/", "http://z.com/"]);
+        assert!(s
+            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn cache_hits_until_invalidated_by_write_or_vote_change() {
+        let ctx = Arc::new(ObsCtx::new());
+        let _g = scope::install(ctx.clone());
+        let s = ShardedStore::new(2).unwrap();
+        s.ingest(&batch(1, &["http://a.com/"], 1, 1)).unwrap();
+        let f = ConfidenceFilter::default();
+        let misses = || ctx.registry.counter("store.cache.misses").get();
+        let hits = || ctx.registry.counter("store.cache.hits").get();
+        s.blocked_for_as(Asn(1), &f); // cold: 2 shard misses
+        assert_eq!((misses(), hits()), (2, 0));
+        s.blocked_for_as(Asn(1), &f); // warm: 2 shard hits
+        assert_eq!((misses(), hits()), (2, 2));
+        // A write invalidates (vote epoch moved: every shard recomputes).
+        s.ingest(&batch(2, &["http://b.com/"], 1, 2)).unwrap();
+        s.blocked_for_as(Asn(1), &f);
+        assert_eq!(misses(), 4);
+        // Revocation moves the vote epoch too.
+        s.blocked_for_as(Asn(1), &f);
+        let h0 = hits();
+        s.revoke(Uuid::from_raw(2));
+        s.blocked_for_as(Asn(1), &f);
+        assert_eq!(hits(), h0, "post-revoke read must not be served from cache");
+    }
+
+    #[test]
+    fn expire_and_remove_reporter_update_counts() {
+        let s = ShardedStore::new(4).unwrap();
+        s.ingest(&batch(1, &["http://a.com/", "http://b.com/"], 1, 10))
+            .unwrap();
+        s.ingest(&batch(2, &["http://c.com/"], 1, 90)).unwrap();
+        assert_eq!(s.remove_reporter_records(Uuid::from_raw(1)), 2);
+        assert_eq!(s.record_count(), 1);
+        assert_eq!(
+            s.expire_records(SimTime::from_secs(200), SimDuration::from_secs(50)),
+            1
+        );
+        assert_eq!(s.record_count(), 0);
+    }
+
+    #[test]
+    fn shard_count_independent_results() {
+        let views: Vec<Vec<String>> = [1usize, 4, 16]
+            .iter()
+            .map(|&n| {
+                let s = ShardedStore::new(n).unwrap();
+                for c in 0..10u64 {
+                    s.ingest(&batch(
+                        c,
+                        &[
+                            format!("http://site-{}.com/", c % 4).as_str(),
+                            format!("http://site-{}.com/", (c + 1) % 4).as_str(),
+                        ],
+                        1,
+                        c,
+                    ))
+                    .unwrap();
+                }
+                s.blocked_for_as(Asn(1), &ConfidenceFilter::strict(2, 0.1))
+                    .iter()
+                    .map(|r| r.url.clone())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(views[0], views[1]);
+        assert_eq!(views[1], views[2]);
+        assert!(!views[0].is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Concurrency and determinism tests for the sharded store.
+//!
+//! The store's contract is that concurrent ingestion from disjoint
+//! clients *commutes*: whatever the interleaving, the quiescent state
+//! (record key set, per-key tallies, voter counts) equals a serial
+//! reference run. These tests drive N writer threads through
+//! interleaved updates and revocations and compare against the
+//! single-threaded model, then check that the shard count (1/4/16) is
+//! invisible in the final state.
+
+use csaw_censor::blocking::BlockingType;
+use csaw_simnet::time::SimTime;
+use csaw_simnet::topology::Asn;
+use csaw_store::{Batch, ConfidenceFilter, Report, ShardedStore, StorageBackend, Uuid};
+
+const THREADS: usize = 8;
+const CLIENTS_PER_THREAD: usize = 24;
+const URLS: usize = 40;
+const ASNS: u32 = 6;
+
+/// One scripted operation against the store.
+#[derive(Clone)]
+enum Op {
+    Post(Batch),
+    Revoke(Uuid),
+}
+
+fn report(url_idx: usize, asn: u32, at: u64) -> Report {
+    Report {
+        url: format!("http://site{url_idx}.example.org/"),
+        asn,
+        measured_at_us: at,
+        stages: vec![if url_idx.is_multiple_of(2) {
+            BlockingType::DnsNxdomain
+        } else {
+            BlockingType::HttpDrop
+        }],
+    }
+}
+
+/// The scripted per-thread op sequence. Threads own disjoint clients,
+/// so ops from different threads commute; within a thread, program
+/// order is preserved by the runner. A deterministic xorshift drives
+/// URL/AS choices so the script is a pure function of its indices.
+fn ops_for_thread(t: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut x = (0x9e37_79b9u64 ^ ((t as u64) << 32)) | 0x1234_5678;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for c in 0..CLIENTS_PER_THREAD {
+        let uuid = Uuid::from_raw((t * CLIENTS_PER_THREAD + c + 1) as u64);
+        // Two posts per client, interleaved with other clients' ops.
+        for round in 0..2u64 {
+            let n = 2 + (next() % 3) as usize;
+            let reports: Vec<Report> = (0..n)
+                .map(|i| {
+                    report(
+                        (next() as usize) % URLS,
+                        (next() as u32) % ASNS,
+                        round * 100 + i as u64,
+                    )
+                })
+                .collect();
+            ops.push(Op::Post(Batch::new(
+                uuid,
+                reports,
+                SimTime::from_secs(1 + round),
+            )));
+        }
+        // Every third client is revoked after posting; every ninth is
+        // revoked *between* its posts by splicing the revoke earlier.
+        if c.is_multiple_of(3) {
+            ops.push(Op::Revoke(uuid));
+        }
+        if c.is_multiple_of(9) && ops.len() >= 2 {
+            let last_post = ops.len() - 2;
+            ops.insert(last_post, Op::Revoke(uuid));
+        }
+    }
+    ops
+}
+
+fn apply(store: &ShardedStore, op: &Op) {
+    match op {
+        Op::Post(b) => {
+            store.ingest(b).expect("scripted batches are well-formed");
+        }
+        Op::Revoke(u) => store.revoke(*u),
+    }
+}
+
+/// Order-independent projection of the store's quiescent state.
+#[derive(Debug, PartialEq)]
+struct StateDigest {
+    records: usize,
+    voters: usize,
+    /// Per-AS blocked URL lists under the default filter.
+    blocked: Vec<Vec<String>>,
+    /// Per-key (n, s-rounded) tallies over the whole keyspace.
+    tallies: Vec<(String, u32, usize, u64)>,
+}
+
+fn digest(store: &ShardedStore) -> StateDigest {
+    let filter = ConfidenceFilter::default();
+    let blocked = (0..ASNS)
+        .map(|a| {
+            store
+                .blocked_for_as(Asn(a), &filter)
+                .into_iter()
+                .map(|r| r.url)
+                .collect()
+        })
+        .collect();
+    let mut tallies = Vec::new();
+    for u in 0..URLS {
+        for a in 0..ASNS {
+            let url = format!("http://site{u}.example.org/");
+            let t = store.tally(&url, Asn(a));
+            if t.n > 0 {
+                // Quantize s: float summation over UUID-sorted voters is
+                // deterministic, but guard the comparison at 1e-9 anyway.
+                tallies.push((url.clone(), a, t.n, (t.s * 1e9).round() as u64));
+            }
+        }
+    }
+    StateDigest {
+        records: store.record_count(),
+        voters: store.ledger().voter_count(),
+        blocked,
+        tallies,
+    }
+}
+
+fn serial_reference(shards: usize) -> StateDigest {
+    let store = ShardedStore::new(shards).expect("shard count is valid");
+    for t in 0..THREADS {
+        for op in ops_for_thread(t) {
+            apply(&store, &op);
+        }
+    }
+    digest(&store)
+}
+
+#[test]
+fn concurrent_run_matches_serial_reference() {
+    let reference = serial_reference(16);
+    // Repeat to give racy interleavings a few chances to show up.
+    for round in 0..3 {
+        let store = ShardedStore::new(16).expect("shard count is valid");
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let store = &store;
+                s.spawn(move || {
+                    for op in ops_for_thread(t) {
+                        apply(store, &op);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            digest(&store),
+            reference,
+            "round {round}: concurrent state diverged from serial reference"
+        );
+    }
+}
+
+#[test]
+fn final_state_identical_across_shard_counts() {
+    let one = serial_reference(1);
+    let four = serial_reference(4);
+    let sixteen = serial_reference(16);
+    assert_eq!(one, four, "1-shard vs 4-shard state differs");
+    assert_eq!(one, sixteen, "1-shard vs 16-shard state differs");
+    // Sanity: the script actually produced work, including revocations.
+    assert!(one.records > 0 && one.voters > 0);
+    assert!(
+        one.voters < THREADS * CLIENTS_PER_THREAD,
+        "revocations must have removed some voters"
+    );
+}
+
+#[test]
+fn concurrent_revocations_and_posts_leave_no_ghost_votes() {
+    let store = ShardedStore::new(8).expect("shard count is valid");
+    // Half the clients post then get revoked by a rival thread; the
+    // revoked clients must contribute zero vote mass at quiescence.
+    let n_clients = 32usize;
+    std::thread::scope(|s| {
+        let store = &store;
+        s.spawn(move || {
+            for c in 0..n_clients {
+                let uuid = Uuid::from_raw(1_000 + c as u64);
+                let b = Batch::new(
+                    uuid,
+                    vec![report(c % URLS, (c as u32) % ASNS, c as u64)],
+                    SimTime::from_secs(1),
+                );
+                store.ingest(&b).expect("well-formed batch");
+            }
+        });
+        s.spawn(move || {
+            for c in 0..n_clients {
+                if c.is_multiple_of(2) {
+                    store.revoke(Uuid::from_raw(1_000 + c as u64));
+                }
+            }
+        });
+    });
+    // Re-revoke serially: after quiescence the evens are certainly out.
+    for c in (0..n_clients).step_by(2) {
+        store.revoke(Uuid::from_raw(1_000 + c as u64));
+    }
+    for c in 0..n_clients {
+        let uuid = Uuid::from_raw(1_000 + c as u64);
+        let mass = store.ledger().client_vote_mass(uuid);
+        if c.is_multiple_of(2) {
+            assert_eq!(mass, 0.0, "revoked client {c} still has vote mass");
+            assert_eq!(store.ledger().report_count(uuid), 0);
+        } else {
+            assert!(mass > 0.0, "surviving client {c} lost its vote");
+        }
+    }
+}

@@ -32,7 +32,7 @@ fn main() {
         .censor(profiles::ISP_B_ASN, profiles::isp_b())
         .build();
 
-    let mut server = ServerDb::new(7);
+    let server = ServerDb::new(7);
     let url: csaw_webproto::Url = "http://www.youtube.com/".parse().expect("static URL");
 
     println!("== Crowdsourced measurements make circumvention fast ==\n");
@@ -40,12 +40,7 @@ fn main() {
     // --- Client A: the pioneer -----------------------------------------
     let mut alice = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 1);
     alice
-        .register(
-            &mut server,
-            profiles::ISP_B_ASN,
-            SimTime::from_secs(0),
-            0.05,
-        )
+        .register(&server, profiles::ISP_B_ASN, SimTime::from_secs(0), 0.05)
         .expect("alice registers");
     let r1 = alice.request(&world, &url, SimTime::from_secs(10));
     println!(
@@ -59,18 +54,13 @@ fn main() {
         r2.plt.map(|p| p.as_secs_f64()).unwrap_or(f64::NAN),
         r2.transport
     );
-    let posted = alice.post_reports(&mut server, SimTime::from_secs(70));
+    let posted = alice.post_reports(&server, SimTime::from_secs(70));
     println!("Alice posts {posted} report(s) to the global DB (over Tor, no PII)\n");
 
     // --- Client B: the beneficiary --------------------------------------
     let mut bob = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 2);
-    bob.register(
-        &mut server,
-        profiles::ISP_B_ASN,
-        SimTime::from_secs(100),
-        0.05,
-    )
-    .expect("bob registers");
+    bob.register(&server, profiles::ISP_B_ASN, SimTime::from_secs(100), 0.05)
+        .expect("bob registers");
     println!(
         "Bob syncs the blocked list for {}: {} entr{} about youtube",
         profiles::ISP_B_ASN,

@@ -35,21 +35,16 @@ fn youtube_world(policy: csaw_censor::CensorPolicy, asn: Asn) -> World {
 #[test]
 fn crowdsourcing_with_spam_resistance() {
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let mut server = ServerDb::new(1);
+    let server = ServerDb::new(1);
     let yt = url("http://www.youtube.com/");
 
     // Three honest pioneers measure and report.
     for seed in 0..3 {
         let mut c = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), seed);
-        c.register(
-            &mut server,
-            profiles::ISP_A_ASN,
-            SimTime::from_secs(seed),
-            0.05,
-        )
-        .unwrap();
+        c.register(&server, profiles::ISP_A_ASN, SimTime::from_secs(seed), 0.05)
+            .unwrap();
         c.request(&world, &yt, SimTime::from_secs(10 + seed));
-        assert!(c.post_reports(&mut server, SimTime::from_secs(20 + seed)) >= 1);
+        assert!(c.post_reports(&server, SimTime::from_secs(20 + seed)) >= 1);
     }
 
     // A spammer floods 500 fake URLs.
@@ -71,12 +66,7 @@ fn crowdsourcing_with_spam_resistance() {
     let mut newbie = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 99)
         .with_confidence(strict);
     newbie
-        .register(
-            &mut server,
-            profiles::ISP_A_ASN,
-            SimTime::from_secs(60),
-            0.05,
-        )
+        .register(&server, profiles::ISP_A_ASN, SimTime::from_secs(60), 0.05)
         .unwrap();
     assert!(newbie.global_lookup(&yt).is_some(), "real entry visible");
     assert!(
@@ -306,32 +296,32 @@ fn mobility_between_ases() {
         ),
         travel_asn,
     );
-    let mut server = ServerDb::new(2);
+    let server = ServerDb::new(2);
     // The crowd already measured both ASes.
     let mut scout_home = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 21);
     scout_home
-        .register(&mut server, home_asn, SimTime::from_secs(1), 0.0)
+        .register(&server, home_asn, SimTime::from_secs(1), 0.0)
         .unwrap();
     scout_home.request(
         &home,
         &url("http://www.youtube.com/"),
         SimTime::from_secs(5),
     );
-    scout_home.post_reports(&mut server, SimTime::from_secs(6));
+    scout_home.post_reports(&server, SimTime::from_secs(6));
     let mut scout_travel = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 22);
     scout_travel
-        .register(&mut server, travel_asn, SimTime::from_secs(2), 0.0)
+        .register(&server, travel_asn, SimTime::from_secs(2), 0.0)
         .unwrap();
     scout_travel.request(
         &travel,
         &url("http://www.youtube.com/"),
         SimTime::from_secs(7),
     );
-    scout_travel.post_reports(&mut server, SimTime::from_secs(8));
+    scout_travel.post_reports(&server, SimTime::from_secs(8));
 
     // The mobile user starts at home...
     let mut user = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 23);
-    user.register(&mut server, home_asn, SimTime::from_secs(100), 0.0)
+    user.register(&server, home_asn, SimTime::from_secs(100), 0.0)
         .unwrap();
     let r = user.request(
         &home,
@@ -366,7 +356,7 @@ fn mobility_between_ases() {
 /// spammer, and its pollution disappears from what clients download.
 #[test]
 fn reputation_audit_cleans_the_global_db() {
-    let mut server = ServerDb::new(3);
+    let server = ServerDb::new(3);
     // 10 honest clients report the same small genuinely-blocked set.
     for i in 0..10u64 {
         let c = server.register(SimTime::from_secs(i), 0.0).unwrap();
@@ -415,7 +405,7 @@ fn reputation_audit_cleans_the_global_db() {
 #[test]
 fn collector_failover_delivers_reports() {
     use csaw::global::{CollectorSet, SubmitError};
-    let mut server = ServerDb::new(4);
+    let server = ServerDb::new(4);
     let client = server.register(SimTime::from_secs(1), 0.0).unwrap();
     let mut set = CollectorSet::default_set();
     set.set_reachable("collector-a.onion", false);
@@ -428,13 +418,7 @@ fn collector_failover_delivers_reports() {
         stages: vec![csaw_censor::BlockingType::SniDrop],
     }];
     let receipt = set
-        .submit(
-            &mut server,
-            client,
-            &reports,
-            SimTime::from_secs(10),
-            &mut rng,
-        )
+        .submit(&server, client, &reports, SimTime::from_secs(10), &mut rng)
         .expect("one collector still reachable");
     assert_eq!(receipt.via, "collector-b.onion");
     assert_eq!(server.stats().unique_blocked_urls, 1);
@@ -442,13 +426,7 @@ fn collector_failover_delivers_reports() {
     // client keeps the batch queued for later).
     set.set_reachable("collector-b.onion", false);
     let err = set
-        .submit(
-            &mut server,
-            client,
-            &reports,
-            SimTime::from_secs(20),
-            &mut rng,
-        )
+        .submit(&server, client, &reports, SimTime::from_secs(20), &mut rng)
         .unwrap_err();
     assert_eq!(err, SubmitError::AllCollectorsBlocked);
 }
@@ -465,10 +443,10 @@ fn event_driven_session_via_scheduler() {
         Tick,
     }
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let mut server = ServerDb::new(12);
+    let server = ServerDb::new(12);
     let mut client = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 13);
     client
-        .register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+        .register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
         .unwrap();
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -489,7 +467,7 @@ fn event_driven_session_via_scheduler() {
                 served += 1;
             }
         }
-        Ev::Tick => client.tick(&world, &mut server, now),
+        Ev::Tick => client.tick(&world, &server, now),
     });
     assert_eq!(dispatched, 22);
     assert!(served >= 19, "served {served}");
@@ -504,10 +482,10 @@ fn event_driven_session_via_scheduler() {
 fn client_posts_reports_via_collectors() {
     use csaw::global::{CollectorSet, SubmitError};
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let mut server = ServerDb::new(21);
+    let server = ServerDb::new(21);
     let mut client = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 33);
     client
-        .register(&mut server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+        .register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
         .unwrap();
     client.request(
         &world,
@@ -525,7 +503,7 @@ fn client_posts_reports_via_collectors() {
     }
     // Total blockage: the batch stays queued.
     let err = client
-        .post_reports_via(&set, &mut server, SimTime::from_secs(10))
+        .post_reports_via(&set, &server, SimTime::from_secs(10))
         .unwrap_err();
     assert_eq!(err, SubmitError::AllCollectorsBlocked);
     assert_eq!(server.stats().unique_blocked_urls, 0);
@@ -533,7 +511,7 @@ fn client_posts_reports_via_collectors() {
     // One collector recovers: the same queue drains.
     set.set_reachable("collector-b.onion", true);
     let receipt = client
-        .post_reports_via(&set, &mut server, SimTime::from_secs(20))
+        .post_reports_via(&set, &server, SimTime::from_secs(20))
         .unwrap();
     assert!(receipt.accepted >= 1);
     assert_eq!(receipt.via, "collector-b.onion");
@@ -541,7 +519,7 @@ fn client_posts_reports_via_collectors() {
 
     // Queue drained: a second post is a no-op.
     let receipt = client
-        .post_reports_via(&set, &mut server, SimTime::from_secs(30))
+        .post_reports_via(&set, &server, SimTime::from_secs(30))
         .unwrap();
     assert_eq!(receipt.accepted, 0);
 }
@@ -553,7 +531,7 @@ fn client_posts_reports_via_collectors() {
 #[test]
 fn failed_fixes_teach_missing_stages() {
     let world = youtube_world(profiles::isp_b(), profiles::ISP_B_ASN);
-    let mut server = ServerDb::new(31);
+    let server = ServerDb::new(31);
     // Seed the global DB with a *partial* report (DNS + HTTP only — no
     // TLS stage), as an early scout might have filed.
     let scout = server.register(SimTime::ZERO, 0.0).unwrap();
@@ -575,7 +553,7 @@ fn failed_fixes_teach_missing_stages() {
 
     let cfg = CsawConfig::default().with_revalidate_p(0.0);
     let mut c = CsawClient::new(cfg, Some("cdn-front.example"), 37);
-    c.register(&mut server, profiles::ISP_B_ASN, SimTime::from_secs(5), 0.0)
+    c.register(&server, profiles::ISP_B_ASN, SimTime::from_secs(5), 0.0)
         .unwrap();
     let yt = url("http://www.youtube.com/");
 
@@ -605,7 +583,7 @@ fn failed_fixes_teach_missing_stages() {
     assert!(r2.plt.unwrap() < r1.plt.unwrap());
 
     // And the enriched stage set flowed back to the crowd.
-    c.post_reports(&mut server, SimTime::from_secs(70));
+    c.post_reports(&server, SimTime::from_secs(70));
     let list = server.blocked_for_as(profiles::ISP_B_ASN, &ConfidenceFilter::default());
     let entry = list
         .iter()

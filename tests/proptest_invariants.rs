@@ -116,7 +116,7 @@ fn vote_mass_is_conserved() {
     for case in 0..CASES {
         let n_urls = rng.index(199) + 1;
         let client = rng.range_u64(0, 50);
-        let mut ledger = VoteLedger::new();
+        let ledger = VoteLedger::new();
         let urls: Vec<(String, Asn)> = (0..n_urls)
             .map(|i| (format!("http://u{i}.example/"), Asn(1)))
             .collect();

@@ -149,7 +149,7 @@ fn measurement_log_exports_reports() {
     assert_eq!(reports[0].asn, 17557);
     // The wire format round-trips into the (simulated) server.
     let wire = csaw::global::Report::encode_batch(&reports);
-    let mut server = csaw::global::ServerDb::new(5);
+    let server = csaw::global::ServerDb::new(5);
     let uuid = server
         .register(csaw_simnet::SimTime::from_secs(1), 0.0)
         .unwrap();
