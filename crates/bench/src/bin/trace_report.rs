@@ -1,0 +1,120 @@
+//! `trace-report`: analyse `--trace-out` files and gate on regressions.
+//!
+//! ```text
+//! usage: trace-report TRACE [--baseline TRACE] [--max-regress-pct PCT]
+//!                     [--waterfall N]
+//!
+//!   TRACE                a --trace-out file (.json Chrome trace or JSONL)
+//!   --baseline TRACE     compare against this trace; exit 3 when total-PLT
+//!                        p50 or p99 regresses past the threshold
+//!   --max-regress-pct P  allowed worsening before the gate fails (default 10)
+//!   --waterfall N        per-fetch waterfalls to print (default 8)
+//! ```
+//!
+//! Exit codes: 0 healthy, 1 malformed trace (a fetch's children do not
+//! sum to its root PLT within 1 µs, or no fetch trees at all),
+//! 2 usage/IO error, 3 regression past the threshold.
+
+use csaw_bench::tracereport::{
+    compare, decomposition_table, fetch_records, parse_events, sum_violations, waterfall,
+    FetchRecord,
+};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: trace-report TRACE [--baseline TRACE] \
+                     [--max-regress-pct PCT] [--waterfall N]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace-report: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &Path) -> Vec<FetchRecord> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let events = parse_events(&text)
+        .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
+    fetch_records(&events)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut trace: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress_pct = 10.0f64;
+    let mut waterfalls = 8usize;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::to_string)
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--max-regress-pct" => {
+                let v = value("--max-regress-pct");
+                max_regress_pct = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --max-regress-pct {v:?}")));
+            }
+            "--waterfall" => {
+                let v = value("--waterfall");
+                waterfalls = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --waterfall {v:?}")));
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other:?}")),
+            other if trace.is_none() => trace = Some(PathBuf::from(other)),
+            other => die(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace = trace.unwrap_or_else(|| die("no trace file given"));
+    let recs = load(&trace);
+
+    println!("trace-report: {} ({} fetches)", trace.display(), recs.len());
+    if recs.is_empty() {
+        eprintln!("trace-report: no fetch span trees found (was the run traced?)");
+        std::process::exit(1);
+    }
+    println!();
+    println!("{}", decomposition_table(&recs));
+    println!("{}", waterfall(&recs, waterfalls));
+
+    let violations = sum_violations(&recs);
+    if !violations.is_empty() {
+        eprintln!(
+            "trace-report: MALFORMED — {} fetch tree(s) whose children do not sum to the root PLT:",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "All {} fetch trees sum exactly (children == root PLT within 1us).",
+        recs.len()
+    );
+
+    if let Some(base_path) = baseline {
+        let base = load(&base_path);
+        if base.is_empty() {
+            eprintln!(
+                "trace-report: baseline {} has no fetch trees",
+                base_path.display()
+            );
+            std::process::exit(1);
+        }
+        let verdict = compare(&base, &recs, max_regress_pct);
+        println!();
+        println!("{}", verdict.render());
+        if verdict.regressed {
+            std::process::exit(3);
+        }
+    }
+}

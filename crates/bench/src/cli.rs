@@ -5,7 +5,9 @@
 //! ```text
 //! --seed N            experiment seed (default 1, the EXPERIMENTS.md seed)
 //! --metrics-out PATH  write a JSON metrics snapshot on exit
-//! --trace-out PATH    stream structured events as JSONL to PATH
+//! --trace-out PATH    write trace events; `.json` selects Chrome-trace
+//!                     format (chrome://tracing, Perfetto), anything else
+//!                     streams raw JSONL events
 //! -v, --verbose       progress events to stderr (stdout stays parseable)
 //! ```
 //!
@@ -16,6 +18,7 @@
 //! pure function of the seed: two runs with the same seed write
 //! byte-identical JSON.
 
+use csaw_obs::chrome::ChromeTraceSink;
 use csaw_obs::clock::ManualClock;
 use csaw_obs::scope::{self, ObsCtx, ScopeGuard};
 use csaw_obs::sink::{JsonlSink, NullSink, Sink, StderrSink};
@@ -39,7 +42,8 @@ fn usage(bin: &str, extra_flags: &[&str]) -> String {
          \n\
          --seed N            experiment seed (default 1)\n\
          --metrics-out PATH  write a JSON metrics snapshot on exit\n\
-         --trace-out PATH    stream structured events as JSONL to PATH\n\
+         --trace-out PATH    write trace events (.json: Chrome trace,\n\
+                             otherwise raw JSONL)\n\
          -v, --verbose       progress messages on stderr"
     );
     for f in extra_flags {
@@ -121,6 +125,15 @@ impl ExpCli {
             }
         }
         let sink: Arc<dyn Sink> = match &trace_out {
+            // `.json` means a self-contained Chrome-trace file (open it in
+            // chrome://tracing or Perfetto); any other extension streams
+            // raw JSONL events, one per line, as they happen.
+            Some(path) if path.extension().and_then(|e| e.to_str()) == Some("json") => {
+                Arc::new(ChromeTraceSink::create(path).unwrap_or_else(|e| {
+                    eprintln!("{bin}: cannot open {}: {e}", path.display());
+                    std::process::exit(2);
+                }))
+            }
             Some(path) => Arc::new(JsonlSink::create(path).unwrap_or_else(|e| {
                 eprintln!("{bin}: cannot open {}: {e}", path.display());
                 std::process::exit(2);
@@ -159,9 +172,13 @@ impl ExpCli {
         snap.to_string_pretty()
     }
 
-    /// Write the metrics snapshot if `--metrics-out` was given. Call
-    /// last, after the experiment has rendered its output.
+    /// Flush the trace sink and write the metrics snapshot if
+    /// `--metrics-out` was given. Call last, after the experiment has
+    /// rendered its output.
     pub fn finish(self) {
+        // Chrome-trace sinks buffer everything and only write a complete
+        // file on flush; JSONL sinks flush their line buffer.
+        self.ctx.sink.flush();
         if let Some(path) = &self.metrics_out {
             let json = self.snapshot_json();
             if let Err(e) = std::fs::write(path, json + "\n") {
@@ -211,6 +228,35 @@ mod tests {
         assert_eq!(cli.seed, 3);
         assert_eq!(extras.get("--clients").map(String::as_str), Some("500"));
         assert_eq!(extras.get("--threads").map(String::as_str), Some("1,2"));
+    }
+
+    #[test]
+    fn trace_out_json_extension_selects_chrome_format() {
+        let path = std::env::temp_dir().join("csaw_cli_chrome_test.json");
+        let cli = ExpCli::from_args(&argv(&["--trace-out", path.to_str().unwrap()]));
+        assert!(cli.ctx.sink.enabled());
+        csaw_obs::event!("cli.format_test");
+        cli.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\""), "{text}");
+        assert!(text.contains("cli.format_test"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_out_other_extension_streams_jsonl() {
+        let path = std::env::temp_dir().join("csaw_cli_jsonl_test.jsonl");
+        let cli = ExpCli::from_args(&argv(&["--trace-out", path.to_str().unwrap()]));
+        csaw_obs::event!("cli.format_test");
+        cli.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("{\"event\":\"cli.format_test\"")
+                || text.contains("\"event\":\"cli.format_test\""),
+            "{text}"
+        );
+        assert!(!text.contains("traceEvents"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub fn run_5a(seed: u64) -> Fig5a {
     let target = "target.example";
     let url = Url::parse(&format!("http://{target}/")).expect("static URL");
     let mut bars = Vec::new();
-    for (label, page_bytes, dns, ip, http) in cases {
+    let tracing = csaw_obs::scope::current().sink.enabled();
+    for (case_idx, (label, page_bytes, dns, ip, http)) in cases.into_iter().enumerate() {
         let policy = csaw_censor::single_mechanism(label, target, dns, ip, http, TlsAction::None);
         let provider = Provider::new(Asn(5100), "F5A-ISP");
         let world = World::builder(AccessNetwork::single(provider))
@@ -104,6 +105,16 @@ pub fn run_5a(seed: u64) -> Fig5a {
                     now: SimTime::from_secs(i * 30),
                     provider: ctx.provider.clone(),
                 };
+                // One trace per fetch, ordinals disjoint across the four
+                // blocking-type cases; the redundancy engine emits the
+                // span tree under this root.
+                let _root = tracing.then(|| {
+                    csaw_obs::trace::fetch_root(
+                        seed ^ salt,
+                        case_idx as u64 * 64 + i,
+                        c.now.as_micros(),
+                    )
+                });
                 let out = fetch_with_redundancy(
                     &world,
                     &c,

@@ -15,6 +15,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod stats;
+pub mod tracereport;
 pub mod workload;
 pub mod worlds;
 

@@ -40,6 +40,10 @@ pub struct BlockedFetch {
     /// Blocking stages newly evidenced by failed local-fix attempts
     /// (multi-stage discovery; persist into the local DB).
     pub observed_stages: Vec<BlockingType>,
+    /// Time burned on attempts that did *not* produce the final outcome
+    /// (the dead-end share of the user-visible PLT — the circumvention
+    /// setup leg of the fetch span tree).
+    pub wasted: csaw_simnet::SimDuration,
 }
 
 /// The circumvention transport registry plus selection state.
@@ -225,6 +229,7 @@ impl Selector {
                 transport: "none".to_string(),
                 kind: TransportKind::Direct,
                 observed_stages: Vec::new(),
+                wasted: csaw_simnet::SimDuration::ZERO,
             };
         }
         if explore && order.len() > 1 {
@@ -244,11 +249,28 @@ impl Selector {
         let mut wasted = csaw_simnet::SimDuration::ZERO;
         let mut observed_stages: Vec<BlockingType> = Vec::new();
         let mut last: Option<BlockedFetch> = None;
+        // Attempt spans ride the trace cursor: the caller positions it
+        // where circumvention starts on the fetch waterfall, and each
+        // failed attempt pushes it forward by the time it burned.
+        let trace_attempts =
+            csaw_obs::trace::in_trace() && csaw_obs::scope::current().sink.enabled();
         for i in order {
             let name = self.transports[i].name().to_string();
             let kind = self.transports[i].kind();
             let mut report = self.transports[i].fetch(world, ctx, url, rng);
-            if report.outcome.is_genuine_page() {
+            let genuine = report.outcome.is_genuine_page();
+            if trace_attempts {
+                csaw_obs::event::span_completed_at(
+                    "circum.attempt",
+                    csaw_obs::trace::cursor_us().unwrap_or(0),
+                    report.elapsed.as_micros(),
+                    &[
+                        ("transport", csaw_obs::json::JsonValue::from(name.as_str())),
+                        ("ok", csaw_obs::json::JsonValue::from(genuine)),
+                    ],
+                );
+            }
+            if genuine {
                 // The moving average tracks the transport's own speed;
                 // the user's PLT additionally pays for the dead ends.
                 self.plt.observe(&name, &url_key, report.elapsed);
@@ -267,9 +289,12 @@ impl Selector {
                     transport: name,
                     kind,
                     observed_stages,
+                    wasted,
                 };
             }
+            let wasted_before = wasted;
             wasted += report.elapsed;
+            csaw_obs::trace::advance_cursor_us(report.elapsed.as_micros());
             // A local fix that died on a censor signature taught us a
             // stage (TransportUnavailable teaches nothing — the fix just
             // doesn't apply to this origin).
@@ -285,6 +310,7 @@ impl Selector {
                 transport: name,
                 kind,
                 observed_stages: observed_stages.clone(),
+                wasted: wasted_before,
             });
         }
         csaw_obs::inc("circum.fetch.failed");

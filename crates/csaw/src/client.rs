@@ -97,6 +97,13 @@ pub struct CsawClient {
     /// one).
     report_queue: Vec<Report>,
     reported: HashMap<(String, u32), Vec<BlockingType>>,
+    /// Seed for deriving causal trace ids (the client's RNG seed, so
+    /// same-seed runs produce byte-identical traces).
+    trace_seed: u64,
+    /// Ordinal of the next user fetch (trace-id derivation input).
+    fetch_seq: u64,
+    /// Ordinal of the next report post (trace-id derivation input).
+    report_seq: u64,
 }
 
 impl std::fmt::Debug for CsawClient {
@@ -137,6 +144,9 @@ impl CsawClient {
             last_report: None,
             report_queue: Vec::new(),
             reported: HashMap::new(),
+            trace_seed: seed,
+            fetch_seq: 0,
+            report_seq: 0,
             cfg,
         }
     }
@@ -233,6 +243,16 @@ impl CsawClient {
         method: csaw_webproto::Method,
         now: SimTime,
     ) -> RequestOutcome {
+        // One trace per user fetch: the root frame stays open for the
+        // whole request, so every span the pipeline emits (detection,
+        // circumvention attempts, simnet flows, store lookups) lands in
+        // this fetch's tree. Derivation is (seed, FETCH stream, ordinal)
+        // — never wall clock — so same-seed runs trace identically.
+        let _root = csaw_obs::scope::current().sink.enabled().then(|| {
+            let r = csaw_obs::trace::fetch_root(self.trace_seed, self.fetch_seq, now.as_micros());
+            self.fetch_seq += 1;
+            r
+        });
         if !method.safe_to_duplicate() {
             return self.request_unduplicated(world, url, now);
         }
@@ -273,6 +293,7 @@ impl CsawClient {
                     vec![],
                 );
                 self.stats.served_direct += 1;
+                Self::emit_direct_tree(url, now, &m);
                 RequestOutcome {
                     plt: Some(m.elapsed),
                     transport: "direct".into(),
@@ -280,30 +301,10 @@ impl CsawClient {
                     measured: lookup.status == Status::NotMeasured,
                 }
             }
-            MeasuredStatus::Blocked => {
-                self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
-                let fetched =
-                    self.selector
-                        .fetch_blocked(world, &ctx, url, &m.stages, &mut self.rng);
-                let (report, name) = (fetched.report, fetched.transport);
-                let plt = report
-                    .outcome
-                    .is_genuine_page()
-                    .then(|| m.detection_time + report.elapsed);
-                if plt.is_some() {
-                    self.stats.served_circumvention += 1;
-                } else {
-                    self.stats.failed += 1;
-                }
-                RequestOutcome {
-                    plt,
-                    transport: name,
-                    status_after: Status::Blocked,
-                    measured: true,
-                }
-            }
+            MeasuredStatus::Blocked => self.circumvent_after_detection(world, &ctx, url, &m, now),
             MeasuredStatus::Inconclusive => {
                 self.stats.failed += 1;
+                Self::emit_direct_tree(url, now, &m);
                 RequestOutcome {
                     plt: None,
                     transport: "direct".into(),
@@ -311,6 +312,71 @@ impl CsawClient {
                     measured: false,
                 }
             }
+        }
+    }
+
+    /// Emit the fetch span tree for a direct-path-only request: all the
+    /// user's wait is the transfer leg when the page arrived, or the
+    /// detection leg when the measurement ended without a page.
+    fn emit_direct_tree(url: &Url, now: SimTime, m: &crate::measure::DirectMeasurement) {
+        if !crate::tracing::tracing_fetch() {
+            return;
+        }
+        let b = match m.status {
+            MeasuredStatus::NotBlocked => crate::tracing::FetchBreakdown::served(
+                m.elapsed,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+            ),
+            _ => crate::tracing::FetchBreakdown::failed(m.elapsed, SimDuration::ZERO),
+        };
+        crate::tracing::emit_fetch_tree(now.as_micros(), b, url, "direct");
+    }
+
+    /// Serve a URL whose blocking was just detected in-line: record the
+    /// verdict, circumvent, and emit the fetch tree (detection leg = the
+    /// in-line detection time, setup leg = the selector's dead ends).
+    fn circumvent_after_detection(
+        &mut self,
+        world: &World,
+        ctx: &FetchCtx,
+        url: &Url,
+        m: &crate::measure::DirectMeasurement,
+        now: SimTime,
+    ) -> RequestOutcome {
+        self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
+        // Circumvention starts on the waterfall after detection.
+        csaw_obs::trace::set_cursor_us(now.as_micros() + m.detection_time.as_micros());
+        let fetched = self
+            .selector
+            .fetch_blocked(world, ctx, url, &m.stages, &mut self.rng);
+        let plt = fetched
+            .report
+            .outcome
+            .is_genuine_page()
+            .then(|| m.detection_time + fetched.report.elapsed);
+        if crate::tracing::tracing_fetch() {
+            let b = match plt {
+                Some(p) => {
+                    crate::tracing::FetchBreakdown::served(p, m.detection_time, fetched.wasted)
+                }
+                None => crate::tracing::FetchBreakdown::failed(
+                    m.elapsed,
+                    fetched.wasted + fetched.report.elapsed,
+                ),
+            };
+            crate::tracing::emit_fetch_tree(now.as_micros(), b, url, &fetched.transport);
+        }
+        if plt.is_some() {
+            self.stats.served_circumvention += 1;
+        } else {
+            self.stats.failed += 1;
+        }
+        RequestOutcome {
+            plt,
+            transport: fetched.transport,
+            status_after: Status::Blocked,
+            measured: true,
         }
     }
 
@@ -363,6 +429,7 @@ impl CsawClient {
                             vec![],
                         );
                         self.stats.served_direct += 1;
+                        Self::emit_direct_tree(url, now, &m);
                         RequestOutcome {
                             plt: Some(m.elapsed),
                             transport: "direct".into(),
@@ -372,29 +439,11 @@ impl CsawClient {
                     }
                     MeasuredStatus::Blocked => {
                         // Fresh censorship discovered mid-browsing.
-                        self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
-                        let fetched =
-                            self.selector
-                                .fetch_blocked(world, &ctx, url, &m.stages, &mut self.rng);
-                        let (report, name) = (fetched.report, fetched.transport);
-                        let plt = report
-                            .outcome
-                            .is_genuine_page()
-                            .then(|| m.detection_time + report.elapsed);
-                        if plt.is_some() {
-                            self.stats.served_circumvention += 1;
-                        } else {
-                            self.stats.failed += 1;
-                        }
-                        RequestOutcome {
-                            plt,
-                            transport: name,
-                            status_after: Status::Blocked,
-                            measured: true,
-                        }
+                        self.circumvent_after_detection(world, &ctx, url, &m, now)
                     }
                     MeasuredStatus::Inconclusive => {
                         self.stats.failed += 1;
+                        Self::emit_direct_tree(url, now, &m);
                         RequestOutcome {
                             plt: None,
                             transport: "direct".into(),
@@ -417,9 +466,13 @@ impl CsawClient {
         now: SimTime,
         from_global: bool,
     ) -> RequestOutcome {
+        // Known-blocked: no detection leg — circumvention starts at the
+        // request's start on the waterfall.
+        csaw_obs::trace::set_cursor_us(now.as_micros());
         let fetched = self
             .selector
             .fetch_blocked(world, ctx, url, &stages, &mut self.rng);
+        let wasted = fetched.wasted;
         let (report, name, transport_kind) = (fetched.report, fetched.transport, fetched.kind);
         // Failed local fixes evidenced additional blocking stages
         // (multi-stage discovery): fold them into what we record and
@@ -484,6 +537,19 @@ impl CsawClient {
             self.stats.served_circumvention += 1;
         } else {
             self.stats.failed += 1;
+        }
+        if crate::tracing::tracing_fetch() {
+            // No detection leg (the URL was already known blocked); the
+            // setup leg is the selector's dead ends, and the transfer
+            // remainder absorbs any revalidation load inflation.
+            let b = match plt {
+                Some(p) => crate::tracing::FetchBreakdown::served(p, SimDuration::ZERO, wasted),
+                None => crate::tracing::FetchBreakdown::failed(
+                    SimDuration::ZERO,
+                    wasted + report.elapsed,
+                ),
+            };
+            crate::tracing::emit_fetch_tree(now.as_micros(), b, url, &name);
         }
         RequestOutcome {
             plt,
@@ -606,6 +672,22 @@ impl CsawClient {
         if self.report_queue.is_empty() {
             return 0;
         }
+        // A report post is its own causal tree (REPORT stream, so ids
+        // never collide with fetch traces from the same seed): the
+        // server's ingest events land under this root.
+        let queued = self.report_queue.len();
+        let _root = csaw_obs::scope::current().sink.enabled().then(|| {
+            let r = csaw_obs::trace::root(
+                csaw_obs::trace::derive(
+                    self.trace_seed,
+                    csaw_obs::trace::stream::REPORT,
+                    self.report_seq,
+                ),
+                now.as_micros(),
+            );
+            self.report_seq += 1;
+            r
+        });
         // Wire round trip: encode, (Tor carries it), the batch owns the
         // server-side decode.
         let wire = Report::encode_batch(&self.report_queue);
@@ -620,6 +702,19 @@ impl CsawClient {
                     }
                 }
                 self.stats.reports_posted += receipt.accepted as u64;
+                csaw_obs::trace::complete_active(
+                    "report.post",
+                    now.as_micros(),
+                    0,
+                    &[
+                        ("queued", csaw_obs::json::JsonValue::from(queued as u64)),
+                        (
+                            "accepted",
+                            csaw_obs::json::JsonValue::from(receipt.accepted as u64),
+                        ),
+                        ("ok", csaw_obs::json::JsonValue::from(true)),
+                    ],
+                );
                 receipt.accepted
             }
             Err(_) => 0,

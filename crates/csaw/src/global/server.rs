@@ -332,6 +332,13 @@ impl ServerDb {
             return Err(StoreError::UnknownClient);
         }
         let receipt = self.backend.ingest(&batch)?;
+        // Lands inside the client's report-post trace when one is active
+        // (simulation: ingest runs on the poster's thread).
+        csaw_obs::event!(
+            "store.ingest",
+            accepted = receipt.accepted as u64,
+            rejected = receipt.rejected as u64
+        );
         self.updates_accepted
             .fetch_add(receipt.accepted as u64, Ordering::Relaxed);
         self.m.post_batches.inc();

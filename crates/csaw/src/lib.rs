@@ -60,6 +60,7 @@ pub mod global;
 pub mod local;
 pub mod measure;
 pub mod multihoming;
+pub mod tracing;
 
 pub use circum::{PltTracker, Selector};
 pub use client::{ClientStats, CsawClient, RequestOutcome};
@@ -74,6 +75,7 @@ pub use measure::{
     RedundantOutcome, ServedFrom,
 };
 pub use multihoming::{MultihomingManager, PerProviderBlocking};
+pub use tracing::{emit_fetch_tree, FetchBreakdown};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -63,8 +63,75 @@ pub struct RedundantOutcome {
 /// `circ` is the circumvention transport carrying the redundant copy
 /// (Tor by default in the paper's experiments). POST requests must not be
 /// duplicated — callers enforce that (the paper duplicates GETs only).
+///
+/// When a trace frame is active (see [`crate::tracing`]), the outcome is
+/// also emitted as the canonical fetch span tree, decomposing the user
+/// PLT into detection, circumvention setup, and transfer.
 #[allow(clippy::too_many_arguments)] // the redundancy engine genuinely spans all these concerns
 pub fn fetch_with_redundancy(
+    world: &World,
+    ctx: &FetchCtx,
+    url: &Url,
+    mode: RedundancyMode,
+    circ: &mut dyn Transport,
+    detect_cfg: &DetectConfig,
+    load: &LoadModel,
+    rng: &mut DetRng,
+) -> RedundantOutcome {
+    let out = fetch_with_redundancy_inner(world, ctx, url, mode, circ, detect_cfg, load, rng);
+    if crate::tracing::tracing_fetch() {
+        emit_redundant_tree(ctx, url, circ.name(), &out);
+    }
+    out
+}
+
+/// Map a [`RedundantOutcome`] onto the canonical PLT decomposition and
+/// emit it as this fetch's span tree.
+///
+/// The detection leg is `plt − copy_elapsed`, which unifies the three
+/// redundancy shapes: serial pays the full direct measurement before the
+/// copy starts, parallel overlaps it entirely (zero-width detection
+/// leg), and staggered pays exactly the stagger delay. The setup leg is
+/// the copy's connection-establishment step; the transfer leg is the
+/// remainder, so the three children always sum to the root PLT exactly.
+fn emit_redundant_tree(ctx: &FetchCtx, url: &Url, circ_name: &str, out: &RedundantOutcome) {
+    use crate::tracing::FetchBreakdown;
+    let start_us = ctx.now.as_micros();
+    let copy_connect = |c: &FetchReport| {
+        c.trace
+            .iter()
+            .find_map(|s| match s {
+                csaw_circumvent::fetch::Step::Connect { elapsed, .. } => Some(*elapsed),
+                _ => None,
+            })
+            .unwrap_or(SimDuration::ZERO)
+    };
+    let (b, transport) = match (out.served_from, out.user_plt, &out.circumvention) {
+        (ServedFrom::Direct, Some(plt), _) => (
+            FetchBreakdown::served(plt, SimDuration::ZERO, SimDuration::ZERO),
+            "direct",
+        ),
+        (ServedFrom::Circumvention | ServedFrom::CircumventionAfterRefresh, Some(plt), c) => {
+            let copy = c.as_ref().map(|c| c.elapsed).unwrap_or(SimDuration::ZERO);
+            let setup = c.as_ref().map(copy_connect).unwrap_or(SimDuration::ZERO);
+            (
+                FetchBreakdown::served(plt, plt.saturating_sub(copy), setup),
+                circ_name,
+            )
+        }
+        (_, _, c) => (
+            FetchBreakdown::failed(
+                out.measurement.elapsed,
+                c.as_ref().map(|c| c.elapsed).unwrap_or(SimDuration::ZERO),
+            ),
+            "none",
+        ),
+    };
+    crate::tracing::emit_fetch_tree(start_us, b, url, transport);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fetch_with_redundancy_inner(
     world: &World,
     ctx: &FetchCtx,
     url: &Url,

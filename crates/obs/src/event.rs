@@ -5,9 +5,15 @@
 //! [`Sink`](crate::sink::Sink) the current context has installed; with
 //! the default null sink the emit path is a single virtual call that
 //! immediately returns.
+//!
+//! When a [`crate::trace`] frame is active, every emission is annotated
+//! with causal identity: point events carry the active span's ids (they
+//! happen *inside* it); span events allocate a fresh child span id under
+//! the active frame, so each completed region is its own tree node.
 
 use crate::json::JsonValue;
 use crate::scope;
+use crate::trace::{self, TraceCtx};
 
 /// A structured telemetry event.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,16 +27,38 @@ pub struct Event {
     pub dur_us: Option<u64>,
     /// Typed payload fields, in emission order.
     pub fields: Vec<(&'static str, JsonValue)>,
+    /// Causal identity, when emitted inside an active trace frame.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Event {
-    /// Serialize as a single JSON object (one JSONL line).
+    /// A bare point event (no fields, no trace) — test/bench helper.
+    pub fn point(name: &str, ts_us: u64) -> Event {
+        Event {
+            ts_us,
+            name: name.to_string(),
+            dur_us: None,
+            fields: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Serialize as a single JSON object (one JSONL line). Trace and
+    /// span ids are fixed-width hex strings: a JSON number is an f64
+    /// and cannot carry 64 bits exactly.
     pub fn to_json(&self) -> JsonValue {
         let mut v = JsonValue::obj();
         v.set("ts_us", self.ts_us);
         v.set("event", self.name.as_str());
         if let Some(d) = self.dur_us {
             v.set("dur_us", d);
+        }
+        if let Some(t) = &self.trace {
+            v.set("trace", t.trace.to_hex());
+            v.set("span", t.span.to_hex());
+            if let Some(p) = t.parent {
+                v.set("parent", p.to_hex());
+            }
         }
         if !self.fields.is_empty() {
             let mut f = JsonValue::obj();
@@ -54,12 +82,15 @@ pub fn event(name: &str, fields: &[(&'static str, JsonValue)]) {
         name: name.to_string(),
         dur_us: None,
         fields: fields.to_vec(),
+        trace: trace::active(),
     });
 }
 
 /// Emit a completed span whose duration was measured externally — the
 /// simulation path, where elapsed time is virtual and computed by the
-/// caller rather than observed on a clock.
+/// caller rather than observed on a clock. Timestamped at the context
+/// clock's *current* time; see [`span_completed_at`] for explicit
+/// waterfall placement.
 pub fn span_completed(name: &str, dur_us: u64, fields: &[(&'static str, JsonValue)]) {
     let ctx = scope::current();
     if !ctx.sink.enabled() {
@@ -70,20 +101,46 @@ pub fn span_completed(name: &str, dur_us: u64, fields: &[(&'static str, JsonValu
         name: name.to_string(),
         dur_us: Some(dur_us),
         fields: fields.to_vec(),
+        trace: trace::next_span().or_else(trace::active),
+    });
+}
+
+/// Emit a completed span at an explicit absolute start time (virtual
+/// µs) — how simulation code places spans on a fetch's waterfall.
+pub fn span_completed_at(
+    name: &str,
+    start_us: u64,
+    dur_us: u64,
+    fields: &[(&'static str, JsonValue)],
+) {
+    let ctx = scope::current();
+    if !ctx.sink.enabled() {
+        return;
+    }
+    ctx.sink.record(&Event {
+        ts_us: start_us,
+        name: name.to_string(),
+        dur_us: Some(dur_us),
+        fields: fields.to_vec(),
+        trace: trace::next_span().or_else(trace::active),
     });
 }
 
 /// Open a span measured on the context clock; the guard emits a
 /// span-end event when dropped. Suits the real proxy (wall clock) and
-/// any region whose clock advances while it runs.
+/// any region whose clock advances while it runs. Inside an active
+/// trace the guard opens a child frame, so events emitted while it is
+/// open are parented under it.
 pub fn span(name: &str) -> SpanGuard {
     let ctx = scope::current();
     let active = ctx.sink.enabled();
+    let frame = if active { Some(trace::child()) } else { None };
     SpanGuard {
         name: name.to_string(),
         start_us: if active { ctx.clock.now_us() } else { 0 },
         active,
         fields: Vec::new(),
+        frame,
     }
 }
 
@@ -94,6 +151,9 @@ pub struct SpanGuard {
     start_us: u64,
     active: bool,
     fields: Vec<(&'static str, JsonValue)>,
+    // Child trace frame held open for the span's extent (None when the
+    // sink is disabled; inert when no trace is active).
+    frame: Option<trace::ChildScope>,
 }
 
 impl SpanGuard {
@@ -117,7 +177,10 @@ impl Drop for SpanGuard {
             name: std::mem::take(&mut self.name),
             dur_us: Some(now.saturating_sub(self.start_us)),
             fields: std::mem::take(&mut self.fields),
+            trace: self.frame.as_ref().and_then(|f| f.ctx()),
         });
+        // The child frame pops after the event is recorded (fields drop
+        // in declaration order, after this body).
     }
 }
 
@@ -136,6 +199,7 @@ pub fn progress(msg: &str) {
             name: "progress".to_string(),
             dur_us: None,
             fields: vec![("msg", JsonValue::from(msg))],
+            trace: trace::active(),
         });
     }
 }
@@ -180,6 +244,7 @@ mod tests {
         assert_eq!(evs[0].name, "test.hello");
         assert_eq!(evs[0].fields[0], ("n", JsonValue::Num(3.0)));
         assert_eq!(evs[0].fields[1].1.as_str(), Some("world"));
+        assert_eq!(evs[0].trace, None, "no trace active");
     }
 
     #[test]
@@ -205,10 +270,63 @@ mod tests {
             name: "x".into(),
             dur_us: Some(3),
             fields: vec![("a", JsonValue::from(1u64))],
+            trace: None,
         };
         assert_eq!(
             e.to_json().to_string_compact(),
             r#"{"dur_us":3,"event":"x","fields":{"a":1},"ts_us":7}"#
         );
+    }
+
+    #[test]
+    fn traced_emissions_form_a_tree() {
+        let ring = Arc::new(RingSink::new(16));
+        let ctx = Arc::new(ObsCtx::new().with_sink(ring.clone()));
+        let _g = install(ctx);
+        let root = crate::trace::fetch_root(1, 0, 0);
+        let root_span = root.ctx().span;
+        // A point event belongs to the root span.
+        crate::event!("note");
+        // A span event is a fresh child of the root.
+        span_completed("stage", 5, &[]);
+        // A guard opens a child frame: events inside it are its children.
+        {
+            let _s = span("outer");
+            crate::event!("inner.note");
+        }
+        drop(root);
+        let evs = ring.drain();
+        assert_eq!(evs.len(), 4);
+        let point = &evs[0];
+        assert_eq!(point.trace.unwrap().span, root_span);
+        let stage = &evs[1];
+        assert_eq!(stage.trace.unwrap().parent, Some(root_span));
+        assert_ne!(stage.trace.unwrap().span, root_span);
+        // Drop order: inner.note first, then the outer guard's span-end.
+        let inner = &evs[2];
+        let outer = &evs[3];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.trace.unwrap().parent, Some(root_span));
+        assert_eq!(
+            inner.trace.unwrap().span,
+            outer.trace.unwrap().span,
+            "point inside the guard is attributed to the guard's span"
+        );
+    }
+
+    #[test]
+    fn traced_json_carries_hex_ids() {
+        let ring = Arc::new(RingSink::new(4));
+        let ctx = Arc::new(ObsCtx::new().with_sink(ring.clone()));
+        let _g = install(ctx);
+        let _root = crate::trace::fetch_root(2, 1, 0);
+        span_completed_at("stage", 10, 3, &[]);
+        let evs = ring.drain();
+        let j = evs[0].to_json();
+        let trace_hex = j.get("trace").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(trace_hex.len(), 16);
+        assert!(j.get("span").is_some());
+        assert!(j.get("parent").is_some());
+        assert_eq!(j.get("ts_us").and_then(|v| v.as_u64()), Some(10));
     }
 }

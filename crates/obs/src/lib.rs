@@ -8,7 +8,11 @@
 //!
 //! - [`event`]: structured events and spans ([`event!`], [`span_us!`],
 //!   [`event::span`]) flowing to a pluggable [`sink`] (null by default,
-//!   ring buffer, JSONL file, stderr);
+//!   ring buffer, JSONL file, stderr, Chrome trace, flight recorder);
+//! - [`trace`]: causal identity — deterministic trace/span ids with
+//!   parent links, so one fetch becomes one reconstructable tree
+//!   ([`chrome`] renders it for `chrome://tracing`; [`flight`] retains
+//!   only failed trees);
 //! - [`metrics`]: a registry of saturating counters, gauges, and
 //!   fixed-bucket log-linear histograms, snapshotting to deterministic
 //!   JSON;
@@ -44,19 +48,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod clock;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod scope;
 pub mod sink;
+pub mod trace;
 
+pub use chrome::ChromeTraceSink;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{progress, span, Event, SpanGuard};
+pub use flight::FlightRecorder;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use scope::{current, install, set_global, ObsCtx, ScopeGuard};
-pub use sink::{JsonlSink, NullSink, RingSink, Sink, StderrSink};
+pub use sink::{JsonlSink, NullSink, RingSink, Sink, StderrSink, TeeSink};
+pub use trace::{SpanId, TraceCtx, TraceId};
 
 /// Increment the named counter in the current context by one.
 pub fn inc(name: &str) {

@@ -376,6 +376,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), None, "q={q}");
+        }
+        assert!(h.median_secs().is_none());
+    }
+
+    #[test]
+    fn single_sample_every_quantile_lands_in_its_bucket() {
+        for sample in [0u64, 1, 63, 64, 65, 1_000_000] {
+            let h = Histogram::default();
+            h.observe_us(sample);
+            let p0 = h.quantile_us(0.0).unwrap();
+            let p50 = h.quantile_us(0.5).unwrap();
+            let p100 = h.quantile_us(1.0).unwrap();
+            assert_eq!(p0, p50, "sample={sample}");
+            assert_eq!(p50, p100, "sample={sample}");
+            // The representative value stays within bucket resolution of
+            // the sample (log-linear buckets: < ~2% above the linear
+            // cutover, exact below it).
+            let err = (p50 as f64 - sample as f64).abs() / (sample.max(1) as f64);
+            assert!(err < 0.05, "sample={sample} rep={p50}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_under_adversarial_boundaries() {
+        // Samples straddling the linear/log cutover and power-of-two
+        // bucket edges — the spots where a bucketed quantile could
+        // invert if bucket selection and representatives disagreed.
+        let h = Histogram::default();
+        for s in [
+            0u64,
+            1,
+            62,
+            63,
+            64,
+            65,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1 << 20,
+            (1 << 20) + 1,
+            (1 << 42),
+            u64::MAX,
+        ] {
+            h.observe_us(s);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile_us(q).unwrap();
+            assert!(v >= prev, "q={q}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
     fn snapshot_is_deterministic_and_sorted() {
         let r = Registry::new();
         r.counter("zeta").add(2);

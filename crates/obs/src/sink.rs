@@ -1,10 +1,25 @@
 //! Pluggable event sinks: null (default), bounded ring buffer, JSONL
-//! writer, and human-readable stderr.
+//! writer, and human-readable stderr. The Chrome-trace and
+//! flight-recorder sinks live in [`crate::chrome`] and
+//! [`crate::flight`].
+//!
+//! Telemetry must never propagate a panic: every internal lock is
+//! recovered on poison ([`lock_recover`]) — an event buffer left by a
+//! panicking thread is still perfectly good data.
 
 use crate::event::Event;
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a sink-internal mutex, recovering the guard if a panicking
+/// thread poisoned it. Sinks hold only event buffers behind their
+/// locks; a poisoned buffer is merely "written by a thread that later
+/// panicked", which is fine for telemetry.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Where events go.
 pub trait Sink: Send + Sync + std::fmt::Debug {
@@ -15,7 +30,7 @@ pub trait Sink: Send + Sync + std::fmt::Debug {
     fn enabled(&self) -> bool {
         true
     }
-    /// Flush buffered output (JSONL).
+    /// Flush buffered output (JSONL, Chrome trace).
     fn flush(&self) {}
 }
 
@@ -31,12 +46,15 @@ impl Sink for NullSink {
     }
 }
 
-/// Keeps the last `cap` events in memory — the flight recorder tests
-/// and in-process consumers use.
+/// Keeps the last `cap` events in memory — the in-process memory sink
+/// tests and experiment consumers use. Bounded: when full, the oldest
+/// event is dropped and [`RingSink::dropped_events`] counts it, so a
+/// long `exp_scale` run cannot OOM through its sink.
 #[derive(Debug)]
 pub struct RingSink {
     cap: usize,
     buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
 
 impl RingSink {
@@ -45,17 +63,28 @@ impl RingSink {
         RingSink {
             cap: cap.max(1),
             buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Take every buffered event, oldest first.
     pub fn drain(&self) -> Vec<Event> {
-        self.buf.lock().unwrap().drain(..).collect()
+        lock_recover(&self.buf).drain(..).collect()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        lock_recover(&self.buf).len()
     }
 
     /// True when nothing is buffered.
@@ -66,9 +95,10 @@ impl RingSink {
 
 impl Sink for RingSink {
     fn record(&self, event: &Event) {
-        let mut b = self.buf.lock().unwrap();
+        let mut b = lock_recover(&self.buf);
         if b.len() == self.cap {
             b.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         b.push_back(event.clone());
     }
@@ -103,12 +133,12 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
-        let mut g = self.out.lock().unwrap();
+        let mut g = lock_recover(&self.out);
         let _ = writeln!(g, "{}", event.to_json().to_string_compact());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = lock_recover(&self.out).flush();
     }
 }
 
@@ -123,10 +153,45 @@ impl Sink for StderrSink {
         if let Some(d) = event.dur_us {
             line.push_str(&format!(" ({d}us)"));
         }
+        if let Some(t) = &event.trace {
+            line.push_str(&format!(" trace={}", t.trace.to_hex()));
+        }
         for (k, v) in &event.fields {
             line.push_str(&format!(" {k}={}", v.to_string_compact()));
         }
         eprintln!("{line}");
+    }
+}
+
+/// Fan out every event to several sinks (e.g. a Chrome trace on disk
+/// plus an in-memory flight recorder).
+#[derive(Debug)]
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A sink duplicating events into each of `sinks`.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn record(&self, event: &Event) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
     }
 }
 
@@ -136,12 +201,7 @@ mod tests {
     use crate::json::JsonValue;
 
     fn ev(name: &str, ts: u64) -> Event {
-        Event {
-            ts_us: ts,
-            name: name.to_string(),
-            dur_us: None,
-            fields: vec![],
-        }
+        Event::point(name, ts)
     }
 
     #[test]
@@ -150,14 +210,33 @@ mod tests {
     }
 
     #[test]
-    fn ring_evicts_oldest() {
+    fn ring_evicts_oldest_and_counts_drops() {
         let r = RingSink::new(2);
+        assert_eq!(r.capacity(), 2);
         r.record(&ev("a", 1));
         r.record(&ev("b", 2));
+        assert_eq!(r.dropped_events(), 0);
         r.record(&ev("c", 3));
+        assert_eq!(r.dropped_events(), 1);
         let got: Vec<String> = r.drain().into_iter().map(|e| e.name).collect();
         assert_eq!(got, vec!["b", "c"]);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn poisoned_ring_recovers_instead_of_panicking() {
+        let r = std::sync::Arc::new(RingSink::new(4));
+        r.record(&ev("before", 1));
+        // Poison the internal mutex: panic while holding the guard.
+        let r2 = r.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _g = r2.buf.lock().unwrap();
+            panic!("poison");
+        }));
+        // Telemetry keeps working on the poisoned lock.
+        r.record(&ev("after", 2));
+        let names: Vec<String> = r.drain().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["before", "after"]);
     }
 
     #[test]
@@ -181,6 +260,7 @@ mod tests {
             name: "x".into(),
             dur_us: None,
             fields: vec![("k", JsonValue::from("v"))],
+            trace: None,
         });
         s.record(&ev("y", 6));
         s.flush();
@@ -190,5 +270,17 @@ mod tests {
         for l in lines {
             JsonValue::parse(l).expect("each line is standalone JSON");
         }
+    }
+
+    #[test]
+    fn tee_duplicates_and_flushes() {
+        let a = std::sync::Arc::new(RingSink::new(4));
+        let b = std::sync::Arc::new(RingSink::new(4));
+        let t = TeeSink::new(vec![a.clone(), b.clone()]);
+        assert!(t.enabled());
+        t.record(&ev("x", 1));
+        t.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 }

@@ -18,7 +18,7 @@ use csaw_webproto::http::{Request, Response};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -113,6 +113,8 @@ struct ProxyState {
     // spawner's thread-local observability scope) report into the same
     // registry the embedding experiment installed.
     obs: Arc<Registry>,
+    // Monotone request ordinal feeding PROXY-stream trace-id derivation.
+    req_seq: AtomicU64,
 }
 
 /// A running local proxy.
@@ -211,6 +213,7 @@ pub fn spawn_proxy(resolver: Arc<TestResolver>, cfg: ProxyConfig) -> std::io::Re
         measurements: Mutex::new(Vec::new()),
         started: std::time::Instant::now(),
         obs: csaw_obs::scope::current().registry.clone(),
+        req_seq: AtomicU64::new(0),
     });
     let state2 = Arc::clone(&state);
     let stop = Arc::new(AtomicBool::new(false));
@@ -241,6 +244,20 @@ fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
             let _ = write_response(&mut browser, &Response::error(400, "Bad Request"));
             continue;
         };
+        // Each proxied request is one causal tree on the PROXY stream.
+        // The ordinal (not wall clock) feeds id derivation, matching the
+        // simulation's determinism contract; the span guard measures the
+        // request on the context (wall) clock.
+        let obs_ctx = csaw_obs::scope::current();
+        let _root = obs_ctx.sink.enabled().then(|| {
+            let seq = state.req_seq.fetch_add(1, Ordering::Relaxed);
+            csaw_obs::trace::root(
+                csaw_obs::trace::derive(0, csaw_obs::trace::stream::PROXY, seq),
+                obs_ctx.clock.now_us(),
+            )
+        });
+        let mut span = csaw_obs::event::span("proxy.request");
+        span.field("host", host.as_str());
         // Rewrite absolute-form targets to origin-form for upstreams.
         let mut upstream_req = req.clone();
         if let Some(rest) = upstream_req.target.strip_prefix("http://") {
@@ -251,6 +268,8 @@ fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
             }
         }
         let resp = serve_url(&state, &host, &upstream_req);
+        span.field("status", resp.status as u64);
+        drop(span);
         if write_response(&mut browser, &resp).is_err() {
             return;
         }

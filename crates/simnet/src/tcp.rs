@@ -252,28 +252,54 @@ pub fn exchange(
         }
         elapsed += SimDuration::from_micros(cfg.initial_rto.as_micros() / 3 * stalls);
     }
-    if elapsed > cfg.http_timeout {
+    let out = if elapsed > cfg.http_timeout {
         ExchangeOutcome::GetTimeout {
             elapsed: cfg.http_timeout,
         }
     } else {
         ExchangeOutcome::Done { elapsed }
+    };
+    trace_flow(&out, response_bytes);
+    out
+}
+
+/// Emit a flow-completion span into the active fetch trace, placed at
+/// the trace cursor (where the enclosing stage currently sits on the
+/// fetch's waterfall). Inert outside a trace or with a disabled sink,
+/// and never draws from any RNG — instrumentation cannot perturb the
+/// simulation.
+fn trace_flow(out: &ExchangeOutcome, response_bytes: u64) {
+    if !csaw_obs::trace::in_trace() || !csaw_obs::scope::current().sink.enabled() {
+        return;
     }
+    csaw_obs::event::span_completed_at(
+        "simnet.flow",
+        csaw_obs::trace::cursor_us().unwrap_or(0),
+        out.elapsed().as_micros(),
+        &[
+            ("bytes", csaw_obs::json::JsonValue::from(response_bytes)),
+            ("done", csaw_obs::json::JsonValue::from(out.is_done())),
+        ],
+    );
 }
 
 /// An exchange whose request (or response) is silently dropped by a censor:
 /// the client burns the full HTTP timeout.
 pub fn exchange_dropped(cfg: &TcpConfig) -> ExchangeOutcome {
-    ExchangeOutcome::GetTimeout {
+    let out = ExchangeOutcome::GetTimeout {
         elapsed: cfg.http_timeout,
-    }
+    };
+    trace_flow(&out, 0);
+    out
 }
 
 /// An exchange killed by an injected RST shortly after the request.
 pub fn exchange_reset(path: &Path, rng: &mut DetRng) -> ExchangeOutcome {
-    ExchangeOutcome::ResetMidFlight {
+    let out = ExchangeOutcome::ResetMidFlight {
         elapsed: path.sample_rtt(rng),
-    }
+    };
+    trace_flow(&out, 0);
+    out
 }
 
 #[cfg(test)]
