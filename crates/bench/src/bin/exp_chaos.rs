@@ -1,0 +1,85 @@
+//! Fault-injection sweep over the report upload pipeline.
+//!
+//! ```text
+//! exp_chaos [--clients N] [--urls N] [--rounds N] [--fault-rates 0.0,0.3]
+//!           [--min-delivery F]
+//! ```
+//!
+//! Exit status:
+//!
+//! - `0` — all rows accounted, delivery ratio at or above the bound;
+//! - `4` — silent loss (a client's accounting identity broke, or the
+//!   store's record count disagrees with the posted counters);
+//! - `5` — delivery ratio fell below `--min-delivery` (default 1.0:
+//!   with the default drain horizon every report must land).
+//!
+//! The CI chaos job runs this twice per fault rate and diffs the
+//! stdout: same seed ⇒ byte-identical output.
+
+use csaw_bench::experiments::chaos::{self, ChaosConfig};
+
+fn numeric<T: std::str::FromStr>(
+    extras: &std::collections::HashMap<String, String>,
+    flag: &str,
+    default: T,
+) -> T {
+    match extras.get(flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("exp_chaos: bad value for {flag}: {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[
+        "--clients",
+        "--urls",
+        "--rounds",
+        "--fault-rates",
+        "--min-delivery",
+    ]);
+    let mut cfg = ChaosConfig {
+        clients: numeric(&extras, "--clients", ChaosConfig::default().clients),
+        urls_per_client: numeric(&extras, "--urls", ChaosConfig::default().urls_per_client),
+        drain_rounds: numeric(&extras, "--rounds", ChaosConfig::default().drain_rounds),
+        ..ChaosConfig::default()
+    };
+    if let Some(list) = extras.get("--fault-rates") {
+        cfg.fault_rates = list
+            .split(',')
+            .map(|r| {
+                r.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("exp_chaos: bad --fault-rates entry {r:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if cfg.fault_rates.is_empty() {
+            eprintln!("exp_chaos: --fault-rates needs at least one rate");
+            std::process::exit(2);
+        }
+    }
+    let min_delivery: f64 = numeric(&extras, "--min-delivery", 1.0);
+
+    let result = chaos::run(cli.seed, &cfg);
+    println!("{}", result.render());
+    cli.finish();
+
+    if result.silent_loss() {
+        eprintln!("exp_chaos: SILENT LOSS detected — accounting identity broken");
+        std::process::exit(4);
+    }
+    if let Some(row) = result
+        .rows
+        .iter()
+        .find(|r| r.delivery_ratio < min_delivery - 1e-9)
+    {
+        eprintln!(
+            "exp_chaos: delivery ratio {:.3} at fault rate {:.2} below bound {:.3}",
+            row.delivery_ratio, row.fault_rate, min_delivery
+        );
+        std::process::exit(5);
+    }
+}

@@ -1,0 +1,318 @@
+//! `exp_chaos`: upload-pipeline delivery under injected faults.
+//!
+//! The paper's measurement value chain is only as good as the reports
+//! that actually reach the global DB. This experiment arms the
+//! deterministic fault layer (`csaw-faults`) against the store — write
+//! failures, torn batches, download outages — plus client-side wire
+//! corruption, and sweeps the fault rate. For each rate it reports the
+//! delivery ratio, how stale records were by the time they landed
+//! (posted − measured), and the client-side failure accounting.
+//!
+//! Two invariants are machine-checked (the `exp_chaos` binary exits
+//! non-zero when either breaks, which is what the CI chaos job runs):
+//!
+//! - **zero silent loss**: `queued == posted + dropped + quarantined +
+//!   pending` on every client, and the store holds exactly one record
+//!   per report marked posted (URLs are unique per client);
+//! - **determinism**: the rendered output is a pure function of the
+//!   seed — the CI job diffs two same-seed runs byte-for-byte.
+
+use csaw::client::CsawClient;
+use csaw::client::WireFault;
+use csaw::config::CsawConfig;
+use csaw::global::{ConfidenceFilter, ServerDb};
+use csaw_censor::{profiles, Category};
+use csaw_circumvent::world::{SiteSpec, World};
+use csaw_faults::{FaultProfile, FaultyBackend, OutageSchedule};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::{AccessNetwork, Provider, Region, Site};
+use csaw_store::ShardedStore;
+use std::sync::Arc;
+
+/// Experiment shape.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Clients per fault rate.
+    pub clients: usize,
+    /// Unique blocked URLs each client accesses (== reports queued,
+    /// absent drops).
+    pub urls_per_client: usize,
+    /// Store-fault probabilities to sweep (write failure; torn writes
+    /// and wire corruption are derived fractions of it).
+    pub fault_rates: Vec<f64>,
+    /// Post opportunities each client gets after its browsing burst.
+    pub drain_rounds: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            clients: 6,
+            urls_per_client: 8,
+            fault_rates: vec![0.0, 0.1, 0.3, 0.5],
+            drain_rounds: 24,
+        }
+    }
+}
+
+/// One swept fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Injected write-failure probability.
+    pub fault_rate: f64,
+    /// Reports ever queued across all clients.
+    pub queued: u64,
+    /// Reports the server durably accepted.
+    pub posted: u64,
+    /// Reports evicted by the queue bound.
+    pub dropped: u64,
+    /// Reports quarantined (poison / permanent rejects).
+    pub quarantined: u64,
+    /// Reports re-queued after torn writes.
+    pub requeued: u64,
+    /// Reports still pending when the horizon ran out.
+    pub pending: u64,
+    /// Failed post attempts (each armed a backoff).
+    pub post_failures: u64,
+    /// posted / queued.
+    pub delivery_ratio: f64,
+    /// Mean staleness of landed records, seconds (posted − measured).
+    pub mean_staleness_s: f64,
+    /// Records in the store at quiescence.
+    pub store_records: usize,
+    /// Did every client's accounting identity hold, with the store
+    /// record count matching `posted`?
+    pub accounted: bool,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chaos {
+    /// One row per swept fault rate.
+    pub rows: Vec<ChaosRow>,
+}
+
+fn chaos_world() -> World {
+    let provider = Provider::new(profiles::ISP_A_ASN, "isp");
+    let access = AccessNetwork::single(provider);
+    World::builder(access)
+        .site(
+            SiteSpec::new("www.youtube.com", Site::at_vantage_rtt(Region::UsEast, 186))
+                .category(Category::Video)
+                .frontable(true)
+                .serves_by_ip(true)
+                .default_page(360_000, 20),
+        )
+        .site(SiteSpec::new(
+            "cdn-front.example",
+            Site::in_region(Region::Singapore),
+        ))
+        .censor(profiles::ISP_A_ASN, profiles::isp_a())
+        .build()
+}
+
+fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
+    let world = chaos_world();
+    let inner = Arc::new(ShardedStore::new(8).expect("shard count"));
+    // The store also suffers hour-scale ingest outages so backoff gets
+    // exercised on top of per-batch coin flips.
+    let outages = OutageSchedule::generate(
+        seed ^ 0xFA17,
+        "chaos-ingest",
+        SimDuration::from_secs(48 * 3600),
+        SimDuration::from_secs(6 * 3600),
+        SimDuration::from_secs((1.0 + rate * 3_600.0) as u64),
+    );
+    let faulty = Arc::new(FaultyBackend::new(
+        inner,
+        FaultProfile::none()
+            .with_write_fail_p(rate)
+            .with_torn_write_p(rate / 2.0)
+            .with_ingest_outages(outages),
+        seed ^ (rate * 1e4) as u64,
+    ));
+    let server = ServerDb::builder(seed)
+        .backend(faulty.clone())
+        .build()
+        .expect("store config");
+
+    let mut queued = 0u64;
+    let mut posted = 0u64;
+    let mut dropped = 0u64;
+    let mut quarantined = 0u64;
+    let mut requeued = 0u64;
+    let mut pending = 0u64;
+    let mut post_failures = 0u64;
+    let mut accounted = true;
+
+    for idx in 0..cfg.clients {
+        let mut c = CsawClient::new(
+            CsawConfig::default().with_report_backoff(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(1_800),
+                0.1,
+            ),
+            Some("cdn-front.example"),
+            seed ^ ((idx as u64 + 1) << 8),
+        );
+        // A slice of posts is corrupted on the wire too (transient: the
+        // reports themselves are fine, so retries recover them).
+        c.arm_wire_fault(WireFault::new(rate / 4.0, seed ^ (idx as u64) << 3));
+        c.register(
+            &server,
+            profiles::ISP_A_ASN,
+            SimTime::from_secs(idx as u64),
+            0.0,
+        )
+        .expect("registration");
+        let mut now = SimTime::from_secs(100 + idx as u64 * 7);
+        for u in 0..cfg.urls_per_client {
+            let url =
+                csaw_webproto::url::Url::parse(&format!("http://www.youtube.com/c{idx}/u{u}"))
+                    .expect("static url");
+            faulty.set_now(now);
+            c.request(&world, &url, now);
+            now += SimDuration::from_secs(30);
+        }
+        for _ in 0..cfg.drain_rounds {
+            if c.pending_reports() == 0 {
+                break;
+            }
+            now += SimDuration::from_secs(2_000);
+            faulty.set_now(now);
+            c.post_reports(&server, now);
+        }
+        queued += c.stats.reports_queued;
+        posted += c.stats.reports_posted;
+        dropped += c.stats.reports_dropped;
+        quarantined += c.stats.reports_quarantined;
+        requeued += c.stats.reports_requeued;
+        pending += c.pending_reports() as u64;
+        post_failures += c.stats.post_failures;
+        let identity = c.stats.reports_queued
+            == c.stats.reports_posted
+                + c.stats.reports_dropped
+                + c.stats.reports_quarantined
+                + c.pending_reports() as u64;
+        accounted &= identity;
+    }
+
+    // Staleness over everything that landed. URLs are unique per
+    // client, so the record count must equal the posted count — a
+    // record marked posted but missing (loss) or present twice
+    // (duplicate) both break the equality.
+    let store_records = faulty.inner().record_count();
+    accounted &= store_records as u64 == posted;
+    let recs = faulty
+        .inner()
+        .blocked_for_as(profiles::ISP_A_ASN, &ConfidenceFilter::default());
+    let mean_staleness_s = if recs.is_empty() {
+        0.0
+    } else {
+        let total: u64 = recs
+            .iter()
+            .map(|r| r.posted_at.duration_since(r.measured_at).as_micros())
+            .sum();
+        total as f64 / recs.len() as f64 / 1e6
+    };
+
+    ChaosRow {
+        fault_rate: rate,
+        queued,
+        posted,
+        dropped,
+        quarantined,
+        requeued,
+        pending,
+        post_failures,
+        delivery_ratio: if queued == 0 {
+            1.0
+        } else {
+            posted as f64 / queued as f64
+        },
+        mean_staleness_s,
+        store_records,
+        accounted,
+    }
+}
+
+/// Run the sweep.
+pub fn run(seed: u64, cfg: &ChaosConfig) -> Chaos {
+    Chaos {
+        rows: cfg
+            .fault_rates
+            .iter()
+            .map(|r| run_rate(seed, cfg, *r))
+            .collect(),
+    }
+}
+
+impl Chaos {
+    /// True when any row shows silent loss (accounting identity or the
+    /// store/posted equality broken).
+    pub fn silent_loss(&self) -> bool {
+        self.rows.iter().any(|r| !r.accounted)
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "exp_chaos: report delivery under injected store faults\n\
+             (write-fail p = rate, torn-write p = rate/2, wire-corrupt p = rate/4,\n\
+             plus seeded ingest outages; clients retry with exponential backoff)\n\n\
+             rate   queued  posted  requeued  dropped  quar  pending  failures  delivery  staleness(s)  accounted\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<6.2} {:>6}  {:>6}  {:>8}  {:>7}  {:>4}  {:>7}  {:>8}  {:>8.3}  {:>12.1}  {}\n",
+                r.fault_rate,
+                r.queued,
+                r.posted,
+                r.requeued,
+                r.dropped,
+                r.quarantined,
+                r.pending,
+                r.post_failures,
+                r.delivery_ratio,
+                r.mean_staleness_s,
+                if r.accounted { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            clients: 3,
+            urls_per_client: 4,
+            fault_rates: vec![0.0, 0.3],
+            drain_rounds: 20,
+        }
+    }
+
+    #[test]
+    fn no_silent_loss_at_thirty_percent() {
+        let c = run(1, &quick_cfg());
+        assert!(!c.silent_loss(), "{}", c.render());
+        // With enough drain rounds every report lands.
+        for row in &c.rows {
+            assert_eq!(row.pending, 0, "{}", c.render());
+            assert!((row.delivery_ratio - 1.0).abs() < 1e-9);
+        }
+        // The faulted row actually saw failures and later staleness.
+        assert!(c.rows[1].post_failures > 0);
+        assert!(c.rows[1].mean_staleness_s >= c.rows[0].mean_staleness_s);
+    }
+
+    #[test]
+    fn same_seed_same_render() {
+        let a = run(7, &quick_cfg()).render();
+        let b = run(7, &quick_cfg()).render();
+        assert_eq!(a, b);
+    }
+}

@@ -24,8 +24,10 @@
 //! | [`nonweb`] | non-web (UDP/messaging) filtering detection |
 //! | [`propagation`] | how fast one discovery benefits the crowd |
 //! | [`scale`] | sharded-store ingest throughput at a million clients |
+//! | [`chaos`] | report delivery under injected store/wire faults |
 
 pub mod ablation_explore;
+pub mod chaos;
 pub mod datausage;
 pub mod fig1;
 pub mod fig2;

@@ -54,6 +54,63 @@ pub struct ClientStats {
     pub reports_posted: u64,
     /// Blocked verdicts recorded locally.
     pub blocked_recorded: u64,
+    /// Reports ever placed on the pending queue. The accounting
+    /// identity `reports_queued == reports_posted + reports_dropped +
+    /// reports_quarantined + pending` must hold at every quiescent
+    /// point — any gap is silent loss.
+    pub reports_queued: u64,
+    /// Reports evicted oldest-first by the queue bound.
+    pub reports_dropped: u64,
+    /// Reports quarantined as poison (fail the wire round-trip) or
+    /// permanently rejected by the server.
+    pub reports_quarantined: u64,
+    /// Reports re-queued after a partial acceptance (deferred by the
+    /// server; they remain pending, so they are *not* part of the
+    /// identity above).
+    pub reports_requeued: u64,
+    /// Failed post attempts (transport/server errors; each schedules a
+    /// backoff).
+    pub post_failures: u64,
+    /// Failed global-DB sync pulls (the cached view was kept).
+    pub sync_failures: u64,
+}
+
+/// Deterministic wire-level corruption for chaos experiments: with
+/// probability `corrupt_p` per post attempt the encoded batch is
+/// truncated in flight, so the server-side decode fails the way a
+/// half-closed Tor stream would make it fail. Draws come from a
+/// dedicated labelled fork, so arming this never perturbs any other
+/// stream of the same seed.
+#[derive(Debug, Clone)]
+pub struct WireFault {
+    corrupt_p: f64,
+    rng: DetRng,
+}
+
+impl WireFault {
+    /// A wire fault with the given per-attempt corruption probability
+    /// (clamped to `[0, 1]`).
+    pub fn new(corrupt_p: f64, seed: u64) -> WireFault {
+        WireFault {
+            corrupt_p: corrupt_p.clamp(0.0, 1.0),
+            rng: DetRng::new(seed).fork("wire-fault"),
+        }
+    }
+
+    /// Maybe corrupt one encoded batch in place. Returns whether it did.
+    /// Exactly one RNG draw per call, hit or miss — the stream length
+    /// never depends on outcomes, which keeps same-seed runs aligned.
+    fn corrupt(&mut self, wire: &mut String) -> bool {
+        if !self.rng.chance(self.corrupt_p) {
+            return false;
+        }
+        let mut keep = wire.len() / 2;
+        while keep > 0 && !wire.is_char_boundary(keep) {
+            keep -= 1;
+        }
+        wire.truncate(keep);
+        true
+    }
 }
 
 /// What one user request produced.
@@ -97,6 +154,20 @@ pub struct CsawClient {
     /// one).
     report_queue: Vec<Report>,
     reported: HashMap<(String, u32), Vec<BlockingType>>,
+    /// Reports pulled out of the queue because they can never be
+    /// delivered: they fail the wire round-trip (poison) or the server
+    /// permanently rejected them. Kept for audit rather than dropped.
+    quarantined: Vec<Report>,
+    /// Consecutive failed post attempts (resets on success).
+    post_failstreak: u32,
+    /// Earliest time the next post attempt may run (exponential
+    /// backoff; `None` = no backoff pending).
+    next_report_at: Option<SimTime>,
+    /// Backoff jitter draws come from a dedicated fork so arming or
+    /// clearing backoff never perturbs the request-path RNG stream.
+    backoff_rng: DetRng,
+    /// Optional injected wire corruption (chaos experiments).
+    wire_fault: Option<WireFault>,
     /// Seed for deriving causal trace ids (the client's RNG seed, so
     /// same-seed runs produce byte-identical traces).
     trace_seed: u64,
@@ -121,6 +192,7 @@ impl CsawClient {
     /// domain-fronting front domain available in the deployment, if any.
     pub fn new(cfg: CsawConfig, front: Option<&str>, seed: u64) -> CsawClient {
         let rng = DetRng::new(seed);
+        let backoff_rng = rng.fork("report-backoff");
         let selector =
             Selector::standard(front, cfg.explore_every, cfg.plt_ewma_alpha, cfg.preference);
         // Tor carries the redundant copy for unmeasured URLs (and the
@@ -144,6 +216,11 @@ impl CsawClient {
             last_report: None,
             report_queue: Vec::new(),
             reported: HashMap::new(),
+            quarantined: Vec::new(),
+            post_failstreak: 0,
+            next_report_at: None,
+            backoff_rng,
+            wire_fault: None,
             trace_seed: seed,
             fetch_seq: 0,
             report_seq: 0,
@@ -193,7 +270,9 @@ impl CsawClient {
     ) -> Result<Uuid, crate::global::RegistrationError> {
         let uuid = server.register(now, risk_score)?;
         self.uuid = Some(uuid);
-        self.sync_global(server, &[asn], now);
+        // Registration stands even if the first pull fails — the client
+        // starts with an empty cached view and retries on the next tick.
+        let _ = self.sync_global(server, &[asn], now);
         Ok(uuid)
     }
 
@@ -207,13 +286,34 @@ impl CsawClient {
         self.global_view.get(&Self::global_key(url))
     }
 
-    /// Pull the per-AS blocked lists from the server.
-    pub fn sync_global(&mut self, server: &ServerDb, asns: &[Asn], now: SimTime) {
-        self.global_view.clear();
+    /// Pull the per-AS blocked lists from the server. Builds the fresh
+    /// view off to the side and swaps it in only once every pull
+    /// succeeded — a transiently unavailable backend must never wipe the
+    /// cached view (stale blocked-list data still routes around
+    /// censorship; an empty one sends every request down the direct
+    /// path). On failure the cached view and `last_sync` are kept, so
+    /// the next tick retries. Returns the number of records pulled.
+    pub fn sync_global(
+        &mut self,
+        server: &ServerDb,
+        asns: &[Asn],
+        now: SimTime,
+    ) -> Result<usize, crate::global::StoreError> {
+        let mut fresh: HashMap<String, Vec<BlockingType>> = HashMap::new();
+        let mut pulled = 0usize;
         for asn in asns {
-            for rec in server.blocked_for_as(*asn, &self.confidence) {
+            let recs = match server.try_blocked_for_as(*asn, &self.confidence) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.stats.sync_failures += 1;
+                    csaw_obs::event!("client.sync.failed", asn = asn.0 as u64);
+                    return Err(e);
+                }
+            };
+            for rec in recs {
+                pulled += 1;
                 if let Ok(u) = Url::parse(&rec.url) {
-                    let entry = self.global_view.entry(Self::global_key(&u)).or_default();
+                    let entry = fresh.entry(Self::global_key(&u)).or_default();
                     for s in &rec.stages {
                         if !entry.contains(s) {
                             entry.push(*s);
@@ -222,7 +322,9 @@ impl CsawClient {
                 }
             }
         }
+        self.global_view = fresh;
         self.last_sync = Some(now);
+        Ok(pulled)
     }
 
     /// Handle one user request (Algorithm 1). GETs may be duplicated
@@ -632,6 +734,18 @@ impl CsawClient {
         sorted.dedup();
         let key = (url.to_string(), asn.0);
         if self.reported.get(&key) != Some(&sorted) {
+            if self.report_queue.len() >= self.cfg.report_queue_cap {
+                // Bounded queue: evict oldest-first and *account* for it.
+                // Forgetting its `reported` entry lets the observation
+                // re-queue the next time the URL is seen blocked.
+                let victim = self.report_queue.remove(0);
+                self.reported.remove(&(victim.url.clone(), victim.asn));
+                self.stats.reports_dropped += 1;
+                csaw_obs::event!(
+                    "report.drop_oldest",
+                    queue_cap = self.cfg.report_queue_cap as u64
+                );
+            }
             self.reported.insert(key, sorted.clone());
             self.report_queue.push(Report {
                 url: url.to_string(),
@@ -639,6 +753,7 @@ impl CsawClient {
                 measured_at_us: now.as_micros(),
                 stages: sorted,
             });
+            self.stats.reports_queued += 1;
         }
         self.local_db
             .record_measurement(url, asn, now, Status::Blocked, stages);
@@ -655,13 +770,118 @@ impl CsawClient {
         };
         if due(self.last_sync, self.cfg.sync_interval) {
             let asns: Vec<Asn> = world.access.providers().iter().map(|p| p.asn).collect();
-            self.sync_global(server, &asns, now);
+            // A failed pull keeps the cached view; `last_sync` is not
+            // advanced, so the next tick retries.
+            let _ = self.sync_global(server, &asns, now);
         }
-        if due(self.last_report, self.cfg.report_interval) {
+        if due(self.last_report, self.cfg.report_interval) && self.backoff_clear(now) {
             self.post_reports(server, now);
             self.last_report = Some(now);
         }
         self.local_db.purge_expired(now);
+    }
+
+    /// Whether the post path is out of backoff at `now`.
+    fn backoff_clear(&self, now: SimTime) -> bool {
+        self.next_report_at.is_none_or(|at| now >= at)
+    }
+
+    /// Register a failed post attempt: deterministic exponential backoff
+    /// with ±jitter. Delay doubles per consecutive failure from
+    /// `report_backoff_base` up to `report_backoff_max`; the jitter draw
+    /// comes from the dedicated backoff fork, so same-seed runs schedule
+    /// identical retries while distinct clients decorrelate.
+    fn bump_backoff(&mut self, now: SimTime) {
+        self.stats.post_failures += 1;
+        let exp = self.post_failstreak.min(20);
+        self.post_failstreak = self.post_failstreak.saturating_add(1);
+        let base = self.cfg.report_backoff_base.as_micros().max(1);
+        let max = self.cfg.report_backoff_max.as_micros().max(base);
+        let raw = base.saturating_mul(1u64 << exp).min(max);
+        let swing = 2.0 * self.backoff_rng.f64() - 1.0;
+        let factor = 1.0 + self.cfg.report_backoff_jitter * swing;
+        let delay = ((raw as f64 * factor) as u64).max(1);
+        self.next_report_at = Some(now + SimDuration::from_micros(delay));
+        csaw_obs::event!(
+            "report.backoff",
+            failstreak = self.post_failstreak as u64,
+            delay_us = delay
+        );
+    }
+
+    /// A post attempt succeeded: clear any pending backoff.
+    fn reset_backoff(&mut self) {
+        self.post_failstreak = 0;
+        self.next_report_at = None;
+    }
+
+    /// Move every report that cannot survive its own wire round-trip
+    /// out of the queue before a post is attempted. One poison report
+    /// would otherwise fail `Batch::from_wire` for the *whole* batch on
+    /// every retry, pinning the queue forever — the original silent-loss
+    /// bug this module is hardened against.
+    fn quarantine_poison(&mut self) {
+        let mut i = 0;
+        while i < self.report_queue.len() {
+            let r = &self.report_queue[i];
+            let wire = Report::encode_batch(std::slice::from_ref(r));
+            let survives = Report::decode_batch(&wire)
+                .map(|d| d.len() == 1 && d[0] == *r)
+                .unwrap_or(false);
+            if survives {
+                i += 1;
+                continue;
+            }
+            let r = self.report_queue.remove(i);
+            self.stats.reports_quarantined += 1;
+            csaw_obs::event!("report.quarantine", asn = r.asn as u64);
+            self.quarantined.push(r);
+        }
+    }
+
+    /// Split the drained batch according to the server's per-report
+    /// verdicts: permanently rejected indices are quarantined (futile to
+    /// resend), deferred indices go back on the queue (the store never
+    /// attempted them), everything else is marked posted. Exactly the
+    /// accepted reports count toward `reports_posted` — nothing is
+    /// marked posted that the server did not take.
+    fn reconcile_receipt(
+        &mut self,
+        drained: Vec<Report>,
+        rejected_indices: &[usize],
+        deferred_indices: &[usize],
+    ) {
+        for (i, r) in drained.into_iter().enumerate() {
+            if rejected_indices.contains(&i) {
+                self.stats.reports_quarantined += 1;
+                csaw_obs::event!("report.quarantine", asn = r.asn as u64);
+                self.quarantined.push(r);
+            } else if deferred_indices.contains(&i) {
+                self.stats.reports_requeued += 1;
+                self.report_queue.push(r);
+            } else {
+                if let Ok(u) = Url::parse(&r.url) {
+                    self.local_db.mark_posted(&u);
+                }
+                self.stats.reports_posted += 1;
+            }
+        }
+    }
+
+    /// Close the active report-post trace. Called on **every** exit path
+    /// of a post attempt — a root left dangling turns into a truncated
+    /// causal tree that the trace-report gate flags as a lost report.
+    fn complete_post_trace(&self, now: SimTime, queued: usize, accepted: usize, ok: bool) {
+        csaw_obs::trace::complete_active(
+            "report.post",
+            now.as_micros(),
+            0,
+            &[
+                ("queued", csaw_obs::json::JsonValue::from(queued as u64)),
+                ("accepted", csaw_obs::json::JsonValue::from(accepted as u64)),
+                ("ok", csaw_obs::json::JsonValue::from(ok)),
+            ],
+        );
     }
 
     /// Push pending blocked-URL reports to the server (carried over Tor
@@ -669,55 +889,69 @@ impl CsawClient {
     /// wire by construction).
     pub fn post_reports(&mut self, server: &ServerDb, now: SimTime) -> usize {
         let Some(uuid) = self.uuid else { return 0 };
-        if self.report_queue.is_empty() {
+        if self.report_queue.is_empty() || !self.backoff_clear(now) {
             return 0;
         }
         // A report post is its own causal tree (REPORT stream, so ids
         // never collide with fetch traces from the same seed): the
-        // server's ingest events land under this root.
+        // server's ingest events land under this root. The ordinal
+        // advances on every attempt whether or not a sink is listening —
+        // instrumented and bare runs of the same seed must derive the
+        // same ids for the same attempts.
         let queued = self.report_queue.len();
+        let ordinal = self.report_seq;
+        self.report_seq += 1;
         let _root = csaw_obs::scope::current().sink.enabled().then(|| {
-            let r = csaw_obs::trace::root(
-                csaw_obs::trace::derive(
-                    self.trace_seed,
-                    csaw_obs::trace::stream::REPORT,
-                    self.report_seq,
-                ),
+            csaw_obs::trace::root(
+                csaw_obs::trace::derive(self.trace_seed, csaw_obs::trace::stream::REPORT, ordinal),
                 now.as_micros(),
-            );
-            self.report_seq += 1;
-            r
+            )
         });
-        // Wire round trip: encode, (Tor carries it), the batch owns the
-        // server-side decode.
-        let wire = Report::encode_batch(&self.report_queue);
-        let Ok(batch) = crate::global::Batch::from_wire(uuid, &wire, now) else {
+        // Poison sweep before the batch is cut: a single unencodable
+        // report must not pin the whole queue.
+        self.quarantine_poison();
+        if self.report_queue.is_empty() {
+            self.complete_post_trace(now, queued, 0, false);
             return 0;
+        }
+        // Wire round trip: encode, (Tor carries it), the batch owns the
+        // server-side decode. Chaos runs corrupt the wire here.
+        let mut wire = Report::encode_batch(&self.report_queue);
+        if let Some(f) = self.wire_fault.as_mut() {
+            if f.corrupt(&mut wire) {
+                csaw_obs::event!("fault.wire.corrupt", queued = queued as u64);
+            }
+        }
+        let batch = match crate::global::Batch::from_wire(uuid, &wire, now) {
+            Ok(b) => b,
+            Err(_) => {
+                // The *wire* failed, not the reports (they survived the
+                // round-trip sweep above): transient, so the queue stays
+                // for the retry and backoff arms.
+                self.bump_backoff(now);
+                self.complete_post_trace(now, queued, 0, false);
+                return 0;
+            }
         };
         match server.ingest(batch) {
             Ok(receipt) => {
-                for r in self.report_queue.drain(..) {
-                    if let Ok(u) = Url::parse(&r.url) {
-                        self.local_db.mark_posted(&u);
-                    }
-                }
-                self.stats.reports_posted += receipt.accepted as u64;
-                csaw_obs::trace::complete_active(
-                    "report.post",
-                    now.as_micros(),
-                    0,
-                    &[
-                        ("queued", csaw_obs::json::JsonValue::from(queued as u64)),
-                        (
-                            "accepted",
-                            csaw_obs::json::JsonValue::from(receipt.accepted as u64),
-                        ),
-                        ("ok", csaw_obs::json::JsonValue::from(true)),
-                    ],
+                let drained: Vec<Report> = self.report_queue.drain(..).collect();
+                self.reconcile_receipt(
+                    drained,
+                    &receipt.rejected_indices,
+                    &receipt.deferred_indices,
                 );
+                self.reset_backoff();
+                self.complete_post_trace(now, queued, receipt.accepted, true);
                 receipt.accepted
             }
-            Err(_) => 0,
+            Err(_) => {
+                // Server unavailable: every report stays queued; the
+                // trace still closes (a dangling root reads as loss).
+                self.bump_backoff(now);
+                self.complete_post_trace(now, queued, 0, false);
+                0
+            }
         }
     }
 
@@ -736,27 +970,56 @@ impl CsawClient {
                 crate::global::PostError::UnknownClient,
             ));
         };
+        self.quarantine_poison();
         if self.report_queue.is_empty() {
-            return Ok(crate::global::SubmitReceipt {
-                via: "-".into(),
-                accepted: 0,
-                elapsed: SimDuration::ZERO,
-            });
+            return Ok(crate::global::SubmitReceipt::empty());
         }
-        let receipt = collectors.submit(server, uuid, &self.report_queue, now, &mut self.rng)?;
-        for r in self.report_queue.drain(..) {
-            if let Ok(u) = Url::parse(&r.url) {
-                self.local_db.mark_posted(&u);
+        match collectors.submit(server, uuid, &self.report_queue, now, &mut self.rng) {
+            Ok(receipt) => {
+                let drained: Vec<Report> = self.report_queue.drain(..).collect();
+                self.reconcile_receipt(
+                    drained,
+                    &receipt.rejected_indices,
+                    &receipt.deferred_indices,
+                );
+                self.reset_backoff();
+                Ok(receipt)
+            }
+            Err(e) => {
+                // Total collector blockage or a server-side refusal: the
+                // batch stays queued for the next attempt, with backoff.
+                self.bump_backoff(now);
+                Err(e)
             }
         }
-        self.stats.reports_posted += receipt.accepted as u64;
-        Ok(receipt)
     }
 
     /// Anonymity-preferring clients must never leak through non-anonymous
     /// transports — surfaced for tests/audits.
     pub fn preference(&self) -> UserPreference {
         self.cfg.preference
+    }
+
+    /// Reports still waiting for a successful post.
+    pub fn pending_reports(&self) -> usize {
+        self.report_queue.len()
+    }
+
+    /// Reports pulled aside as undeliverable — kept for audit, counted
+    /// in [`ClientStats::reports_quarantined`].
+    pub fn quarantined_reports(&self) -> &[Report] {
+        &self.quarantined
+    }
+
+    /// When the next post attempt may run, if backoff is armed.
+    pub fn next_report_at(&self) -> Option<SimTime> {
+        self.next_report_at
+    }
+
+    /// Arm deterministic wire corruption on the report post path (chaos
+    /// experiments only).
+    pub fn arm_wire_fault(&mut self, fault: WireFault) {
+        self.wire_fault = Some(fault);
     }
 }
 
@@ -987,5 +1250,326 @@ mod tests {
             "tick posted reports"
         );
         assert!(c.stats.reports_posted >= 1);
+    }
+
+    // ---- upload-pipeline failure semantics -------------------------------
+
+    use csaw_faults::{FaultProfile, FaultyBackend, OutageSchedule};
+    use csaw_store::ShardedStore;
+    use std::sync::Arc;
+
+    /// A server whose backend fails every ingest.
+    fn broken_server(salt: u64) -> (ServerDb, Arc<FaultyBackend>) {
+        let inner = Arc::new(ShardedStore::new(8).unwrap());
+        let faulty = Arc::new(FaultyBackend::new(
+            inner,
+            FaultProfile::none().with_write_fail_p(1.0),
+            salt,
+        ));
+        let server = ServerDb::builder(salt)
+            .backend(faulty.clone())
+            .build()
+            .unwrap();
+        (server, faulty)
+    }
+
+    fn accounting_holds(c: &CsawClient) {
+        assert_eq!(
+            c.stats.reports_queued,
+            c.stats.reports_posted
+                + c.stats.reports_dropped
+                + c.stats.reports_quarantined
+                + c.pending_reports() as u64,
+            "accounting identity violated: {:?} pending={}",
+            c.stats,
+            c.pending_reports()
+        );
+    }
+
+    #[test]
+    fn failed_ingest_keeps_queue_closes_trace_and_arms_backoff() {
+        let sink = Arc::new(csaw_obs::sink::RingSink::new(256));
+        let _g = csaw_obs::scope::install(Arc::new(
+            csaw_obs::scope::ObsCtx::new().with_sink(sink.clone()),
+        ));
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let (server, _faulty) = broken_server(7);
+        let mut c = client(40);
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        let pending = c.pending_reports();
+        assert!(pending >= 1);
+        let posted = c.post_reports(&server, SimTime::from_secs(2));
+        assert_eq!(posted, 0);
+        assert_eq!(c.pending_reports(), pending, "queue survives the failure");
+        assert_eq!(c.stats.post_failures, 1);
+        assert!(
+            c.next_report_at() > Some(SimTime::from_secs(2)),
+            "backoff armed"
+        );
+        // The REPORT trace root closed with ok=false — no dangling root.
+        let events = sink.drain();
+        let post = events
+            .iter()
+            .find(|e| e.name == "report.post")
+            .expect("report.post completion emitted on the failure path");
+        let ok = post
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "ok")
+            .map(|(_, v)| v.clone());
+        assert_eq!(ok, Some(csaw_obs::json::JsonValue::from(false)));
+        accounting_holds(&c);
+    }
+
+    #[test]
+    fn backoff_gates_retries_then_delivers() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let inner = Arc::new(ShardedStore::new(8).unwrap());
+        // Ingest is down for the first 1000 simulated seconds.
+        let faulty = Arc::new(FaultyBackend::new(
+            inner,
+            FaultProfile::none().with_ingest_outages(OutageSchedule::from_windows(vec![(
+                SimTime::ZERO,
+                SimTime::from_secs(1_000),
+            )])),
+            5,
+        ));
+        let server = ServerDb::builder(5)
+            .backend(faulty.clone())
+            .build()
+            .unwrap();
+        let mut c = client(41);
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(c.post_reports(&server, SimTime::from_secs(2)), 0);
+        let next = c.next_report_at().expect("backoff armed");
+        // Attempts inside the backoff window are no-ops: no RNG draws,
+        // no failure counter movement.
+        assert_eq!(c.post_reports(&server, SimTime::from_secs(3)), 0);
+        assert_eq!(c.stats.post_failures, 1, "gated attempt is free");
+        // Consecutive failures stretch the delay (exponential).
+        let failed_at = next;
+        assert_eq!(c.post_reports(&server, failed_at), 0);
+        let next2 = c.next_report_at().unwrap();
+        assert!(
+            next2.duration_since(failed_at) > next.duration_since(SimTime::from_secs(2)),
+            "second delay longer than first"
+        );
+        // After the outage the queued report lands and backoff resets.
+        let after = SimTime::from_secs(2_000);
+        let posted = c.post_reports(&server, after);
+        assert!(posted >= 1);
+        assert_eq!(c.next_report_at(), None, "backoff cleared on success");
+        assert_eq!(c.pending_reports(), 0);
+        accounting_holds(&c);
+    }
+
+    #[test]
+    fn poison_report_quarantined_not_retried_forever() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let server = ServerDb::new(13);
+        let mut c = client(42);
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        let healthy = c.pending_reports();
+        assert!(healthy >= 1);
+        // Inject a poison report: its timestamp exceeds the f64-exact
+        // integer range, so it cannot survive the JSON wire round-trip.
+        c.report_queue.push(Report {
+            url: "http://poison.example/".into(),
+            asn: profiles::ISP_A_ASN.0,
+            measured_at_us: (1 << 53) + 1,
+            stages: vec![BlockingType::HttpDrop],
+        });
+        c.stats.reports_queued += 1;
+        let posted = c.post_reports(&server, SimTime::from_secs(2));
+        assert_eq!(posted, healthy, "healthy reports still delivered");
+        assert_eq!(c.stats.reports_quarantined, 1);
+        assert_eq!(c.quarantined_reports().len(), 1);
+        assert_eq!(c.quarantined_reports()[0].url, "http://poison.example/");
+        assert_eq!(c.pending_reports(), 0, "poison does not pin the queue");
+        accounting_holds(&c);
+    }
+
+    #[test]
+    fn partial_receipt_requeues_deferred_and_quarantines_rejected() {
+        let mut c = client(43);
+        let mk = |u: &str| Report {
+            url: u.into(),
+            asn: 1,
+            measured_at_us: 1,
+            stages: vec![BlockingType::HttpDrop],
+        };
+        let drained = vec![
+            mk("http://a.example/"),
+            mk("http://b.example/"),
+            mk("http://c.example/"),
+        ];
+        c.stats.reports_queued = 3;
+        // Server verdict: index 0 accepted, 1 permanently rejected,
+        // 2 never attempted (torn write).
+        c.reconcile_receipt(drained, &[1], &[2]);
+        assert_eq!(c.stats.reports_posted, 1);
+        assert_eq!(c.stats.reports_quarantined, 1);
+        assert_eq!(c.stats.reports_requeued, 1);
+        assert_eq!(c.pending_reports(), 1, "only the deferred report re-queued");
+        assert_eq!(c.report_queue[0].url, "http://c.example/");
+        assert_eq!(c.quarantined_reports()[0].url, "http://b.example/");
+        accounting_holds(&c);
+    }
+
+    #[test]
+    fn report_seq_advances_without_sink() {
+        // No sink installed: trace ids must still advance identically,
+        // or instrumented and bare runs of the same seed diverge.
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let (broken, _) = broken_server(17);
+        let good = ServerDb::new(17);
+        let mut c = client(44);
+        c.register(&broken, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        assert_eq!(c.report_seq, 0);
+        c.post_reports(&broken, SimTime::from_secs(2)); // fails
+        assert_eq!(c.report_seq, 1, "failed attempt advances the ordinal");
+        c.uuid = good.register(SimTime::from_secs(3), 0.0).ok();
+        // Wait out the backoff the failure armed, then succeed.
+        c.post_reports(&good, SimTime::from_secs(10_000));
+        assert_eq!(c.report_seq, 2, "ordinal advances with no sink installed");
+    }
+
+    #[test]
+    fn queue_cap_drops_oldest_and_accounts() {
+        let cfg = CsawConfig::default().with_report_queue_cap(2);
+        let mut c = CsawClient::new(cfg, None, 45);
+        let asn = Asn(1);
+        for (i, u) in [
+            "http://a.example/",
+            "http://b.example/",
+            "http://c.example/",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let url = Url::parse(u).unwrap();
+            c.record_blocked(
+                &url,
+                asn,
+                SimTime::from_secs(i as u64 + 1),
+                vec![BlockingType::HttpDrop],
+            );
+        }
+        assert_eq!(c.pending_reports(), 2, "bounded at the cap");
+        assert_eq!(c.stats.reports_queued, 3);
+        assert_eq!(c.stats.reports_dropped, 1);
+        assert_eq!(c.report_queue[0].url, "http://b.example/", "oldest evicted");
+        accounting_holds(&c);
+        // The dropped observation may re-queue: its `reported` entry is
+        // forgotten along with the report.
+        let a = Url::parse("http://a.example/").unwrap();
+        c.record_blocked(
+            &a,
+            asn,
+            SimTime::from_secs(10),
+            vec![BlockingType::HttpDrop],
+        );
+        assert_eq!(c.stats.reports_queued, 4, "dropped report re-queued");
+        accounting_holds(&c);
+    }
+
+    #[test]
+    fn sync_failure_preserves_cached_view() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let inner = Arc::new(ShardedStore::new(8).unwrap());
+        // Downloads fail between t=100s and t=200s.
+        let faulty = Arc::new(FaultyBackend::new(
+            inner,
+            FaultProfile::none().with_download_outages(OutageSchedule::from_windows(vec![(
+                SimTime::from_secs(100),
+                SimTime::from_secs(200),
+            )])),
+            23,
+        ));
+        let server = ServerDb::builder(23)
+            .backend(faulty.clone())
+            .build()
+            .unwrap();
+        // Seed the global DB through a reporting client.
+        let mut c1 = client(46);
+        c1.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c1.request(&w, &url, SimTime::from_secs(1));
+        assert!(c1.post_reports(&server, SimTime::from_secs(2)) >= 1);
+        // A second client syncs while the backend is healthy...
+        let mut c2 = client(47);
+        c2.register(&server, profiles::ISP_A_ASN, SimTime::from_secs(3), 0.0)
+            .unwrap();
+        assert!(c2.global_lookup(&url).is_some());
+        // ...then the backend goes down; the pull fails but the cached
+        // view survives.
+        faulty.set_now(SimTime::from_secs(150));
+        let err = c2.sync_global(&server, &[profiles::ISP_A_ASN], SimTime::from_secs(150));
+        assert!(err.is_err());
+        assert_eq!(c2.stats.sync_failures, 1);
+        assert!(
+            c2.global_lookup(&url).is_some(),
+            "failed pull must not wipe the cached view"
+        );
+        // Back up: the next pull refreshes normally.
+        faulty.set_now(SimTime::from_secs(300));
+        assert!(c2
+            .sync_global(&server, &[profiles::ISP_A_ASN], SimTime::from_secs(300))
+            .is_ok());
+        assert!(c2.global_lookup(&url).is_some());
+    }
+
+    #[test]
+    fn post_reports_via_marks_only_accepted() {
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let server = ServerDb::new(29);
+        let collectors = crate::global::CollectorSet::default_set();
+        let mut c = client(48);
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        let pending = c.pending_reports() as u64;
+        let receipt = c
+            .post_reports_via(&collectors, &server, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(receipt.accepted as u64, pending);
+        assert_eq!(c.stats.reports_posted, pending);
+        assert_eq!(c.pending_reports(), 0);
+        accounting_holds(&c);
+        // All collectors blocked: the queue survives and backoff arms.
+        let mut blocked = crate::global::CollectorSet::default_set();
+        for id in [
+            "collector-a.onion",
+            "collector-b.onion",
+            "collector-c.onion",
+        ] {
+            blocked.set_reachable(id, false);
+        }
+        c.request(
+            &w,
+            &Url::parse("http://www.youtube.com/2").unwrap(),
+            SimTime::from_secs(10),
+        );
+        let before = c.pending_reports();
+        assert!(before >= 1);
+        let err = c.post_reports_via(&blocked, &server, SimTime::from_secs(11));
+        assert!(err.is_err());
+        assert_eq!(c.pending_reports(), before, "batch stays queued");
+        assert_eq!(c.stats.post_failures, 1);
+        accounting_holds(&c);
     }
 }

@@ -55,6 +55,21 @@ pub struct CsawConfig {
     pub asn_probe_interval: SimDuration,
     /// EWMA weight for per-(transport, URL) PLT tracking.
     pub plt_ewma_alpha: f64,
+    /// Pending-report queue bound. When a fresh report would exceed it,
+    /// the *oldest* queued report is dropped (and counted in
+    /// `ClientStats::reports_dropped`) — bounded memory beats unbounded
+    /// growth when the upload path is down for days.
+    pub report_queue_cap: usize,
+    /// First retry delay after a failed report post. Subsequent
+    /// consecutive failures double it (deterministic exponential
+    /// backoff) up to [`CsawConfig::report_backoff_max`].
+    pub report_backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub report_backoff_max: SimDuration,
+    /// Jitter fraction applied to each backoff delay (±fraction,
+    /// drawn from the client's seeded RNG — deterministic per seed,
+    /// decorrelated across clients).
+    pub report_backoff_jitter: f64,
 }
 
 impl Default for CsawConfig {
@@ -69,6 +84,10 @@ impl Default for CsawConfig {
             report_interval: SimDuration::from_secs(5 * 60),
             asn_probe_interval: SimDuration::from_secs(60),
             plt_ewma_alpha: 0.3,
+            report_queue_cap: 512,
+            report_backoff_base: SimDuration::from_secs(30),
+            report_backoff_max: SimDuration::from_secs(3_600),
+            report_backoff_jitter: 0.1,
         }
     }
 }
@@ -97,6 +116,22 @@ impl CsawConfig {
         self.record_ttl = ttl;
         self
     }
+
+    /// Builder: report-queue bound (at least 1 — a zero cap could never
+    /// hold the report that triggered the drop).
+    pub fn with_report_queue_cap(mut self, cap: usize) -> Self {
+        self.report_queue_cap = cap.max(1);
+        self
+    }
+
+    /// Builder: backoff base, ceiling, and jitter fraction (jitter
+    /// clamped to `[0, 1]`).
+    pub fn with_report_backoff(mut self, base: SimDuration, max: SimDuration, jitter: f64) -> Self {
+        self.report_backoff_base = base;
+        self.report_backoff_max = max.max(base);
+        self.report_backoff_jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +153,14 @@ mod tests {
         assert_eq!(c.revalidate_p, 1.0);
         let c = c.with_revalidate_p(-1.0);
         assert_eq!(c.revalidate_p, 0.0);
+        let c = c.with_report_queue_cap(0);
+        assert_eq!(c.report_queue_cap, 1);
+        let c = c.with_report_backoff(SimDuration::from_secs(60), SimDuration::from_secs(10), 3.0);
+        assert_eq!(
+            c.report_backoff_max,
+            SimDuration::from_secs(60),
+            "max >= base"
+        );
+        assert_eq!(c.report_backoff_jitter, 1.0);
     }
 }

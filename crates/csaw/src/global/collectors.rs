@@ -45,6 +45,25 @@ pub struct SubmitReceipt {
     pub accepted: usize,
     /// Time spent, including failed attempts against blocked collectors.
     pub elapsed: SimDuration,
+    /// Batch indices the server permanently rejected (sanitization) —
+    /// resubmitting these is futile.
+    pub rejected_indices: Vec<usize>,
+    /// Batch indices the store never attempted (torn write) — these
+    /// must be resubmitted or they are lost.
+    pub deferred_indices: Vec<usize>,
+}
+
+impl SubmitReceipt {
+    /// A receipt for an empty submission (nothing queued).
+    pub fn empty() -> SubmitReceipt {
+        SubmitReceipt {
+            via: "-".into(),
+            accepted: 0,
+            elapsed: SimDuration::ZERO,
+            rejected_indices: Vec::new(),
+            deferred_indices: Vec::new(),
+        }
+    }
 }
 
 /// The collection tier.
@@ -118,12 +137,21 @@ impl CollectorSet {
                 continue;
             }
             elapsed += c.latency;
+            // Wire round trip (Tor carries it), then the first-class
+            // ingest path so the receipt's per-report indices survive
+            // for client-side reconciliation.
             let wire = Report::encode_batch(reports);
-            return match server.post_update_wire(client, &wire, now + elapsed) {
-                Ok(n) => Ok(SubmitReceipt {
+            let batch = match crate::global::Batch::from_wire(client, &wire, now + elapsed) {
+                Ok(b) => b,
+                Err(e) => return Err(SubmitError::Rejected(e)),
+            };
+            return match server.ingest(batch) {
+                Ok(receipt) => Ok(SubmitReceipt {
                     via: c.id.clone(),
-                    accepted: n,
+                    accepted: receipt.accepted,
                     elapsed,
+                    rejected_indices: receipt.rejected_indices,
+                    deferred_indices: receipt.deferred_indices,
                 }),
                 Err(e) => Err(SubmitError::Rejected(e)),
             };

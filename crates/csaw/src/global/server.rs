@@ -190,6 +190,7 @@ struct ServerMetrics {
     records: Arc<Gauge>,
     downloads: Arc<Counter>,
     downloads_served: Arc<Counter>,
+    downloads_failed: Arc<Counter>,
     revocations: Arc<Counter>,
 }
 
@@ -208,6 +209,7 @@ impl ServerMetrics {
             records: reg.gauge("global.records"),
             downloads: reg.counter("global.downloads"),
             downloads_served: reg.counter("global.downloads.records_served"),
+            downloads_failed: reg.counter("global.downloads.failed"),
             revocations: reg.counter("global.revocations"),
         }
     }
@@ -385,6 +387,30 @@ impl ServerDb {
         self.m.downloads.inc();
         self.m.downloads_served.add(out.len() as u64);
         out
+    }
+
+    /// Fallible blocked-list download: surfaces backend unavailability
+    /// (fault-injection windows, a remote store's outage) as an error
+    /// instead of an empty list, so a client's sync can distinguish
+    /// "nothing blocked" from "could not ask". Prefer this in periodic
+    /// sync paths; [`ServerDb::blocked_for_as`] stays for callers that
+    /// have no retry story.
+    pub fn try_blocked_for_as(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Result<Vec<GlobalRecord>, StoreError> {
+        self.m.downloads.inc();
+        match self.backend.try_blocked_for_as(asn, filter) {
+            Ok(out) => {
+                self.m.downloads_served.add(out.len() as u64);
+                Ok(out)
+            }
+            Err(e) => {
+                self.m.downloads_failed.inc();
+                Err(e)
+            }
+        }
     }
 
     /// Vote tally for a (URL, AS) — exposed for analytics.
@@ -587,7 +613,9 @@ mod tests {
             receipt,
             IngestReceipt {
                 accepted: 1,
-                rejected: 1
+                rejected: 1,
+                rejected_indices: vec![1],
+                deferred_indices: vec![],
             }
         );
         assert_eq!(s.updates_accepted(), 1);

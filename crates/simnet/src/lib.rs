@@ -48,7 +48,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::Scheduler;
-pub use link::{Link, Path};
+pub use link::{FlapProfile, Link, Path};
 pub use load::{InFlightTracker, LoadModel};
 pub use rng::DetRng;
 pub use tcp::{
@@ -61,7 +61,7 @@ pub use topology::{AccessNetwork, AccessProfile, Asn, Provider, Region, Site};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::event::Scheduler;
-    pub use crate::link::{Link, Path};
+    pub use crate::link::{FlapProfile, Link, Path};
     pub use crate::load::{InFlightTracker, LoadModel};
     pub use crate::rng::DetRng;
     pub use crate::tcp::{

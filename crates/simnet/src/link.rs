@@ -11,7 +11,7 @@
 //! module must distinguish censorship from exactly these conditions.
 
 use crate::rng::DetRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// One directed network segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +87,56 @@ impl Link {
             .abs()
             .round() as u64;
         self.latency + SimDuration::from_micros(j)
+    }
+}
+
+/// A periodic link flap / loss-burst profile (fault-injection knob).
+///
+/// Every `period`, the link spends `down_for` in a degraded burst where
+/// its loss rate jumps to `burst_loss` (1.0 models a hard flap — every
+/// packet dies). The schedule is a pure function of virtual time, so a
+/// chaos experiment replaying the same seed sees identical bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlapProfile {
+    /// Cycle length. A zero period disables the profile.
+    pub period: SimDuration,
+    /// Degraded span at the start of each cycle (clamped to `period`).
+    pub down_for: SimDuration,
+    /// Phase offset, so multiple links armed from the same profile do
+    /// not flap in lockstep.
+    pub phase: SimDuration,
+    /// Loss rate during the burst.
+    pub burst_loss: f64,
+}
+
+impl FlapProfile {
+    /// A hard on/off flap: total loss during `down_for` of each cycle.
+    pub fn hard(period: SimDuration, down_for: SimDuration, phase: SimDuration) -> FlapProfile {
+        FlapProfile {
+            period,
+            down_for,
+            phase,
+            burst_loss: 1.0,
+        }
+    }
+
+    /// Is the link inside a burst at `now`?
+    pub fn is_down(&self, now: SimTime) -> bool {
+        let p = self.period.as_micros();
+        if p == 0 {
+            return false;
+        }
+        (now.as_micros() + self.phase.as_micros()) % p < self.down_for.as_micros().min(p)
+    }
+
+    /// The link as seen at `now`: during a burst the loss rate is
+    /// raised to `burst_loss` (never lowered), otherwise unchanged.
+    pub fn apply(&self, link: Link, now: SimTime) -> Link {
+        if self.is_down(now) {
+            link.with_loss(self.burst_loss.max(link.loss))
+        } else {
+            link
+        }
     }
 }
 
@@ -216,6 +266,38 @@ mod tests {
     fn loss_composes_multiplicatively() {
         let p = Path::new(vec![Link::lan().with_loss(0.1), Link::lan().with_loss(0.1)]);
         assert!((p.loss() - 0.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flap_profile_windows_and_phase() {
+        let f = FlapProfile::hard(
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            SimDuration::ZERO,
+        );
+        assert!(f.is_down(SimTime::ZERO));
+        assert!(f.is_down(SimTime::from_secs(9)));
+        assert!(!f.is_down(SimTime::from_secs(10)));
+        assert!(f.is_down(SimTime::from_secs(105)));
+        // A phase offset shifts the burst.
+        let g = FlapProfile::hard(
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(50),
+        );
+        assert!(!g.is_down(SimTime::ZERO));
+        assert!(g.is_down(SimTime::from_secs(55)));
+        // Applying during a burst drives loss to 1.0, and never lowers it.
+        let l = Link::access().with_loss(0.5);
+        assert_eq!(f.apply(l, SimTime::from_secs(5)).loss, 0.999, "clamped");
+        assert_eq!(f.apply(l, SimTime::from_secs(50)).loss, 0.5);
+        // A zero period never fires.
+        let z = FlapProfile::hard(
+            SimDuration::ZERO,
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        );
+        assert!(!z.is_down(SimTime::from_secs(3)));
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// by URL.
     fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord>;
 
+    /// Fallible variant of [`StorageBackend::blocked_for_as`]: backends
+    /// that can be transiently unreachable (fault injection, remote
+    /// stores) override this so a failed download is an error the
+    /// caller can see — not an empty list that silently wipes a
+    /// client's cached view. The default never fails.
+    fn try_blocked_for_as(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Result<Vec<GlobalRecord>, StoreError> {
+        Ok(self.blocked_for_as(asn, filter))
+    }
+
     /// Vote tally for one (URL, AS) key.
     fn tally(&self, url: &str, asn: Asn) -> Tally;
 

@@ -62,12 +62,38 @@ impl Batch {
 }
 
 /// What the store did with a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Beyond the accepted/rejected counts, the receipt names the exact
+/// batch positions that did *not* make it in, split by whether a retry
+/// can help. Clients use this to reconcile their queues: permanently
+/// rejected reports must never be resubmitted verbatim (they will
+/// reject forever), while deferred reports are exactly the ones to
+/// re-queue.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IngestReceipt {
     /// Reports stored (URL parsed, stages present).
     pub accepted: usize,
     /// Reports dropped by sanitization.
     pub rejected: usize,
+    /// Batch indices of the sanitization-rejected reports. Resubmitting
+    /// these will reject them again.
+    pub rejected_indices: Vec<usize>,
+    /// Batch indices the store did not get to (torn write, backend
+    /// outage mid-batch). These were neither stored nor judged:
+    /// resubmitting them is correct and expected.
+    pub deferred_indices: Vec<usize>,
+}
+
+impl IngestReceipt {
+    /// How many reports were deferred (not attempted).
+    pub fn deferred(&self) -> usize {
+        self.deferred_indices.len()
+    }
+
+    /// True when every report in the batch was stored.
+    pub fn is_complete(&self) -> bool {
+        self.rejected == 0 && self.deferred_indices.is_empty()
+    }
 }
 
 #[cfg(test)]

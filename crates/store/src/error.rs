@@ -29,6 +29,10 @@ pub enum StoreError {
     Corrupt(String),
     /// A construction-time parameter was invalid (zero shards, …).
     InvalidConfig(&'static str),
+    /// The backend is transiently unavailable (outage window, injected
+    /// fault, overload). Retrying later is expected to succeed; nothing
+    /// was stored.
+    Unavailable(&'static str),
 }
 
 impl fmt::Display for StoreError {
@@ -39,6 +43,7 @@ impl fmt::Display for StoreError {
             StoreError::Io { path, msg } => write!(f, "backend I/O on {path}: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt persisted state: {msg}"),
             StoreError::InvalidConfig(msg) => write!(f, "invalid store configuration: {msg}"),
+            StoreError::Unavailable(msg) => write!(f, "backend transiently unavailable: {msg}"),
         }
     }
 }

@@ -144,10 +144,13 @@ impl StorageBackend for ShardedStore {
         // lock is taken, so each touched shard locks exactly once.
         let mut groups: Vec<Vec<&Report>> = vec![Vec::new(); n];
         let mut accepted = 0usize;
-        for r in batch.reports() {
+        let mut rejected_indices = Vec::new();
+        for (idx, r) in batch.reports().iter().enumerate() {
             if Batch::storable(r) {
                 groups[key_shard(&r.url, Asn(r.asn), n)].push(r);
                 accepted += 1;
+            } else {
+                rejected_indices.push(idx);
             }
         }
         let mut keys: Vec<Key> = Vec::with_capacity(accepted);
@@ -189,6 +192,8 @@ impl StorageBackend for ShardedStore {
         Ok(IngestReceipt {
             accepted,
             rejected: batch.len() - accepted,
+            rejected_indices,
+            deferred_indices: Vec::new(),
         })
     }
 
@@ -363,9 +368,12 @@ mod tests {
             r,
             IngestReceipt {
                 accepted: 2,
-                rejected: 1
+                rejected: 1,
+                rejected_indices: vec![2],
+                deferred_indices: vec![],
             }
         );
+        assert!(!r.is_complete());
         assert_eq!(s.record_count(), 2);
         assert_eq!(s.tally("http://a.com/", Asn(1)).n, 1);
     }

@@ -333,7 +333,8 @@ fn mobility_between_ases() {
 
     // ...then travels: the periodic sync against the new AS's world pulls
     // the travel blocked-list (sync keys on the world's providers).
-    user.sync_global(&server, &[travel_asn], SimTime::from_secs(1_000));
+    user.sync_global(&server, &[travel_asn], SimTime::from_secs(1_000))
+        .expect("travel sync succeeds");
     // Local records from home have host-level identity; travel mechanisms
     // differ, so the lookup hits the (synced) global view... after the
     // stale local record expires or is revalidated. Force a fresh client
