@@ -1,49 +1,123 @@
 //! Run every experiment and print the full paper-vs-measured report.
-//! `cargo run --release -p csaw-bench --bin exp_all` regenerates the
-//! numbers recorded in EXPERIMENTS.md.
+//!
+//! `cargo run --release -p csaw-bench --bin exp_all -- --jobs 0`
+//! regenerates the numbers recorded in EXPERIMENTS.md. Each experiment's
+//! independent trials fan out across `--jobs` workers through
+//! [`csaw_bench::runner`]; stdout is byte-identical for every job count.
+//! Experiments with no parallel decomposition (table7, fig6b,
+//! propagation) run as one-trial experiments through the same runner.
+//!
+//! Besides the stdout report, the binary records per-experiment wall
+//! timings in `<out-dir>/<seed>/summary.json` (`--out-dir` defaults to
+//! `runs`). Timings are wall-clock and therefore *not* deterministic —
+//! they live in the JSON artifact and on stderr, never in stdout.
+
 use csaw_bench::experiments as e;
+use csaw_bench::runner::{self, single_trial};
 use csaw_obs::event::progress;
+use std::time::Instant;
+
+type Exp = (&'static str, fn(u64, usize) -> String);
+
+/// The paper experiments, in paper order.
+const EXPERIMENTS: &[Exp] = &[
+    ("table1", |s, j| e::table1::run_jobs(s, j).render()),
+    ("fig1a", |s, j| e::fig1::run_1a_jobs(s, j).render()),
+    ("fig1b", |s, j| e::fig1::run_1b_jobs(s, j).render()),
+    ("fig1c", |s, j| e::fig1::run_1c_jobs(s, j).render()),
+    ("table2", |s, j| e::table2::run_jobs(s, j).render()),
+    ("fig2", |s, j| e::fig2::run_jobs(s, j).render()),
+    ("table5", |s, j| e::table5::run_jobs(s, j).render()),
+    ("fig5a", |s, j| e::fig5::run_5a_jobs(s, j).render()),
+    ("fig5b", |s, j| e::fig5::run_5b_jobs(s, j).render()),
+    ("fig5c", |s, j| e::fig5::run_5c_jobs(s, j).render()),
+    ("fig6a", |s, j| e::fig6::run_6a_jobs(s, j).render()),
+    ("fig6b", |s, j| {
+        runner::run(&single_trial("fig6b", s, e::fig6::run_6b), j).render()
+    }),
+    ("table6", |s, j| e::table6::run_jobs(s, j).render()),
+    ("fig7a", |s, j| e::fig7::run_7a_jobs(s, j).render()),
+    ("fig7b", |s, j| e::fig7::run_7b_jobs(s, j).render()),
+    ("fig7c", |s, j| e::fig7::run_7c_jobs(s, j).render()),
+    ("table7", |s, j| {
+        runner::run(&single_trial("table7", s, |s| e::table7::run(s, 123)), j).render()
+    }),
+    ("wild", |s, j| e::wild::run_jobs(s, j).render()),
+];
+
+/// The §8 future-work extensions.
+const EXTENSIONS: &[Exp] = &[
+    ("datausage", |s, j| e::datausage::run_jobs(s, j).render()),
+    ("ablation_explore", |s, j| {
+        e::ablation_explore::run_jobs(s, j).render()
+    }),
+    ("fingerprint", |s, j| {
+        e::fingerprint::run_jobs(s, j).render()
+    }),
+    ("nonweb", |s, j| e::nonweb::run_jobs(s, j).render()),
+    ("propagation", |s, j| {
+        runner::run(&single_trial("propagation", s, e::propagation::run), j).render()
+    }),
+];
 
 fn main() {
-    let cli = csaw_bench::cli::ExpCli::parse();
+    let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[(
+        "--out-dir",
+        "directory for the <seed>/summary.json artifact (default runs)",
+    )]);
+    let out_dir = std::path::PathBuf::from(
+        extras
+            .get("--out-dir")
+            .map(String::as_str)
+            .unwrap_or("runs"),
+    );
     let seed = cli.seed;
-    type Exp = (&'static str, fn(u64) -> String);
-    let experiments: &[Exp] = &[
-        ("table1", |s| e::table1::run(s).render()),
-        ("fig1a", |s| e::fig1::run_1a(s).render()),
-        ("fig1b", |s| e::fig1::run_1b(s).render()),
-        ("fig1c", |s| e::fig1::run_1c(s).render()),
-        ("table2", |s| e::table2::run(s).render()),
-        ("fig2", |s| e::fig2::run(s).render()),
-        ("table5", |s| e::table5::run(s).render()),
-        ("fig5a", |s| e::fig5::run_5a(s).render()),
-        ("fig5b", |s| e::fig5::run_5b(s).render()),
-        ("fig5c", |s| e::fig5::run_5c(s).render()),
-        ("fig6a", |s| e::fig6::run_6a(s).render()),
-        ("fig6b", |s| e::fig6::run_6b(s).render()),
-        ("table6", |s| e::table6::run(s).render()),
-        ("fig7a", |s| e::fig7::run_7a(s).render()),
-        ("fig7b", |s| e::fig7::run_7b(s).render()),
-        ("fig7c", |s| e::fig7::run_7c(s).render()),
-        ("table7", |s| e::table7::run(s, 123).render()),
-        ("wild", |s| e::wild::run(s).render()),
-    ];
-    let extensions: &[Exp] = &[
-        ("datausage", |s| e::datausage::run(s).render()),
-        ("ablation_explore", |s| e::ablation_explore::run(s).render()),
-        ("fingerprint", |s| e::fingerprint::run(s).render()),
-        ("nonweb", |s| e::nonweb::run(s).render()),
-        ("propagation", |s| e::propagation::run(s).render()),
-    ];
+    let jobs = cli.jobs;
+    let started = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+
     println!("=== C-Saw reproduction: full experiment sweep (seed {seed}) ===\n");
-    for (name, run) in experiments {
+    for (name, run) in EXPERIMENTS {
         progress(&format!("running {name}"));
-        println!("{}", run(seed));
+        let t0 = Instant::now();
+        println!("{}", run(seed, jobs));
+        timings.push((name, t0.elapsed().as_secs_f64()));
     }
     println!("--- extensions (§8 future-work questions) ---\n");
-    for (name, run) in extensions {
+    for (name, run) in EXTENSIONS {
         progress(&format!("running {name}"));
-        println!("{}", run(seed));
+        let t0 = Instant::now();
+        println!("{}", run(seed, jobs));
+        timings.push((name, t0.elapsed().as_secs_f64()));
     }
+    let total_s = started.elapsed().as_secs_f64();
+
+    let dir = out_dir.join(seed.to_string());
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("exp_all: cannot create {}: {err}", dir.display());
+        std::process::exit(1);
+    }
+    let mut json = format!(
+        "{{\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_s:.3},\n  \"experiments\": [\n"
+    );
+    for (i, (name, wall_s)) in timings.iter().enumerate() {
+        let sep = if i + 1 < timings.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_s\": {wall_s:.3}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join("summary.json");
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("exp_all: cannot write {}: {err}", path.display());
+        std::process::exit(1);
+    }
+
+    eprintln!("exp_all: per-experiment wall timings (jobs={jobs}):");
+    for (name, wall_s) in &timings {
+        eprintln!("  {name:<18}{wall_s:>8.2}s");
+    }
+    eprintln!("  {:<18}{total_s:>8.2}s", "total");
+    eprintln!("exp_all: summary -> {}", path.display());
     cli.finish();
 }

@@ -34,11 +34,17 @@ fn numeric<T: std::str::FromStr>(
 
 fn main() {
     let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[
-        "--clients",
-        "--urls",
-        "--rounds",
-        "--fault-rates",
-        "--min-delivery",
+        ("--clients", "clients per fault rate (default 6)"),
+        ("--urls", "unique blocked URLs per client (default 8)"),
+        ("--rounds", "post opportunities per client (default 24)"),
+        (
+            "--fault-rates",
+            "comma list of rates (default 0.0,0.1,0.3,0.5)",
+        ),
+        (
+            "--min-delivery",
+            "fail below this delivery ratio (default 1.0)",
+        ),
     ]);
     let mut cfg = ChaosConfig {
         clients: numeric(&extras, "--clients", ChaosConfig::default().clients),
@@ -63,7 +69,7 @@ fn main() {
     }
     let min_delivery: f64 = numeric(&extras, "--min-delivery", 1.0);
 
-    let result = chaos::run(cli.seed, &cfg);
+    let result = chaos::run_jobs(cli.seed, &cfg, cli.jobs);
     println!("{}", result.render());
     cli.finish();
 

@@ -1,23 +1,32 @@
 //! Run the extension experiments (the paper's §8 future-work questions):
-//! fingerprintability, data usage, and the exploration ablation.
+//! fingerprintability, data usage, the exploration ablation, non-web
+//! filtering, and crowd propagation.
 use csaw_bench::experiments as e;
+use csaw_bench::runner::{self, single_trial};
 use csaw_obs::event::progress;
 
 fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
     let seed = cli.seed;
-    type Exp = (&'static str, fn(u64) -> String);
+    let jobs = cli.jobs;
+    type Exp = (&'static str, fn(u64, usize) -> String);
     let extensions: &[Exp] = &[
-        ("datausage", |s| e::datausage::run(s).render()),
-        ("ablation_explore", |s| e::ablation_explore::run(s).render()),
-        ("fingerprint", |s| e::fingerprint::run(s).render()),
-        ("nonweb", |s| e::nonweb::run(s).render()),
-        ("propagation", |s| e::propagation::run(s).render()),
+        ("datausage", |s, j| e::datausage::run_jobs(s, j).render()),
+        ("ablation_explore", |s, j| {
+            e::ablation_explore::run_jobs(s, j).render()
+        }),
+        ("fingerprint", |s, j| {
+            e::fingerprint::run_jobs(s, j).render()
+        }),
+        ("nonweb", |s, j| e::nonweb::run_jobs(s, j).render()),
+        ("propagation", |s, j| {
+            runner::run(&single_trial("propagation", s, e::propagation::run), j).render()
+        }),
     ];
     println!("=== C-Saw reproduction: extension experiments (seed {seed}) ===\n");
     for (name, run) in extensions {
         progress(&format!("running {name}"));
-        println!("{}", run(seed));
+        println!("{}", run(seed, jobs));
     }
     cli.finish();
 }

@@ -3,7 +3,7 @@ fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
     println!(
         "{}",
-        csaw_bench::experiments::fig1::run_1a(cli.seed).render()
+        csaw_bench::experiments::fig1::run_1a_jobs(cli.seed, cli.jobs).render()
     );
     cli.finish();
 }

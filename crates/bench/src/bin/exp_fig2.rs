@@ -1,6 +1,9 @@
 //! Regenerate Figure 2 (ONI blocking-type mixtures across 8 ASes).
 fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
-    println!("{}", csaw_bench::experiments::fig2::run(cli.seed).render());
+    println!(
+        "{}",
+        csaw_bench::experiments::fig2::run_jobs(cli.seed, cli.jobs).render()
+    );
     cli.finish();
 }

@@ -3,7 +3,7 @@ fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
     println!(
         "{}",
-        csaw_bench::experiments::fig5::run_5c(cli.seed).render()
+        csaw_bench::experiments::fig5::run_5c_jobs(cli.seed, cli.jobs).render()
     );
     cli.finish();
 }

@@ -3,7 +3,7 @@ fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
     println!(
         "{}",
-        csaw_bench::experiments::fig7::run_7b(cli.seed).render()
+        csaw_bench::experiments::fig7::run_7b_jobs(cli.seed, cli.jobs).render()
     );
     cli.finish();
 }

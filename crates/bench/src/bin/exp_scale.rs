@@ -24,10 +24,13 @@ fn numeric<T: std::str::FromStr>(
 
 fn main() {
     let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[
-        "--clients",
-        "--threads",
-        "--shards",
-        "--lookups",
+        ("--clients", "reporting clients to ingest (default 1000000)"),
+        (
+            "--threads",
+            "comma list of writer-thread counts (default 1,2,4,8)",
+        ),
+        ("--shards", "store shard count (default 16)"),
+        ("--lookups", "read-path lookups to time (default 10000)"),
     ]);
     let mut cfg = ScaleConfig {
         clients: numeric(&extras, "--clients", 1_000_000),

@@ -3,7 +3,7 @@ fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
     println!(
         "{}",
-        csaw_bench::experiments::table1::run(cli.seed).render()
+        csaw_bench::experiments::table1::run_jobs(cli.seed, cli.jobs).render()
     );
     cli.finish();
 }

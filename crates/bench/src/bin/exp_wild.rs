@@ -1,6 +1,9 @@
 //! Regenerate the §7.5 "C-Saw in the Wild" event timeline.
 fn main() {
     let cli = csaw_bench::cli::ExpCli::parse();
-    println!("{}", csaw_bench::experiments::wild::run(cli.seed).render());
+    println!(
+        "{}",
+        csaw_bench::experiments::wild::run_jobs(cli.seed, cli.jobs).render()
+    );
     cli.finish();
 }

@@ -1,22 +1,17 @@
 //! Shared command-line plumbing for the `exp_*` binaries.
 //!
-//! Every experiment binary accepts the same telemetry flags:
-//!
-//! ```text
-//! --seed N            experiment seed (default 1, the EXPERIMENTS.md seed)
-//! --metrics-out PATH  write a JSON metrics snapshot on exit
-//! --trace-out PATH    write trace events; `.json` selects Chrome-trace
-//!                     format (chrome://tracing, Perfetto), anything else
-//!                     streams raw JSONL events
-//! -v, --verbose       progress events to stderr (stdout stays parseable)
-//! ```
+//! Every experiment binary accepts the same flags (`--seed`, `--jobs`,
+//! `--metrics-out`, `--trace-out`, `-v`); the single source of truth for
+//! their help text is [`COMMON_HELP`], which every binary's `--help`
+//! prints verbatim — fix wording there, never in a binary.
 //!
 //! [`ExpCli::parse`] installs a process-wide [`csaw_obs`] context — a
 //! fresh registry, a [`ManualClock`] driven by the simnet virtual clock,
 //! and a sink chosen by the flags (null by default, so the hot paths pay
 //! nothing). [`ExpCli::finish`] dumps the snapshot. The snapshot is a
 //! pure function of the seed: two runs with the same seed write
-//! byte-identical JSON.
+//! byte-identical JSON, *regardless of `--jobs`* — the parallel runner
+//! merges per-trial telemetry in trial order behind a barrier.
 
 use csaw_obs::chrome::ChromeTraceSink;
 use csaw_obs::clock::ManualClock;
@@ -26,28 +21,41 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Help text for the flags shared by every `exp_*` binary — the single
+/// source of truth; `usage()` splices it into every binary's `--help`.
+pub const COMMON_HELP: &str = "\
+  --seed N            experiment seed (default 1, the EXPERIMENTS.md seed)
+  --jobs N            worker threads for independent trials (default 1;
+                      0 = all available cores); output is byte-identical
+                      for every N
+  --metrics-out PATH  write a JSON metrics snapshot on exit
+  --trace-out PATH    write trace events; `.json` selects Chrome-trace
+                      format (chrome://tracing, Perfetto), anything else
+                      streams raw JSONL events
+  -v, --verbose       progress events to stderr (stdout stays parseable)";
+
 /// Parsed telemetry flags plus the installed observability scope.
 pub struct ExpCli {
     /// The experiment seed (`--seed`, default 1).
     pub seed: u64,
+    /// Worker threads for independent trials (`--jobs`, default 1;
+    /// `--jobs 0` resolves to the number of available cores).
+    pub jobs: usize,
     metrics_out: Option<PathBuf>,
     ctx: Arc<ObsCtx>,
     // Keeps the thread-local scope alive for the binary's lifetime.
     _guard: ScopeGuard,
 }
 
-fn usage(bin: &str, extra_flags: &[&str]) -> String {
-    let mut u = format!(
-        "usage: {bin} [--seed N] [--metrics-out PATH] [--trace-out PATH] [-v]\n\
-         \n\
-         --seed N            experiment seed (default 1)\n\
-         --metrics-out PATH  write a JSON metrics snapshot on exit\n\
-         --trace-out PATH    write trace events (.json: Chrome trace,\n\
-                             otherwise raw JSONL)\n\
-         -v, --verbose       progress messages on stderr"
-    );
-    for f in extra_flags {
-        u.push_str(&format!("\n{f} VALUE"));
+/// Full `--help`/usage text: the [`COMMON_HELP`] flags plus one line per
+/// experiment-specific `(flag, help)` pair.
+fn usage(bin: &str, extra_flags: &[(&str, &str)]) -> String {
+    let mut u = format!("usage: {bin} [flags]\n\ncommon flags:\n{COMMON_HELP}");
+    if !extra_flags.is_empty() {
+        u.push_str("\n\nexperiment flags:");
+        for (flag, help) in extra_flags {
+            u.push_str(&format!("\n  {:<20}{help}", format!("{flag} VALUE")));
+        }
     }
     u
 }
@@ -61,10 +69,12 @@ impl ExpCli {
     }
 
     /// Like [`ExpCli::parse`], but also accepts the experiment-specific
-    /// value flags listed in `extra_flags` (e.g. `&["--clients"]`). The
-    /// collected values come back keyed by flag name; a flag given
-    /// twice keeps the last value.
-    pub fn parse_with_extras(extra_flags: &[&str]) -> (ExpCli, HashMap<String, String>) {
+    /// value flags listed in `extra_flags` as `(flag, help)` pairs (e.g.
+    /// `&[("--clients", "worker clients to simulate")]`); the help text
+    /// lands in `--help` under "experiment flags". The collected values
+    /// come back keyed by flag name; a flag given twice keeps the last
+    /// value.
+    pub fn parse_with_extras(extra_flags: &[(&str, &str)]) -> (ExpCli, HashMap<String, String>) {
         let args: Vec<String> = std::env::args().collect();
         Self::from_args_with_extras(&args, extra_flags)
     }
@@ -77,13 +87,14 @@ impl ExpCli {
     /// Testable variant of [`ExpCli::parse_with_extras`].
     pub fn from_args_with_extras(
         args: &[String],
-        extra_flags: &[&str],
+        extra_flags: &[(&str, &str)],
     ) -> (ExpCli, HashMap<String, String>) {
         let bin = args
             .first()
             .map(|s| s.rsplit('/').next().unwrap_or(s).to_string())
             .unwrap_or_else(|| "exp".into());
         let mut seed = 1u64;
+        let mut jobs = 1usize;
         let mut metrics_out = None;
         let mut trace_out: Option<PathBuf> = None;
         let mut verbosity = 0u8;
@@ -104,6 +115,18 @@ impl ExpCli {
                         std::process::exit(2);
                     });
                 }
+                "--jobs" => {
+                    let v = value("--jobs");
+                    jobs = v.parse().unwrap_or_else(|_| {
+                        eprintln!("{bin}: bad --jobs {v:?}\n{}", usage(&bin, extra_flags));
+                        std::process::exit(2);
+                    });
+                    if jobs == 0 {
+                        jobs = std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1);
+                    }
+                }
                 "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
                 "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
                 "-v" | "--verbose" => verbosity += 1,
@@ -111,7 +134,7 @@ impl ExpCli {
                     println!("{}", usage(&bin, extra_flags));
                     std::process::exit(0);
                 }
-                other if extra_flags.contains(&other) => {
+                other if extra_flags.iter().any(|(f, _)| *f == other) => {
                     let v = value(other);
                     extras.insert(other.to_string(), v);
                 }
@@ -153,6 +176,7 @@ impl ExpCli {
         let guard = scope::install(ctx.clone());
         let cli = ExpCli {
             seed,
+            jobs,
             metrics_out,
             ctx,
             _guard: guard,
@@ -205,8 +229,26 @@ mod tests {
     fn defaults() {
         let cli = ExpCli::from_args(&argv(&[]));
         assert_eq!(cli.seed, 1);
+        assert_eq!(cli.jobs, 1, "serial by default");
         assert!(cli.metrics_out.is_none());
         assert!(!cli.ctx.sink.enabled(), "default sink is null");
+    }
+
+    #[test]
+    fn jobs_parses_and_zero_means_all_cores() {
+        let cli = ExpCli::from_args(&argv(&["--jobs", "8"]));
+        assert_eq!(cli.jobs, 8);
+        let cli = ExpCli::from_args(&argv(&["--jobs", "0"]));
+        assert!(cli.jobs >= 1, "0 resolves to available cores");
+    }
+
+    #[test]
+    fn usage_lists_common_and_extra_flags() {
+        let u = usage("exp_x", &[("--clients", "worker clients")]);
+        assert!(u.contains(COMMON_HELP), "common help embedded verbatim");
+        assert!(u.contains("--jobs N"), "jobs documented");
+        assert!(u.contains("--clients VALUE"));
+        assert!(u.contains("worker clients"));
     }
 
     #[test]
@@ -223,7 +265,7 @@ mod tests {
     fn extras_collected_alongside_common_flags() {
         let (cli, extras) = ExpCli::from_args_with_extras(
             &argv(&["--clients", "500", "--seed", "3", "--threads", "1,2"]),
-            &["--clients", "--threads"],
+            &[("--clients", "clients"), ("--threads", "thread counts")],
         );
         assert_eq!(cli.seed, 3);
         assert_eq!(extras.get("--clients").map(String::as_str), Some("500"));

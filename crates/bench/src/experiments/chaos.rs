@@ -17,6 +17,7 @@
 //! - **determinism**: the rendered output is a pure function of the
 //!   seed — the CI job diffs two same-seed runs byte-for-byte.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::client::CsawClient;
 use csaw::client::WireFault;
 use csaw::config::CsawConfig;
@@ -238,12 +239,54 @@ fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
 
 /// Run the sweep.
 pub fn run(seed: u64, cfg: &ChaosConfig) -> Chaos {
-    Chaos {
-        rows: cfg
+    run_jobs(seed, cfg, 1)
+}
+
+/// The sweep with one runner trial per fault rate.
+pub fn run_jobs(seed: u64, cfg: &ChaosConfig, jobs: usize) -> Chaos {
+    runner::run(
+        &ChaosExp {
+            seed,
+            cfg: cfg.clone(),
+        },
+        jobs,
+    )
+}
+
+/// The sweep decomposed: one trial per fault rate. `run_rate` already
+/// salts every internal stream with the rate, so each trial carries the
+/// raw experiment seed.
+pub struct ChaosExp {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Experiment shape.
+    pub cfg: ChaosConfig,
+}
+
+impl Experiment for ChaosExp {
+    type Trial = ChaosRow;
+    type Output = Chaos;
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        self.cfg
             .fault_rates
             .iter()
-            .map(|r| run_rate(seed, cfg, *r))
-            .collect(),
+            .enumerate()
+            .map(|(i, rate)| TrialSpec::salted(self.seed, i as u64, format!("rate={rate}")))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> ChaosRow {
+        let rate = self.cfg.fault_rates[spec.ordinal as usize];
+        run_rate(spec.seed, &self.cfg, rate)
+    }
+
+    fn reduce(&self, trials: Vec<ChaosRow>) -> Chaos {
+        Chaos { rows: trials }
     }
 }
 

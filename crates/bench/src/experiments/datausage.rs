@@ -9,6 +9,7 @@
 //! redundancy keeps the common case cheap and that `p` can be lowered in
 //! developing regions.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::config::RedundancyMode;
 use csaw::measure::{fetch_with_redundancy, measure_direct, DetectConfig};
 use csaw_circumvent::tor::TorClient;
@@ -127,11 +128,9 @@ fn session_bytes(world: &World, mode: RedundancyMode, revalidate_p: f64, seed: u
     (baseline, total)
 }
 
-/// Run the ablation across redundancy modes and p values.
-pub fn run(seed: u64) -> DataUsage {
-    let world = crate::worlds::clean_world();
-    let mut rows = Vec::new();
-    for (label, mode, p) in [
+/// The swept configurations.
+fn configs() -> [(&'static str, RedundancyMode, f64); 5] {
+    [
         ("parallel, p=0.00", RedundancyMode::Parallel, 0.0),
         ("parallel, p=0.25", RedundancyMode::Parallel, 0.25),
         ("parallel, p=0.75", RedundancyMode::Parallel, 0.75),
@@ -141,15 +140,58 @@ pub fn run(seed: u64) -> DataUsage {
             0.25,
         ),
         ("serial, p=0.25", RedundancyMode::Serial, 0.25),
-    ] {
-        let (baseline, total) = session_bytes(&world, mode, p, seed);
-        rows.push(UsageRow {
+    ]
+}
+
+/// Run the ablation across redundancy modes and p values.
+pub fn run(seed: u64) -> DataUsage {
+    run_jobs(seed, 1)
+}
+
+/// The ablation with one runner trial per configuration.
+pub fn run_jobs(seed: u64, jobs: usize) -> DataUsage {
+    runner::run(&DataUsageExp { seed }, jobs)
+}
+
+/// The ablation decomposed: one trial per configuration. Every trial
+/// carries the *same* seed — `session_bytes` derives its URL and
+/// probe-schedule streams from fixed salts of it, which is exactly the
+/// paired design the serial sweep used.
+pub struct DataUsageExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for DataUsageExp {
+    type Trial = UsageRow;
+    type Output = DataUsage;
+
+    fn name(&self) -> &'static str {
+        "datausage"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        configs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, ..))| TrialSpec::salted(self.seed, i as u64, label))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> UsageRow {
+        let (label, mode, p) = configs()[spec.ordinal as usize];
+        let world = crate::worlds::clean_world();
+        let (baseline, total) = session_bytes(&world, mode, p, spec.seed);
+        UsageRow {
             label: label.to_string(),
             baseline_bytes: baseline,
             total_bytes: total,
-        });
+        }
     }
-    DataUsage { rows }
+
+    fn reduce(&self, trials: Vec<UsageRow>) -> DataUsage {
+        DataUsage { rows: trials }
+    }
 }
 
 impl DataUsage {

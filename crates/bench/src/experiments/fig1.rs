@@ -8,6 +8,7 @@
 //! - **(c)** Lantern vs "IP as hostname" for a keyword-filtered porn page
 //!   (~50 KB) — Lantern ≈1.5× slower.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::stats::Cdf;
 use crate::worlds::{single_isp_world, static_proxies, FRONT, PORN_PAGE, YOUTUBE};
 use csaw_circumvent::lantern::LanternClient;
@@ -79,87 +80,222 @@ fn sample_plts(
     out
 }
 
+/// The three case-study panels, each decomposed into one trial per
+/// tool/proxy series with runner-forked RNG streams. A trial returns a
+/// *list* of CDFs because the Tor series of panel (b) splits by exit
+/// region only after its runs complete.
+enum PanelExp {
+    /// (a): HTTPS/DF vs static proxies on ISP-B.
+    A,
+    /// (b): direct HTTPS vs Tor by exit region on ISP-A.
+    B,
+    /// (c): Lantern vs "IP as hostname" on a keyword filter.
+    C,
+}
+
+impl PanelExp {
+    fn name(&self) -> &'static str {
+        match self {
+            PanelExp::A => "fig1a",
+            PanelExp::B => "fig1b",
+            PanelExp::C => "fig1c",
+        }
+    }
+
+    fn series_labels(&self) -> Vec<String> {
+        match self {
+            PanelExp::A => {
+                let mut labels = vec!["HTTPS/DF".to_string()];
+                labels.extend(static_proxies().into_iter().map(|p| p.label));
+                labels
+            }
+            PanelExp::B => vec!["HTTPS".to_string(), "Tor".to_string()],
+            PanelExp::C => vec!["IP as hostname".to_string(), "Lantern".to_string()],
+        }
+    }
+}
+
+/// One Fig. 1 panel as a runner experiment: `which` picks the panel,
+/// and each series runs as its own trial.
+pub struct Fig1Exp {
+    which: PanelExp,
+    seed: u64,
+}
+
+impl Fig1Exp {
+    /// Panel (a).
+    pub fn a(seed: u64) -> Fig1Exp {
+        Fig1Exp {
+            which: PanelExp::A,
+            seed,
+        }
+    }
+
+    /// Panel (b).
+    pub fn b(seed: u64) -> Fig1Exp {
+        Fig1Exp {
+            which: PanelExp::B,
+            seed,
+        }
+    }
+
+    /// Panel (c).
+    pub fn c(seed: u64) -> Fig1Exp {
+        Fig1Exp {
+            which: PanelExp::C,
+            seed,
+        }
+    }
+
+    fn world(&self) -> World {
+        match self.which {
+            PanelExp::A => single_isp_world(csaw_censor::ISP_B_ASN, "ISP-B", csaw_censor::isp_b()),
+            PanelExp::B => single_isp_world(csaw_censor::ISP_A_ASN, "ISP-A", csaw_censor::isp_a()),
+            PanelExp::C => {
+                single_isp_world(Asn(6500), "ISP-KW", csaw_censor::keyword_filter(&["adult"]))
+            }
+        }
+    }
+
+    fn url(&self) -> Url {
+        let raw = match self.which {
+            PanelExp::A => format!("https://{YOUTUBE}/"),
+            PanelExp::B => format!("http://{YOUTUBE}/"),
+            PanelExp::C => format!("http://{PORN_PAGE}/"),
+        };
+        Url::parse(&raw).expect("static URL")
+    }
+}
+
+impl Experiment for Fig1Exp {
+    type Trial = Vec<Cdf>;
+    type Output = Panel;
+
+    fn name(&self) -> &'static str {
+        self.which.name()
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        self.which
+            .series_labels()
+            .into_iter()
+            .enumerate()
+            .map(|(i, label)| TrialSpec::forked(self.name(), self.seed, i as u64, label))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Vec<Cdf> {
+        let world = self.world();
+        let url = self.url();
+        let mut rng = DetRng::new(spec.seed);
+        match (&self.which, spec.ordinal) {
+            (PanelExp::A, 0) => {
+                let mut df = DomainFronting::via(FRONT);
+                vec![Cdf::of(
+                    "HTTPS/DF",
+                    &sample_plts(&world, &mut df, &url, RUNS, &mut rng, false),
+                )]
+            }
+            (PanelExp::A, i) => {
+                let mut proxy = static_proxies()
+                    .into_iter()
+                    .nth(i as usize - 1)
+                    .expect("proxy index in range");
+                let label = proxy.label.clone();
+                vec![Cdf::of(
+                    &label,
+                    &sample_plts(&world, &mut proxy, &url, RUNS, &mut rng, false),
+                )]
+            }
+            (PanelExp::B, 0) => {
+                let mut https = HttpsUpgrade::default();
+                vec![Cdf::of(
+                    "HTTPS",
+                    &sample_plts(&world, &mut https, &url, RUNS, &mut rng, false),
+                )]
+            }
+            (PanelExp::B, _) => {
+                // Tor, isolating runs per unique circuit's exit location.
+                let mut tor = TorClient::new();
+                let mut by_exit: HashMap<Region, Vec<SimDuration>> = HashMap::new();
+                let c0 = ctx(&world);
+                for i in 0..RUNS {
+                    let c = FetchCtx {
+                        now: SimTime::from_secs((i as u64) * 35),
+                        provider: c0.provider.clone(),
+                    };
+                    let r = tor.fetch(&world, &c, &url, &mut rng);
+                    let exit = tor.exit_region().expect("circuit open after fetch");
+                    if let Some(plt) = r.fetch().genuine_plt() {
+                        by_exit.entry(exit).or_default().push(plt);
+                    }
+                }
+                let mut exits: Vec<(Region, Vec<SimDuration>)> = by_exit.into_iter().collect();
+                exits.sort_by_key(|(r, _)| format!("{r:?}"));
+                exits
+                    .into_iter()
+                    .filter(|(_, plts)| plts.len() >= 5)
+                    .map(|(region, plts)| Cdf::of(&format!("Tor exit {region:?}"), &plts))
+                    .collect()
+            }
+            (PanelExp::C, 0) => {
+                let mut iph = IpAsHostname::default();
+                vec![Cdf::of(
+                    "IP as hostname",
+                    &sample_plts(&world, &mut iph, &url, RUNS, &mut rng, false),
+                )]
+            }
+            (PanelExp::C, _) => {
+                let mut lantern = LanternClient::new();
+                vec![Cdf::of(
+                    "Lantern",
+                    &sample_plts(&world, &mut lantern, &url, RUNS, &mut rng, false),
+                )]
+            }
+        }
+    }
+
+    fn reduce(&self, trials: Vec<Vec<Cdf>>) -> Panel {
+        let title = match self.which {
+            PanelExp::A => "Figure 1a: HTTPS/DF vs static proxies (YouTube ~360KB, ISP-B)",
+            PanelExp::B => "Figure 1b: HTTPS vs Tor by exit location (YouTube, ISP-A)",
+            PanelExp::C => "Figure 1c: Lantern vs IP-as-hostname (porn page ~50KB, keyword filter)",
+        };
+        Panel {
+            title: title.into(),
+            series: trials.into_iter().flatten().collect(),
+        }
+    }
+}
+
 /// Figure 1a: HTTPS/DF vs static proxies on ISP-B.
 pub fn run_1a(seed: u64) -> Panel {
-    let world = single_isp_world(csaw_censor::ISP_B_ASN, "ISP-B", csaw_censor::isp_b());
-    let url = Url::parse(&format!("https://{YOUTUBE}/")).expect("static URL");
-    let mut rng = DetRng::new(seed);
-    let mut series = Vec::new();
-    let mut df = DomainFronting::via(FRONT);
-    series.push(Cdf::of(
-        "HTTPS/DF",
-        &sample_plts(&world, &mut df, &url, RUNS, &mut rng, false),
-    ));
-    for mut proxy in static_proxies() {
-        let label = proxy.label.clone();
-        let plts = sample_plts(&world, &mut proxy, &url, RUNS, &mut rng, false);
-        series.push(Cdf::of(&label, &plts));
-    }
-    Panel {
-        title: "Figure 1a: HTTPS/DF vs static proxies (YouTube ~360KB, ISP-B)".into(),
-        series,
-    }
+    run_1a_jobs(seed, 1)
+}
+
+/// Fig. 1a across `jobs` workers.
+pub fn run_1a_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(&Fig1Exp::a(seed), jobs)
 }
 
 /// Figure 1b: direct HTTPS vs Tor, grouped by exit region.
 pub fn run_1b(seed: u64) -> Panel {
-    let world = single_isp_world(csaw_censor::ISP_A_ASN, "ISP-A", csaw_censor::isp_a());
-    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let mut rng = DetRng::new(seed);
-    let mut series = Vec::new();
-    let mut https = HttpsUpgrade::default();
-    series.push(Cdf::of(
-        "HTTPS",
-        &sample_plts(&world, &mut https, &url, RUNS, &mut rng, false),
-    ));
-    // Tor, isolating runs per unique circuit's exit location.
-    let mut tor = TorClient::new();
-    let mut by_exit: HashMap<Region, Vec<SimDuration>> = HashMap::new();
-    let c0 = ctx(&world);
-    for i in 0..RUNS {
-        let c = FetchCtx {
-            now: SimTime::from_secs((i as u64) * 35),
-            provider: c0.provider.clone(),
-        };
-        let r = tor.fetch(&world, &c, &url, &mut rng);
-        let exit = tor.exit_region().expect("circuit open after fetch");
-        if let Some(plt) = r.fetch().genuine_plt() {
-            by_exit.entry(exit).or_default().push(plt);
-        }
-    }
-    let mut exits: Vec<(Region, Vec<SimDuration>)> = by_exit.into_iter().collect();
-    exits.sort_by_key(|(r, _)| format!("{r:?}"));
-    for (region, plts) in exits {
-        if plts.len() >= 5 {
-            series.push(Cdf::of(&format!("Tor exit {region:?}"), &plts));
-        }
-    }
-    Panel {
-        title: "Figure 1b: HTTPS vs Tor by exit location (YouTube, ISP-A)".into(),
-        series,
-    }
+    run_1b_jobs(seed, 1)
+}
+
+/// Fig. 1b across `jobs` workers.
+pub fn run_1b_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(&Fig1Exp::b(seed), jobs)
 }
 
 /// Figure 1c: Lantern vs "IP as hostname" on a keyword filter.
 pub fn run_1c(seed: u64) -> Panel {
-    let world = single_isp_world(Asn(6500), "ISP-KW", csaw_censor::keyword_filter(&["adult"]));
-    let url = Url::parse(&format!("http://{PORN_PAGE}/")).expect("static URL");
-    let mut rng = DetRng::new(seed);
-    let mut series = Vec::new();
-    let mut iph = IpAsHostname::default();
-    series.push(Cdf::of(
-        "IP as hostname",
-        &sample_plts(&world, &mut iph, &url, RUNS, &mut rng, false),
-    ));
-    let mut lantern = LanternClient::new();
-    series.push(Cdf::of(
-        "Lantern",
-        &sample_plts(&world, &mut lantern, &url, RUNS, &mut rng, false),
-    ));
-    Panel {
-        title: "Figure 1c: Lantern vs IP-as-hostname (porn page ~50KB, keyword filter)".into(),
-        series,
-    }
+    run_1c_jobs(seed, 1)
+}
+
+/// Fig. 1c across `jobs` workers.
+pub fn run_1c_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(&Fig1Exp::c(seed), jobs)
 }
 
 #[cfg(test)]

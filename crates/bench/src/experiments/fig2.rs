@@ -5,6 +5,7 @@
 //! closing the loop between censor configuration and client-side
 //! classification.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::measure::{measure_direct, DetectConfig, MeasuredStatus};
 use csaw_censor::blocking::BlockingType;
 use csaw_censor::oni::{figure2_mixtures, policy_from_mixture, AsMixture, OniCategory};
@@ -81,14 +82,54 @@ fn world_for(mix: &AsMixture, domains: &[String]) -> World {
 
 /// Run the Figure 2 sweep: 100 censored domains per AS.
 pub fn run(seed: u64) -> Fig2 {
-    let mut bars = Vec::new();
-    for mix in figure2_mixtures() {
+    run_jobs(seed, 1)
+}
+
+/// Fig. 2 with one trial per AS mixture fanned across `jobs` workers.
+pub fn run_jobs(seed: u64, jobs: usize) -> Fig2 {
+    runner::run(&Fig2Exp { seed }, jobs)
+}
+
+/// Fig. 2 decomposed: one trial per AS mixture, each with its
+/// historical `seed ^ asn` stream.
+pub struct Fig2Exp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Fig2Exp {
+    type Trial = AsBar;
+    type Output = Fig2;
+
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        figure2_mixtures()
+            .into_iter()
+            .enumerate()
+            .map(|(i, mix)| {
+                TrialSpec::salted(
+                    self.seed ^ mix.asn.0 as u64,
+                    i as u64,
+                    format!("{} AS{}", mix.country, mix.asn.0),
+                )
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> AsBar {
+        let mix = figure2_mixtures()
+            .into_iter()
+            .nth(spec.ordinal as usize)
+            .expect("mixture index in range");
         let domains: Vec<String> = (0..100)
             .map(|i| format!("censored-{i:03}.{}", mix.country.to_ascii_lowercase()))
             .collect();
         let world = world_for(&mix, &domains);
         let provider = world.access.providers()[0].clone();
-        let mut rng = DetRng::new(seed ^ mix.asn.0 as u64);
+        let mut rng = DetRng::new(spec.seed);
         let mut counts = [0usize; 5];
         let mut classified = 0usize;
         for d in &domains {
@@ -113,14 +154,17 @@ pub fn run(seed: u64) -> Fig2 {
             }
         }
         let recovered = counts.map(|c| c as f64 / classified.max(1) as f64);
-        bars.push(AsBar {
+        AsBar {
             country: mix.country.to_string(),
             asn: mix.asn.0,
             configured: mix.fractions,
             recovered,
-        });
+        }
     }
-    Fig2 { bars }
+
+    fn reduce(&self, trials: Vec<AsBar>) -> Fig2 {
+        Fig2 { bars: trials }
+    }
 }
 
 impl Fig2 {

@@ -8,6 +8,7 @@
 //! - **(c)** the same on a larger page (316 KB), where staggering clearly
 //!   beats blind duplication.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::stats::{reduction_pct, Cdf, Summary};
 use crate::workload::uniform_arrivals;
 use crate::worlds::{single_isp_world, LARGE_PAGE, SMALL_PAGE};
@@ -44,10 +45,10 @@ pub struct Fig5a {
     pub bars: Vec<BlockedBar>,
 }
 
-/// Run Fig. 5a: 30 runs per (type, mode). Page sizes per blocking type
-/// follow the figure's annotations (1469 KB, 340 KB, 1342 KB, 85 KB).
-pub fn run_5a(seed: u64) -> Fig5a {
-    let cases: Vec<(&str, u64, DnsTamper, IpAction, HttpAction)> = vec![
+/// The figure's four blocking types with their annotated page sizes
+/// (1469 KB, 340 KB, 1342 KB, 85 KB).
+fn cases_5a() -> Vec<(&'static str, u64, DnsTamper, IpAction, HttpAction)> {
+    vec![
         (
             "TCP/IP",
             1_469_000,
@@ -76,71 +77,132 @@ pub fn run_5a(seed: u64) -> Fig5a {
             IpAction::None,
             HttpAction::BlockPageRedirect,
         ),
-    ];
+    ]
+}
+
+/// One (blocking type × redundancy mode) trial: the mean PLT over 30
+/// independent fetches. `trial_seed` is the historical `seed ^ salt`
+/// stream (salt 1 = serial, 2 = parallel), carried in the
+/// [`TrialSpec`].
+fn run_5a_trial(trial_seed: u64, case_idx: usize, mode: RedundancyMode) -> f64 {
+    let (label, page_bytes, dns, ip, http) = cases_5a()
+        .into_iter()
+        .nth(case_idx)
+        .expect("case index in range");
     let target = "target.example";
     let url = Url::parse(&format!("http://{target}/")).expect("static URL");
-    let mut bars = Vec::new();
     let tracing = csaw_obs::scope::current().sink.enabled();
-    for (case_idx, (label, page_bytes, dns, ip, http)) in cases.into_iter().enumerate() {
-        let policy = csaw_censor::single_mechanism(label, target, dns, ip, http, TlsAction::None);
-        let provider = Provider::new(Asn(5100), "F5A-ISP");
-        let world = World::builder(AccessNetwork::single(provider))
-            .site(
-                SiteSpec::new(target, Site::at_vantage_rtt(Region::UsEast, 186))
-                    .default_page(page_bytes, (page_bytes / 60_000).max(2) as usize),
-            )
-            .censor(Asn(5100), policy)
-            .build();
-        let ctx = FetchCtx {
-            now: SimTime::ZERO,
-            provider: world.access.providers()[0].clone(),
+    let policy = csaw_censor::single_mechanism(label, target, dns, ip, http, TlsAction::None);
+    let provider = Provider::new(Asn(5100), "F5A-ISP");
+    let world = World::builder(AccessNetwork::single(provider))
+        .site(
+            SiteSpec::new(target, Site::at_vantage_rtt(Region::UsEast, 186))
+                .default_page(page_bytes, (page_bytes / 60_000).max(2) as usize),
+        )
+        .censor(Asn(5100), policy)
+        .build();
+    let provider = world.access.providers()[0].clone();
+    let mut rng = DetRng::new(trial_seed);
+    let mut tor = TorClient::new();
+    let mut plts = Vec::new();
+    for i in 0..30 {
+        tor.drop_circuit(); // independent runs
+        let c = FetchCtx {
+            now: SimTime::from_secs(i * 30),
+            provider: provider.clone(),
         };
-        let mean_for = |mode: RedundancyMode, salt: u64| -> f64 {
-            let mut rng = DetRng::new(seed ^ salt);
-            let mut tor = TorClient::new();
-            let mut plts = Vec::new();
-            for i in 0..30 {
-                tor.drop_circuit(); // independent runs
-                let c = FetchCtx {
-                    now: SimTime::from_secs(i * 30),
-                    provider: ctx.provider.clone(),
-                };
-                // One trace per fetch, ordinals disjoint across the four
-                // blocking-type cases; the redundancy engine emits the
-                // span tree under this root.
-                let _root = tracing.then(|| {
-                    csaw_obs::trace::fetch_root(
-                        seed ^ salt,
-                        case_idx as u64 * 64 + i,
-                        c.now.as_micros(),
-                    )
-                });
-                let out = fetch_with_redundancy(
-                    &world,
-                    &c,
-                    &url,
-                    mode,
-                    &mut tor,
-                    &DetectConfig::default(),
-                    &LoadModel::default(),
-                    &mut rng,
-                );
-                if let Some(plt) = out.user_plt {
-                    plts.push(plt);
-                }
-            }
-            Summary::of(&plts).mean_s
-        };
-        let serial_s = mean_for(RedundancyMode::Serial, 1);
-        let parallel_s = mean_for(RedundancyMode::Parallel, 2);
-        bars.push(BlockedBar {
-            label: label.to_string(),
-            serial_s,
-            parallel_s,
-            reduction_pct: reduction_pct(serial_s, parallel_s),
+        // One trace per fetch, ordinals disjoint across the four
+        // blocking-type cases; the redundancy engine emits the
+        // span tree under this root.
+        let _root = tracing.then(|| {
+            csaw_obs::trace::fetch_root(trial_seed, case_idx as u64 * 64 + i, c.now.as_micros())
         });
+        let out = fetch_with_redundancy(
+            &world,
+            &c,
+            &url,
+            mode,
+            &mut tor,
+            &DetectConfig::default(),
+            &LoadModel::default(),
+            &mut rng,
+        );
+        if let Some(plt) = out.user_plt {
+            plts.push(plt);
+        }
     }
-    Fig5a { bars }
+    Summary::of(&plts).mean_s
+}
+
+/// Fig. 5a decomposed for the parallel runner: one trial per
+/// (blocking type × redundancy mode), eight in total.
+pub struct Fig5aExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Fig5aExp {
+    type Trial = f64;
+    type Output = Fig5a;
+
+    fn name(&self) -> &'static str {
+        "fig5a"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        let mut specs = Vec::new();
+        for (case_idx, (label, ..)) in cases_5a().into_iter().enumerate() {
+            for (mode_idx, (mode, salt)) in
+                [("serial", 1u64), ("parallel", 2)].into_iter().enumerate()
+            {
+                specs.push(TrialSpec::salted(
+                    self.seed ^ salt,
+                    (case_idx * 2 + mode_idx) as u64,
+                    format!("{label} × {mode}"),
+                ));
+            }
+        }
+        specs
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> f64 {
+        let case_idx = (spec.ordinal / 2) as usize;
+        let mode = if spec.ordinal.is_multiple_of(2) {
+            RedundancyMode::Serial
+        } else {
+            RedundancyMode::Parallel
+        };
+        run_5a_trial(spec.seed, case_idx, mode)
+    }
+
+    fn reduce(&self, trials: Vec<f64>) -> Fig5a {
+        let bars = cases_5a()
+            .into_iter()
+            .enumerate()
+            .map(|(case_idx, (label, ..))| {
+                let serial_s = trials[case_idx * 2];
+                let parallel_s = trials[case_idx * 2 + 1];
+                BlockedBar {
+                    label: label.to_string(),
+                    serial_s,
+                    parallel_s,
+                    reduction_pct: reduction_pct(serial_s, parallel_s),
+                }
+            })
+            .collect();
+        Fig5a { bars }
+    }
+}
+
+/// Run Fig. 5a serially: 30 runs per (type, mode). Page sizes per
+/// blocking type follow the figure's annotations.
+pub fn run_5a(seed: u64) -> Fig5a {
+    run_5a_jobs(seed, 1)
+}
+
+/// Run Fig. 5a with its eight trials fanned across `jobs` workers.
+pub fn run_5a_jobs(seed: u64, jobs: usize) -> Fig5a {
+    runner::run(&Fig5aExp { seed }, jobs)
 }
 
 impl Fig5a {
@@ -177,19 +239,70 @@ pub struct Fig5bc {
 /// redundant copy contributes only *load*: full overlap for "2 copies",
 /// partial overlap (after the 2 s stagger) for "2 copies (with delay)".
 pub fn run_5bc(page_host: &str, title: &str, seed: u64) -> Fig5bc {
-    let world = single_isp_world(Asn(5200), "F5BC-ISP", csaw_censor::clean());
-    let url = Url::parse(&format!("http://{page_host}/")).expect("static URL");
-    let provider = world.access.providers()[0].clone();
-    let load = LoadModel::default();
-    let delay = SimDuration::from_secs(2);
+    run_5bc_jobs(page_host, title, seed, 1)
+}
 
-    let mut series = Vec::new();
-    for (label, copies, staggered) in [
-        ("1 copy", 1usize, false),
-        ("2 copies", 2, false),
-        ("2 copies (with delay)", 2, true),
-    ] {
-        let mut rng = DetRng::new(seed ^ copies as u64 ^ (staggered as u64) << 7);
+/// [`run_5bc`] with the three redundancy-shape series as parallel
+/// trials.
+pub fn run_5bc_jobs(page_host: &str, title: &str, seed: u64, jobs: usize) -> Fig5bc {
+    runner::run(
+        &Fig5bcExp {
+            page_host: page_host.to_string(),
+            title: title.to_string(),
+            seed,
+        },
+        jobs,
+    )
+}
+
+const SHAPES_5BC: [(&str, usize, bool); 3] = [
+    ("1 copy", 1usize, false),
+    ("2 copies", 2, false),
+    ("2 copies (with delay)", 2, true),
+];
+
+/// Fig. 5b/c decomposed: one trial per redundancy shape
+/// (1 copy / 2 copies / 2 copies staggered), each with its historical
+/// per-series RNG stream.
+pub struct Fig5bcExp {
+    /// The page to fetch.
+    pub page_host: String,
+    /// Panel title for the rendered output.
+    pub title: String,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Fig5bcExp {
+    type Trial = Cdf;
+    type Output = Fig5bc;
+
+    fn name(&self) -> &'static str {
+        "fig5bc"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        SHAPES_5BC
+            .iter()
+            .enumerate()
+            .map(|(i, (label, copies, staggered))| {
+                TrialSpec::salted(
+                    self.seed ^ *copies as u64 ^ (*staggered as u64) << 7,
+                    i as u64,
+                    *label,
+                )
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Cdf {
+        let (label, copies, staggered) = SHAPES_5BC[spec.ordinal as usize];
+        let world = single_isp_world(Asn(5200), "F5BC-ISP", csaw_censor::clean());
+        let url = Url::parse(&format!("http://{}/", self.page_host)).expect("static URL");
+        let provider = world.access.providers()[0].clone();
+        let load = LoadModel::default();
+        let delay = SimDuration::from_secs(2);
+        let mut rng = DetRng::new(spec.seed);
         let arrivals = uniform_arrivals(
             100,
             SimDuration::from_secs(1),
@@ -234,22 +347,45 @@ pub fn run_5bc(page_host: &str, title: &str, seed: u64) -> Fig5bc {
             tracker.record(t.as_micros(), (t + plt).as_micros());
             plts.push(plt);
         }
-        series.push(Cdf::of(label, &plts));
+        Cdf::of(label, &plts)
     }
-    Fig5bc {
-        title: title.to_string(),
-        series,
+
+    fn reduce(&self, trials: Vec<Cdf>) -> Fig5bc {
+        Fig5bc {
+            title: self.title.clone(),
+            series: trials,
+        }
     }
 }
 
 /// Fig. 5b: the small (95 KB) page.
 pub fn run_5b(seed: u64) -> Fig5bc {
-    run_5bc(SMALL_PAGE, "Figure 5b: small unblocked page (95KB)", seed)
+    run_5b_jobs(seed, 1)
+}
+
+/// Fig. 5b across `jobs` workers.
+pub fn run_5b_jobs(seed: u64, jobs: usize) -> Fig5bc {
+    run_5bc_jobs(
+        SMALL_PAGE,
+        "Figure 5b: small unblocked page (95KB)",
+        seed,
+        jobs,
+    )
 }
 
 /// Fig. 5c: the larger (316 KB) page.
 pub fn run_5c(seed: u64) -> Fig5bc {
-    run_5bc(LARGE_PAGE, "Figure 5c: larger unblocked page (316KB)", seed)
+    run_5c_jobs(seed, 1)
+}
+
+/// Fig. 5c across `jobs` workers.
+pub fn run_5c_jobs(seed: u64, jobs: usize) -> Fig5bc {
+    run_5bc_jobs(
+        LARGE_PAGE,
+        "Figure 5c: larger unblocked page (316KB)",
+        seed,
+        jobs,
+    )
 }
 
 impl Fig5bc {

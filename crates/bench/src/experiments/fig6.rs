@@ -9,6 +9,7 @@
 //! **(b)** an Alexa-top-15 browse session with and without aggregation;
 //! the paper measured ~55% fewer local-DB records.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::stats::Cdf;
 use crate::workload::alexa15_session;
 use csaw::local::{LocalDb, Status};
@@ -36,12 +37,49 @@ pub struct Fig6a {
 /// it — the calibration behind the paper's finding that the second copy
 /// buys ~30% at the median while the third only fattens the p95 (+17%).
 pub fn run_6a(seed: u64) -> Fig6a {
-    let world = crate::worlds::clean_world();
-    let url = Url::parse(&format!("http://{}/", crate::worlds::YOUTUBE)).expect("static URL");
-    let provider = world.access.providers()[0].clone();
-    let mut series = Vec::new();
-    for k in 1usize..=3 {
-        let mut rng = DetRng::new(seed ^ (k as u64) << 9);
+    run_6a_jobs(seed, 1)
+}
+
+/// Fig. 6a with its three redundancy levels (k = 1..3) as parallel
+/// trials.
+pub fn run_6a_jobs(seed: u64, jobs: usize) -> Fig6a {
+    runner::run(&Fig6aExp { seed }, jobs)
+}
+
+/// Fig. 6a decomposed: one trial per redundancy level, each with its
+/// historical `seed ^ (k << 9)` stream.
+pub struct Fig6aExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Fig6aExp {
+    type Trial = Cdf;
+    type Output = Fig6a;
+
+    fn name(&self) -> &'static str {
+        "fig6a"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        (1usize..=3)
+            .map(|k| {
+                let label = if k == 1 {
+                    "1 RReq.".to_string()
+                } else {
+                    format!("{k} RReqs.")
+                };
+                TrialSpec::salted(self.seed ^ (k as u64) << 9, k as u64 - 1, label)
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Cdf {
+        let k = spec.ordinal as usize + 1;
+        let world = crate::worlds::clean_world();
+        let url = Url::parse(&format!("http://{}/", crate::worlds::YOUTUBE)).expect("static URL");
+        let provider = world.access.providers()[0].clone();
+        let mut rng = DetRng::new(spec.seed);
         let mut tor = TorClient::new();
         let mut plts = Vec::new();
         for round in 0..200u64 {
@@ -70,14 +108,12 @@ pub fn run_6a(seed: u64) -> Fig6a {
                 plts.push(b.mul_f64(tax));
             }
         }
-        let label = if k == 1 {
-            "1 RReq.".to_string()
-        } else {
-            format!("{k} RReqs.")
-        };
-        series.push(Cdf::of(&label, &plts));
+        Cdf::of(&spec.label, &plts)
     }
-    Fig6a { series }
+
+    fn reduce(&self, trials: Vec<Cdf>) -> Fig6a {
+        Fig6a { series: trials }
+    }
 }
 
 impl Fig6a {

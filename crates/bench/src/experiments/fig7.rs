@@ -8,6 +8,7 @@
 //!   "C-Saw (w/ Lantern)" vs "C-Saw (w/ Tor)" isolates the relay choice —
 //!   Lantern's single hop beats Tor's three.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::stats::Cdf;
 use crate::worlds::{single_isp_world, YOUTUBE};
 use csaw::client::CsawClient;
@@ -85,93 +86,195 @@ fn csaw_plts(world: &World, client: &mut CsawClient, url: &Url) -> Vec<SimDurati
     out
 }
 
+/// Which Fig. 7 comparison panel to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PanelKind {
+    /// 7a: DNS-blocked page.
+    Dns,
+    /// 7b: unblocked page.
+    Clean,
+}
+
+impl PanelKind {
+    fn world(self) -> World {
+        match self {
+            PanelKind::Dns => {
+                let policy = csaw_censor::single_mechanism(
+                    "F7A",
+                    YOUTUBE,
+                    DnsTamper::Nxdomain,
+                    IpAction::None,
+                    HttpAction::None,
+                    TlsAction::None,
+                );
+                single_isp_world(Asn(5500), "F7A-ISP", policy)
+            }
+            PanelKind::Clean => crate::worlds::clean_world(),
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            PanelKind::Dns => "Figure 7a: blocked page (DNS blocking)",
+            PanelKind::Clean => "Figure 7b: unblocked page",
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            PanelKind::Dns => "fig7a",
+            PanelKind::Clean => "fig7b",
+        }
+    }
+}
+
+/// Fig. 7a/7b decomposed: one trial per tool series (C-Saw, Lantern,
+/// Tor), each with a runner-forked RNG stream.
+struct Fig7PanelExp {
+    kind: PanelKind,
+    seed: u64,
+}
+
+impl Experiment for Fig7PanelExp {
+    type Trial = Cdf;
+    type Output = Panel;
+
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        ["C-Saw", "Lantern", "Tor"]
+            .into_iter()
+            .enumerate()
+            .map(|(i, label)| TrialSpec::forked(self.name(), self.seed, i as u64, label))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Cdf {
+        let world = self.kind.world();
+        let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
+        let plts = match spec.ordinal {
+            0 => {
+                let mut client = CsawClient::new(CsawConfig::default(), None, spec.seed);
+                csaw_plts(&world, &mut client, &url)
+            }
+            1 => {
+                let mut rng = DetRng::new(spec.seed);
+                transport_plts(&world, &mut LanternClient::new(), &url, &mut rng)
+            }
+            _ => {
+                let mut rng = DetRng::new(spec.seed);
+                transport_plts(&world, &mut TorClient::new(), &url, &mut rng)
+            }
+        };
+        Cdf::of(&spec.label, &plts)
+    }
+
+    fn reduce(&self, trials: Vec<Cdf>) -> Panel {
+        Panel {
+            title: self.kind.title().into(),
+            series: trials,
+        }
+    }
+}
+
 /// Fig. 7a: DNS-blocked page.
 pub fn run_7a(seed: u64) -> Panel {
-    let policy = csaw_censor::single_mechanism(
-        "F7A",
-        YOUTUBE,
-        DnsTamper::Nxdomain,
-        IpAction::None,
-        HttpAction::None,
-        TlsAction::None,
-    );
-    let world = single_isp_world(Asn(5500), "F7A-ISP", policy);
-    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let mut rng = DetRng::new(seed);
-    let mut client = CsawClient::new(CsawConfig::default(), None, seed);
-    let series = vec![
-        Cdf::of("C-Saw", &csaw_plts(&world, &mut client, &url)),
-        Cdf::of(
-            "Lantern",
-            &transport_plts(&world, &mut LanternClient::new(), &url, &mut rng),
-        ),
-        Cdf::of(
-            "Tor",
-            &transport_plts(&world, &mut TorClient::new(), &url, &mut rng),
-        ),
-    ];
-    Panel {
-        title: "Figure 7a: blocked page (DNS blocking)".into(),
-        series,
-    }
+    run_7a_jobs(seed, 1)
+}
+
+/// Fig. 7a across `jobs` workers.
+pub fn run_7a_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(
+        &Fig7PanelExp {
+            kind: PanelKind::Dns,
+            seed,
+        },
+        jobs,
+    )
 }
 
 /// Fig. 7b: unblocked page.
 pub fn run_7b(seed: u64) -> Panel {
-    let world = crate::worlds::clean_world();
-    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let mut rng = DetRng::new(seed);
-    let mut client = CsawClient::new(CsawConfig::default(), None, seed);
-    let series = vec![
-        Cdf::of("C-Saw", &csaw_plts(&world, &mut client, &url)),
-        Cdf::of(
-            "Lantern",
-            &transport_plts(&world, &mut LanternClient::new(), &url, &mut rng),
-        ),
-        Cdf::of(
-            "Tor",
-            &transport_plts(&world, &mut TorClient::new(), &url, &mut rng),
-        ),
-    ];
-    Panel {
-        title: "Figure 7b: unblocked page".into(),
-        series,
+    run_7b_jobs(seed, 1)
+}
+
+/// Fig. 7b across `jobs` workers.
+pub fn run_7b_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(
+        &Fig7PanelExp {
+            kind: PanelKind::Clean,
+            seed,
+        },
+        jobs,
+    )
+}
+
+/// Fig. 7c decomposed: one trial per relay restriction, with the
+/// historical `seed ^ 1` / `seed ^ 2` client seeds.
+pub struct Fig7cExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Fig7cExp {
+    type Trial = Cdf;
+    type Output = Panel;
+
+    fn name(&self) -> &'static str {
+        "fig7c"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        vec![
+            TrialSpec::salted(self.seed ^ 1, 0, "C-Saw (w/ Lantern)"),
+            TrialSpec::salted(self.seed ^ 2, 1, "C-Saw (w/ Tor)"),
+        ]
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Cdf {
+        let policy = csaw_censor::single_mechanism(
+            "F7C",
+            YOUTUBE,
+            DnsTamper::HijackTo("10.66.66.66".parse().expect("static")),
+            IpAction::Drop,
+            HttpAction::None,
+            TlsAction::None,
+        );
+        let world = single_isp_world(Asn(5600), "F7C-ISP", policy);
+        let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
+        let relay: Box<dyn Transport + Send> = if spec.ordinal == 0 {
+            Box::new(LanternClient::new())
+        } else {
+            Box::new(TorClient::new())
+        };
+        let mut client =
+            CsawClient::new(CsawConfig::default(), None, spec.seed).with_transports(vec![
+                Box::new(csaw_circumvent::transports::PublicDns),
+                Box::new(csaw_circumvent::transports::HttpsUpgrade { public_dns: true }),
+                relay,
+            ]);
+        Cdf::of(&spec.label, &csaw_plts(&world, &mut client, &url))
+    }
+
+    fn reduce(&self, trials: Vec<Cdf>) -> Panel {
+        Panel {
+            title: "Figure 7c: multi-stage blocking (IP + DNS), relay choice".into(),
+            series: trials,
+        }
     }
 }
 
 /// Fig. 7c: multi-stage blocking; C-Saw's relay restricted to Lantern vs
 /// to Tor.
 pub fn run_7c(seed: u64) -> Panel {
-    let policy = csaw_censor::single_mechanism(
-        "F7C",
-        YOUTUBE,
-        DnsTamper::HijackTo("10.66.66.66".parse().expect("static")),
-        IpAction::Drop,
-        HttpAction::None,
-        TlsAction::None,
-    );
-    let world = single_isp_world(Asn(5600), "F7C-ISP", policy);
-    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let with_relay = |relay: Box<dyn Transport + Send>, seed: u64| -> CsawClient {
-        CsawClient::new(CsawConfig::default(), None, seed).with_transports(vec![
-            Box::new(csaw_circumvent::transports::PublicDns),
-            Box::new(csaw_circumvent::transports::HttpsUpgrade { public_dns: true }),
-            relay,
-        ])
-    };
-    let mut c_lantern = with_relay(Box::new(LanternClient::new()), seed ^ 1);
-    let mut c_tor = with_relay(Box::new(TorClient::new()), seed ^ 2);
-    let series = vec![
-        Cdf::of(
-            "C-Saw (w/ Lantern)",
-            &csaw_plts(&world, &mut c_lantern, &url),
-        ),
-        Cdf::of("C-Saw (w/ Tor)", &csaw_plts(&world, &mut c_tor, &url)),
-    ];
-    Panel {
-        title: "Figure 7c: multi-stage blocking (IP + DNS), relay choice".into(),
-        series,
-    }
+    run_7c_jobs(seed, 1)
+}
+
+/// Fig. 7c across `jobs` workers.
+pub fn run_7c_jobs(seed: u64, jobs: usize) -> Panel {
+    runner::run(&Fig7cExp { seed }, jobs)
 }
 
 #[cfg(test)]

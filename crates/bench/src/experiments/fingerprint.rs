@@ -15,6 +15,7 @@
 //! the numbers: the paired-flow rate of a C-Saw client decays as its
 //! local DB warms up, and serial mode leaves almost no pairs at all.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::config::RedundancyMode;
 use csaw::measure::{fetch_with_redundancy, DetectConfig, ServedFrom};
 use csaw_circumvent::tor::TorClient;
@@ -138,13 +139,22 @@ fn simulate_client(
     }
 }
 
-/// Run the sweep: 40 plain browsers vs 40 C-Saw clients per mode, each
-/// browsing 30 URLs from a 12-site universe (so later visits hit warm
-/// local DBs).
-pub fn run(seed: u64) -> Fingerprint {
-    let world = crate::worlds::clean_world();
-    // Browsing pool: revisit-heavy (the realistic case for selective
-    // redundancy).
+/// The swept redundancy modes.
+fn modes() -> Vec<(String, RedundancyMode)> {
+    vec![
+        ("parallel".into(), RedundancyMode::Parallel),
+        (
+            "staggered-2s".into(),
+            RedundancyMode::Staggered(csaw_simnet::SimDuration::from_secs(2)),
+        ),
+        ("serial".into(), RedundancyMode::Serial),
+    ]
+}
+
+/// The revisit-heavy browsing pool (the realistic case for selective
+/// redundancy) — a pure function of the experiment seed, so every mode
+/// trial recomputes the identical session.
+fn browse_urls(seed: u64) -> Vec<Url> {
     let hosts = [
         crate::worlds::YOUTUBE,
         crate::worlds::SMALL_PAGE,
@@ -154,23 +164,58 @@ pub fn run(seed: u64) -> Fingerprint {
         crate::worlds::PORN_PAGE,
     ];
     let mut rng = DetRng::new(seed);
-    let urls: Vec<Url> = (0..30)
+    (0..30)
         .map(|i| {
             let h = hosts[rng.index(hosts.len())];
             Url::parse(&format!("http://{h}/page/{}", i % 4)).expect("static URL")
         })
-        .collect();
+        .collect()
+}
 
-    let modes: Vec<(String, RedundancyMode)> = vec![
-        ("parallel".into(), RedundancyMode::Parallel),
-        (
-            "staggered-2s".into(),
-            RedundancyMode::Staggered(csaw_simnet::SimDuration::from_secs(2)),
-        ),
-        ("serial".into(), RedundancyMode::Serial),
-    ];
-    let mut results = Vec::new();
-    for (label, mode) in modes {
+/// Run the sweep: 40 plain browsers vs 40 C-Saw clients per mode, each
+/// browsing 30 URLs from a 12-site universe (so later visits hit warm
+/// local DBs).
+pub fn run(seed: u64) -> Fingerprint {
+    run_jobs(seed, 1)
+}
+
+/// The sweep with one runner trial per redundancy mode.
+pub fn run_jobs(seed: u64, jobs: usize) -> Fingerprint {
+    runner::run(&FingerprintExp { seed }, jobs)
+}
+
+/// The sweep decomposed: one trial per mode. Every trial carries the
+/// experiment seed — the browse session and the per-client seeds are
+/// fixed salts of it, preserving the paired population across modes.
+pub struct FingerprintExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for FingerprintExp {
+    type Trial = ModeResult;
+    type Output = Fingerprint;
+
+    fn name(&self) -> &'static str {
+        "fingerprint"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        modes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, _))| TrialSpec::salted(self.seed, i as u64, label))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> ModeResult {
+        let (label, mode) = modes()
+            .into_iter()
+            .nth(spec.ordinal as usize)
+            .expect("mode index in range");
+        let world = crate::worlds::clean_world();
+        let urls = browse_urls(spec.seed);
+        let seed = spec.seed;
         let mut traces = Vec::new();
         for c in 0..40u64 {
             traces.push(simulate_client(&world, None, &urls, seed ^ (c << 3)));
@@ -212,14 +257,17 @@ pub fn run(seed: u64) -> Fingerprint {
                 }
             })
             .collect();
-        results.push(ModeResult {
+        ModeResult {
             mode: label,
             csaw_mean,
             plain_mean,
             roc,
-        });
+        }
     }
-    Fingerprint { modes: results }
+
+    fn reduce(&self, trials: Vec<ModeResult>) -> Fingerprint {
+        Fingerprint { modes: trials }
+    }
 }
 
 fn mean(xs: impl Iterator<Item = f64>) -> f64 {

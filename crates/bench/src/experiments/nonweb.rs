@@ -2,6 +2,7 @@
 //! app blocked with different UDP mechanisms across ASes, detected by the
 //! paired direct/tunnel probe and circumvented through a VPN relay.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::measure::nonweb::measure_udp_service;
 use csaw::measure::MeasuredStatus;
 use csaw_censor::blocking::UdpAction;
@@ -51,35 +52,76 @@ fn world_for(asn: Asn, action: UdpAction) -> World {
         .build()
 }
 
+const CASES: [(Asn, UdpAction, &str); 3] = [
+    (Asn(9001), UdpAction::Drop, "UDP drop"),
+    (Asn(9002), UdpAction::Throttle, "UDP throttle"),
+    (Asn(9003), UdpAction::None, "none"),
+];
+
 /// Run the sweep: three ASes — one dropping the app's UDP, one throttling
 /// it, one clean.
 pub fn run(seed: u64) -> Nonweb {
-    let cases = [
-        (Asn(9001), UdpAction::Drop, "UDP drop"),
-        (Asn(9002), UdpAction::Throttle, "UDP throttle"),
-        (Asn(9003), UdpAction::None, "none"),
-    ];
-    let relay = Site::in_region(Region::Germany);
-    let mut rows = Vec::new();
-    for (asn, action, label) in cases {
+    run_jobs(seed, 1)
+}
+
+/// The non-web sweep with one runner trial per AS.
+pub fn run_jobs(seed: u64, jobs: usize) -> Nonweb {
+    runner::run(&NonwebExp { seed }, jobs)
+}
+
+/// The sweep decomposed: one trial per AS, with the historical
+/// `seed ^ asn` streams.
+pub struct NonwebExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for NonwebExp {
+    type Trial = NonwebRow;
+    type Output = Nonweb;
+
+    fn name(&self) -> &'static str {
+        "nonweb"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        CASES
+            .iter()
+            .enumerate()
+            .map(|(i, (asn, _, label))| {
+                TrialSpec::salted(
+                    self.seed ^ asn.0 as u64,
+                    i as u64,
+                    format!("AS{} ({label})", asn.0),
+                )
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> NonwebRow {
+        let (asn, action, label) = CASES[spec.ordinal as usize];
+        let relay = Site::in_region(Region::Germany);
         let world = world_for(asn, action);
         let provider = world.access.providers()[0].clone();
-        let mut rng = DetRng::new(seed ^ asn.0 as u64);
+        let mut rng = DetRng::new(spec.seed);
         let m = measure_udp_service(&world, &provider, relay, SERVICE, &mut rng);
         let verdict = match m.status {
             MeasuredStatus::Blocked => format!("blocked ({})", m.stages[0]),
             MeasuredStatus::NotBlocked => "not blocked".into(),
             MeasuredStatus::Inconclusive => "inconclusive".into(),
         };
-        rows.push(NonwebRow {
+        NonwebRow {
             asn: asn.0,
             configured: label.to_string(),
             verdict,
             direct_rtt_ms: m.direct_rtt.map(|d| d.as_millis()),
             tunnel_rtt_ms: m.tunnel_rtt.map(|d| d.as_millis()),
-        });
+        }
     }
-    Nonweb { rows }
+
+    fn reduce(&self, trials: Vec<NonwebRow>) -> Nonweb {
+        Nonweb { rows: trials }
+    }
 }
 
 impl Nonweb {

@@ -2,6 +2,7 @@
 //! C-Saw detector (the paper presents the censor-side truth; we recover
 //! it from client-side observations, which is the stronger statement).
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::worlds::{single_isp_world, PORN_PAGE, YOUTUBE};
 use csaw::measure::{measure_direct, DetectConfig, MeasuredStatus};
 use csaw_censor::blocking::{BlockingType, Stage};
@@ -27,77 +28,127 @@ pub struct Table1 {
     pub cells: Vec<Cell>,
 }
 
-/// Run the Table 1 measurement: several trials per (ISP, target), union
-/// of observed mechanisms (ISP-B's DNS stage engages probabilistically,
-/// so one trial may see only part of the multi-stage setup).
-pub fn run(seed: u64) -> Table1 {
-    let mut cells = Vec::new();
-    let configs = [
+fn configs() -> [(&'static str, Asn, csaw_censor::policy::CensorPolicy); 2] {
+    [
         ("ISP-A", Asn(45595), csaw_censor::isp_a()),
         ("ISP-B", Asn(17557), csaw_censor::isp_b()),
-    ];
-    let targets = [
+    ]
+}
+
+fn targets() -> [(&'static str, String); 2] {
+    [
         ("YouTube", format!("http://{YOUTUBE}/")),
         (
             "Rest (Social, Porn, Political, ..)",
             format!("http://{PORN_PAGE}/"),
         ),
-    ];
-    for (isp, asn, policy) in configs {
-        let world = single_isp_world(asn, isp, policy.clone());
-        for (target, url_s) in &targets {
-            let url = Url::parse(url_s).expect("static URL");
-            let mut mechanisms: Vec<BlockingType> = Vec::new();
-            let mut rng = DetRng::new(seed ^ asn.0 as u64);
-            for trial in 0..20 {
-                let provider = world.access.providers()[0].clone();
-                let m = measure_direct(
-                    &world,
-                    &provider,
-                    &url,
-                    Some(360_000),
-                    &DetectConfig::default(),
-                    &mut rng,
-                );
-                if m.status == MeasuredStatus::Blocked {
-                    for s in m.stages {
-                        if !mechanisms.contains(&s) {
-                            mechanisms.push(s);
-                        }
+    ]
+}
+
+/// Run the Table 1 measurement: several trials per (ISP, target), union
+/// of observed mechanisms (ISP-B's DNS stage engages probabilistically,
+/// so one trial may see only part of the multi-stage setup).
+pub fn run(seed: u64) -> Table1 {
+    run_jobs(seed, 1)
+}
+
+/// Table 1 with one runner trial per (ISP, target) cell.
+pub fn run_jobs(seed: u64, jobs: usize) -> Table1 {
+    runner::run(&Table1Exp { seed }, jobs)
+}
+
+/// Table 1 decomposed: one trial per (ISP, target) cell, each with the
+/// historical per-ISP `seed ^ asn` stream.
+pub struct Table1Exp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Table1Exp {
+    type Trial = Cell;
+    type Output = Table1;
+
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        let mut specs = Vec::new();
+        for (i, (isp, asn, _)) in configs().into_iter().enumerate() {
+            for (j, (target, _)) in targets().into_iter().enumerate() {
+                specs.push(TrialSpec::salted(
+                    self.seed ^ asn.0 as u64,
+                    (i * 2 + j) as u64,
+                    format!("{isp} × {target}"),
+                ));
+            }
+        }
+        specs
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Cell {
+        let (isp, asn, policy) = configs()
+            .into_iter()
+            .nth(spec.ordinal as usize / 2)
+            .expect("config index in range");
+        let (target, url_s) = targets()
+            .into_iter()
+            .nth(spec.ordinal as usize % 2)
+            .expect("target index in range");
+        let world = single_isp_world(asn, isp, policy);
+        let url = Url::parse(&url_s).expect("static URL");
+        let mut mechanisms: Vec<BlockingType> = Vec::new();
+        let mut rng = DetRng::new(spec.seed);
+        for _ in 0..20 {
+            let provider = world.access.providers()[0].clone();
+            let m = measure_direct(
+                &world,
+                &provider,
+                &url,
+                Some(360_000),
+                &DetectConfig::default(),
+                &mut rng,
+            );
+            if m.status == MeasuredStatus::Blocked {
+                for s in m.stages {
+                    if !mechanisms.contains(&s) {
+                        mechanisms.push(s);
                     }
                 }
-                let _ = trial;
             }
-            // Probe the HTTPS side too (Table 1 distinguishes HTTP-only
-            // from HTTP+HTTPS blocking).
-            let https_url = Url::parse(&url_s.replace("http://", "https://")).expect("static");
-            for _ in 0..10 {
-                let provider = world.access.providers()[0].clone();
-                let m = measure_direct(
-                    &world,
-                    &provider,
-                    &https_url,
-                    Some(360_000),
-                    &DetectConfig::default(),
-                    &mut rng,
-                );
-                if m.status == MeasuredStatus::Blocked {
-                    for s in m.stages {
-                        if s.stage() == Stage::Tls && !mechanisms.contains(&s) {
-                            mechanisms.push(s);
-                        }
+        }
+        // Probe the HTTPS side too (Table 1 distinguishes HTTP-only
+        // from HTTP+HTTPS blocking).
+        let https_url = Url::parse(&url_s.replace("http://", "https://")).expect("static");
+        for _ in 0..10 {
+            let provider = world.access.providers()[0].clone();
+            let m = measure_direct(
+                &world,
+                &provider,
+                &https_url,
+                Some(360_000),
+                &DetectConfig::default(),
+                &mut rng,
+            );
+            if m.status == MeasuredStatus::Blocked {
+                for s in m.stages {
+                    if s.stage() == Stage::Tls && !mechanisms.contains(&s) {
+                        mechanisms.push(s);
                     }
                 }
             }
-            mechanisms.sort();
-            cells.push(Cell {
-                isp: isp.to_string(),
-                target: target.to_string(),
-                mechanisms,
-            });
+        }
+        mechanisms.sort();
+        Cell {
+            isp: isp.to_string(),
+            target: target.to_string(),
+            mechanisms,
         }
     }
-    Table1 { cells }
+
+    fn reduce(&self, trials: Vec<Cell>) -> Table1 {
+        Table1 { cells: trials }
+    }
 }
 
 impl Table1 {

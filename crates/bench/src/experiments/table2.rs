@@ -3,6 +3,7 @@
 //! experiment *measures* them over the simulated paths and checks the
 //! round trip matches the paper's numbers.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::worlds::{clean_world, static_proxies};
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::SimDuration;
@@ -45,36 +46,74 @@ fn paper_value(label: &str) -> Option<u64> {
 /// only (the paper pings from the measurement host, we exclude the local
 /// access hop jitter by averaging).
 pub fn run(seed: u64) -> Table2 {
-    let world = clean_world();
-    let provider = world.access.providers()[0].clone();
-    let mut rng = DetRng::new(seed);
-    let mut rows = Vec::new();
-    for proxy in static_proxies() {
-        let path = world.path_to_site(&provider, proxy.site);
+    run_jobs(seed, 1)
+}
+
+/// Table 2 with one runner trial per ping destination.
+pub fn run_jobs(seed: u64, jobs: usize) -> Table2 {
+    runner::run(&Table2Exp { seed }, jobs)
+}
+
+/// Table 2 decomposed: one trial per destination (the ten proxies plus
+/// the YouTube baseline), each drawing its RTT samples from a
+/// runner-forked stream.
+pub struct Table2Exp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Table2Exp {
+    type Trial = PingRow;
+    type Output = Table2;
+
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        let mut labels: Vec<String> = static_proxies().into_iter().map(|p| p.label).collect();
+        labels.push("YouTube".to_string());
+        labels
+            .into_iter()
+            .enumerate()
+            .map(|(i, label)| TrialSpec::forked(self.name(), self.seed, i as u64, label))
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> PingRow {
+        let world = clean_world();
+        let provider = world.access.providers()[0].clone();
+        let mut rng = DetRng::new(spec.seed);
+        let proxies = static_proxies();
+        let (label, site, paper_ms) = if (spec.ordinal as usize) < proxies.len() {
+            let p = proxies
+                .into_iter()
+                .nth(spec.ordinal as usize)
+                .expect("proxy index in range");
+            let paper = paper_value(&p.label).unwrap_or(0);
+            (p.label, p.site, paper)
+        } else {
+            // YouTube baseline (paper: 186 ms).
+            let yt = world.site(crate::worlds::YOUTUBE).expect("youtube exists");
+            ("YouTube".to_string(), yt.location, 186)
+        };
+        let path = world.path_to_site(&provider, site);
         let n = 50;
         let total_us: u64 = (0..n).map(|_| path.sample_rtt(&mut rng).as_micros()).sum();
         // Remove the access hop (2 × 8 ms) the paper's ping excludes by
         // being measured from the campus border.
         let avg =
             SimDuration::from_micros(total_us / n).saturating_sub(SimDuration::from_millis(16));
-        rows.push(PingRow {
-            label: proxy.label.clone(),
-            paper_ms: paper_value(&proxy.label).unwrap_or(0),
+        PingRow {
+            label,
+            paper_ms,
             measured_ms: avg.as_millis(),
-        });
+        }
     }
-    // YouTube baseline (paper: 186 ms).
-    let yt = world.site(crate::worlds::YOUTUBE).expect("youtube exists");
-    let path = world.path_to_site(&provider, yt.location);
-    let n = 50;
-    let total_us: u64 = (0..n).map(|_| path.sample_rtt(&mut rng).as_micros()).sum();
-    let avg = SimDuration::from_micros(total_us / n).saturating_sub(SimDuration::from_millis(16));
-    rows.push(PingRow {
-        label: "YouTube".into(),
-        paper_ms: 186,
-        measured_ms: avg.as_millis(),
-    });
-    Table2 { rows }
+
+    fn reduce(&self, trials: Vec<PingRow>) -> Table2 {
+        Table2 { rows: trials }
+    }
 }
 
 impl Table2 {

@@ -10,6 +10,7 @@
 //! | HTTP (block page)                  | 1.8            |
 //! | TCP/IP + DNS (multi-stage)         | 32.7           |
 
+use crate::runner::{self, Experiment, TrialSpec};
 use crate::worlds::YOUTUBE;
 use csaw::measure::{measure_direct, DetectConfig, MeasuredStatus};
 use csaw_censor::blocking::{DnsTamper, HttpAction, IpAction, TlsAction};
@@ -38,9 +39,9 @@ pub struct Table5 {
     pub rows: Vec<DetectRow>,
 }
 
-/// Run 50 detection trials per mechanism.
-pub fn run(seed: u64) -> Table5 {
-    let cases: Vec<(&str, f64, DnsTamper, IpAction, HttpAction)> = vec![
+/// The five mechanisms with the paper's reference averages.
+fn cases() -> Vec<(&'static str, f64, DnsTamper, IpAction, HttpAction)> {
+    vec![
         (
             "TCP/IP",
             21.0,
@@ -76,14 +77,54 @@ pub fn run(seed: u64) -> Table5 {
             IpAction::Drop,
             HttpAction::None,
         ),
-    ];
-    let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
-    let mut rows = Vec::new();
-    for (label, paper_s, dns, ip, http) in cases {
+    ]
+}
+
+/// Run 50 detection trials per mechanism.
+pub fn run(seed: u64) -> Table5 {
+    run_jobs(seed, 1)
+}
+
+/// Table 5 with one runner trial per mechanism row.
+pub fn run_jobs(seed: u64, jobs: usize) -> Table5 {
+    runner::run(&Table5Exp { seed }, jobs)
+}
+
+/// Table 5 decomposed: one trial per mechanism, each with its
+/// historical `seed ^ paper_s.to_bits()` stream.
+pub struct Table5Exp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for Table5Exp {
+    type Trial = DetectRow;
+    type Output = Table5;
+
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        cases()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, paper_s, ..))| {
+                TrialSpec::salted(self.seed ^ paper_s.to_bits(), i as u64, label)
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> DetectRow {
+        let (label, paper_s, dns, ip, http) = cases()
+            .into_iter()
+            .nth(spec.ordinal as usize)
+            .expect("case index in range");
+        let url = Url::parse(&format!("http://{YOUTUBE}/")).expect("static URL");
         let policy = csaw_censor::single_mechanism(label, YOUTUBE, dns, ip, http, TlsAction::None);
         let world = crate::worlds::single_isp_world(Asn(5000), "T5-ISP", policy);
         let provider = world.access.providers()[0].clone();
-        let mut rng = DetRng::new(seed ^ paper_s.to_bits());
+        let mut rng = DetRng::new(spec.seed);
         let runs = 50;
         let mut total = SimDuration::ZERO;
         let mut detected = 0usize;
@@ -102,14 +143,17 @@ pub fn run(seed: u64) -> Table5 {
             }
         }
         assert!(detected > 0, "{label}: nothing detected");
-        rows.push(DetectRow {
+        DetectRow {
             label: label.to_string(),
             paper_s,
             measured_s: total.as_secs_f64() / detected as f64,
             runs: detected,
-        });
+        }
     }
-    Table5 { rows }
+
+    fn reduce(&self, trials: Vec<DetectRow>) -> Table5 {
+        Table5 { rows: trials }
+    }
 }
 
 impl Table5 {

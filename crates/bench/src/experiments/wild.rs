@@ -8,6 +8,7 @@
 //! experiment logs the first detection per (AS, service) with its
 //! failure signature.
 
+use crate::runner::{self, Experiment, TrialSpec};
 use csaw::client::CsawClient;
 use csaw::config::{CsawConfig, RedundancyMode};
 use csaw::local::Status;
@@ -75,33 +76,73 @@ fn service_world(asn: Asn) -> World {
         .build()
 }
 
+/// When the censors switch on (s): one hour in.
+const EVENT_AT_S: u64 = 3_600;
+
+/// The event's ASes, sorted and deduplicated.
+fn event_ases() -> Vec<Asn> {
+    let mut v: Vec<Asn> = event_matrix_2017().iter().map(|(a, _, _)| *a).collect();
+    v.sort_by_key(|a| a.0);
+    v.dedup();
+    v
+}
+
 /// Replay the event. Clients poll both services every `poll_s` seconds;
 /// the censors switch on at `event_at_s`.
 pub fn run(seed: u64) -> Wild {
-    let event_at_s: u64 = 3_600; // censors switch on one hour in
-    let poll_s: u64 = 600; // users check their feeds every 10 min
-    let horizon_s: u64 = 3 * 3_600;
-    let ases: Vec<Asn> = {
-        let mut v: Vec<Asn> = event_matrix_2017().iter().map(|(a, _, _)| *a).collect();
-        v.sort_by_key(|a| a.0);
-        v.dedup();
-        v
-    };
-    let services = ["twitter.com", "instagram.com"];
-    let mut detections = Vec::new();
-    for asn in &ases {
-        let mut world = service_world(*asn);
+    run_jobs(seed, 1)
+}
+
+/// The wild replay with one runner trial per AS.
+pub fn run_jobs(seed: u64, jobs: usize) -> Wild {
+    runner::run(&WildExp { seed }, jobs)
+}
+
+/// The event replay decomposed: one trial per AS (each AS's client and
+/// censor are fully independent), with the historical `seed ^ asn`
+/// client seeds. The reduction re-sorts detections by (time, AS), so
+/// the merged log matches the serial one exactly.
+pub struct WildExp {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment for WildExp {
+    type Trial = Vec<Detection>;
+    type Output = Wild;
+
+    fn name(&self) -> &'static str {
+        "wild"
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        event_ases()
+            .into_iter()
+            .enumerate()
+            .map(|(i, asn)| {
+                TrialSpec::salted(self.seed ^ asn.0 as u64, i as u64, format!("AS{}", asn.0))
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> Vec<Detection> {
+        let asn = event_ases()[spec.ordinal as usize];
+        let poll_s: u64 = 600; // users check their feeds every 10 min
+        let horizon_s: u64 = 3 * 3_600;
+        let services = ["twitter.com", "instagram.com"];
+        let mut detections = Vec::new();
+        let mut world = service_world(asn);
         let cfg = CsawConfig {
             redundancy: RedundancyMode::Serial,
             ..CsawConfig::default()
         };
-        let mut client = CsawClient::new(cfg, None, seed ^ asn.0 as u64);
+        let mut client = CsawClient::new(cfg, None, spec.seed);
         let mut installed = false;
         let mut found: Vec<&str> = Vec::new();
         let mut t = 0u64;
         while t <= horizon_s {
-            if !installed && t >= event_at_s {
-                world.install_censor(*asn, event_blocking_2017(*asn, csaw_censor::clean()));
+            if !installed && t >= EVENT_AT_S {
+                world.install_censor(asn, event_blocking_2017(asn, csaw_censor::clean()));
                 installed = true;
             }
             for service in services {
@@ -130,11 +171,16 @@ pub fn run(seed: u64) -> Wild {
             }
             t += poll_s;
         }
+        detections
     }
-    detections.sort_by_key(|d| (d.at_s, d.asn));
-    Wild {
-        event_at_s,
-        detections,
+
+    fn reduce(&self, trials: Vec<Vec<Detection>>) -> Wild {
+        let mut detections: Vec<Detection> = trials.into_iter().flatten().collect();
+        detections.sort_by_key(|d| (d.at_s, d.asn));
+        Wild {
+            event_at_s: EVENT_AT_S,
+            detections,
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod runner;
 pub mod stats;
 pub mod tracereport;
 pub mod workload;

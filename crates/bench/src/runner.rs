@@ -1,0 +1,550 @@
+//! The deterministic parallel trial executor every `exp_*` sweep runs
+//! on.
+//!
+//! An experiment is a set of **independent trials** (seed × config
+//! point) plus a reduction. [`run`] fans the trials across `jobs`
+//! worker threads pulling from one shared queue (an idle worker steals
+//! the next un-run trial), yet its observable output is **byte-identical
+//! to a serial run**:
+//!
+//! - every trial draws from its own RNG, derived from the trial seed
+//!   alone ([`TrialSpec::rng`]) — never from a shared stream;
+//! - every trial runs under its own observability arena (fresh
+//!   [`csaw_obs::Registry`], fresh virtual clock, and a
+//!   [`csaw_obs::BufferSink`] capturing its events);
+//! - after the worker barrier the arenas are folded into the caller's
+//!   scope in **trial-ordinal order**: registries merge (addition
+//!   commutes), buffered events replay into the real sink, and the
+//!   caller's virtual clock advances to the trial maximum.
+//!
+//! Worker scheduling therefore affects wall-clock time and nothing
+//! else. `--jobs 1` and `--jobs 64` write the same bytes.
+//!
+//! # Minimal experiment
+//!
+//! ```
+//! use csaw_bench::runner::{self, Experiment, TrialSpec};
+//!
+//! /// Monte-Carlo mean of x² over uniform x — one trial per sample.
+//! struct MeanOfSquares {
+//!     seed: u64,
+//! }
+//!
+//! impl Experiment for MeanOfSquares {
+//!     type Trial = f64;
+//!     type Output = f64;
+//!
+//!     fn name(&self) -> &'static str {
+//!         "mean-of-squares"
+//!     }
+//!
+//!     fn trials(&self) -> Vec<TrialSpec> {
+//!         (0..8)
+//!             .map(|i| TrialSpec::forked(self.name(), self.seed, i, format!("sample-{i}")))
+//!             .collect()
+//!     }
+//!
+//!     fn run_trial(&self, spec: &TrialSpec) -> f64 {
+//!         let mut rng = spec.rng();
+//!         let x = rng.f64();
+//!         x * x
+//!     }
+//!
+//!     fn reduce(&self, trials: Vec<f64>) -> f64 {
+//!         trials.iter().sum::<f64>() / trials.len() as f64
+//!     }
+//! }
+//!
+//! let serial = runner::run(&MeanOfSquares { seed: 1 }, 1);
+//! let parallel = runner::run(&MeanOfSquares { seed: 1 }, 4);
+//! assert_eq!(serial, parallel, "jobs must not change the result");
+//! ```
+
+use csaw_obs::clock::ManualClock;
+use csaw_obs::metrics::Registry;
+use csaw_obs::scope::{self, ObsCtx};
+use csaw_obs::sink::{BufferSink, Sink};
+use csaw_obs::Event;
+use csaw_simnet::rng::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One independent unit of experiment work.
+///
+/// The spec carries everything a worker needs: a merge position
+/// (`ordinal`), a human-readable `label` for progress/timing output,
+/// and the trial's private RNG `seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Merge position: results are combined in ascending ordinal order
+    /// after the barrier, whatever order workers finished in.
+    pub ordinal: u64,
+    /// Human-readable config-point label (`"TCP/IP × parallel"`).
+    pub label: String,
+    /// The trial's RNG seed. Trials must draw only from RNGs derived
+    /// from this seed; sharing a stream across trials would make the
+    /// output depend on execution order.
+    pub seed: u64,
+}
+
+impl TrialSpec {
+    /// A spec whose seed is splitmix-forked from
+    /// `(experiment, exp_seed, ordinal)` — the default for new
+    /// decompositions.
+    pub fn forked(
+        experiment: &str,
+        exp_seed: u64,
+        ordinal: u64,
+        label: impl Into<String>,
+    ) -> TrialSpec {
+        TrialSpec {
+            ordinal,
+            label: label.into(),
+            seed: fork_seed(exp_seed, experiment, ordinal),
+        }
+    }
+
+    /// A spec with an explicit seed — for experiments that predate the
+    /// runner and must keep their historical RNG streams (and therefore
+    /// their published reference numbers) bit-stable.
+    pub fn salted(seed: u64, ordinal: u64, label: impl Into<String>) -> TrialSpec {
+        TrialSpec {
+            ordinal,
+            label: label.into(),
+            seed,
+        }
+    }
+
+    /// The trial's private generator.
+    pub fn rng(&self) -> DetRng {
+        DetRng::new(self.seed)
+    }
+}
+
+/// Derive a trial seed from `(exp_seed, experiment, ordinal)`: FNV-1a
+/// over the experiment name folded with the ordinal, finished with two
+/// SplitMix64 rounds. Labelled forking means adding a trial to one
+/// experiment never perturbs another's draws.
+pub fn fork_seed(exp_seed: u64, experiment: &str, ordinal: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in experiment.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut x = exp_seed ^ h.rotate_left(17) ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = 0u64;
+    for _ in 0..2 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        out = z ^ (z >> 31);
+    }
+    out
+}
+
+/// An experiment decomposed into independent trials plus a reduction.
+///
+/// Contract: `run_trial` must be a pure function of `(self, spec)` and
+/// the trial-scoped observability context — no shared mutable state, no
+/// draws from an RNG owned by another trial. `reduce` receives the
+/// trial results in ascending ordinal order.
+pub trait Experiment: Sync {
+    /// One trial's result.
+    type Trial: Send + 'static;
+    /// The reduced experiment result (usually the struct with the
+    /// `render()` method the binary prints).
+    type Output;
+
+    /// Stable name (`"fig5a"`), used for seed forking, progress lines,
+    /// and the `exp_all` manifest/artifact tree.
+    fn name(&self) -> &'static str;
+
+    /// The full trial list. Order defines the serial execution order;
+    /// ordinals define the merge order (normally the same).
+    fn trials(&self) -> Vec<TrialSpec>;
+
+    /// Run one trial. Called on an arbitrary worker thread under a
+    /// trial-private observability scope.
+    fn run_trial(&self, spec: &TrialSpec) -> Self::Trial;
+
+    /// Combine the ordinal-ordered trial results.
+    fn reduce(&self, trials: Vec<Self::Trial>) -> Self::Output;
+}
+
+/// A monolithic `run(seed)` experiment wrapped as a one-trial
+/// [`Experiment`], so coupled sweeps (shared evolving state across
+/// their inner loop) still ride the same executor, arena, and
+/// `exp_all` manifest path as decomposed ones.
+pub struct SingleTrial<T, F> {
+    name: &'static str,
+    seed: u64,
+    run: F,
+    _out: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Wrap `run` as a single-trial experiment named `name`.
+pub fn single_trial<T, F>(name: &'static str, seed: u64, run: F) -> SingleTrial<T, F>
+where
+    T: Send + 'static,
+    F: Fn(u64) -> T + Sync,
+{
+    SingleTrial {
+        name,
+        seed,
+        run,
+        _out: std::marker::PhantomData,
+    }
+}
+
+impl<T, F> Experiment for SingleTrial<T, F>
+where
+    T: Send + 'static,
+    F: Fn(u64) -> T + Sync,
+{
+    type Trial = T;
+    type Output = T;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn trials(&self) -> Vec<TrialSpec> {
+        vec![TrialSpec::salted(self.seed, 0, self.name)]
+    }
+
+    fn run_trial(&self, spec: &TrialSpec) -> T {
+        (self.run)(spec.seed)
+    }
+
+    fn reduce(&self, mut trials: Vec<T>) -> T {
+        trials.pop().expect("exactly one trial")
+    }
+}
+
+/// Wall-clock cost of one trial, for the `exp_all` summary artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialTiming {
+    /// The trial's merge ordinal.
+    pub ordinal: u64,
+    /// The trial's label.
+    pub label: String,
+    /// Wall-clock seconds the trial took on its worker.
+    pub wall_s: f64,
+}
+
+/// Run an experiment across `jobs` workers and reduce. `jobs ≤ 1` runs
+/// serially on the calling thread — through the *same* per-trial arena
+/// path, which is what makes the byte-equality guarantee structural
+/// rather than aspirational.
+pub fn run<E: Experiment>(exp: &E, jobs: usize) -> E::Output {
+    run_timed(exp, jobs).0
+}
+
+/// Like [`run`], but also returns per-trial wall-clock timings.
+pub fn run_timed<E: Experiment>(exp: &E, jobs: usize) -> (E::Output, Vec<TrialTiming>) {
+    let specs = exp.trials();
+    let (trials, timings) = run_trials(&specs, jobs, |s| exp.run_trial(s));
+    (exp.reduce(trials), timings)
+}
+
+/// Everything a trial leaves behind: its value plus its observability
+/// arena, carried back to the merge step.
+struct TrialResult<T> {
+    value: T,
+    events: Vec<Event>,
+    registry: Arc<Registry>,
+    clock_us: u64,
+    wall_s: f64,
+}
+
+fn run_one<T, F>(spec: &TrialSpec, run: &F, enabled: bool, verbosity: u8) -> TrialResult<T>
+where
+    F: Fn(&TrialSpec) -> T,
+{
+    let sink = Arc::new(BufferSink::new(enabled));
+    let ctx = Arc::new(
+        ObsCtx::new()
+            .with_clock(Arc::new(ManualClock::new()))
+            .with_sink(sink.clone() as Arc<dyn Sink>)
+            .with_verbosity(verbosity),
+    );
+    let started = Instant::now();
+    let value = {
+        let _guard = scope::install(ctx.clone());
+        run(spec)
+    };
+    TrialResult {
+        value,
+        events: sink.take(),
+        registry: ctx.registry.clone(),
+        clock_us: ctx.clock.now_us(),
+        wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The generic executor under [`run`]: fan `specs` across `jobs`
+/// workers, then fold the per-trial arenas into the calling scope in
+/// ordinal order. Exposed so `exp_all` can pool trials from *many*
+/// experiments through one work queue.
+pub fn run_trials<T, F>(specs: &[TrialSpec], jobs: usize, run: F) -> (Vec<T>, Vec<TrialTiming>)
+where
+    T: Send,
+    F: Fn(&TrialSpec) -> T + Sync,
+{
+    let parent = scope::current();
+    let enabled = parent.sink.enabled();
+    let verbosity = parent.verbosity;
+    let jobs = jobs.max(1).min(specs.len().max(1));
+
+    let mut slots: Vec<Option<TrialResult<T>>> = if jobs <= 1 {
+        specs
+            .iter()
+            .map(|s| Some(run_one(s, &run, enabled, verbosity)))
+            .collect()
+    } else {
+        // One shared queue: each idle worker claims (steals) the next
+        // un-run trial by bumping the cursor. Assignment of trials to
+        // workers is nondeterministic; nothing downstream can see it.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TrialResult<T>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|sc| {
+            for _ in 0..jobs {
+                sc.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = run_one(spec, &run, enabled, verbosity);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    };
+
+    // The barrier is behind us; merge in ordinal order (stable on list
+    // position for equal ordinals).
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].ordinal);
+    let mut values = Vec::with_capacity(specs.len());
+    let mut timings = Vec::with_capacity(specs.len());
+    for i in order {
+        let r = slots[i]
+            .take()
+            .expect("worker barrier guarantees every trial ran");
+        parent.registry.merge_from(&r.registry);
+        if enabled {
+            for e in &r.events {
+                parent.sink.record(e);
+            }
+        }
+        if let Some(clock) = parent.manual_clock() {
+            clock.set_us(r.clock_us);
+        }
+        values.push(r.value);
+        timings.push(TrialTiming {
+            ordinal: specs[i].ordinal,
+            label: specs[i].label.clone(),
+            wall_s: r.wall_s,
+        });
+    }
+    (values, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_obs::sink::RingSink;
+
+    /// A synthetic experiment exercising every arena surface: events,
+    /// counters, histograms, gauges, per-trial clocks — with per-trial
+    /// busy-work skew so workers finish far out of ordinal order.
+    struct Synthetic {
+        seed: u64,
+        trials: u64,
+    }
+
+    impl Experiment for Synthetic {
+        type Trial = u64;
+        type Output = Vec<u64>;
+
+        fn name(&self) -> &'static str {
+            "synthetic"
+        }
+
+        fn trials(&self) -> Vec<TrialSpec> {
+            (0..self.trials)
+                .map(|i| TrialSpec::forked(self.name(), self.seed, i, format!("t{i}")))
+                .collect()
+        }
+
+        fn run_trial(&self, spec: &TrialSpec) -> u64 {
+            let mut rng = spec.rng();
+            // Adversarial interleaving: early ordinals do the most
+            // work, so under parallel execution they finish *last* and
+            // a naive completion-order merge would invert the stream.
+            let spin = (self.trials - spec.ordinal) * 40_000;
+            let mut acc = spec.seed;
+            for _ in 0..spin {
+                acc = acc.rotate_left(7) ^ 0x9e37;
+            }
+            std::hint::black_box(acc);
+            let draw = rng.range_u64(0, 1_000);
+            csaw_obs::advance_clock_us(1_000 * (spec.ordinal + 1));
+            csaw_obs::event!("synthetic.trial", ordinal = spec.ordinal, draw = draw);
+            csaw_obs::inc("synthetic.trials");
+            csaw_obs::observe_us("synthetic.draw", draw);
+            csaw_obs::current().registry.gauge("synthetic.net").add(1);
+            draw
+        }
+
+        fn reduce(&self, trials: Vec<u64>) -> Vec<u64> {
+            trials
+        }
+    }
+
+    /// Run the synthetic experiment under a fresh scope; return the
+    /// reduced output, the replayed event stream rendered to JSON, and
+    /// the metrics snapshot.
+    fn run_instrumented(jobs: usize) -> (Vec<u64>, String, String) {
+        let ring = Arc::new(RingSink::new(1 << 12));
+        let ctx = Arc::new(
+            ObsCtx::new()
+                .with_clock(Arc::new(ManualClock::new()))
+                .with_sink(ring.clone()),
+        );
+        let _guard = scope::install(ctx.clone());
+        let out = run(
+            &Synthetic {
+                seed: 7,
+                trials: 12,
+            },
+            jobs,
+        );
+        let events: Vec<String> = ring
+            .drain()
+            .into_iter()
+            .map(|e| e.to_json().to_string_compact())
+            .collect();
+        let snapshot = ctx.registry.snapshot().to_string_pretty();
+        (out, events.join("\n"), snapshot)
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let (out1, events1, snap1) = run_instrumented(1);
+        for jobs in [4, 16] {
+            let (out, events, snap) = run_instrumented(jobs);
+            assert_eq!(out, out1, "jobs={jobs}: reduced output diverged");
+            assert_eq!(events, events1, "jobs={jobs}: event stream diverged");
+            assert_eq!(snap, snap1, "jobs={jobs}: metrics snapshot diverged");
+        }
+    }
+
+    #[test]
+    fn events_replay_in_ordinal_order() {
+        let (_, events, _) = run_instrumented(16);
+        let ordinals: Vec<u64> = events
+            .lines()
+            .map(|l| {
+                let v = csaw_obs::JsonValue::parse(l).expect("event json");
+                v.get("fields")
+                    .and_then(|f| f.get("ordinal"))
+                    .and_then(|o| o.as_u64())
+                    .expect("ordinal field")
+            })
+            .collect();
+        assert_eq!(ordinals, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parent_clock_advances_to_trial_maximum() {
+        let ctx = Arc::new(ObsCtx::new().with_clock(Arc::new(ManualClock::new())));
+        let _guard = scope::install(ctx.clone());
+        let _ = run(&Synthetic { seed: 1, trials: 5 }, 4);
+        // Trial k sets its clock to 1000·(k+1); the merged maximum is
+        // the last trial's.
+        assert_eq!(ctx.clock.now_us(), 5_000);
+    }
+
+    #[test]
+    fn metrics_totals_match_trial_count() {
+        let ctx = Arc::new(ObsCtx::new().with_clock(Arc::new(ManualClock::new())));
+        let _guard = scope::install(ctx.clone());
+        let _ = run(&Synthetic { seed: 3, trials: 9 }, 16);
+        assert_eq!(ctx.registry.counter("synthetic.trials").get(), 9);
+        assert_eq!(ctx.registry.histogram("synthetic.draw").count(), 9);
+        assert_eq!(ctx.registry.gauge("synthetic.net").get(), 9);
+    }
+
+    #[test]
+    fn out_of_order_ordinals_merge_by_ordinal_not_position() {
+        struct Reversed;
+        impl Experiment for Reversed {
+            type Trial = u64;
+            type Output = Vec<u64>;
+            fn name(&self) -> &'static str {
+                "reversed"
+            }
+            fn trials(&self) -> Vec<TrialSpec> {
+                // Listed high-to-low: merge order must follow ordinals.
+                (0..6u64)
+                    .rev()
+                    .map(|i| TrialSpec::salted(i, i, format!("r{i}")))
+                    .collect()
+            }
+            fn run_trial(&self, spec: &TrialSpec) -> u64 {
+                spec.ordinal * 10
+            }
+            fn reduce(&self, trials: Vec<u64>) -> Vec<u64> {
+                trials
+            }
+        }
+        assert_eq!(run(&Reversed, 4), vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn timings_cover_every_trial_in_ordinal_order() {
+        let (_, timings) = run_timed(&Synthetic { seed: 2, trials: 7 }, 4);
+        assert_eq!(timings.len(), 7);
+        for (i, t) in timings.iter().enumerate() {
+            assert_eq!(t.ordinal, i as u64);
+            assert!(t.wall_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fork_seed_separates_experiments_and_ordinals() {
+        let a = fork_seed(1, "fig5a", 0);
+        assert_eq!(a, fork_seed(1, "fig5a", 0), "deterministic");
+        assert_ne!(a, fork_seed(1, "fig5a", 1), "ordinal-sensitive");
+        assert_ne!(a, fork_seed(1, "fig5b", 0), "label-sensitive");
+        assert_ne!(a, fork_seed(2, "fig5a", 0), "seed-sensitive");
+    }
+
+    #[test]
+    fn empty_trial_list_reduces_empty() {
+        struct Empty;
+        impl Experiment for Empty {
+            type Trial = u64;
+            type Output = usize;
+            fn name(&self) -> &'static str {
+                "empty"
+            }
+            fn trials(&self) -> Vec<TrialSpec> {
+                Vec::new()
+            }
+            fn run_trial(&self, _spec: &TrialSpec) -> u64 {
+                unreachable!("no trials")
+            }
+            fn reduce(&self, trials: Vec<u64>) -> usize {
+                trials.len()
+            }
+        }
+        assert_eq!(run(&Empty, 8), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Every `exp_*` binary must answer `--help` with the shared flag docs
+//! and exit 0 — the gate that keeps help text from drifting per binary.
+
+use std::process::Command;
+
+/// Every experiment binary in the crate. Compile-time resolved via
+/// `CARGO_BIN_EXE_*`, so adding a binary without listing it here is
+/// caught the moment someone greps for this list — and removing one
+/// breaks the build.
+const BINARIES: &[(&str, &str)] = &[
+    ("exp_all", env!("CARGO_BIN_EXE_exp_all")),
+    ("exp_chaos", env!("CARGO_BIN_EXE_exp_chaos")),
+    ("exp_extensions", env!("CARGO_BIN_EXE_exp_extensions")),
+    ("exp_fig1a", env!("CARGO_BIN_EXE_exp_fig1a")),
+    ("exp_fig1b", env!("CARGO_BIN_EXE_exp_fig1b")),
+    ("exp_fig1c", env!("CARGO_BIN_EXE_exp_fig1c")),
+    ("exp_fig2", env!("CARGO_BIN_EXE_exp_fig2")),
+    ("exp_fig5a", env!("CARGO_BIN_EXE_exp_fig5a")),
+    ("exp_fig5b", env!("CARGO_BIN_EXE_exp_fig5b")),
+    ("exp_fig5c", env!("CARGO_BIN_EXE_exp_fig5c")),
+    ("exp_fig6a", env!("CARGO_BIN_EXE_exp_fig6a")),
+    ("exp_fig6b", env!("CARGO_BIN_EXE_exp_fig6b")),
+    ("exp_fig7a", env!("CARGO_BIN_EXE_exp_fig7a")),
+    ("exp_fig7b", env!("CARGO_BIN_EXE_exp_fig7b")),
+    ("exp_fig7c", env!("CARGO_BIN_EXE_exp_fig7c")),
+    ("exp_scale", env!("CARGO_BIN_EXE_exp_scale")),
+    ("exp_table1", env!("CARGO_BIN_EXE_exp_table1")),
+    ("exp_table2", env!("CARGO_BIN_EXE_exp_table2")),
+    ("exp_table5", env!("CARGO_BIN_EXE_exp_table5")),
+    ("exp_table6", env!("CARGO_BIN_EXE_exp_table6")),
+    ("exp_table7", env!("CARGO_BIN_EXE_exp_table7")),
+    ("exp_wild", env!("CARGO_BIN_EXE_exp_wild")),
+    ("trace-report", env!("CARGO_BIN_EXE_trace-report")),
+];
+
+#[test]
+fn every_binary_answers_help_with_the_shared_flag_docs() {
+    for (name, path) in BINARIES {
+        let out = Command::new(path)
+            .arg("--help")
+            .output()
+            .unwrap_or_else(|e| panic!("{name}: failed to spawn: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} --help exited {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // trace_report has its own CLI surface; every exp_* binary must
+        // print the shared help verbatim (the anti-drift gate).
+        if name.starts_with("exp_") {
+            assert!(
+                text.contains(csaw_bench::cli::COMMON_HELP),
+                "{name} --help does not embed cli::COMMON_HELP verbatim:\n{text}"
+            );
+        }
+        assert!(!text.trim().is_empty(), "{name} --help printed nothing");
+    }
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_fig5a"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn exp_fig5a");
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr lacks usage: {err}");
+}

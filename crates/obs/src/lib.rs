@@ -6,7 +6,7 @@
 //! so, without dragging in external dependencies or wall-clock
 //! nondeterminism:
 //!
-//! - [`event`]: structured events and spans ([`event!`], [`span_us!`],
+//! - [`mod@event`]: structured events and spans ([`event!`], [`span_us!`],
 //!   [`event::span`]) flowing to a pluggable [`sink`] (null by default,
 //!   ring buffer, JSONL file, stderr, Chrome trace, flight recorder);
 //! - [`trace`]: causal identity — deterministic trace/span ids with
@@ -45,7 +45,7 @@
 //! assert!(snapshot.contains("db.hits"));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chrome;
@@ -65,7 +65,7 @@ pub use flight::FlightRecorder;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use scope::{current, install, set_global, ObsCtx, ScopeGuard};
-pub use sink::{JsonlSink, NullSink, RingSink, Sink, StderrSink, TeeSink};
+pub use sink::{BufferSink, JsonlSink, NullSink, RingSink, Sink, StderrSink, TeeSink};
 pub use trace::{SpanId, TraceCtx, TraceId};
 
 /// Increment the named counter in the current context by one.

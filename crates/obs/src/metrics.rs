@@ -186,6 +186,32 @@ impl Histogram {
         self.quantile_us(0.5).map(|us| us as f64 / 1e6)
     }
 
+    /// Fold another histogram's samples into this one. Buckets are
+    /// fixed at construction and identical across histograms, so the
+    /// merge is exact: counts and sums add, min/max tighten. Addition
+    /// commutes, so a merged snapshot is independent of merge order —
+    /// the property the parallel experiment runner's byte-equality
+    /// gate rests on.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let count = other.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_us
+            .fetch_min(other.min_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_us
+            .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     fn to_json(&self) -> JsonValue {
         let count = self.count();
         let mut v = JsonValue::obj();
@@ -254,6 +280,30 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut g = self.inner.lock().unwrap();
         g.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Fold every metric of `other` into this registry: counters and
+    /// gauges add, histograms merge bucket-wise ([`Histogram::merge_from`]).
+    ///
+    /// This is how the parallel experiment runner combines per-trial
+    /// metric arenas after the worker barrier. Counter/histogram
+    /// addition commutes, so the merged totals equal a serial run's
+    /// regardless of worker interleaving; gauges are summed as deltas
+    /// (a trial's net queue-depth change), which is likewise
+    /// order-independent. Callers that want a deterministic snapshot
+    /// should still merge in trial-ordinal order — that also pins the
+    /// order in which previously-unseen metric *names* are registered.
+    pub fn merge_from(&self, other: &Registry) {
+        let theirs = other.inner.lock().unwrap();
+        for (name, c) in &theirs.counters {
+            self.counter(name).add(c.get());
+        }
+        for (name, g) in &theirs.gauges {
+            self.gauge(name).add(g.get());
+        }
+        for (name, h) in &theirs.histograms {
+            self.histogram(name).merge_from(h);
+        }
     }
 
     /// A deterministic JSON snapshot of every metric.
@@ -435,6 +485,66 @@ mod tests {
             assert!(v >= prev, "q={q}: {v} < {prev}");
             prev = v;
         }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_commutative() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let reference = Histogram::default();
+        for v in [0u64, 1, 63, 64, 1_000, 1_000_000] {
+            a.observe_us(v);
+            reference.observe_us(v);
+        }
+        for v in [5u64, 70, 21_030_000] {
+            b.observe_us(v);
+            reference.observe_us(v);
+        }
+        // Merge a←b and, separately, b←a: identical totals either way.
+        let a2 = Histogram::default();
+        a2.merge_from(&b);
+        a2.merge_from(&a);
+        a.merge_from(&b);
+        for h in [&a, &a2] {
+            assert_eq!(h.count(), reference.count());
+            assert_eq!(h.sum_us(), reference.sum_us());
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile_us(q), reference.quantile_us(q), "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_empty_histogram_keeps_min_max_intact() {
+        let h = Histogram::default();
+        h.observe_us(500);
+        h.merge_from(&Histogram::default());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn registry_merge_matches_serial_reference() {
+        let serial = Registry::new();
+        let part1 = Registry::new();
+        let part2 = Registry::new();
+        for (r, n) in [(&part1, 3u64), (&part2, 7u64)] {
+            r.counter("ingest").add(n);
+            r.gauge("depth").add(n as i64 - 4);
+            r.histogram("lat").observe_us(n * 100);
+        }
+        for n in [3u64, 7] {
+            serial.counter("ingest").add(n);
+            serial.gauge("depth").add(n as i64 - 4);
+            serial.histogram("lat").observe_us(n * 100);
+        }
+        let merged = Registry::new();
+        merged.merge_from(&part1);
+        merged.merge_from(&part2);
+        assert_eq!(
+            merged.snapshot().to_string_pretty(),
+            serial.snapshot().to_string_pretty()
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Pluggable event sinks: null (default), bounded ring buffer, JSONL
-//! writer, and human-readable stderr. The Chrome-trace and
+//! Pluggable event sinks: null (default), bounded ring buffer,
+//! unbounded replay buffer (the parallel runner's per-trial arena),
+//! JSONL writer, and human-readable stderr. The Chrome-trace and
 //! flight-recorder sinks live in [`crate::chrome`] and
 //! [`crate::flight`].
 //!
 //! Telemetry must never propagate a panic: every internal lock is
-//! recovered on poison ([`lock_recover`]) — an event buffer left by a
+//! recovered on poison (`lock_recover`) — an event buffer left by a
 //! panicking thread is still perfectly good data.
 
 use crate::event::Event;
@@ -101,6 +102,64 @@ impl Sink for RingSink {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         b.push_back(event.clone());
+    }
+}
+
+/// Captures every event, unbounded and in emission order, for later
+/// replay into another sink.
+///
+/// This is the per-trial event arena the parallel experiment runner
+/// builds on: each trial records into its own `BufferSink`, and after
+/// the worker barrier the runner replays the buffers into the real sink
+/// in trial-ordinal order, so the merged stream is byte-identical to a
+/// serial run no matter how the workers interleaved.
+///
+/// Unlike [`RingSink`] it never drops (a trial's trace must be
+/// complete), and its [`Sink::enabled`] gate is fixed at construction:
+/// pass the *parent* sink's enabled state so instrumented code inside
+/// the trial skips event construction exactly when a serial run would
+/// have.
+#[derive(Debug)]
+pub struct BufferSink {
+    enabled: bool,
+    buf: Mutex<Vec<Event>>,
+}
+
+impl BufferSink {
+    /// A buffer whose emit gate mirrors `enabled` (the parent sink's
+    /// [`Sink::enabled`] at trial start).
+    pub fn new(enabled: bool) -> BufferSink {
+        BufferSink {
+            enabled,
+            buf: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take every buffered event, in emission order.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *lock_recover(&self.buf))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.buf).len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for BufferSink {
+    fn record(&self, event: &Event) {
+        if self.enabled {
+            lock_recover(&self.buf).push(event.clone());
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
     }
 }
 
@@ -237,6 +296,23 @@ mod tests {
         r.record(&ev("after", 2));
         let names: Vec<String> = r.drain().into_iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn buffer_sink_mirrors_parent_gate_and_replays_in_order() {
+        let on = BufferSink::new(true);
+        assert!(on.enabled());
+        on.record(&ev("a", 1));
+        on.record(&ev("b", 2));
+        assert_eq!(on.len(), 2);
+        let names: Vec<String> = on.take().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(on.is_empty());
+
+        let off = BufferSink::new(false);
+        assert!(!off.enabled());
+        off.record(&ev("dropped", 3));
+        assert!(off.take().is_empty(), "disabled buffer must not retain");
     }
 
     #[test]

@@ -11,13 +11,13 @@
 //!
 //! **Determinism contract.** Identifiers are derived *only* from the
 //! experiment seed, a stream tag, and a per-client ordinal — never from
-//! wall clock or addresses — via [`derive`]. Span ids are the trace id
+//! wall clock or addresses — via [`derive()`]. Span ids are the trace id
 //! mixed with a per-trace sequence number assigned in emission order.
 //! Two same-seed runs therefore produce byte-identical traces.
 //!
 //! Context is carried on a thread-local frame stack, mirroring
 //! [`crate::scope`]: [`root`] opens a trace (one per fetch), [`child`]
-//! opens a nested span, and every emission in [`crate::event`] annotates
+//! opens a nested span, and every emission in [`mod@crate::event`] annotates
 //! itself with the innermost frame. With no active trace the module is
 //! inert and emission behaves exactly as before.
 //!
@@ -75,7 +75,7 @@ impl std::fmt::Display for SpanId {
     }
 }
 
-/// Well-known stream tags for [`derive`], so different kinds of traces
+/// Well-known stream tags for [`derive()`], so different kinds of traces
 /// from the same seed never collide.
 pub mod stream {
     /// User fetches (`csaw::client` requests, experiment fetch loops).

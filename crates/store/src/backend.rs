@@ -1,7 +1,7 @@
 //! The storage backend abstraction and the append-only JSONL backend.
 //!
 //! [`StorageBackend`] is the seam the server front-end programs against:
-//! the in-memory [`ShardedStore`](crate::shard::ShardedStore) for
+//! the in-memory [`ShardedStore`] for
 //! simulation runs, [`JsonlStore`] when the deployment needs the global
 //! DB to survive a restart, or anything custom injected through the
 //! builder.

@@ -31,8 +31,36 @@
 //! Telemetry flows through `csaw-obs` (`store.ingest.*`,
 //! `store.cache.*`, `store.records`, per-shard gauges); hot paths use
 //! handles pre-resolved at construction.
+//!
+//! ## Example
+//!
+//! Ingest one client's batch, then read the AS's blocked list back:
+//!
+//! ```
+//! use csaw_store::{Batch, ConfidenceFilter, Report, ShardedStore, StorageBackend, Uuid};
+//! use csaw_censor::blocking::BlockingType;
+//! use csaw_simnet::time::SimTime;
+//! use csaw_simnet::topology::Asn;
+//!
+//! let store = ShardedStore::new(8)?;
+//! let batch = Batch::new(
+//!     Uuid::from_raw(1),
+//!     vec![Report {
+//!         url: "http://blocked.example/".into(),
+//!         asn: 17557,
+//!         measured_at_us: 1_000_000,
+//!         stages: vec![BlockingType::DnsNxdomain],
+//!     }],
+//!     SimTime::from_secs(2),
+//! );
+//! let receipt = store.ingest(&batch)?;
+//! assert_eq!(receipt.accepted, 1);
+//! let blocked = store.blocked_for_as(Asn(17557), &ConfidenceFilter::default());
+//! assert_eq!(blocked.len(), 1);
+//! # Ok::<(), csaw_store::StoreError>(())
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backend;
