@@ -1,0 +1,87 @@
+//! Allocation accounting for the perf scorecard.
+//!
+//! Thin façade over `csaw-perf-alloc`: with the `perf-telemetry`
+//! feature the counting global allocator is installed and
+//! [`snapshot`] reads live totals; without it everything here is a
+//! zero-cost stub that reads zeros and reports itself disabled. Callers
+//! bracket a phase with two snapshots and subtract — scorecards record
+//! the delta only when [`enabled`] is true, so a stock build never
+//! writes misleading zeros as if they were measurements.
+
+/// Allocator totals at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events (alloc + alloc_zeroed + realloc).
+    pub allocs: u64,
+    /// Bytes requested across those events.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// The growth from `earlier` to `self` (saturating: snapshots from
+    /// different process runs make no sense and clamp to zero).
+    pub fn delta_since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Whether this build counts allocations (`perf-telemetry` feature).
+pub fn enabled() -> bool {
+    #[cfg(feature = "perf-telemetry")]
+    {
+        csaw_perf_alloc::counting()
+    }
+    #[cfg(not(feature = "perf-telemetry"))]
+    {
+        false
+    }
+}
+
+/// Process-wide allocator totals since start (zeros when disabled).
+pub fn snapshot() -> AllocSnapshot {
+    #[cfg(feature = "perf-telemetry")]
+    {
+        let (allocs, bytes) = csaw_perf_alloc::snapshot();
+        AllocSnapshot { allocs, bytes }
+    }
+    #[cfg(not(feature = "perf-telemetry"))]
+    {
+        AllocSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_zero_when_disabled() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 4,
+            bytes: 40,
+        };
+        assert_eq!(
+            a.delta_since(&b),
+            AllocSnapshot {
+                allocs: 6,
+                bytes: 60
+            }
+        );
+        assert_eq!(b.delta_since(&a), AllocSnapshot::default());
+        if !enabled() {
+            assert_eq!(snapshot(), AllocSnapshot::default());
+        }
+    }
+
+    #[test]
+    fn enabled_tracks_feature() {
+        assert_eq!(enabled(), cfg!(feature = "perf-telemetry"));
+    }
+}

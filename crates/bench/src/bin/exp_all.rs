@@ -7,14 +7,26 @@
 //! Experiments with no parallel decomposition (table7, fig6b,
 //! propagation) run as one-trial experiments through the same runner.
 //!
-//! Besides the stdout report, the binary records per-experiment wall
-//! timings in `<out-dir>/<seed>/summary.json` (`--out-dir` defaults to
-//! `runs`). Timings are wall-clock and therefore *not* deterministic —
-//! they live in the JSON artifact and on stderr, never in stdout.
+//! Besides the stdout report, the binary writes three artifacts under
+//! `<out-dir>/<seed>/` (`--out-dir` defaults to `runs`):
+//!
+//! - `summary.json` — per-experiment wall timings (not deterministic;
+//!   they also go to stderr, never stdout);
+//! - `metrics.json` — per-experiment metrics snapshots, taken from a
+//!   child observability scope installed around each experiment (the
+//!   process-wide `--metrics-out` snapshot only shows totals);
+//! - `BENCH_seed<seed>.json` — the scorecard: a deterministic FNV-1a
+//!   digest of every experiment's stdout block (so CI's fingerprint
+//!   diff catches nondeterminism anywhere in the sweep) plus the wall
+//!   timings as tolerance-banded timing fields for `perf-report`.
 
 use csaw_bench::experiments as e;
 use csaw_bench::runner::{self, single_trial};
+use csaw_bench::scorecard::{self, Scorecard};
 use csaw_obs::event::progress;
+use csaw_obs::json::JsonValue;
+use csaw_obs::scope::{self, ObsCtx};
+use std::sync::Arc;
 use std::time::Instant;
 
 type Exp = (&'static str, fn(u64, usize) -> String);
@@ -60,10 +72,60 @@ const EXTENSIONS: &[Exp] = &[
     }),
 ];
 
+/// One experiment's artifacts: rendered stdout, wall seconds, metrics.
+struct ExpRun {
+    name: &'static str,
+    wall_s: f64,
+    digest: String,
+    metrics: JsonValue,
+}
+
+/// Run one experiment inside a child observability scope (fresh
+/// registry, everything else inherited), so its metrics can be
+/// snapshotted in isolation; the child registry is merged back into the
+/// parent afterwards to keep `--metrics-out` totals whole.
+fn run_scoped(
+    parent: &Arc<ObsCtx>,
+    name: &'static str,
+    run: fn(u64, usize) -> String,
+    seed: u64,
+    jobs: usize,
+) -> ExpRun {
+    progress(&format!("running {name}"));
+    let child = Arc::new(
+        ObsCtx::new()
+            .with_clock(parent.clock.clone())
+            .with_sink(parent.sink.clone())
+            .with_verbosity(parent.verbosity)
+            .with_perf(parent.perf_mode()),
+    );
+    let t0 = Instant::now();
+    let out = {
+        let _guard = scope::install(child.clone());
+        run(seed, jobs)
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    println!("{out}");
+    parent.registry.merge_from(&child.registry);
+    ExpRun {
+        name,
+        wall_s,
+        digest: scorecard::digest64(&out),
+        metrics: child.registry.snapshot(),
+    }
+}
+
+fn write_or_die(path: &std::path::Path, text: String) {
+    if let Err(err) = std::fs::write(path, text) {
+        eprintln!("exp_all: cannot write {}: {err}", path.display());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let (cli, extras) = csaw_bench::cli::ExpCli::parse_with_extras(&[(
         "--out-dir",
-        "directory for the <seed>/summary.json artifact (default runs)",
+        "directory for the <seed>/ artifacts (default runs)",
     )]);
     let out_dir = std::path::PathBuf::from(
         extras
@@ -74,21 +136,15 @@ fn main() {
     let seed = cli.seed;
     let jobs = cli.jobs;
     let started = Instant::now();
-    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut runs: Vec<ExpRun> = Vec::new();
 
     println!("=== C-Saw reproduction: full experiment sweep (seed {seed}) ===\n");
     for (name, run) in EXPERIMENTS {
-        progress(&format!("running {name}"));
-        let t0 = Instant::now();
-        println!("{}", run(seed, jobs));
-        timings.push((name, t0.elapsed().as_secs_f64()));
+        runs.push(run_scoped(cli.ctx(), name, *run, seed, jobs));
     }
     println!("--- extensions (§8 future-work questions) ---\n");
     for (name, run) in EXTENSIONS {
-        progress(&format!("running {name}"));
-        let t0 = Instant::now();
-        println!("{}", run(seed, jobs));
-        timings.push((name, t0.elapsed().as_secs_f64()));
+        runs.push(run_scoped(cli.ctx(), name, *run, seed, jobs));
     }
     let total_s = started.elapsed().as_secs_f64();
 
@@ -97,27 +153,59 @@ fn main() {
         eprintln!("exp_all: cannot create {}: {err}", dir.display());
         std::process::exit(1);
     }
+
+    // summary.json: the wall timings (kept for EXPERIMENTS.md tooling).
     let mut json = format!(
         "{{\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_s:.3},\n  \"experiments\": [\n"
     );
-    for (i, (name, wall_s)) in timings.iter().enumerate() {
-        let sep = if i + 1 < timings.len() { "," } else { "" };
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"wall_s\": {wall_s:.3}}}{sep}\n"
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}}}{sep}\n",
+            r.name, r.wall_s
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = dir.join("summary.json");
-    if let Err(err) = std::fs::write(&path, json) {
-        eprintln!("exp_all: cannot write {}: {err}", path.display());
+    let summary_path = dir.join("summary.json");
+    write_or_die(&summary_path, json);
+
+    // metrics.json: one registry snapshot per experiment (deterministic
+    // in the seed, like the per-binary --metrics-out snapshots).
+    let mut metrics = JsonValue::obj();
+    metrics.set("seed", seed);
+    let mut per_exp = JsonValue::obj();
+    for r in &runs {
+        per_exp.set(r.name, r.metrics.clone());
+    }
+    metrics.set("experiments", per_exp);
+    let metrics_path = dir.join("metrics.json");
+    write_or_die(&metrics_path, metrics.to_string_pretty() + "\n");
+
+    // The scorecard: stdout digests are the deterministic section, wall
+    // timings the timing section.
+    let mut card = Scorecard::new("exp_all", seed);
+    let mut digests = JsonValue::obj();
+    let mut walls = JsonValue::obj();
+    for r in &runs {
+        digests.set(r.name, r.digest.as_str());
+        walls.set(r.name, r.wall_s);
+    }
+    card.deterministic.set("stdout_digests", digests);
+    card.timing.set("experiment_wall_s", walls);
+    card.timing.set("total_wall_s", total_s);
+    let card_path = dir.join(format!("BENCH_seed{seed}.json"));
+    if let Err(err) = card.write(&card_path) {
+        eprintln!("exp_all: cannot write {}: {err}", card_path.display());
         std::process::exit(1);
     }
 
     eprintln!("exp_all: per-experiment wall timings (jobs={jobs}):");
-    for (name, wall_s) in &timings {
-        eprintln!("  {name:<18}{wall_s:>8.2}s");
+    for r in &runs {
+        eprintln!("  {:<18}{:>8.2}s", r.name, r.wall_s);
     }
     eprintln!("  {:<18}{total_s:>8.2}s", "total");
-    eprintln!("exp_all: summary -> {}", path.display());
+    eprintln!("exp_all: summary -> {}", summary_path.display());
+    eprintln!("exp_all: metrics -> {}", metrics_path.display());
+    eprintln!("exp_all: scorecard -> {}", card_path.display());
     cli.finish();
 }

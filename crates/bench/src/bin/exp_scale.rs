@@ -2,11 +2,20 @@
 //!
 //! ```text
 //! exp_scale [--clients N] [--threads 1,2,4,8] [--shards N] [--lookups N]
+//!           [--bench-out PATH]
 //! ```
 //!
 //! Defaults to one million clients; CI smoke runs use `--clients 10000`.
+//!
+//! Every run writes the machine-readable scorecard (`BENCH_<seed>.json`
+//! by default, `--bench-out` to relocate, `--bench-out none` to skip) —
+//! feed it to `perf-report` for the attribution table and the CI
+//! regression gate. Perf telemetry defaults to `--perf wall` here, so
+//! the scorecard carries real lock wait/hold attribution.
 
 use csaw_bench::experiments::scale::{self, ScaleConfig};
+use csaw_bench::scorecard;
+use csaw_obs::PerfMode;
 
 fn numeric<T: std::str::FromStr>(
     extras: &std::collections::HashMap<String, String>,
@@ -31,7 +40,12 @@ fn main() {
         ),
         ("--shards", "store shard count (default 16)"),
         ("--lookups", "read-path lookups to time (default 10000)"),
+        (
+            "--bench-out",
+            "scorecard path (default BENCH_<seed>.json; 'none' disables)",
+        ),
     ]);
+    cli.default_perf(PerfMode::Monotonic);
     let mut cfg = ScaleConfig {
         clients: numeric(&extras, "--clients", 1_000_000),
         shards: numeric(&extras, "--shards", 16),
@@ -53,6 +67,19 @@ fn main() {
             std::process::exit(2);
         }
     }
-    println!("{}", scale::run_with(cli.seed, cfg).render());
+    let result = scale::run_with(cli.seed, cfg);
+    println!("{}", result.render());
+    let bench_out = extras.get("--bench-out").map(String::as_str);
+    if bench_out != Some("none") {
+        let path = bench_out
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| scorecard::default_path(cli.seed));
+        let card = result.scorecard(cli.seed);
+        if let Err(e) = card.write(&path) {
+            eprintln!("exp_scale: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("exp_scale: scorecard -> {}", path.display());
+    }
     cli.finish();
 }

@@ -1,0 +1,124 @@
+//! Render and gate on benchmark scorecards.
+//!
+//! ```text
+//! perf-report BENCH_seed1.json                      # attribution table
+//! perf-report BENCH_seed1.json --fingerprint        # deterministic bytes only
+//! perf-report new.json --baseline BENCH_seed1.json  # CI regression gate
+//! perf-report BENCH_seed1.json --trace trace.json   # join with trace spans
+//! ```
+//!
+//! Exit codes: 0 ok, 2 usage/IO error, 3 timing regression against the
+//! baseline, 4 deterministic-field mismatch (a correctness bug, not a
+//! perf regression — it outranks 3 when both occur).
+
+use csaw_bench::perfreport;
+use csaw_bench::scorecard::Scorecard;
+use csaw_bench::tracereport;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: perf-report CARD.json [flags]
+
+  --baseline FILE   compare against a baseline scorecard; exit 3 on a
+                    timing regression, 4 on a deterministic mismatch
+  --tolerance F     relative timing band for --baseline (default 0.25)
+  --fingerprint     print only the deterministic fingerprint and exit
+                    (two same-seed runs must print identical bytes)
+  --trace FILE      also aggregate a trace file (Chrome-trace or JSONL)
+                    into per-span totals alongside the attribution";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("perf-report: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut card_path: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
+    let mut fingerprint = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--trace" => trace = Some(PathBuf::from(value("--trace"))),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                tolerance = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| fail_usage(&format!("bad --tolerance {v:?}")));
+            }
+            "--fingerprint" => fingerprint = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with('-') => fail_usage(&format!("unknown flag {flag:?}")),
+            path if card_path.is_none() => card_path = Some(PathBuf::from(path)),
+            extra => fail_usage(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    let Some(card_path) = card_path else {
+        fail_usage("a scorecard path is required");
+    };
+    let card = Scorecard::load(&card_path).unwrap_or_else(|e| fail_usage(&e));
+
+    if fingerprint {
+        // Bytes only: CI diffs this output across two same-seed runs.
+        print!("{}", card.fingerprint());
+        return;
+    }
+
+    print!("{}", perfreport::attribution(&card));
+
+    if let Some(trace_path) = &trace {
+        let text = std::fs::read_to_string(trace_path)
+            .unwrap_or_else(|e| fail_usage(&format!("{}: {e}", trace_path.display())));
+        let events =
+            tracereport::parse_events(&text).unwrap_or_else(|e| fail_usage(&e.to_string()));
+        // Spans aggregate by duration; instant events still show up
+        // with a count so a span-less trace is not rendered as empty.
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for ev in &events {
+            let e = by_name.entry(ev.name.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += ev.dur_us.unwrap_or(0);
+        }
+        let mut spans: Vec<_> = by_name.into_iter().collect();
+        spans.sort_by(|a, b| {
+            b.1 .1
+                .cmp(&a.1 .1)
+                .then(b.1 .0.cmp(&a.1 .0))
+                .then(a.0.cmp(b.0))
+        });
+        println!(
+            "\ntrace events by total span time ({}):",
+            trace_path.display()
+        );
+        for (name, (count, total_us)) in spans.iter().take(15) {
+            println!("  {name:<32} {total_us:>10}µs  ({count} events)");
+        }
+    }
+
+    if let Some(base_path) = &baseline {
+        let base = Scorecard::load(base_path).unwrap_or_else(|e| fail_usage(&e));
+        let cmp = perfreport::compare(&card, &base, tolerance);
+        print!("\n{}", cmp.render());
+        if !cmp.deterministic_mismatches.is_empty() {
+            std::process::exit(4);
+        }
+        if !cmp.timing_regressions.is_empty() {
+            std::process::exit(3);
+        }
+    }
+}

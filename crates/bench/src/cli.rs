@@ -15,6 +15,7 @@
 
 use csaw_obs::chrome::ChromeTraceSink;
 use csaw_obs::clock::ManualClock;
+use csaw_obs::contention::PerfMode;
 use csaw_obs::scope::{self, ObsCtx, ScopeGuard};
 use csaw_obs::sink::{JsonlSink, NullSink, Sink, StderrSink};
 use std::collections::HashMap;
@@ -32,6 +33,10 @@ pub const COMMON_HELP: &str = "\
   --trace-out PATH    write trace events; `.json` selects Chrome-trace
                       format (chrome://tracing, Perfetto), anything else
                       streams raw JSONL events
+  --perf MODE         perf-attribution telemetry: off | virtual | wall
+                      (off unless the binary documents another default;
+                      wall records real lock wait/hold time and so makes
+                      snapshots machine-dependent)
   -v, --verbose       progress events to stderr (stdout stays parseable)";
 
 /// Parsed telemetry flags plus the installed observability scope.
@@ -41,6 +46,10 @@ pub struct ExpCli {
     /// Worker threads for independent trials (`--jobs`, default 1;
     /// `--jobs 0` resolves to the number of available cores).
     pub jobs: usize,
+    /// Perf-attribution mode from `--perf`, `None` when the flag was
+    /// absent (so a binary can apply its own default via
+    /// [`ExpCli::default_perf`]).
+    pub perf: Option<PerfMode>,
     metrics_out: Option<PathBuf>,
     ctx: Arc<ObsCtx>,
     // Keeps the thread-local scope alive for the binary's lifetime.
@@ -95,6 +104,7 @@ impl ExpCli {
             .unwrap_or_else(|| "exp".into());
         let mut seed = 1u64;
         let mut jobs = 1usize;
+        let mut perf: Option<PerfMode> = None;
         let mut metrics_out = None;
         let mut trace_out: Option<PathBuf> = None;
         let mut verbosity = 0u8;
@@ -126,6 +136,13 @@ impl ExpCli {
                             .map(|n| n.get())
                             .unwrap_or(1);
                     }
+                }
+                "--perf" => {
+                    let v = value("--perf");
+                    perf = Some(PerfMode::parse(&v).unwrap_or_else(|| {
+                        eprintln!("{bin}: bad --perf {v:?} (off | virtual | wall)");
+                        std::process::exit(2);
+                    }));
                 }
                 "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
                 "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
@@ -170,6 +187,9 @@ impl ExpCli {
                 .with_sink(sink)
                 .with_verbosity(verbosity),
         );
+        if let Some(mode) = perf {
+            ctx.set_perf_mode(mode);
+        }
         // Thread-local for this (main) thread, global fallback for any
         // worker threads the experiment spawns.
         scope::set_global(ctx.clone());
@@ -177,11 +197,21 @@ impl ExpCli {
         let cli = ExpCli {
             seed,
             jobs,
+            perf,
             metrics_out,
             ctx,
             _guard: guard,
         };
         (cli, extras)
+    }
+
+    /// Apply a binary-specific default perf mode when `--perf` was not
+    /// given (exp_scale defaults to `wall` so every run yields an
+    /// attributable scorecard; everything else stays `off`).
+    pub fn default_perf(&self, mode: PerfMode) {
+        if self.perf.is_none() {
+            self.ctx.set_perf_mode(mode);
+        }
     }
 
     /// The installed observability context.
@@ -249,6 +279,27 @@ mod tests {
         assert!(u.contains("--jobs N"), "jobs documented");
         assert!(u.contains("--clients VALUE"));
         assert!(u.contains("worker clients"));
+    }
+
+    #[test]
+    fn perf_flag_sets_scope_mode_and_default_perf_defers_to_it() {
+        let cli = ExpCli::from_args(&argv(&[]));
+        assert_eq!(cli.perf, None);
+        assert_eq!(cli.ctx.perf_mode(), PerfMode::Off);
+        cli.default_perf(PerfMode::Monotonic);
+        assert_eq!(cli.ctx.perf_mode(), PerfMode::Monotonic, "binary default");
+
+        let cli = ExpCli::from_args(&argv(&["--perf", "virtual"]));
+        assert_eq!(cli.perf, Some(PerfMode::Virtual));
+        assert_eq!(cli.ctx.perf_mode(), PerfMode::Virtual);
+        cli.default_perf(PerfMode::Monotonic);
+        assert_eq!(
+            cli.ctx.perf_mode(),
+            PerfMode::Virtual,
+            "explicit flag wins over the binary default"
+        );
+        let cli = ExpCli::from_args(&argv(&["--perf", "wall"]));
+        assert_eq!(cli.perf, Some(PerfMode::Monotonic));
     }
 
     #[test]

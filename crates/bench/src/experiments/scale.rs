@@ -29,8 +29,12 @@
 //! numbers. Everything else (accepted/rejected counts, record counts,
 //! lookup result sizes) is deterministic in the seed.
 
+use crate::alloc_track::{self, AllocSnapshot};
+use crate::scorecard::{LockProbe, LockTotals, Scorecard};
 use csaw::global::{Batch, ConfidenceFilter, RegistrarConfig, Report, ServerDb, Uuid};
 use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::JsonValue;
+use csaw_obs::PerfMode;
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
@@ -41,6 +45,19 @@ const REPORTS_PER_CLIENT: usize = 4;
 
 /// Every n-th client includes one garbage report (rejected path).
 const GARBAGE_EVERY: usize = 16;
+
+/// The `lock.<family>` metric sets the ingest phase is attributed
+/// against — every timed lock the store takes on the write path.
+pub const LOCK_FAMILIES: &[&str] = &[
+    "store.shard.records.read",
+    "store.shard.records.write",
+    "store.shard.cache",
+    "store.ledger.clients.read",
+    "store.ledger.clients.write",
+    "store.ledger.keys.read",
+    "store.ledger.keys.write",
+    "store.wal.log",
+];
 
 /// Harness knobs (all settable from the `exp_scale` command line).
 #[derive(Debug, Clone)]
@@ -91,6 +108,28 @@ pub struct ScaleRow {
     pub lookup_p50_us: u64,
     /// 99th-percentile `blocked_for_as` latency, µs.
     pub lookup_p99_us: u64,
+    /// Ingest-phase attribution, present when the run's observability
+    /// scope has `PerfMode::Monotonic` enabled (`--perf wall`).
+    pub perf: Option<RowPerf>,
+}
+
+/// Where one row's ingest wall time went: thread-seconds spent building
+/// batches, inside `ingest` calls, and waiting on / holding each timed
+/// lock family, plus allocator deltas when the counting allocator is
+/// compiled in (`perf-telemetry` feature).
+#[derive(Debug, Clone)]
+pub struct RowPerf {
+    /// Thread-seconds spent in `batch_for` (workload synthesis — harness
+    /// cost, not store cost).
+    pub build_s: f64,
+    /// Thread-seconds spent inside `ServerDb::ingest` calls.
+    pub call_s: f64,
+    /// Ingest-phase delta per lock family, nonzero families only, in
+    /// [`LOCK_FAMILIES`] order.
+    pub locks: Vec<(String, LockTotals)>,
+    /// Allocator events/bytes during ingest (None without the
+    /// `perf-telemetry` feature — absence is distinct from zero).
+    pub allocs: Option<AllocSnapshot>,
 }
 
 /// The full sweep result.
@@ -178,9 +217,27 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
         })
         .collect();
 
+    // Perf attribution (only under `--perf wall`): bracket the ingest
+    // phase with lock-family and allocator readings, and have each
+    // writer sum its own batch-build and ingest-call time. Probes read
+    // the scope registry the store's TimedMutex/TimedRwLock stats were
+    // resolved against at construction just above.
+    let perf = csaw_obs::current().perf_mode() == PerfMode::Monotonic;
+    let probes: Vec<LockProbe> = if perf {
+        let ctx = csaw_obs::current();
+        LOCK_FAMILIES
+            .iter()
+            .map(|f| LockProbe::new(&ctx.registry, f))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let lock_before: Vec<LockTotals> = probes.iter().map(LockProbe::totals).collect();
+    let alloc_before = alloc_track::snapshot();
+
     let chunk = cfg.clients.div_ceil(threads.max(1));
     let started = Instant::now();
-    let (accepted, rejected) = std::thread::scope(|s| {
+    let (accepted, rejected, build_ns, call_ns) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let server = &server;
@@ -189,22 +246,48 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(cfg.clients);
                     let (mut acc, mut rej) = (0u64, 0u64);
+                    let (mut build, mut call) = (0u64, 0u64);
                     for (idx, &uuid) in uuids.iter().enumerate().take(hi).skip(lo) {
-                        let batch = batch_for(seed, idx, uuid, cfg);
-                        let receipt = server.ingest(batch).expect("registered client");
-                        acc += receipt.accepted as u64;
-                        rej += receipt.rejected as u64;
+                        if perf {
+                            let t0 = Instant::now();
+                            let batch = batch_for(seed, idx, uuid, cfg);
+                            let t1 = Instant::now();
+                            let receipt = server.ingest(batch).expect("registered client");
+                            call += t1.elapsed().as_nanos() as u64;
+                            build += (t1 - t0).as_nanos() as u64;
+                            acc += receipt.accepted as u64;
+                            rej += receipt.rejected as u64;
+                        } else {
+                            let batch = batch_for(seed, idx, uuid, cfg);
+                            let receipt = server.ingest(batch).expect("registered client");
+                            acc += receipt.accepted as u64;
+                            rej += receipt.rejected as u64;
+                        }
                     }
-                    (acc, rej)
+                    (acc, rej, build, call)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("writer thread panicked"))
-            .fold((0u64, 0u64), |(a, r), (da, dr)| (a + da, r + dr))
+            .fold(
+                (0u64, 0u64, 0u64, 0u64),
+                |(a, r, b, c), (da, dr, db, dc)| (a + da, r + dr, b + db, c + dc),
+            )
     });
     let ingest_secs = started.elapsed().as_secs_f64();
+    let row_perf = perf.then(|| RowPerf {
+        build_s: build_ns as f64 / 1e9,
+        call_s: call_ns as f64 / 1e9,
+        locks: probes
+            .iter()
+            .zip(&lock_before)
+            .map(|(p, before)| (p.name.clone(), p.totals().delta_since(before)))
+            .filter(|(_, t)| !t.is_zero())
+            .collect(),
+        allocs: alloc_track::enabled().then(|| alloc_track::snapshot().delta_since(&alloc_before)),
+    });
     let total_reports = (cfg.clients * REPORTS_PER_CLIENT) as f64;
     csaw_obs::observe_secs("exp.scale.ingest", ingest_secs);
 
@@ -244,6 +327,7 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
         records: server.store().record_count(),
         lookup_p50_us: pct(0.50),
         lookup_p99_us: pct(0.99),
+        perf: row_perf,
     }
 }
 
@@ -305,6 +389,67 @@ impl Scale {
         }
         out
     }
+
+    /// The machine-readable scorecard for this sweep (`BENCH_<seed>.json`).
+    ///
+    /// Seed-pure counts (config echo, accepted/rejected/records,
+    /// per-family lock acquisitions, allocs/report) go in the
+    /// `deterministic` section — two same-seed runs of the same build
+    /// must agree byte-for-byte there. Wall-clock measurements
+    /// (throughput, latency percentiles, wait/hold sums) go in `timing`.
+    pub fn scorecard(&self, seed: u64) -> Scorecard {
+        let mut card = Scorecard::new("exp_scale", seed);
+        let mut config = JsonValue::obj();
+        config.set("clients", self.cfg.clients);
+        config.set("reports_per_client", REPORTS_PER_CLIENT);
+        config.set("shards", self.cfg.shards);
+        config.set("urls", self.cfg.urls);
+        config.set("asns", self.cfg.asns);
+        config.set("lookups", self.cfg.lookups);
+        let mut det_rows: Vec<JsonValue> = Vec::with_capacity(self.rows.len());
+        let mut timing_rows: Vec<JsonValue> = Vec::with_capacity(self.rows.len());
+        for r in &self.rows {
+            let mut d = JsonValue::obj();
+            d.set("threads", r.threads);
+            d.set("accepted", r.accepted);
+            d.set("rejected", r.rejected);
+            d.set("records", r.records);
+            let mut t = JsonValue::obj();
+            t.set("threads", r.threads);
+            t.set("ingest_secs", r.ingest_secs);
+            t.set("reports_per_sec", r.reports_per_sec);
+            t.set("lookup_p50_us", r.lookup_p50_us);
+            t.set("lookup_p99_us", r.lookup_p99_us);
+            if let Some(p) = &r.perf {
+                let mut acquires = JsonValue::obj();
+                let mut locks = JsonValue::obj();
+                for (name, tot) in &p.locks {
+                    acquires.set(name, tot.acquires);
+                    let mut l = JsonValue::obj();
+                    l.set("contended", tot.contended);
+                    l.set("wait_us", tot.wait_us);
+                    l.set("hold_us", tot.hold_us);
+                    locks.set(name, l);
+                }
+                d.set("lock_acquires", acquires);
+                t.set("build_s", p.build_s);
+                t.set("call_s", p.call_s);
+                t.set("locks", locks);
+                if let Some(a) = &p.allocs {
+                    let reports = (r.accepted + r.rejected).max(1);
+                    d.set("allocs_per_report", a.allocs / reports);
+                    t.set("allocs", a.allocs);
+                    t.set("alloc_bytes", a.bytes);
+                }
+            }
+            det_rows.push(d);
+            timing_rows.push(t);
+        }
+        card.deterministic.set("config", config);
+        card.deterministic.set("rows", det_rows);
+        card.timing.set("rows", timing_rows);
+        card
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +484,50 @@ mod tests {
         let s2 = run_with(9, tiny());
         assert_eq!(s.rows[0].accepted, s2.rows[0].accepted);
         assert_eq!(s.rows[0].records, s2.rows[0].records);
+    }
+
+    #[test]
+    fn perf_capture_off_by_default_and_scorecard_still_valid() {
+        let s = run_with(9, tiny());
+        assert!(
+            s.rows.iter().all(|r| r.perf.is_none()),
+            "no attribution without an explicit perf mode"
+        );
+        let card = s.scorecard(9);
+        assert_eq!(card.experiment, "exp_scale");
+        assert!(!card.fingerprint().contains("lock_acquires"));
+    }
+
+    #[test]
+    fn perf_capture_and_scorecard_fingerprint_are_seed_pure() {
+        use csaw_obs::{install, ObsCtx, PerfMode};
+        use std::sync::Arc;
+        let run = || {
+            let ctx = Arc::new(ObsCtx::new().with_perf(PerfMode::Monotonic));
+            let _g = install(ctx);
+            let s = run_with(11, tiny());
+            let p = s.rows[0].perf.as_ref().expect("perf rows under wall mode");
+            assert!(p.build_s >= 0.0 && p.call_s >= 0.0);
+            assert!(
+                p.locks
+                    .iter()
+                    .any(|(n, t)| n == "store.shard.records.write" && t.acquires > 0),
+                "ingest must acquire the shard write lock: {:?}",
+                p.locks
+            );
+            s.scorecard(11)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "deterministic section must be byte-stable across same-seed runs"
+        );
+        assert!(a.fingerprint().contains("lock_acquires"));
+        assert!(
+            !a.fingerprint().contains("reports_per_sec"),
+            "wall-clock numbers must stay out of the fingerprint"
+        );
     }
 
     #[test]

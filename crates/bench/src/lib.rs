@@ -8,13 +8,22 @@
 //! Binaries: one `exp_*` per artifact plus `exp_all` (which writes the
 //! full report consumed by `EXPERIMENTS.md`). Criterion micro-benchmarks
 //! for the hot paths live under `benches/`.
+//!
+//! Perf attribution rides on `csaw_obs::contention` plus three local
+//! pieces: [`alloc_track`] (allocs/report via the optional counting
+//! allocator), [`scorecard`] (the machine-readable `BENCH_<seed>.json`
+//! every scale run writes), and [`perfreport`] (the attribution table
+//! and the CI tolerance gate behind the `perf-report` binary).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_track;
 pub mod cli;
 pub mod experiments;
+pub mod perfreport;
 pub mod runner;
+pub mod scorecard;
 pub mod stats;
 pub mod tracereport;
 pub mod workload;

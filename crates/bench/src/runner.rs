@@ -61,12 +61,13 @@
 //! ```
 
 use csaw_obs::clock::ManualClock;
-use csaw_obs::metrics::Registry;
+use csaw_obs::contention::{LockStats, PerfMode, TimedMutex};
+use csaw_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use csaw_obs::scope::{self, ObsCtx};
 use csaw_obs::sink::{BufferSink, Sink};
 use csaw_obs::Event;
 use csaw_simnet::rng::DetRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -249,6 +250,14 @@ pub fn run_timed<E: Experiment>(exp: &E, jobs: usize) -> (E::Output, Vec<TrialTi
     (exp.reduce(trials), timings)
 }
 
+/// Pre-resolved handles for the runner's own scheduling telemetry
+/// (recorded only under [`PerfMode::Monotonic`], parallel path only).
+struct RunnerStats {
+    steals: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    idle_us: Arc<Histogram>,
+}
+
 /// Everything a trial leaves behind: its value plus its observability
 /// arena, carried back to the merge step.
 struct TrialResult<T> {
@@ -259,7 +268,13 @@ struct TrialResult<T> {
     wall_s: f64,
 }
 
-fn run_one<T, F>(spec: &TrialSpec, run: &F, enabled: bool, verbosity: u8) -> TrialResult<T>
+fn run_one<T, F>(
+    spec: &TrialSpec,
+    run: &F,
+    enabled: bool,
+    verbosity: u8,
+    perf: PerfMode,
+) -> TrialResult<T>
 where
     F: Fn(&TrialSpec) -> T,
 {
@@ -268,7 +283,10 @@ where
         ObsCtx::new()
             .with_clock(Arc::new(ManualClock::new()))
             .with_sink(sink.clone() as Arc<dyn Sink>)
-            .with_verbosity(verbosity),
+            .with_verbosity(verbosity)
+            // Trials inherit the caller's perf-attribution mode, so a
+            // perf-enabled sweep sees into the locks its trials build.
+            .with_perf(perf),
     );
     let started = Instant::now();
     let value = {
@@ -296,27 +314,60 @@ where
     let parent = scope::current();
     let enabled = parent.sink.enabled();
     let verbosity = parent.verbosity;
+    let perf = parent.perf_mode();
     let jobs = jobs.max(1).min(specs.len().max(1));
+
+    // Runner self-measurement is wall-clock-only (Monotonic): under
+    // Virtual mode queue depths and idle times are scheduler noise that
+    // would break the jobs-independence the snapshots promise, so they
+    // are simply not recorded there.
+    let runner_stats = (perf == PerfMode::Monotonic).then(|| RunnerStats {
+        steals: parent.registry.counter("runner.steals"),
+        queue_depth: parent.registry.gauge("runner.queue_depth"),
+        idle_us: parent.registry.histogram("runner.worker.idle_us"),
+    });
 
     let mut slots: Vec<Option<TrialResult<T>>> = if jobs <= 1 {
         specs
             .iter()
-            .map(|s| Some(run_one(s, &run, enabled, verbosity)))
+            .map(|s| Some(run_one(s, &run, enabled, verbosity, perf)))
             .collect()
     } else {
-        // One shared queue: each idle worker claims (steals) the next
-        // un-run trial by bumping the cursor. Assignment of trials to
-        // workers is nondeterministic; nothing downstream can see it.
-        let next = AtomicUsize::new(0);
+        // One shared work deque: each idle worker steals the next
+        // un-run trial from the front. Assignment of trials to workers
+        // is nondeterministic; nothing downstream can see it. The
+        // deque's own lock is a timed lock (`runner.queue` family) so a
+        // perf run can tell queue contention from genuine idleness.
+        let queue_stats = (perf == PerfMode::Monotonic)
+            .then(|| LockStats::resolve("runner.queue"))
+            .flatten();
+        let queue = TimedMutex::with_stats(queue_stats, (0..specs.len()).collect::<VecDeque<_>>());
         let slots: Vec<Mutex<Option<TrialResult<T>>>> =
             specs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|sc| {
             for _ in 0..jobs {
-                sc.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let result = run_one(spec, &run, enabled, verbosity);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                sc.spawn(|| {
+                    let mut finished_at: Option<Instant> = None;
+                    loop {
+                        let (claimed, remaining) = {
+                            let mut q = queue.lock();
+                            let c = q.pop_front();
+                            (c, q.len())
+                        };
+                        let Some(i) = claimed else { break };
+                        if let Some(rs) = &runner_stats {
+                            rs.steals.inc();
+                            rs.queue_depth.set(remaining as i64);
+                            // Idle = gap between finishing the previous
+                            // trial and claiming this one.
+                            if let Some(done) = finished_at {
+                                rs.idle_us.observe_us(done.elapsed().as_micros() as u64);
+                            }
+                        }
+                        let result = run_one(&specs[i], &run, enabled, verbosity, perf);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                        finished_at = Some(Instant::now());
+                    }
                 });
             }
         });
@@ -515,6 +566,68 @@ mod tests {
             assert_eq!(t.ordinal, i as u64);
             assert!(t.wall_s >= 0.0);
         }
+    }
+
+    #[test]
+    fn perf_off_leaves_no_runner_or_lock_metrics() {
+        let ctx = Arc::new(ObsCtx::new().with_clock(Arc::new(ManualClock::new())));
+        let _guard = scope::install(ctx.clone());
+        let _ = run(&Synthetic { seed: 5, trials: 6 }, 4);
+        let snap = ctx.registry.snapshot().to_string_compact();
+        assert!(
+            !snap.contains("runner.") && !snap.contains("lock."),
+            "perf-off runs must not grow new metric families: {snap}"
+        );
+    }
+
+    #[test]
+    fn monotonic_perf_records_steals_and_queue_metrics() {
+        let ctx = Arc::new(
+            ObsCtx::new()
+                .with_clock(Arc::new(ManualClock::new()))
+                .with_perf(PerfMode::Monotonic),
+        );
+        let _guard = scope::install(ctx.clone());
+        let _ = run(&Synthetic { seed: 5, trials: 6 }, 4);
+        assert_eq!(
+            ctx.registry.counter("runner.steals").get(),
+            6,
+            "every trial is claimed exactly once"
+        );
+        assert_eq!(
+            ctx.registry.counter("lock.runner.queue.acquires").get(),
+            6 + 4,
+            "one claim per trial plus one empty-queue check per worker"
+        );
+        // 4 workers × ≥1 trial each is not guaranteed (one worker can
+        // drain everything), so idle samples are 0..=5; the histogram
+        // must merely exist via the queue-depth gauge having been set.
+        assert!(ctx.registry.gauge("runner.queue_depth").get() >= 0);
+    }
+
+    #[test]
+    fn virtual_perf_keeps_byte_identity_across_jobs() {
+        let run_at = |jobs: usize| -> String {
+            let ctx = Arc::new(
+                ObsCtx::new()
+                    .with_clock(Arc::new(ManualClock::new()))
+                    .with_perf(PerfMode::Virtual),
+            );
+            let _guard = scope::install(ctx.clone());
+            let _ = run(
+                &Synthetic {
+                    seed: 11,
+                    trials: 8,
+                },
+                jobs,
+            );
+            ctx.registry.snapshot().to_string_pretty()
+        };
+        assert_eq!(
+            run_at(1),
+            run_at(8),
+            "virtual perf mode must not leak scheduling into snapshots"
+        );
     }
 
     #[test]

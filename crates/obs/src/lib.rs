@@ -50,6 +50,7 @@
 
 pub mod chrome;
 pub mod clock;
+pub mod contention;
 pub mod event;
 pub mod flight;
 pub mod json;
@@ -60,6 +61,7 @@ pub mod trace;
 
 pub use chrome::ChromeTraceSink;
 pub use clock::{Clock, ManualClock, WallClock};
+pub use contention::{LockStats, PerfMode, RwStats, TimedMutex, TimedRwLock};
 pub use event::{progress, span, Event, SpanGuard};
 pub use flight::FlightRecorder;
 pub use json::{JsonError, JsonValue};

@@ -12,9 +12,11 @@
 //! registries.
 
 use crate::clock::{Clock, ManualClock};
+use crate::contention::PerfMode;
 use crate::metrics::Registry;
 use crate::sink::{NullSink, Sink};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A bundle of observability state: metrics registry, event sink,
@@ -29,6 +31,9 @@ pub struct ObsCtx {
     pub clock: Arc<dyn Clock>,
     /// 0 = silent (default), ≥ 1 = progress lines on stderr.
     pub verbosity: u8,
+    /// Perf-attribution mode ([`PerfMode`] as `u8`). Interior-mutable so
+    /// a CLI can flip it on after the context is installed.
+    perf: AtomicU8,
 }
 
 impl Default for ObsCtx {
@@ -38,6 +43,7 @@ impl Default for ObsCtx {
             sink: Arc::new(NullSink),
             clock: Arc::new(ManualClock::new()),
             verbosity: 0,
+            perf: AtomicU8::new(PerfMode::Off.as_u8()),
         }
     }
 }
@@ -64,6 +70,25 @@ impl ObsCtx {
     pub fn with_verbosity(mut self, v: u8) -> ObsCtx {
         self.verbosity = v;
         self
+    }
+
+    /// Set the perf-attribution mode (builder form).
+    pub fn with_perf(self, mode: PerfMode) -> ObsCtx {
+        self.set_perf_mode(mode);
+        self
+    }
+
+    /// Current perf-attribution mode. [`PerfMode::Off`] by default, so
+    /// instrumented locks cost nothing unless a caller opts in.
+    pub fn perf_mode(&self) -> PerfMode {
+        PerfMode::from_u8(self.perf.load(Ordering::Relaxed))
+    }
+
+    /// Flip the perf-attribution mode. Only locks *constructed after*
+    /// the call observe the new mode — wrappers capture their stats
+    /// handles at construction so the hot path never re-checks.
+    pub fn set_perf_mode(&self, mode: PerfMode) {
+        self.perf.store(mode.as_u8(), Ordering::Relaxed);
     }
 
     /// The clock, downcast to [`ManualClock`] if that is what it is —

@@ -12,14 +12,24 @@ use crate::event::Event;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard};
 
 /// Lock a sink-internal mutex, recovering the guard if a panicking
 /// thread poisoned it. Sinks hold only event buffers behind their
 /// locks; a poisoned buffer is merely "written by a thread that later
-/// panicked", which is fine for telemetry.
+/// panicked", which is fine for telemetry. Recovery is not silent: each
+/// one bumps `obs.sink.poisoned` in the current scope's registry, so a
+/// crashed writer thread shows up in the metrics snapshot.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    m.lock().unwrap_or_else(|poisoned| {
+        // Counter-only: emitting an event here could recurse into the
+        // very sink whose lock just failed.
+        crate::scope::current()
+            .registry
+            .counter("obs.sink.poisoned")
+            .inc();
+        poisoned.into_inner()
+    })
 }
 
 /// Where events go.
@@ -284,6 +294,8 @@ mod tests {
 
     #[test]
     fn poisoned_ring_recovers_instead_of_panicking() {
+        let ctx = std::sync::Arc::new(crate::scope::ObsCtx::new());
+        let _scope = crate::scope::install(ctx.clone());
         let r = std::sync::Arc::new(RingSink::new(4));
         r.record(&ev("before", 1));
         // Poison the internal mutex: panic while holding the guard.
@@ -292,10 +304,13 @@ mod tests {
             let _g = r2.buf.lock().unwrap();
             panic!("poison");
         }));
-        // Telemetry keeps working on the poisoned lock.
+        // Telemetry keeps working on the poisoned lock...
         r.record(&ev("after", 2));
         let names: Vec<String> = r.drain().into_iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["before", "after"]);
+        // ...and every recovery is visible in the metrics snapshot
+        // (record + drain above = two recovered acquisitions).
+        assert_eq!(ctx.registry.counter("obs.sink.poisoned").get(), 2);
     }
 
     #[test]

@@ -129,6 +129,9 @@ impl<E> Scheduler<E> {
     {
         let start_us = self.now.as_micros();
         let mut dispatched = 0;
+        // Peak pending depth this window — a pure function of the event
+        // sequence, so recording it is deterministic.
+        let mut peak_pending = self.heap.len();
         while let Some(at) = self.peek_time() {
             if at > horizon {
                 break;
@@ -138,6 +141,7 @@ impl<E> Scheduler<E> {
             // follow-up events; split-borrow via a temporary take.
             f(t, ev, self);
             dispatched += 1;
+            peak_pending = peak_pending.max(self.heap.len());
         }
         // Clock lands on the horizon even if no event fired exactly there,
         // so repeated run_until calls tile time correctly.
@@ -156,6 +160,9 @@ impl<E> Scheduler<E> {
         ctx.registry
             .gauge("simnet.queue_depth")
             .set(self.heap.len() as i64);
+        ctx.registry
+            .gauge("simnet.sched.peak_pending")
+            .set(peak_pending as i64);
         if ctx.sink.enabled() {
             csaw_obs::event::span_completed(
                 "simnet.run_until",
@@ -236,6 +243,29 @@ mod tests {
         s.schedule(SimTime::from_millis(10), "on-horizon");
         let n = s.run_until(SimTime::from_millis(10), |_, _, _| {});
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn run_until_records_peak_pending() {
+        let ctx = std::sync::Arc::new(csaw_obs::ObsCtx::new());
+        let _g = csaw_obs::install(ctx.clone());
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..4 {
+            s.schedule(SimTime::from_millis(i), i as u32);
+        }
+        // Each handler schedules two follow-ups, so the queue briefly
+        // grows past its starting depth before draining.
+        s.run_until(SimTime::from_millis(2), |t, e, sched| {
+            if e < 4 {
+                sched.schedule(t + SimDuration::from_millis(10), e + 100);
+                sched.schedule(t + SimDuration::from_millis(11), e + 200);
+            }
+        });
+        let peak = ctx.registry.gauge("simnet.sched.peak_pending").get();
+        assert!(
+            peak > 4,
+            "follow-up scheduling must raise peak pending above the initial depth, got {peak}"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::error::StoreError;
 use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
 use crate::record::{GlobalRecord, Report, Uuid};
 use crate::shard::ShardedStore;
+use csaw_obs::contention::TimedMutex;
 use csaw_obs::json::JsonValue;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
@@ -25,7 +26,6 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// What a global measurement store must provide. Object-safe so the
 /// server can hold `Arc<dyn StorageBackend>` and backends can be
@@ -105,7 +105,7 @@ fn uuid_from_json(v: &JsonValue) -> Result<Uuid, StoreError> {
 pub struct JsonlStore {
     inner: ShardedStore,
     path: PathBuf,
-    log: Mutex<BufWriter<File>>,
+    log: TimedMutex<BufWriter<File>>,
 }
 
 impl fmt::Debug for JsonlStore {
@@ -142,7 +142,7 @@ impl JsonlStore {
         Ok(JsonlStore {
             inner,
             path: path.to_path_buf(),
-            log: Mutex::new(BufWriter::new(file)),
+            log: TimedMutex::new("store.wal.log", BufWriter::new(file)),
         })
     }
 
@@ -222,7 +222,7 @@ impl JsonlStore {
     fn append(&self, v: &JsonValue) -> Result<(), StoreError> {
         let mut line = v.to_string_compact();
         line.push('\n');
-        let mut log = self.log.lock().unwrap();
+        let mut log = self.log.lock();
         log.write_all(line.as_bytes())
             .map_err(|e| StoreError::io(&self.path, e))?;
         csaw_obs::inc("store.wal.appends");
@@ -301,7 +301,7 @@ impl StorageBackend for JsonlStore {
     }
 
     fn flush(&self) -> Result<(), StoreError> {
-        let mut log = self.log.lock().unwrap();
+        let mut log = self.log.lock();
         log.flush().map_err(|e| StoreError::io(&self.path, e))
     }
 }

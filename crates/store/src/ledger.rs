@@ -32,10 +32,10 @@
 
 use crate::hash::key_shard;
 use crate::record::Uuid;
+use csaw_obs::contention::{RwStats, TimedRwLock};
 use csaw_simnet::topology::Asn;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 
 /// Aggregated vote state for one (URL, AS).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -98,8 +98,8 @@ impl ConfidenceFilter {
 }
 
 type KeySet = HashSet<(String, Asn)>;
-type ClientShard = RwLock<HashMap<Uuid, KeySet>>;
-type KeyIndexShard = RwLock<HashMap<(String, Asn), HashSet<Uuid>>>;
+type ClientShard = TimedRwLock<HashMap<Uuid, KeySet>>;
+type KeyIndexShard = TimedRwLock<HashMap<(String, Asn), HashSet<Uuid>>>;
 
 /// The server-side vote ledger, lock-striped for concurrent writers.
 #[derive(Debug)]
@@ -127,9 +127,18 @@ impl VoteLedger {
     /// An empty ledger striped `n` ways (`n` is clamped to ≥ 1).
     pub fn with_shards(n: usize) -> VoteLedger {
         let n = n.max(1);
+        // Stripes share one stats family per side (clients vs. the key
+        // index): contention is per-structure, not per-stripe. `None`
+        // (free) unless the current scope opted into perf attribution.
+        let client_stats = RwStats::resolve("store.ledger.clients");
+        let key_stats = RwStats::resolve("store.ledger.keys");
         VoteLedger {
-            client_shards: (0..n).map(|_| RwLock::default()).collect(),
-            key_shards: (0..n).map(|_| RwLock::default()).collect(),
+            client_shards: (0..n)
+                .map(|_| TimedRwLock::with_stats(client_stats.clone(), HashMap::new()))
+                .collect(),
+            key_shards: (0..n)
+                .map(|_| TimedRwLock::with_stats(key_stats.clone(), HashMap::new()))
+                .collect(),
             epoch: AtomicU64::new(0),
         }
     }
@@ -155,11 +164,11 @@ impl VoteLedger {
     /// it from every key in `removed`. Called with no client lock held.
     fn update_key_index(&self, client: Uuid, added: &KeySet, removed: &KeySet) {
         for (url, asn) in added {
-            let mut shard = self.key_shard_of(url, *asn).write().unwrap();
+            let mut shard = self.key_shard_of(url, *asn).write();
             shard.entry((url.clone(), *asn)).or_default().insert(client);
         }
         for (url, asn) in removed {
-            let mut shard = self.key_shard_of(url, *asn).write().unwrap();
+            let mut shard = self.key_shard_of(url, *asn).write();
             if let Some(voters) = shard.get_mut(&(url.clone(), *asn)) {
                 voters.remove(&client);
                 if voters.is_empty() {
@@ -174,7 +183,7 @@ impl VoteLedger {
     pub fn set_client_report(&self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
         let new: KeySet = urls.into_iter().collect();
         let (added, removed) = {
-            let mut shard = self.client_shard(client).write().unwrap();
+            let mut shard = self.client_shard(client).write();
             let old = if new.is_empty() {
                 shard.remove(&client).unwrap_or_default()
             } else {
@@ -195,7 +204,7 @@ impl VoteLedger {
     /// re-spreading its vote.
     pub fn add_client_urls(&self, client: Uuid, urls: impl IntoIterator<Item = (String, Asn)>) {
         let added = {
-            let mut shard = self.client_shard(client).write().unwrap();
+            let mut shard = self.client_shard(client).write();
             let set = shard.entry(client).or_default();
             let mut added = KeySet::new();
             for key in urls {
@@ -215,7 +224,7 @@ impl VoteLedger {
     /// Revoke a client entirely (malicious-user eviction, §5).
     pub fn revoke(&self, client: Uuid) {
         let removed = {
-            let mut shard = self.client_shard(client).write().unwrap();
+            let mut shard = self.client_shard(client).write();
             shard.remove(&client)
         };
         let Some(removed) = removed else { return };
@@ -230,7 +239,6 @@ impl VoteLedger {
     pub fn report_count(&self, client: Uuid) -> usize {
         self.client_shard(client)
             .read()
-            .unwrap()
             .get(&client)
             .map(HashSet::len)
             .unwrap_or(0)
@@ -244,7 +252,7 @@ impl VoteLedger {
     /// independent of hash-map iteration order.
     pub fn tally(&self, url: &str, asn: Asn) -> Tally {
         let mut voters: Vec<Uuid> = {
-            let shard = self.key_shard_of(url, asn).read().unwrap();
+            let shard = self.key_shard_of(url, asn).read();
             match shard.get(&(url.to_string(), asn)) {
                 Some(v) => v.iter().copied().collect(),
                 None => return Tally::default(),
@@ -273,10 +281,7 @@ impl VoteLedger {
 
     /// Number of clients currently voting.
     pub fn voter_count(&self) -> usize {
-        self.client_shards
-            .iter()
-            .map(|s| s.read().unwrap().len())
-            .sum()
+        self.client_shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Per-client report-set sizes (reputation auditing input). Walks
@@ -284,7 +289,7 @@ impl VoteLedger {
     pub fn client_report_sizes(&self) -> Vec<(Uuid, usize)> {
         let mut out = Vec::new();
         for shard in self.client_shards.iter() {
-            let g = shard.read().unwrap();
+            let g = shard.read();
             out.extend(g.iter().map(|(c, set)| (*c, set.len())));
         }
         out.sort_by_key(|(c, _)| *c);
@@ -296,7 +301,6 @@ impl VoteLedger {
         let mut out: Vec<(String, Asn)> = self
             .client_shard(client)
             .read()
-            .unwrap()
             .get(&client)
             .map(|set| set.iter().cloned().collect())
             .unwrap_or_default();

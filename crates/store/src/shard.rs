@@ -24,12 +24,13 @@ use crate::error::StoreError;
 use crate::hash::key_shard;
 use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
 use crate::record::{GlobalRecord, Report, Uuid};
+use csaw_obs::contention::{LockStats, RwStats, TimedMutex, TimedRwLock};
 use csaw_obs::metrics::{Counter, Gauge, Histogram};
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 /// Cache entries per shard before the whole shard cache is reset — the
 /// deployed system sees a handful of distinct confidence filters, so
@@ -47,12 +48,25 @@ struct CacheEntry {
     records: Arc<Vec<GlobalRecord>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
-    records: RwLock<HashMap<Key, GlobalRecord>>,
-    cache: Mutex<HashMap<CacheKey, CacheEntry>>,
+    records: TimedRwLock<HashMap<Key, GlobalRecord>>,
+    cache: TimedMutex<HashMap<CacheKey, CacheEntry>>,
     /// Bumped after every mutation of `records`.
     generation: AtomicU64,
+}
+
+impl Shard {
+    /// All shards share one `store.shard.records` / `store.shard.cache`
+    /// stats family — contention is a property of the store, not of a
+    /// single stripe (stats are `None` when perf attribution is off).
+    fn new(records: Option<Arc<RwStats>>, cache: Option<Arc<LockStats>>) -> Shard {
+        Shard {
+            records: TimedRwLock::with_stats(records, HashMap::new()),
+            cache: TimedMutex::with_stats(cache, HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Pre-resolved metric handles: the ingest path must not take the
@@ -106,8 +120,12 @@ impl ShardedStore {
         if shards == 0 {
             return Err(StoreError::InvalidConfig("shard count must be >= 1"));
         }
+        let record_stats = RwStats::resolve("store.shard.records");
+        let cache_stats = LockStats::resolve("store.shard.cache");
         Ok(ShardedStore {
-            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shards: (0..shards)
+                .map(|_| Shard::new(record_stats.clone(), cache_stats.clone()))
+                .collect(),
             ledger: VoteLedger::with_shards(shards),
             metrics: StoreMetrics::resolve(shards),
             measure_latency: false,
@@ -161,7 +179,7 @@ impl StorageBackend for ShardedStore {
             let shard = &self.shards[i];
             let mut delta = 0i64;
             {
-                let mut recs = shard.records.write().unwrap();
+                let mut recs = shard.records.write();
                 for r in group {
                     let key = (r.url.clone(), Asn(r.asn));
                     keys.push(key.clone());
@@ -207,7 +225,7 @@ impl StorageBackend for ShardedStore {
             // case is an extra recompute, never a stale serve.
             let generation = shard.generation.load(Ordering::Acquire);
             let hit = {
-                let cache = shard.cache.lock().unwrap();
+                let cache = shard.cache.lock();
                 cache
                     .get(&ck)
                     .filter(|e| e.generation == generation && e.epoch == epoch)
@@ -221,7 +239,7 @@ impl StorageBackend for ShardedStore {
                 None => {
                     self.metrics.cache_misses.inc();
                     let computed: Vec<GlobalRecord> = {
-                        let recs = shard.records.read().unwrap();
+                        let recs = shard.records.read();
                         recs.values()
                             .filter(|r| r.asn == asn)
                             .filter(|r| filter.passes(&self.ledger.tally(&r.url, r.asn)))
@@ -229,7 +247,7 @@ impl StorageBackend for ShardedStore {
                             .collect()
                     };
                     let snapshot = Arc::new(computed);
-                    let mut cache = shard.cache.lock().unwrap();
+                    let mut cache = shard.cache.lock();
                     if cache.len() >= CACHE_FILTER_CAP {
                         cache.clear();
                     }
@@ -264,7 +282,7 @@ impl StorageBackend for ShardedStore {
             let before;
             let after;
             {
-                let mut recs = shard.records.write().unwrap();
+                let mut recs = shard.records.write();
                 before = recs.len();
                 recs.retain(|_, r| r.reporter != client);
                 after = recs.len();
@@ -286,7 +304,7 @@ impl StorageBackend for ShardedStore {
             let before;
             let after;
             {
-                let mut recs = shard.records.write().unwrap();
+                let mut recs = shard.records.write();
                 before = recs.len();
                 recs.retain(|_, r| now.duration_since(r.posted_at) < max_age);
                 after = recs.len();
@@ -303,15 +321,12 @@ impl StorageBackend for ShardedStore {
     }
 
     fn record_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.records.read().unwrap().len())
-            .sum()
+        self.shards.iter().map(|s| s.records.read().len()).sum()
     }
 
     fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord)) {
         for shard in self.shards.iter() {
-            let recs = shard.records.read().unwrap();
+            let recs = shard.records.read();
             for r in recs.values() {
                 f(r);
             }

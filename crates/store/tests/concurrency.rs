@@ -185,6 +185,121 @@ fn final_state_identical_across_shard_counts() {
 }
 
 #[test]
+fn contention_metrics_deterministic_and_forced_waits_visible() {
+    use csaw_obs::{install, ObsCtx, PerfMode};
+    use std::sync::Arc;
+
+    // Virtual perf mode: acquisition counts are exact and a serial
+    // replay of the same script yields the identical snapshot — the
+    // contention layer must not break the determinism contract.
+    let counts = |jobs_serial: bool| -> String {
+        let ctx = Arc::new(ObsCtx::new().with_perf(PerfMode::Virtual));
+        let _g = install(ctx.clone());
+        let store = ShardedStore::new(16).expect("shard count is valid");
+        if jobs_serial {
+            for t in 0..THREADS {
+                for op in ops_for_thread(t) {
+                    apply(&store, &op);
+                }
+            }
+        } else {
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let store = &store;
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        let _g = install(ctx);
+                        for op in ops_for_thread(t) {
+                            apply(store, &op);
+                        }
+                    });
+                }
+            });
+        }
+        // Counts only: `contended` and wait histograms legitimately
+        // differ between a serial and a racing run even in virtual time.
+        let snap = ctx.registry.snapshot();
+        let counters = snap.get("counters").expect("snapshot has counters");
+        [
+            "lock.store.shard.records.write.acquires",
+            "lock.store.ledger.clients.write.acquires",
+            "lock.store.ledger.keys.write.acquires",
+        ]
+        .iter()
+        .map(|k| {
+            format!(
+                "{k}={}",
+                counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+    };
+    let serial = counts(true);
+    let parallel = counts(false);
+    assert_eq!(
+        serial, parallel,
+        "virtual-mode acquisition counts must not depend on interleaving"
+    );
+    assert!(
+        !serial.contains("=0"),
+        "script must actually exercise the instrumented locks: {serial}"
+    );
+
+    // Monotonic perf mode, 8 writers hammering a single shard: the
+    // wait histogram must show real queuing on the one write lock.
+    // Retried because on a single-core box a whole writer loop can fit
+    // inside one scheduler timeslice and never collide.
+    let batches_per_thread = 400u64;
+    let mut saw_contention = false;
+    for _attempt in 0..5 {
+        let ctx = Arc::new(ObsCtx::new().with_perf(PerfMode::Monotonic));
+        let store = {
+            let _g = install(ctx.clone());
+            ShardedStore::new(1).expect("shard count is valid")
+        };
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for c in 0..batches_per_thread {
+                        let uuid = Uuid::from_raw(10_000 + t * 10_000 + c);
+                        let b = Batch::new(
+                            uuid,
+                            (0..8).map(|i| report(i, 1, c)).collect(),
+                            SimTime::from_secs(1),
+                        );
+                        store.ingest(&b).expect("well-formed batch");
+                    }
+                });
+            }
+        });
+        let reg = &ctx.registry;
+        assert_eq!(
+            reg.counter("lock.store.shard.records.write.acquires").get(),
+            8 * batches_per_thread,
+            "every batch takes the single shard's write lock exactly once"
+        );
+        if reg
+            .counter("lock.store.shard.records.write.contended")
+            .get()
+            > 0
+            && reg
+                .histogram("lock.store.shard.records.write.wait_us")
+                .sum_us()
+                > 0
+        {
+            saw_contention = true;
+            break;
+        }
+    }
+    assert!(
+        saw_contention,
+        "8 writers on 1 shard must record contention and nonzero wait"
+    );
+}
+
+#[test]
 fn concurrent_revocations_and_posts_leave_no_ghost_votes() {
     let store = ShardedStore::new(8).expect("shard count is valid");
     // Half the clients post then get revoked by a rival thread; the
