@@ -4,12 +4,14 @@
 //! perf-report BENCH_seed1.json                      # attribution table
 //! perf-report BENCH_seed1.json --fingerprint        # deterministic bytes only
 //! perf-report new.json --baseline BENCH_seed1.json  # CI regression gate
+//! perf-report BENCH_seed1.json --gate-health        # absolute fitness gate
 //! perf-report BENCH_seed1.json --trace trace.json   # join with trace spans
 //! ```
 //!
 //! Exit codes: 0 ok, 2 usage/IO error, 3 timing regression against the
 //! baseline, 4 deterministic-field mismatch (a correctness bug, not a
-//! perf regression — it outranks 3 when both occur).
+//! perf regression — it outranks 3 when both occur), 5 health-gate
+//! violation (lock-wait fraction or parallel-scaling floor breached).
 
 use csaw_bench::perfreport;
 use csaw_bench::scorecard::Scorecard;
@@ -25,6 +27,11 @@ usage: perf-report CARD.json [flags]
   --tolerance F     relative timing band for --baseline (default 0.25)
   --fingerprint     print only the deterministic fingerprint and exit
                     (two same-seed runs must print identical bytes)
+  --gate-health     absolute fitness gate on the card itself: exit 5
+                    when the widest row's lock-wait fraction exceeds
+                    20% of attributed thread-seconds or 1→8-thread
+                    scaling is below 3× (skipped on hosts too narrow
+                    to express it)
   --trace FILE      also aggregate a trace file (Chrome-trace or JSONL)
                     into per-span totals alongside the attribution";
 
@@ -40,6 +47,7 @@ fn main() {
     let mut trace: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut fingerprint = false;
+    let mut gate_health = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -59,6 +67,7 @@ fn main() {
                     .unwrap_or_else(|| fail_usage(&format!("bad --tolerance {v:?}")));
             }
             "--fingerprint" => fingerprint = true,
+            "--gate-health" => gate_health = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
@@ -119,6 +128,14 @@ fn main() {
         }
         if !cmp.timing_regressions.is_empty() {
             std::process::exit(3);
+        }
+    }
+
+    if gate_health {
+        let h = perfreport::health(&card);
+        print!("\n{}", h.render());
+        if !h.ok() {
+            std::process::exit(5);
         }
     }
 }

@@ -206,7 +206,8 @@ fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
     accounted &= store_records as u64 == posted;
     let recs = faulty
         .inner()
-        .blocked_for_as(profiles::ISP_A_ASN, &ConfidenceFilter::default());
+        .blocked_for_as(profiles::ISP_A_ASN, &ConfidenceFilter::default())
+        .expect("the wrapped in-memory backend cannot fail");
     let mean_staleness_s = if recs.is_empty() {
         0.0
     } else {

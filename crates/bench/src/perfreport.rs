@@ -8,13 +8,18 @@
 //!   into batch building, per-lock-family wait/hold, non-lock ingest
 //!   compute, and the harness/idle remainder. This is the evidence the
 //!   ROADMAP's scaling work is gated on: lock-bound shows up as wait%,
-//!   allocation-bound as allocs/report, cache-invalidation-bound as
-//!   `store.shard.cache` hold.
+//!   allocation-bound as allocs/report.
 //! - [`compare`]: diff a fresh scorecard against the checked-in
 //!   baseline. Deterministic fields must match exactly (allocator
 //!   counts get a ±20% band for toolchain drift); timing fields get a
 //!   caller-chosen relative tolerance plus a small absolute slack so
 //!   µs-scale percentiles don't gate on scheduler jitter.
+//! - [`health`]: absolute fitness checks on one scorecard, independent
+//!   of any baseline — the highest-thread-count row's lock-wait
+//!   fraction must stay under [`HEALTH_MAX_LOCK_WAIT_FRACTION`] of its
+//!   attributed thread-seconds, and 1→8-thread scaling must reach
+//!   [`HEALTH_MIN_SCALING`]× (skipped with a note when the card's
+//!   recording host lacked the cores to express parallelism at all).
 
 use crate::scorecard::Scorecard;
 use csaw_obs::json::JsonValue;
@@ -31,6 +36,19 @@ const LOOKUP_SLACK_US: f64 = 100.0;
 
 /// Absolute slack (ns) on micro-benchmark comparisons.
 const MICRO_SLACK_NS: f64 = 50.0;
+
+/// [`health`]: ceiling on the highest-thread-count row's summed
+/// lock-wait as a fraction of attributed thread-seconds
+/// (`build_s + call_s`). Past this, ingest is lock-bound and the
+/// batch-per-shard design has regressed.
+pub const HEALTH_MAX_LOCK_WAIT_FRACTION: f64 = 0.20;
+
+/// [`health`]: floor on `reports_per_sec` scaling from the 1-thread
+/// row to the [`HEALTH_SCALING_THREADS`]-thread row.
+pub const HEALTH_MIN_SCALING: f64 = 3.0;
+
+/// [`health`]: the thread count the scaling floor is measured at.
+pub const HEALTH_SCALING_THREADS: u64 = 8;
 
 /// Render the per-phase ingest attribution table for one scorecard.
 ///
@@ -352,6 +370,159 @@ pub fn compare(current: &Scorecard, baseline: &Scorecard, tolerance: f64) -> Com
     out
 }
 
+/// The outcome of the absolute health gate: hard failures plus
+/// non-gating context.
+#[derive(Debug, Default)]
+pub struct Health {
+    /// Violations of the fitness floors — each one fails the gate.
+    pub violations: Vec<String>,
+    /// Non-gating context (skipped checks and why).
+    pub notes: Vec<String>,
+}
+
+impl Health {
+    /// True when no floor was breached.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable verdict block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("HEALTH VIOLATION: {v}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if self.ok() {
+            out.push_str("perf-report: scorecard is healthy\n");
+        }
+        out
+    }
+}
+
+/// Absolute fitness checks on one scorecard (no baseline involved):
+///
+/// - **lock-wait fraction** — the summed per-family `wait_us` must stay
+///   under [`HEALTH_MAX_LOCK_WAIT_FRACTION`] of the attributed
+///   thread-seconds (`build_s + call_s`); more than that and the
+///   writers are spending their concurrency budget queueing on the
+///   store's locks;
+/// - **parallel scaling** — `reports_per_sec` at
+///   [`HEALTH_SCALING_THREADS`] threads must be at least
+///   [`HEALTH_MIN_SCALING`]× the 1-thread row's.
+///
+/// Both checks respect the card's recorded `timing.host_threads`: a
+/// machine cannot demonstrate parallel speedup it has no cores for, and
+/// when threads outnumber cores, lock wait measures the OS scheduler's
+/// time-slicing (a descheduled lock holder parks every other writer for
+/// a whole quantum), not the store. So the wait check runs on the
+/// *widest row the host could actually run concurrently*, and the
+/// scaling check is skipped with a note on hosts narrower than
+/// [`HEALTH_SCALING_THREADS`] — the gate bites exactly on hosts
+/// (reference machine, CI runners) wide enough to express contention.
+///
+/// Cards without the relevant rows fail loudly: a gate that silently
+/// passes on an empty card would defeat its purpose.
+pub fn health(card: &Scorecard) -> Health {
+    let mut out = Health::default();
+    let rows = rows_by_threads(&card.timing);
+    let Some((widest, _)) = rows.iter().max_by_key(|(t, _)| *t).cloned() else {
+        out.violations
+            .push("no timing rows to gate on (rerun exp_scale with a scorecard)".into());
+        return out;
+    };
+    let host_threads = card
+        .timing
+        .get("host_threads")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(u64::MAX); // older cards: assume wide, keep the gate strict
+
+    // Lock-wait fraction on the widest genuinely-concurrent row.
+    let Some((hi_threads, hi_row)) = rows
+        .iter()
+        .filter(|(t, _)| *t <= host_threads)
+        .max_by_key(|(t, _)| *t)
+        .cloned()
+    else {
+        out.violations.push(format!(
+            "no timing row at ≤ {host_threads} threads to gate lock-wait on"
+        ));
+        return out;
+    };
+    if hi_threads < widest {
+        out.notes.push(format!(
+            "lock-wait gated at {hi_threads} thread(s): rows above the host's \
+             {host_threads} core(s) measure time-slicing, not the store"
+        ));
+    }
+    let f = |row: &JsonValue, key: &str| row.get(key).and_then(JsonValue::as_f64);
+    match (f(&hi_row, "build_s"), f(&hi_row, "call_s")) {
+        (Some(build_s), Some(call_s)) if build_s + call_s > 0.0 => {
+            let attributed = build_s + call_s;
+            let wait_s = hi_row
+                .get("locks")
+                .and_then(JsonValue::as_obj)
+                .map(|locks| {
+                    locks
+                        .values()
+                        .filter_map(|l| l.get("wait_us").and_then(JsonValue::as_f64))
+                        .sum::<f64>()
+                        / 1e6
+                })
+                .unwrap_or(0.0);
+            let frac = wait_s / attributed;
+            if frac > HEALTH_MAX_LOCK_WAIT_FRACTION {
+                out.violations.push(format!(
+                    "threads={hi_threads} lock-wait fraction {:.1}% > {:.0}% of attributed \
+                     thread-seconds ({wait_s:.3}s waiting / {attributed:.3}s attributed)",
+                    frac * 100.0,
+                    HEALTH_MAX_LOCK_WAIT_FRACTION * 100.0
+                ));
+            }
+        }
+        _ => out.violations.push(format!(
+            "threads={hi_threads} row has no attribution data (rerun with --perf wall)"
+        )),
+    }
+
+    // 1→N scaling, when the recording host could express it.
+    let one = rows.iter().find(|(t, _)| *t == 1).map(|(_, r)| r.clone());
+    let wide = rows
+        .iter()
+        .find(|(t, _)| *t == HEALTH_SCALING_THREADS)
+        .map(|(_, r)| r.clone());
+    match (one, wide) {
+        (Some(one), Some(wide)) => {
+            if host_threads < HEALTH_SCALING_THREADS {
+                out.notes.push(format!(
+                    "scaling check skipped: card was recorded on a {host_threads}-thread host, \
+                     which cannot express {HEALTH_SCALING_THREADS}-thread speedup"
+                ));
+            } else if let (Some(b), Some(w)) =
+                (f(&one, "reports_per_sec"), f(&wide, "reports_per_sec"))
+            {
+                if b <= 0.0 || w / b < HEALTH_MIN_SCALING {
+                    out.violations.push(format!(
+                        "1→{HEALTH_SCALING_THREADS}-thread scaling {:.2}× < {HEALTH_MIN_SCALING}× \
+                         ({w:.0} vs {b:.0} reports/s)",
+                        if b > 0.0 { w / b } else { 0.0 }
+                    ));
+                }
+            } else {
+                out.violations.push(
+                    "scaling rows are missing reports_per_sec; cannot verify the floor".into(),
+                );
+            }
+        }
+        _ => out.violations.push(format!(
+            "scaling check needs timing rows at 1 and {HEALTH_SCALING_THREADS} threads"
+        )),
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +615,104 @@ mod tests {
         let c = compare(&cur, &base, 0.10);
         assert_eq!(c.timing_regressions.len(), 1, "{:?}", c);
         assert!(c.timing_regressions[0].contains("reports_per_sec"));
+    }
+
+    /// A card shaped like a real exp_scale run on a wide host: healthy
+    /// 1→8 scaling and a quiet lock profile at 8 threads.
+    fn healthy_card() -> Scorecard {
+        let mut card = Scorecard::new("exp_scale", 1);
+        card.timing.set("host_threads", 16u64);
+        let mut rows = Vec::new();
+        for (threads, rps, wait_us) in [(1u64, 250_000.0, 10_000u64), (8, 1_000_000.0, 100_000)] {
+            let mut row = JsonValue::obj();
+            row.set("threads", threads);
+            row.set("ingest_secs", 1.0);
+            row.set("reports_per_sec", rps);
+            row.set("build_s", 0.5);
+            row.set("call_s", threads as f64 - 0.6);
+            let mut locks = JsonValue::obj();
+            let mut l = JsonValue::obj();
+            l.set("wait_us", wait_us);
+            l.set("hold_us", 300_000u64);
+            locks.set("store.shard.records.write", l);
+            row.set("locks", locks);
+            rows.push(row);
+        }
+        card.timing.set("rows", rows);
+        card
+    }
+
+    #[test]
+    fn health_passes_a_quiet_scaling_card() {
+        let h = health(&healthy_card());
+        assert!(h.ok(), "{:?}", h);
+        assert!(h.render().contains("healthy"));
+    }
+
+    #[test]
+    fn health_fails_on_lock_wait_fraction() {
+        let mut card = healthy_card();
+        let mut rows = card.timing.get("rows").unwrap().as_arr().unwrap().to_vec();
+        // 8-thread row: 2.5 of 7.9 attributed thread-seconds waiting.
+        let mut locks = JsonValue::obj();
+        let mut l = JsonValue::obj();
+        l.set("wait_us", 2_500_000u64);
+        locks.set("store.ledger.keys.write", l);
+        rows[1].set("locks", locks);
+        card.timing.set("rows", rows);
+        let h = health(&card);
+        assert_eq!(h.violations.len(), 1, "{:?}", h);
+        assert!(h.violations[0].contains("lock-wait fraction"), "{:?}", h);
+        // The same noisy 8-thread row on a 4-core host is time-slicing
+        // noise, not store contention: the gate drops to the widest
+        // genuinely-concurrent row (here 1 thread) and notes it.
+        card.timing.set("host_threads", 4u64);
+        let h = health(&card);
+        assert!(h.ok(), "{:?}", h);
+        assert!(
+            h.notes.iter().any(|n| n.contains("lock-wait gated at 1")),
+            "{:?}",
+            h
+        );
+    }
+
+    #[test]
+    fn health_fails_on_poor_scaling_but_skips_on_narrow_hosts() {
+        let mut card = healthy_card();
+        let mut rows = card.timing.get("rows").unwrap().as_arr().unwrap().to_vec();
+        rows[1].set("reports_per_sec", 500_000.0); // 2× at 8 threads
+        card.timing.set("rows", rows);
+        let h = health(&card);
+        assert_eq!(h.violations.len(), 1, "{:?}", h);
+        assert!(h.violations[0].contains("scaling"), "{:?}", h);
+        // Same card recorded on a 2-thread host: the scaling floor is
+        // physically unreachable there, so it's a note, not a failure.
+        card.timing.set("host_threads", 2u64);
+        let h = health(&card);
+        assert!(h.ok(), "{:?}", h);
+        assert!(h.notes.iter().any(|n| n.contains("skipped")), "{:?}", h);
+    }
+
+    #[test]
+    fn health_fails_loudly_on_cards_it_cannot_judge() {
+        let empty = Scorecard::new("exp_scale", 1);
+        assert!(!health(&empty).ok());
+        // Rows without perf attribution must not pass silently.
+        let mut card = healthy_card();
+        let mut rows = card.timing.get("rows").unwrap().as_arr().unwrap().to_vec();
+        for r in &mut rows {
+            let mut stripped = JsonValue::obj();
+            stripped.set("threads", r.get("threads").unwrap().clone());
+            stripped.set("reports_per_sec", r.get("reports_per_sec").unwrap().clone());
+            *r = stripped;
+        }
+        card.timing.set("rows", rows);
+        let h = health(&card);
+        assert!(
+            h.violations.iter().any(|v| v.contains("no attribution")),
+            "{:?}",
+            h
+        );
     }
 
     #[test]

@@ -302,7 +302,7 @@ impl CsawClient {
         let mut fresh: HashMap<String, Vec<BlockingType>> = HashMap::new();
         let mut pulled = 0usize;
         for asn in asns {
-            let recs = match server.try_blocked_for_as(*asn, &self.confidence) {
+            let recs = match server.blocked_for_as(*asn, &self.confidence) {
                 Ok(r) => r,
                 Err(e) => {
                     self.stats.sync_failures += 1;
@@ -821,18 +821,35 @@ impl CsawClient {
     /// every retry, pinning the queue forever — the original silent-loss
     /// bug this module is hardened against.
     fn quarantine_poison(&mut self) {
-        let mut i = 0;
-        while i < self.report_queue.len() {
-            let r = &self.report_queue[i];
-            let wire = Report::encode_batch(std::slice::from_ref(r));
-            let survives = Report::decode_batch(&wire)
-                .map(|d| d.len() == 1 && d[0] == *r)
-                .unwrap_or(false);
-            if survives {
-                i += 1;
-                continue;
-            }
-            let r = self.report_queue.remove(i);
+        // The whole queue round-trips as *one* batch: when the decode
+        // fails, `Batch::from_wire` names the exact poison index, so
+        // each sweep pass removes one report at the cost of a single
+        // encode+parse — the clean (common) case is one pass, not one
+        // wire round-trip per queued report.
+        while !self.report_queue.is_empty() {
+            let wire = Report::encode_batch(&self.report_queue);
+            let bad = match crate::global::Batch::from_wire(Uuid::from_raw(0), &wire, SimTime::ZERO)
+            {
+                Err(crate::global::PostError::Malformed { index, .. }) => index,
+                Ok(batch) if batch.reports() == &self.report_queue[..] => return,
+                // A batch that decodes to *different* reports (lossy
+                // encoding) or breaks the envelope outright can't be
+                // attributed to an index; fall back to a per-report
+                // round-trip to find the first non-survivor.
+                // If every report survives alone but the batch misbehaves
+                // as a whole, quarantine the head rather than loop forever.
+                _ => self
+                    .report_queue
+                    .iter()
+                    .position(|r| {
+                        let one = Report::encode_batch(std::slice::from_ref(r));
+                        !Report::decode_batch(&one)
+                            .map(|d| d.len() == 1 && d[0] == *r)
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or(0),
+            };
+            let r = self.report_queue.remove(bad);
             self.stats.reports_quarantined += 1;
             csaw_obs::event!("report.quarantine", asn = r.asn as u64);
             self.quarantined.push(r);
@@ -1096,7 +1113,7 @@ mod tests {
     #[test]
     fn global_db_roundtrip_seeds_other_clients() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let server = ServerDb::new(99);
+        let server = ServerDb::builder(99).build().unwrap();
         // Client 1 discovers the blocking and reports it.
         let mut c1 = client(3);
         c1.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
@@ -1237,7 +1254,7 @@ mod tests {
     #[test]
     fn tick_syncs_and_reports() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let server = ServerDb::new(11);
+        let server = ServerDb::builder(11).build().unwrap();
         let mut c = client(9);
         c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
             .unwrap();
@@ -1372,7 +1389,7 @@ mod tests {
     #[test]
     fn poison_report_quarantined_not_retried_forever() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let server = ServerDb::new(13);
+        let server = ServerDb::builder(13).build().unwrap();
         let mut c = client(42);
         c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
             .unwrap();
@@ -1431,7 +1448,7 @@ mod tests {
         // or instrumented and bare runs of the same seed diverge.
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
         let (broken, _) = broken_server(17);
-        let good = ServerDb::new(17);
+        let good = ServerDb::builder(17).build().unwrap();
         let mut c = client(44);
         c.register(&broken, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
             .unwrap();
@@ -1535,7 +1552,7 @@ mod tests {
     #[test]
     fn post_reports_via_marks_only_accepted() {
         let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
-        let server = ServerDb::new(29);
+        let server = ServerDb::builder(29).build().unwrap();
         let collectors = crate::global::CollectorSet::default_set();
         let mut c = client(48);
         c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)

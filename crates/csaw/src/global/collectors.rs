@@ -175,7 +175,7 @@ mod tests {
     }
 
     fn setup() -> (ServerDb, Uuid) {
-        let s = ServerDb::new(3);
+        let s = ServerDb::builder(3).build().unwrap();
         let c = s.register(SimTime::from_secs(1), 0.0).unwrap();
         (s, c)
     }

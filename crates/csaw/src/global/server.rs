@@ -10,11 +10,12 @@
 //! one `ServerDb` can be shared across ingestion threads.
 //!
 //! Construction goes through [`ServerDbBuilder`] (salt, registrar
-//! config, backend choice, shard count). [`ServerDb::new`] and
-//! [`ServerDb::with_registrar`] remain as shims for existing
-//! experiments.
+//! config, backend choice, shard count) — it is the only way to build a
+//! server. Ingestion goes through [`ServerDb::ingest`] with a [`Batch`]
+//! (build one with `Batch::new` or `Batch::from_wire`); reads go
+//! through the fallible [`ServerDb::blocked_for_as`].
 
-use crate::global::record::{GlobalRecord, Report, Uuid};
+use crate::global::record::{GlobalRecord, Uuid};
 use crate::global::voting::{ConfidenceFilter, Tally, VoteLedger};
 use csaw_censor::blocking::{BlockingType, Stage};
 use csaw_obs::metrics::{Counter, Gauge};
@@ -237,30 +238,6 @@ impl ServerDb {
         ServerDbBuilder::new(salt)
     }
 
-    /// A server with the given salt, default gate, and the default
-    /// in-memory backend.
-    ///
-    /// Deprecation note: prefer [`ServerDb::builder`], which also
-    /// selects shard count and backend; this shim remains for the
-    /// existing experiments.
-    pub fn new(salt: u64) -> ServerDb {
-        ServerDb::from_parts(
-            salt,
-            RegistrarConfig::default(),
-            Arc::new(ShardedStore::new(16).expect("default shard count is valid")),
-        )
-    }
-
-    /// Override the registration gate.
-    ///
-    /// Deprecation note: prefer
-    /// [`ServerDbBuilder::registrar`]; this shim remains for the
-    /// existing experiments.
-    pub fn with_registrar(mut self, cfg: RegistrarConfig) -> ServerDb {
-        self.registrar = cfg;
-        self
-    }
-
     fn from_parts(
         salt: u64,
         registrar: RegistrarConfig,
@@ -350,58 +327,22 @@ impl ServerDb {
         Ok(receipt)
     }
 
-    /// Ingest a JSON batch from the wire.
-    ///
-    /// Deprecation note: thin shim over [`ServerDb::ingest`] —
-    /// `Batch::from_wire` + `ingest` is the first-class path.
-    pub fn post_update_wire(
-        &self,
-        client: Uuid,
-        wire: &str,
-        now: SimTime,
-    ) -> Result<usize, StoreError> {
-        let batch = Batch::from_wire(client, wire, now)?;
-        Ok(self.ingest(batch)?.accepted)
-    }
-
-    /// Ingest parsed reports.
-    ///
-    /// Deprecation note: thin shim over [`ServerDb::ingest`]. Only
-    /// blocked URLs travel in reports by protocol construction.
-    pub fn post_update(
-        &self,
-        client: Uuid,
-        reports: &[Report],
-        now: SimTime,
-    ) -> Result<usize, StoreError> {
-        Ok(self
-            .ingest(Batch::new(client, reports.to_vec(), now))?
-            .accepted)
-    }
-
     /// The blocked-URL list for an AS, filtered by vote confidence —
     /// what clients download at initialization and on every sync.
     /// Served from the backend's per-shard snapshot caches.
-    pub fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
-        let out = self.backend.blocked_for_as(asn, filter);
-        self.m.downloads.inc();
-        self.m.downloads_served.add(out.len() as u64);
-        out
-    }
-
-    /// Fallible blocked-list download: surfaces backend unavailability
-    /// (fault-injection windows, a remote store's outage) as an error
-    /// instead of an empty list, so a client's sync can distinguish
-    /// "nothing blocked" from "could not ask". Prefer this in periodic
-    /// sync paths; [`ServerDb::blocked_for_as`] stays for callers that
-    /// have no retry story.
-    pub fn try_blocked_for_as(
+    ///
+    /// Fallible by design: backend unavailability (fault-injection
+    /// windows, a remote store's outage) surfaces as an error instead
+    /// of an empty list, so a client's sync can distinguish "nothing
+    /// blocked" from "could not ask". The built-in in-memory backend
+    /// never fails.
+    pub fn blocked_for_as(
         &self,
         asn: Asn,
         filter: &ConfidenceFilter,
     ) -> Result<Vec<GlobalRecord>, StoreError> {
         self.m.downloads.inc();
-        match self.backend.try_blocked_for_as(asn, filter) {
+        match self.backend.blocked_for_as(asn, filter) {
             Ok(out) => {
                 self.m.downloads_served.add(out.len() as u64);
                 Ok(out)
@@ -411,6 +352,20 @@ impl ServerDb {
                 Err(e)
             }
         }
+    }
+
+    /// [`ServerDb::blocked_for_as`], unwrapped — a convenience for the
+    /// figure binaries, whose in-memory backends cannot fail and whose
+    /// plotting loops have no error story. Everything else should
+    /// handle the `Result`.
+    #[doc(hidden)]
+    pub fn blocked_for_as_infallible(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Vec<GlobalRecord> {
+        self.blocked_for_as(asn, filter)
+            .expect("infallible backend promised by the caller")
     }
 
     /// Vote tally for a (URL, AS) — exposed for analytics.
@@ -534,6 +489,33 @@ pub struct DeploymentStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::global::record::Report;
+
+    /// A server with the default gate and in-memory backend.
+    fn server(salt: u64) -> ServerDb {
+        ServerDb::builder(salt)
+            .build()
+            .expect("default builder config is valid")
+    }
+
+    /// Test shorthand over the first-class `ingest`/`blocked_for_as`
+    /// API: post parsed reports (returning the accepted count) and read
+    /// a blocked list from the never-failing in-memory backend.
+    trait ServerTestExt {
+        fn post(&self, c: Uuid, reports: &[Report], now: SimTime) -> Result<usize, StoreError>;
+        fn blocked(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord>;
+    }
+
+    impl ServerTestExt for ServerDb {
+        fn post(&self, c: Uuid, reports: &[Report], now: SimTime) -> Result<usize, StoreError> {
+            self.ingest(Batch::new(c, reports.to_vec(), now))
+                .map(|r| r.accepted)
+        }
+        fn blocked(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+            self.blocked_for_as(asn, filter)
+                .expect("in-memory backend reads are infallible")
+        }
+    }
 
     fn report(url: &str, asn: u32, stage: BlockingType) -> Report {
         Report {
@@ -546,44 +528,42 @@ mod tests {
 
     #[test]
     fn register_and_post_flow() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::from_secs(1), 0.1).unwrap();
         let n = s
-            .post_update(
+            .post(
                 c,
                 &[report("http://x.com/", 17557, BlockingType::DnsHijack)],
                 SimTime::from_secs(2),
             )
             .unwrap();
         assert_eq!(n, 1);
-        let list = s.blocked_for_as(Asn(17557), &ConfidenceFilter::default());
+        let list = s.blocked(Asn(17557), &ConfidenceFilter::default());
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].url, "http://x.com/");
         assert_eq!(list[0].posted_at, SimTime::from_secs(2));
         assert_eq!(list[0].reporter, c);
         // Other ASes see nothing.
-        assert!(s
-            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
-            .is_empty());
+        assert!(s.blocked(Asn(1), &ConfidenceFilter::default()).is_empty());
     }
 
     #[test]
     fn unknown_client_rejected() {
-        let s = ServerDb::new(7);
-        let err = s.post_update(Uuid::from_raw(99), &[], SimTime::ZERO);
+        let s = server(7);
+        let err = s.post(Uuid::from_raw(99), &[], SimTime::ZERO);
         assert_eq!(err, Err(StoreError::UnknownClient));
     }
 
     #[test]
     fn malformed_wire_rejected_and_garbage_urls_dropped() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         assert!(matches!(
-            s.post_update_wire(c, "garbage", SimTime::ZERO),
+            Batch::from_wire(c, "garbage", SimTime::ZERO),
             Err(StoreError::Wire(_))
         ));
         let n = s
-            .post_update(
+            .post(
                 c,
                 &[
                     report("not a url", 1, BlockingType::HttpDrop),
@@ -623,11 +603,14 @@ mod tests {
 
     #[test]
     fn risk_gate_and_rate_limit() {
-        let s = ServerDb::new(7).with_registrar(RegistrarConfig {
-            max_risk: 0.5,
-            max_per_window: 2,
-            window: SimDuration::from_secs(60),
-        });
+        let s = ServerDb::builder(7)
+            .registrar(RegistrarConfig {
+                max_risk: 0.5,
+                max_per_window: 2,
+                window: SimDuration::from_secs(60),
+            })
+            .build()
+            .unwrap();
         assert_eq!(
             s.register(SimTime::ZERO, 0.9),
             Err(RegistrationError::RiskRejected)
@@ -645,12 +628,12 @@ mod tests {
 
     #[test]
     fn confidence_filter_hides_lone_spam() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let honest1 = s.register(SimTime::ZERO, 0.0).unwrap();
         let honest2 = s.register(SimTime::ZERO, 0.0).unwrap();
         let spammer = s.register(SimTime::ZERO, 0.0).unwrap();
         for c in [honest1, honest2] {
-            s.post_update(
+            s.post(
                 c,
                 &[report("http://real.com/", 1, BlockingType::HttpDrop)],
                 SimTime::ZERO,
@@ -660,23 +643,20 @@ mod tests {
         let fakes: Vec<Report> = (0..200)
             .map(|i| report(&format!("http://fake{i}.com/"), 1, BlockingType::HttpDrop))
             .collect();
-        s.post_update(spammer, &fakes, SimTime::ZERO).unwrap();
+        s.post(spammer, &fakes, SimTime::ZERO).unwrap();
         let strict = ConfidenceFilter::strict(2, 0.1);
-        let visible = s.blocked_for_as(Asn(1), &strict);
+        let visible = s.blocked(Asn(1), &strict);
         assert_eq!(visible.len(), 1);
         assert_eq!(visible[0].url, "http://real.com/");
         // Unfiltered view contains everything (for analytics).
-        assert_eq!(
-            s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).len(),
-            201
-        );
+        assert_eq!(s.blocked(Asn(1), &ConfidenceFilter::default()).len(), 201);
     }
 
     #[test]
     fn revocation_hides_reports() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        s.post_update(
+        s.post(
             c,
             &[report("http://x.com/", 1, BlockingType::HttpDrop)],
             SimTime::ZERO,
@@ -684,19 +664,19 @@ mod tests {
         .unwrap();
         s.revoke(c);
         let strict = ConfidenceFilter::strict(1, 0.01);
-        assert!(s.blocked_for_as(Asn(1), &strict).is_empty());
+        assert!(s.blocked(Asn(1), &strict).is_empty());
         // And the client can no longer post.
         assert_eq!(
-            s.post_update(c, &[], SimTime::ZERO),
+            s.post(c, &[], SimTime::ZERO),
             Err(StoreError::UnknownClient)
         );
     }
 
     #[test]
     fn stats_cover_table7_dimensions() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        s.post_update(
+        s.post(
             c,
             &[
                 report("http://a.foo.com/x", 1, BlockingType::DnsHijack),
@@ -720,27 +700,24 @@ mod tests {
 
     #[test]
     fn repost_after_expiry_restores_visibility() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
         let r = report("http://x.com/", 1, BlockingType::HttpDrop);
-        s.post_update(c, std::slice::from_ref(&r), SimTime::ZERO)
-            .unwrap();
+        s.post(c, std::slice::from_ref(&r), SimTime::ZERO).unwrap();
         s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
-        assert!(s
-            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
-            .is_empty());
+        assert!(s.blocked(Asn(1), &ConfidenceFilter::default()).is_empty());
         // Fresh censorship re-reported after expiry shows up again.
-        s.post_update(c, &[r], SimTime::from_secs(101)).unwrap();
-        let list = s.blocked_for_as(Asn(1), &ConfidenceFilter::default());
+        s.post(c, &[r], SimTime::from_secs(101)).unwrap();
+        let list = s.blocked(Asn(1), &ConfidenceFilter::default());
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].posted_at, SimTime::from_secs(101));
     }
 
     #[test]
     fn record_expiry() {
-        let s = ServerDb::new(7);
+        let s = server(7);
         let c = s.register(SimTime::ZERO, 0.0).unwrap();
-        s.post_update(
+        s.post(
             c,
             &[report("http://x.com/", 1, BlockingType::HttpDrop)],
             SimTime::ZERO,
@@ -748,9 +725,7 @@ mod tests {
         .unwrap();
         let removed = s.expire_records(SimTime::from_secs(100), SimDuration::from_secs(50));
         assert_eq!(removed, 1);
-        assert!(s
-            .blocked_for_as(Asn(1), &ConfidenceFilter::default())
-            .is_empty());
+        assert!(s.blocked(Asn(1), &ConfidenceFilter::default()).is_empty());
     }
 
     #[test]
@@ -762,7 +737,7 @@ mod tests {
         {
             let s = ServerDb::builder(7).jsonl_log(&path).build().unwrap();
             c = s.register(SimTime::ZERO, 0.0).unwrap();
-            s.post_update(
+            s.post(
                 c,
                 &[report("http://x.com/", 1, BlockingType::HttpDrop)],
                 SimTime::from_secs(2),
@@ -790,7 +765,7 @@ mod tests {
                 let s = &s;
                 scope.spawn(move || {
                     for i in 0..50u64 {
-                        s.post_update(
+                        s.post(
                             c,
                             &[report(
                                 &format!("http://t{t}-{i}.com/"),
@@ -806,9 +781,6 @@ mod tests {
         });
         assert_eq!(s.updates_accepted(), 200);
         assert_eq!(s.store().record_count(), 200);
-        assert_eq!(
-            s.blocked_for_as(Asn(1), &ConfidenceFilter::default()).len(),
-            200
-        );
+        assert_eq!(s.blocked(Asn(1), &ConfidenceFilter::default()).len(), 200);
     }
 }

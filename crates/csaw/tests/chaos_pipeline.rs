@@ -154,7 +154,7 @@ fn collector_outage_defers_but_never_drops() {
     use csaw::global::CollectorSet;
     use csaw_faults::OutageSchedule;
 
-    let server = ServerDb::new(0xB10C);
+    let server = ServerDb::builder(0xB10C).build().unwrap();
     let w = build_world();
     let mut c = CsawClient::new(
         CsawConfig::default().with_report_backoff(

@@ -10,7 +10,7 @@
 //!   backend; the rest comes back in the receipt's `deferred_indices`
 //!   (stored *nowhere*, so a client that does not resubmit them has
 //!   lost data);
-//! - **download failures** — `try_blocked_for_as` errors, modelling a
+//! - **download failures** — `blocked_for_as` errors, modelling a
 //!   blocked or overloaded snapshot endpoint.
 //!
 //! Ingest-side decisions use the batch's own `posted_at` as "now";
@@ -216,13 +216,7 @@ impl StorageBackend for FaultyBackend {
         self.inner.ingest(batch)
     }
 
-    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
-        // The infallible path bypasses injection (callers using it have
-        // no way to see, let alone retry, a failure).
-        self.inner.blocked_for_as(asn, filter)
-    }
-
-    fn try_blocked_for_as(
+    fn blocked_for_as(
         &self,
         asn: Asn,
         filter: &ConfidenceFilter,
@@ -243,7 +237,7 @@ impl StorageBackend for FaultyBackend {
             csaw_obs::event!("fault.download.unavailable", asn = asn.0 as u64);
             return Err(StoreError::Unavailable("injected download fault"));
         }
-        self.inner.try_blocked_for_as(asn, filter)
+        self.inner.blocked_for_as(asn, filter)
     }
 
     fn tally(&self, url: &str, asn: Asn) -> Tally {
@@ -319,7 +313,7 @@ mod tests {
         assert!(r.is_complete());
         assert_eq!(b.snapshot(), FaultSnapshot::default());
         assert_eq!(
-            b.try_blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            b.blocked_for_as(Asn(1), &ConfidenceFilter::default())
                 .unwrap()
                 .len(),
             2
@@ -352,25 +346,24 @@ mod tests {
     }
 
     #[test]
-    fn download_outage_fails_try_but_not_infallible_path() {
+    fn download_outage_window_fails_reads_then_recovers() {
         let sched =
             OutageSchedule::from_windows(vec![(SimTime::from_secs(10), SimTime::from_secs(20))]);
         let b = faulty(FaultProfile::none().with_download_outages(sched), 4);
         b.ingest(&batch(1, &["http://a.com/"], 1_000_000)).unwrap();
         b.set_now(SimTime::from_secs(15));
         assert_eq!(
-            b.try_blocked_for_as(Asn(1), &ConfidenceFilter::default()),
+            b.blocked_for_as(Asn(1), &ConfidenceFilter::default()),
             Err(StoreError::Unavailable("injected download fault"))
         );
-        // The infallible path still serves (callers cannot retry it).
+        // Past the window the same call serves again.
+        b.set_now(SimTime::from_secs(30));
         assert_eq!(
-            b.blocked_for_as(Asn(1), &ConfidenceFilter::default()).len(),
+            b.blocked_for_as(Asn(1), &ConfidenceFilter::default())
+                .unwrap()
+                .len(),
             1
         );
-        b.set_now(SimTime::from_secs(30));
-        assert!(b
-            .try_blocked_for_as(Asn(1), &ConfidenceFilter::default())
-            .is_ok());
         assert_eq!(b.snapshot().download_failures, 1);
     }
 

@@ -8,50 +8,19 @@
 //! Those are driven by this queue.
 //!
 //! Events are an application-defined payload type `E`; ties in firing time
-//! break on insertion order (a monotone sequence number), which keeps runs
-//! deterministic.
+//! break on insertion order, which keeps runs deterministic. Pending events
+//! live in a hierarchical timing wheel (see the private `wheel` module's
+//! docs): `O(1)` push, `O(1)` amortized pop, identical `(time, insertion)`
+//! dispatch order to the binary heap it replaced.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// An event scheduled to fire at a given virtual time.
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+use crate::wheel::TimingWheel;
 
 /// Deterministic earliest-first event queue with a virtual clock.
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    wheel: TimingWheel<E>,
     now: SimTime,
-    seq: u64,
     processed: u64,
 }
 
@@ -65,9 +34,8 @@ impl<E> Scheduler<E> {
     /// An empty scheduler at t = 0.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
             now: SimTime::ZERO,
-            seq: 0,
             processed: 0,
         }
     }
@@ -84,7 +52,7 @@ impl<E> Scheduler<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Schedule `payload` to fire at absolute time `at`.
@@ -92,11 +60,10 @@ impl<E> Scheduler<E> {
     /// Scheduling in the past is clamped to `now` — the event fires next.
     /// This matches how a real runtime treats an already-expired timer and
     /// keeps the clock monotone.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.wheel.push(at.as_micros(), payload);
     }
 
     /// Pop the next event, advancing the clock to its firing time.
@@ -107,15 +74,16 @@ impl<E> Scheduler<E> {
     /// into explicitly.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
-        self.now = ev.at;
+        let ev = self.wheel.pop()?;
+        let at = SimTime::from_micros(ev.at);
+        self.now = at;
         self.processed += 1;
-        Some((ev.at, ev.payload))
+        Some((at, ev.payload))
     }
 
     /// Peek at the firing time of the next event without dispatching it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.wheel.peek().map(SimTime::from_micros)
     }
 
     /// Run events until the queue is empty or the horizon passes, calling
@@ -131,17 +99,18 @@ impl<E> Scheduler<E> {
         let mut dispatched = 0;
         // Peak pending depth this window — a pure function of the event
         // sequence, so recording it is deterministic.
-        let mut peak_pending = self.heap.len();
-        while let Some(at) = self.peek_time() {
-            if at > horizon {
-                break;
-            }
-            let (t, ev) = self.next().expect("peeked event must exist");
-            // Hand the scheduler itself to the handler so it can schedule
-            // follow-up events; split-borrow via a temporary take.
-            f(t, ev, self);
+        let mut peak_pending = self.wheel.len();
+        let horizon_us = horizon.as_micros();
+        // Fused peek-then-pop: one wheel scan per event instead of two.
+        // `now` and `processed` must be updated per event because
+        // handlers observe both through `&mut self`.
+        while let Some(ev) = self.wheel.pop_at_most(horizon_us) {
+            let t = SimTime::from_micros(ev.at);
+            self.now = t;
+            self.processed += 1;
+            f(t, ev.payload, self);
             dispatched += 1;
-            peak_pending = peak_pending.max(self.heap.len());
+            peak_pending = peak_pending.max(self.wheel.len());
         }
         // Clock lands on the horizon even if no event fired exactly there,
         // so repeated run_until calls tile time correctly.
@@ -159,7 +128,7 @@ impl<E> Scheduler<E> {
             .add(dispatched);
         ctx.registry
             .gauge("simnet.queue_depth")
-            .set(self.heap.len() as i64);
+            .set(self.wheel.len() as i64);
         ctx.registry
             .gauge("simnet.sched.peak_pending")
             .set(peak_pending as i64);
@@ -169,7 +138,7 @@ impl<E> Scheduler<E> {
                 horizon.as_micros().saturating_sub(start_us),
                 &[
                     ("dispatched", csaw_obs::json::JsonValue::from(dispatched)),
-                    ("pending", csaw_obs::json::JsonValue::from(self.heap.len())),
+                    ("pending", csaw_obs::json::JsonValue::from(self.wheel.len())),
                 ],
             );
         }

@@ -37,7 +37,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the one exception is the reviewed
+// slab arena inside the timing wheel (`wheel.rs`), which keeps the
+// event queue's bucket storage in a single allocation instead of one
+// heap block per bucket.
+#![deny(unsafe_code)]
 
 pub mod event;
 pub mod link;
@@ -46,6 +50,7 @@ pub mod rng;
 pub mod tcp;
 pub mod time;
 pub mod topology;
+mod wheel;
 
 pub use event::Scheduler;
 pub use link::{FlapProfile, Link, Path};

@@ -17,6 +17,49 @@
 #[derive(Debug, Clone)]
 pub struct DetRng {
     state: [u64; 4],
+    /// Memo for [`DetRng::range_u64`]: the last non-power-of-two span,
+    /// its rejection threshold, and the magic/shift pair for reducing
+    /// draws modulo the span by multiply-shift instead of hardware
+    /// division (Granlund–Montgomery invariant division — see
+    /// [`mod_magic`] for the exactness argument). Bounded draws loop
+    /// over the same span in hot paths, and both the threshold and the
+    /// magic cost a division to recompute. Pure cache — output is
+    /// identical with or without it.
+    zone_span: u64,
+    zone: u64,
+    mod_magic: u64,
+    mod_shift: u32,
+}
+
+/// Magic/shift pair such that [`mod_by_magic`] computes exactly
+/// `v % d` for every `v`, for a fixed non-power-of-two `d` with
+/// `3 <= d <= 2^63`.
+///
+/// Let `l = ceil(log2 d)` (so `2 <= l <= 63`) and `m = ceil(2^(64+l) / d)`.
+/// Then `m·d - 2^(64+l) < d <= 2^l`, which is the Granlund–Montgomery
+/// round-up condition, so `floor(m·v / 2^(64+l)) = floor(v / d)` for all
+/// `v < 2^64`. `m` is a 65-bit value `2^64 + m'`; only `m'` is stored,
+/// and the quotient is reassembled 65-bit-safely in [`mod_by_magic`].
+fn mod_magic(d: u64) -> (u64, u32) {
+    debug_assert!(d >= 3 && !d.is_power_of_two() && d <= (1 << 63));
+    let l = 64 - (d - 1).leading_zeros();
+    let num = 1u128 << (64 + l);
+    let m = num.div_ceil(u128::from(d));
+    ((m - (1u128 << 64)) as u64, l)
+}
+
+/// Exact `v % d` via the pair from [`mod_magic`].
+///
+/// With `hi = mulhi(m', v)`, the quotient is
+/// `floor((v + hi) / 2^l)` — the fractional contribution of the low
+/// product half cannot carry across a multiple of `2^l`. The 65-bit sum
+/// `v + hi` is halved first (`hi <= v`, so `hi + (v-hi)/2` is exact and
+/// fits), then shifted by the remaining `l - 1`.
+#[inline]
+fn mod_by_magic(v: u64, d: u64, magic: u64, shift: u32) -> u64 {
+    let hi = ((u128::from(v) * u128::from(magic)) >> 64) as u64;
+    let q = (hi + ((v - hi) >> 1)) >> (shift - 1);
+    v - q * d
 }
 
 /// SplitMix64 step: the standard seed expander for xoshiro-family
@@ -39,7 +82,13 @@ impl DetRng {
             splitmix64(&mut x),
             splitmix64(&mut x),
         ];
-        DetRng { state }
+        DetRng {
+            state,
+            zone_span: 0,
+            zone: 0,
+            mod_magic: 0,
+            mod_shift: 0,
+        }
     }
 
     /// One xoshiro256++ step.
@@ -104,11 +153,33 @@ impl DetRng {
             return lo + (self.next_u64() & (span - 1));
         }
         // Rejection zone: discard draws that would bias the modulus.
-        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        if span != self.zone_span {
+            self.zone_span = span;
+            self.zone = u64::MAX - (u64::MAX - span + 1) % span;
+            // Spans above 2^63 reduce by compare-subtract instead
+            // (the quotient is 0 or 1); magic 0 marks that path.
+            if span <= (1 << 63) {
+                let (magic, shift) = mod_magic(span);
+                self.mod_magic = magic;
+                self.mod_shift = shift;
+            } else {
+                self.mod_magic = 0;
+                self.mod_shift = 0;
+            }
+        }
+        let (zone, magic, shift) = (self.zone, self.mod_magic, self.mod_shift);
         loop {
             let v = self.next_u64();
             if v <= zone {
-                return lo + v % span;
+                let r = if magic != 0 {
+                    mod_by_magic(v, span, magic, shift)
+                } else if v >= span {
+                    v - span
+                } else {
+                    v
+                };
+                debug_assert_eq!(r, v % span);
+                return lo + r;
             }
         }
     }
@@ -199,6 +270,79 @@ mod tests {
         let zs: Vec<u64> = (0..10).map(|_| b.range_u64(0, 1 << 40)).collect();
         assert_eq!(xs, ys, "same label => same stream");
         assert_ne!(xs, zs, "different label => different stream");
+    }
+
+    #[test]
+    fn magic_modulus_is_exact() {
+        // Adversarial spans: tiny, near powers of two on both sides,
+        // wide, and near the 2^63 magic-path boundary.
+        let spans = [
+            3u64,
+            5,
+            6,
+            7,
+            1_000_000,
+            (1 << 20) - 1,
+            (1 << 20) + 1,
+            (1 << 32) - 1,
+            (1 << 32) + 1,
+            (1 << 62) + 12345,
+            (1 << 63) - 1,
+        ];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for &d in &spans {
+            let (magic, shift) = mod_magic(d);
+            // Boundary values where an off-by-one quotient would show.
+            for k in [0u64, 1, 2, 3, u64::MAX / d, u64::MAX / d - 1] {
+                for off in [0u64, 1, d - 1] {
+                    let v = match k.checked_mul(d).and_then(|p| p.checked_add(off)) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                    assert_eq!(mod_by_magic(v, d, magic, shift), v % d, "v={v} d={d}");
+                }
+            }
+            for v in [0u64, 1, d - 1, d, d + 1, u64::MAX, u64::MAX - 1] {
+                assert_eq!(mod_by_magic(v, d, magic, shift), v % d, "v={v} d={d}");
+            }
+            // And a randomized sweep.
+            for _ in 0..20_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                assert_eq!(mod_by_magic(x, d, magic, shift), x % d, "v={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_u64_matches_plain_modulus_reduction() {
+        // The fast reduction must not perturb the output stream: replay
+        // the same xoshiro stream and reduce with plain `%`.
+        let mut fast = DetRng::new(99);
+        let mut plain = DetRng::new(99);
+        for &(lo, hi) in &[
+            (0u64, 3u64),
+            (10, 1_000_010),
+            (0, u64::MAX),
+            (5, (1 << 63) + 17),
+            (0, 1 << 40),
+        ] {
+            for _ in 0..200 {
+                let span = hi - lo;
+                let want = loop {
+                    let v = plain.next_u64();
+                    if span.is_power_of_two() {
+                        break lo + (v & (span - 1));
+                    }
+                    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                    if v <= zone {
+                        break lo + v % span;
+                    }
+                };
+                assert_eq!(fast.range_u64(lo, hi), want, "range [{lo}, {hi})");
+            }
+        }
     }
 
     #[test]

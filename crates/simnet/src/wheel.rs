@@ -1,0 +1,556 @@
+//! A hierarchical timing wheel: the scheduler's pending-event store.
+//!
+//! The discrete-event scheduler used to keep its pending events in a
+//! `BinaryHeap`, paying `O(log n)` comparisons (on an `(at, seq)` pair)
+//! for every push *and* pop. At simulation scale the event loop is the
+//! hot path, so this module replaces the heap with a hierarchical
+//! timing wheel tuned for the drain pattern the simulator actually has
+//! (schedule a burst, then pop in time order):
+//!
+//! - **the run** — the earliest 1024-µs window, kept as one `Vec`
+//!   sorted descending by firing time (popping the next event is a
+//!   plain `Vec::pop` from the back); the run buffer is reused for the
+//!   wheel's whole life, so the hottest structure never leaves cache;
+//! - **level 1** — 1024 slots of one run-window each, covering time
+//!   bits 10–19 (≈ a second of simulated time per rotation), stored as
+//!   fixed segments of one shared slab allocation (with rare per-slot
+//!   spill `Vec`s) so bucketing a burst costs no allocator traffic;
+//! - **levels 2–9** — 64 slots each of 6 time bits, covering bits
+//!   20–67 (≥ the full `u64` µs range).
+//!
+//! Push is `O(1)` (append to a slab segment); pop is `O(1)` amortized
+//! — a typical event is touched three times in its whole life (push
+//! into a level-1 segment, one move-and-sort when its window is
+//! promoted to be the run, one pop), and bucket lookups are a couple
+//! of `trailing_zeros` calls on occupancy bitmaps.
+//!
+//! ## Placement
+//!
+//! Times are absolute microseconds (`u64`). The wheel keeps a `cursor`
+//! — its own clock, always ≤ every pending time — and an event at time
+//! `at` lives at the level indexed by the *highest bit where `at`
+//! differs from the cursor*: bits 0–9 → the run, bits 10–19 → level 1,
+//! bits 20+ → the 6-bit level containing that bit.
+//!
+//! ## Cascading and ordering
+//!
+//! When the run empties, the lowest occupied level-1 bucket is
+//! promoted: the cursor advances to that bucket's window start, the
+//! bucket's slab segment (plus any spill) is moved into the run, and
+//! one stable sort (see `sort_promoted_run`) puts it in pop order. When level 1 is also
+//! empty, the lowest bucket of the lowest non-empty 6-bit level is
+//! cascaded: its events are re-placed, each landing strictly lower. Two
+//! invariants make the pop order exactly the heap's `(at, seq)` order:
+//!
+//! - the run always holds the globally earliest pending events, and
+//!   the promotion sort orders by `(time, insertion index)` — so
+//!   draining from the back is earliest-first with insertion-order
+//!   tie-breaking;
+//! - the cursor can only *enter* a bucket's time window by promoting or
+//!   cascading that bucket first, so equal-time events always meet in
+//!   the same bucket (or the run) with their original insertion order
+//!   intact. A late push whose time falls inside the live run window is
+//!   spliced into the run *after* every pending entry with an equal or
+//!   earlier time, which is exactly where its (larger) sequence number
+//!   would have sorted it.
+
+/// Width of the run's window: `2^10` µs.
+const RUN_BITS: u32 = 10;
+/// Level 1: 1024 slots of one run-window each (time bits 10–19).
+const L1_BITS: u32 = 10;
+const L1_SLOTS: usize = 1 << L1_BITS;
+/// Entries per level-1 slot held inline in the slab arena; a slot's
+/// overflow beyond this spills to a heap-allocated `Vec`.
+const L1_SEG: usize = 16;
+/// First time bit covered by the 6-bit upper levels.
+const HI_SHIFT: u32 = RUN_BITS + L1_BITS;
+/// Bits per upper level.
+const HI_BITS: u32 = 6;
+const HI_SLOTS: usize = 1 << HI_BITS;
+/// `8 × 6 = 48` bits above `HI_SHIFT` ≥ the full `u64` µs range.
+const HI_LEVELS: usize = 8;
+
+/// One pending event. Deliberately two words for a word-sized payload:
+/// tie-breaking is positional (buckets and the run preserve insertion
+/// order), so no sequence number is stored.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry<E> {
+    /// Absolute firing time, µs.
+    pub at: u64,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+fn boxed_buckets<E, const N: usize>() -> Box<[Vec<Entry<E>>; N]> {
+    let v: Vec<Vec<Entry<E>>> = (0..N).map(|_| Vec::new()).collect();
+    match v.into_boxed_slice().try_into() {
+        Ok(b) => b,
+        Err(_) => unreachable!("built with exactly N buckets"),
+    }
+}
+
+impl<E> std::fmt::Debug for TimingWheel<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Drop for TimingWheel<E> {
+    fn drop(&mut self) {
+        // The spill `Vec`s, the run, and the upper levels drop
+        // themselves; only initialized slab segments need explicit
+        // drops — and none at all for plain-data payloads.
+        if std::mem::needs_drop::<E>() {
+            for slot in 0..L1_SLOTS {
+                let base = slot * L1_SEG;
+                for m in &mut self.slab[base..base + self.seg_len[slot] as usize] {
+                    // SAFETY: the segment prefix up to `seg_len[slot]`
+                    // is initialized (field invariant) and is dropped
+                    // exactly once here — promotions zero `seg_len`
+                    // before this can run.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        m.assume_init_drop()
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The wheel itself. See the module docs for the layout.
+pub(crate) struct TimingWheel<E> {
+    /// The earliest window's events, sorted *descending* by `at` with
+    /// equal times in reverse insertion order, so `Vec::pop` from the
+    /// back yields `(at, insertion)` order with no per-pop memmove.
+    /// The buffer is retained across promotions, so it stays warm for
+    /// the wheel's whole life.
+    run: Vec<Entry<E>>,
+    /// Level-1 bucket storage: one slab allocation holding an
+    /// `L1_SEG`-entry segment per slot, instead of one heap block per
+    /// bucket — a fresh wheel that buckets a 10k-event burst would
+    /// otherwise pay hundreds of allocator round-trips per rotation.
+    ///
+    /// Invariant (the whole `unsafe` story of this module): for every
+    /// slot, `slab[slot * L1_SEG ..][.. seg_len[slot]]` is initialized,
+    /// and nothing else in the slab is. `seg_len` is bumped after a
+    /// write, zeroed when a promotion moves the segment out, and
+    /// drained by `Drop` for payloads that need dropping.
+    slab: Box<[std::mem::MaybeUninit<Entry<E>>]>,
+    /// Initialized entries in each slot's slab segment (≤ `L1_SEG`).
+    seg_len: [u8; L1_SLOTS],
+    /// Bit per slot: the slot also has spilled entries in `l1`.
+    /// Checked before touching the spill `Vec`s so the common
+    /// no-spill promotion never loads their headers.
+    l1_spill: [u64; L1_SLOTS / 64],
+    /// Level-1 spill buckets, used only past `L1_SEG` entries. Empty
+    /// `Vec`s don't allocate; a drained bucket keeps its buffer.
+    l1: Box<[Vec<Entry<E>>; L1_SLOTS]>,
+    /// Level-1 occupancy, `L1_SLOTS / 64` words, plus a summary word (bit `w` ⇔
+    /// `l1_words[w] != 0`) so the lowest occupied slot is two
+    /// `trailing_zeros` away.
+    l1_words: [u64; L1_SLOTS / 64],
+    l1_summary: u64,
+    /// Upper-level buckets, flattened as `level * HI_SLOTS + slot`.
+    hi: Box<[Vec<Entry<E>>; HI_LEVELS * HI_SLOTS]>,
+    /// Per-upper-level occupancy bitmap, plus a summary word.
+    hi_occ: [u64; HI_LEVELS],
+    hi_summary: u64,
+    /// Cascade staging area: buffers are swapped through here so a
+    /// cascade never throws an allocation away.
+    scratch: Vec<Entry<E>>,
+    /// The wheel clock: never exceeds the earliest pending time.
+    cursor: u64,
+    len: usize,
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty wheel with its cursor at t = 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            run: Vec::new(),
+            // Uninitialized on purpose: the slab is written before it
+            // is ever read (see the invariant on the field), and not
+            // zeroing ~L1_SLOTS × L1_SEG entries keeps wheel creation
+            // cheap for short-lived schedulers.
+            slab: Box::new_uninit_slice(L1_SLOTS * L1_SEG),
+            seg_len: [0; L1_SLOTS],
+            l1_spill: [0; L1_SLOTS / 64],
+            l1: boxed_buckets(),
+            l1_words: [0; L1_SLOTS / 64],
+            l1_summary: 0,
+            hi: boxed_buckets(),
+            hi_occ: [0; HI_LEVELS],
+            hi_summary: 0,
+            scratch: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn insert(&mut self, e: Entry<E>) {
+        debug_assert!(e.at >= self.cursor, "inserting behind the wheel cursor");
+        let diff = self.cursor ^ e.at;
+        if diff < (1 << RUN_BITS) {
+            // Inside the live run window: splice *before* every pending
+            // entry with at ≤ e.at (the run is descending, popped from
+            // the back), which preserves insertion-order tie-breaking.
+            let pos = self.run.partition_point(|p| p.at > e.at);
+            self.run.insert(pos, e);
+        } else if diff < (1 << HI_SHIFT) {
+            let slot = ((e.at >> RUN_BITS) as usize) & (L1_SLOTS - 1);
+            let n = self.seg_len[slot] as usize;
+            if n < L1_SEG {
+                self.slab[slot * L1_SEG + n].write(e);
+                self.seg_len[slot] = (n + 1) as u8;
+            } else {
+                // Segment full: spill to the slot's heap bucket. The
+                // segment holds the first L1_SEG arrivals and the
+                // spill the rest, so concatenating segment-then-spill
+                // at promotion preserves arrival order.
+                self.l1[slot].push(e);
+                self.l1_spill[slot >> 6] |= 1 << (slot & 63);
+            }
+            let w = slot >> 6;
+            self.l1_words[w] |= 1 << (slot & 63);
+            self.l1_summary |= 1 << w;
+        } else {
+            let hbit = 63 - diff.leading_zeros();
+            let level = (((hbit - HI_SHIFT) / HI_BITS) as usize) & (HI_LEVELS - 1);
+            let shift = HI_SHIFT + HI_BITS * level as u32;
+            let slot = ((e.at >> shift) as usize) & (HI_SLOTS - 1);
+            self.hi[level * HI_SLOTS + slot].push(e);
+            self.hi_occ[level] |= 1 << slot;
+            self.hi_summary |= 1 << level;
+        }
+    }
+
+    /// Add an event. `at` must be ≥ every time already popped — the
+    /// scheduler's clamp-to-now rule guarantees it.
+    #[inline]
+    pub fn push(&mut self, at: u64, payload: E) {
+        self.insert(Entry { at, payload });
+        self.len += 1;
+    }
+
+    /// The earliest pending firing time, without removing anything.
+    pub fn peek(&self) -> Option<u64> {
+        if let Some(e) = self.run.last() {
+            return Some(e.at);
+        }
+        if self.l1_summary != 0 {
+            let w = self.l1_summary.trailing_zeros() as usize;
+            let slot = (w << 6) | self.l1_words[w].trailing_zeros() as usize;
+            // Times within one bucket are not ordered, so scan the
+            // slab segment and any spill.
+            let base = slot * L1_SEG;
+            let seg = &self.slab[base..base + self.seg_len[slot] as usize];
+            // SAFETY: the segment prefix up to `seg_len[slot]` is
+            // initialized (field invariant); shared borrow only.
+            #[allow(unsafe_code)]
+            let seg_min = seg.iter().map(|m| unsafe { m.assume_init_ref() }.at).min();
+            let spill_min = self.l1[slot].iter().map(|e| e.at).min();
+            return match (seg_min, spill_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        }
+        if self.hi_summary != 0 {
+            let level = self.hi_summary.trailing_zeros() as usize;
+            let slot = self.hi_occ[level].trailing_zeros() as usize;
+            return self.hi[level * HI_SLOTS + slot].iter().map(|e| e.at).min();
+        }
+        None
+    }
+
+    /// Remove and return the earliest event; ties pop in push order.
+    pub fn pop(&mut self) -> Option<Entry<E>> {
+        self.pop_at_most(u64::MAX)
+    }
+
+    /// Put a just-promoted bucket (sitting in `run`, still in insertion
+    /// order) into run order: descending by time, equal times in
+    /// reverse insertion order — a stable ascending sort followed by a
+    /// reverse, so `Vec::pop` from the back yields `(at, insertion)`.
+    ///
+    /// A packed-key unstable sort (sort `(low_bits << 16) | index` as
+    /// `u32`, then permute) was tried here and *lost*: applying the
+    /// permutation by cycle-following is a serial dependency chain, and
+    /// at the ~10–20 entries a typical bucket holds, the std insertion
+    /// sort on whole entries is already cheaper than building keys plus
+    /// chasing cycles.
+    fn sort_promoted_run(&mut self) {
+        self.run.sort_by_key(|e| e.at);
+        self.run.reverse();
+    }
+
+    /// [`TimingWheel::pop`], but only if the earliest event fires at or
+    /// before `horizon` — the fused peek-then-pop the event loop runs
+    /// on, so the bounded drain pays one scan per event instead of two.
+    #[inline]
+    pub fn pop_at_most(&mut self, horizon: u64) -> Option<Entry<E>> {
+        loop {
+            // Pop optimistically and push back in the rare over-horizon
+            // case: one bounds check and one entry load per event
+            // instead of a separate peek.
+            if let Some(e) = self.run.pop() {
+                if e.at > horizon {
+                    self.run.push(e);
+                    return None;
+                }
+                self.len -= 1;
+                debug_assert!(e.at >= self.cursor, "popping behind the wheel cursor");
+                self.cursor = e.at;
+                return Some(e);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Refill is ~1/10th as frequent as the pop above; keeping
+            // it out of line keeps the caller's drain loop small.
+            if !self.refill(horizon) {
+                return None;
+            }
+        }
+    }
+
+    /// Promote or cascade until the run is non-empty or nothing can
+    /// fire within `horizon`. Returns whether the caller should retry.
+    #[cold]
+    #[inline(never)]
+    fn refill(&mut self, horizon: u64) -> bool {
+        if self.l1_summary != 0 {
+            // Promote the lowest occupied level-1 bucket to be the
+            // new run: advance the cursor to its window start, move
+            // the slot's slab segment (plus any spill) into the run,
+            // one stable sort.
+            let w = self.l1_summary.trailing_zeros() as usize;
+            let bit = self.l1_words[w].trailing_zeros();
+            let slot = (w << 6) | bit as usize;
+            let window_start =
+                (self.cursor & !((1u64 << HI_SHIFT) - 1)) | ((slot as u64) << RUN_BITS);
+            debug_assert!(
+                window_start >= self.cursor,
+                "promotion moved the cursor back"
+            );
+            if window_start > horizon {
+                // Every pending event is at or after the window
+                // start, so nothing can fire within the horizon.
+                return false;
+            }
+            self.cursor = window_start;
+            self.l1_words[w] &= !(1 << bit);
+            if self.l1_words[w] == 0 {
+                self.l1_summary &= !(1 << w);
+            }
+            debug_assert!(self.run.is_empty());
+            let n = self.seg_len[slot] as usize;
+            self.seg_len[slot] = 0;
+            self.run.reserve(n);
+            let base = slot * L1_SEG;
+            for m in &self.slab[base..base + n] {
+                // SAFETY: `slab[base..base + seg_len[slot]]` is
+                // initialized (field invariant); `seg_len` was zeroed
+                // above, so each entry is moved out exactly once and
+                // never dropped in place.
+                #[allow(unsafe_code)]
+                self.run.push(unsafe { m.assume_init_read() });
+            }
+            if self.l1_spill[w] & (1 << bit) != 0 {
+                self.l1_spill[w] &= !(1 << bit);
+                self.run.append(&mut self.l1[slot]);
+            }
+            self.sort_promoted_run();
+            return true;
+        }
+        // Cascade: advance the cursor to the start of the lowest
+        // non-empty upper level's lowest bucket window and re-place
+        // its events; each lands strictly lower, so repeated refills
+        // terminate.
+        let level = self.hi_summary.trailing_zeros() as usize;
+        let slot = self.hi_occ[level].trailing_zeros() as usize;
+        let shift = HI_SHIFT + HI_BITS * level as u32;
+        let above = shift + HI_BITS;
+        let high_mask = if above >= 64 { 0 } else { !0u64 << above };
+        let window_start = (self.cursor & high_mask) | ((slot as u64) << shift);
+        debug_assert!(window_start >= self.cursor, "cascade moved the cursor back");
+        if window_start > horizon {
+            return false;
+        }
+        self.cursor = window_start;
+        self.hi_occ[level] &= !(1 << slot);
+        if self.hi_occ[level] == 0 {
+            self.hi_summary &= !(1 << level);
+        }
+        debug_assert!(self.scratch.is_empty());
+        std::mem::swap(&mut self.hi[level * HI_SLOTS + slot], &mut self.scratch);
+        let mut tmp = std::mem::take(&mut self.scratch);
+        for e in tmp.drain(..) {
+            self.insert(e);
+        }
+        self.scratch = tmp;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimingWheel<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| w.pop().map(|e| (e.at, e.payload))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut w = TimingWheel::new();
+        let times = [5_000u64, 12, 5_000, 900_000, 0, 63, 64, 4096, 5_000];
+        for (i, &at) in times.iter().enumerate() {
+            w.push(at, i as u32);
+        }
+        // Stable sort by time == time order with insertion-order ties.
+        let mut expect: Vec<(u64, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        expect.sort_by_key(|&(a, _)| a);
+        assert_eq!(drain(&mut w), expect);
+    }
+
+    #[test]
+    fn peek_matches_pop_across_cascades() {
+        let mut w = TimingWheel::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..500u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            w.push(x % 10_000_000, i);
+        }
+        while w.len() > 0 {
+            let p = w.peek().expect("len > 0");
+            let e = w.pop().expect("len > 0");
+            assert_eq!(p, e.at, "peek disagreed with pop");
+        }
+        assert_eq!(w.peek(), None);
+    }
+
+    #[test]
+    fn equal_times_inserted_across_cascades_keep_fifo_order() {
+        let mut w = TimingWheel::new();
+        // First event far in the future (high level), then advance the
+        // cursor by popping a nearer event, then add an equal-time event
+        // at the (now closer) future instant — FIFO must survive.
+        w.push(1_000_000, 0);
+        w.push(10, 1);
+        assert_eq!(w.pop().map(|e| e.payload), Some(1));
+        w.push(1_000_000, 2);
+        assert_eq!(drain(&mut w), vec![(1_000_000, 0), (1_000_000, 2)]);
+    }
+
+    #[test]
+    fn late_push_into_live_run_window_keeps_order() {
+        let mut w = TimingWheel::new();
+        for i in 0..4u32 {
+            w.push(2_000 + u64::from(i % 2), i);
+        }
+        // Start draining the 2000-window, then splice in more events:
+        // one tying the already-pending 2001s (pops after them), one
+        // tying the 2000s (pops before the 2001s).
+        assert_eq!(w.pop().map(|e| (e.at, e.payload)), Some((2_000, 0)));
+        w.push(2_001, 4);
+        w.push(2_000, 5);
+        assert_eq!(
+            drain(&mut w),
+            vec![(2_000, 2), (2_000, 5), (2_001, 1), (2_001, 3), (2_001, 4)]
+        );
+    }
+
+    #[test]
+    fn pop_at_most_respects_horizon_without_losing_events() {
+        let mut w = TimingWheel::new();
+        w.push(100, 0);
+        w.push(5_000, 1);
+        w.push(3_000_000, 2);
+        assert_eq!(w.pop_at_most(99).map(|e| e.payload), None);
+        assert_eq!(w.pop_at_most(100).map(|e| e.payload), Some(0));
+        assert_eq!(w.pop_at_most(4_999).map(|e| e.payload), None);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_at_most(u64::MAX).map(|e| e.payload), Some(1));
+        assert_eq!(w.pop_at_most(u64::MAX).map(|e| e.payload), Some(2));
+        assert_eq!(w.pop_at_most(u64::MAX).map(|e| e.payload), None);
+    }
+
+    #[test]
+    fn spill_past_segment_capacity_keeps_fifo_order() {
+        // More than L1_SEG equal-time events into one level-1 slot:
+        // the first L1_SEG land in the slab segment, the rest in the
+        // spill Vec, and promotion must stitch them back in arrival
+        // order. Mix in a second, earlier time to check the promotion
+        // sort across the segment/spill boundary too.
+        let n = (L1_SEG as u32) * 3 + 7;
+        let mut w = TimingWheel::new();
+        for i in 0..n {
+            let at = if i % 5 == 0 { 40_000 } else { 40_001 };
+            w.push(at, i);
+        }
+        let got = drain(&mut w);
+        let mut expect: Vec<(u64, u32)> = (0..n)
+            .map(|i| (if i % 5 == 0 { 40_000 } else { 40_001 }, i))
+            .collect();
+        expect.sort_by_key(|&(a, _)| a);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn drop_releases_pending_slab_entries_exactly_once() {
+        use std::rc::Rc;
+        // An Rc payload counts drops for us: after the wheel is
+        // dropped with entries still pending in slab segments, spill
+        // Vecs, the run, and upper levels, every clone must be gone —
+        // no leak, and a double-drop would abort under the test
+        // allocator / Miri-style debug assertions.
+        let token = Rc::new(());
+        let mut w: TimingWheel<Rc<()>> = TimingWheel::new();
+        for i in 0..(L1_SEG as u64 + 9) {
+            w.push(40_000 + (i % 2), Rc::clone(&token)); // segment + spill
+        }
+        w.push(5, Rc::clone(&token)); // run window
+        w.push(9_000_000, Rc::clone(&token)); // upper level
+        assert!(Rc::strong_count(&token) > 1);
+        // Partially drain so a promoted run and a dirtied cursor are
+        // also in play at drop time.
+        let popped = w.pop().expect("has events");
+        assert_eq!(popped.at, 5);
+        drop(popped);
+        drop(w);
+        assert_eq!(
+            Rc::strong_count(&token),
+            1,
+            "wheel drop must release every pending payload exactly once"
+        );
+    }
+
+    #[test]
+    fn handles_extreme_u64_times() {
+        let mut w = TimingWheel::new();
+        w.push(u64::MAX, 0);
+        w.push(0, 1);
+        w.push(u64::MAX - 1, 2);
+        assert_eq!(
+            drain(&mut w),
+            vec![(0, 1), (u64::MAX - 1, 2), (u64::MAX, 0)]
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Timing-wheel ↔ binary-heap equivalence.
+//!
+//! The scheduler's pending-event store changed from a `BinaryHeap`
+//! ordered on `(at, seq)` to a hierarchical timing wheel. The dispatch
+//! order is part of the determinism contract (same seed ⇒ byte-identical
+//! traces), so this test replays large randomized schedules — dense with
+//! exact-time ties and interleaved mid-run insertions — against a
+//! straightforward heap model and requires the event streams to match
+//! element for element.
+
+use csaw_simnet::rng::DetRng;
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::Scheduler;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The old implementation, kept as an executable specification: a
+/// max-heap of `Reverse((at, seq))` with a clamp-to-now rule.
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    now: u64,
+    seq: u64,
+}
+
+impl HeapModel {
+    fn new() -> Self {
+        HeapModel {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: u64) {
+        let at = at.as_micros().max(self.now);
+        self.heap.push(Reverse((at, self.seq, payload)));
+        self.seq += 1;
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let Reverse((at, _, payload)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, payload))
+    }
+}
+
+/// 10k events at randomized times drawn from a small range (so ties are
+/// plentiful), fully drained: identical `(time, payload)` streams.
+#[test]
+fn drain_order_matches_heap_reference_with_ties() {
+    for seed in [1u64, 7, 42] {
+        let mut rng = DetRng::new(seed);
+        let mut wheel: Scheduler<u64> = Scheduler::new();
+        let mut heap = HeapModel::new();
+        for i in 0..10_000u64 {
+            // ~500 distinct instants for 10k events: heavy tie pressure,
+            // with occasional far-future outliers to cross wheel levels.
+            let at = if rng.range_u64(0, 100) == 0 {
+                SimTime::from_micros(1_000_000_000 + rng.range_u64(0, 500))
+            } else {
+                SimTime::from_micros(rng.range_u64(0, 500) * 1_000)
+            };
+            wheel.schedule(at, i);
+            heap.schedule(at, i);
+        }
+        let mut n = 0u64;
+        loop {
+            let got = wheel.next();
+            let want = heap.next();
+            assert_eq!(
+                got.map(|(t, e)| (t.as_micros(), e)),
+                want,
+                "seed {seed}: stream diverged at element {n}"
+            );
+            if want.is_none() {
+                break;
+            }
+            n += 1;
+        }
+        assert_eq!(n, 10_000, "seed {seed}: wrong number of events drained");
+    }
+}
+
+/// Interleaved schedule/pop traffic, including past-time schedules that
+/// clamp to `now` and same-instant follow-ups scheduled mid-drain — the
+/// cascade-sensitive cases a pure pre-load-then-drain run never hits.
+#[test]
+fn interleaved_insert_pop_matches_heap_reference() {
+    let mut rng = DetRng::new(99);
+    let mut wheel: Scheduler<u64> = Scheduler::new();
+    let mut heap = HeapModel::new();
+    let mut payload = 0u64;
+    for round in 0..2_000u64 {
+        let burst = rng.range_u64(1, 4);
+        for _ in 0..burst {
+            // Mix: near-past (clamps), near-future, same-ms ties,
+            // far-future (lives several wheel levels up until cascaded).
+            let at = match rng.range_u64(0, 4) {
+                0 => SimTime::from_micros(rng.range_u64(0, 1 + round)),
+                1 => SimTime::from_micros(round * 1_000 + rng.range_u64(0, 2_000)),
+                2 => SimTime::from_micros(round * 1_000),
+                _ => SimTime::from_micros(10_000_000 + rng.range_u64(0, 1_000)),
+            };
+            wheel.schedule(at, payload);
+            heap.schedule(at, payload);
+            payload += 1;
+        }
+        for _ in 0..rng.range_u64(0, 3) {
+            let got = wheel.next().map(|(t, e)| (t.as_micros(), e));
+            assert_eq!(got, heap.next(), "round {round}: pop diverged");
+        }
+    }
+    loop {
+        let got = wheel.next().map(|(t, e)| (t.as_micros(), e));
+        let want = heap.next();
+        assert_eq!(got, want, "final drain diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+/// `run_until` must keep its horizon/tiling semantics on the wheel:
+/// events at the horizon fire, later ones stay, handler re-scheduling
+/// works, and repeated windows tile the clock.
+#[test]
+fn run_until_windows_replay_identically() {
+    let mut rng = DetRng::new(1234);
+    let schedule: Vec<(u64, u64)> = (0..5_000u64)
+        .map(|i| (rng.range_u64(0, 2_000_000), i))
+        .collect();
+    let run = |windows_us: u64| -> Vec<(u64, u64)> {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        for &(at, p) in &schedule {
+            s.schedule(SimTime::from_micros(at), p);
+        }
+        let mut seen = Vec::new();
+        let mut horizon = SimTime::ZERO;
+        while s.pending() > 0 {
+            horizon += SimDuration::from_micros(windows_us);
+            s.run_until(horizon, |t, e, sched| {
+                seen.push((t.as_micros(), e));
+                if e < 200 {
+                    // Same-time follow-up: fires in this window, after
+                    // every earlier-scheduled event at this instant.
+                    sched.schedule(t, e + 100_000);
+                }
+            });
+        }
+        seen
+    };
+    // One giant window vs many small windows: identical event streams.
+    let coarse = run(10_000_000);
+    let fine = run(1_000);
+    assert_eq!(coarse.len(), 5_000 + 200);
+    assert_eq!(coarse, fine, "window tiling changed the event stream");
+}

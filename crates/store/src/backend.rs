@@ -40,20 +40,16 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
 
     /// Confidence-filtered snapshot of blocked URLs for one AS, sorted
     /// by URL.
-    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord>;
-
-    /// Fallible variant of [`StorageBackend::blocked_for_as`]: backends
-    /// that can be transiently unreachable (fault injection, remote
-    /// stores) override this so a failed download is an error the
-    /// caller can see — not an empty list that silently wipes a
-    /// client's cached view. The default never fails.
-    fn try_blocked_for_as(
+    ///
+    /// Fallible by design: backends that can be transiently unreachable
+    /// (fault injection, remote stores) surface a failed download as an
+    /// error the caller can see — not an empty list that silently wipes
+    /// a client's cached view. In-memory backends never fail.
+    fn blocked_for_as(
         &self,
         asn: Asn,
         filter: &ConfidenceFilter,
-    ) -> Result<Vec<GlobalRecord>, StoreError> {
-        Ok(self.blocked_for_as(asn, filter))
-    }
+    ) -> Result<Vec<GlobalRecord>, StoreError>;
 
     /// Vote tally for one (URL, AS) key.
     fn tally(&self, url: &str, asn: Asn) -> Tally;
@@ -249,7 +245,11 @@ impl StorageBackend for JsonlStore {
         self.inner.ingest(batch)
     }
 
-    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+    fn blocked_for_as(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Result<Vec<GlobalRecord>, StoreError> {
         self.inner.blocked_for_as(asn, filter)
     }
 
@@ -380,7 +380,9 @@ mod tests {
         let s = JsonlStore::open(&path, 3).unwrap();
         assert_eq!(s.shard_count(), 3);
         assert_eq!(s.record_count(), 5);
-        let v = s.blocked_for_as(Asn(1), &ConfidenceFilter::strict(2, 0.0));
+        let v = s
+            .blocked_for_as(Asn(1), &ConfidenceFilter::strict(2, 0.0))
+            .unwrap();
         assert_eq!(v.len(), 5);
         let _ = std::fs::remove_file(&path);
     }

@@ -31,10 +31,27 @@ impl Batch {
         }
     }
 
-    /// Decode a batch from the JSON wire format. Malformed input is a
-    /// [`StoreError::Wire`], never a panic.
+    /// Decode a batch from the JSON wire format. Never panics: a broken
+    /// envelope (not JSON, not an array) is [`StoreError::Wire`], and a
+    /// single undecodable report is [`StoreError::Malformed`] carrying
+    /// that report's batch index — so a client can quarantine exactly
+    /// the poison entry instead of re-parsing the batch report by
+    /// report.
     pub fn from_wire(client: Uuid, wire: &str, posted_at: SimTime) -> Result<Batch, StoreError> {
-        let reports = Report::decode_batch(wire)?;
+        let v = csaw_obs::json::JsonValue::parse(wire)
+            .map_err(|e| StoreError::Wire(crate::record::WireError::Json(e)))?;
+        let arr = v
+            .as_arr()
+            .ok_or(StoreError::Wire(crate::record::WireError::Shape(
+                "batch must be an array",
+            )))?;
+        let mut reports = Vec::with_capacity(arr.len());
+        for (index, item) in arr.iter().enumerate() {
+            reports.push(
+                Report::from_json(item)
+                    .map_err(|reason| StoreError::Malformed { index, reason })?,
+            );
+        }
         Ok(Batch::new(client, reports, posted_at))
     }
 
@@ -115,6 +132,30 @@ mod tests {
         assert_eq!(b.posted_at, SimTime::from_secs(9));
         let err = Batch::from_wire(Uuid::from_raw(1), "garbage", SimTime::ZERO).unwrap_err();
         assert!(matches!(err, StoreError::Wire(_)));
+    }
+
+    #[test]
+    fn from_wire_names_the_poison_report_index() {
+        let good = Report {
+            url: "http://x.example/".into(),
+            asn: 7,
+            measured_at_us: 5,
+            stages: vec![BlockingType::HttpDrop],
+        };
+        // Hand-assemble a wire batch whose middle element is garbage.
+        let one = Report::encode_batch(std::slice::from_ref(&good));
+        let inner = one.trim_start_matches('[').trim_end_matches(']');
+        let wire = format!("[{inner},{{\"url\":5}},{inner}]");
+        let err = Batch::from_wire(Uuid::from_raw(1), &wire, SimTime::ZERO).unwrap_err();
+        match err {
+            StoreError::Malformed { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // A broken envelope is still a plain wire error.
+        assert!(matches!(
+            Batch::from_wire(Uuid::from_raw(1), "{}", SimTime::ZERO).unwrap_err(),
+            StoreError::Wire(_)
+        ));
     }
 
     #[test]

@@ -15,8 +15,19 @@ use std::fmt;
 pub enum StoreError {
     /// The posting UUID is unknown or has been revoked.
     UnknownClient,
-    /// The report batch could not be decoded from the wire.
+    /// The report batch could not be decoded from the wire (the
+    /// envelope itself: not JSON, or not an array).
     Wire(WireError),
+    /// One report inside an otherwise well-formed batch failed to
+    /// decode. Carries the batch index of the poison report so a client
+    /// can quarantine exactly that entry and resubmit the rest without
+    /// re-parsing report by report.
+    Malformed {
+        /// Zero-based index of the undecodable report in the batch.
+        index: usize,
+        /// Why that report failed to decode.
+        reason: WireError,
+    },
     /// A backend I/O operation failed.
     Io {
         /// The file the backend was operating on.
@@ -40,6 +51,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownClient => write!(f, "unknown or revoked client UUID"),
             StoreError::Wire(e) => write!(f, "malformed batch: {e}"),
+            StoreError::Malformed { index, reason } => {
+                write!(f, "malformed report at batch index {index}: {reason}")
+            }
             StoreError::Io { path, msg } => write!(f, "backend I/O on {path}: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt persisted state: {msg}"),
             StoreError::InvalidConfig(msg) => write!(f, "invalid store configuration: {msg}"),
@@ -52,6 +66,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Wire(e) => Some(e),
+            StoreError::Malformed { reason, .. } => Some(reason),
             _ => None,
         }
     }

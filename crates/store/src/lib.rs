@@ -10,12 +10,16 @@
 //! - **Lock striping** ([`shard`]): the URL×ASN keyspace is split over
 //!   N shards by a stable FNV-1a hash ([`hash`]); each shard has its
 //!   own `RwLock`, so there is no global lock on ingest or lookup.
-//! - **Batched ingest** ([`batch`]): a client's reports are sanitized
-//!   and coalesced per destination shard *before* any lock is taken —
-//!   each touched shard locks once per batch, not once per report.
-//! - **Snapshot caching**: `blocked_for_as` is served from per-shard
-//!   caches validated against (shard generation, vote epoch), so a
-//!   write to one shard invalidates only that shard's snapshots.
+//! - **Batched ingest** ([`batch`]): a client's reports are sanitized,
+//!   interned (`Arc<str>` URLs) and coalesced per destination shard
+//!   *before* any lock is taken — each touched record shard **and**
+//!   each touched ledger stripe locks once per batch, not once per
+//!   report.
+//! - **Snapshot caching** (the private `swap` module): `blocked_for_as`
+//!   is served from
+//!   per-shard caches validated against (shard generation, vote epoch);
+//!   the cache map itself is an atomically swapped immutable snapshot,
+//!   so cache reads take no lock at all.
 //! - **Sharded voting** ([`ledger`]): the 1/d vote-spreading ledger is
 //!   itself lock-striped (clients and keys separately) with a
 //!   deterministic tally — voters sort before the float sum, so the
@@ -26,7 +30,9 @@
 //!   and the append-only [`JsonlStore`] write-ahead log that replays on
 //!   open.
 //! - **One error type** ([`error`]): every fallible path returns
-//!   [`StoreError`]; nothing on the ingest path panics.
+//!   [`StoreError`] — reads included ([`StorageBackend::blocked_for_as`]
+//!   is `Result`, so transiently-unavailable backends surface as errors
+//!   rather than empty lists); nothing in the store panics on input.
 //!
 //! Telemetry flows through `csaw-obs` (`store.ingest.*`,
 //! `store.cache.*`, `store.records`, per-shard gauges); hot paths use
@@ -55,13 +61,15 @@
 //! );
 //! let receipt = store.ingest(&batch)?;
 //! assert_eq!(receipt.accepted, 1);
-//! let blocked = store.blocked_for_as(Asn(17557), &ConfidenceFilter::default());
+//! let blocked = store.blocked_for_as(Asn(17557), &ConfidenceFilter::default())?;
 //! assert_eq!(blocked.len(), 1);
 //! # Ok::<(), csaw_store::StoreError>(())
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the one exception is the reviewed
+// reader/writer protocol in [`swap`], which opts in locally.
+#![deny(unsafe_code)]
 
 pub mod backend;
 pub mod batch;
@@ -70,6 +78,7 @@ pub mod hash;
 pub mod ledger;
 pub mod record;
 pub mod shard;
+pub(crate) mod swap;
 
 pub use backend::{JsonlStore, StorageBackend};
 pub use batch::{Batch, IngestReceipt};

@@ -1,5 +1,5 @@
 //! The in-memory sharded store: lock-striped record shards with
-//! per-shard confidence-filtered snapshot caches.
+//! per-shard lock-free snapshot caches.
 //!
 //! The URL×ASN keyspace is split across N shards by the stable FNV key
 //! hash ([`crate::hash`]). Each shard holds its slice of the record map
@@ -7,41 +7,51 @@
 //! readers — proceed in parallel; there is **no global lock anywhere**
 //! on the ingest or lookup path.
 //!
-//! Ingestion is batched per client: a batch's reports are sanitized and
-//! grouped by destination shard first, then each touched shard's write
-//! lock is taken exactly once. The vote ledger update happens after all
-//! record locks are released (see [`crate::ledger`] for the lock-order
-//! discipline).
+//! Ingestion builds a [`BatchPlan`] before any lock is taken: every
+//! report is sanitized, its URL interned once as an `Arc<str>`, its
+//! [`GlobalRecord`] fully constructed, and the whole batch stably
+//! sorted by destination shard. The lock phase then walks the plan run
+//! by run — each touched shard's write lock is acquired exactly once
+//! per batch, and because the vote ledger stripes with the same hash,
+//! the same runs drive the ledger's grouped update (see
+//! [`crate::ledger`] for the lock-order discipline). The plan is the
+//! batch's arena: the interned URL backs the record-map key, the
+//! client's report set, and the voter index, so the per-report cost is
+//! reference counts, not string copies.
 //!
 //! Reads are served from a per-shard snapshot cache keyed on
-//! (AS, confidence filter). A cache entry is valid while both the
-//! shard's write generation and the ledger's vote epoch are unchanged;
-//! any write to a shard invalidates that shard's entries only.
+//! (AS, confidence filter). The cache itself is an atomically swapped
+//! immutable map (the private `swap::SwapCell`): readers load it without
+//! locking, and a miss publishes a new map by pointer swap. An entry is
+//! valid while both the shard's write generation and the ledger's vote
+//! epoch are unchanged, so a stale snapshot is never served — the swap
+//! only changes who pays the recompute.
 
 use crate::backend::StorageBackend;
 use crate::batch::{Batch, IngestReceipt};
 use crate::error::StoreError;
 use crate::hash::key_shard;
-use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
-use crate::record::{GlobalRecord, Report, Uuid};
-use csaw_obs::contention::{LockStats, RwStats, TimedMutex, TimedRwLock};
+use crate::ledger::{ConfidenceFilter, Key, Tally, VoteLedger};
+use crate::record::{GlobalRecord, Uuid};
+use crate::swap::SwapCell;
+use csaw_obs::contention::{RwStats, TimedRwLock};
 use csaw_obs::metrics::{Counter, Gauge, Histogram};
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache entries per shard before the whole shard cache is reset — the
+/// Cache entries per shard before the shard's cache map is reset — the
 /// deployed system sees a handful of distinct confidence filters, so
 /// this bound only guards against pathological filter churn.
 const CACHE_FILTER_CAP: usize = 64;
 
-type Key = (String, Asn);
 /// Cache lookup key: (AS, confidence-filter cache key).
 type CacheKey = (Asn, (usize, u64));
+type CacheMap = HashMap<CacheKey, CacheEntry>;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CacheEntry {
     generation: u64,
     epoch: u64,
@@ -51,19 +61,21 @@ struct CacheEntry {
 #[derive(Debug)]
 struct Shard {
     records: TimedRwLock<HashMap<Key, GlobalRecord>>,
-    cache: TimedMutex<HashMap<CacheKey, CacheEntry>>,
+    /// Immutable snapshot-cache map, replaced wholesale on publish —
+    /// readers never lock (see the module docs).
+    cache: SwapCell<CacheMap>,
     /// Bumped after every mutation of `records`.
     generation: AtomicU64,
 }
 
 impl Shard {
-    /// All shards share one `store.shard.records` / `store.shard.cache`
-    /// stats family — contention is a property of the store, not of a
-    /// single stripe (stats are `None` when perf attribution is off).
-    fn new(records: Option<Arc<RwStats>>, cache: Option<Arc<LockStats>>) -> Shard {
+    /// All shards share one `store.shard.records` stats family —
+    /// contention is a property of the store, not of a single stripe
+    /// (stats are `None` when perf attribution is off).
+    fn new(records: Option<Arc<RwStats>>) -> Shard {
         Shard {
             records: TimedRwLock::with_stats(records, HashMap::new()),
-            cache: TimedMutex::with_stats(cache, HashMap::new()),
+            cache: SwapCell::new(Arc::new(CacheMap::new())),
             generation: AtomicU64::new(0),
         }
     }
@@ -104,12 +116,66 @@ impl StoreMetrics {
     }
 }
 
+/// One planned, sanitized batch: everything ingest needs, built before
+/// any lock is taken. Entries are stably sorted by destination shard so
+/// the lock phase walks contiguous runs.
+struct BatchPlan {
+    /// `(shard, key, record)` in batch order within each shard run.
+    entries: Vec<(u32, Key, GlobalRecord)>,
+    rejected_indices: Vec<usize>,
+}
+
+impl BatchPlan {
+    fn build(batch: &Batch, shards: usize) -> BatchPlan {
+        let mut entries: Vec<(u32, Key, GlobalRecord)> = Vec::with_capacity(batch.len());
+        let mut rejected_indices = Vec::new();
+        for (idx, r) in batch.reports().iter().enumerate() {
+            if !Batch::storable(r) {
+                rejected_indices.push(idx);
+                continue;
+            }
+            // The one string allocation this report pays: the interned
+            // URL shared by the record key, the ledger's client set and
+            // the voter index. (The record itself keeps an owned String
+            // so `GlobalRecord` stays a plain wire-friendly value type.)
+            let url: Arc<str> = Arc::from(r.url.as_str());
+            let asn = Asn(r.asn);
+            let record = GlobalRecord {
+                url: r.url.clone(),
+                asn,
+                measured_at: SimTime::from_micros(r.measured_at_us),
+                stages: r.stages.clone(),
+                posted_at: batch.posted_at,
+                reporter: batch.client,
+            };
+            entries.push((key_shard(&url, asn, shards) as u32, (url, asn), record));
+        }
+        // Stable: within a shard run, batch order is preserved, so a
+        // duplicate key later in the batch overwrites the earlier one
+        // exactly as a per-report loop would.
+        entries.sort_by_key(|(s, _, _)| *s);
+        BatchPlan {
+            entries,
+            rejected_indices,
+        }
+    }
+
+    fn accepted(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The in-memory sharded measurement store.
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Box<[Shard]>,
     ledger: VoteLedger,
     metrics: StoreMetrics,
+    /// Live record count maintained by delta at every mutation, so
+    /// `record_count` is one atomic load — the per-batch gauge update
+    /// used to take every shard's read lock and dominated read-side
+    /// contention at 8 writers.
+    live_records: AtomicI64,
     measure_latency: bool,
 }
 
@@ -121,13 +187,13 @@ impl ShardedStore {
             return Err(StoreError::InvalidConfig("shard count must be >= 1"));
         }
         let record_stats = RwStats::resolve("store.shard.records");
-        let cache_stats = LockStats::resolve("store.shard.cache");
         Ok(ShardedStore {
             shards: (0..shards)
-                .map(|_| Shard::new(record_stats.clone(), cache_stats.clone()))
+                .map(|_| Shard::new(record_stats.clone()))
                 .collect(),
             ledger: VoteLedger::with_shards(shards),
             metrics: StoreMetrics::resolve(shards),
+            live_records: AtomicI64::new(0),
             measure_latency: false,
         })
     }
@@ -142,14 +208,11 @@ impl ShardedStore {
         self
     }
 
-    fn record(r: &Report, client: Uuid, posted_at: SimTime) -> GlobalRecord {
-        GlobalRecord {
-            url: r.url.clone(),
-            asn: Asn(r.asn),
-            measured_at: SimTime::from_micros(r.measured_at_us),
-            stages: r.stages.clone(),
-            posted_at,
-            reporter: client,
+    fn apply_record_delta(&self, shard_idx: usize, delta: i64) {
+        if delta != 0 {
+            self.live_records.fetch_add(delta, Ordering::AcqRel);
+            self.metrics.shard_records[shard_idx].add(delta);
+            self.metrics.records.add(delta);
         }
     }
 }
@@ -157,47 +220,35 @@ impl ShardedStore {
 impl StorageBackend for ShardedStore {
     fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError> {
         let t0 = self.measure_latency.then(std::time::Instant::now);
-        let n = self.shards.len();
-        // Coalesce: sanitize and group by destination shard before any
-        // lock is taken, so each touched shard locks exactly once.
-        let mut groups: Vec<Vec<&Report>> = vec![Vec::new(); n];
-        let mut accepted = 0usize;
-        let mut rejected_indices = Vec::new();
-        for (idx, r) in batch.reports().iter().enumerate() {
-            if Batch::storable(r) {
-                groups[key_shard(&r.url, Asn(r.asn), n)].push(r);
-                accepted += 1;
-            } else {
-                rejected_indices.push(idx);
-            }
-        }
-        let mut keys: Vec<Key> = Vec::with_capacity(accepted);
-        for (i, group) in groups.iter().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            let shard = &self.shards[i];
+        debug_assert_eq!(self.shards.len(), self.ledger.key_stripes());
+        // Phase 0, lock-free: sanitize, intern, construct and group.
+        let plan = BatchPlan::build(batch, self.shards.len());
+        let accepted = plan.accepted();
+        // Phase 1: records, one write acquisition per touched shard.
+        // The plan is consumed run by run; keys survive (Arc clones)
+        // into the ledger phase, still grouped — the ledger stripes
+        // with the same hash and stripe count.
+        let mut ledger_keys: Vec<(u32, Key)> = Vec::with_capacity(accepted);
+        let mut it = plan.entries.into_iter().peekable();
+        while let Some(s) = it.peek().map(|(s, _, _)| *s) {
+            let shard = &self.shards[s as usize];
             let mut delta = 0i64;
             {
                 let mut recs = shard.records.write();
-                for r in group {
-                    let key = (r.url.clone(), Asn(r.asn));
-                    keys.push(key.clone());
-                    if recs
-                        .insert(key, Self::record(r, batch.client, batch.posted_at))
-                        .is_none()
-                    {
+                while it.peek().map(|(s, _, _)| *s) == Some(s) {
+                    let (_, key, record) = it.next().expect("peeked entry exists");
+                    ledger_keys.push((s, key.clone()));
+                    if recs.insert(key, record).is_none() {
                         delta += 1;
                     }
                 }
             }
             shard.generation.fetch_add(1, Ordering::AcqRel);
-            if delta != 0 {
-                self.metrics.shard_records[i].add(delta);
-                self.metrics.records.add(delta);
-            }
+            self.apply_record_delta(s as usize, delta);
         }
-        self.ledger.add_client_urls(batch.client, keys);
+        // Phase 2: votes, one write acquisition per touched stripe.
+        self.ledger
+            .add_client_keys_grouped(batch.client, ledger_keys);
         self.metrics.batches.inc();
         self.metrics.accepted.add(accepted as u64);
         self.metrics.rejected.add((batch.len() - accepted) as u64);
@@ -210,12 +261,16 @@ impl StorageBackend for ShardedStore {
         Ok(IngestReceipt {
             accepted,
             rejected: batch.len() - accepted,
-            rejected_indices,
+            rejected_indices: plan.rejected_indices,
             deferred_indices: Vec::new(),
         })
     }
 
-    fn blocked_for_as(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<GlobalRecord> {
+    fn blocked_for_as(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Result<Vec<GlobalRecord>, StoreError> {
         let ck = (asn, filter.cache_key());
         let epoch = self.ledger.epoch();
         let mut out: Vec<GlobalRecord> = Vec::new();
@@ -224,13 +279,11 @@ impl StorageBackend for ShardedStore {
             // mid-compute leaves the entry marked stale, so the worst
             // case is an extra recompute, never a stale serve.
             let generation = shard.generation.load(Ordering::Acquire);
-            let hit = {
-                let cache = shard.cache.lock();
-                cache
-                    .get(&ck)
-                    .filter(|e| e.generation == generation && e.epoch == epoch)
-                    .map(|e| Arc::clone(&e.records))
-            };
+            let cache = shard.cache.load();
+            let hit = cache
+                .get(&ck)
+                .filter(|e| e.generation == generation && e.epoch == epoch)
+                .map(|e| Arc::clone(&e.records));
             let snapshot = match hit {
                 Some(s) => {
                     self.metrics.cache_hits.inc();
@@ -247,11 +300,16 @@ impl StorageBackend for ShardedStore {
                             .collect()
                     };
                     let snapshot = Arc::new(computed);
-                    let mut cache = shard.cache.lock();
-                    if cache.len() >= CACHE_FILTER_CAP {
-                        cache.clear();
-                    }
-                    cache.insert(
+                    // Publish by swap: copy the current map (entries are
+                    // a few words each), insert, swap in. A racing miss
+                    // on another key may win the swap instead; its only
+                    // cost is this entry recomputing on the next read.
+                    let mut next = if cache.len() >= CACHE_FILTER_CAP {
+                        CacheMap::new()
+                    } else {
+                        (*cache).clone()
+                    };
+                    next.insert(
                         ck,
                         CacheEntry {
                             generation,
@@ -259,13 +317,14 @@ impl StorageBackend for ShardedStore {
                             records: Arc::clone(&snapshot),
                         },
                     );
+                    shard.cache.store(Arc::new(next));
                     snapshot
                 }
             };
             out.extend(snapshot.iter().cloned());
         }
         out.sort_by(|a, b| a.url.cmp(&b.url));
-        out
+        Ok(out)
     }
 
     fn tally(&self, url: &str, asn: Asn) -> Tally {
@@ -289,9 +348,7 @@ impl StorageBackend for ShardedStore {
             }
             if before != after {
                 shard.generation.fetch_add(1, Ordering::AcqRel);
-                let delta = (before - after) as i64;
-                self.metrics.shard_records[i].add(-delta);
-                self.metrics.records.add(-delta);
+                self.apply_record_delta(i, -((before - after) as i64));
                 removed += before - after;
             }
         }
@@ -311,9 +368,7 @@ impl StorageBackend for ShardedStore {
             }
             if before != after {
                 shard.generation.fetch_add(1, Ordering::AcqRel);
-                let delta = (before - after) as i64;
-                self.metrics.shard_records[i].add(-delta);
-                self.metrics.records.add(-delta);
+                self.apply_record_delta(i, -((before - after) as i64));
                 removed += before - after;
             }
         }
@@ -321,7 +376,7 @@ impl StorageBackend for ShardedStore {
     }
 
     fn record_count(&self) -> usize {
-        self.shards.iter().map(|s| s.records.read().len()).sum()
+        self.live_records.load(Ordering::Acquire).max(0) as usize
     }
 
     fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord)) {
@@ -345,6 +400,7 @@ impl StorageBackend for ShardedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Report;
     use csaw_censor::blocking::BlockingType;
     use csaw_obs::scope::{self, ObsCtx};
 
@@ -394,6 +450,32 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_key_in_one_batch_keeps_the_later_report() {
+        // The plan's stable sort must preserve batch order within a
+        // shard run: the second report for the same (URL, AS) wins.
+        let s = ShardedStore::new(4).unwrap();
+        let b = Batch::new(
+            Uuid::from_raw(1),
+            vec![
+                Report {
+                    measured_at_us: 11,
+                    ..report("http://dup.com/", 1)
+                },
+                Report {
+                    measured_at_us: 22,
+                    ..report("http://dup.com/", 1)
+                },
+            ],
+            SimTime::from_secs(1),
+        );
+        assert_eq!(s.ingest(&b).unwrap().accepted, 2);
+        assert_eq!(s.record_count(), 1);
+        let mut seen = Vec::new();
+        s.for_each_record(&mut |r| seen.push(r.measured_at));
+        assert_eq!(seen, [SimTime::from_micros(22)]);
+    }
+
+    #[test]
     fn zero_shards_is_a_config_error_not_a_panic() {
         assert_eq!(
             ShardedStore::new(0).unwrap_err(),
@@ -411,11 +493,14 @@ mod tests {
         ] {
             s.ingest(&batch(c, &[url], 9, 1)).unwrap();
         }
-        let v = s.blocked_for_as(Asn(9), &ConfidenceFilter::default());
+        let v = s
+            .blocked_for_as(Asn(9), &ConfidenceFilter::default())
+            .unwrap();
         let urls: Vec<&str> = v.iter().map(|r| r.url.as_str()).collect();
         assert_eq!(urls, ["http://a.com/", "http://m.com/", "http://z.com/"]);
         assert!(s
             .blocked_for_as(Asn(1), &ConfidenceFilter::default())
+            .unwrap()
             .is_empty());
     }
 
@@ -428,19 +513,19 @@ mod tests {
         let f = ConfidenceFilter::default();
         let misses = || ctx.registry.counter("store.cache.misses").get();
         let hits = || ctx.registry.counter("store.cache.hits").get();
-        s.blocked_for_as(Asn(1), &f); // cold: 2 shard misses
+        s.blocked_for_as(Asn(1), &f).unwrap(); // cold: 2 shard misses
         assert_eq!((misses(), hits()), (2, 0));
-        s.blocked_for_as(Asn(1), &f); // warm: 2 shard hits
+        s.blocked_for_as(Asn(1), &f).unwrap(); // warm: 2 shard hits
         assert_eq!((misses(), hits()), (2, 2));
         // A write invalidates (vote epoch moved: every shard recomputes).
         s.ingest(&batch(2, &["http://b.com/"], 1, 2)).unwrap();
-        s.blocked_for_as(Asn(1), &f);
+        s.blocked_for_as(Asn(1), &f).unwrap();
         assert_eq!(misses(), 4);
         // Revocation moves the vote epoch too.
-        s.blocked_for_as(Asn(1), &f);
+        s.blocked_for_as(Asn(1), &f).unwrap();
         let h0 = hits();
         s.revoke(Uuid::from_raw(2));
-        s.blocked_for_as(Asn(1), &f);
+        s.blocked_for_as(Asn(1), &f).unwrap();
         assert_eq!(hits(), h0, "post-revoke read must not be served from cache");
     }
 
@@ -478,6 +563,7 @@ mod tests {
                     .unwrap();
                 }
                 s.blocked_for_as(Asn(1), &ConfidenceFilter::strict(2, 0.1))
+                    .unwrap()
                     .iter()
                     .map(|r| r.url.clone())
                     .collect()

@@ -3,17 +3,21 @@
 //! The store's contract is that concurrent ingestion from disjoint
 //! clients *commutes*: whatever the interleaving, the quiescent state
 //! (record key set, per-key tallies, voter counts) equals a serial
-//! reference run. These tests drive N writer threads through
-//! interleaved updates and revocations and compare against the
-//! single-threaded model, then check that the shard count (1/4/16) is
-//! invisible in the final state.
+//! reference run, and every batch's receipt (accepted/rejected/deferred
+//! indices) is byte-identical to the one the serial run produced. These
+//! tests drive N writer threads through interleaved updates and
+//! revocations over the per-shard grouped ingest path and compare
+//! against the single-threaded model, then check that the shard count
+//! (1/4/16) is invisible in the final state.
 
 use csaw_censor::blocking::BlockingType;
 use csaw_simnet::time::SimTime;
 use csaw_simnet::topology::Asn;
-use csaw_store::{Batch, ConfidenceFilter, Report, ShardedStore, StorageBackend, Uuid};
+use csaw_store::{
+    Batch, ConfidenceFilter, IngestReceipt, Report, ShardedStore, StorageBackend, Uuid,
+};
 
-const THREADS: usize = 8;
+const THREADS: usize = 16;
 const CLIENTS_PER_THREAD: usize = 24;
 const URLS: usize = 40;
 const ASNS: u32 = 6;
@@ -84,13 +88,33 @@ fn ops_for_thread(t: usize) -> Vec<Op> {
     ops
 }
 
-fn apply(store: &ShardedStore, op: &Op) {
+fn apply(store: &ShardedStore, op: &Op) -> Option<IngestReceipt> {
     match op {
-        Op::Post(b) => {
-            store.ingest(b).expect("scripted batches are well-formed");
+        Op::Post(b) => Some(store.ingest(b).expect("scripted batches are well-formed")),
+        Op::Revoke(u) => {
+            store.revoke(*u);
+            None
         }
-        Op::Revoke(u) => store.revoke(*u),
     }
+}
+
+/// One thread's receipt stream, rendered to bytes. Threads own disjoint
+/// clients and the runner preserves per-thread program order, so this
+/// stream must not depend on cross-thread interleaving at all.
+fn receipt_stream(store: &ShardedStore, t: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for op in ops_for_thread(t) {
+        if let Some(r) = apply(store, &op) {
+            writeln!(
+                out,
+                "a={} r={} rej={:?} def={:?}",
+                r.accepted, r.rejected, r.rejected_indices, r.deferred_indices
+            )
+            .expect("write to String cannot fail");
+        }
+    }
+    out
 }
 
 /// Order-independent projection of the store's quiescent state.
@@ -110,6 +134,7 @@ fn digest(store: &ShardedStore) -> StateDigest {
         .map(|a| {
             store
                 .blocked_for_as(Asn(a), &filter)
+                .expect("memory backend reads are infallible")
                 .into_iter()
                 .map(|r| r.url)
                 .collect()
@@ -135,29 +160,24 @@ fn digest(store: &ShardedStore) -> StateDigest {
     }
 }
 
-fn serial_reference(shards: usize) -> StateDigest {
+fn serial_reference(shards: usize) -> (StateDigest, Vec<String>) {
     let store = ShardedStore::new(shards).expect("shard count is valid");
-    for t in 0..THREADS {
-        for op in ops_for_thread(t) {
-            apply(&store, &op);
-        }
-    }
-    digest(&store)
+    let receipts = (0..THREADS).map(|t| receipt_stream(&store, t)).collect();
+    (digest(&store), receipts)
 }
 
 #[test]
 fn concurrent_run_matches_serial_reference() {
-    let reference = serial_reference(16);
+    let (reference, ref_receipts) = serial_reference(16);
     // Repeat to give racy interleavings a few chances to show up.
     for round in 0..3 {
         let store = ShardedStore::new(16).expect("shard count is valid");
+        let mut receipts: Vec<String> = vec![String::new(); THREADS];
         std::thread::scope(|s| {
-            for t in 0..THREADS {
+            for (t, slot) in receipts.iter_mut().enumerate() {
                 let store = &store;
                 s.spawn(move || {
-                    for op in ops_for_thread(t) {
-                        apply(store, &op);
-                    }
+                    *slot = receipt_stream(store, t);
                 });
             }
         });
@@ -166,16 +186,24 @@ fn concurrent_run_matches_serial_reference() {
             reference,
             "round {round}: concurrent state diverged from serial reference"
         );
+        for t in 0..THREADS {
+            assert_eq!(
+                receipts[t], ref_receipts[t],
+                "round {round}: thread {t} receipts diverged from serial reference"
+            );
+        }
     }
 }
 
 #[test]
 fn final_state_identical_across_shard_counts() {
-    let one = serial_reference(1);
-    let four = serial_reference(4);
-    let sixteen = serial_reference(16);
+    let (one, r1) = serial_reference(1);
+    let (four, r4) = serial_reference(4);
+    let (sixteen, r16) = serial_reference(16);
     assert_eq!(one, four, "1-shard vs 4-shard state differs");
     assert_eq!(one, sixteen, "1-shard vs 16-shard state differs");
+    assert_eq!(r1, r4, "receipts must not depend on shard count");
+    assert_eq!(r1, r16, "receipts must not depend on shard count");
     // Sanity: the script actually produced work, including revocations.
     assert!(one.records > 0 && one.voters > 0);
     assert!(

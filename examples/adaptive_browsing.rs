@@ -32,7 +32,7 @@ fn main() {
         .censor(profiles::ISP_B_ASN, profiles::isp_b())
         .build();
 
-    let server = ServerDb::new(7);
+    let server = ServerDb::builder(7).build().unwrap();
     let url: csaw_webproto::Url = "http://www.youtube.com/".parse().expect("static URL");
 
     println!("== Crowdsourced measurements make circumvention fast ==\n");

@@ -12,6 +12,35 @@ fn url(s: &str) -> Url {
     s.parse().expect("static URL")
 }
 
+/// Test shorthand over the first-class server API: post parsed reports
+/// (returning the accepted count) and read a blocked list from the
+/// never-failing in-memory backend.
+trait ServerTestExt {
+    fn post(
+        &self,
+        c: csaw::global::Uuid,
+        reports: &[csaw::global::Report],
+        now: SimTime,
+    ) -> Result<usize, csaw::global::StoreError>;
+    fn blocked(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<csaw::global::GlobalRecord>;
+}
+
+impl ServerTestExt for ServerDb {
+    fn post(
+        &self,
+        c: csaw::global::Uuid,
+        reports: &[csaw::global::Report],
+        now: SimTime,
+    ) -> Result<usize, csaw::global::StoreError> {
+        self.ingest(csaw::global::Batch::new(c, reports.to_vec(), now))
+            .map(|r| r.accepted)
+    }
+    fn blocked(&self, asn: Asn, filter: &ConfidenceFilter) -> Vec<csaw::global::GlobalRecord> {
+        self.blocked_for_as(asn, filter)
+            .expect("in-memory backend reads are infallible")
+    }
+}
+
 fn youtube_world(policy: csaw_censor::CensorPolicy, asn: Asn) -> World {
     let provider = Provider::new(asn, "isp");
     World::builder(AccessNetwork::single(provider))
@@ -35,7 +64,7 @@ fn youtube_world(policy: csaw_censor::CensorPolicy, asn: Asn) -> World {
 #[test]
 fn crowdsourcing_with_spam_resistance() {
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let server = ServerDb::new(1);
+    let server = ServerDb::builder(1).build().unwrap();
     let yt = url("http://www.youtube.com/");
 
     // Three honest pioneers measure and report.
@@ -58,7 +87,7 @@ fn crowdsourcing_with_spam_resistance() {
         })
         .collect();
     server
-        .post_update(spammer, &fakes, SimTime::from_secs(51))
+        .post(spammer, &fakes, SimTime::from_secs(51))
         .unwrap();
 
     // A newcomer with a strict confidence filter sees only the real entry.
@@ -296,7 +325,7 @@ fn mobility_between_ases() {
         ),
         travel_asn,
     );
-    let server = ServerDb::new(2);
+    let server = ServerDb::builder(2).build().unwrap();
     // The crowd already measured both ASes.
     let mut scout_home = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 21);
     scout_home
@@ -357,7 +386,7 @@ fn mobility_between_ases() {
 /// spammer, and its pollution disappears from what clients download.
 #[test]
 fn reputation_audit_cleans_the_global_db() {
-    let server = ServerDb::new(3);
+    let server = ServerDb::builder(3).build().unwrap();
     // 10 honest clients report the same small genuinely-blocked set.
     for i in 0..10u64 {
         let c = server.register(SimTime::from_secs(i), 0.0).unwrap();
@@ -370,7 +399,7 @@ fn reputation_audit_cleans_the_global_db() {
             })
             .collect();
         server
-            .post_update(c, &reports, SimTime::from_secs(i + 10))
+            .post(c, &reports, SimTime::from_secs(i + 10))
             .unwrap();
     }
     // The spammer floods 400 fakes.
@@ -384,7 +413,7 @@ fn reputation_audit_cleans_the_global_db() {
         })
         .collect();
     server
-        .post_update(spammer, &fakes, SimTime::from_secs(31))
+        .post(spammer, &fakes, SimTime::from_secs(31))
         .unwrap();
     assert_eq!(server.stats().unique_blocked_urls, 405);
 
@@ -392,13 +421,11 @@ fn reputation_audit_cleans_the_global_db() {
     assert_eq!(flags.len(), 1);
     assert_eq!(flags[0].client, spammer);
     // The fakes are gone even under the *default* (permissive) filter.
-    let visible = server.blocked_for_as(Asn(1), &ConfidenceFilter::default());
+    let visible = server.blocked(Asn(1), &ConfidenceFilter::default());
     assert_eq!(visible.len(), 5, "{:?}", visible.len());
     assert!(visible.iter().all(|r| r.url.starts_with("http://blocked-")));
     // And the spammer can't come back under the same UUID.
-    assert!(server
-        .post_update(spammer, &[], SimTime::from_secs(40))
-        .is_err());
+    assert!(server.post(spammer, &[], SimTime::from_secs(40)).is_err());
 }
 
 /// Collector failover end to end: a client behind a censor that blocked
@@ -406,7 +433,7 @@ fn reputation_audit_cleans_the_global_db() {
 #[test]
 fn collector_failover_delivers_reports() {
     use csaw::global::{CollectorSet, SubmitError};
-    let server = ServerDb::new(4);
+    let server = ServerDb::builder(4).build().unwrap();
     let client = server.register(SimTime::from_secs(1), 0.0).unwrap();
     let mut set = CollectorSet::default_set();
     set.set_reachable("collector-a.onion", false);
@@ -444,7 +471,7 @@ fn event_driven_session_via_scheduler() {
         Tick,
     }
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let server = ServerDb::new(12);
+    let server = ServerDb::builder(12).build().unwrap();
     let mut client = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 13);
     client
         .register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
@@ -483,7 +510,7 @@ fn event_driven_session_via_scheduler() {
 fn client_posts_reports_via_collectors() {
     use csaw::global::{CollectorSet, SubmitError};
     let world = youtube_world(profiles::isp_a(), profiles::ISP_A_ASN);
-    let server = ServerDb::new(21);
+    let server = ServerDb::builder(21).build().unwrap();
     let mut client = CsawClient::new(CsawConfig::default(), Some("cdn-front.example"), 33);
     client
         .register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
@@ -532,12 +559,12 @@ fn client_posts_reports_via_collectors() {
 #[test]
 fn failed_fixes_teach_missing_stages() {
     let world = youtube_world(profiles::isp_b(), profiles::ISP_B_ASN);
-    let server = ServerDb::new(31);
+    let server = ServerDb::builder(31).build().unwrap();
     // Seed the global DB with a *partial* report (DNS + HTTP only — no
     // TLS stage), as an early scout might have filed.
     let scout = server.register(SimTime::ZERO, 0.0).unwrap();
     server
-        .post_update(
+        .post(
             scout,
             &[csaw::global::Report {
                 url: "http://www.youtube.com/".into(),
@@ -585,7 +612,7 @@ fn failed_fixes_teach_missing_stages() {
 
     // And the enriched stage set flowed back to the crowd.
     c.post_reports(&server, SimTime::from_secs(70));
-    let list = server.blocked_for_as(profiles::ISP_B_ASN, &ConfidenceFilter::default());
+    let list = server.blocked(profiles::ISP_B_ASN, &ConfidenceFilter::default());
     let entry = list
         .iter()
         .find(|r| r.url == "http://www.youtube.com/")

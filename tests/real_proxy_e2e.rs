@@ -149,14 +149,14 @@ fn measurement_log_exports_reports() {
     assert_eq!(reports[0].asn, 17557);
     // The wire format round-trips into the (simulated) server.
     let wire = csaw::global::Report::encode_batch(&reports);
-    let server = csaw::global::ServerDb::new(5);
+    let server = csaw::global::ServerDb::builder(5).build().unwrap();
     let uuid = server
         .register(csaw_simnet::SimTime::from_secs(1), 0.0)
         .unwrap();
-    let n = server
-        .post_update_wire(uuid, &wire, csaw_simnet::SimTime::from_secs(2))
-        .unwrap();
-    assert_eq!(n, 1);
+    let batch =
+        csaw::global::Batch::from_wire(uuid, &wire, csaw_simnet::SimTime::from_secs(2)).unwrap();
+    let receipt = server.ingest(batch).unwrap();
+    assert_eq!(receipt.accepted, 1);
     assert_eq!(server.stats().unique_blocked_urls, 1);
 }
 
