@@ -17,6 +17,8 @@
 //! stdout: same seed ⇒ byte-identical output.
 
 use csaw_bench::experiments::chaos::{self, ChaosConfig};
+use csaw_obs::slo::SloSet;
+use std::sync::Arc;
 
 fn numeric<T: std::str::FromStr>(
     extras: &std::collections::HashMap<String, String>,
@@ -68,6 +70,11 @@ fn main() {
         }
     }
     let min_delivery: f64 = numeric(&extras, "--min-delivery", 1.0);
+
+    // Virtual-hour health windows with the full C-Saw SLO set: the
+    // chaos sweep advances the shared clock, so delivery-ratio and
+    // staleness timelines come out per virtual hour of the run.
+    cli.default_window(3_600.0, Arc::new(SloSet::csaw_default()));
 
     let result = chaos::run_jobs(cli.seed, &cfg, cli.jobs);
     println!("{}", result.render());

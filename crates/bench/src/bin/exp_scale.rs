@@ -14,8 +14,11 @@
 //! the scorecard carries real lock wait/hold attribution.
 
 use csaw_bench::experiments::scale::{self, ScaleConfig};
+use csaw_bench::healthreport::{self, HealthInput};
 use csaw_bench::scorecard;
+use csaw_obs::slo::SloSet;
 use csaw_obs::PerfMode;
+use std::sync::Arc;
 
 fn numeric<T: std::str::FromStr>(
     extras: &std::collections::HashMap<String, String>,
@@ -46,6 +49,10 @@ fn main() {
         ),
     ]);
     cli.default_perf(PerfMode::Monotonic);
+    // This harness runs on wall clock (the virtual clock never moves),
+    // so windows are off unless --window is given; when on, the ingest
+    // coverage rule still applies to the single close-of-run window.
+    cli.default_window(0.0, Arc::new(SloSet::ingest_default()));
     let mut cfg = ScaleConfig {
         clients: numeric(&extras, "--clients", 1_000_000),
         shards: numeric(&extras, "--shards", 16),
@@ -74,7 +81,18 @@ fn main() {
         let path = bench_out
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| scorecard::default_path(cli.seed));
-        let card = result.scorecard(cli.seed);
+        let mut card = result.scorecard(cli.seed);
+        // Close the open telemetry window so the scorecard's health
+        // section sees the run's series (finish() flushes again; the
+        // extra idle tail frame is skipped by the coverage rule).
+        cli.ctx().flush_timeline();
+        let timeline = &cli.ctx().timeline;
+        if timeline.enabled() {
+            card.health = healthreport::health_json(&HealthInput {
+                frames: timeline.recent_frames(),
+                violations: timeline.violations(),
+            });
+        }
         if let Err(e) = card.write(&path) {
             eprintln!("exp_scale: cannot write {}: {e}", path.display());
             std::process::exit(1);

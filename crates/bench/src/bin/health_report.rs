@@ -1,0 +1,89 @@
+//! Render and gate on windowed health-telemetry frames.
+//!
+//! ```text
+//! health-report frames.jsonl                      # timelines + verdict
+//! health-report frames.jsonl --gate               # exit 3 on any violation
+//! health-report frames.jsonl --expect rule1,rule2 # exit 7 if any listed
+//!                                                 # rule never fired
+//! ```
+//!
+//! The input is the JSONL file an experiment binary writes with
+//! `--frames-out` (only `ts.frame` / `slo.violation` events matter; a
+//! full `--trace-out` JSONL stream also works). `--gate` is the CI
+//! "run must be healthy" check; `--expect` is the inverse — a
+//! fault-injection leg that *fails to alert* is an alerting bug, so CI
+//! runs the 60 %-fault chaos leg with
+//! `--expect report.delivery.fast` and without `--gate`.
+//!
+//! Exit codes: 0 ok, 2 usage/IO error, 3 `--gate` violation, 7 an
+//! `--expect`ed rule never fired.
+
+use csaw_bench::healthreport;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: health-report FRAMES.jsonl [flags]
+
+  --gate            exit 3 when any SLO violation is present
+  --expect RULES    comma-separated SLO rule names that MUST have
+                    fired; exit 7 listing any that did not (for
+                    fault-injection legs that are required to alert)";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("health-report: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut frames_path: Option<PathBuf> = None;
+    let mut gate = false;
+    let mut expect: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--gate" => gate = true,
+            "--expect" => {
+                let v = value("--expect");
+                expect.extend(
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with('-') => fail_usage(&format!("unknown flag {flag:?}")),
+            path if frames_path.is_none() => frames_path = Some(PathBuf::from(path)),
+            extra => fail_usage(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    let Some(frames_path) = frames_path else {
+        fail_usage("a frames JSONL path is required");
+    };
+    let text = std::fs::read_to_string(&frames_path)
+        .unwrap_or_else(|e| fail_usage(&format!("{}: {e}", frames_path.display())));
+    let input = healthreport::parse_jsonl(&text).unwrap_or_else(|e| fail_usage(&e));
+
+    print!("{}", healthreport::render(&input));
+
+    let missing = input.missing_expected(&expect);
+    if !missing.is_empty() {
+        eprintln!(
+            "health-report: expected rule(s) never fired: {}",
+            missing.join(", ")
+        );
+        std::process::exit(7);
+    }
+    if gate && !input.violations.is_empty() {
+        std::process::exit(3);
+    }
+}

@@ -17,7 +17,9 @@ use csaw_obs::chrome::ChromeTraceSink;
 use csaw_obs::clock::ManualClock;
 use csaw_obs::contention::PerfMode;
 use csaw_obs::scope::{self, ObsCtx, ScopeGuard};
-use csaw_obs::sink::{JsonlSink, NullSink, Sink, StderrSink};
+use csaw_obs::sink::{FilterSink, JsonlSink, NullSink, Sink, StderrSink, TeeSink};
+use csaw_obs::slo::{SloSet, VIOLATION_EVENT};
+use csaw_obs::timeseries::{WindowCfg, FRAME_EVENT};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -37,6 +39,10 @@ pub const COMMON_HELP: &str = "\
                       (off unless the binary documents another default;
                       wall records real lock wait/hold time and so makes
                       snapshots machine-dependent)
+  --window SECS       telemetry window length, virtual seconds (0 = off);
+                      overrides the binary's documented default
+  --frames-out PATH   write `ts.frame`/`slo.violation` events as JSONL,
+                      the input format of the health-report binary
   -v, --verbose       progress events to stderr (stdout stays parseable)";
 
 /// Parsed telemetry flags plus the installed observability scope.
@@ -50,7 +56,12 @@ pub struct ExpCli {
     /// absent (so a binary can apply its own default via
     /// [`ExpCli::default_perf`]).
     pub perf: Option<PerfMode>,
+    /// Telemetry window length in virtual seconds from `--window`,
+    /// `None` when absent (the binary's [`ExpCli::default_window`]
+    /// applies then). `Some(0.0)` explicitly disables windowing.
+    pub window: Option<f64>,
     metrics_out: Option<PathBuf>,
+    frames_out: Option<PathBuf>,
     ctx: Arc<ObsCtx>,
     // Keeps the thread-local scope alive for the binary's lifetime.
     _guard: ScopeGuard,
@@ -105,8 +116,10 @@ impl ExpCli {
         let mut seed = 1u64;
         let mut jobs = 1usize;
         let mut perf: Option<PerfMode> = None;
+        let mut window: Option<f64> = None;
         let mut metrics_out = None;
         let mut trace_out: Option<PathBuf> = None;
+        let mut frames_out: Option<PathBuf> = None;
         let mut verbosity = 0u8;
         let mut extras = HashMap::new();
         let mut it = args.iter().skip(1);
@@ -144,8 +157,18 @@ impl ExpCli {
                         std::process::exit(2);
                     }));
                 }
+                "--window" => {
+                    let v = value("--window");
+                    window = Some(v.parse::<f64>().ok().filter(|w| *w >= 0.0).unwrap_or_else(
+                        || {
+                            eprintln!("{bin}: bad --window {v:?}\n{}", usage(&bin, extra_flags));
+                            std::process::exit(2);
+                        },
+                    ));
+                }
                 "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
                 "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
+                "--frames-out" => frames_out = Some(PathBuf::from(value("--frames-out"))),
                 "-v" | "--verbose" => verbosity += 1,
                 "-h" | "--help" => {
                     println!("{}", usage(&bin, extra_flags));
@@ -181,6 +204,25 @@ impl ExpCli {
             None if verbosity >= 2 => Arc::new(StderrSink),
             None => Arc::new(NullSink),
         };
+        // `--frames-out` tees a filtered JSONL stream of frame and
+        // violation events off whatever the main sink is (including the
+        // null sink: the tee's enabled() gate turns event emission on).
+        let sink: Arc<dyn Sink> = match &frames_out {
+            Some(path) => {
+                let frames = JsonlSink::create(path).unwrap_or_else(|e| {
+                    eprintln!("{bin}: cannot open {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+                Arc::new(TeeSink::new(vec![
+                    sink,
+                    Arc::new(FilterSink::new(
+                        Arc::new(frames),
+                        &[FRAME_EVENT, VIOLATION_EVENT],
+                    )),
+                ]))
+            }
+            None => sink,
+        };
         let ctx = Arc::new(
             ObsCtx::new()
                 .with_clock(Arc::new(ManualClock::new()))
@@ -198,7 +240,9 @@ impl ExpCli {
             seed,
             jobs,
             perf,
+            window,
             metrics_out,
+            frames_out,
             ctx,
             _guard: guard,
         };
@@ -211,6 +255,19 @@ impl ExpCli {
     pub fn default_perf(&self, mode: PerfMode) {
         if self.perf.is_none() {
             self.ctx.set_perf_mode(mode);
+        }
+    }
+
+    /// Configure windowed telemetry: `--window` when given, else the
+    /// binary's `default_secs`; zero (from either source) leaves the
+    /// timeline disabled. `slos` is the binary's rule set, evaluated at
+    /// every window close. Call once, before running the experiment.
+    pub fn default_window(&self, default_secs: f64, slos: Arc<SloSet>) {
+        let secs = self.window.unwrap_or(default_secs);
+        if secs > 0.0 {
+            self.ctx
+                .timeline
+                .configure(WindowCfg::from_secs(secs, slos));
         }
     }
 
@@ -230,6 +287,11 @@ impl ExpCli {
     /// `--metrics-out` was given. Call last, after the experiment has
     /// rendered its output.
     pub fn finish(self) {
+        // Close the top-level timeline's open window (trial timelines
+        // were flushed by the runner; this one carries only caller-side
+        // series like `runner.trials.merged` and stays silent when no
+        // series registered).
+        self.ctx.flush_timeline();
         // Chrome-trace sinks buffer everything and only write a complete
         // file on flush; JSONL sinks flush their line buffer.
         self.ctx.sink.flush();
@@ -240,6 +302,9 @@ impl ExpCli {
                 std::process::exit(1);
             }
             csaw_obs::event::progress(&format!("metrics snapshot -> {}", path.display()));
+        }
+        if let Some(path) = &self.frames_out {
+            csaw_obs::event::progress(&format!("telemetry frames -> {}", path.display()));
         }
     }
 }
@@ -349,6 +414,49 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("traceEvents"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn window_flag_overrides_binary_default() {
+        let cli = ExpCli::from_args(&argv(&["--window", "60"]));
+        assert_eq!(cli.window, Some(60.0));
+        cli.default_window(3_600.0, Arc::new(SloSet::empty()));
+        assert_eq!(
+            cli.ctx.timeline.cfg().map(|c| c.window_us),
+            Some(60_000_000),
+            "explicit --window wins over the binary default"
+        );
+
+        let cli = ExpCli::from_args(&argv(&[]));
+        assert_eq!(cli.window, None);
+        cli.default_window(3_600.0, Arc::new(SloSet::empty()));
+        assert_eq!(
+            cli.ctx.timeline.cfg().map(|c| c.window_us),
+            Some(3_600_000_000)
+        );
+
+        let cli = ExpCli::from_args(&argv(&["--window", "0"]));
+        cli.default_window(3_600.0, Arc::new(SloSet::empty()));
+        assert!(!cli.ctx.timeline.enabled(), "--window 0 disables windowing");
+    }
+
+    #[test]
+    fn frames_out_captures_only_frame_and_violation_events() {
+        let path = std::env::temp_dir().join("csaw_cli_frames_test.jsonl");
+        let cli = ExpCli::from_args(&argv(&["--frames-out", path.to_str().unwrap()]));
+        assert!(
+            cli.ctx.sink.enabled(),
+            "frames tee must turn event emission on"
+        );
+        cli.default_window(1.0, Arc::new(SloSet::empty()));
+        cli.ctx.timeline.counter("cli.test.work", &[]).add(3);
+        csaw_obs::event!("cli.noise");
+        cli.finish(); // flushes the open window into the tee
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"ts.frame\""), "{text}");
+        assert!(text.contains("cli.test.work"), "{text}");
+        assert!(!text.contains("cli.noise"), "filter must drop: {text}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -8,6 +8,14 @@
 //! delivery ratio, how stale records were by the time they landed
 //! (posted − measured), and the client-side failure accounting.
 //!
+//! Each trial is processed in **global virtual-time order** (client
+//! registrations, then time-sorted browse sessions, then round-robin
+//! drain rounds), advancing the scope clock at every step. Under
+//! `--window` that drives the windowed telemetry timeline: per-window
+//! delivery, staleness, and backoff series with `run=rate=<r>` labels,
+//! plus `slo.violation` events from the `SloSet::csaw_default` rules —
+//! the input `health-report` renders and gates on.
+//!
 //! Two invariants are machine-checked (the `exp_chaos` binary exits
 //! non-zero when either breaks, which is what the CI chaos job runs):
 //!
@@ -113,6 +121,11 @@ fn chaos_world() -> World {
 }
 
 fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
+    // Frames closed during this trial carry the swept rate as their run
+    // label, so health-report can attribute verdicts to config points.
+    csaw_obs::current()
+        .timeline
+        .set_run(&format!("rate={rate}"));
     let world = chaos_world();
     let inner = Arc::new(ShardedStore::new(8).expect("shard count"));
     // The store also suffers hour-scale ingest outages so backoff gets
@@ -137,6 +150,74 @@ fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
         .build()
         .expect("store config");
 
+    // The trial is processed in global virtual-time order — every step
+    // advances the scope clock (and with it the telemetry timeline), so
+    // windowed series see queueing, failures, and recovery in the order
+    // a wall-clock deployment would, not client-by-client.
+
+    // Phase 1: registrations, one client per virtual second.
+    let mut clients: Vec<CsawClient> = (0..cfg.clients)
+        .map(|idx| {
+            let mut c = CsawClient::new(
+                CsawConfig::default().with_report_backoff(
+                    SimDuration::from_secs(60),
+                    SimDuration::from_secs(1_800),
+                    0.1,
+                ),
+                Some("cdn-front.example"),
+                seed ^ ((idx as u64 + 1) << 8),
+            );
+            // A slice of posts is corrupted on the wire too (transient:
+            // the reports themselves are fine, so retries recover them).
+            c.arm_wire_fault(WireFault::new(rate / 4.0, seed ^ (idx as u64) << 3));
+            let t = SimTime::from_secs(idx as u64);
+            csaw_obs::advance_clock_us(t.as_micros());
+            c.register(&server, profiles::ISP_A_ASN, t, 0.0)
+                .expect("registration");
+            c
+        })
+        .collect();
+
+    // Phase 2: browse sessions, interleaved across clients in firing
+    // order. Client idx starts at 100 + 7·idx and revisits every 30 s,
+    // exactly the per-client cadence the sweep always used — only the
+    // processing order changed, to be globally time-sorted.
+    let mut browse: Vec<(u64, usize, usize)> = Vec::new();
+    for idx in 0..cfg.clients {
+        for u in 0..cfg.urls_per_client {
+            browse.push((100 + 7 * idx as u64 + 30 * u as u64, idx, u));
+        }
+    }
+    browse.sort_unstable();
+    let mut browse_end = SimTime::ZERO;
+    for (t_secs, idx, u) in browse {
+        let now = SimTime::from_secs(t_secs);
+        browse_end = browse_end.max(now);
+        csaw_obs::advance_clock_us(now.as_micros());
+        faulty.set_now(now);
+        let url = csaw_webproto::url::Url::parse(&format!("http://www.youtube.com/c{idx}/u{u}"))
+            .expect("static url");
+        clients[idx].request(&world, &url, now);
+    }
+
+    // Phase 3: drain rounds, round-robin — every client still pending
+    // gets one post opportunity per round, 2 000 s apart (longer than
+    // the 1 800 s backoff cap, so no round is wasted on a cooldown).
+    for r in 0..cfg.drain_rounds {
+        if clients.iter().all(|c| c.pending_reports() == 0) {
+            break;
+        }
+        let now = browse_end + SimDuration::from_secs(2_000 * (r as u64 + 1));
+        csaw_obs::advance_clock_us(now.as_micros());
+        faulty.set_now(now);
+        for c in clients.iter_mut() {
+            if c.pending_reports() == 0 {
+                continue;
+            }
+            c.post_reports(&server, now);
+        }
+    }
+
     let mut queued = 0u64;
     let mut posted = 0u64;
     let mut dropped = 0u64;
@@ -145,44 +226,7 @@ fn run_rate(seed: u64, cfg: &ChaosConfig, rate: f64) -> ChaosRow {
     let mut pending = 0u64;
     let mut post_failures = 0u64;
     let mut accounted = true;
-
-    for idx in 0..cfg.clients {
-        let mut c = CsawClient::new(
-            CsawConfig::default().with_report_backoff(
-                SimDuration::from_secs(60),
-                SimDuration::from_secs(1_800),
-                0.1,
-            ),
-            Some("cdn-front.example"),
-            seed ^ ((idx as u64 + 1) << 8),
-        );
-        // A slice of posts is corrupted on the wire too (transient: the
-        // reports themselves are fine, so retries recover them).
-        c.arm_wire_fault(WireFault::new(rate / 4.0, seed ^ (idx as u64) << 3));
-        c.register(
-            &server,
-            profiles::ISP_A_ASN,
-            SimTime::from_secs(idx as u64),
-            0.0,
-        )
-        .expect("registration");
-        let mut now = SimTime::from_secs(100 + idx as u64 * 7);
-        for u in 0..cfg.urls_per_client {
-            let url =
-                csaw_webproto::url::Url::parse(&format!("http://www.youtube.com/c{idx}/u{u}"))
-                    .expect("static url");
-            faulty.set_now(now);
-            c.request(&world, &url, now);
-            now += SimDuration::from_secs(30);
-        }
-        for _ in 0..cfg.drain_rounds {
-            if c.pending_reports() == 0 {
-                break;
-            }
-            now += SimDuration::from_secs(2_000);
-            faulty.set_now(now);
-            c.post_reports(&server, now);
-        }
+    for c in &clients {
         queued += c.stats.reports_queued;
         posted += c.stats.reports_posted;
         dropped += c.stats.reports_dropped;
@@ -358,5 +402,79 @@ mod tests {
         let a = run(7, &quick_cfg()).render();
         let b = run(7, &quick_cfg()).render();
         assert_eq!(a, b);
+    }
+
+    /// Run the sweep under hour windows + the full C-Saw SLO set (the
+    /// exp_chaos binary's configuration) and return the frame JSONL and
+    /// violation JSONL streams the sink saw.
+    fn windowed_run(seed: u64, cfg: &ChaosConfig, jobs: usize) -> (String, Vec<String>) {
+        use csaw_obs::slo::VIOLATION_EVENT;
+        use csaw_obs::{ManualClock, ObsCtx, RingSink, SloSet, WindowCfg, FRAME_EVENT};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let ctx = Arc::new(
+            ObsCtx::new()
+                .with_clock(Arc::new(ManualClock::new()))
+                .with_sink(ring.clone()),
+        );
+        ctx.timeline.configure(WindowCfg::from_secs(
+            3_600.0,
+            Arc::new(SloSet::csaw_default()),
+        ));
+        let _guard = csaw_obs::install(ctx.clone());
+        let _ = run_jobs(seed, cfg, jobs);
+        ctx.flush_timeline();
+        let mut frames = Vec::new();
+        let mut viols = Vec::new();
+        for e in ring.drain() {
+            let line = e.to_json().to_string_compact();
+            if e.name == FRAME_EVENT {
+                frames.push(line);
+            } else if e.name == VIOLATION_EVENT {
+                viols.push(line);
+            }
+        }
+        (frames.join("\n"), viols)
+    }
+
+    #[test]
+    fn frames_and_verdicts_are_jobs_invariant() {
+        // Same seed, serial vs parallel: the health telemetry stream
+        // must be byte-identical and the SLO verdicts identical — the
+        // merge replays trial events in ordinal order regardless of
+        // which worker finished first.
+        let (frames_1, viols_1) = windowed_run(11, &quick_cfg(), 1);
+        let (frames_2, viols_2) = windowed_run(11, &quick_cfg(), 2);
+        assert!(!frames_1.is_empty(), "windowed sweep must emit frames");
+        assert_eq!(frames_1, frames_2, "frames must not depend on --jobs");
+        assert_eq!(viols_1, viols_2, "verdicts must not depend on --jobs");
+    }
+
+    #[test]
+    fn delivery_slo_fires_at_sixty_percent_and_not_at_zero() {
+        let cfg_at = |rate: f64| ChaosConfig {
+            fault_rates: vec![rate],
+            ..quick_cfg()
+        };
+        // Healthy leg: every report lands within the first window, so
+        // no rule may fire — a false alarm here is an alerting bug.
+        let (_, clean) = windowed_run(1, &cfg_at(0.0), 1);
+        assert!(
+            clean.is_empty(),
+            "no faults must mean no violations: {clean:?}"
+        );
+        // Faulted leg: 60 % write failures stretch delivery over many
+        // windows, so the fast delivery-ratio rule must alert, tagged
+        // with the trial's run label.
+        let (_, viols) = windowed_run(1, &cfg_at(0.6), 1);
+        assert!(
+            viols.iter().any(|v| v.contains("report.delivery.fast")),
+            "60 % faults must fire the delivery SLO: {viols:?}"
+        );
+        assert!(
+            viols.iter().all(|v| v.contains("rate=0.6")),
+            "violations must carry the trial run label: {viols:?}"
+        );
     }
 }

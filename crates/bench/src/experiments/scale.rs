@@ -295,7 +295,10 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
     // (forcing recomputes) so both ends of the cache show up in p50/p99.
     let filter = ConfidenceFilter::default();
     let strict = ConfidenceFilter::strict(2, 0.0);
-    let mut lat: Vec<u64> = Vec::with_capacity(cfg.lookups);
+    // Row-local histogram (not the scope registry's — that one keeps
+    // accumulating across sweep rows): the shared log-bucketed quantile
+    // sketch replaces the old hand-rolled nearest-rank percentile.
+    let lat = csaw_obs::metrics::Histogram::default();
     let mut served = 0usize;
     for i in 0..cfg.lookups {
         let asn = Asn((i as u32) % cfg.asns);
@@ -303,19 +306,11 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
         let t0 = Instant::now();
         let records = server.blocked_for_as_infallible(asn, f);
         let us = t0.elapsed().as_micros() as u64;
-        lat.push(us);
+        lat.observe_us(us);
         csaw_obs::observe_us("exp.scale.lookup", us);
         served += records.len();
     }
     assert!(served > 0, "lookup phase must return records");
-    lat.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if lat.is_empty() {
-            return 0;
-        }
-        let i = ((lat.len() as f64 - 1.0) * p).round() as usize;
-        lat[i]
-    };
 
     ScaleRow {
         threads,
@@ -324,8 +319,8 @@ fn run_one(seed: u64, cfg: &ScaleConfig, threads: usize) -> ScaleRow {
         accepted,
         rejected,
         records: server.store().record_count(),
-        lookup_p50_us: pct(0.50),
-        lookup_p99_us: pct(0.99),
+        lookup_p50_us: lat.p50_us().unwrap_or(0),
+        lookup_p99_us: lat.p99_us().unwrap_or(0),
         perf: row_perf,
     }
 }

@@ -14,6 +14,8 @@
 //! allocator), [`scorecard`] (the machine-readable `BENCH_<seed>.json`
 //! every scale run writes), and [`perfreport`] (the attribution table
 //! and the CI tolerance gate behind the `perf-report` binary).
+//! Windowed health telemetry (`--frames-out` JSONL) is analyzed by
+//! [`healthreport`] behind the `health-report` binary.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +23,7 @@
 pub mod alloc_track;
 pub mod cli;
 pub mod experiments;
+pub mod healthreport;
 pub mod perfreport;
 pub mod runner;
 pub mod scorecard;

@@ -283,7 +283,7 @@ fn rows_by_threads(timing: &JsonValue) -> Vec<(u64, JsonValue)> {
 /// Compare `current` against `baseline`.
 ///
 /// Gating rules: identity and the deterministic section must match (see
-/// [`diff_deterministic`]); per matched thread count,
+/// `diff_deterministic`); per matched thread count,
 /// `reports_per_sec` must stay ≥ `baseline × (1 − tolerance)` and the
 /// lookup percentiles ≤ `baseline × (1 + tolerance)` plus slack;
 /// micro-bench ns/iter likewise. Wait/hold sums are diagnostics, never

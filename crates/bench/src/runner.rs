@@ -10,8 +10,10 @@
 //! - every trial draws from its own RNG, derived from the trial seed
 //!   alone ([`TrialSpec::rng`]) — never from a shared stream;
 //! - every trial runs under its own observability arena (fresh
-//!   [`csaw_obs::Registry`], fresh virtual clock, and a
-//!   [`csaw_obs::BufferSink`] capturing its events);
+//!   [`csaw_obs::Registry`], fresh virtual clock, a fresh
+//!   [`csaw_obs::Timeline`] inheriting the caller's window
+//!   configuration, and a [`csaw_obs::BufferSink`] capturing its
+//!   events — telemetry frames included);
 //! - after the worker barrier the arenas are folded into the caller's
 //!   scope in **trial-ordinal order**: registries merge (addition
 //!   commutes), buffered events replay into the real sink, and the
@@ -65,6 +67,7 @@ use csaw_obs::contention::{LockStats, PerfMode, TimedMutex};
 use csaw_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use csaw_obs::scope::{self, ObsCtx};
 use csaw_obs::sink::{BufferSink, Sink};
+use csaw_obs::timeseries::Timeline;
 use csaw_obs::Event;
 use csaw_simnet::rng::DetRng;
 use std::collections::VecDeque;
@@ -274,6 +277,7 @@ fn run_one<T, F>(
     enabled: bool,
     verbosity: u8,
     perf: PerfMode,
+    parent_timeline: &Timeline,
 ) -> TrialResult<T>
 where
     F: Fn(&TrialSpec) -> T,
@@ -286,13 +290,21 @@ where
             .with_verbosity(verbosity)
             // Trials inherit the caller's perf-attribution mode, so a
             // perf-enabled sweep sees into the locks its trials build.
-            .with_perf(perf),
+            .with_perf(perf)
+            // ... and the caller's window configuration, on a private
+            // timeline: frames close into the trial's BufferSink, so
+            // they replay in ordinal order like every other event.
+            .with_timeline(Arc::new(parent_timeline.child())),
     );
     let started = Instant::now();
     let value = {
         let _guard = scope::install(ctx.clone());
         run(spec)
     };
+    // End-of-run close: the runner owns the final flush so every trial
+    // leaves exactly one partial last window. Trial bodies must not
+    // flush themselves. No-op when windowing is off.
+    ctx.flush_timeline();
     TrialResult {
         value,
         events: sink.take(),
@@ -315,6 +327,7 @@ where
     let enabled = parent.sink.enabled();
     let verbosity = parent.verbosity;
     let perf = parent.perf_mode();
+    let timeline = parent.timeline.clone();
     let jobs = jobs.max(1).min(specs.len().max(1));
 
     // Runner self-measurement is wall-clock-only (Monotonic): under
@@ -330,7 +343,7 @@ where
     let mut slots: Vec<Option<TrialResult<T>>> = if jobs <= 1 {
         specs
             .iter()
-            .map(|s| Some(run_one(s, &run, enabled, verbosity, perf)))
+            .map(|s| Some(run_one(s, &run, enabled, verbosity, perf, &timeline)))
             .collect()
     } else {
         // One shared work deque: each idle worker steals the next
@@ -364,7 +377,7 @@ where
                                 rs.idle_us.observe_us(done.elapsed().as_micros() as u64);
                             }
                         }
-                        let result = run_one(&specs[i], &run, enabled, verbosity, perf);
+                        let result = run_one(&specs[i], &run, enabled, verbosity, perf, &timeline);
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                         finished_at = Some(Instant::now());
                     }
@@ -392,6 +405,13 @@ where
             for e in &r.events {
                 parent.sink.record(e);
             }
+        }
+        // Runner's own windowed series, recorded here rather than on
+        // the worker threads: the merge loop runs on the caller thread
+        // in ordinal order, so the count is a pure function of the
+        // trial list and the jobs-independence guarantee holds.
+        if timeline.enabled() {
+            timeline.counter("runner.trials.merged", &[]).inc();
         }
         if let Some(clock) = parent.manual_clock() {
             clock.set_us(r.clock_us);
@@ -628,6 +648,90 @@ mod tests {
             run_at(8),
             "virtual perf mode must not leak scheduling into snapshots"
         );
+    }
+
+    #[test]
+    fn trial_timelines_inherit_config_and_replay_frames_byte_identically() {
+        use csaw_obs::timeseries::FRAME_EVENT;
+        use csaw_obs::{SloSet, WindowCfg};
+
+        /// Records one windowed counter sample per trial and advances
+        /// past a window boundary, so every trial emits frames.
+        struct Windowed;
+        impl Experiment for Windowed {
+            type Trial = ();
+            type Output = ();
+            fn name(&self) -> &'static str {
+                "windowed"
+            }
+            fn trials(&self) -> Vec<TrialSpec> {
+                (0..6u64)
+                    .map(|i| TrialSpec::forked(self.name(), 9, i, format!("w{i}")))
+                    .collect()
+            }
+            fn run_trial(&self, spec: &TrialSpec) {
+                let ctx = scope::current();
+                assert!(
+                    ctx.timeline.enabled(),
+                    "trial timeline must inherit the parent window config"
+                );
+                ctx.timeline
+                    .counter("trial.work", &[("o", &spec.ordinal.to_string())])
+                    .inc();
+                // Crosses the 1 ms boundary (closes window 0), leaves a
+                // partial window for the runner's end-of-run flush.
+                csaw_obs::advance_clock_us(1_500);
+            }
+            fn reduce(&self, _trials: Vec<()>) {}
+        }
+
+        let run_at = |jobs: usize| -> String {
+            let ring = Arc::new(RingSink::new(1 << 12));
+            let ctx = Arc::new(
+                ObsCtx::new()
+                    .with_clock(Arc::new(ManualClock::new()))
+                    .with_sink(ring.clone()),
+            );
+            ctx.timeline.configure(WindowCfg {
+                window_us: 1_000,
+                retain: 8,
+                slos: Arc::new(SloSet::empty()),
+            });
+            let _guard = scope::install(ctx.clone());
+            run(&Windowed, jobs);
+            ring.drain()
+                .into_iter()
+                .filter(|e| e.name == FRAME_EVENT)
+                .map(|e| e.to_json().to_string_compact())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+
+        let serial = run_at(1);
+        // 6 trials × (1 boundary close + 1 end-of-run flush) = 12 frames.
+        assert_eq!(serial.lines().count(), 12, "frames:\n{serial}");
+        assert!(serial.contains("trial.work{o=3}"));
+        assert_eq!(run_at(4), serial, "frames must not depend on jobs");
+    }
+
+    #[test]
+    fn merge_feeds_runner_series_into_parent_timeline() {
+        use csaw_obs::{SloSet, WindowCfg};
+        let ctx = Arc::new(ObsCtx::new().with_clock(Arc::new(ManualClock::new())));
+        ctx.timeline.configure(WindowCfg {
+            window_us: 1_000_000,
+            retain: 4,
+            slos: Arc::new(SloSet::empty()),
+        });
+        let _guard = scope::install(ctx.clone());
+        let _ = run(&Synthetic { seed: 4, trials: 5 }, 4);
+        ctx.flush_timeline();
+        let frames = ctx.timeline.recent_frames();
+        let merged: u64 = frames
+            .iter()
+            .map(|f| f.family_count("runner.trials.merged"))
+            .sum();
+        assert_eq!(merged, 5, "one merge per trial");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct Scorecard {
     pub deterministic: JsonValue,
     /// Wall-clock measurements; compared with tolerance bands.
     pub timing: JsonValue,
+    /// Windowed-health summary (window count, SLO rules violated) from
+    /// the run's telemetry timeline. Advisory context for humans and
+    /// dashboards — deliberately excluded from
+    /// [`Scorecard::fingerprint`], and omitted from the document when
+    /// empty, so pre-existing cards and health-less runs are unchanged.
+    pub health: JsonValue,
 }
 
 impl Scorecard {
@@ -56,6 +62,7 @@ impl Scorecard {
             seed,
             deterministic: JsonValue::obj(),
             timing: JsonValue::obj(),
+            health: JsonValue::obj(),
         }
     }
 
@@ -67,6 +74,9 @@ impl Scorecard {
         v.set("seed", self.seed);
         v.set("deterministic", self.deterministic.clone());
         v.set("timing", self.timing.clone());
+        if matches!(&self.health, JsonValue::Obj(m) if !m.is_empty()) {
+            v.set("health", self.health.clone());
+        }
         v
     }
 
@@ -107,6 +117,7 @@ impl Scorecard {
                 .cloned()
                 .unwrap_or_else(JsonValue::obj),
             timing: v.get("timing").cloned().unwrap_or_else(JsonValue::obj),
+            health: v.get("health").cloned().unwrap_or_else(JsonValue::obj),
         })
     }
 
@@ -255,6 +266,28 @@ mod tests {
         assert!(
             !card.fingerprint().contains("reports_per_sec"),
             "timing must stay out of the fingerprint"
+        );
+    }
+
+    #[test]
+    fn health_roundtrips_but_stays_out_of_fingerprint() {
+        let mut card = Scorecard::new("exp_scale", 1);
+        card.deterministic.set("accepted", 100u64);
+        assert!(
+            !card.to_json().to_string_pretty().contains("health"),
+            "empty health must be omitted from the document"
+        );
+        let clean_fp = card.fingerprint();
+        card.health.set("violations", 2u64);
+        assert_eq!(
+            card.fingerprint(),
+            clean_fp,
+            "health must stay out of the fingerprint"
+        );
+        let back = Scorecard::parse(&card.to_json().to_string_pretty()).expect("roundtrip");
+        assert_eq!(
+            back.health.get("violations").and_then(JsonValue::as_u64),
+            Some(2)
         );
     }
 

@@ -34,6 +34,7 @@ use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use csaw_webproto::url::{Scheme, Url};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Counters a deployment study reads off a client.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -175,6 +176,13 @@ pub struct CsawClient {
     fetch_seq: u64,
     /// Ordinal of the next report post (trace-id derivation input).
     report_seq: u64,
+    /// The windowed timeline of the context that built the client
+    /// (captured once, like the trace seed, so background ticks feed
+    /// the right timeline). Inert unless the host configured windows.
+    timeline: Arc<csaw_obs::Timeline>,
+    /// Low-cardinality per-client label for windowed gauges
+    /// (`client=<seed hex>`).
+    ts_label: String,
 }
 
 impl std::fmt::Debug for CsawClient {
@@ -224,6 +232,8 @@ impl CsawClient {
             trace_seed: seed,
             fetch_seq: 0,
             report_seq: 0,
+            timeline: csaw_obs::current().timeline.clone(),
+            ts_label: format!("{seed:x}"),
             cfg,
         }
     }
@@ -306,6 +316,9 @@ impl CsawClient {
                 Ok(r) => r,
                 Err(e) => {
                     self.stats.sync_failures += 1;
+                    if self.timeline.enabled() {
+                        self.timeline.counter("client.sync.failed", &[]).inc();
+                    }
                     csaw_obs::event!("client.sync.failed", asn = asn.0 as u64);
                     return Err(e);
                 }
@@ -324,6 +337,9 @@ impl CsawClient {
         }
         self.global_view = fresh;
         self.last_sync = Some(now);
+        if self.timeline.enabled() {
+            self.timeline.counter("client.sync.ok", &[]).inc();
+        }
         Ok(pulled)
     }
 
@@ -355,16 +371,32 @@ impl CsawClient {
             self.fetch_seq += 1;
             r
         });
+        if self.timeline.enabled() {
+            self.timeline
+                .counter("client.fetch.method", &[("method", method.as_str())])
+                .inc();
+        }
         if !method.safe_to_duplicate() {
             return self.request_unduplicated(world, url, now);
         }
         self.request_inner(world, url, now)
     }
 
+    /// Windowed per-AS fetch coverage: one count per user request, in
+    /// the AS the request actually egressed through.
+    fn ts_count_fetch(&self, asn: Asn) {
+        if self.timeline.enabled() {
+            self.timeline
+                .counter("client.fetches", &[("asn", &asn.0.to_string())])
+                .inc();
+        }
+    }
+
     /// Single-path handling for non-duplicable methods.
     fn request_unduplicated(&mut self, world: &World, url: &Url, now: SimTime) -> RequestOutcome {
         self.stats.requests += 1;
         let provider = world.access.pick_provider(&mut self.rng).clone();
+        self.ts_count_fetch(provider.asn);
         self.multihoming.probe(now, provider.asn);
         let ctx = FetchCtx { now, provider };
         let lookup = self.local_db.lookup(url, now);
@@ -447,6 +479,13 @@ impl CsawClient {
         now: SimTime,
     ) -> RequestOutcome {
         self.record_blocked(url, ctx.provider.asn, now, m.stages.clone());
+        // In-line detection latency: user-request to blocked-verdict,
+        // the windowed counterpart of Table 5's detection ladder.
+        if self.timeline.enabled() {
+            self.timeline
+                .hist("client.detect_latency_us", &[])
+                .observe_us(m.detection_time.as_micros());
+        }
         // Circumvention starts on the waterfall after detection.
         csaw_obs::trace::set_cursor_us(now.as_micros() + m.detection_time.as_micros());
         let fetched = self
@@ -485,6 +524,7 @@ impl CsawClient {
     fn request_inner(&mut self, world: &World, url: &Url, now: SimTime) -> RequestOutcome {
         self.stats.requests += 1;
         let provider = world.access.pick_provider(&mut self.rng).clone();
+        self.ts_count_fetch(provider.asn);
         self.multihoming.probe(now, provider.asn);
         let ctx = FetchCtx { now, provider };
         let lookup = self.local_db.lookup(url, now);
@@ -684,6 +724,13 @@ impl CsawClient {
         let status_after = match out.measurement.status {
             MeasuredStatus::Blocked => {
                 self.record_blocked(url, ctx.provider.asn, now, out.measurement.stages.clone());
+                // First-contact detection latency (the redundant-round
+                // counterpart of the in-line detection ladder).
+                if self.timeline.enabled() {
+                    self.timeline
+                        .hist("client.detect_latency_us", &[])
+                        .observe_us(out.measurement.detection_time.as_micros());
+                }
                 Status::Blocked
             }
             MeasuredStatus::NotBlocked => {
@@ -754,6 +801,10 @@ impl CsawClient {
                 stages: sorted,
             });
             self.stats.reports_queued += 1;
+            if self.timeline.enabled() {
+                self.timeline.counter("client.reports.queued", &[]).inc();
+                self.ts_set_queue_depth();
+            }
         }
         self.local_db
             .record_measurement(url, asn, now, Status::Blocked, stages);
@@ -786,6 +837,14 @@ impl CsawClient {
         self.next_report_at.is_none_or(|at| now >= at)
     }
 
+    /// Windowed per-client queue-depth gauge (call only when the
+    /// timeline is enabled).
+    fn ts_set_queue_depth(&self) {
+        self.timeline
+            .gauge("client.report_queue_depth", &[("client", &self.ts_label)])
+            .set(self.report_queue.len() as i64);
+    }
+
     /// Register a failed post attempt: deterministic exponential backoff
     /// with ±jitter. Delay doubles per consecutive failure from
     /// `report_backoff_base` up to `report_backoff_max`; the jitter draw
@@ -802,6 +861,12 @@ impl CsawClient {
         let factor = 1.0 + self.cfg.report_backoff_jitter * swing;
         let delay = ((raw as f64 * factor) as u64).max(1);
         self.next_report_at = Some(now + SimDuration::from_micros(delay));
+        if self.timeline.enabled() {
+            self.timeline.counter("client.reports.failed", &[]).inc();
+            self.timeline
+                .gauge("client.backoff_streak", &[("client", &self.ts_label)])
+                .set(self.post_failstreak as i64);
+        }
         csaw_obs::event!(
             "report.backoff",
             failstreak = self.post_failstreak as u64,
@@ -813,6 +878,11 @@ impl CsawClient {
     fn reset_backoff(&mut self) {
         self.post_failstreak = 0;
         self.next_report_at = None;
+        if self.timeline.enabled() {
+            self.timeline
+                .gauge("client.backoff_streak", &[("client", &self.ts_label)])
+                .set(0);
+        }
     }
 
     /// Move every report that cannot survive its own wire round-trip
@@ -868,6 +938,7 @@ impl CsawClient {
         rejected_indices: &[usize],
         deferred_indices: &[usize],
     ) {
+        let mut posted_now = 0u64;
         for (i, r) in drained.into_iter().enumerate() {
             if rejected_indices.contains(&i) {
                 self.stats.reports_quarantined += 1;
@@ -881,7 +952,14 @@ impl CsawClient {
                     self.local_db.mark_posted(&u);
                 }
                 self.stats.reports_posted += 1;
+                posted_now += 1;
             }
+        }
+        if self.timeline.enabled() {
+            self.timeline
+                .counter("client.reports.posted", &[])
+                .add(posted_now);
+            self.ts_set_queue_depth();
         }
     }
 
@@ -1547,6 +1625,50 @@ mod tests {
             .sync_global(&server, &[profiles::ISP_A_ASN], SimTime::from_secs(300))
             .is_ok());
         assert!(c2.global_lookup(&url).is_some());
+    }
+
+    #[test]
+    fn request_and_post_feed_windowed_health_series() {
+        use csaw_obs::{SloSet, WindowCfg};
+        let ctx = Arc::new(csaw_obs::ObsCtx::new());
+        ctx.timeline.configure(WindowCfg {
+            window_us: 3_600_000_000, // 1 h windows
+            retain: 8,
+            slos: Arc::new(SloSet::empty()),
+        });
+        let _g = csaw_obs::scope::install(ctx.clone());
+        let w = build_world(profiles::isp_a(), profiles::ISP_A_ASN);
+        let server = ServerDb::builder(55).build().unwrap();
+        let mut c = client(55);
+        c.register(&server, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+            .unwrap();
+        let url = Url::parse("http://www.youtube.com/").unwrap();
+        c.request(&w, &url, SimTime::from_secs(1));
+        let posted = c.post_reports(&server, SimTime::from_secs(2));
+        assert!(posted >= 1);
+        ctx.flush_timeline();
+        let f = &ctx.timeline.recent_frames()[0];
+        let asn = profiles::ISP_A_ASN.0.to_string();
+        assert_eq!(
+            f.series[&format!("client.fetches{{asn={asn}}}")].count(),
+            Some(1)
+        );
+        assert_eq!(f.series["client.fetch.method{method=GET}"].count(), Some(1));
+        assert_eq!(f.family_count("client.reports.queued"), posted as u64);
+        assert_eq!(f.family_count("client.reports.posted"), posted as u64);
+        assert!(
+            f.series["client.detect_latency_us"].p99_us().is_some(),
+            "in-line detection recorded a latency digest"
+        );
+        // The queue drained: the per-client depth gauge closed at zero.
+        let depth = f
+            .series
+            .iter()
+            .find(|(k, _)| k.starts_with("client.report_queue_depth{"))
+            .map(|(_, s)| s.gauge_last().unwrap())
+            .expect("queue depth gauge present");
+        assert_eq!(depth, 0);
+        assert_eq!(f.family_count("client.sync.ok"), 1, "registration synced");
     }
 
     #[test]

@@ -32,15 +32,31 @@ struct Inner {
     live: BTreeMap<u64, VecDeque<Event>>,
     /// Live trace ids in first-seen order (eviction order).
     order: VecDeque<u64>,
-    /// Completed-and-failed traces, oldest first.
-    failed: VecDeque<(u64, Vec<Event>)>,
+    /// Completed-and-failed traces, oldest first. Each entry carries
+    /// the telemetry window frames that preceded the failure.
+    failed: VecDeque<FailedTrace>,
+    /// Rolling last-N `ts.frame` events: the system-state context a
+    /// postmortem snapshots at failure time.
+    frames: VecDeque<Event>,
 }
+
+#[derive(Debug)]
+struct FailedTrace {
+    trace: u64,
+    events: Vec<Event>,
+    frames: Vec<Event>,
+}
+
+/// Telemetry window frames a postmortem snapshots alongside the span
+/// tree (see [`FlightRecorder::failed_with_frames`]).
+const FRAME_CONTEXT: usize = 4;
 
 /// The bounded failure-only retention sink (see module docs).
 #[derive(Debug)]
 pub struct FlightRecorder {
     per_trace_cap: usize,
     max_traces: usize,
+    frame_cap: usize,
     inner: Mutex<Inner>,
     dropped_events: AtomicU64,
     evicted_traces: AtomicU64,
@@ -49,10 +65,14 @@ pub struct FlightRecorder {
 impl FlightRecorder {
     /// A recorder keeping the last `per_trace_cap` events for up to
     /// `max_traces` live traces, and at most `max_traces` failed trees.
+    /// Each failed tree also snapshots the last `FRAME_CONTEXT` (4)
+    /// telemetry window frames (`ts.frame` events) seen before the
+    /// failure, so a postmortem shows system state, not just spans.
     pub fn new(per_trace_cap: usize, max_traces: usize) -> FlightRecorder {
         FlightRecorder {
             per_trace_cap: per_trace_cap.max(1),
             max_traces: max_traces.max(1),
+            frame_cap: FRAME_CONTEXT,
             inner: Mutex::new(Inner::default()),
             dropped_events: AtomicU64::new(0),
             evicted_traces: AtomicU64::new(0),
@@ -79,7 +99,17 @@ impl FlightRecorder {
         lock_recover(&self.inner)
             .failed
             .iter()
-            .map(|(t, evs)| (TraceId(*t), evs.clone()))
+            .map(|f| (TraceId(f.trace), f.events.clone()))
+            .collect()
+    }
+
+    /// The retained failed trees with the telemetry window frames that
+    /// preceded each failure (oldest trees first; frames oldest first).
+    pub fn failed_with_frames(&self) -> Vec<(TraceId, Vec<Event>, Vec<Event>)> {
+        lock_recover(&self.inner)
+            .failed
+            .iter()
+            .map(|f| (TraceId(f.trace), f.events.clone(), f.frames.clone()))
             .collect()
     }
 
@@ -88,15 +118,17 @@ impl FlightRecorder {
         lock_recover(&self.inner)
             .failed
             .drain(..)
-            .map(|(t, evs)| (TraceId(t), evs))
+            .map(|f| (TraceId(f.trace), f.events))
             .collect()
     }
 
     /// Write every retained failed tree as JSONL (same shape the
     /// [`crate::sink::JsonlSink`] writes, so `trace-report` reads it).
+    /// Each tree is preceded by the window frames it snapshotted, so a
+    /// postmortem line stream reads "system state, then the failure".
     pub fn dump_failed_jsonl(&self, w: &mut dyn Write) -> std::io::Result<()> {
-        for (_, evs) in lock_recover(&self.inner).failed.iter() {
-            for e in evs {
+        for f in lock_recover(&self.inner).failed.iter() {
+            for e in f.frames.iter().chain(f.events.iter()) {
                 writeln!(w, "{}", e.to_json().to_string_compact())?;
             }
         }
@@ -117,8 +149,19 @@ impl FlightRecorder {
 
 impl Sink for FlightRecorder {
     fn record(&self, event: &Event) {
-        // Untraced events have no tree to belong to; the recorder only
-        // answers "what happened inside this failed fetch".
+        // Telemetry window frames are untraced but kept in their own
+        // rolling ring: they are the "what was the system doing" context
+        // a failed tree snapshots at completion time.
+        if event.name == crate::timeseries::FRAME_EVENT {
+            let mut g = lock_recover(&self.inner);
+            if g.frames.len() == self.frame_cap {
+                g.frames.pop_front();
+            }
+            g.frames.push_back(event.clone());
+            return;
+        }
+        // Other untraced events have no tree to belong to; the recorder
+        // only answers "what happened inside this failed fetch".
         let Some(t) = &event.trace else { return };
         let key = t.trace.0;
         let mut g = lock_recover(&self.inner);
@@ -148,7 +191,12 @@ impl Sink for FlightRecorder {
                     g.failed.pop_front();
                     self.evicted_traces.fetch_add(1, Ordering::Relaxed);
                 }
-                g.failed.push_back((key, evs));
+                let frames: Vec<Event> = g.frames.iter().cloned().collect();
+                g.failed.push_back(FailedTrace {
+                    trace: key,
+                    events: evs,
+                    frames,
+                });
             }
         }
     }
@@ -227,5 +275,36 @@ mod tests {
         let fr = FlightRecorder::new(4, 4);
         fr.record(&Event::point("loose", 1));
         assert_eq!(fr.live_traces(), 0);
+    }
+
+    #[test]
+    fn postmortems_snapshot_preceding_window_frames() {
+        let fr = Arc::new(FlightRecorder::new(16, 8));
+        // Six frames arrive before the failure; the recorder keeps the
+        // last FRAME_CONTEXT (= 4) of them.
+        for i in 0..6u64 {
+            fr.record(&Event::point(crate::timeseries::FRAME_EVENT, i * 100));
+        }
+        run_fetch(&fr, 9, 0, false);
+        let failed = fr.failed_with_frames();
+        assert_eq!(failed.len(), 1);
+        let (_, events, frames) = &failed[0];
+        assert_eq!(events.len(), 3, "span tree unchanged by frame capture");
+        assert_eq!(frames.len(), FRAME_CONTEXT);
+        assert_eq!(frames[0].ts_us, 200, "oldest two frames evicted");
+        assert_eq!(frames[3].ts_us, 500);
+        // The JSONL dump leads with the system-state frames.
+        let mut out = Vec::new();
+        fr.dump_failed_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let first = JsonValue::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("event").and_then(JsonValue::as_str),
+            Some(crate::timeseries::FRAME_EVENT)
+        );
+        assert_eq!(text.lines().count(), 3 + FRAME_CONTEXT);
+        // Successful fetches snapshot nothing extra.
+        run_fetch(&fr, 9, 1, true);
+        assert_eq!(fr.failed_with_frames().len(), 1);
     }
 }

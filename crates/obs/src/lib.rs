@@ -57,6 +57,8 @@ pub mod json;
 pub mod metrics;
 pub mod scope;
 pub mod sink;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use chrome::ChromeTraceSink;
@@ -67,7 +69,11 @@ pub use flight::FlightRecorder;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use scope::{current, install, set_global, ObsCtx, ScopeGuard};
-pub use sink::{BufferSink, JsonlSink, NullSink, RingSink, Sink, StderrSink, TeeSink};
+pub use sink::{BufferSink, FilterSink, JsonlSink, NullSink, RingSink, Sink, StderrSink, TeeSink};
+pub use slo::{SloKind, SloRule, SloSet, Violation};
+pub use timeseries::{
+    Frame, SeriesSample, Timeline, TsCounter, TsGauge, TsHist, WindowCfg, FRAME_EVENT,
+};
 pub use trace::{SpanId, TraceCtx, TraceId};
 
 /// Increment the named counter in the current context by one.
@@ -96,12 +102,29 @@ pub fn observe_secs(name: &str, secs: f64) {
 }
 
 /// Advance the current context's virtual clock to `us` (no-op when the
-/// installed clock is not manual, e.g. the proxy's wall clock).
+/// installed clock is not manual, e.g. the proxy's wall clock), then
+/// advance the windowed timeline, closing any crossed window boundaries.
 pub fn advance_clock_us(us: u64) {
     let ctx = current();
     if let Some(c) = ctx.manual_clock() {
         c.set_us(us);
     }
+    ctx.advance_timeline(us);
+}
+
+/// Resolve a windowed counter on the current context's timeline.
+pub fn ts_counter(name: &str, labels: &[(&str, &str)]) -> std::sync::Arc<TsCounter> {
+    current().timeline.counter(name, labels)
+}
+
+/// Resolve a windowed gauge on the current context's timeline.
+pub fn ts_gauge(name: &str, labels: &[(&str, &str)]) -> std::sync::Arc<TsGauge> {
+    current().timeline.gauge(name, labels)
+}
+
+/// Resolve a windowed histogram on the current context's timeline.
+pub fn ts_hist(name: &str, labels: &[(&str, &str)]) -> std::sync::Arc<TsHist> {
+    current().timeline.hist(name, labels)
 }
 
 #[cfg(test)]

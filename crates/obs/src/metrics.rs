@@ -186,6 +186,56 @@ impl Histogram {
         self.quantile_us(0.5).map(|us| us as f64 / 1e6)
     }
 
+    /// Median (p50) in µs; `None` when empty.
+    pub fn p50_us(&self) -> Option<u64> {
+        self.quantile_us(0.5)
+    }
+
+    /// 90th percentile in µs; `None` when empty.
+    pub fn p90_us(&self) -> Option<u64> {
+        self.quantile_us(0.9)
+    }
+
+    /// 99th percentile in µs; `None` when empty.
+    pub fn p99_us(&self) -> Option<u64> {
+        self.quantile_us(0.99)
+    }
+
+    /// Mean in µs; `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_us() as f64 / n as f64)
+    }
+
+    /// Summarize and clear the recorded samples: the windowed-series
+    /// layer calls this at every window close. Returns `None` when no
+    /// samples were recorded. Not linearizable against concurrent
+    /// `observe_us` calls — window closes happen on the deterministic
+    /// simulation path, never concurrently with recorders.
+    pub(crate) fn drain_window(&self) -> Option<HistDigest> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let digest = HistDigest {
+            count,
+            sum_us: self.sum_us(),
+            min_us: self.min_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: self.quantile_us(0.5).unwrap_or(0),
+            p90_us: self.quantile_us(0.9).unwrap_or(0),
+            p99_us: self.quantile_us(0.99).unwrap_or(0),
+        };
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.min_us.store(u64::MAX, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+        Some(digest)
+    }
+
     /// Fold another histogram's samples into this one. Buckets are
     /// fixed at construction and identical across histograms, so the
     /// merge is exact: counts and sums add, min/max tighten. Addition
@@ -239,6 +289,18 @@ impl Histogram {
         }
         v
     }
+}
+
+/// One window's worth of histogram samples, summarized at drain time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HistDigest {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
 }
 
 #[derive(Debug, Default)]
@@ -521,6 +583,48 @@ mod tests {
         h.merge_from(&Histogram::default());
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile_us(0.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn quantile_accessors_cover_empty_and_single_bucket_edges() {
+        // Empty: every accessor declines.
+        let h = Histogram::default();
+        assert_eq!(h.p50_us(), None);
+        assert_eq!(h.p90_us(), None);
+        assert_eq!(h.p99_us(), None);
+        assert_eq!(h.mean_us(), None);
+        // Single bucket: every quantile is that bucket's representative.
+        h.observe_us(42);
+        assert_eq!(h.p50_us(), Some(42));
+        assert_eq!(h.p90_us(), Some(42));
+        assert_eq!(h.p99_us(), Some(42));
+        assert_eq!(h.mean_us(), Some(42.0));
+        // Many samples in one (sub-cutover, exact) bucket: still exact.
+        for _ in 0..99 {
+            h.observe_us(42);
+        }
+        assert_eq!(h.p99_us(), Some(42));
+    }
+
+    #[test]
+    fn drain_window_summarizes_then_resets() {
+        let h = Histogram::default();
+        assert!(h.drain_window().is_none(), "empty window drains to None");
+        for v in [100u64, 200, 300] {
+            h.observe_us(v);
+        }
+        let d = h.drain_window().expect("samples present");
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum_us, 600);
+        assert_eq!(d.min_us, 100);
+        assert_eq!(d.max_us, 300);
+        assert!(d.p50_us >= 190 && d.p50_us <= 210, "{}", d.p50_us);
+        // Fully reset: the next window starts from nothing.
+        assert_eq!(h.count(), 0);
+        assert!(h.drain_window().is_none());
+        h.observe_us(7);
+        let d2 = h.drain_window().unwrap();
+        assert_eq!((d2.count, d2.min_us, d2.max_us), (1, 7, 7));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::clock::{Clock, ManualClock};
 use crate::contention::PerfMode;
 use crate::metrics::Registry;
 use crate::sink::{NullSink, Sink};
+use crate::timeseries::Timeline;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -31,6 +32,10 @@ pub struct ObsCtx {
     pub clock: Arc<dyn Clock>,
     /// 0 = silent (default), ≥ 1 = progress lines on stderr.
     pub verbosity: u8,
+    /// Windowed time-series timeline (disabled until configured; see
+    /// [`Timeline::configure`]). Interior-mutable like `perf`, so a CLI
+    /// can enable windowing after the context is installed.
+    pub timeline: Arc<Timeline>,
     /// Perf-attribution mode ([`PerfMode`] as `u8`). Interior-mutable so
     /// a CLI can flip it on after the context is installed.
     perf: AtomicU8,
@@ -43,6 +48,7 @@ impl Default for ObsCtx {
             sink: Arc::new(NullSink),
             clock: Arc::new(ManualClock::new()),
             verbosity: 0,
+            timeline: Arc::new(Timeline::new()),
             perf: AtomicU8::new(PerfMode::Off.as_u8()),
         }
     }
@@ -76,6 +82,26 @@ impl ObsCtx {
     pub fn with_perf(self, mode: PerfMode) -> ObsCtx {
         self.set_perf_mode(mode);
         self
+    }
+
+    /// Replace the timeline (builder form) — the trial runner hands
+    /// each trial a fresh timeline inheriting the parent configuration.
+    pub fn with_timeline(mut self, timeline: Arc<Timeline>) -> ObsCtx {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Advance the timeline to virtual time `now_us`, closing any
+    /// crossed windows into this context's sink. No-op while the
+    /// timeline is unconfigured.
+    pub fn advance_timeline(&self, now_us: u64) {
+        self.timeline.advance_to(now_us, self.sink.as_ref());
+    }
+
+    /// Close the timeline's open window into this context's sink (end
+    /// of run).
+    pub fn flush_timeline(&self) {
+        self.timeline.flush(self.sink.as_ref());
     }
 
     /// Current perf-attribution mode. [`PerfMode::Off`] by default, so

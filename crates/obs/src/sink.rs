@@ -232,6 +232,41 @@ impl Sink for StderrSink {
     }
 }
 
+/// Passes through only events whose name is in an allow-list — how
+/// `--frames-out` captures `ts.frame`/`slo.violation` lines into their
+/// own JSONL file while the main sink sees the full stream.
+#[derive(Debug)]
+pub struct FilterSink {
+    names: Vec<&'static str>,
+    inner: std::sync::Arc<dyn Sink>,
+}
+
+impl FilterSink {
+    /// A sink forwarding to `inner` only events named in `names`.
+    pub fn new(inner: std::sync::Arc<dyn Sink>, names: &[&'static str]) -> FilterSink {
+        FilterSink {
+            names: names.to_vec(),
+            inner,
+        }
+    }
+}
+
+impl Sink for FilterSink {
+    fn record(&self, event: &Event) {
+        if self.names.iter().any(|n| *n == event.name) {
+            self.inner.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
 /// Fan out every event to several sinks (e.g. a Chrome trace on disk
 /// plus an in-memory flight recorder).
 #[derive(Debug)]
@@ -361,6 +396,18 @@ mod tests {
         for l in lines {
             JsonValue::parse(l).expect("each line is standalone JSON");
         }
+    }
+
+    #[test]
+    fn filter_passes_only_allowed_names() {
+        let inner = std::sync::Arc::new(RingSink::new(8));
+        let f = FilterSink::new(inner.clone(), &["ts.frame"]);
+        assert!(f.enabled());
+        f.record(&ev("ts.frame", 1));
+        f.record(&ev("other", 2));
+        f.record(&ev("ts.frame", 3));
+        let names: Vec<String> = inner.drain().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["ts.frame", "ts.frame"]);
     }
 
     #[test]

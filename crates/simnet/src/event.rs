@@ -132,6 +132,22 @@ impl<E> Scheduler<E> {
         ctx.registry
             .gauge("simnet.sched.peak_pending")
             .set(peak_pending as i64);
+        // Windowed health series + window-boundary crossing, when the
+        // context collects timelines (disabled timelines skip all of it).
+        if ctx.timeline.enabled() {
+            ctx.timeline
+                .counter("simnet.sched.dispatched", &[])
+                .add(dispatched);
+            ctx.timeline
+                .gauge("simnet.sched.depth", &[])
+                .set(self.wheel.len() as i64);
+            // Peak in-flight depth this run: how backed up the loop got
+            // between boundaries (the event-loop lag signal).
+            ctx.timeline
+                .gauge("simnet.sched.peak_pending", &[])
+                .set(peak_pending as i64);
+            ctx.advance_timeline(self.now.as_micros());
+        }
         if ctx.sink.enabled() {
             csaw_obs::event::span_completed(
                 "simnet.run_until",
@@ -235,6 +251,35 @@ mod tests {
             peak > 4,
             "follow-up scheduling must raise peak pending above the initial depth, got {peak}"
         );
+    }
+
+    #[test]
+    fn run_until_drives_windowed_series_and_closes_windows() {
+        use csaw_obs::{SloSet, WindowCfg};
+        use std::sync::Arc;
+        let ctx = Arc::new(csaw_obs::ObsCtx::new());
+        ctx.timeline.configure(WindowCfg {
+            window_us: 5_000, // 5 ms windows
+            retain: 8,
+            slos: Arc::new(SloSet::empty()),
+        });
+        let _g = csaw_obs::install(ctx.clone());
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..4 {
+            s.schedule(SimTime::from_millis(i * 4), i as u32);
+        }
+        s.run_until(SimTime::from_millis(7), |_, _, _| {});
+        s.run_until(SimTime::from_millis(14), |_, _, _| {});
+        let frames = ctx.timeline.recent_frames();
+        assert_eq!(frames.len(), 2, "boundaries at 5 ms and 10 ms crossed");
+        // Dispatch counts land at the run boundary that recorded them:
+        // 2 at the 7 ms boundary (window 0), 2 at 14 ms (window 1).
+        let dispatched: u64 = frames
+            .iter()
+            .map(|f| f.family_count("simnet.sched.dispatched"))
+            .sum();
+        assert_eq!(dispatched, 4);
+        assert!(frames[0].series.contains_key("simnet.sched.depth"));
     }
 
     #[test]

@@ -223,6 +223,11 @@ impl JsonlStore {
             .map_err(|e| StoreError::io(&self.path, e))?;
         csaw_obs::inc("store.wal.appends");
         csaw_obs::add("store.wal.bytes", line.len() as u64);
+        // Windowed WAL lag signal: appends per window on the timeline.
+        let tl = &csaw_obs::current().timeline;
+        if tl.enabled() {
+            tl.counter("store.wal.appends", &[]).inc();
+        }
         Ok(())
     }
 }

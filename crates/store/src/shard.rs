@@ -7,7 +7,7 @@
 //! readers — proceed in parallel; there is **no global lock anywhere**
 //! on the ingest or lookup path.
 //!
-//! Ingestion builds a [`BatchPlan`] before any lock is taken: every
+//! Ingestion builds a `BatchPlan` before any lock is taken: every
 //! report is sanitized, its URL interned once as an `Arc<str>`, its
 //! [`GlobalRecord`] fully constructed, and the whole batch stably
 //! sorted by destination shard. The lock phase then walks the plan run
@@ -36,9 +36,10 @@ use crate::record::{GlobalRecord, Uuid};
 use crate::swap::SwapCell;
 use csaw_obs::contention::{RwStats, TimedRwLock};
 use csaw_obs::metrics::{Counter, Gauge, Histogram};
+use csaw_obs::timeseries::Timeline;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -95,6 +96,10 @@ struct StoreMetrics {
     batch_size: Arc<Histogram>,
     ingest_latency: Arc<Histogram>,
     shard_records: Vec<Arc<Gauge>>,
+    /// The windowed timeline of the context that built the store —
+    /// captured here (like the metric handles) so worker threads
+    /// ingesting on behalf of this store feed the right timeline.
+    timeline: Arc<Timeline>,
 }
 
 impl StoreMetrics {
@@ -112,6 +117,7 @@ impl StoreMetrics {
             shard_records: (0..shards)
                 .map(|i| reg.gauge(&format!("store.shard.{i:02}.records")))
                 .collect(),
+            timeline: csaw_obs::current().timeline.clone(),
         }
     }
 }
@@ -229,15 +235,34 @@ impl StorageBackend for ShardedStore {
         // into the ledger phase, still grouped — the ledger stripes
         // with the same hash and stripe count.
         let mut ledger_keys: Vec<(u32, Key)> = Vec::with_capacity(accepted);
+        // Windowed health series, collected lock-free while the plan is
+        // consumed and recorded after the lock phase. `track` is false
+        // whenever no timeline is configured, which keeps the ingest
+        // hot path free of the extra bookkeeping.
+        let track = self.metrics.timeline.enabled();
+        let mut touched_shards: Vec<u32> = Vec::new();
+        let mut per_as: BTreeMap<u32, (u64, Vec<u64>)> = BTreeMap::new();
         let mut it = plan.entries.into_iter().peekable();
         while let Some(s) = it.peek().map(|(s, _, _)| *s) {
             let shard = &self.shards[s as usize];
             let mut delta = 0i64;
+            if track {
+                touched_shards.push(s);
+            }
             {
                 let mut recs = shard.records.write();
                 while it.peek().map(|(s, _, _)| *s) == Some(s) {
                     let (_, key, record) = it.next().expect("peeked entry exists");
                     ledger_keys.push((s, key.clone()));
+                    if track {
+                        let staleness = record
+                            .posted_at
+                            .as_micros()
+                            .saturating_sub(record.measured_at.as_micros());
+                        let e = per_as.entry(record.asn.0).or_default();
+                        e.0 += 1;
+                        e.1.push(staleness);
+                    }
                     if recs.insert(key, record).is_none() {
                         delta += 1;
                     }
@@ -253,6 +278,21 @@ impl StorageBackend for ShardedStore {
         self.metrics.accepted.add(accepted as u64);
         self.metrics.rejected.add((batch.len() - accepted) as u64);
         self.metrics.batch_size.observe_us(batch.len() as u64);
+        if track {
+            let tl = &self.metrics.timeline;
+            for s in touched_shards {
+                tl.counter("store.ingest.batches", &[("shard", &format!("{s:02}"))])
+                    .inc();
+            }
+            for (asn, (n, staleness)) in per_as {
+                let asl = asn.to_string();
+                tl.counter("store.ingest.accepted", &[("asn", &asl)]).add(n);
+                let h = tl.hist("store.ingest.staleness_us", &[("asn", &asl)]);
+                for st in staleness {
+                    h.observe_us(st);
+                }
+            }
+        }
         if let Some(t0) = t0 {
             self.metrics
                 .ingest_latency
@@ -527,6 +567,38 @@ mod tests {
         s.revoke(Uuid::from_raw(2));
         s.blocked_for_as(Asn(1), &f).unwrap();
         assert_eq!(hits(), h0, "post-revoke read must not be served from cache");
+    }
+
+    #[test]
+    fn ingest_feeds_windowed_health_series() {
+        use csaw_obs::timeseries::WindowCfg;
+        use csaw_obs::SloSet;
+        let ctx = Arc::new(ObsCtx::new());
+        ctx.timeline.configure(WindowCfg {
+            window_us: 1_000_000,
+            retain: 8,
+            slos: Arc::new(SloSet::empty()),
+        });
+        let _g = scope::install(ctx.clone());
+        let s = ShardedStore::new(4).unwrap();
+        // Two ASes in one batch; posted_at = 5 s, measured_at = 1 µs.
+        let b = Batch::new(
+            Uuid::from_raw(1),
+            vec![report("http://a.com/", 1), report("http://b.com/", 2)],
+            SimTime::from_secs(5),
+        );
+        s.ingest(&b).unwrap();
+        ctx.flush_timeline();
+        let f = &ctx.timeline.recent_frames()[0];
+        assert_eq!(f.family_count("store.ingest.accepted"), 2);
+        assert_eq!(f.series["store.ingest.accepted{asn=1}"].count(), Some(1));
+        assert_eq!(f.series["store.ingest.accepted{asn=2}"].count(), Some(1));
+        assert!(f.family_count("store.ingest.batches") >= 1);
+        // Staleness digest = posted_at − measured_at ≈ 5 s.
+        let stale = f.series["store.ingest.staleness_us{asn=1}"]
+            .p99_us()
+            .expect("staleness digest recorded");
+        assert!((stale as f64 - 5e6).abs() / 5e6 < 0.05, "{stale}");
     }
 
     #[test]
