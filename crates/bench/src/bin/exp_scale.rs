@@ -47,6 +47,10 @@ fn main() {
             "--bench-out",
             "scorecard path (default BENCH_<seed>.json; 'none' disables)",
         ),
+        (
+            "--transport",
+            "also run the socketed phase: 'in-process' (default) or 'tcp'",
+        ),
     ]);
     cli.default_perf(PerfMode::Monotonic);
     // This harness runs on wall clock (the virtual clock never moves),
@@ -74,7 +78,26 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let result = scale::run_with(cli.seed, cfg);
+    let transport = extras
+        .get("--transport")
+        .map(String::as_str)
+        .unwrap_or("in-process");
+    if !matches!(transport, "in-process" | "tcp") {
+        eprintln!("exp_scale: --transport must be 'in-process' or 'tcp', got {transport:?}");
+        std::process::exit(2);
+    }
+    let mut result = scale::run_with(cli.seed, cfg.clone());
+    if transport == "tcp" {
+        // The socketed phase panics on any reconciliation failure
+        // (silent loss), which exits nonzero — that's the CI gate.
+        let threads = cfg.threads.iter().copied().max().unwrap_or(1);
+        result.socket = Some(scale::run_socketed(
+            cli.seed,
+            &cfg,
+            threads,
+            csaw_dbserver::DbServerConfig::default(),
+        ));
+    }
     println!("{}", result.render());
     let bench_out = extras.get("--bench-out").map(String::as_str);
     if bench_out != Some("none") {

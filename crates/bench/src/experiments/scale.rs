@@ -31,13 +31,17 @@
 
 use crate::alloc_track::{self, AllocSnapshot};
 use crate::scorecard::{LockProbe, LockTotals, Scorecard};
-use csaw::global::{Batch, ConfidenceFilter, RegistrarConfig, Report, ServerDb, Uuid};
+use csaw::global::{
+    Batch, ConfidenceFilter, GlobalApi, RegistrarConfig, RemoteDb, Report, ServerDb, Uuid,
+};
 use csaw_censor::blocking::BlockingType;
+use csaw_dbserver::{spawn_dbserver, DbServerConfig};
 use csaw_obs::json::JsonValue;
 use csaw_obs::PerfMode;
 use csaw_simnet::rng::DetRng;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Reports per client batch (the paper's clients post small batches).
@@ -138,6 +142,50 @@ pub struct Scale {
     pub cfg: ScaleConfig,
     /// One row per thread count, in sweep order.
     pub rows: Vec<ScaleRow>,
+    /// Result of the socketed phase (`--transport tcp`), when run.
+    pub socket: Option<SocketScale>,
+}
+
+/// What the socketed phase achieved: the same workload posted to a
+/// real `csaw-dbserver` over loopback TCP through the [`RemoteDb`]
+/// pool, with exact receipt reconciliation.
+///
+/// `accepted`/`rejected`/`records` are seed-pure (deferrals only delay
+/// a report, they never change whether it is ultimately accepted) and
+/// land in the scorecard's `deterministic` section; everything
+/// wall-clock or scheduling-dependent (throughput, request latency,
+/// deferral retries, reactor coalescing) is `timing`.
+#[derive(Debug, Clone)]
+pub struct SocketScale {
+    /// Posting threads sharing the connection pool.
+    pub threads: usize,
+    /// Reports submitted (clients × reports-per-client).
+    pub posted_reports: u64,
+    /// Reports the server accepted (deterministic in the seed).
+    pub accepted: u64,
+    /// Reports rejected by sanitization (deterministic in the seed).
+    pub rejected: u64,
+    /// Records in the store after the run (deterministic in the seed).
+    pub records: usize,
+    /// Batch resubmissions triggered by deferred receipts (backpressure
+    /// is bounded and explicit — every deferral is retried, so this
+    /// counts extra round trips, not losses). Timing-dependent.
+    pub deferred_retries: u64,
+    /// Wall-clock posting time, seconds (registration excluded).
+    pub ingest_secs: f64,
+    /// Sustained socketed ingest throughput, reports per second.
+    pub reports_per_sec: f64,
+    /// Median request round-trip latency, µs.
+    pub req_p50_us: u64,
+    /// 99th-percentile request round-trip latency, µs.
+    pub req_p99_us: u64,
+    /// Batches the reactor handed to `ingest` (posts + deferral
+    /// retries). Timing-dependent via the retry count.
+    pub batches_ingested: u64,
+    /// Mean requests decoded per busy reactor pass (batch coalescing).
+    pub coalesce_mean: f64,
+    /// Peak requests decoded in one reactor pass.
+    pub coalesce_max: u64,
 }
 
 /// The batch client `idx` posts — a pure function of `(seed, idx)`, so
@@ -192,7 +240,153 @@ pub fn run_with(seed: u64, cfg: ScaleConfig) -> Scale {
             assert_eq!(r.rejected, first.rejected);
         }
     }
-    Scale { cfg, rows }
+    Scale {
+        cfg,
+        rows,
+        socket: None,
+    }
+}
+
+/// The socketed phase: spawn a real `csaw-dbserver` on loopback, post
+/// the same seed-pure workload through the [`RemoteDb`] connection
+/// pool from `threads` posting threads, reconcile every receipt
+/// exactly (accepted + rejected must cover every submitted report —
+/// deferred indices are resubmitted until they land), then gracefully
+/// drain the server and cross-check its counters against the client
+/// side. Panics on any silent loss.
+pub fn run_socketed(
+    seed: u64,
+    cfg: &ScaleConfig,
+    threads: usize,
+    server_cfg: DbServerConfig,
+) -> SocketScale {
+    let server = Arc::new(
+        ServerDb::builder(seed)
+            .shards(cfg.shards)
+            .registrar(RegistrarConfig {
+                max_risk: 1.0,
+                max_per_window: usize::MAX,
+                window: SimDuration::from_secs(60),
+            })
+            .build()
+            .expect("scale harness store config is valid"),
+    );
+    let handle = spawn_dbserver(Arc::clone(&server), server_cfg).expect("loopback bind");
+    let remote = RemoteDb::new(handle.addr());
+
+    // Registration stays sequential (and untimed): UUID assignment is
+    // order-dependent, and identical ordering keeps the socketed store
+    // state byte-comparable with the in-process phase's.
+    csaw_obs::event::progress(&format!(
+        "exp_scale: registering {} clients over tcp",
+        cfg.clients
+    ));
+    let uuids: Vec<Uuid> = (0..cfg.clients)
+        .map(|i| {
+            remote
+                .register(SimTime::from_secs(i as u64), 0.0)
+                .expect("open registrar accepts the population")
+        })
+        .collect();
+
+    csaw_obs::event::progress(&format!(
+        "exp_scale: posting over tcp on {threads} thread(s)"
+    ));
+    let lat = csaw_obs::metrics::Histogram::default();
+    let chunk = cfg.clients.div_ceil(threads.max(1));
+    let started = Instant::now();
+    let (accepted, rejected, retries) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let remote = &remote;
+                let uuids = &uuids;
+                let lat = &lat;
+                s.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(cfg.clients);
+                    let (mut acc, mut rej, mut retries) = (0u64, 0u64, 0u64);
+                    for (idx, &uuid) in uuids.iter().enumerate().take(hi).skip(lo) {
+                        let template = batch_for(seed, idx, uuid, cfg);
+                        let posted_at = template.posted_at;
+                        let mut reports = template.reports().to_vec();
+                        loop {
+                            let t0 = Instant::now();
+                            let receipt = remote
+                                .ingest(Batch::new(uuid, reports.clone(), posted_at))
+                                .expect("socketed post");
+                            lat.observe_us(t0.elapsed().as_micros() as u64);
+                            assert_eq!(
+                                receipt.accepted + receipt.rejected + receipt.deferred(),
+                                reports.len(),
+                                "receipt must cover every index"
+                            );
+                            acc += receipt.accepted as u64;
+                            rej += receipt.rejected as u64;
+                            if receipt.deferred_indices.is_empty() {
+                                break;
+                            }
+                            // Resubmit exactly the deferred reports —
+                            // accepted/rejected ones must not repeat.
+                            retries += 1;
+                            reports = receipt
+                                .deferred_indices
+                                .iter()
+                                .map(|&i| reports[i].clone())
+                                .collect();
+                        }
+                    }
+                    (acc, rej, retries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("posting thread panicked"))
+            .fold((0u64, 0u64, 0u64), |(a, r, d), (da, dr, dd)| {
+                (a + da, r + dr, d + dd)
+            })
+    });
+    let ingest_secs = started.elapsed().as_secs_f64();
+    csaw_obs::observe_secs("exp.scale.socket_ingest", ingest_secs);
+
+    // Graceful drain, then reconcile: client-side receipt totals, the
+    // server's own counters, and the store must all agree exactly.
+    let stats = handle.drain();
+    let posted_reports = (cfg.clients * REPORTS_PER_CLIENT) as u64;
+    assert_eq!(
+        accepted + rejected,
+        posted_reports,
+        "receipt reconciliation: every submitted report must be \
+         accepted or rejected exactly once (deferred = resubmitted)"
+    );
+    assert_eq!(
+        stats.reports_accepted, accepted,
+        "server-side accept counter must match client receipts"
+    );
+    assert_eq!(
+        stats.reports_rejected, rejected,
+        "server-side reject counter must match client receipts"
+    );
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "clean runs have no protocol errors"
+    );
+
+    SocketScale {
+        threads,
+        posted_reports,
+        accepted,
+        rejected,
+        records: server.store().record_count(),
+        deferred_retries: retries,
+        ingest_secs,
+        reports_per_sec: posted_reports as f64 / ingest_secs.max(1e-9),
+        req_p50_us: lat.p50_us().unwrap_or(0),
+        req_p99_us: lat.p99_us().unwrap_or(0),
+        batches_ingested: stats.batches_ingested,
+        coalesce_mean: stats.mean_requests_per_busy_pass(),
+        coalesce_max: stats.max_requests_per_pass,
+    }
 }
 
 /// One sweep point: a fresh store, `threads` concurrent writers.
@@ -381,6 +575,23 @@ impl Scale {
                 eff.join("  ")
             ));
         }
+        if let Some(sck) = &self.socket {
+            out.push_str(&format!(
+                "socketed (tcp loopback, {} threads): {:.0} reports/s, \
+                 req p50 {}µs p99 {}µs, {} accepted + {} rejected = {} posted, \
+                 {} deferral retries, coalescing mean {:.2} / max {}\n",
+                sck.threads,
+                sck.reports_per_sec,
+                sck.req_p50_us,
+                sck.req_p99_us,
+                sck.accepted,
+                sck.rejected,
+                sck.posted_reports,
+                sck.deferred_retries,
+                sck.coalesce_mean,
+                sck.coalesce_max,
+            ));
+        }
         out
     }
 
@@ -441,6 +652,28 @@ impl Scale {
         }
         card.deterministic.set("config", config);
         card.deterministic.set("rows", det_rows);
+        if let Some(sck) = &self.socket {
+            // Socketed section, split on the same rule: receipt totals
+            // and store state are seed-pure; latency, throughput,
+            // deferrals, and coalescing depend on real scheduling.
+            let mut d = JsonValue::obj();
+            d.set("threads", sck.threads);
+            d.set("posted_reports", sck.posted_reports);
+            d.set("accepted", sck.accepted);
+            d.set("rejected", sck.rejected);
+            d.set("records", sck.records);
+            card.deterministic.set("socket", d);
+            let mut t = JsonValue::obj();
+            t.set("ingest_secs", sck.ingest_secs);
+            t.set("reports_per_sec", sck.reports_per_sec);
+            t.set("req_p50_us", sck.req_p50_us);
+            t.set("req_p99_us", sck.req_p99_us);
+            t.set("deferred_retries", sck.deferred_retries);
+            t.set("batches_ingested", sck.batches_ingested);
+            t.set("coalesce_mean", sck.coalesce_mean);
+            t.set("coalesce_max", sck.coalesce_max);
+            card.timing.set("socket", t);
+        }
         // Machine identity for the health gate: parallel-scaling checks
         // are only meaningful when the host had the cores to express
         // them, so the card records how many it saw. Timing section —
@@ -529,6 +762,56 @@ mod tests {
         assert!(
             !a.fingerprint().contains("reports_per_sec"),
             "wall-clock numbers must stay out of the fingerprint"
+        );
+    }
+
+    #[test]
+    fn socketed_phase_reconciles_and_is_seed_pure() {
+        // max_batches_per_pass: 1 forces the backpressure path under
+        // concurrent posters — deferrals must resubmit, never lose.
+        let run = || {
+            let cfg = tiny();
+            let sck = run_socketed(
+                13,
+                &cfg,
+                4,
+                DbServerConfig {
+                    max_batches_per_pass: 1,
+                    ..DbServerConfig::default()
+                },
+            );
+            assert_eq!(
+                sck.accepted + sck.rejected,
+                (cfg.clients * REPORTS_PER_CLIENT) as u64
+            );
+            assert_eq!(sck.rejected, (cfg.clients / GARBAGE_EVERY) as u64);
+            assert!(sck.records > 0);
+            let mut scale = run_with(
+                13,
+                ScaleConfig {
+                    threads: vec![1],
+                    ..cfg
+                },
+            );
+            let in_process_records = scale.rows[0].records;
+            assert_eq!(
+                sck.records, in_process_records,
+                "socketed store state must match the in-process store state"
+            );
+            scale.socket = Some(sck);
+            assert!(scale.render().contains("socketed (tcp loopback"));
+            scale.scorecard(13)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "socket deterministic section must be seed-pure"
+        );
+        assert!(a.fingerprint().contains("socket"));
+        assert!(
+            !a.fingerprint().contains("req_p99_us"),
+            "socket latency stays out of the fingerprint"
         );
     }
 

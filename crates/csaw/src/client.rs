@@ -19,7 +19,7 @@
 
 use crate::circum::Selector;
 use crate::config::{CsawConfig, UserPreference};
-use crate::global::{ConfidenceFilter, Report, ServerDb, Uuid};
+use crate::global::{ConfidenceFilter, GlobalApi, Report, ServerDb, Uuid};
 use crate::local::{LocalDb, Status};
 use crate::measure::{
     fetch_with_redundancy, measure_direct, DetectConfig, MeasuredStatus, ServedFrom,
@@ -271,9 +271,12 @@ impl CsawClient {
     /// Register with the server (initialization; the paper gates this
     /// with "No CAPTCHA reCAPTCHA" — `risk_score` is that engine's
     /// output) and download the blocked list for `asn`.
-    pub fn register(
+    ///
+    /// Generic over [`GlobalApi`]: `server` may be the in-process
+    /// [`ServerDb`] or a [`crate::global::RemoteDb`] socket pool.
+    pub fn register<G: GlobalApi + ?Sized>(
         &mut self,
-        server: &ServerDb,
+        server: &G,
         asn: Asn,
         now: SimTime,
         risk_score: f64,
@@ -303,9 +306,9 @@ impl CsawClient {
     /// censorship; an empty one sends every request down the direct
     /// path). On failure the cached view and `last_sync` are kept, so
     /// the next tick retries. Returns the number of records pulled.
-    pub fn sync_global(
+    pub fn sync_global<G: GlobalApi + ?Sized>(
         &mut self,
-        server: &ServerDb,
+        server: &G,
         asns: &[Asn],
         now: SimTime,
     ) -> Result<usize, crate::global::StoreError> {
@@ -814,7 +817,7 @@ impl CsawClient {
     /// Periodic background work: global sync, report posting, expiry.
     /// Call on whatever cadence the host loop uses; internal intervals
     /// gate the actual work.
-    pub fn tick(&mut self, world: &World, server: &ServerDb, now: SimTime) {
+    pub fn tick<G: GlobalApi + ?Sized>(&mut self, world: &World, server: &G, now: SimTime) {
         let due = |last: Option<SimTime>, every: SimDuration| match last {
             None => true,
             Some(t) => now.duration_since(t) >= every,
@@ -982,7 +985,7 @@ impl CsawClient {
     /// Push pending blocked-URL reports to the server (carried over Tor
     /// in the paper; content is identical either way — no PII on the
     /// wire by construction).
-    pub fn post_reports(&mut self, server: &ServerDb, now: SimTime) -> usize {
+    pub fn post_reports<G: GlobalApi + ?Sized>(&mut self, server: &G, now: SimTime) -> usize {
         let Some(uuid) = self.uuid else { return 0 };
         if self.report_queue.is_empty() || !self.backoff_clear(now) {
             return 0;

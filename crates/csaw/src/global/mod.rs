@@ -7,6 +7,7 @@
 
 pub mod collectors;
 pub mod record;
+pub mod remote;
 pub mod reputation;
 pub mod server;
 pub mod voting;
@@ -14,6 +15,7 @@ pub mod voting;
 pub use collectors::{Collector, CollectorSet, SubmitError, SubmitReceipt};
 pub use csaw_store::{Batch, IngestReceipt, JsonlStore, ShardedStore, StorageBackend, StoreError};
 pub use record::{GlobalRecord, Report, Uuid, WireError};
+pub use remote::{GlobalApi, RemoteDb};
 pub use reputation::{audit, Flag, ReputationConfig};
 pub use server::{
     BackendChoice, DeploymentStats, PostError, RegistrarConfig, RegistrationError, ServerDb,

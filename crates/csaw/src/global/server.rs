@@ -37,6 +37,10 @@ pub enum RegistrationError {
     /// Too many registrations in the current window (automated
     /// fake-identity farming).
     RateLimited,
+    /// The server could not be reached (socket transport only; the
+    /// in-process server never returns this). Retrying later is
+    /// reasonable — the gate never saw the attempt.
+    Unavailable,
 }
 
 /// Update-posting failures.

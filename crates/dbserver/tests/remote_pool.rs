@@ -1,0 +1,255 @@
+//! `RemoteDb` against a live `csaw-dbserver`: the same `GlobalApi`
+//! calls that run in-process must round-trip over real sockets, the
+//! pool must reuse connections, transport failures must surface as
+//! retryable `Unavailable` errors, and a full `CsawClient` must be
+//! able to register, post, and sync through the socket transport
+//! without its accounting identity noticing the difference.
+
+use csaw::client::CsawClient;
+use csaw::config::CsawConfig;
+use csaw::global::RegistrarConfig;
+use csaw::global::{GlobalApi, RegistrationError, RemoteDb, ServerDb};
+use csaw_censor::{profiles, Category};
+use csaw_circumvent::world::{SiteSpec, World};
+use csaw_dbserver::{spawn_dbserver, DbServerConfig};
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::{AccessNetwork, Provider, Region, Site};
+use csaw_store::{Batch, ConfidenceFilter, Report, StoreError};
+use csaw_webproto::url::Url;
+use std::sync::Arc;
+
+fn permissive_server() -> Arc<ServerDb> {
+    Arc::new(
+        ServerDb::builder(7)
+            .shards(4)
+            .registrar(RegistrarConfig {
+                max_risk: 1.0,
+                max_per_window: usize::MAX,
+                window: SimDuration::from_secs(3600),
+            })
+            .build()
+            .unwrap(),
+    )
+}
+
+fn report(url: &str) -> Report {
+    Report {
+        url: url.into(),
+        asn: 17557,
+        measured_at_us: 1_000,
+        stages: vec![csaw_censor::blocking::BlockingType::HttpDrop],
+    }
+}
+
+fn open_filter() -> ConfidenceFilter {
+    ConfidenceFilter {
+        min_clients: 1,
+        min_avg_vote: 0.0,
+    }
+}
+
+/// The trait surface round-trips over sockets, and sequential calls
+/// reuse one pooled connection rather than reconnecting per request.
+#[test]
+fn remote_roundtrip_reuses_pooled_connection() {
+    let server = permissive_server();
+    let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+    let remote = RemoteDb::new(handle.addr());
+
+    let uuid = remote.register(SimTime::from_secs(1), 0.0).unwrap();
+    let receipt = remote
+        .ingest(Batch::new(
+            uuid,
+            vec![report("http://blocked.example/a")],
+            SimTime::from_secs(2),
+        ))
+        .unwrap();
+    assert_eq!(receipt.accepted, 1);
+    assert_eq!(receipt.rejected, 0);
+    assert!(receipt.deferred_indices.is_empty());
+
+    let records = remote
+        .blocked_for_as(csaw_simnet::topology::Asn(17557), &open_filter())
+        .unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].url, "http://blocked.example/a");
+    assert_eq!(records[0].reporter, uuid);
+
+    // Three sequential calls, one connection: each checkout drained the
+    // pool and each clean roundtrip returned it.
+    assert_eq!(remote.idle_connections(), 1);
+
+    let stats = handle.drain();
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.frames_in, 3);
+    assert_eq!(stats.frames_out, 3);
+}
+
+/// Server-side registration policy crosses the wire as the matching
+/// `RegistrationError`, not as a transport failure.
+#[test]
+fn registration_policy_errors_cross_the_wire() {
+    let server = Arc::new(
+        ServerDb::builder(7)
+            .registrar(RegistrarConfig {
+                max_risk: 0.5,
+                max_per_window: usize::MAX,
+                window: SimDuration::from_secs(3600),
+            })
+            .build()
+            .unwrap(),
+    );
+    let handle = spawn_dbserver(server, DbServerConfig::default()).unwrap();
+    let remote = RemoteDb::new(handle.addr());
+
+    assert_eq!(
+        remote.register(SimTime::from_secs(1), 0.9),
+        Err(RegistrationError::RiskRejected)
+    );
+    drop(handle);
+}
+
+/// A dead server surfaces as `Unavailable` — the retryable shape the
+/// client's backoff path owns — never a panic or a hang.
+#[test]
+fn dead_server_surfaces_unavailable() {
+    let handle = spawn_dbserver(permissive_server(), DbServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    handle.drain();
+
+    let remote = RemoteDb::new(addr);
+    assert_eq!(
+        remote.register(SimTime::from_secs(1), 0.0),
+        Err(RegistrationError::Unavailable)
+    );
+    match remote.blocked_for_as(csaw_simnet::topology::Asn(1), &open_filter()) {
+        Err(StoreError::Unavailable(_)) => {}
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    assert_eq!(remote.idle_connections(), 0, "failed conns are not pooled");
+}
+
+/// Concurrent posters share the pool: every batch gets a receipt and
+/// the pool never grows beyond its cap.
+#[test]
+fn concurrent_posts_share_the_pool() {
+    const POSTERS: usize = 8;
+    const BATCHES_PER_POSTER: usize = 10;
+
+    let server = permissive_server();
+    let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+    let remote = RemoteDb::new(handle.addr()).with_max_idle(4);
+
+    let accepted: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..POSTERS)
+            .map(|p| {
+                let remote = &remote;
+                s.spawn(move || {
+                    let uuid = remote
+                        .register(SimTime::from_secs(1 + p as u64), 0.0)
+                        .unwrap();
+                    let mut accepted = 0usize;
+                    for b in 0..BATCHES_PER_POSTER {
+                        let receipt = remote
+                            .ingest(Batch::new(
+                                uuid,
+                                vec![report(&format!("http://blocked.example/p{p}/b{b}"))],
+                                SimTime::from_secs(10),
+                            ))
+                            .unwrap();
+                        assert!(receipt.is_complete(), "receipt covers every index");
+                        accepted += receipt.accepted;
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    assert_eq!(accepted, POSTERS * BATCHES_PER_POSTER);
+    assert!(remote.idle_connections() <= 4, "pool respects its cap");
+    let stats = handle.drain();
+    assert_eq!(
+        stats.reports_accepted,
+        (POSTERS * BATCHES_PER_POSTER) as u64
+    );
+}
+
+fn build_world() -> World {
+    let provider = Provider::new(profiles::ISP_A_ASN, "isp");
+    let access = AccessNetwork::single(provider);
+    World::builder(access)
+        .site(
+            SiteSpec::new("www.youtube.com", Site::at_vantage_rtt(Region::UsEast, 186))
+                .category(Category::Video)
+                .frontable(true)
+                .serves_by_ip(true)
+                .default_page(360_000, 20),
+        )
+        .site(SiteSpec::new(
+            "cdn-front.example",
+            Site::in_region(Region::Singapore),
+        ))
+        .censor(profiles::ISP_A_ASN, profiles::isp_a())
+        .build()
+}
+
+/// A full `CsawClient` — register, censored fetches, `post_reports`,
+/// `sync_global` — running entirely over the socket transport. The
+/// client code is byte-identical to the in-process path; only the `&G`
+/// it is handed differs.
+#[test]
+fn csaw_client_runs_end_to_end_over_sockets() {
+    let server = permissive_server();
+    let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+    let remote = RemoteDb::new(handle.addr());
+
+    let w = build_world();
+    let mut c = CsawClient::new(
+        CsawConfig::default().with_report_backoff(
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(600),
+            0.1,
+        ),
+        Some("cdn-front.example"),
+        42,
+    );
+    c.register(&remote, profiles::ISP_A_ASN, SimTime::ZERO, 0.0)
+        .unwrap();
+
+    let mut now = SimTime::from_secs(1);
+    for u in 0..5 {
+        let url = Url::parse(&format!("http://www.youtube.com/watch/u{u}")).unwrap();
+        c.request(&w, &url, now);
+        now += SimDuration::from_secs(10);
+    }
+    assert!(c.pending_reports() > 0, "censored fetches queued reports");
+
+    for _ in 0..20 {
+        if c.pending_reports() == 0 {
+            break;
+        }
+        now += SimDuration::from_secs(700);
+        c.post_reports(&remote, now);
+    }
+    assert_eq!(c.pending_reports(), 0, "queue drained over sockets");
+    assert_eq!(
+        c.stats.reports_queued,
+        c.stats.reports_posted + c.stats.reports_dropped,
+        "accounting identity holds over the socket transport: {:?}",
+        c.stats
+    );
+
+    // The posted records are now downloadable — through the same pool.
+    let synced = c.sync_global(&remote, &[profiles::ISP_A_ASN], now).unwrap();
+    assert!(synced > 0, "downloaded the records this client posted");
+
+    // And the server behind the socket really holds them.
+    let stats = handle.drain();
+    assert_eq!(stats.reports_accepted, c.stats.reports_posted);
+    assert_eq!(
+        server.store().record_count(),
+        c.stats.reports_posted as usize
+    );
+}

@@ -1,111 +1,25 @@
-//! Blocking HTTP/1.1 framing over `std::net` streams, built on the
-//! incremental parsers from `csaw-webproto`.
+//! Blocking HTTP/1.1 framing over `std::net` streams.
 //!
-//! The framing rules: accumulate into a `BytesMut`, attempt a parse
-//! after every read, and distinguish "need more bytes" from a genuinely
-//! malformed or closed stream.
+//! The implementation lives in [`csaw_webproto::codec`] (shared with
+//! the global-DB server's length-framed protocol); this module
+//! re-exports it under the proxy's historical path. The framing rules:
+//! accumulate into a `BytesMut`, attempt a parse after every read, and
+//! distinguish "need more bytes" from a genuinely malformed or closed
+//! stream.
 
-use csaw_webproto::bytes::BytesMut;
-use csaw_webproto::http::{Request, Response};
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
-
-/// Maximum message size we will buffer (sanity cap against abuse).
-pub const MAX_MESSAGE_BYTES: usize = 8 * 1024 * 1024;
-
-fn read_some(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<usize> {
-    let mut chunk = [0u8; 16 * 1024];
-    let n = stream.read(&mut chunk)?;
-    buf.extend_from_slice(&chunk[..n]);
-    Ok(n)
-}
-
-/// Read one HTTP request from the stream. `Ok(None)` means the peer
-/// closed cleanly before sending a full request.
-pub fn read_request(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Option<Request>> {
-    loop {
-        match Request::parse(buf) {
-            Ok(Some((req, used))) => {
-                let _ = buf.split_to(used);
-                return Ok(Some(req));
-            }
-            Ok(None) => {}
-            Err(e) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad request: {e}"),
-                ))
-            }
-        }
-        if buf.len() > MAX_MESSAGE_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request too large",
-            ));
-        }
-        let n = read_some(stream, buf)?;
-        if n == 0 {
-            return if buf.is_empty() {
-                Ok(None)
-            } else {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-request",
-                ))
-            };
-        }
-    }
-}
-
-/// Read one HTTP response from a whole stream.
-pub fn read_response(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Response> {
-    loop {
-        match Response::parse(buf) {
-            Ok(Some((resp, used))) => {
-                let _ = buf.split_to(used);
-                return Ok(resp);
-            }
-            Ok(None) => {}
-            Err(e) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad response: {e}"),
-                ))
-            }
-        }
-        if buf.len() > MAX_MESSAGE_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "response too large",
-            ));
-        }
-        let n = read_some(stream, buf)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-response",
-            ));
-        }
-    }
-}
-
-/// Write a request.
-pub fn write_request(stream: &mut TcpStream, req: &Request) -> io::Result<()> {
-    stream.write_all(&req.encode())?;
-    stream.flush()
-}
-
-/// Write a response.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    stream.write_all(&resp.encode())?;
-    stream.flush()
-}
+pub use csaw_webproto::codec::{
+    read_request, read_response, read_some, write_request, write_response, MAX_MESSAGE_BYTES,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csaw_webproto::bytes::BytesMut;
+    use csaw_webproto::http::Response;
     use csaw_webproto::url::Url;
-    use std::net::TcpListener;
+    use csaw_webproto::Request;
+    use std::io::{self, Write};
+    use std::net::{TcpListener, TcpStream};
 
     #[test]
     fn request_roundtrip_over_socket() {

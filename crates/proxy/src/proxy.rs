@@ -12,9 +12,11 @@ use crate::codec::{read_request, read_response, write_request, write_response};
 use crate::testbed::resolver::TestResolver;
 use csaw::global::Report;
 use csaw_blockpage::{phase1_html, phase2, Phase1Config, Phase1Verdict, Phase2Config};
+use csaw_obs::clock::Clock;
 use csaw_obs::metrics::Registry;
 use csaw_webproto::bytes::BytesMut;
 use csaw_webproto::http::{Request, Response};
+use csaw_webproto::url::Scheme;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,10 +65,18 @@ impl ProxySignature {
 pub struct ProxyMeasurement {
     /// The affected host.
     pub host: String,
+    /// Scheme the browser used for the blocked fetch. Reports must
+    /// carry the *observed* URL — a censor that blocks `https://host`
+    /// but not `http://host` is a different record.
+    pub scheme: Scheme,
     /// What was observed.
     pub signature: ProxySignature,
-    /// Milliseconds since the proxy started.
-    pub at_ms: u64,
+    /// Measurement time (`T_m`) in µs on the observability clock — the
+    /// same virtual clock the rest of the pipeline runs on, so reports
+    /// exported from a simulation timeline sort correctly against
+    /// simulated ones. (Embedders running on wall time install a wall
+    /// clock in the obs scope and get wall µs.)
+    pub measured_at_us: u64,
 }
 
 /// Blocking status the proxy tracks per host (its in-memory local DB).
@@ -108,11 +118,12 @@ struct ProxyState {
     cfg: ProxyConfig,
     status: RwLock<HashMap<String, HostStatus>>,
     measurements: Mutex<Vec<ProxyMeasurement>>,
-    started: std::time::Instant,
     // Captured at spawn time so handler threads (which don't inherit the
     // spawner's thread-local observability scope) report into the same
-    // registry the embedding experiment installed.
+    // registry — and stamp measurements from the same clock — the
+    // embedding experiment installed.
     obs: Arc<Registry>,
+    clock: Arc<dyn Clock>,
     // Monotone request ordinal feeding PROXY-stream trace-id derivation.
     req_seq: AtomicU64,
 }
@@ -129,9 +140,10 @@ pub struct CsawProxy {
 
 impl Drop for CsawProxy {
     fn drop(&mut self) {
+        // The accept loop is non-blocking and re-checks this flag every
+        // pass, so setting it is sufficient — no wake-up connection
+        // (which used to race real clients arriving at shutdown).
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocked accept() so the loop observes the flag.
-        let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -155,14 +167,15 @@ impl CsawProxy {
         self.state.measurements.lock().unwrap().clone()
     }
 
-    /// Export the log as global-DB reports (host-level URLs).
+    /// Export the log as global-DB reports (host-level URLs, observed
+    /// scheme, obs-clock timestamps).
     pub fn to_reports(&self, asn: u32) -> Vec<Report> {
         self.measurements()
             .into_iter()
             .map(|m| Report {
-                url: format!("http://{}/", m.host),
+                url: format!("{}://{}/", m.scheme.as_str(), m.host),
                 asn,
-                measured_at_us: m.at_ms * 1_000,
+                measured_at_us: m.measured_at_us,
                 stages: vec![m.signature.blocking_type()],
             })
             .collect()
@@ -205,28 +218,46 @@ fn fetch_one(addr: SocketAddr, req: &Request, timeout: Duration) -> PathFetch {
 /// Spawn the proxy on an ephemeral 127.0.0.1 port.
 pub fn spawn_proxy(resolver: Arc<TestResolver>, cfg: ProxyConfig) -> std::io::Result<CsawProxy> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
+    // Non-blocking accept: the loop re-checks `stop` *before* every
+    // accept attempt, so shutdown never depends on one more connection
+    // arriving. (The old blocking loop checked `stop` only after
+    // `accept()` returned, and `Drop` had to race a wake-up connect
+    // against real clients.)
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let obs_ctx = csaw_obs::scope::current();
     let state = Arc::new(ProxyState {
         resolver,
         cfg,
         status: RwLock::new(HashMap::new()),
         measurements: Mutex::new(Vec::new()),
-        started: std::time::Instant::now(),
-        obs: csaw_obs::scope::current().registry.clone(),
+        obs: obs_ctx.registry.clone(),
+        clock: obs_ctx.clock.clone(),
         req_seq: AtomicU64::new(0),
     });
     let state2 = Arc::clone(&state);
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let handle = std::thread::spawn(move || loop {
-        let Ok((stream, _)) = listener.accept() else {
-            break;
-        };
         if stop2.load(Ordering::SeqCst) {
             break;
         }
-        let state = Arc::clone(&state2);
-        std::thread::spawn(move || handle_browser(stream, state));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handlers use blocking reads with timeouts; undo the
+                // non-blocking mode inherited on some platforms.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let state = Arc::clone(&state2);
+                std::thread::spawn(move || handle_browser(stream, state));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::park_timeout(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
     });
     Ok(CsawProxy {
         addr,
@@ -258,16 +289,28 @@ fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
         });
         let mut span = csaw_obs::event::span("proxy.request");
         span.field("host", host.as_str());
-        // Rewrite absolute-form targets to origin-form for upstreams.
+        // Rewrite absolute-form targets to origin-form for upstreams,
+        // remembering the scheme the browser asked for — reports must
+        // not collapse `https://host` into `http://host`.
         let mut upstream_req = req.clone();
-        if let Some(rest) = upstream_req.target.strip_prefix("http://") {
-            if let Some(i) = rest.find('/') {
-                upstream_req.target = rest[i..].to_string();
-            } else {
-                upstream_req.target = "/".to_string();
+        let mut scheme = Scheme::Http;
+        let absolute = match upstream_req.target.strip_prefix("http://") {
+            Some(rest) => Some(rest),
+            None => {
+                let rest = upstream_req.target.strip_prefix("https://");
+                if rest.is_some() {
+                    scheme = Scheme::Https;
+                }
+                rest
             }
+        };
+        if let Some(rest) = absolute {
+            upstream_req.target = match rest.find('/') {
+                Some(i) => rest[i..].to_string(),
+                None => "/".to_string(),
+            };
         }
-        let resp = serve_url(&state, &host, &upstream_req);
+        let resp = serve_url(&state, &host, scheme, &upstream_req);
         span.field("status", resp.status as u64);
         drop(span);
         if write_response(&mut browser, &resp).is_err() {
@@ -276,7 +319,7 @@ fn handle_browser(mut browser: TcpStream, state: Arc<ProxyState>) {
     }
 }
 
-fn record(state: &ProxyState, host: &str, sig: ProxySignature) {
+fn record(state: &ProxyState, host: &str, scheme: Scheme, sig: ProxySignature) {
     // Check-and-set under the write lock: concurrent first visits race
     // their measurements, but only the first one gets to log (the rest
     // observed the same event).
@@ -293,12 +336,13 @@ fn record(state: &ProxyState, host: &str, sig: ProxySignature) {
         .inc();
     state.measurements.lock().unwrap().push(ProxyMeasurement {
         host: host.to_string(),
+        scheme,
         signature: sig,
-        at_ms: state.started.elapsed().as_millis() as u64,
+        measured_at_us: state.clock.now_us(),
     });
 }
 
-fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
+fn serve_url(state: &ProxyState, host: &str, scheme: Scheme, req: &Request) -> Response {
     let Some(res) = state.resolver.resolve(host) else {
         return Response::error(502, "Unresolvable");
     };
@@ -326,7 +370,7 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                     let html = String::from_utf8_lossy(&r.body);
                     if phase1_html(&html, &state.cfg.phase1) == Phase1Verdict::BlockPage {
                         // Fresh censorship (Scenario B): re-fetch clean.
-                        record(state, host, ProxySignature::BlockPage);
+                        record(state, host, scheme, ProxySignature::BlockPage);
                         match fetch_one(res.clean, req, timeout * 4) {
                             PathFetch::Ok(clean) => clean,
                             _ => r,
@@ -336,14 +380,14 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                     }
                 }
                 PathFetch::Timeout => {
-                    record(state, host, ProxySignature::GetTimeout);
+                    record(state, host, scheme, ProxySignature::GetTimeout);
                     match fetch_one(res.clean, req, timeout * 4) {
                         PathFetch::Ok(r) => r,
                         _ => Response::error(504, "Gateway Timeout"),
                     }
                 }
                 PathFetch::Reset | PathFetch::ConnectFailed => {
-                    record(state, host, ProxySignature::ConnectionReset);
+                    record(state, host, scheme, ProxySignature::ConnectionReset);
                     match fetch_one(res.clean, req, timeout * 4) {
                         PathFetch::Ok(r) => r,
                         _ => Response::error(502, "Bad Gateway"),
@@ -386,7 +430,7 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                         (false, None) => false,
                     };
                     if confirmed {
-                        record(state, host, ProxySignature::BlockPage);
+                        record(state, host, scheme, ProxySignature::BlockPage);
                         clean_resp.unwrap_or(direct_resp)
                     } else {
                         state
@@ -399,7 +443,7 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                 }
                 PathFetch::Timeout => {
                     if let Some(c) = clean_resp {
-                        record(state, host, ProxySignature::GetTimeout);
+                        record(state, host, scheme, ProxySignature::GetTimeout);
                         c
                     } else {
                         // Both paths dead: network problem; stay unmeasured.
@@ -408,7 +452,7 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                 }
                 PathFetch::Reset => {
                     if let Some(c) = clean_resp {
-                        record(state, host, ProxySignature::ConnectionReset);
+                        record(state, host, scheme, ProxySignature::ConnectionReset);
                         c
                     } else {
                         Response::error(502, "Bad Gateway")
@@ -416,7 +460,7 @@ fn serve_url(state: &ProxyState, host: &str, req: &Request) -> Response {
                 }
                 PathFetch::ConnectFailed => {
                     if let Some(c) = clean_resp {
-                        record(state, host, ProxySignature::ConnectFailed);
+                        record(state, host, scheme, ProxySignature::ConnectFailed);
                         c
                     } else {
                         Response::error(502, "Bad Gateway")

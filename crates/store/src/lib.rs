@@ -76,6 +76,7 @@ pub mod batch;
 pub mod error;
 pub mod hash;
 pub mod ledger;
+pub mod net;
 pub mod record;
 pub mod shard;
 pub(crate) mod swap;
@@ -84,5 +85,6 @@ pub use backend::{JsonlStore, StorageBackend};
 pub use batch::{Batch, IngestReceipt};
 pub use error::StoreError;
 pub use ledger::{ConfidenceFilter, Tally, VoteLedger};
+pub use net::{DbRequest, DbResponse};
 pub use record::{GlobalRecord, Report, Uuid, WireError};
 pub use shard::ShardedStore;

@@ -1,0 +1,576 @@
+//! The global-DB wire protocol: message types carried inside
+//! [`csaw_webproto::codec`] length-prefixed frames.
+//!
+//! Each frame is `len:u32 (BE) | op:u8 | payload`, where the payload is
+//! a compact JSON object (the same in-tree JSON the WAL and scorecards
+//! use). Requests and responses are modelled as enums with exact
+//! encode/decode symmetry; a malformed payload decodes to
+//! [`StoreError::Wire`], never a panic — the server rejects, the
+//! connection survives.
+//!
+//! UUIDs cross the wire as 16-hex-digit strings (the JSON number space
+//! is f64-backed, so raw u64 ids would lose precision — same convention
+//! as the JSONL WAL). Times cross as integer microseconds.
+
+use crate::batch::IngestReceipt;
+use crate::error::StoreError;
+use crate::ledger::ConfidenceFilter;
+use crate::record::{GlobalRecord, Report, Uuid, WireError};
+use csaw_censor::blocking::BlockingType;
+use csaw_obs::json::JsonValue;
+use csaw_simnet::time::SimTime;
+use csaw_simnet::topology::Asn;
+use csaw_webproto::codec::Frame;
+
+/// Frame opcodes. Requests use the low range, responses the high range.
+pub mod op {
+    /// Client → server: register a new client UUID.
+    pub const REGISTER: u8 = 0x01;
+    /// Client → server: post a report batch for ingestion.
+    pub const POST: u8 = 0x02;
+    /// Client → server: download blocked records for an AS.
+    pub const BLOCKED: u8 = 0x03;
+    /// Server → client: registration succeeded, payload carries the UUID.
+    pub const REGISTERED: u8 = 0x81;
+    /// Server → client: ingest receipt for a posted batch.
+    pub const RECEIPT: u8 = 0x82;
+    /// Server → client: blocked-record download result.
+    pub const RECORDS: u8 = 0x83;
+    /// Server → client: the request failed; payload carries a code.
+    pub const ERROR: u8 = 0xFF;
+}
+
+fn shape(msg: &'static str) -> StoreError {
+    StoreError::Wire(WireError::Shape(msg))
+}
+
+fn parse_payload(frame: &Frame) -> Result<JsonValue, StoreError> {
+    let text = std::str::from_utf8(&frame.payload)
+        .map_err(|_| shape("frame payload must be UTF-8 JSON"))?;
+    JsonValue::parse(text).map_err(|e| StoreError::Wire(WireError::Json(e)))
+}
+
+fn uuid_to_json(u: Uuid) -> JsonValue {
+    JsonValue::from(format!("{u}"))
+}
+
+fn uuid_from_json(v: Option<&JsonValue>) -> Result<Uuid, StoreError> {
+    let s = v
+        .and_then(JsonValue::as_str)
+        .ok_or(shape("uuid must be a hex string"))?;
+    u64::from_str_radix(s, 16)
+        .map(Uuid::from_raw)
+        .map_err(|_| shape("uuid must be a hex string"))
+}
+
+fn indices_to_json(ix: &[usize]) -> JsonValue {
+    JsonValue::Arr(ix.iter().map(|&i| JsonValue::from(i as u64)).collect())
+}
+
+fn indices_from_json(v: Option<&JsonValue>) -> Result<Vec<usize>, StoreError> {
+    v.and_then(JsonValue::as_arr)
+        .ok_or(shape("indices must be an array"))?
+        .iter()
+        .map(|i| {
+            i.as_u64()
+                .map(|n| n as usize)
+                .ok_or(shape("index must be a number"))
+        })
+        .collect()
+}
+
+fn stages_to_json(stages: &[BlockingType]) -> JsonValue {
+    JsonValue::Arr(stages.iter().map(|s| JsonValue::from(s.name())).collect())
+}
+
+fn stages_from_json(v: Option<&JsonValue>) -> Result<Vec<BlockingType>, StoreError> {
+    v.and_then(JsonValue::as_arr)
+        .ok_or(shape("stages must be an array"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .and_then(BlockingType::from_name)
+                .ok_or(shape("unknown blocking type"))
+        })
+        .collect()
+}
+
+fn record_to_json(r: &GlobalRecord) -> JsonValue {
+    let mut v = JsonValue::obj();
+    v.set("url", r.url.as_str());
+    v.set("asn", r.asn.0);
+    v.set("measured_at_us", r.measured_at.as_micros());
+    v.set("stages", stages_to_json(&r.stages));
+    v.set("posted_at_us", r.posted_at.as_micros());
+    v.set("reporter", uuid_to_json(r.reporter));
+    v
+}
+
+fn record_from_json(v: &JsonValue) -> Result<GlobalRecord, StoreError> {
+    Ok(GlobalRecord {
+        url: v
+            .get("url")
+            .and_then(JsonValue::as_str)
+            .ok_or(shape("record url must be a string"))?
+            .to_string(),
+        asn: Asn(v
+            .get("asn")
+            .and_then(JsonValue::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or(shape("record asn must be a u32"))?),
+        measured_at: SimTime::from_micros(
+            v.get("measured_at_us")
+                .and_then(JsonValue::as_u64)
+                .ok_or(shape("record measured_at_us must be a u64"))?,
+        ),
+        stages: stages_from_json(v.get("stages"))?,
+        posted_at: SimTime::from_micros(
+            v.get("posted_at_us")
+                .and_then(JsonValue::as_u64)
+                .ok_or(shape("record posted_at_us must be a u64"))?,
+        ),
+        reporter: uuid_from_json(v.get("reporter"))?,
+    })
+}
+
+/// A client → server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbRequest {
+    /// Register a new client; the server derives and returns a UUID.
+    Register {
+        /// Client's current virtual time (feeds UUID derivation).
+        now: SimTime,
+        /// Sybil-risk score the registrar gates on.
+        risk: f64,
+    },
+    /// Post a report batch for ingestion.
+    Post {
+        /// The posting client's UUID.
+        client: Uuid,
+        /// Client-stamped post time (`T_p` for every record).
+        posted_at: SimTime,
+        /// The reports themselves.
+        reports: Vec<Report>,
+    },
+    /// Download blocked records visible from an AS.
+    Blocked {
+        /// The AS to query.
+        asn: Asn,
+        /// Confidence thresholds to apply server-side.
+        filter: ConfidenceFilter,
+    },
+}
+
+impl DbRequest {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            DbRequest::Register { now, risk } => {
+                let mut v = JsonValue::obj();
+                v.set("now_us", now.as_micros());
+                v.set("risk", *risk);
+                Frame::new(op::REGISTER, v.to_string_compact().into_bytes())
+            }
+            DbRequest::Post {
+                client,
+                posted_at,
+                reports,
+            } => {
+                let mut v = JsonValue::obj();
+                v.set("client", uuid_to_json(*client));
+                v.set("posted_at_us", posted_at.as_micros());
+                v.set(
+                    "reports",
+                    JsonValue::Arr(reports.iter().map(Report::to_json).collect()),
+                );
+                Frame::new(op::POST, v.to_string_compact().into_bytes())
+            }
+            DbRequest::Blocked { asn, filter } => {
+                let mut v = JsonValue::obj();
+                v.set("asn", asn.0);
+                v.set("min_clients", filter.min_clients as u64);
+                v.set("min_avg_vote", filter.min_avg_vote);
+                Frame::new(op::BLOCKED, v.to_string_compact().into_bytes())
+            }
+        }
+    }
+
+    /// Decode from a wire frame. Malformed payloads are
+    /// [`StoreError::Wire`] (envelope) or [`StoreError::Malformed`]
+    /// (a single poison report inside a Post, with its batch index).
+    pub fn from_frame(frame: &Frame) -> Result<DbRequest, StoreError> {
+        let v = parse_payload(frame)?;
+        match frame.op {
+            op::REGISTER => Ok(DbRequest::Register {
+                now: SimTime::from_micros(
+                    v.get("now_us")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or(shape("now_us must be a u64"))?,
+                ),
+                risk: v
+                    .get("risk")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or(shape("risk must be a number"))?,
+            }),
+            op::POST => {
+                let client = uuid_from_json(v.get("client"))?;
+                let posted_at = SimTime::from_micros(
+                    v.get("posted_at_us")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or(shape("posted_at_us must be a u64"))?,
+                );
+                let arr = v
+                    .get("reports")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or(shape("reports must be an array"))?;
+                let mut reports = Vec::with_capacity(arr.len());
+                for (index, item) in arr.iter().enumerate() {
+                    reports.push(
+                        Report::from_json(item)
+                            .map_err(|reason| StoreError::Malformed { index, reason })?,
+                    );
+                }
+                Ok(DbRequest::Post {
+                    client,
+                    posted_at,
+                    reports,
+                })
+            }
+            op::BLOCKED => Ok(DbRequest::Blocked {
+                asn: Asn(v
+                    .get("asn")
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or(shape("asn must be a u32"))?),
+                filter: ConfidenceFilter {
+                    min_clients: v
+                        .get("min_clients")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or(shape("min_clients must be a u64"))?
+                        as usize,
+                    min_avg_vote: v
+                        .get("min_avg_vote")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or(shape("min_avg_vote must be a number"))?,
+                },
+            }),
+            _ => Err(shape("unknown request opcode")),
+        }
+    }
+}
+
+/// A server → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbResponse {
+    /// Registration succeeded.
+    Registered(
+        /// The server-assigned UUID.
+        Uuid,
+    ),
+    /// Ingest finished; the receipt reconciles every batch index.
+    Receipt(
+        /// The accept/reject/defer split for the posted batch.
+        IngestReceipt,
+    ),
+    /// Blocked-record download result.
+    Records(
+        /// Records passing the requested confidence filter.
+        Vec<GlobalRecord>,
+    ),
+    /// The request failed.
+    Error {
+        /// Machine-readable code (see [`DbResponse::from_store_error`]).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+        /// For `malformed` errors: the poison report's batch index.
+        index: Option<usize>,
+    },
+}
+
+impl DbResponse {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            DbResponse::Registered(uuid) => {
+                let mut v = JsonValue::obj();
+                v.set("uuid", uuid_to_json(*uuid));
+                Frame::new(op::REGISTERED, v.to_string_compact().into_bytes())
+            }
+            DbResponse::Receipt(r) => {
+                let mut v = JsonValue::obj();
+                v.set("accepted", r.accepted as u64);
+                v.set("rejected", r.rejected as u64);
+                v.set("rejected_indices", indices_to_json(&r.rejected_indices));
+                v.set("deferred_indices", indices_to_json(&r.deferred_indices));
+                Frame::new(op::RECEIPT, v.to_string_compact().into_bytes())
+            }
+            DbResponse::Records(records) => {
+                let mut v = JsonValue::obj();
+                v.set(
+                    "records",
+                    JsonValue::Arr(records.iter().map(record_to_json).collect()),
+                );
+                Frame::new(op::RECORDS, v.to_string_compact().into_bytes())
+            }
+            DbResponse::Error {
+                code,
+                detail,
+                index,
+            } => {
+                let mut v = JsonValue::obj();
+                v.set("code", code.as_str());
+                v.set("detail", detail.as_str());
+                if let Some(i) = index {
+                    v.set("index", *i as u64);
+                }
+                Frame::new(op::ERROR, v.to_string_compact().into_bytes())
+            }
+        }
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<DbResponse, StoreError> {
+        let v = parse_payload(frame)?;
+        match frame.op {
+            op::REGISTERED => Ok(DbResponse::Registered(uuid_from_json(v.get("uuid"))?)),
+            op::RECEIPT => Ok(DbResponse::Receipt(IngestReceipt {
+                accepted: v
+                    .get("accepted")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(shape("accepted must be a u64"))? as usize,
+                rejected: v
+                    .get("rejected")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(shape("rejected must be a u64"))? as usize,
+                rejected_indices: indices_from_json(v.get("rejected_indices"))?,
+                deferred_indices: indices_from_json(v.get("deferred_indices"))?,
+            })),
+            op::RECORDS => Ok(DbResponse::Records(
+                v.get("records")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or(shape("records must be an array"))?
+                    .iter()
+                    .map(record_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            op::ERROR => Ok(DbResponse::Error {
+                code: v
+                    .get("code")
+                    .and_then(JsonValue::as_str)
+                    .ok_or(shape("error code must be a string"))?
+                    .to_string(),
+                detail: v
+                    .get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                index: v
+                    .get("index")
+                    .and_then(JsonValue::as_u64)
+                    .map(|n| n as usize),
+            }),
+            _ => Err(shape("unknown response opcode")),
+        }
+    }
+
+    /// Wrap a [`StoreError`] as a wire error response.
+    pub fn from_store_error(e: &StoreError) -> DbResponse {
+        let (code, index) = match e {
+            StoreError::UnknownClient => ("unknown_client", None),
+            StoreError::Wire(_) => ("wire", None),
+            StoreError::Malformed { index, .. } => ("malformed", Some(*index)),
+            StoreError::Io { .. } => ("io", None),
+            StoreError::Corrupt(_) => ("corrupt", None),
+            StoreError::InvalidConfig(_) => ("invalid_config", None),
+            StoreError::Unavailable(_) => ("unavailable", None),
+        };
+        DbResponse::Error {
+            code: code.to_string(),
+            detail: e.to_string(),
+            index,
+        }
+    }
+
+    /// Map a wire error response back to a [`StoreError`] on the client
+    /// side. `&'static str` payloads cannot round-trip arbitrary remote
+    /// detail, so retryability (the part callers branch on) is preserved
+    /// exactly and the detail is folded into `Corrupt` otherwise.
+    pub fn to_store_error(code: &str, detail: &str, index: Option<usize>) -> StoreError {
+        match code {
+            "unknown_client" => StoreError::UnknownClient,
+            "wire" => shape("batch rejected by remote server"),
+            "malformed" => StoreError::Malformed {
+                index: index.unwrap_or(0),
+                reason: WireError::Shape("report rejected by remote server"),
+            },
+            "unavailable" => StoreError::Unavailable("remote server unavailable"),
+            _ => StoreError::Corrupt(format!("remote error {code}: {detail}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<Report> {
+        vec![
+            Report {
+                url: "http://blocked.example/".into(),
+                asn: 17557,
+                measured_at_us: 1_000_000,
+                stages: vec![BlockingType::DnsHijack, BlockingType::HttpDrop],
+            },
+            Report {
+                url: "https://other.example:8443/page".into(),
+                asn: 38193,
+                measured_at_us: 2_000_000,
+                stages: vec![BlockingType::HttpBlockPageRedirect],
+            },
+        ]
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let reqs = vec![
+            DbRequest::Register {
+                now: SimTime::from_secs(5),
+                risk: 0.25,
+            },
+            DbRequest::Post {
+                client: Uuid::from_raw(0xdead_beef_dead_beef),
+                posted_at: SimTime::from_secs(9),
+                reports: sample_reports(),
+            },
+            DbRequest::Blocked {
+                asn: Asn(17557),
+                filter: ConfidenceFilter {
+                    min_clients: 3,
+                    min_avg_vote: 0.5,
+                },
+            },
+        ];
+        for req in reqs {
+            let frame = req.to_frame();
+            assert_eq!(DbRequest::from_frame(&frame).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        let resps = vec![
+            DbResponse::Registered(Uuid::from_raw(u64::MAX)),
+            DbResponse::Receipt(IngestReceipt {
+                accepted: 3,
+                rejected: 1,
+                rejected_indices: vec![2],
+                deferred_indices: vec![4, 5],
+            }),
+            DbResponse::Records(vec![GlobalRecord {
+                url: "http://blocked.example/".into(),
+                asn: Asn(17557),
+                measured_at: SimTime::from_secs(1),
+                stages: vec![BlockingType::IpRst],
+                posted_at: SimTime::from_secs(2),
+                reporter: Uuid::from_raw(0x1234_5678_9abc_def0),
+            }]),
+            DbResponse::Error {
+                code: "unknown_client".into(),
+                detail: "unknown or revoked client UUID".into(),
+                index: None,
+            },
+        ];
+        for resp in resps {
+            let frame = resp.to_frame();
+            assert_eq!(DbResponse::from_frame(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn uuid_hex_survives_full_u64_range() {
+        // The JSON number space is f64-backed; the hex-string encoding
+        // must carry ids a double cannot.
+        let resp = DbResponse::Registered(Uuid::from_raw(u64::MAX - 1));
+        match DbResponse::from_frame(&resp.to_frame()).unwrap() {
+            DbResponse::Registered(u) => assert_eq!(u.raw(), u64::MAX - 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_post_report_names_its_index() {
+        let good = Report {
+            url: "http://x.example/".into(),
+            asn: 1,
+            measured_at_us: 0,
+            stages: vec![BlockingType::HttpDrop],
+        };
+        let req = DbRequest::Post {
+            client: Uuid::from_raw(1),
+            posted_at: SimTime::ZERO,
+            reports: vec![good],
+        };
+        let mut frame = req.to_frame();
+        // Corrupt the reports array: replace the url value with a number.
+        let text = String::from_utf8(frame.payload.clone()).unwrap();
+        let text = text.replace("\"http://x.example/\"", "5");
+        frame.payload = text.into_bytes();
+        match DbRequest::from_frame(&frame).unwrap_err() {
+            StoreError::Malformed { index, .. } => assert_eq!(index, 0),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_error_wire_mapping_preserves_retryability() {
+        let cases = [
+            StoreError::UnknownClient,
+            StoreError::Unavailable("overload"),
+            StoreError::Malformed {
+                index: 7,
+                reason: WireError::Shape("bad"),
+            },
+        ];
+        for e in cases {
+            let resp = DbResponse::from_store_error(&e);
+            let DbResponse::Error {
+                code,
+                detail,
+                index,
+            } = &resp
+            else {
+                panic!("expected error response");
+            };
+            let back = DbResponse::to_store_error(code, detail, *index);
+            match (&e, &back) {
+                (StoreError::UnknownClient, StoreError::UnknownClient) => {}
+                (StoreError::Unavailable(_), StoreError::Unavailable(_)) => {}
+                (
+                    StoreError::Malformed { index: a, .. },
+                    StoreError::Malformed { index: b, .. },
+                ) => assert_eq!(a, b),
+                other => panic!("mapping broke retryability: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_payloads_are_wire_errors() {
+        let garbage = Frame::new(op::POST, b"not json".to_vec());
+        assert!(matches!(
+            DbRequest::from_frame(&garbage).unwrap_err(),
+            StoreError::Wire(_)
+        ));
+        let unknown = Frame::new(0x70, b"{}".to_vec());
+        assert!(matches!(
+            DbRequest::from_frame(&unknown).unwrap_err(),
+            StoreError::Wire(_)
+        ));
+        let not_utf8 = Frame::new(op::RECEIPT, vec![0xff, 0xfe]);
+        assert!(matches!(
+            DbResponse::from_frame(&not_utf8).unwrap_err(),
+            StoreError::Wire(_)
+        ));
+    }
+}

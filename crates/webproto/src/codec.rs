@@ -1,0 +1,274 @@
+//! Incremental wire codecs shared by every socket path in the
+//! workspace: the proxy's blocking HTTP/1.1 framing and the global-DB
+//! server's length-framed message protocol.
+//!
+//! Both codecs follow the same rules, generic over any [`Read`] /
+//! [`Write`] transport so they can be driven by real `TcpStream`s and
+//! by in-memory torn-frame tests alike:
+//!
+//! - accumulate into a [`BytesMut`], attempt a parse after every read;
+//! - distinguish "need more bytes" from a genuinely malformed stream
+//!   (`InvalidData`) and from a peer that closed mid-message
+//!   (`UnexpectedEof`);
+//! - cap buffered bytes at a hard maximum as a sanity guard.
+//!
+//! # Frame format
+//!
+//! The DB wire protocol is deliberately simpler than HTTP: a frame is
+//!
+//! ```text
+//! +----------------+--------+-----------------+
+//! | len: u32 (BE)  | op: u8 | payload (bytes) |
+//! +----------------+--------+-----------------+
+//! ```
+//!
+//! where `len` counts the opcode byte plus the payload (so `len >= 1`),
+//! and the payload is an opcode-defined body (JSON for the DB
+//! protocol). `len` is bounded by [`MAX_FRAME_BYTES`]; a header that
+//! announces more is rejected immediately without buffering the body.
+
+use crate::bytes::BytesMut;
+use crate::http::{Request, Response};
+use std::io::{self, Read, Write};
+
+/// Maximum HTTP message size we will buffer (sanity cap against abuse).
+pub const MAX_MESSAGE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Maximum length-framed frame size (opcode + payload) we will accept.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Size of the fixed frame header (the big-endian `u32` length).
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Read whatever bytes are available into `buf` (one `read` call).
+pub fn read_some<R: Read>(stream: &mut R, buf: &mut BytesMut) -> io::Result<usize> {
+    let mut chunk = [0u8; 16 * 1024];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n)
+}
+
+/// Read one HTTP request from the stream. `Ok(None)` means the peer
+/// closed cleanly before sending a full request.
+pub fn read_request<R: Read>(stream: &mut R, buf: &mut BytesMut) -> io::Result<Option<Request>> {
+    loop {
+        match Request::parse(buf) {
+            Ok(Some((req, used))) => {
+                let _ = buf.split_to(used);
+                return Ok(Some(req));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad request: {e}"),
+                ))
+            }
+        }
+        if buf.len() > MAX_MESSAGE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request too large",
+            ));
+        }
+        let n = read_some(stream, buf)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            };
+        }
+    }
+}
+
+/// Read one HTTP response from a whole stream.
+pub fn read_response<R: Read>(stream: &mut R, buf: &mut BytesMut) -> io::Result<Response> {
+    loop {
+        match Response::parse(buf) {
+            Ok(Some((resp, used))) => {
+                let _ = buf.split_to(used);
+                return Ok(resp);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad response: {e}"),
+                ))
+            }
+        }
+        if buf.len() > MAX_MESSAGE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response too large",
+            ));
+        }
+        let n = read_some(stream, buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+    }
+}
+
+/// Write a request.
+pub fn write_request<W: Write>(stream: &mut W, req: &Request) -> io::Result<()> {
+    stream.write_all(&req.encode())?;
+    stream.flush()
+}
+
+/// Write a response.
+pub fn write_response<W: Write>(stream: &mut W, resp: &Response) -> io::Result<()> {
+    stream.write_all(&resp.encode())?;
+    stream.flush()
+}
+
+/// One decoded length-framed message: an opcode byte plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Opcode byte (protocol-defined meaning).
+    pub op: u8,
+    /// Opaque payload (JSON for the DB protocol).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(op: u8, payload: Vec<u8>) -> Frame {
+        Frame { op, payload }
+    }
+
+    /// Encode to wire bytes (header + opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (self.payload.len() + 1) as u32;
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + 1 + self.payload.len());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.push(self.op);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some(frame))` and consumes its bytes when a whole frame
+/// is buffered, `Ok(None)` when more bytes are needed, and an
+/// `InvalidData` error when the header is malformed (zero length or a
+/// length over [`MAX_FRAME_BYTES`]). Oversized frames are rejected from
+/// the header alone, before any body bytes arrive.
+pub fn decode_frame(buf: &mut BytesMut) -> io::Result<Option<Frame>> {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length must cover the opcode byte",
+        ));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    if buf.len() < FRAME_HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let whole = buf.split_to(FRAME_HEADER_BYTES + len);
+    let body = &whole[FRAME_HEADER_BYTES..];
+    Ok(Some(Frame {
+        op: body[0],
+        payload: body[1..].to_vec(),
+    }))
+}
+
+/// Read one frame from a blocking stream. `Ok(None)` means the peer
+/// closed cleanly on a frame boundary; closing mid-frame is
+/// `UnexpectedEof`, and a bad header is `InvalidData`.
+pub fn read_frame<R: Read>(stream: &mut R, buf: &mut BytesMut) -> io::Result<Option<Frame>> {
+    loop {
+        if let Some(frame) = decode_frame(buf)? {
+            return Ok(Some(frame));
+        }
+        let n = read_some(stream, buf)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            };
+        }
+    }
+}
+
+/// Write one frame.
+pub fn write_frame<W: Write>(stream: &mut W, frame: &Frame) -> io::Result<()> {
+    stream.write_all(&frame.encode())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_buffer() {
+        let f = Frame::new(7, b"{\"k\":1}".to_vec());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&f.encode());
+        let got = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(got, f);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn empty_payload_frame_is_valid() {
+        let f = Frame::new(1, Vec::new());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&f.encode());
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn zero_length_header_is_invalid() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(
+            decode_frame(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_body() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let a = Frame::new(1, b"first".to_vec());
+        let b = Frame::new(2, b"second".to_vec());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a.encode());
+        buf.extend_from_slice(&b.encode());
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), b);
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+}

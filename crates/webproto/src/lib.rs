@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bytes;
+pub mod codec;
 pub mod dns;
 pub mod http;
 pub mod page;
@@ -40,6 +41,7 @@ pub mod tls;
 pub mod url;
 
 pub use bytes::{Bytes, BytesMut};
+pub use codec::{Frame, MAX_FRAME_BYTES, MAX_MESSAGE_BYTES};
 pub use dns::{ARecord, DnsObservation, DnsQuery, DnsResponse, Rcode};
 pub use http::{Headers, HttpParseError, Method, Request, Response};
 pub use page::{synth_html, Resource, WebPage};

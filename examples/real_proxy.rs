@@ -84,7 +84,13 @@ fn main() -> std::io::Result<()> {
 
     println!("\nProxy measurement log:");
     for m in proxy.measurements() {
-        println!("  {} blocked ({:?}) at +{}ms", m.host, m.signature, m.at_ms);
+        println!(
+            "  {}://{} blocked ({:?}) at +{}µs",
+            m.scheme.as_str(),
+            m.host,
+            m.signature,
+            m.measured_at_us
+        );
     }
     println!("\nAs global-DB reports (JSON wire format):");
     let reports = proxy.to_reports(17557);

@@ -205,6 +205,69 @@ fn absolute_form_targets_are_rewritten() {
 }
 
 #[test]
+fn https_scheme_is_preserved_in_reports() {
+    // A browser asking the proxy for an https URL (absolute-form
+    // target) must see that scheme in the exported report — a censor
+    // blocking https://host but not http://host is a distinct record.
+    let tb = testbed();
+    tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
+    let mut s = TcpStream::connect(tb.proxy.addr).unwrap();
+    let mut req = Request::get(&Url::parse("http://blocked.test/").unwrap());
+    req.target = "https://blocked.test/".to_string();
+    write_request(&mut s, &req).unwrap();
+    let mut buf = BytesMut::new();
+    let r = read_response(&mut s, &mut buf).unwrap();
+    assert_eq!(r.status, 200, "circumvented copy served");
+    let reports = tb.proxy.to_reports(17557);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].url, "https://blocked.test/");
+}
+
+#[test]
+fn measurements_are_stamped_on_the_obs_clock() {
+    // The pipeline runs on virtual time; a proxy spawned inside an
+    // observability scope must stamp measurements from that scope's
+    // clock, not from a private wall-clock epoch.
+    let clock = Arc::new(csaw_obs::clock::ManualClock::new());
+    clock.set_us(1_234_567);
+    let ctx = Arc::new(csaw_obs::scope::ObsCtx::new().with_clock(clock.clone()));
+    let _g = csaw_obs::scope::install(ctx);
+    let tb = testbed();
+    tb.middlebox.set_action("blocked.test", MbAction::BlockPage);
+    browse(&tb.proxy, "blocked.test");
+    let ms = tb.proxy.measurements();
+    assert_eq!(ms.len(), 1);
+    assert_eq!(ms[0].measured_at_us, 1_234_567);
+    assert_eq!(tb.proxy.to_reports(1)[0].measured_at_us, 1_234_567);
+}
+
+#[test]
+fn shutdown_does_not_race_arriving_clients() {
+    // Regression: the old accept loop checked `stop` only after a
+    // blocking accept() returned, so Drop had to inject a wake-up
+    // connection that raced real clients arriving at shutdown. Drop
+    // while a swarm of clients is mid-connect: it must return promptly
+    // (the harness timeout is the failure detector) and never panic.
+    for _ in 0..10 {
+        let tb = testbed();
+        let addr = tb.proxy.addr;
+        let hammering: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let _ = TcpStream::connect(addr);
+                    }
+                })
+            })
+            .collect();
+        drop(tb);
+        for h in hammering {
+            h.join().unwrap();
+        }
+    }
+}
+
+#[test]
 fn garbage_input_does_not_wedge_the_proxy() {
     use std::io::Write;
     let tb = testbed();
