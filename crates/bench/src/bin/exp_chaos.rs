@@ -3,20 +3,34 @@
 //! ```text
 //! exp_chaos [--clients N] [--urls N] [--rounds N] [--fault-rates 0.0,0.3]
 //!           [--min-delivery F]
+//! exp_chaos --split-brain REGIONS [--clients N] [--urls N] [--bench-out PATH]
 //! ```
+//!
+//! Without `--split-brain`, sweeps injected store/wire fault rates and
+//! checks delivery. With `--split-brain REGIONS`, runs the replicated
+//! global DB instead: a leader ships its WAL to `REGIONS` per-region
+//! dbserver replicas, a partition cuts region r0 mid-ingest, and after
+//! heal every replica must converge to the leader's exact state
+//! fingerprint (see `csaw_bench::experiments::splitbrain`).
 //!
 //! Exit status:
 //!
-//! - `0` — all rows accounted, delivery ratio at or above the bound;
-//! - `4` — silent loss (a client's accounting identity broke, or the
-//!   store's record count disagrees with the posted counters);
+//! - `0` — all rows accounted, delivery ratio at or above the bound
+//!   (and, under `--split-brain`, every replica converged);
+//! - `4` — silent loss (a client's accounting identity broke, a
+//!   receipt failed to reconcile, or the store's record count
+//!   disagrees with the posted counters);
 //! - `5` — delivery ratio fell below `--min-delivery` (default 1.0:
-//!   with the default drain horizon every report must land).
+//!   with the default drain horizon every report must land);
+//! - `6` — a replica failed to reach the leader's fingerprint after
+//!   the partition healed.
 //!
-//! The CI chaos job runs this twice per fault rate and diffs the
-//! stdout: same seed ⇒ byte-identical output.
+//! The CI chaos jobs run both modes twice and diff the stdout: same
+//! seed ⇒ byte-identical output.
 
 use csaw_bench::experiments::chaos::{self, ChaosConfig};
+use csaw_bench::experiments::splitbrain::{self, SplitBrainConfig};
+use csaw_bench::healthreport::{self, HealthInput};
 use csaw_obs::slo::SloSet;
 use std::sync::Arc;
 
@@ -47,7 +61,21 @@ fn main() {
             "--min-delivery",
             "fail below this delivery ratio (default 1.0)",
         ),
+        (
+            "--split-brain",
+            "run the replica convergence experiment over N regions",
+        ),
+        (
+            "--bench-out",
+            "split-brain scorecard path ('none' disables; default none)",
+        ),
     ]);
+
+    if extras.contains_key("--split-brain") {
+        run_split_brain(cli, &extras);
+        return;
+    }
+
     let mut cfg = ChaosConfig {
         clients: numeric(&extras, "--clients", ChaosConfig::default().clients),
         urls_per_client: numeric(&extras, "--urls", ChaosConfig::default().urls_per_client),
@@ -94,5 +122,62 @@ fn main() {
             row.delivery_ratio, row.fault_rate, min_delivery
         );
         std::process::exit(5);
+    }
+}
+
+fn run_split_brain(
+    cli: csaw_bench::cli::ExpCli,
+    extras: &std::collections::HashMap<String, String>,
+) {
+    let regions: usize = numeric(extras, "--split-brain", SplitBrainConfig::default().regions);
+    if regions == 0 {
+        eprintln!("exp_chaos: --split-brain needs at least one region");
+        std::process::exit(2);
+    }
+    let cfg = SplitBrainConfig {
+        clients: numeric(extras, "--clients", SplitBrainConfig::default().clients),
+        urls_per_client: numeric(extras, "--urls", SplitBrainConfig::default().urls_per_client),
+        regions,
+        ..SplitBrainConfig::default()
+    };
+
+    // Same virtual-hour windows, but with the replica-staleness rule
+    // on top: the partitioned scenario must trip it.
+    cli.default_window(3_600.0, Arc::new(splitbrain::slo_set()));
+
+    let result = splitbrain::run_jobs(cli.seed, &cfg, cli.jobs);
+    println!("{}", result.render());
+
+    match extras.get("--bench-out").map(String::as_str) {
+        None | Some("none") => {}
+        Some(path) => {
+            let mut card = result.scorecard(&cfg, cli.seed);
+            // Close the open telemetry window so the scorecard's health
+            // section sees the run's series (finish() flushes again).
+            cli.ctx().flush_timeline();
+            let timeline = &cli.ctx().timeline;
+            if timeline.enabled() {
+                card.health = healthreport::health_json(&HealthInput {
+                    frames: timeline.recent_frames(),
+                    violations: timeline.violations(),
+                });
+            }
+            let path = std::path::PathBuf::from(path);
+            if let Err(e) = card.write(&path) {
+                eprintln!("exp_chaos: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("exp_chaos: scorecard -> {}", path.display());
+        }
+    }
+    cli.finish();
+
+    if result.silent_loss() {
+        eprintln!("exp_chaos: SILENT LOSS detected — a report vanished en route");
+        std::process::exit(4);
+    }
+    if result.not_converged() {
+        eprintln!("exp_chaos: replicas did NOT converge after the partition healed");
+        std::process::exit(6);
     }
 }

@@ -101,7 +101,9 @@ pub struct Chaos {
     pub rows: Vec<ChaosRow>,
 }
 
-fn chaos_world() -> World {
+/// The censored single-ISP world the chaos and split-brain trials
+/// browse (shared so both sweeps queue identical report workloads).
+pub(crate) fn chaos_world() -> World {
     let provider = Provider::new(profiles::ISP_A_ASN, "isp");
     let access = AccessNetwork::single(provider);
     World::builder(access)

@@ -25,6 +25,7 @@
 //! | [`propagation`] | how fast one discovery benefits the crowd |
 //! | [`scale`] | sharded-store ingest throughput at a million clients |
 //! | [`chaos`] | report delivery under injected store/wire faults |
+//! | [`splitbrain`] | replica convergence through a WAL-shipping partition |
 
 pub mod ablation_explore;
 pub mod chaos;
@@ -38,6 +39,7 @@ pub mod fingerprint;
 pub mod nonweb;
 pub mod propagation;
 pub mod scale;
+pub mod splitbrain;
 pub mod table1;
 pub mod table2;
 pub mod table5;

@@ -56,6 +56,7 @@
 pub mod circum;
 pub mod client;
 pub mod config;
+pub mod encore;
 pub mod global;
 pub mod local;
 pub mod measure;
@@ -65,6 +66,7 @@ pub mod tracing;
 pub use circum::{PltTracker, Selector};
 pub use client::{ClientStats, CsawClient, RequestOutcome};
 pub use config::{CsawConfig, RedundancyMode, UserPreference};
+pub use encore::{EncoreConfig, EncoreSource};
 pub use global::{
     Batch, ConfidenceFilter, DeploymentStats, GlobalRecord, IngestReceipt, Report, ServerDb,
     ServerDbBuilder, StorageBackend, StoreError, Uuid, VoteLedger,

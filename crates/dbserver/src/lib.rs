@@ -38,8 +38,49 @@
 //! `accept` (the non-blocking listener makes the check race-free),
 //! which is the corrected version of the proxy's historical shutdown
 //! race.
+//!
+//! ## Replication (`SHIP`/`SHIP_ACK`)
+//!
+//! A dbserver can also act as a **read replica**: a leader streams its
+//! WAL over [`csaw_store::net::op::SHIP`] frames, and the reactor
+//! applies each line through [`csaw_store::wal::replay_line`] — the
+//! same code path `JsonlStore::open` replays on restart. The reactor
+//! tracks how many lines it has applied (`wal_applied_seq`) and acks
+//! that position after every shipment, which makes the protocol
+//! idempotent: a re-shipped overlap is skipped, and a shipment that
+//! starts *beyond* the applied position is refused by acking the true
+//! position so the leader rewinds. Replayed ingests bypass the
+//! registrar by design — the leader already gated the original post.
+//!
+//! ## Example
+//!
+//! Spawn a server over a fresh in-memory DB and query it over a real
+//! socket:
+//!
+//! ```
+//! use csaw::global::ServerDb;
+//! use csaw_dbserver::{spawn_dbserver, DbServerConfig};
+//! use csaw_store::net::{DbRequest, DbResponse};
+//! use csaw_store::ConfidenceFilter;
+//! use csaw_simnet::topology::Asn;
+//! use csaw_webproto::bytes::BytesMut;
+//! use csaw_webproto::codec::{read_frame, write_frame};
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//!
+//! let server = Arc::new(ServerDb::builder(1).build()?);
+//! let handle = spawn_dbserver(server, DbServerConfig::default())?;
+//! let mut stream = TcpStream::connect(handle.addr())?;
+//! let req = DbRequest::Blocked { asn: Asn(1), filter: ConfidenceFilter::default() };
+//! write_frame(&mut stream, &req.to_frame())?;
+//! let mut buf = BytesMut::new();
+//! let frame = read_frame(&mut stream, &mut buf)?.expect("server must respond");
+//! let resp = DbResponse::from_frame(&frame)?;
+//! assert!(matches!(resp, DbResponse::Records(ref r) if r.is_empty()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use csaw::global::{RegistrationError, ServerDb};
@@ -84,6 +125,9 @@ struct AtomicStats {
     registers: AtomicU64,
     posts: AtomicU64,
     blocked_queries: AtomicU64,
+    ship_requests: AtomicU64,
+    wal_lines_applied: AtomicU64,
+    wal_applied_seq: AtomicU64,
     batches_ingested: AtomicU64,
     batches_deferred: AtomicU64,
     reports_accepted: AtomicU64,
@@ -114,6 +158,12 @@ pub struct DbServerStats {
     pub posts: u64,
     /// `Blocked` download requests served.
     pub blocked_queries: u64,
+    /// `Ship` (WAL replication) requests received.
+    pub ship_requests: u64,
+    /// WAL lines applied through the replication path.
+    pub wal_lines_applied: u64,
+    /// The replica's current WAL position (lines applied in total).
+    pub wal_applied_seq: u64,
     /// Batches actually handed to `ingest`.
     pub batches_ingested: u64,
     /// Batches answered with an all-deferred backpressure receipt.
@@ -155,6 +205,9 @@ impl AtomicStats {
             registers: get(&self.registers),
             posts: get(&self.posts),
             blocked_queries: get(&self.blocked_queries),
+            ship_requests: get(&self.ship_requests),
+            wal_lines_applied: get(&self.wal_lines_applied),
+            wal_applied_seq: get(&self.wal_applied_seq),
             batches_ingested: get(&self.batches_ingested),
             batches_deferred: get(&self.batches_deferred),
             reports_accepted: get(&self.reports_accepted),
@@ -250,10 +303,18 @@ pub fn spawn_dbserver(server: Arc<ServerDb>, cfg: DbServerConfig) -> io::Result<
         draining: Arc::clone(&draining),
         stats: Arc::clone(&stats),
         conns: Vec::new(),
+        wal_seq: 0,
     };
+    // Inherit the spawner's observability scope: metrics the server
+    // emits (store ingest, WAL replays) land in the same context as the
+    // experiment trial that spawned it, not the process-global one.
+    let ctx = csaw_obs::current();
     let join = std::thread::Builder::new()
         .name("csaw-dbserver".into())
-        .spawn(move || reactor.run())?;
+        .spawn(move || {
+            let _scope = csaw_obs::install(ctx);
+            reactor.run()
+        })?;
     Ok(DbServerHandle {
         addr,
         stop,
@@ -271,6 +332,10 @@ struct Reactor {
     draining: Arc<AtomicBool>,
     stats: Arc<AtomicStats>,
     conns: Vec<Conn>,
+    /// WAL lines applied via `Ship` so far — the replica's position.
+    /// Plain (non-atomic) because only the reactor thread touches it;
+    /// `stats.wal_applied_seq` mirrors it for observers.
+    wal_seq: u64,
 }
 
 impl Reactor {
@@ -484,6 +549,10 @@ impl Reactor {
                         Err(e) => DbResponse::from_store_error(&e),
                     }
                 }
+                Ok(DbRequest::Ship { from_seq, lines }) => {
+                    self.stats.ship_requests.fetch_add(1, Ordering::Relaxed);
+                    self.apply_shipment(from_seq, &lines)
+                }
                 Err(e) => {
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     DbResponse::from_store_error(&e)
@@ -492,6 +561,51 @@ impl Reactor {
             let conn = &mut self.conns[idx];
             conn.wbuf.extend_from_slice(&resp.to_frame().encode());
             self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Apply one `Ship`ped run of WAL lines, idempotently.
+    ///
+    /// - `from_seq > wal_seq`: a gap — refuse by acking the true
+    ///   position, so the leader rewinds and re-ships from there.
+    /// - `from_seq <= wal_seq`: skip the already-applied overlap (a
+    ///   re-shipped chunk after a lost ack), apply the rest in order
+    ///   through [`csaw_store::wal::replay_line`].
+    ///
+    /// A line that fails to replay stops the shipment at that point and
+    /// reports the error; the applied prefix stays applied, and the
+    /// next shipment resumes after it.
+    fn apply_shipment(&mut self, from_seq: u64, lines: &[String]) -> DbResponse {
+        if from_seq > self.wal_seq {
+            return DbResponse::ShipAck {
+                applied_seq: self.wal_seq,
+            };
+        }
+        let skip = (self.wal_seq - from_seq) as usize;
+        let mut failure = None;
+        for line in lines.iter().skip(skip) {
+            match csaw_store::wal::replay_line(self.server.store(), line) {
+                Ok(()) => {
+                    self.wal_seq += 1;
+                    self.stats.wal_lines_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.stats
+            .wal_applied_seq
+            .store(self.wal_seq, Ordering::Relaxed);
+        match failure {
+            None => DbResponse::ShipAck {
+                applied_seq: self.wal_seq,
+            },
+            Some(e) => {
+                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                DbResponse::from_store_error(&e)
+            }
         }
     }
 
@@ -761,6 +875,149 @@ mod tests {
             DbResponse::Receipt(r) => assert_eq!(r.accepted, 1),
             other => panic!("expected Receipt, got {other:?}"),
         }
+        drop(handle);
+    }
+
+    fn wal_line(client: u64, url: &str, t: u64) -> String {
+        csaw_store::wal::ingest_line(&Batch::new(
+            Uuid::from_raw(client),
+            vec![report(url)],
+            SimTime::from_micros(t),
+        ))
+    }
+
+    #[test]
+    fn shipped_wal_lines_apply_and_ack() {
+        let server = permissive_server();
+        let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut buf = BytesMut::new();
+
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Ship {
+                from_seq: 0,
+                lines: vec![
+                    wal_line(1, "http://a.example/", 10),
+                    wal_line(2, "http://b.example/", 20),
+                ],
+            },
+        ) {
+            DbResponse::ShipAck { applied_seq } => assert_eq!(applied_seq, 2),
+            other => panic!("expected ShipAck, got {other:?}"),
+        }
+
+        // Replicated ingests serve reads exactly like local ones —
+        // note the reporters never registered with *this* server.
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Blocked {
+                asn: Asn(17557),
+                filter: ConfidenceFilter::default(),
+            },
+        ) {
+            DbResponse::Records(records) => assert_eq!(records.len(), 2),
+            other => panic!("expected Records, got {other:?}"),
+        }
+
+        let stats = handle.drain();
+        assert_eq!(stats.ship_requests, 1);
+        assert_eq!(stats.wal_lines_applied, 2);
+        assert_eq!(stats.wal_applied_seq, 2);
+        assert_eq!(server.store().record_count(), 2);
+    }
+
+    #[test]
+    fn reshipped_overlap_is_skipped_idempotently() {
+        let server = permissive_server();
+        let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut buf = BytesMut::new();
+        let lines = vec![
+            wal_line(1, "http://a.example/", 10),
+            wal_line(2, "http://b.example/", 20),
+            wal_line(3, "http://c.example/", 30),
+        ];
+
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Ship {
+                from_seq: 0,
+                lines: lines[..2].to_vec(),
+            },
+        ) {
+            DbResponse::ShipAck { applied_seq } => assert_eq!(applied_seq, 2),
+            other => panic!("expected ShipAck, got {other:?}"),
+        }
+        // Re-ship the whole run from 0 (as after a lost ack): only the
+        // unseen tail may apply.
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Ship {
+                from_seq: 0,
+                lines: lines.clone(),
+            },
+        ) {
+            DbResponse::ShipAck { applied_seq } => assert_eq!(applied_seq, 3),
+            other => panic!("expected ShipAck, got {other:?}"),
+        }
+
+        let stats = handle.drain();
+        assert_eq!(stats.wal_lines_applied, 3, "overlap must not re-apply");
+        assert_eq!(server.store().record_count(), 3);
+        assert_eq!(server.store().tally("http://a.example/", Asn(17557)).n, 1);
+    }
+
+    #[test]
+    fn gap_shipment_is_refused_with_the_true_position() {
+        let server = permissive_server();
+        let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut buf = BytesMut::new();
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Ship {
+                from_seq: 5,
+                lines: vec![wal_line(1, "http://late.example/", 10)],
+            },
+        ) {
+            DbResponse::ShipAck { applied_seq } => assert_eq!(applied_seq, 0),
+            other => panic!("expected ShipAck, got {other:?}"),
+        }
+        assert_eq!(server.store().record_count(), 0, "gap must not apply");
+    }
+
+    #[test]
+    fn corrupt_wal_line_reports_error_and_keeps_the_prefix() {
+        let server = permissive_server();
+        let handle = spawn_dbserver(Arc::clone(&server), DbServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut buf = BytesMut::new();
+        match call(
+            &mut stream,
+            &mut buf,
+            &DbRequest::Ship {
+                from_seq: 0,
+                lines: vec![
+                    wal_line(1, "http://good.example/", 10),
+                    "not json".to_string(),
+                    wal_line(2, "http://never.example/", 20),
+                ],
+            },
+        ) {
+            DbResponse::Error { code, .. } => assert_eq!(code, "corrupt"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // The applied prefix survives; the poison line and its tail do
+        // not, and the position reflects exactly what applied.
+        let stats = handle.stats();
+        assert_eq!(stats.wal_applied_seq, 1);
+        assert_eq!(server.store().record_count(), 1);
         drop(handle);
     }
 

@@ -1,0 +1,362 @@
+//! WAL shipping: stream a leader's mutation log to per-region read
+//! replicas over the length-framed wire protocol.
+//!
+//! [`ReplicatedStore`] wraps any backend and records every mutation as
+//! a [`csaw_store::wal`] line *before* applying it — the same
+//! append-before-apply discipline `JsonlStore` uses on disk, except the
+//! log lives in memory and feeds the shipper instead of a file.
+//!
+//! [`WalShipper`] holds one [`SHIP`](csaw_store::net::op::SHIP) link
+//! per replica region. A shipping round walks each reachable link and
+//! pushes chunks of `(from_seq, lines)` until the replica's
+//! `SHIP_ACK` catches up to the leader's log head. The protocol is
+//! idempotent and self-healing:
+//!
+//! - a replica that already applied a prefix of the shipment skips the
+//!   overlap (re-shipping after a lost ack is harmless);
+//! - an ack *below* `from_seq` signals a gap — the leader rewinds its
+//!   notion of the replica's position and re-ships from there;
+//! - any transport error drops the connection; the next round
+//!   reconnects and resumes from the last acked position.
+//!
+//! Per-link **lag** (log lines shipped-but-unacked, `leader_seq −
+//! acked_seq`) and **staleness** (virtual time since the link last
+//! fully caught up) are exported as labelled timeline gauges
+//! (`replica.lag{region=…}`, `replica.staleness_us{region=…}`) so the
+//! SLO engine can gate on replication health.
+
+use csaw_simnet::time::{SimDuration, SimTime};
+use csaw_simnet::topology::Asn;
+use csaw_store::ledger::{ConfidenceFilter, Tally, VoteLedger};
+use csaw_store::net::{DbRequest, DbResponse};
+use csaw_store::record::{GlobalRecord, Uuid};
+use csaw_store::wal;
+use csaw_store::{Batch, IngestReceipt, StorageBackend, StoreError};
+use csaw_webproto::bytes::BytesMut;
+use csaw_webproto::codec::{read_frame, write_frame};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How many WAL lines one `SHIP` frame carries at most.
+const SHIP_CHUNK_LINES: usize = 256;
+
+/// A leader-side backend wrapper that journals every mutation into an
+/// in-memory WAL (append *before* apply) for [`WalShipper`] to stream.
+pub struct ReplicatedStore {
+    inner: Arc<dyn StorageBackend>,
+    wal: Mutex<Vec<String>>,
+}
+
+impl fmt::Debug for ReplicatedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedStore")
+            .field("leader_seq", &self.leader_seq())
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl ReplicatedStore {
+    /// Wrap a backend; the log starts empty at sequence 0.
+    pub fn new(inner: Arc<dyn StorageBackend>) -> ReplicatedStore {
+        ReplicatedStore {
+            inner,
+            wal: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn StorageBackend {
+        &*self.inner
+    }
+
+    /// Total WAL lines written so far (the next line gets this seq).
+    pub fn leader_seq(&self) -> u64 {
+        self.wal.lock().expect("wal lock poisoned").len() as u64
+    }
+
+    /// Up to `max` log lines starting at `from_seq`, in log order.
+    pub fn lines_from(&self, from_seq: u64, max: usize) -> Vec<String> {
+        let wal = self.wal.lock().expect("wal lock poisoned");
+        wal.iter()
+            .skip(from_seq as usize)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    fn journal(&self, line: String) {
+        self.wal.lock().expect("wal lock poisoned").push(line);
+        csaw_obs::inc("replica.wal.appends");
+    }
+}
+
+impl StorageBackend for ReplicatedStore {
+    fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError> {
+        self.journal(wal::ingest_line(batch));
+        self.inner.ingest(batch)
+    }
+
+    fn blocked_for_as(
+        &self,
+        asn: Asn,
+        filter: &ConfidenceFilter,
+    ) -> Result<Vec<GlobalRecord>, StoreError> {
+        self.inner.blocked_for_as(asn, filter)
+    }
+
+    fn tally(&self, url: &str, asn: Asn) -> Tally {
+        self.inner.tally(url, asn)
+    }
+
+    fn revoke(&self, client: Uuid) {
+        self.journal(wal::revoke_line(client));
+        self.inner.revoke(client);
+    }
+
+    fn remove_reporter_records(&self, client: Uuid) -> usize {
+        self.journal(wal::remove_reporter_line(client));
+        self.inner.remove_reporter_records(client)
+    }
+
+    fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize {
+        self.journal(wal::expire_line(now, max_age));
+        self.inner.expire_records(now, max_age)
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&GlobalRecord)) {
+        self.inner.for_each_record(f)
+    }
+
+    fn ledger(&self) -> &VoteLedger {
+        self.inner.ledger()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+}
+
+struct ReplicaLink {
+    region: String,
+    addr: SocketAddr,
+    conn: Option<(TcpStream, BytesMut)>,
+    acked_seq: u64,
+    last_synced_at: SimTime,
+}
+
+/// One link's health after a shipping round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStatus {
+    /// Region label of the link.
+    pub region: String,
+    /// Log lines the replica still lacks (`leader_seq − acked_seq`).
+    pub lag: u64,
+    /// Virtual µs since the replica last fully caught up (0 if it is
+    /// caught up right now).
+    pub staleness_us: u64,
+    /// Whether this round ended with the replica fully caught up.
+    pub synced: bool,
+}
+
+/// Streams a [`ReplicatedStore`]'s WAL to N per-region replicas.
+pub struct WalShipper {
+    source: Arc<ReplicatedStore>,
+    links: Vec<ReplicaLink>,
+    chunk: usize,
+}
+
+impl fmt::Debug for WalShipper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalShipper")
+            .field("regions", &self.links.len())
+            .field("leader_seq", &self.source.leader_seq())
+            .finish()
+    }
+}
+
+impl WalShipper {
+    /// Ship from `source` to (initially) no replicas.
+    pub fn new(source: Arc<ReplicatedStore>) -> WalShipper {
+        WalShipper {
+            source,
+            links: Vec::new(),
+            chunk: SHIP_CHUNK_LINES,
+        }
+    }
+
+    /// Add a replica region served by a dbserver at `addr`. Link
+    /// indices (for the `reachable` gate of [`WalShipper::ship_round`])
+    /// follow insertion order.
+    pub fn add_region(&mut self, region: &str, addr: SocketAddr, start: SimTime) {
+        self.links.push(ReplicaLink {
+            region: region.to_string(),
+            addr,
+            conn: None,
+            acked_seq: 0,
+            last_synced_at: start,
+        });
+    }
+
+    /// Number of replica links.
+    pub fn region_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Ship pending WAL lines to every replica whose link index passes
+    /// `reachable` (a partition gate: unreachable links are skipped but
+    /// their lag and staleness gauges still tick). Returns per-link
+    /// statuses in insertion order.
+    pub fn ship_round(
+        &mut self,
+        now: SimTime,
+        mut reachable: impl FnMut(usize) -> bool,
+    ) -> Vec<LinkStatus> {
+        let target = self.source.leader_seq();
+        let mut out = Vec::with_capacity(self.links.len());
+        for i in 0..self.links.len() {
+            if reachable(i) {
+                self.pump_link(i, target);
+            } else {
+                // Partitioned: the connection is useless, drop it so the
+                // heal starts from a clean connect.
+                self.links[i].conn = None;
+            }
+            let link = &mut self.links[i];
+            let synced = link.acked_seq >= target;
+            if synced {
+                link.last_synced_at = now;
+            }
+            let lag = target.saturating_sub(link.acked_seq);
+            let staleness_us = now
+                .as_micros()
+                .saturating_sub(link.last_synced_at.as_micros());
+            let tl = &csaw_obs::current().timeline;
+            if tl.enabled() {
+                let labels = [("region", link.region.as_str())];
+                tl.gauge("replica.lag", &labels).set(lag as i64);
+                tl.gauge("replica.staleness_us", &labels)
+                    .set(staleness_us as i64);
+            }
+            out.push(LinkStatus {
+                region: link.region.clone(),
+                lag,
+                staleness_us,
+                synced,
+            });
+        }
+        out
+    }
+
+    /// Push chunks to one link until it acks `target` or errors out.
+    fn pump_link(&mut self, i: usize, target: u64) {
+        while self.links[i].acked_seq < target {
+            let from_seq = self.links[i].acked_seq;
+            let lines = self.source.lines_from(from_seq, self.chunk);
+            if lines.is_empty() {
+                break;
+            }
+            let shipped = lines.len() as u64;
+            match self.exchange(i, DbRequest::Ship { from_seq, lines }) {
+                Some(DbResponse::ShipAck { applied_seq }) => {
+                    csaw_obs::add("replica.ship.lines", shipped);
+                    let link = &mut self.links[i];
+                    if applied_seq == from_seq {
+                        // The replica refused to advance (it reported
+                        // exactly our own position back): nothing more
+                        // to do this round.
+                        break;
+                    }
+                    // Either normal progress or a rewind below from_seq
+                    // (gap): trust the replica's own position.
+                    link.acked_seq = applied_seq;
+                }
+                Some(_) | None => {
+                    self.links[i].conn = None;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One blocking request/response on link `i`, connecting if needed.
+    fn exchange(&mut self, i: usize, req: DbRequest) -> Option<DbResponse> {
+        let link = &mut self.links[i];
+        if link.conn.is_none() {
+            let stream = TcpStream::connect(link.addr).ok()?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .ok()?;
+            link.conn = Some((stream, BytesMut::new()));
+        }
+        let (stream, buf) = link.conn.as_mut().expect("connection just established");
+        write_frame(stream, &req.to_frame()).ok()?;
+        let frame = read_frame(stream, buf).ok()??;
+        DbResponse::from_frame(&frame).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StoreState;
+    use csaw_censor::blocking::BlockingType;
+    use csaw_store::record::Report;
+    use csaw_store::ShardedStore;
+
+    fn batch(client: u64, url: &str, t: u64) -> Batch {
+        Batch::new(
+            Uuid::from_raw(client),
+            vec![Report {
+                url: url.into(),
+                asn: 9,
+                measured_at_us: t,
+                stages: vec![BlockingType::HttpDrop],
+            }],
+            SimTime::from_micros(t),
+        )
+    }
+
+    #[test]
+    fn journal_precedes_apply_and_replays_identically() {
+        let leader = ReplicatedStore::new(Arc::new(ShardedStore::new(4).unwrap()));
+        leader.ingest(&batch(1, "http://a.com/", 10)).unwrap();
+        leader.ingest(&batch(2, "http://b.com/", 20)).unwrap();
+        leader.revoke(Uuid::from_raw(2));
+        leader.expire_records(SimTime::from_secs(100), SimDuration::from_secs(99));
+        assert_eq!(leader.leader_seq(), 4);
+
+        let replica = ShardedStore::new(7).unwrap();
+        for line in leader.lines_from(0, usize::MAX) {
+            wal::replay_line(&replica, &line).unwrap();
+        }
+        assert_eq!(
+            StoreState::capture(leader.inner()),
+            StoreState::capture(&replica)
+        );
+    }
+
+    #[test]
+    fn lines_from_windows_the_log() {
+        let leader = ReplicatedStore::new(Arc::new(ShardedStore::new(2).unwrap()));
+        for c in 0..5u64 {
+            leader
+                .ingest(&batch(c, &format!("http://u{c}.com/"), c + 1))
+                .unwrap();
+        }
+        assert_eq!(leader.lines_from(0, 2).len(), 2);
+        assert_eq!(leader.lines_from(3, 10).len(), 2);
+        assert_eq!(leader.lines_from(5, 10).len(), 0);
+        assert_eq!(leader.lines_from(99, 10).len(), 0);
+    }
+}

@@ -9,17 +9,17 @@
 //! The JSONL backend is a write-ahead log in the literal sense: every
 //! mutating operation is appended as one JSON line *before* it is
 //! applied to the wrapped in-memory store, and `open` rebuilds the
-//! store by replaying the log through the exact same code paths. Client
-//! UUIDs are logged as 16-digit hex strings — the in-tree JSON value is
-//! f64-backed, and raw 64-bit IDs do not survive the f64 round-trip.
+//! store by replaying the log through the exact same code paths. The
+//! line codec itself lives in [`crate::wal`] so WAL shipping
+//! (`csaw-replica`) and restart replay share one implementation.
 
 use crate::batch::{Batch, IngestReceipt};
 use crate::error::StoreError;
 use crate::ledger::{ConfidenceFilter, Tally, VoteLedger};
-use crate::record::{GlobalRecord, Report, Uuid};
+use crate::record::{GlobalRecord, Uuid};
 use crate::shard::ShardedStore;
+use crate::wal;
 use csaw_obs::contention::TimedMutex;
-use csaw_obs::json::JsonValue;
 use csaw_simnet::time::{SimDuration, SimTime};
 use csaw_simnet::topology::Asn;
 use std::fmt;
@@ -81,17 +81,6 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     }
 }
 
-fn uuid_to_json(u: Uuid) -> JsonValue {
-    JsonValue::from(u.to_string())
-}
-
-fn uuid_from_json(v: &JsonValue) -> Result<Uuid, StoreError> {
-    v.as_str()
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .map(Uuid::from_raw)
-        .ok_or_else(|| StoreError::Corrupt("client must be a 16-hex-digit string".into()))
-}
-
 /// An append-only JSONL write-ahead log wrapped around the in-memory
 /// sharded store. One line per mutating operation; [`JsonlStore::open`]
 /// replays the log through the normal ingest/revoke/expire paths, so a
@@ -126,7 +115,7 @@ impl JsonlStore {
                 if line.trim().is_empty() {
                     continue;
                 }
-                Self::replay_line(&inner, &line)
+                wal::replay_line(&inner, &line)
                     .map_err(|e| StoreError::Corrupt(format!("line {}: {e}", no + 1)))?;
             }
         }
@@ -155,68 +144,7 @@ impl JsonlStore {
         self
     }
 
-    fn replay_line(inner: &ShardedStore, line: &str) -> Result<(), StoreError> {
-        let v =
-            JsonValue::parse(line).map_err(|e| StoreError::Corrupt(format!("not JSON: {e}")))?;
-        let op = v
-            .get("op")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| StoreError::Corrupt("missing op".into()))?;
-        match op {
-            "ingest" => {
-                let client = uuid_from_json(
-                    v.get("client")
-                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
-                )?;
-                let posted_at = v
-                    .get("posted_at_us")
-                    .and_then(JsonValue::as_u64)
-                    .map(SimTime::from_micros)
-                    .ok_or_else(|| StoreError::Corrupt("missing posted_at_us".into()))?;
-                let reports = v
-                    .get("reports")
-                    .and_then(JsonValue::as_arr)
-                    .ok_or_else(|| StoreError::Corrupt("missing reports".into()))?
-                    .iter()
-                    .map(Report::from_json)
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(StoreError::Wire)?;
-                inner.ingest(&Batch::new(client, reports, posted_at))?;
-            }
-            "revoke" => {
-                inner.revoke(uuid_from_json(
-                    v.get("client")
-                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
-                )?);
-            }
-            "remove_reporter" => {
-                inner.remove_reporter_records(uuid_from_json(
-                    v.get("client")
-                        .ok_or_else(|| StoreError::Corrupt("missing client".into()))?,
-                )?);
-            }
-            "expire" => {
-                let now = v
-                    .get("now_us")
-                    .and_then(JsonValue::as_u64)
-                    .map(SimTime::from_micros)
-                    .ok_or_else(|| StoreError::Corrupt("missing now_us".into()))?;
-                let max_age = v
-                    .get("max_age_us")
-                    .and_then(JsonValue::as_u64)
-                    .map(SimDuration::from_micros)
-                    .ok_or_else(|| StoreError::Corrupt("missing max_age_us".into()))?;
-                inner.expire_records(now, max_age);
-            }
-            other => {
-                return Err(StoreError::Corrupt(format!("unknown op {other:?}")));
-            }
-        }
-        Ok(())
-    }
-
-    fn append(&self, v: &JsonValue) -> Result<(), StoreError> {
-        let mut line = v.to_string_compact();
+    fn append(&self, mut line: String) -> Result<(), StoreError> {
         line.push('\n');
         let mut log = self.log.lock();
         log.write_all(line.as_bytes())
@@ -234,19 +162,7 @@ impl JsonlStore {
 
 impl StorageBackend for JsonlStore {
     fn ingest(&self, batch: &Batch) -> Result<IngestReceipt, StoreError> {
-        let mut v = JsonValue::obj();
-        v.set("op", "ingest");
-        v.set("client", uuid_to_json(batch.client));
-        v.set("posted_at_us", batch.posted_at.as_micros());
-        v.set(
-            "reports",
-            batch
-                .reports()
-                .iter()
-                .map(Report::to_json)
-                .collect::<Vec<_>>(),
-        );
-        self.append(&v)?;
+        self.append(wal::ingest_line(batch))?;
         self.inner.ingest(batch)
     }
 
@@ -263,29 +179,19 @@ impl StorageBackend for JsonlStore {
     }
 
     fn revoke(&self, client: Uuid) {
-        let mut v = JsonValue::obj();
-        v.set("op", "revoke");
-        v.set("client", uuid_to_json(client));
         // Best-effort on the revocation path: the in-memory retraction
         // must happen even if the log write fails.
-        let _ = self.append(&v);
+        let _ = self.append(wal::revoke_line(client));
         self.inner.revoke(client);
     }
 
     fn remove_reporter_records(&self, client: Uuid) -> usize {
-        let mut v = JsonValue::obj();
-        v.set("op", "remove_reporter");
-        v.set("client", uuid_to_json(client));
-        let _ = self.append(&v);
+        let _ = self.append(wal::remove_reporter_line(client));
         self.inner.remove_reporter_records(client)
     }
 
     fn expire_records(&self, now: SimTime, max_age: SimDuration) -> usize {
-        let mut v = JsonValue::obj();
-        v.set("op", "expire");
-        v.set("now_us", now.as_micros());
-        v.set("max_age_us", max_age.as_micros());
-        let _ = self.append(&v);
+        let _ = self.append(wal::expire_line(now, max_age));
         self.inner.expire_records(now, max_age)
     }
 
@@ -314,6 +220,7 @@ impl StorageBackend for JsonlStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Report;
     use csaw_censor::blocking::BlockingType;
 
     fn tmp(name: &str) -> PathBuf {

@@ -80,6 +80,7 @@ pub mod net;
 pub mod record;
 pub mod shard;
 pub(crate) mod swap;
+pub mod wal;
 
 pub use backend::{JsonlStore, StorageBackend};
 pub use batch::{Batch, IngestReceipt};

@@ -30,12 +30,16 @@ pub mod op {
     pub const POST: u8 = 0x02;
     /// Client → server: download blocked records for an AS.
     pub const BLOCKED: u8 = 0x03;
+    /// Leader → replica: ship a contiguous run of WAL lines.
+    pub const SHIP: u8 = 0x04;
     /// Server → client: registration succeeded, payload carries the UUID.
     pub const REGISTERED: u8 = 0x81;
     /// Server → client: ingest receipt for a posted batch.
     pub const RECEIPT: u8 = 0x82;
     /// Server → client: blocked-record download result.
     pub const RECORDS: u8 = 0x83;
+    /// Replica → leader: acknowledge the applied WAL position.
+    pub const SHIP_ACK: u8 = 0x84;
     /// Server → client: the request failed; payload carries a code.
     pub const ERROR: u8 = 0xFF;
 }
@@ -159,6 +163,16 @@ pub enum DbRequest {
         /// Confidence thresholds to apply server-side.
         filter: ConfidenceFilter,
     },
+    /// Ship a contiguous run of WAL lines to a replica (see
+    /// [`crate::wal`] for the line codec). `lines[0]` carries the
+    /// operation with sequence number `from_seq` (0-based: the first
+    /// line ever written is seq 0).
+    Ship {
+        /// Sequence number of the first shipped line.
+        from_seq: u64,
+        /// Compact-JSON WAL lines, in log order.
+        lines: Vec<String>,
+    },
 }
 
 impl DbRequest {
@@ -191,6 +205,15 @@ impl DbRequest {
                 v.set("min_clients", filter.min_clients as u64);
                 v.set("min_avg_vote", filter.min_avg_vote);
                 Frame::new(op::BLOCKED, v.to_string_compact().into_bytes())
+            }
+            DbRequest::Ship { from_seq, lines } => {
+                let mut v = JsonValue::obj();
+                v.set("from_seq", *from_seq);
+                v.set(
+                    "lines",
+                    JsonValue::Arr(lines.iter().map(|l| JsonValue::from(l.as_str())).collect()),
+                );
+                Frame::new(op::SHIP, v.to_string_compact().into_bytes())
             }
         }
     }
@@ -254,6 +277,23 @@ impl DbRequest {
                         .ok_or(shape("min_avg_vote must be a number"))?,
                 },
             }),
+            op::SHIP => Ok(DbRequest::Ship {
+                from_seq: v
+                    .get("from_seq")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(shape("from_seq must be a u64"))?,
+                lines: v
+                    .get("lines")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or(shape("lines must be an array"))?
+                    .iter()
+                    .map(|l| {
+                        l.as_str()
+                            .map(str::to_string)
+                            .ok_or(shape("WAL line must be a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             _ => Err(shape("unknown request opcode")),
         }
     }
@@ -277,6 +317,14 @@ pub enum DbResponse {
         /// Records passing the requested confidence filter.
         Vec<GlobalRecord>,
     ),
+    /// WAL shipment acknowledged up to (but not including)
+    /// `applied_seq`: the replica has applied `applied_seq` lines in
+    /// total. An ack *below* the shipment's `from_seq` signals a gap —
+    /// the leader must rewind and re-ship from `applied_seq`.
+    ShipAck {
+        /// Total WAL lines the replica has applied so far.
+        applied_seq: u64,
+    },
     /// The request failed.
     Error {
         /// Machine-readable code (see [`DbResponse::from_store_error`]).
@@ -312,6 +360,11 @@ impl DbResponse {
                     JsonValue::Arr(records.iter().map(record_to_json).collect()),
                 );
                 Frame::new(op::RECORDS, v.to_string_compact().into_bytes())
+            }
+            DbResponse::ShipAck { applied_seq } => {
+                let mut v = JsonValue::obj();
+                v.set("applied_seq", *applied_seq);
+                Frame::new(op::SHIP_ACK, v.to_string_compact().into_bytes())
             }
             DbResponse::Error {
                 code,
@@ -354,6 +407,12 @@ impl DbResponse {
                     .map(record_from_json)
                     .collect::<Result<Vec<_>, _>>()?,
             )),
+            op::SHIP_ACK => Ok(DbResponse::ShipAck {
+                applied_seq: v
+                    .get("applied_seq")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(shape("applied_seq must be a u64"))?,
+            }),
             op::ERROR => Ok(DbResponse::Error {
                 code: v
                     .get("code")
@@ -450,6 +509,17 @@ mod tests {
                     min_avg_vote: 0.5,
                 },
             },
+            DbRequest::Ship {
+                from_seq: 42,
+                lines: vec![
+                    "{\"op\":\"revoke\",\"client\":\"0000000000000003\"}".to_string(),
+                    "{\"op\":\"expire\",\"now_us\":9,\"max_age_us\":1}".to_string(),
+                ],
+            },
+            DbRequest::Ship {
+                from_seq: 0,
+                lines: Vec::new(),
+            },
         ];
         for req in reqs {
             let frame = req.to_frame();
@@ -475,6 +545,7 @@ mod tests {
                 posted_at: SimTime::from_secs(2),
                 reporter: Uuid::from_raw(0x1234_5678_9abc_def0),
             }]),
+            DbResponse::ShipAck { applied_seq: 44 },
             DbResponse::Error {
                 code: "unknown_client".into(),
                 detail: "unknown or revoked client UUID".into(),

@@ -29,7 +29,7 @@
 //! assert_eq!(req.url(Scheme::Http), Some(url));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bytes;
